@@ -1,0 +1,69 @@
+//! Figure 9: runtime overhead of protecting the dense double-precision
+//! vectors (mantissa-LSB redundancy) with each scheme, plus the combined
+//! full-protection configuration of §VII-B.
+
+use abft_bench::{tealeaf_system, TeaLeafSystem};
+use abft_core::{EccScheme, ProtectionConfig};
+use abft_ecc::Crc32cBackend;
+use abft_solvers::{cg::cg_plain, CgSolver, SolverConfig};
+use abft_sparse::Vector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const NX: usize = 96;
+const NY: usize = 96;
+const ITERS: usize = 20;
+
+fn run(system: &TeaLeafSystem, protection: &ProtectionConfig) {
+    let config = SolverConfig::new(ITERS, 0.0);
+    if protection.is_unprotected() {
+        let (x, _) = cg_plain(
+            &system.matrix,
+            &Vector::from_vec(system.rhs.clone()),
+            &config,
+            false,
+        );
+        std::hint::black_box(x);
+    } else {
+        let solver = CgSolver::new(config);
+        let result = solver
+            .solve(&system.matrix, &system.rhs, protection)
+            .expect("clean solve");
+        std::hint::black_box(result.solution);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let system = tealeaf_system(NX, NY);
+    let mut group = c.benchmark_group("fig9_dense_vectors");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    group.bench_function("unprotected", |b| {
+        b.iter(|| run(&system, &ProtectionConfig::unprotected()))
+    });
+    for scheme in EccScheme::ALL {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                run(
+                    &system,
+                    &ProtectionConfig::vectors_only(scheme)
+                        .with_crc_backend(Crc32cBackend::Hardware),
+                )
+            })
+        });
+        group.bench_function(format!("full_{}", scheme.label()), |b| {
+            b.iter(|| {
+                run(
+                    &system,
+                    &ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::Hardware),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,274 @@
+//! `experiments` — regenerates the paper's tables and figures from the
+//! command line.
+//!
+//! ```text
+//! experiments --all                 # every figure at the default size
+//! experiments --figure 4            # a single figure
+//! experiments --figure 8 --nx 512 --ny 512 --iters 100
+//! experiments --full                # the paper's 2048x2048 deck size
+//! experiments --convergence         # §VI-B convergence-impact study
+//! experiments --campaign            # fault-injection summary
+//! experiments --crc-capability      # §IV CRC32C capability table
+//! experiments --parallel            # use the Rayon kernels
+//! experiments --json results.json   # also dump machine-readable results
+//! ```
+//!
+//! Absolute times depend on the host; the quantity to compare against the
+//! paper is the *relative overhead* column and its ordering across schemes.
+
+use abft_bench::{
+    combined_full_protection, convergence_impact, fault_campaign_summary, figure4, figure5,
+    figure6, figure7, figure8, figure9, FigureTable, MeasurementConfig,
+};
+use abft_ecc::analysis::{crc32c_hd6_window, operating_points, sweep_crc32c};
+use abft_ecc::{Crc32c, Crc32cBackend};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+struct Args {
+    figures: Vec<u32>,
+    all: bool,
+    convergence: bool,
+    campaign: bool,
+    crc_capability: bool,
+    combined: bool,
+    full: bool,
+    parallel: bool,
+    nx: usize,
+    ny: usize,
+    iterations: usize,
+    repeats: usize,
+    trials: usize,
+    json: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            figures: Vec::new(),
+            all: false,
+            convergence: false,
+            campaign: false,
+            crc_capability: false,
+            combined: false,
+            full: false,
+            parallel: false,
+            nx: 256,
+            ny: 256,
+            iterations: 50,
+            repeats: 3,
+            trials: 200,
+            json: None,
+        }
+    }
+}
+
+const HELP: &str = "experiments — regenerate the paper's figures.
+  --all                run every figure (default)
+  --figure N           run figure N (4..=9), repeatable
+  --combined           full matrix + vector protection table (§VII-B)
+  --convergence        §VI-B convergence-impact study
+  --campaign           fault-injection outcome summary
+  --crc-capability     §IV CRC32C detection-capability table
+  --full               paper-sized workload (2048x2048, 100 CG iterations)
+  --parallel           use the Rayon-parallel kernels
+  --nx N / --ny N      grid size (default 256x256)
+  --iters N            CG iterations per timed solve (default 50)
+  --repeats N          timed repetitions, minimum reported (default 3)
+  --trials N           fault-injection trials per configuration (default 200)
+  --json PATH          additionally write machine-readable JSON";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut iter = std::env::args().skip(1);
+    let mut any = false;
+    while let Some(arg) = iter.next() {
+        any = true;
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--all" => args.all = true,
+            "--figure" => args
+                .figures
+                .push(value("--figure")?.parse().map_err(|e| format!("{e}"))?),
+            "--convergence" => args.convergence = true,
+            "--campaign" => args.campaign = true,
+            "--crc-capability" => args.crc_capability = true,
+            "--combined" => args.combined = true,
+            "--full" => args.full = true,
+            "--parallel" => args.parallel = true,
+            "--nx" => args.nx = value("--nx")?.parse().map_err(|e| format!("{e}"))?,
+            "--ny" => args.ny = value("--ny")?.parse().map_err(|e| format!("{e}"))?,
+            "--iters" => {
+                args.iterations = value("--iters")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--repeats" => {
+                args.repeats = value("--repeats")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--trials" => args.trials = value("--trials")?.parse().map_err(|e| format!("{e}"))?,
+            "--json" => args.json = Some(value("--json")?),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if !any {
+        args.all = true;
+    }
+    if args.full {
+        args.nx = 2048;
+        args.ny = 2048;
+        args.iterations = 100;
+        args.repeats = 1;
+    }
+    Ok(args)
+}
+
+#[derive(Serialize, Default)]
+struct JsonOutput {
+    figures: Vec<FigureTable>,
+    convergence: Vec<abft_bench::ConvergenceRow>,
+    campaign: Vec<abft_bench::CampaignRow>,
+    crc_capability: BTreeMap<String, serde_json::Value>,
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("error: {err}\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    let m = MeasurementConfig {
+        nx: args.nx,
+        ny: args.ny,
+        iterations: args.iterations,
+        repeats: args.repeats,
+        parallel: args.parallel,
+    };
+    let mut output = JsonOutput::default();
+
+    let run_all = args.all;
+    let wants = |n: u32| run_all || args.figures.contains(&n);
+    let intervals = [1u32, 2, 4, 8, 16, 32, 64, 128];
+
+    let mut tables: Vec<FigureTable> = Vec::new();
+    if wants(4) {
+        tables.push(figure4(&m));
+    }
+    if wants(5) {
+        tables.push(figure5(&m));
+    }
+    if wants(6) {
+        tables.push(figure6(&m, &intervals));
+    }
+    if wants(7) {
+        tables.push(figure7(&m, &intervals));
+    }
+    if wants(8) {
+        tables.push(figure8(&m, &intervals));
+    }
+    if wants(9) {
+        tables.push(figure9(&m));
+    }
+    if args.combined || run_all {
+        tables.push(combined_full_protection(&m));
+    }
+    for table in &tables {
+        println!("{}", table.render());
+    }
+    output.figures = tables;
+
+    if args.convergence || run_all {
+        let rows = convergence_impact(args.nx.min(256), args.ny.min(256));
+        println!("Convergence impact of mantissa-bit masking (§VI-B)");
+        println!(
+            "{:<12} {:>12} {:>12} {:>16} {:>22}",
+            "scheme", "iterations", "baseline", "iter increase %", "solution norm diff %"
+        );
+        for row in &rows {
+            println!(
+                "{:<12} {:>12} {:>12} {:>16.3} {:>22.3e}",
+                row.scheme,
+                row.iterations,
+                row.baseline_iterations,
+                row.iteration_increase_pct,
+                row.solution_norm_difference_pct
+            );
+        }
+        println!();
+        output.convergence = rows;
+    }
+
+    if args.campaign || run_all {
+        let rows = fault_campaign_summary(args.trials, 0xABF7);
+        println!("Fault-injection outcomes (single bit flip per trial)");
+        println!(
+            "{:<12} {:<24} {:>7} {:>10} {:>10} {:>8} {:>8} {:>6}",
+            "scheme", "target", "trials", "corrected", "detected", "bounds", "masked", "SDC"
+        );
+        for row in &rows {
+            println!(
+                "{:<12} {:<24} {:>7} {:>9.1}% {:>9.1}% {:>7.1}% {:>7.1}% {:>5.1}%",
+                row.scheme,
+                row.target,
+                row.trials,
+                row.corrected_pct,
+                row.detected_pct,
+                row.bounds_pct,
+                row.masked_pct,
+                row.sdc_pct
+            );
+        }
+        println!();
+        output.campaign = rows;
+    }
+
+    if args.crc_capability || run_all {
+        println!("CRC32C capability (§IV)");
+        let crc = Crc32c::new(Crc32cBackend::Hardware);
+        println!("backend in use: {:?}", crc.backend());
+        println!(
+            "HD=6 window: codewords of 178..=5243 bits (TeaLeaf row codeword: {} bits, inside: {})",
+            5 * 96,
+            crc32c_hd6_window(5 * 96)
+        );
+        println!(
+            "operating points at HD 6 (nECmED): {:?}",
+            operating_points(6)
+        );
+        let data: Vec<u8> = (0..60u8)
+            .map(|i| i.wrapping_mul(41).wrapping_add(3))
+            .collect();
+        for weight in 1..=4usize {
+            let sweep = sweep_crc32c(&crc, &data, weight, 20_000);
+            println!(
+                "weight-{weight} errors over a 480-bit codeword: {}/{} detected ({:.4} %)",
+                sweep.detected,
+                sweep.patterns,
+                100.0 * sweep.detection_rate()
+            );
+            output.crc_capability.insert(
+                format!("weight_{weight}"),
+                serde_json::json!({
+                    "patterns": sweep.patterns,
+                    "detected": sweep.detected,
+                    "rate": sweep.detection_rate(),
+                }),
+            );
+        }
+        println!();
+    }
+
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(&output).expect("serialise results");
+        std::fs::write(path, json).expect("write JSON output");
+        println!("machine-readable results written to {path}");
+    }
+}

@@ -1,0 +1,679 @@
+//! CSR element protection (§VI-A, Fig. 1).
+//!
+//! A *CSR element* pairs the 64-bit value `v[k]` with the 32-bit column index
+//! `y[k]` at the same position, forming a 96-bit structure.  The redundancy
+//! needed to protect the element is stored in the high bits of the column
+//! index, which are unused as long as the matrix has fewer than 2³¹ (SED) or
+//! 2²⁴ (SECDED / CRC32C) columns:
+//!
+//! * **SED** — one parity bit in index bit 31, one codeword per element;
+//! * **SECDED64** — 8 Hamming redundancy bits in index bits 24–31 protecting
+//!   the 88 payload bits (value + 24-bit index) of that element;
+//! * **SECDED128** — a 9-bit Hamming code over a *pair* of consecutive
+//!   elements (176 payload bits), stored in the pair's spare index bytes;
+//! * **CRC32C** — one 32-bit checksum per matrix row, split into the spare
+//!   index bytes of the row's first four elements (which is why the scheme
+//!   needs at least four stored entries per row; TeaLeaf's five-point stencil
+//!   always provides five).
+//!
+//! The values themselves are never perturbed — all redundancy lives in index
+//! bits — so reading a value needs no masking; reading a column index masks
+//! the redundancy bits off.
+
+use crate::error::AbftError;
+use crate::report::{FaultLog, Region};
+use crate::schemes::EccScheme;
+use abft_ecc::correction::correct_crc32c_single;
+use abft_ecc::secded::DecodeOutcome;
+use abft_ecc::sed::{parity_u32, parity_u64};
+use abft_ecc::{Crc32c, Crc32cBackend, SECDED_176, SECDED_88};
+
+/// Mask selecting the 24 real index bits under SECDED / CRC32C.
+pub const COL_MASK_24: u32 = 0x00FF_FFFF;
+/// Mask selecting the 31 real index bits under SED.
+pub const COL_MASK_31: u32 = 0x7FFF_FFFF;
+/// Bytes contributed by one element to a row's CRC codeword (8 value bytes +
+/// 4 index bytes).
+const CRC_BYTES_PER_ELEMENT: usize = 12;
+
+/// Encoder / checker for CSR elements under a given scheme.
+#[derive(Debug, Clone)]
+pub struct ElementCodec {
+    scheme: EccScheme,
+    crc: Crc32c,
+}
+
+impl ElementCodec {
+    /// Creates a codec for `scheme`, using `backend` for CRC32C checksums.
+    pub fn new(scheme: EccScheme, backend: Crc32cBackend) -> Self {
+        ElementCodec {
+            scheme,
+            crc: Crc32c::new(backend),
+        }
+    }
+
+    /// The scheme this codec implements.
+    pub fn scheme(&self) -> EccScheme {
+        self.scheme
+    }
+
+    /// Strips the redundancy bits from a stored column index.
+    #[inline]
+    pub fn mask_col(&self, col: u32) -> u32 {
+        match self.scheme {
+            EccScheme::None => col,
+            EccScheme::Sed => col & COL_MASK_31,
+            _ => col & COL_MASK_24,
+        }
+    }
+
+    /// Embeds redundancy for every element into the column-index array.
+    ///
+    /// `row_ptr` is the *plain* (not yet protected) row pointer, needed to
+    /// delimit rows for the CRC32C scheme.
+    pub fn encode(
+        &self,
+        values: &[f64],
+        cols: &mut [u32],
+        row_ptr: &[u32],
+    ) -> Result<(), AbftError> {
+        match self.scheme {
+            EccScheme::None => Ok(()),
+            EccScheme::Sed => {
+                for (v, c) in values.iter().zip(cols.iter_mut()) {
+                    let payload = *c & COL_MASK_31;
+                    let parity = parity_u64(v.to_bits()) ^ parity_u32(payload);
+                    *c = payload | (parity << 31);
+                }
+                Ok(())
+            }
+            EccScheme::Secded64 => {
+                for (v, c) in values.iter().zip(cols.iter_mut()) {
+                    *c = encode_secded64_element(v.to_bits(), *c & COL_MASK_24);
+                }
+                Ok(())
+            }
+            EccScheme::Secded128 => {
+                let mut k = 0;
+                while k < values.len() {
+                    if k + 1 < values.len() {
+                        let (c0, c1) = encode_secded128_pair(values, cols, k);
+                        cols[k] = c0;
+                        cols[k + 1] = c1;
+                    } else {
+                        // A trailing unpaired element carries its own
+                        // per-element SECDED code (only 8 spare bits exist).
+                        cols[k] = encode_secded64_element(values[k].to_bits(), cols[k] & COL_MASK_24);
+                    }
+                    k += 2;
+                }
+                Ok(())
+            }
+            EccScheme::Crc32c => {
+                let mut scratch = Vec::new();
+                for row in 0..row_ptr.len().saturating_sub(1) {
+                    let start = row_ptr[row] as usize;
+                    let end = row_ptr[row + 1] as usize;
+                    if end - start < 4 {
+                        return Err(AbftError::RowTooShort {
+                            row,
+                            entries: end - start,
+                            min: 4,
+                        });
+                    }
+                    for c in cols[start..end].iter_mut() {
+                        *c &= COL_MASK_24;
+                    }
+                    let checksum = self.row_checksum(&values[start..end], &cols[start..end], &mut scratch);
+                    for (i, byte) in checksum.to_le_bytes().iter().enumerate() {
+                        cols[start + i] |= (*byte as u32) << 24;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Integrity-checks (and where possible corrects) the elements of one
+    /// row, given its decoded half-open range `[start, end)`.
+    ///
+    /// `scratch` is reused between calls to avoid per-row allocation in the
+    /// SpMV hot loop.
+    pub fn check_row(
+        &self,
+        start: usize,
+        end: usize,
+        values: &mut [f64],
+        cols: &mut [u32],
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        match self.scheme {
+            EccScheme::None => Ok(()),
+            EccScheme::Sed => {
+                for k in start..end {
+                    log.record_check(Region::CsrElements);
+                    if parity_u64(values[k].to_bits()) ^ parity_u32(cols[k]) != 0 {
+                        log.record_uncorrectable(Region::CsrElements);
+                        return Err(AbftError::Uncorrectable {
+                            region: Region::CsrElements,
+                            index: k,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            EccScheme::Secded64 => {
+                for k in start..end {
+                    log.record_check(Region::CsrElements);
+                    self.check_secded64_element(k, values, cols, log)?;
+                }
+                Ok(())
+            }
+            EccScheme::Secded128 => {
+                // Expand to pair boundaries so straddling pairs are checked whole.
+                let pstart = start & !1;
+                let mut k = pstart;
+                while k < end {
+                    log.record_check(Region::CsrElements);
+                    self.check_secded128_pair(k, values, cols, log)?;
+                    k += 2;
+                }
+                Ok(())
+            }
+            EccScheme::Crc32c => {
+                log.record_check(Region::CsrElements);
+                self.check_crc_row(start, end, values, cols, scratch, log)
+            }
+        }
+    }
+
+    /// Integrity-checks every element of the matrix (used by whole-matrix
+    /// scrubs and by the end-of-time-step check of §VI-A-2).
+    pub fn check_all(
+        &self,
+        values: &mut [f64],
+        cols: &mut [u32],
+        row_ranges: impl Iterator<Item = (usize, usize)>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        let mut scratch = Vec::new();
+        match self.scheme {
+            EccScheme::None => Ok(()),
+            EccScheme::Crc32c => {
+                for (start, end) in row_ranges {
+                    self.check_row(start, end, values, cols, &mut scratch, log)?;
+                }
+                Ok(())
+            }
+            // Element- and pair-granular schemes do not need row boundaries.
+            _ => self.check_row(0, values.len(), values, cols, &mut scratch, log),
+        }
+    }
+
+    fn check_secded64_element(
+        &self,
+        k: usize,
+        values: &mut [f64],
+        cols: &mut [u32],
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        let stored = (cols[k] >> 24) as u16;
+        let mut payload = [values[k].to_bits(), (cols[k] & COL_MASK_24) as u64];
+        match SECDED_88.check_and_correct(&mut payload, stored) {
+            DecodeOutcome::NoError => Ok(()),
+            DecodeOutcome::CorrectedData(bit) => {
+                log.record_corrected(Region::CsrElements);
+                if bit < 64 {
+                    values[k] = f64::from_bits(payload[0]);
+                } else {
+                    cols[k] = (cols[k] & !COL_MASK_24) | (payload[1] as u32 & COL_MASK_24);
+                }
+                Ok(())
+            }
+            DecodeOutcome::CorrectedRedundancy => {
+                log.record_corrected(Region::CsrElements);
+                cols[k] = encode_secded64_element(values[k].to_bits(), cols[k] & COL_MASK_24);
+                Ok(())
+            }
+            DecodeOutcome::Uncorrectable => {
+                log.record_uncorrectable(Region::CsrElements);
+                Err(AbftError::Uncorrectable {
+                    region: Region::CsrElements,
+                    index: k,
+                })
+            }
+        }
+    }
+
+    fn check_secded128_pair(
+        &self,
+        k: usize,
+        values: &mut [f64],
+        cols: &mut [u32],
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        if k + 1 >= values.len() {
+            // Trailing unpaired element: encoded per-element (see `encode`).
+            return self.check_secded64_element(k, values, cols, log);
+        }
+        // Only bit 24 of the second index's spare byte carries redundancy;
+        // bits 25–31 are defined to be zero, so a flip there is trivially
+        // detectable and correctable.
+        if cols[k + 1] & 0xFE00_0000 != 0 {
+            log.record_corrected(Region::CsrElements);
+            cols[k + 1] &= !0xFE00_0000;
+        }
+        let (v1, c1) = (values[k + 1].to_bits(), cols[k + 1]);
+        let stored = ((cols[k] >> 24) as u16) | ((((c1 >> 24) & 1) as u16) << 8);
+        let mut payload = [
+            values[k].to_bits(),
+            v1,
+            ((cols[k] & COL_MASK_24) as u64) | (((c1 & COL_MASK_24) as u64) << 24),
+        ];
+        match SECDED_176.check_and_correct(&mut payload, stored) {
+            DecodeOutcome::NoError => Ok(()),
+            DecodeOutcome::CorrectedData(bit) => {
+                log.record_corrected(Region::CsrElements);
+                if bit < 64 {
+                    values[k] = f64::from_bits(payload[0]);
+                } else if bit < 128 {
+                    if k + 1 < values.len() {
+                        values[k + 1] = f64::from_bits(payload[1]);
+                    }
+                } else if bit < 152 {
+                    cols[k] = (cols[k] & !COL_MASK_24) | (payload[2] as u32 & COL_MASK_24);
+                } else if k + 1 < cols.len() {
+                    cols[k + 1] =
+                        (cols[k + 1] & !COL_MASK_24) | ((payload[2] >> 24) as u32 & COL_MASK_24);
+                }
+                Ok(())
+            }
+            DecodeOutcome::CorrectedRedundancy => {
+                log.record_corrected(Region::CsrElements);
+                let (e0, e1) = encode_secded128_pair(values, cols, k);
+                cols[k] = e0;
+                if k + 1 < cols.len() {
+                    cols[k + 1] = e1;
+                }
+                Ok(())
+            }
+            DecodeOutcome::Uncorrectable => {
+                log.record_uncorrectable(Region::CsrElements);
+                Err(AbftError::Uncorrectable {
+                    region: Region::CsrElements,
+                    index: k,
+                })
+            }
+        }
+    }
+
+    /// Rebuilds the CRC codeword bytes for a row: each element contributes
+    /// its value bytes followed by its masked 24-bit index (as a 32-bit
+    /// little-endian word with a zero top byte).
+    fn fill_row_codeword(&self, values: &[f64], cols: &[u32], scratch: &mut Vec<u8>) {
+        scratch.clear();
+        scratch.reserve(values.len() * CRC_BYTES_PER_ELEMENT);
+        for (v, c) in values.iter().zip(cols) {
+            scratch.extend_from_slice(&v.to_bits().to_le_bytes());
+            scratch.extend_from_slice(&(c & COL_MASK_24).to_le_bytes());
+        }
+    }
+
+    fn row_checksum(&self, values: &[f64], cols: &[u32], scratch: &mut Vec<u8>) -> u32 {
+        self.fill_row_codeword(values, cols, scratch);
+        self.crc.checksum(scratch)
+    }
+
+    fn stored_row_checksum(&self, cols: &[u32], start: usize) -> u32 {
+        u32::from_le_bytes([
+            (cols[start] >> 24) as u8,
+            (cols[start + 1] >> 24) as u8,
+            (cols[start + 2] >> 24) as u8,
+            (cols[start + 3] >> 24) as u8,
+        ])
+    }
+
+    fn check_crc_row(
+        &self,
+        start: usize,
+        end: usize,
+        values: &mut [f64],
+        cols: &mut [u32],
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        debug_assert!(end - start >= 4, "CRC-protected rows have at least 4 entries");
+        let computed = self.row_checksum(&values[start..end], &cols[start..end], scratch);
+        let stored = self.stored_row_checksum(cols, start);
+        if computed == stored {
+            return Ok(());
+        }
+        // A single flipped bit in the *stored* checksum itself produces a
+        // weight-1 syndrome; the data is intact and we simply re-store the
+        // checksum.
+        if (computed ^ stored).count_ones() == 1 {
+            log.record_corrected(Region::CsrElements);
+            for (i, byte) in computed.to_le_bytes().iter().enumerate() {
+                cols[start + i] = (cols[start + i] & COL_MASK_24) | ((*byte as u32) << 24);
+            }
+            return Ok(());
+        }
+        // Otherwise attempt single-bit correction of the codeword by trial
+        // re-encoding (§IV: CRC32C has HD 6 in this size range, so a single
+        // flip is unambiguously locatable).
+        self.fill_row_codeword(&values[start..end], &cols[start..end], scratch);
+        if let Some(bit) = correct_crc32c_single(&self.crc, scratch, stored) {
+            let element = bit / (CRC_BYTES_PER_ELEMENT * 8);
+            let offset = bit % (CRC_BYTES_PER_ELEMENT * 8);
+            if offset < 64 {
+                log.record_corrected(Region::CsrElements);
+                let mut bits = values[start + element].to_bits();
+                bits ^= 1u64 << offset;
+                values[start + element] = f64::from_bits(bits);
+                return Ok(());
+            } else if offset < 64 + 24 {
+                log.record_corrected(Region::CsrElements);
+                cols[start + element] ^= 1u32 << (offset - 64);
+                return Ok(());
+            }
+            // A "correction" inside the masked byte positions cannot
+            // correspond to a real single flip (those bits are zero by
+            // construction); fall through to uncorrectable.
+        }
+        log.record_uncorrectable(Region::CsrElements);
+        Err(AbftError::Uncorrectable {
+            region: Region::CsrElements,
+            index: start,
+        })
+    }
+}
+
+/// Encodes one element under SECDED64: returns the index word with the 8
+/// redundancy bits in its top byte.
+fn encode_secded64_element(value_bits: u64, col24: u32) -> u32 {
+    let payload = [value_bits, col24 as u64];
+    let red = SECDED_88.encode(&payload) as u32;
+    col24 | (red << 24)
+}
+
+/// Encodes a pair of elements under SECDED128: returns the two index words
+/// with the 9 redundancy bits split across their top bytes (8 + 1).
+fn encode_secded128_pair(values: &[f64], cols: &[u32], k: usize) -> (u32, u32) {
+    let (v1, c1) = if k + 1 < values.len() {
+        (values[k + 1].to_bits(), cols[k + 1] & COL_MASK_24)
+    } else {
+        (0, 0)
+    };
+    let c0 = cols[k] & COL_MASK_24;
+    let payload = [values[k].to_bits(), v1, c0 as u64 | ((c1 as u64) << 24)];
+    let red = SECDED_176.encode(&payload) as u32;
+    (c0 | ((red & 0xFF) << 24), c1 | (((red >> 8) & 1) << 24))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a small CSR-like structure: 3 rows with 5, 4 and 6 entries.
+    fn sample() -> (Vec<f64>, Vec<u32>, Vec<u32>) {
+        let values: Vec<f64> = (0..15).map(|i| (i as f64) * 0.37 - 2.5).collect();
+        let cols: Vec<u32> = (0..15).map(|i| (i * 7 % 13) as u32).collect();
+        let row_ptr = vec![0u32, 5, 9, 15];
+        (values, cols, row_ptr)
+    }
+
+    fn row_ranges(row_ptr: &[u32]) -> Vec<(usize, usize)> {
+        row_ptr
+            .windows(2)
+            .map(|w| (w[0] as usize, w[1] as usize))
+            .collect()
+    }
+
+    fn all_schemes() -> [EccScheme; 4] {
+        EccScheme::ALL
+    }
+
+    #[test]
+    fn encode_preserves_masked_columns_and_values() {
+        for scheme in all_schemes() {
+            let codec = ElementCodec::new(scheme, Crc32cBackend::SlicingBy16);
+            let (values, mut cols, row_ptr) = sample();
+            let original_cols = cols.clone();
+            let original_values = values.clone();
+            codec.encode(&values, &mut cols, &row_ptr).unwrap();
+            assert_eq!(values, original_values, "{scheme:?} must not touch values");
+            for (enc, orig) in cols.iter().zip(&original_cols) {
+                assert_eq!(codec.mask_col(*enc), *orig, "{scheme:?} changed an index");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_data_checks_clean() {
+        for scheme in all_schemes() {
+            let codec = ElementCodec::new(scheme, Crc32cBackend::SlicingBy16);
+            let (mut values, mut cols, row_ptr) = sample();
+            codec.encode(&values, &mut cols, &row_ptr).unwrap();
+            let log = FaultLog::new();
+            codec
+                .check_all(
+                    &mut values,
+                    &mut cols,
+                    row_ranges(&row_ptr).into_iter(),
+                    &log,
+                )
+                .unwrap();
+            assert_eq!(log.total_corrected(), 0);
+            assert_eq!(log.total_uncorrectable(), 0);
+            assert!(log.snapshot().region(Region::CsrElements).0 > 0);
+        }
+    }
+
+    #[test]
+    fn sed_detects_single_value_and_index_flips() {
+        let codec = ElementCodec::new(EccScheme::Sed, Crc32cBackend::SlicingBy16);
+        let (values, mut cols, row_ptr) = sample();
+        codec.encode(&values, &mut cols, &row_ptr).unwrap();
+        let log = FaultLog::new();
+        let mut scratch = Vec::new();
+
+        // Flip a value bit.
+        let mut v = values.clone();
+        v[2] = f64::from_bits(v[2].to_bits() ^ (1 << 33));
+        let mut c = cols.clone();
+        assert!(codec
+            .check_row(0, 5, &mut v, &mut c, &mut scratch, &log)
+            .is_err());
+
+        // Flip an index bit.
+        let mut v = values.clone();
+        let mut c = cols.clone();
+        c[3] ^= 1 << 5;
+        assert!(codec
+            .check_row(0, 5, &mut v, &mut c, &mut scratch, &log)
+            .is_err());
+        assert!(log.total_uncorrectable() >= 2);
+    }
+
+    #[test]
+    fn secded64_corrects_any_single_flip() {
+        let codec = ElementCodec::new(EccScheme::Secded64, Crc32cBackend::SlicingBy16);
+        let (values, mut cols, row_ptr) = sample();
+        codec.encode(&values, &mut cols, &row_ptr).unwrap();
+
+        // Every value bit and every index bit (payload and redundancy alike).
+        for bit in 0..96u32 {
+            let mut v = values.clone();
+            let mut c = cols.clone();
+            if bit < 64 {
+                v[7] = f64::from_bits(v[7].to_bits() ^ (1u64 << bit));
+            } else {
+                c[7] ^= 1u32 << (bit - 64);
+            }
+            let log = FaultLog::new();
+            let mut scratch = Vec::new();
+            codec
+                .check_row(5, 9, &mut v, &mut c, &mut scratch, &log)
+                .unwrap_or_else(|e| panic!("bit {bit}: {e}"));
+            assert_eq!(log.total_corrected(), 1, "bit {bit}");
+            assert_eq!(v, values, "bit {bit}: value not restored");
+            assert_eq!(
+                codec.mask_col(c[7]),
+                codec.mask_col(cols[7]),
+                "bit {bit}: index not restored"
+            );
+        }
+    }
+
+    #[test]
+    fn secded64_detects_double_flips() {
+        let codec = ElementCodec::new(EccScheme::Secded64, Crc32cBackend::SlicingBy16);
+        let (values, mut cols, row_ptr) = sample();
+        codec.encode(&values, &mut cols, &row_ptr).unwrap();
+        let mut v = values.clone();
+        v[0] = f64::from_bits(v[0].to_bits() ^ 0b11);
+        let log = FaultLog::new();
+        let mut scratch = Vec::new();
+        assert!(codec
+            .check_row(0, 5, &mut v, &mut cols.clone(), &mut scratch, &log)
+            .is_err());
+        assert_eq!(log.total_uncorrectable(), 1);
+    }
+
+    #[test]
+    fn secded128_corrects_single_flips_in_either_pair_member() {
+        let codec = ElementCodec::new(EccScheme::Secded128, Crc32cBackend::SlicingBy16);
+        let (values, mut cols, row_ptr) = sample();
+        codec.encode(&values, &mut cols, &row_ptr).unwrap();
+
+        for (k, bit) in [(0usize, 13u32), (1, 60), (2, 5), (14, 40)] {
+            let mut v = values.clone();
+            let mut c = cols.clone();
+            v[k] = f64::from_bits(v[k].to_bits() ^ (1u64 << bit));
+            let log = FaultLog::new();
+            let mut scratch = Vec::new();
+            // Check the row containing element k.
+            let (start, end) = row_ranges(&row_ptr)
+                .into_iter()
+                .find(|&(s, e)| (s..e).contains(&k))
+                .unwrap();
+            codec
+                .check_row(start, end, &mut v, &mut c, &mut scratch, &log)
+                .unwrap();
+            assert_eq!(v, values);
+            assert_eq!(log.total_corrected(), 1);
+        }
+
+        // Index flip in the odd member of a pair.
+        let mut v = values.clone();
+        let mut c = cols.clone();
+        c[3] ^= 1 << 10;
+        let log = FaultLog::new();
+        let mut scratch = Vec::new();
+        codec
+            .check_row(0, 5, &mut v, &mut c, &mut scratch, &log)
+            .unwrap();
+        assert_eq!(codec.mask_col(c[3]), codec.mask_col(cols[3]));
+        assert_eq!(log.total_corrected(), 1);
+    }
+
+    #[test]
+    fn crc_rejects_short_rows() {
+        let codec = ElementCodec::new(EccScheme::Crc32c, Crc32cBackend::SlicingBy16);
+        let values = vec![1.0, 2.0, 3.0];
+        let mut cols = vec![0u32, 1, 2];
+        let row_ptr = vec![0u32, 3];
+        assert!(matches!(
+            codec.encode(&values, &mut cols, &row_ptr),
+            Err(AbftError::RowTooShort { row: 0, entries: 3, min: 4 })
+        ));
+    }
+
+    #[test]
+    fn crc_corrects_single_flips_and_detects_triples() {
+        let codec = ElementCodec::new(EccScheme::Crc32c, Crc32cBackend::SlicingBy16);
+        let (values, mut cols, row_ptr) = sample();
+        codec.encode(&values, &mut cols, &row_ptr).unwrap();
+
+        // Single value-bit flip: corrected.
+        let mut v = values.clone();
+        let mut c = cols.clone();
+        v[10] = f64::from_bits(v[10].to_bits() ^ (1 << 51));
+        let log = FaultLog::new();
+        let mut scratch = Vec::new();
+        codec
+            .check_row(9, 15, &mut v, &mut c, &mut scratch, &log)
+            .unwrap();
+        assert_eq!(v, values);
+        assert_eq!(log.total_corrected(), 1);
+
+        // Single index-bit flip: corrected.
+        let mut v = values.clone();
+        let mut c = cols.clone();
+        c[11] ^= 1 << 3;
+        codec
+            .check_row(9, 15, &mut v, &mut c, &mut scratch, &log)
+            .unwrap();
+        assert_eq!(codec.mask_col(c[11]), codec.mask_col(cols[11]));
+
+        // Single flip in a stored checksum byte: data intact, checksum restored.
+        let mut v = values.clone();
+        let mut c = cols.clone();
+        c[9] ^= 1 << 28;
+        codec
+            .check_row(9, 15, &mut v, &mut c, &mut scratch, &log)
+            .unwrap();
+        assert_eq!(c, cols);
+
+        // Three flips: detected as uncorrectable.
+        let mut v = values.clone();
+        let mut c = cols.clone();
+        v[9] = f64::from_bits(v[9].to_bits() ^ 0b111);
+        let log = FaultLog::new();
+        assert!(codec
+            .check_row(9, 15, &mut v, &mut c, &mut scratch, &log)
+            .is_err());
+        assert_eq!(log.total_uncorrectable(), 1);
+    }
+
+    #[test]
+    fn none_scheme_is_a_no_op() {
+        let codec = ElementCodec::new(EccScheme::None, Crc32cBackend::SlicingBy16);
+        let (mut values, mut cols, row_ptr) = sample();
+        let orig = cols.clone();
+        codec.encode(&values, &mut cols, &row_ptr).unwrap();
+        assert_eq!(cols, orig);
+        let log = FaultLog::new();
+        let mut scratch = Vec::new();
+        // Corrupt freely: nothing is checked.
+        values[0] = f64::NAN;
+        cols[0] ^= 0xFFFF;
+        codec
+            .check_row(0, 5, &mut values, &mut cols, &mut scratch, &log)
+            .unwrap();
+        assert_eq!(log.snapshot().region(Region::CsrElements).0, 0);
+        assert_eq!(codec.mask_col(0xDEAD_BEEF), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn odd_length_secded128_tail_is_protected() {
+        let codec = ElementCodec::new(EccScheme::Secded128, Crc32cBackend::SlicingBy16);
+        let values: Vec<f64> = (0..5).map(|i| i as f64 + 0.5).collect();
+        let mut cols: Vec<u32> = vec![0, 1, 2, 3, 4];
+        let row_ptr = vec![0u32, 5];
+        codec.encode(&values, &mut cols, &row_ptr).unwrap();
+
+        // Flip a bit in the final (unpaired) element.
+        let mut v = values.clone();
+        let mut c = cols.clone();
+        v[4] = f64::from_bits(v[4].to_bits() ^ (1 << 20));
+        let log = FaultLog::new();
+        let mut scratch = Vec::new();
+        codec
+            .check_row(0, 5, &mut v, &mut c, &mut scratch, &log)
+            .unwrap();
+        assert_eq!(v, values);
+        assert_eq!(log.total_corrected(), 1);
+    }
+}

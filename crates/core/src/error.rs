@@ -1,0 +1,89 @@
+//! Error type for the protected structures.
+
+use crate::report::Region;
+
+/// Errors raised when constructing or using protected structures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbftError {
+    /// The matrix has too many columns for the chosen scheme (the redundancy
+    /// bits would collide with real index bits — §VI-A limits: 2³¹−1 columns
+    /// for SED, 2²⁴−1 for SECDED / CRC32C).
+    TooManyColumns { cols: usize, max: usize },
+    /// The matrix has too many non-zeros for the chosen row-pointer scheme
+    /// (2³¹−1 for SED, 2²⁸−1 otherwise).
+    TooManyNonZeros { nnz: usize, max: usize },
+    /// A matrix row has fewer stored entries than the scheme needs to embed
+    /// its redundancy (CRC32C requires at least four entries per row).
+    RowTooShort { row: usize, entries: usize, min: usize },
+    /// An uncorrectable error was detected during an integrity check.  The
+    /// solver can react (re-assemble the matrix, restart the time-step, fall
+    /// back to checkpoint-restart) instead of crashing.
+    Uncorrectable { region: Region, index: usize },
+    /// An index read from a (possibly corrupted) structure was out of range;
+    /// raised by the bounds checks that replace integrity checks between
+    /// check intervals.
+    OutOfRange { region: Region, index: usize, value: usize, limit: usize },
+    /// The requested configuration is not supported (explanatory message).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for AbftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbftError::TooManyColumns { cols, max } => {
+                write!(f, "matrix has {cols} columns but the scheme supports at most {max}")
+            }
+            AbftError::TooManyNonZeros { nnz, max } => {
+                write!(f, "matrix has {nnz} non-zeros but the scheme supports at most {max}")
+            }
+            AbftError::RowTooShort { row, entries, min } => write!(
+                f,
+                "row {row} stores {entries} entries but the scheme needs at least {min}"
+            ),
+            AbftError::Uncorrectable { region, index } => write!(
+                f,
+                "uncorrectable error detected in {} at index {index}",
+                region.label()
+            ),
+            AbftError::OutOfRange {
+                region,
+                index,
+                value,
+                limit,
+            } => write!(
+                f,
+                "bounds check failed in {} at index {index}: value {value} exceeds limit {limit}",
+                region.label()
+            ),
+            AbftError::Unsupported(msg) => write!(f, "unsupported configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AbftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AbftError::TooManyColumns { cols: 1 << 25, max: (1 << 24) - 1 };
+        assert!(e.to_string().contains("columns"));
+        let e = AbftError::TooManyNonZeros { nnz: 10, max: 5 };
+        assert!(e.to_string().contains("non-zeros"));
+        let e = AbftError::RowTooShort { row: 3, entries: 2, min: 4 };
+        assert!(e.to_string().contains("row 3"));
+        let e = AbftError::Uncorrectable { region: Region::RowPointer, index: 7 };
+        assert!(e.to_string().contains("row pointer"));
+        let e = AbftError::OutOfRange {
+            region: Region::CsrElements,
+            index: 1,
+            value: 99,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("bounds"));
+        let e = AbftError::Unsupported("because".into());
+        assert!(e.to_string().contains("because"));
+    }
+}

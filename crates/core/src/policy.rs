@@ -1,0 +1,101 @@
+//! Less frequent correctness checking (§VI-A-2).
+//!
+//! Because the sparse matrix does not change between CG iterations of one
+//! time-step, an error that appears during iteration *k* is still present at
+//! iteration *k + 1*.  The integrity checks can therefore be run only every
+//! *N*-th matrix access; the iterations in between perform only the cheap
+//! bounds checks that prevent out-of-range reads (and the segmentation
+//! faults they would cause).  The cost is detection latency — up to *N − 1*
+//! extra CG iterations before an error is noticed — and the loss of
+//! correction (a corrected value may already have contaminated earlier
+//! iterations), which is why the paper recommends pairing large intervals
+//! with detection-only codes.
+
+/// Decides which accesses perform a full integrity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckPolicy {
+    interval: u32,
+}
+
+impl Default for CheckPolicy {
+    fn default() -> Self {
+        CheckPolicy::every_access()
+    }
+}
+
+impl CheckPolicy {
+    /// Full integrity checks on every access (interval 1) — the paper's
+    /// default configuration for Figures 4, 5 and 9.
+    pub fn every_access() -> Self {
+        CheckPolicy { interval: 1 }
+    }
+
+    /// Full integrity checks every `interval`-th access, bounds checks in
+    /// between (the sweep of Figures 6–8).  An interval of 0 is clamped to 1.
+    pub fn every(interval: u32) -> Self {
+        CheckPolicy {
+            interval: interval.max(1),
+        }
+    }
+
+    /// The configured interval.
+    pub fn interval(&self) -> u32 {
+        self.interval
+    }
+
+    /// True when the access with ordinal `iteration` (0-based, e.g. the CG
+    /// iteration counter) must perform a full integrity check.
+    ///
+    /// The first access always checks, so an error present at the start of a
+    /// solve is caught immediately regardless of the interval.
+    #[inline]
+    pub fn should_check(&self, iteration: u64) -> bool {
+        iteration % self.interval as u64 == 0
+    }
+
+    /// Maximum number of accesses an error can stay undetected (the paper's
+    /// "up to N more iterations" trade-off).
+    pub fn worst_case_detection_delay(&self) -> u32 {
+        self.interval - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_access_always_checks() {
+        let p = CheckPolicy::every_access();
+        for i in 0..100 {
+            assert!(p.should_check(i));
+        }
+        assert_eq!(p.worst_case_detection_delay(), 0);
+        assert_eq!(p, CheckPolicy::default());
+    }
+
+    #[test]
+    fn interval_skips_checks_between_multiples() {
+        let p = CheckPolicy::every(4);
+        assert!(p.should_check(0));
+        assert!(!p.should_check(1));
+        assert!(!p.should_check(2));
+        assert!(!p.should_check(3));
+        assert!(p.should_check(4));
+        assert!(p.should_check(128));
+        assert_eq!(p.interval(), 4);
+        assert_eq!(p.worst_case_detection_delay(), 3);
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        assert_eq!(CheckPolicy::every(0).interval(), 1);
+    }
+
+    #[test]
+    fn check_density_matches_interval() {
+        let p = CheckPolicy::every(16);
+        let checks = (0..1600).filter(|&i| p.should_check(i)).count();
+        assert_eq!(checks, 100);
+    }
+}

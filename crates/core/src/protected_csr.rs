@@ -1,0 +1,785 @@
+//! The fully protected CSR matrix (§VI-A).
+//!
+//! [`ProtectedCsr`] owns the three CSR arrays with redundancy embedded in
+//! their spare bits — values are stored verbatim, column indices carry the
+//! element redundancy in their top bits, and the row pointer is wrapped in a
+//! [`ProtectedRowPointer`].  The sparse matrix–vector product is implemented
+//! directly on the protected representation so that integrity checks happen
+//! *inside* the memory-bandwidth-bound kernel, exactly where the paper
+//! measures their cost.
+//!
+//! Two check strengths exist per access, driven by the configured
+//! [`CheckPolicy`]: a **full check** verifies (and transiently corrects) the
+//! codewords touched, while a **bounds check** only validates that decoded
+//! indices stay inside the matrix — enough to avoid out-of-bounds reads when
+//! checks are elided between intervals (§VI-A-2).  Corrections observed
+//! during reads are recorded in the [`FaultLog`]; the storage itself is
+//! repaired by [`ProtectedCsr::scrub`], which the solver calls when the log
+//! reports corrected errors.
+
+use crate::csr_element::{ElementCodec, COL_MASK_24};
+use crate::error::AbftError;
+use crate::policy::CheckPolicy;
+use crate::report::{FaultLog, Region};
+use crate::row_pointer::ProtectedRowPointer;
+use crate::schemes::{EccScheme, ProtectionConfig};
+use crate::spmv::DenseSource;
+use abft_ecc::correction::correct_crc32c_single;
+use abft_ecc::secded::DecodeOutcome;
+use abft_ecc::sed::{parity_u32, parity_u64};
+use abft_ecc::{Crc32c, SECDED_176, SECDED_88};
+use abft_sparse::CsrMatrix;
+use rayon::prelude::*;
+
+/// A CSR matrix whose elements and row pointer carry embedded software ECC.
+#[derive(Debug, Clone)]
+pub struct ProtectedCsr {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    values: Vec<f64>,
+    col_indices: Vec<u32>,
+    row_pointer: ProtectedRowPointer,
+    codec: ElementCodec,
+    crc: Crc32c,
+    policy: CheckPolicy,
+    config: ProtectionConfig,
+}
+
+impl ProtectedCsr {
+    /// Encodes a plain CSR matrix under `config`.
+    ///
+    /// Fails when the matrix exceeds the scheme's dimension limits or (for
+    /// CRC32C element protection) has rows with fewer than four entries.
+    pub fn from_csr(matrix: &CsrMatrix, config: &ProtectionConfig) -> Result<Self, AbftError> {
+        if config.elements != EccScheme::None && matrix.cols() > config.elements.max_columns() {
+            return Err(AbftError::TooManyColumns {
+                cols: matrix.cols(),
+                max: config.elements.max_columns(),
+            });
+        }
+        let codec = ElementCodec::new(config.elements, config.crc_backend);
+        let mut col_indices = matrix.col_indices().to_vec();
+        codec.encode(matrix.values(), &mut col_indices, matrix.row_pointer())?;
+        let row_pointer = ProtectedRowPointer::encode(
+            matrix.row_pointer(),
+            config.row_pointer,
+            config.crc_backend,
+        )?;
+        Ok(ProtectedCsr {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            nnz: matrix.nnz(),
+            values: matrix.values().to_vec(),
+            col_indices,
+            row_pointer,
+            codec,
+            crc: Crc32c::new(config.crc_backend),
+            policy: CheckPolicy::every(config.check_interval),
+            config: *config,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The protection configuration this matrix was encoded with.
+    pub fn config(&self) -> &ProtectionConfig {
+        &self.config
+    }
+
+    /// The check policy derived from the configuration.
+    pub fn policy(&self) -> CheckPolicy {
+        self.policy
+    }
+
+    /// The protected row pointer.
+    pub fn row_pointer(&self) -> &ProtectedRowPointer {
+        &self.row_pointer
+    }
+
+    /// Raw stored values (no redundancy lives here; exposed for fault
+    /// injection and tests).
+    pub fn raw_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Raw encoded column indices (redundancy in the top bits).
+    pub fn raw_col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Flips one bit of a stored value (fault injection hook).
+    pub fn inject_value_bit_flip(&mut self, k: usize, bit: u32) {
+        self.values[k] = f64::from_bits(self.values[k].to_bits() ^ (1u64 << bit));
+    }
+
+    /// Flips one bit of a stored (encoded) column index.
+    pub fn inject_col_bit_flip(&mut self, k: usize, bit: u32) {
+        self.col_indices[k] ^= 1u32 << bit;
+    }
+
+    /// Flips one bit of a stored (encoded) row-pointer entry.
+    pub fn inject_row_pointer_bit_flip(&mut self, entry: usize, bit: u32) {
+        self.row_pointer.inject_bit_flip(entry, bit);
+    }
+
+    /// Decodes the matrix back into a plain [`CsrMatrix`] (masked, unchecked).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let cols: Vec<u32> = self
+            .col_indices
+            .iter()
+            .map(|&c| self.codec.mask_col(c))
+            .collect();
+        CsrMatrix::from_raw(
+            self.rows,
+            self.cols,
+            self.values.clone(),
+            cols,
+            self.row_pointer.to_plain(),
+        )
+    }
+
+    /// The decoded element range of `row` (checked or bounds-checked per
+    /// `check`).
+    pub fn row_range(
+        &self,
+        row: usize,
+        check: bool,
+        log: &FaultLog,
+    ) -> Result<(usize, usize), AbftError> {
+        self.row_pointer.row_range(row, check, log)
+    }
+
+    /// Sparse matrix–vector product `y = A x` on the protected
+    /// representation (serial).
+    ///
+    /// `x` may be a plain slice or a [`crate::ProtectedVector`] (any
+    /// [`DenseSource`]); `iteration` drives the check policy: full integrity
+    /// checks run when `policy.should_check(iteration)`, bounds checks
+    /// otherwise.
+    pub fn spmv<X: DenseSource + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        assert_eq!(x.length(), self.cols, "spmv: x has wrong length");
+        assert_eq!(y.len(), self.rows, "spmv: y has wrong length");
+        let check = self.policy.should_check(iteration);
+        let mut scratch = Vec::new();
+        for (row, yi) in y.iter_mut().enumerate() {
+            let (start, end) = self.row_range(row, check, log)?;
+            *yi = self.row_product(start, end, x, check, &mut scratch, log)?;
+        }
+        Ok(())
+    }
+
+    /// Rayon-parallel sparse matrix–vector product (one task per row chunk,
+    /// matching the one-thread-per-row structure of the paper's OpenMP and
+    /// CUDA kernels).
+    pub fn spmv_parallel<X: DenseSource + Sync + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        assert_eq!(x.length(), self.cols, "spmv: x has wrong length");
+        assert_eq!(y.len(), self.rows, "spmv: y has wrong length");
+        let check = self.policy.should_check(iteration);
+        y.par_iter_mut()
+            .enumerate()
+            .try_for_each_init(Vec::new, |scratch, (row, yi)| {
+                let (start, end) = self.row_range(row, check, log)?;
+                *yi = self.row_product(start, end, x, check, scratch, log)?;
+                Ok(())
+            })
+    }
+
+    /// Dispatches to the serial or parallel SpMV according to the
+    /// configuration.
+    pub fn spmv_auto<X: DenseSource + Sync + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        if self.config.parallel {
+            self.spmv_parallel(x, y, iteration, log)
+        } else {
+            self.spmv(x, y, iteration, log)
+        }
+    }
+
+    /// Verifies every codeword of the matrix (elements and row pointer)
+    /// without modifying storage.  This is the whole-matrix check the paper
+    /// performs at the end of each time-step.
+    pub fn verify_all(&self, log: &FaultLog) -> Result<(), AbftError> {
+        self.row_pointer.check_all(log)?;
+        if self.config.elements == EccScheme::None {
+            return Ok(());
+        }
+        let mut scratch = Vec::new();
+        if self.config.elements == EccScheme::Crc32c {
+            // Row-granular codewords need the row boundaries.
+            let plain = self.row_pointer.to_plain();
+            for row in 0..self.rows {
+                let (start, end) = (plain[row] as usize, plain[row + 1] as usize);
+                self.verify_row(start, end, &mut scratch, log)?;
+            }
+        } else {
+            // Element- and pair-granular codewords are independent of the row
+            // structure; one pass over the element range checks each codeword
+            // exactly once.
+            self.verify_row(0, self.nnz, &mut scratch, log)?;
+        }
+        Ok(())
+    }
+
+    /// Re-verifies every codeword and repairs correctable errors in place.
+    /// Returns the number of corrected codewords.
+    pub fn scrub(&mut self, log: &FaultLog) -> Result<usize, AbftError> {
+        let repaired_rp = self.row_pointer.scrub(log)?;
+        let before = log.total_corrected();
+        let plain = self.row_pointer.to_plain();
+        let ranges: Vec<(usize, usize)> = plain
+            .windows(2)
+            .map(|w| (w[0] as usize, w[1] as usize))
+            .collect();
+        self.codec.check_all(
+            &mut self.values,
+            &mut self.col_indices,
+            ranges.into_iter(),
+            log,
+        )?;
+        let corrected_elements = (log.total_corrected() - before) as usize;
+        Ok(repaired_rp + corrected_elements)
+    }
+
+    /// Computes one row's contribution to the SpMV, performing either full
+    /// integrity checks (with transient correction) or bounds checks.
+    pub(crate) fn row_product<X: DenseSource + ?Sized>(
+        &self,
+        start: usize,
+        end: usize,
+        x: &X,
+        check: bool,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<f64, AbftError> {
+        if !check || self.config.elements == EccScheme::None {
+            return self.row_product_bounds_only(start, end, x, log);
+        }
+        let mut acc = 0.0;
+        // One bulk counter update per row keeps the atomic bookkeeping out of
+        // the per-element hot path.
+        log.record_checks(Region::CsrElements, (end - start) as u64);
+        match self.config.elements {
+            EccScheme::None => unreachable!(),
+            EccScheme::Sed => {
+                for k in start..end {
+                    if parity_u64(self.values[k].to_bits()) ^ parity_u32(self.col_indices[k]) != 0
+                    {
+                        log.record_uncorrectable(Region::CsrElements);
+                        return Err(AbftError::Uncorrectable {
+                            region: Region::CsrElements,
+                            index: k,
+                        });
+                    }
+                    let col = (self.col_indices[k] & crate::csr_element::COL_MASK_31) as usize;
+                    acc += self.values[k] * self.checked_x(x, col, k, log)?;
+                }
+            }
+            EccScheme::Secded64 => {
+                for k in start..end {
+                    let (value, col) = self.checked_element_secded64(k, log)?;
+                    acc += value * self.checked_x(x, col as usize, k, log)?;
+                }
+            }
+            EccScheme::Secded128 => {
+                let mut k = start;
+                while k < end {
+                    let pair = k & !1;
+                    let (values, cols) = self.checked_pair_secded128(pair, log)?;
+                    for (m, (&v, &c)) in values.iter().zip(cols.iter()).enumerate() {
+                        let idx = pair + m;
+                        if idx >= start && idx < end {
+                            acc += v * self.checked_x(x, c as usize, idx, log)?;
+                        }
+                    }
+                    k = pair + 2;
+                }
+            }
+            EccScheme::Crc32c => {
+                let correction = self.checked_row_crc(start, end, scratch, log)?;
+                for k in start..end {
+                    let (mut value, mut col) =
+                        (self.values[k], (self.col_indices[k] & COL_MASK_24) as u64);
+                    if let Some((elem, vbits, cbits)) = correction {
+                        if start + elem == k {
+                            value = f64::from_bits(vbits);
+                            col = cbits as u64;
+                        }
+                    }
+                    acc += value * self.checked_x(x, col as usize, k, log)?;
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    /// The interval-skipped variant of the row product: only range checks on
+    /// the decoded column indices.
+    fn row_product_bounds_only<X: DenseSource + ?Sized>(
+        &self,
+        start: usize,
+        end: usize,
+        x: &X,
+        log: &FaultLog,
+    ) -> Result<f64, AbftError> {
+        let mut acc = 0.0;
+        for k in start..end {
+            let col = self.codec.mask_col(self.col_indices[k]) as usize;
+            acc += self.values[k] * self.checked_x(x, col, k, log)?;
+        }
+        Ok(acc)
+    }
+
+    /// Bounds-checked read of the input vector (prevents the segmentation
+    /// faults the paper's range checks exist to stop).
+    #[inline]
+    fn checked_x<X: DenseSource + ?Sized>(
+        &self,
+        x: &X,
+        col: usize,
+        k: usize,
+        log: &FaultLog,
+    ) -> Result<f64, AbftError> {
+        if col >= x.length() {
+            log.record_bounds_violation(Region::CsrElements);
+            return Err(AbftError::OutOfRange {
+                region: Region::CsrElements,
+                index: k,
+                value: col,
+                limit: x.length(),
+            });
+        }
+        Ok(x.value(col))
+    }
+
+    /// Non-mutating SECDED64 element check; returns the (transiently
+    /// corrected) value and masked column index.
+    #[inline]
+    fn checked_element_secded64(&self, k: usize, log: &FaultLog) -> Result<(f64, u32), AbftError> {
+        let stored = (self.col_indices[k] >> 24) as u16;
+        let mut payload = [
+            self.values[k].to_bits(),
+            (self.col_indices[k] & COL_MASK_24) as u64,
+        ];
+        match SECDED_88.check_and_correct(&mut payload, stored) {
+            DecodeOutcome::NoError => {}
+            DecodeOutcome::CorrectedData(_) | DecodeOutcome::CorrectedRedundancy => {
+                log.record_corrected(Region::CsrElements);
+            }
+            DecodeOutcome::Uncorrectable => {
+                log.record_uncorrectable(Region::CsrElements);
+                return Err(AbftError::Uncorrectable {
+                    region: Region::CsrElements,
+                    index: k,
+                });
+            }
+        }
+        Ok((f64::from_bits(payload[0]), payload[1] as u32 & COL_MASK_24))
+    }
+
+    /// Non-mutating SECDED128 pair check; returns corrected values and masked
+    /// column indices for elements `pair` and `pair + 1`.
+    fn checked_pair_secded128(
+        &self,
+        pair: usize,
+        log: &FaultLog,
+    ) -> Result<([f64; 2], [u32; 2]), AbftError> {
+        if pair + 1 >= self.values.len() {
+            let (v, c) = self.checked_element_secded64(pair, log)?;
+            return Ok(([v, 0.0], [c, 0]));
+        }
+        let c0 = self.col_indices[pair];
+        let c1 = self.col_indices[pair + 1];
+        if c1 & 0xFE00_0000 != 0 {
+            log.record_corrected(Region::CsrElements);
+        }
+        let stored = ((c0 >> 24) as u16) | ((((c1 >> 24) & 1) as u16) << 8);
+        let mut payload = [
+            self.values[pair].to_bits(),
+            self.values[pair + 1].to_bits(),
+            ((c0 & COL_MASK_24) as u64) | (((c1 & COL_MASK_24) as u64) << 24),
+        ];
+        match SECDED_176.check_and_correct(&mut payload, stored) {
+            DecodeOutcome::NoError => {}
+            DecodeOutcome::CorrectedData(_) | DecodeOutcome::CorrectedRedundancy => {
+                log.record_corrected(Region::CsrElements);
+            }
+            DecodeOutcome::Uncorrectable => {
+                log.record_uncorrectable(Region::CsrElements);
+                return Err(AbftError::Uncorrectable {
+                    region: Region::CsrElements,
+                    index: pair,
+                });
+            }
+        }
+        Ok((
+            [f64::from_bits(payload[0]), f64::from_bits(payload[1])],
+            [
+                payload[2] as u32 & COL_MASK_24,
+                (payload[2] >> 24) as u32 & COL_MASK_24,
+            ],
+        ))
+    }
+
+    /// Non-mutating CRC32C row check.  Returns `Ok(None)` when the row is
+    /// clean, `Ok(Some((element, value_bits, col)))` when a single flip was
+    /// located (transient correction to apply while reading), and an error
+    /// when the row is uncorrectable.
+    fn checked_row_crc(
+        &self,
+        start: usize,
+        end: usize,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<Option<(usize, u64, u32)>, AbftError> {
+        scratch.clear();
+        for k in start..end {
+            scratch.extend_from_slice(&self.values[k].to_bits().to_le_bytes());
+            scratch.extend_from_slice(&(self.col_indices[k] & COL_MASK_24).to_le_bytes());
+        }
+        let computed = self.crc.checksum(scratch);
+        let stored = u32::from_le_bytes([
+            (self.col_indices[start] >> 24) as u8,
+            (self.col_indices[start + 1] >> 24) as u8,
+            (self.col_indices[start + 2] >> 24) as u8,
+            (self.col_indices[start + 3] >> 24) as u8,
+        ]);
+        if computed == stored {
+            return Ok(None);
+        }
+        if (computed ^ stored).count_ones() == 1 {
+            // The stored checksum itself took the hit; the data is intact.
+            log.record_corrected(Region::CsrElements);
+            return Ok(None);
+        }
+        if let Some(bit) = correct_crc32c_single(&self.crc, scratch, stored) {
+            let element = bit / 96;
+            let offset = bit % 96;
+            if offset < 88 {
+                log.record_corrected(Region::CsrElements);
+                let k = start + element;
+                let mut vbits = self.values[k].to_bits();
+                let mut col = self.col_indices[k] & COL_MASK_24;
+                if offset < 64 {
+                    vbits ^= 1u64 << offset;
+                } else {
+                    col ^= 1u32 << (offset - 64);
+                }
+                return Ok(Some((element, vbits, col)));
+            }
+        }
+        log.record_uncorrectable(Region::CsrElements);
+        Err(AbftError::Uncorrectable {
+            region: Region::CsrElements,
+            index: start,
+        })
+    }
+
+    /// Non-mutating verification of one row's elements (used by
+    /// [`ProtectedCsr::verify_all`]).
+    fn verify_row(
+        &self,
+        start: usize,
+        end: usize,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        match self.config.elements {
+            EccScheme::None => Ok(()),
+            EccScheme::Sed => {
+                for k in start..end {
+                    log.record_check(Region::CsrElements);
+                    if parity_u64(self.values[k].to_bits()) ^ parity_u32(self.col_indices[k]) != 0
+                    {
+                        log.record_uncorrectable(Region::CsrElements);
+                        return Err(AbftError::Uncorrectable {
+                            region: Region::CsrElements,
+                            index: k,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            EccScheme::Secded64 => {
+                for k in start..end {
+                    log.record_check(Region::CsrElements);
+                    self.checked_element_secded64(k, log)?;
+                }
+                Ok(())
+            }
+            EccScheme::Secded128 => {
+                let mut k = start & !1;
+                while k < end {
+                    log.record_check(Region::CsrElements);
+                    self.checked_pair_secded128(k, log)?;
+                    k += 2;
+                }
+                Ok(())
+            }
+            EccScheme::Crc32c => {
+                log.record_check(Region::CsrElements);
+                self.checked_row_crc(start, end, scratch, log).map(|_| ())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_ecc::Crc32cBackend;
+    use abft_sparse::builders::poisson_2d;
+    use abft_sparse::Vector;
+
+    fn config(elements: EccScheme, row_pointer: EccScheme) -> ProtectionConfig {
+        ProtectionConfig {
+            elements,
+            row_pointer,
+            vectors: EccScheme::None,
+            check_interval: 1,
+            crc_backend: Crc32cBackend::SlicingBy16,
+            parallel: false,
+        }
+    }
+
+    /// A Poisson matrix padded so every row has at least four entries (the
+    /// CRC32C requirement); mirrors TeaLeaf's always-five-entry rows.
+    fn test_matrix() -> CsrMatrix {
+        abft_sparse::builders::pad_rows_to_min_entries(&poisson_2d(12, 9), 4)
+    }
+
+    fn reference_spmv(m: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; m.rows()];
+        abft_sparse::spmv::spmv_serial(m, x, &mut y);
+        y
+    }
+
+    #[test]
+    fn spmv_matches_unprotected_for_all_schemes() {
+        let m = test_matrix();
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.13).cos()).collect();
+        let expected = reference_spmv(&m, &x);
+        for elements in [EccScheme::None, EccScheme::Sed, EccScheme::Secded64, EccScheme::Secded128, EccScheme::Crc32c] {
+            for row_pointer in [EccScheme::None, EccScheme::Sed, EccScheme::Secded64, EccScheme::Crc32c] {
+                let p = ProtectedCsr::from_csr(&m, &config(elements, row_pointer)).unwrap();
+                let log = FaultLog::new();
+                let mut y = vec![0.0; m.rows()];
+                p.spmv(&x, &mut y, 0, &log).unwrap();
+                assert_eq!(y, expected, "{elements:?}/{row_pointer:?}");
+                // Parallel kernel agrees.
+                let mut y2 = vec![0.0; m.rows()];
+                p.spmv_parallel(&x, &mut y2, 0, &log).unwrap();
+                assert_eq!(y2, expected, "{elements:?}/{row_pointer:?} parallel");
+                // Interval-skipped iteration agrees too.
+                let p2 = ProtectedCsr::from_csr(
+                    &m,
+                    &config(elements, row_pointer).with_check_interval(8),
+                )
+                .unwrap();
+                let mut y3 = vec![0.0; m.rows()];
+                p2.spmv(&x, &mut y3, 3, &log).unwrap();
+                assert_eq!(y3, expected, "{elements:?}/{row_pointer:?} skipped");
+                assert_eq!(log.total_corrected() + log.total_uncorrectable(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_to_csr() {
+        let m = test_matrix();
+        for elements in EccScheme::ALL {
+            let p = ProtectedCsr::from_csr(&m, &config(elements, EccScheme::Secded64)).unwrap();
+            assert_eq!(p.to_csr(), m, "{elements:?}");
+            assert_eq!(p.rows(), m.rows());
+            assert_eq!(p.cols(), m.cols());
+            assert_eq!(p.nnz(), m.nnz());
+        }
+    }
+
+    #[test]
+    fn dimension_limits_are_enforced() {
+        // A matrix with 2^24 columns exceeds the SECDED/CRC limit but not SED's.
+        let cols = (1usize << 24) + 1;
+        let m = CsrMatrix::try_new(
+            1,
+            cols,
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![0, 1, 2, cols as u32 - 1],
+            vec![0, 4],
+        )
+        .unwrap();
+        assert!(ProtectedCsr::from_csr(&m, &config(EccScheme::Sed, EccScheme::None)).is_ok());
+        assert!(matches!(
+            ProtectedCsr::from_csr(&m, &config(EccScheme::Secded64, EccScheme::None)),
+            Err(AbftError::TooManyColumns { .. })
+        ));
+        assert!(matches!(
+            ProtectedCsr::from_csr(&m, &config(EccScheme::Crc32c, EccScheme::None)),
+            Err(AbftError::TooManyColumns { .. })
+        ));
+    }
+
+    #[test]
+    fn value_flips_are_corrected_transiently_and_scrubbed() {
+        let m = test_matrix();
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let expected = reference_spmv(&m, &x);
+        for elements in [EccScheme::Secded64, EccScheme::Secded128, EccScheme::Crc32c] {
+            let mut p = ProtectedCsr::from_csr(&m, &config(elements, EccScheme::None)).unwrap();
+            p.inject_value_bit_flip(17, 44);
+            let log = FaultLog::new();
+            let mut y = vec![0.0; m.rows()];
+            // The product is still exact because the correction is applied on read.
+            p.spmv(&x, &mut y, 0, &log).unwrap();
+            assert_eq!(y, expected, "{elements:?}");
+            assert!(log.total_corrected() > 0, "{elements:?}");
+            // Scrub repairs storage.
+            let repaired = p.scrub(&log).unwrap();
+            assert!(repaired > 0, "{elements:?}");
+            assert_eq!(p.to_csr(), m, "{elements:?}");
+            let log2 = FaultLog::new();
+            p.verify_all(&log2).unwrap();
+            assert_eq!(log2.total_corrected(), 0, "{elements:?}");
+        }
+    }
+
+    #[test]
+    fn sed_detects_but_cannot_correct() {
+        let m = test_matrix();
+        let x = vec![1.0; m.cols()];
+        let mut p = ProtectedCsr::from_csr(&m, &config(EccScheme::Sed, EccScheme::None)).unwrap();
+        p.inject_value_bit_flip(5, 10);
+        let log = FaultLog::new();
+        let mut y = vec![0.0; m.rows()];
+        assert!(p.spmv(&x, &mut y, 0, &log).is_err());
+        assert!(log.total_uncorrectable() > 0);
+        assert!(p.verify_all(&log).is_err());
+    }
+
+    #[test]
+    fn col_index_flips_are_handled() {
+        let m = test_matrix();
+        let x: Vec<f64> = (0..m.cols()).map(|i| i as f64).collect();
+        let expected = reference_spmv(&m, &x);
+        for elements in [EccScheme::Secded64, EccScheme::Crc32c] {
+            let mut p = ProtectedCsr::from_csr(&m, &config(elements, EccScheme::None)).unwrap();
+            p.inject_col_bit_flip(23, 2);
+            let log = FaultLog::new();
+            let mut y = vec![0.0; m.rows()];
+            p.spmv(&x, &mut y, 0, &log).unwrap();
+            assert_eq!(y, expected, "{elements:?}");
+            assert!(log.total_corrected() > 0);
+        }
+    }
+
+    #[test]
+    fn bounds_checks_catch_wild_indices_when_checks_are_skipped() {
+        let m = test_matrix();
+        let x = vec![1.0; m.cols()];
+        // interval 100: iteration 1 will not run full checks.
+        let cfg = config(EccScheme::Secded64, EccScheme::None).with_check_interval(100);
+        let mut p = ProtectedCsr::from_csr(&m, &cfg).unwrap();
+        // Flip a high column-index bit: the masked value becomes out of range.
+        p.inject_col_bit_flip(40, 23);
+        let log = FaultLog::new();
+        let mut y = vec![0.0; m.rows()];
+        let result = p.spmv(&x, &mut y, 1, &log);
+        assert!(result.is_err());
+        assert!(log.total_bounds_violations() > 0);
+        // The same corruption on a checked iteration is corrected instead.
+        let log2 = FaultLog::new();
+        p.spmv(&x, &mut y, 0, &log2).unwrap();
+        assert!(log2.total_corrected() > 0);
+    }
+
+    #[test]
+    fn row_pointer_corruption_is_caught() {
+        let m = test_matrix();
+        let x = vec![1.0; m.cols()];
+        let expected = reference_spmv(&m, &x);
+        let mut p =
+            ProtectedCsr::from_csr(&m, &config(EccScheme::None, EccScheme::Secded64)).unwrap();
+        p.inject_row_pointer_bit_flip(7, 9);
+        let log = FaultLog::new();
+        let mut y = vec![0.0; m.rows()];
+        p.spmv(&x, &mut y, 0, &log).unwrap();
+        assert_eq!(y, expected);
+        assert!(log.total_corrected() > 0);
+        let repaired = p.scrub(&log).unwrap();
+        assert_eq!(repaired, 1);
+    }
+
+    #[test]
+    fn double_flip_is_reported_uncorrectable() {
+        let m = test_matrix();
+        let x = vec![1.0; m.cols()];
+        let mut p =
+            ProtectedCsr::from_csr(&m, &config(EccScheme::Secded64, EccScheme::None)).unwrap();
+        p.inject_value_bit_flip(8, 3);
+        p.inject_value_bit_flip(8, 40);
+        let log = FaultLog::new();
+        let mut y = vec![0.0; m.rows()];
+        let err = p.spmv(&x, &mut y, 0, &log).unwrap_err();
+        assert!(matches!(err, AbftError::Uncorrectable { region: Region::CsrElements, .. }));
+        assert!(log.total_uncorrectable() > 0);
+    }
+
+    #[test]
+    fn spmv_auto_respects_parallel_flag() {
+        let m = test_matrix();
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i % 7) as f64).collect();
+        let expected = reference_spmv(&m, &x);
+        let mut cfg = config(EccScheme::Secded64, EccScheme::Sed);
+        cfg.parallel = true;
+        let p = ProtectedCsr::from_csr(&m, &cfg).unwrap();
+        let log = FaultLog::new();
+        let mut y = vec![0.0; m.rows()];
+        p.spmv_auto(&x, &mut y, 0, &log).unwrap();
+        assert_eq!(y, expected);
+        assert_eq!(p.config().elements, EccScheme::Secded64);
+        assert_eq!(p.policy().interval(), 1);
+    }
+
+    #[test]
+    fn spmv_vector_matches_via_vector_wrapper() {
+        // Convenience check that the Vector type can drive the protected SpMV.
+        let m = test_matrix();
+        let x = Vector::from_fn(m.cols(), |i| (i as f64).sqrt());
+        let p = ProtectedCsr::from_csr(&m, &config(EccScheme::Crc32c, EccScheme::Crc32c)).unwrap();
+        let log = FaultLog::new();
+        let mut y = Vector::zeros(m.rows());
+        p.spmv(x.as_slice(), y.as_mut_slice(), 0, &log).unwrap();
+        let expected = reference_spmv(&m, x.as_slice());
+        assert_eq!(y.as_slice(), expected.as_slice());
+    }
+}

@@ -1,0 +1,287 @@
+//! Fault reporting.
+//!
+//! Every integrity check performed by the protected structures records its
+//! outcome in a [`FaultLog`].  The log distinguishes the paper's three error
+//! classes — detected-and-corrected (DCE), detected-but-uncorrectable (DUE)
+//! and, by elimination, silent corruptions (which never appear here) — per
+//! protected region, and additionally counts the range violations caught by
+//! the bounds checks that replace full integrity checks between check
+//! intervals (§VI-A-2).
+//!
+//! Counters are atomic so the Rayon-parallel kernels can share one log
+//! without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The protected region an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// CSR values + column indices.
+    CsrElements,
+    /// CSR row-pointer vector.
+    RowPointer,
+    /// A dense floating-point vector.
+    DenseVector,
+}
+
+impl Region {
+    /// All regions, used for iteration in reports.
+    pub const ALL: [Region; 3] = [Region::CsrElements, Region::RowPointer, Region::DenseVector];
+
+    /// Human-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::CsrElements => "CSR elements",
+            Region::RowPointer => "row pointer",
+            Region::DenseVector => "dense vector",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegionCounters {
+    checks: AtomicU64,
+    corrected: AtomicU64,
+    uncorrectable: AtomicU64,
+    bounds_violations: AtomicU64,
+}
+
+/// Shared, thread-safe record of everything the integrity checks observed.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    regions: [RegionCounters; 3],
+}
+
+/// A plain-data snapshot of a [`FaultLog`], suitable for printing or
+/// serialising.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLogSnapshot {
+    /// Number of integrity checks performed (per region, indexed by
+    /// [`Region::ALL`] order).
+    pub checks: [u64; 3],
+    /// Errors detected and corrected in place.
+    pub corrected: [u64; 3],
+    /// Errors detected but not correctable.
+    pub uncorrectable: [u64; 3],
+    /// Out-of-range indices caught by the bounds checks used between full
+    /// integrity checks.
+    pub bounds_violations: [u64; 3],
+}
+
+impl FaultLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        FaultLog::default()
+    }
+
+    #[inline]
+    fn idx(region: Region) -> usize {
+        match region {
+            Region::CsrElements => 0,
+            Region::RowPointer => 1,
+            Region::DenseVector => 2,
+        }
+    }
+
+    /// Records that an integrity check was performed.
+    #[inline]
+    pub fn record_check(&self, region: Region) {
+        self.regions[Self::idx(region)]
+            .checks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` integrity checks at once (used by bulk kernels).
+    #[inline]
+    pub fn record_checks(&self, region: Region, n: u64) {
+        self.regions[Self::idx(region)]
+            .checks
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a detected-and-corrected error.
+    #[inline]
+    pub fn record_corrected(&self, region: Region) {
+        self.regions[Self::idx(region)]
+            .corrected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a detected but uncorrectable error.
+    #[inline]
+    pub fn record_uncorrectable(&self, region: Region) {
+        self.regions[Self::idx(region)]
+            .uncorrectable
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an out-of-range index caught by a bounds check.
+    #[inline]
+    pub fn record_bounds_violation(&self, region: Region) {
+        self.regions[Self::idx(region)]
+            .bounds_violations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of corrected errors across all regions.
+    pub fn total_corrected(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.corrected.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of uncorrectable errors across all regions.
+    pub fn total_uncorrectable(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.uncorrectable.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of bounds violations across all regions.
+    pub fn total_bounds_violations(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.bounds_violations.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// True when any error (correctable or not) or bounds violation was seen.
+    pub fn any_error(&self) -> bool {
+        self.total_corrected() + self.total_uncorrectable() + self.total_bounds_violations() > 0
+    }
+
+    /// Takes a plain-data snapshot of the counters.
+    pub fn snapshot(&self) -> FaultLogSnapshot {
+        let mut snap = FaultLogSnapshot::default();
+        for (i, r) in self.regions.iter().enumerate() {
+            snap.checks[i] = r.checks.load(Ordering::Relaxed);
+            snap.corrected[i] = r.corrected.load(Ordering::Relaxed);
+            snap.uncorrectable[i] = r.uncorrectable.load(Ordering::Relaxed);
+            snap.bounds_violations[i] = r.bounds_violations.load(Ordering::Relaxed);
+        }
+        snap
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for r in &self.regions {
+            r.checks.store(0, Ordering::Relaxed);
+            r.corrected.store(0, Ordering::Relaxed);
+            r.uncorrectable.store(0, Ordering::Relaxed);
+            r.bounds_violations.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl FaultLogSnapshot {
+    /// Counter values for one region.
+    pub fn region(&self, region: Region) -> (u64, u64, u64, u64) {
+        let i = FaultLog::idx(region);
+        (
+            self.checks[i],
+            self.corrected[i],
+            self.uncorrectable[i],
+            self.bounds_violations[i],
+        )
+    }
+
+    /// Total corrected errors.
+    pub fn total_corrected(&self) -> u64 {
+        self.corrected.iter().sum()
+    }
+
+    /// Total uncorrectable errors.
+    pub fn total_uncorrectable(&self) -> u64 {
+        self.uncorrectable.iter().sum()
+    }
+}
+
+impl std::fmt::Display for FaultLogSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for region in Region::ALL {
+            let (checks, corrected, uncorrectable, bounds) = self.region(region);
+            writeln!(
+                f,
+                "{:>13}: {} checks, {} corrected, {} uncorrectable, {} bounds violations",
+                region.label(),
+                checks,
+                corrected,
+                uncorrectable,
+                bounds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_region() {
+        let log = FaultLog::new();
+        log.record_check(Region::CsrElements);
+        log.record_checks(Region::CsrElements, 4);
+        log.record_corrected(Region::CsrElements);
+        log.record_uncorrectable(Region::RowPointer);
+        log.record_bounds_violation(Region::DenseVector);
+
+        let snap = log.snapshot();
+        assert_eq!(snap.region(Region::CsrElements), (5, 1, 0, 0));
+        assert_eq!(snap.region(Region::RowPointer), (0, 0, 1, 0));
+        assert_eq!(snap.region(Region::DenseVector), (0, 0, 0, 1));
+        assert_eq!(log.total_corrected(), 1);
+        assert_eq!(log.total_uncorrectable(), 1);
+        assert_eq!(log.total_bounds_violations(), 1);
+        assert!(log.any_error());
+        assert_eq!(snap.total_corrected(), 1);
+        assert_eq!(snap.total_uncorrectable(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let log = FaultLog::new();
+        log.record_corrected(Region::DenseVector);
+        log.reset();
+        assert!(!log.any_error());
+        assert_eq!(log.snapshot(), FaultLogSnapshot::default());
+    }
+
+    #[test]
+    fn clean_log_reports_no_errors() {
+        let log = FaultLog::new();
+        log.record_check(Region::CsrElements);
+        assert!(!log.any_error());
+    }
+
+    #[test]
+    fn display_lists_every_region() {
+        let log = FaultLog::new();
+        log.record_corrected(Region::RowPointer);
+        let text = log.snapshot().to_string();
+        assert!(text.contains("CSR elements"));
+        assert!(text.contains("row pointer"));
+        assert!(text.contains("dense vector"));
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let log = FaultLog::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        log.record_check(Region::CsrElements);
+                        log.record_corrected(Region::DenseVector);
+                    }
+                });
+            }
+        });
+        let snap = log.snapshot();
+        assert_eq!(snap.region(Region::CsrElements).0, 4000);
+        assert_eq!(snap.region(Region::DenseVector).1, 4000);
+    }
+}

@@ -1,0 +1,153 @@
+//! Small bit-manipulation helpers shared by the codecs.
+//!
+//! All codecs in this crate view their payload as a little-endian bit string
+//! over a slice of `u64` words: *data bit `k`* is bit `k % 64` of word
+//! `k / 64`.  The helpers here get/set/flip individual bits in that view and
+//! provide the masked extraction used when redundancy bits are embedded in
+//! the payload itself.
+
+/// Returns data bit `bit` (0-indexed, little-endian across words).
+#[inline]
+pub fn get_bit(words: &[u64], bit: usize) -> bool {
+    (words[bit / 64] >> (bit % 64)) & 1 == 1
+}
+
+/// Sets data bit `bit` to `value`.
+#[inline]
+pub fn set_bit(words: &mut [u64], bit: usize, value: bool) {
+    let mask = 1u64 << (bit % 64);
+    if value {
+        words[bit / 64] |= mask;
+    } else {
+        words[bit / 64] &= !mask;
+    }
+}
+
+/// Flips data bit `bit`.
+#[inline]
+pub fn flip_bit(words: &mut [u64], bit: usize) {
+    words[bit / 64] ^= 1u64 << (bit % 64);
+}
+
+/// Returns a `u64` whose low `n` bits are ones (`n == 64` gives all ones).
+#[inline]
+pub fn low_mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Returns a `u32` whose low `n` bits are ones (`n == 32` gives all ones).
+#[inline]
+pub fn low_mask_u32(n: u32) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// Counts the total number of set bits across a word slice.
+#[inline]
+pub fn popcount_words(words: &[u64]) -> u32 {
+    words.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Hamming distance between two equal-length word slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn hamming_distance(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "hamming_distance: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// Extracts `len` bits starting at bit `start` from the word view as a `u64`
+/// (`len <= 64`).
+#[inline]
+pub fn extract_bits(words: &[u64], start: usize, len: u32) -> u64 {
+    debug_assert!(len <= 64);
+    let mut out = 0u64;
+    for i in 0..len as usize {
+        if get_bit(words, start + i) {
+            out |= 1u64 << i;
+        }
+    }
+    out
+}
+
+/// Writes the low `len` bits of `value` into the word view starting at bit
+/// `start`.
+#[inline]
+pub fn insert_bits(words: &mut [u64], start: usize, len: u32, value: u64) {
+    debug_assert!(len <= 64);
+    for i in 0..len as usize {
+        set_bit(words, start + i, (value >> i) & 1 == 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut w = [0u64; 3];
+        for bit in [0usize, 1, 63, 64, 65, 127, 128, 191] {
+            assert!(!get_bit(&w, bit));
+            set_bit(&mut w, bit, true);
+            assert!(get_bit(&w, bit));
+            set_bit(&mut w, bit, false);
+            assert!(!get_bit(&w, bit));
+        }
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let mut w = [0u64; 2];
+        flip_bit(&mut w, 70);
+        assert!(get_bit(&w, 70));
+        flip_bit(&mut w, 70);
+        assert!(!get_bit(&w, 70));
+        assert_eq!(w, [0, 0]);
+    }
+
+    #[test]
+    fn low_masks() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(8), 0xFF);
+        assert_eq!(low_mask(64), u64::MAX);
+        assert_eq!(low_mask_u32(0), 0);
+        assert_eq!(low_mask_u32(24), 0x00FF_FFFF);
+        assert_eq!(low_mask_u32(32), u32::MAX);
+    }
+
+    #[test]
+    fn popcount_and_distance() {
+        let a = [0xFFu64, 0x1];
+        let b = [0x0Fu64, 0x1];
+        assert_eq!(popcount_words(&a), 9);
+        assert_eq!(hamming_distance(&a, &b), 4);
+        assert_eq!(hamming_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn extract_insert_roundtrip() {
+        let mut w = [0u64; 2];
+        insert_bits(&mut w, 60, 10, 0b10_1101_0110);
+        assert_eq!(extract_bits(&w, 60, 10), 0b10_1101_0110);
+        // Bits outside the window stay clear.
+        assert_eq!(extract_bits(&w, 0, 60), 0);
+        assert_eq!(extract_bits(&w, 70, 58), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hamming_distance_length_mismatch_panics() {
+        let _ = hamming_distance(&[0u64], &[0u64, 0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Single Error Detection (SED) — parity codes.
+//!
+//! SED is the cheapest code considered by the paper (§IV): a single parity
+//! bit added to the payload gives a minimum Hamming distance of 2, which
+//! detects every odd number of bit flips (and in particular every single
+//! flip) but corrects nothing and misses every even number of flips.
+//!
+//! The ABFT schemes store the parity bit inside the protected structure
+//! itself (the top bit of a CSR column index, the top bit of a row-pointer
+//! entry, or the least-significant mantissa bit of an `f64`), so the
+//! functions here simply compute parities; the embedding is done by
+//! `abft-core`.
+
+/// Parity (XOR-reduction) of a 32-bit word: `1` if the number of set bits is
+/// odd, `0` otherwise.
+#[inline]
+pub fn parity_u32(x: u32) -> u32 {
+    (x.count_ones() & 1) as u32
+}
+
+/// Parity of a 64-bit word.
+#[inline]
+pub fn parity_u64(x: u64) -> u32 {
+    x.count_ones() & 1
+}
+
+/// Parity of a 128-bit word.
+#[inline]
+pub fn parity_u128(x: u128) -> u32 {
+    (x.count_ones() & 1) as u32
+}
+
+/// Parity of an arbitrary word slice (the XOR of all bits).
+#[inline]
+pub fn parity_words(words: &[u64]) -> u32 {
+    let folded = words.iter().fold(0u64, |acc, w| acc ^ w);
+    parity_u64(folded)
+}
+
+/// Parity of a 96-bit CSR element formed from a 64-bit value pattern and a
+/// 32-bit column index (the layout of Figure 1(a) in the paper).
+#[inline]
+pub fn parity_csr_element(value_bits: u64, col_index: u32) -> u32 {
+    parity_u64(value_bits) ^ parity_u32(col_index)
+}
+
+/// Computes the even-parity bit for `data`: returned bit makes the total
+/// parity of `data` plus the bit equal to zero.
+#[inline]
+pub fn even_parity_bit_u64(data: u64) -> u32 {
+    parity_u64(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_small_values() {
+        assert_eq!(parity_u32(0), 0);
+        assert_eq!(parity_u32(1), 1);
+        assert_eq!(parity_u32(0b11), 0);
+        assert_eq!(parity_u32(u32::MAX), 0);
+        assert_eq!(parity_u64(0b111), 1);
+        assert_eq!(parity_u64(u64::MAX), 0);
+        assert_eq!(parity_u128(1u128 << 100), 1);
+    }
+
+    #[test]
+    fn parity_words_matches_scalar() {
+        let words = [0xDEAD_BEEF_u64, 0x1234_5678_9ABC_DEF0, 0x1];
+        let expected = parity_u64(words[0]) ^ parity_u64(words[1]) ^ parity_u64(words[2]);
+        assert_eq!(parity_words(&words), expected);
+        assert_eq!(parity_words(&[]), 0);
+    }
+
+    #[test]
+    fn csr_element_parity_combines_both_fields() {
+        assert_eq!(parity_csr_element(0, 0), 0);
+        assert_eq!(parity_csr_element(1, 0), 1);
+        assert_eq!(parity_csr_element(0, 1), 1);
+        assert_eq!(parity_csr_element(1, 1), 0);
+        let v = 0x3FF0_0000_0000_0001_u64; // some double pattern
+        let c = 12345u32;
+        assert_eq!(
+            parity_csr_element(v, c),
+            parity_u64(v) ^ parity_u32(c)
+        );
+    }
+
+    #[test]
+    fn single_flip_always_changes_parity() {
+        let data = 0xA5A5_5A5A_0F0F_F0F0_u64;
+        let p = parity_u64(data);
+        for bit in 0..64 {
+            let flipped = data ^ (1u64 << bit);
+            assert_ne!(parity_u64(flipped), p, "flip at bit {bit} went undetected");
+        }
+    }
+
+    #[test]
+    fn double_flip_is_invisible_to_parity() {
+        let data = 0x0123_4567_89AB_CDEF_u64;
+        let p = parity_u64(data);
+        let flipped = data ^ 0b101; // two flips
+        assert_eq!(parity_u64(flipped), p);
+    }
+
+    #[test]
+    fn even_parity_bit_zeroes_total_parity() {
+        for data in [0u64, 1, 0xFFFF, u64::MAX, 0x8000_0000_0000_0001] {
+            let p = even_parity_bit_u64(data);
+            assert_eq!(parity_u64(data) ^ p, 0);
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Fault-injection campaigns over the protected CG solver.
+//!
+//! One trial = build the TeaLeaf conduction system, protect it, inject a
+//! [`FaultSpec`], run the solve, and classify the outcome against a clean
+//! reference solution.  A campaign repeats this with fresh random faults and
+//! accumulates an outcome histogram per scheme.
+
+use crate::flip::{FaultSpec, FaultTarget};
+use crate::outcome::FaultOutcome;
+use abft_core::{AbftError, EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig};
+use abft_solvers::{cg::cg_plain, CgSolver, SolverConfig};
+use abft_sparse::{CsrMatrix, Vector};
+use abft_tealeaf::assembly::{assemble_matrix, assemble_rhs, face_coefficients, Conductivity};
+use abft_tealeaf::states::apply_states;
+use abft_tealeaf::{Deck, Grid};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Configuration of a fault-injection campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Grid size of the TeaLeaf problem used for each trial.
+    pub nx: usize,
+    /// Grid size of the TeaLeaf problem used for each trial.
+    pub ny: usize,
+    /// Number of trials per (scheme, target) combination.
+    pub trials: usize,
+    /// Number of bit flips injected per trial.
+    pub flips_per_trial: usize,
+    /// Protection configuration template (the element/row-pointer/vector
+    /// schemes are taken from here).
+    pub protection: ProtectionConfig,
+    /// Region to inject into.
+    pub target: FaultTarget,
+    /// RNG seed (campaigns are reproducible).
+    pub seed: u64,
+    /// Relative solution error above which an undetected fault counts as a
+    /// silent data corruption rather than as masked.
+    pub sdc_threshold: f64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            nx: 16,
+            ny: 16,
+            trials: 100,
+            flips_per_trial: 1,
+            protection: ProtectionConfig::full(EccScheme::Secded64),
+            target: FaultTarget::MatrixValues,
+            seed: 0xABF7,
+            sdc_threshold: 1e-9,
+        }
+    }
+}
+
+/// Outcome histogram of a campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    counts: HashMap<FaultOutcome, usize>,
+    trials: usize,
+}
+
+impl CampaignStats {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: FaultOutcome) {
+        *self.counts.entry(outcome).or_default() += 1;
+        self.trials += 1;
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Count for one outcome.
+    pub fn count(&self, outcome: FaultOutcome) -> usize {
+        self.counts.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Fraction of trials with this outcome.
+    pub fn rate(&self, outcome: FaultOutcome) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / self.trials as f64
+        }
+    }
+
+    /// Fraction of trials in which the protection either handled the fault or
+    /// the fault was harmless (everything except silent data corruption).
+    pub fn safety_rate(&self) -> f64 {
+        1.0 - self.rate(FaultOutcome::SilentDataCorruption)
+    }
+}
+
+impl std::fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for outcome in FaultOutcome::ALL {
+            writeln!(
+                f,
+                "{:>26}: {:5} ({:5.1} %)",
+                outcome.label(),
+                self.count(outcome),
+                100.0 * self.rate(outcome)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A fault-injection campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+    matrix: CsrMatrix,
+    rhs: Vec<f64>,
+    reference: Vec<f64>,
+}
+
+impl Campaign {
+    /// Prepares the campaign: assembles the TeaLeaf system once and computes
+    /// the clean reference solution.
+    pub fn new(config: CampaignConfig) -> Self {
+        let deck = Deck::standard(config.nx, config.ny, 1);
+        let grid = Grid::new(deck.x_cells, deck.y_cells, deck.x_max, deck.y_max);
+        let mut density = vec![1.0; grid.cells()];
+        let mut energy = vec![1.0; grid.cells()];
+        apply_states(&grid, &deck.states, &mut density, &mut energy);
+        let coeffs = face_coefficients(&grid, &density, Conductivity::Reciprocal);
+        let matrix = assemble_matrix(&grid, &coeffs, deck.dt_init);
+        let rhs = assemble_rhs(&density, &energy);
+        let (reference, status) = cg_plain(
+            &matrix,
+            &Vector::from_vec(rhs.clone()),
+            &SolverConfig::new(deck.max_iters, deck.eps),
+            false,
+        );
+        assert!(status.converged, "reference solve must converge");
+        Campaign {
+            config,
+            matrix,
+            rhs,
+            reference: reference.into_vec(),
+        }
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs all trials and returns the outcome histogram.
+    pub fn run(&self) -> CampaignStats {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut stats = CampaignStats::default();
+        for _ in 0..self.config.trials {
+            let elements = self.target_elements();
+            let spec = FaultSpec::random(
+                &mut rng,
+                self.config.target,
+                elements,
+                self.config.flips_per_trial,
+            );
+            stats.record(self.run_trial(&spec));
+        }
+        stats
+    }
+
+    /// Number of elements in the configured target region.
+    fn target_elements(&self) -> usize {
+        match self.config.target {
+            FaultTarget::MatrixValues | FaultTarget::MatrixColumnIndices => self.matrix.nnz(),
+            FaultTarget::RowPointer => self.matrix.rows() + 1,
+            FaultTarget::DenseVector => self.rhs.len(),
+        }
+    }
+
+    /// Runs a single trial with the given fault specification.
+    pub fn run_trial(&self, spec: &FaultSpec) -> FaultOutcome {
+        match spec.target {
+            FaultTarget::DenseVector => self.run_vector_trial(spec),
+            _ => self.run_matrix_trial(spec),
+        }
+    }
+
+    fn run_matrix_trial(&self, spec: &FaultSpec) -> FaultOutcome {
+        let log = FaultLog::new();
+        let mut protected = match ProtectedCsr::from_csr(&self.matrix, &self.config.protection) {
+            Ok(p) => p,
+            Err(_) => return FaultOutcome::DetectedUncorrectable,
+        };
+        for &(element, bit) in &spec.flips {
+            match spec.target {
+                FaultTarget::MatrixValues => protected.inject_value_bit_flip(element, bit),
+                FaultTarget::MatrixColumnIndices => protected.inject_col_bit_flip(element, bit),
+                FaultTarget::RowPointer => protected.inject_row_pointer_bit_flip(element, bit),
+                FaultTarget::DenseVector => unreachable!(),
+            }
+        }
+        let solver = CgSolver::new(SolverConfig::new(2000, 1e-15));
+        match solver.solve_matrix_protected(&protected, &self.rhs, &log) {
+            Err(AbftError::OutOfRange { .. }) => FaultOutcome::BoundsCaught,
+            Err(_) => FaultOutcome::DetectedUncorrectable,
+            Ok(result) => {
+                if result.faults.total_corrected() > 0 {
+                    FaultOutcome::Corrected
+                } else if self.relative_error(&result.solution) <= self.config.sdc_threshold {
+                    FaultOutcome::Masked
+                } else {
+                    FaultOutcome::SilentDataCorruption
+                }
+            }
+        }
+    }
+
+    fn run_vector_trial(&self, spec: &FaultSpec) -> FaultOutcome {
+        let log = FaultLog::new();
+        let scheme = self.config.protection.vectors;
+        let backend = self.config.protection.crc_backend;
+        let mut vector = ProtectedVector::from_slice(&self.rhs, scheme, backend);
+        let clean: Vec<f64> = (0..vector.len()).map(|i| vector.get(i)).collect();
+        for &(element, bit) in &spec.flips {
+            vector.inject_bit_flip(element, bit);
+        }
+        match vector.scrub(&log) {
+            Err(_) => FaultOutcome::DetectedUncorrectable,
+            Ok(_) => {
+                let recovered: Vec<f64> = (0..vector.len()).map(|i| vector.get(i)).collect();
+                let max_rel = clean
+                    .iter()
+                    .zip(&recovered)
+                    .map(|(a, b)| {
+                        if *a == 0.0 {
+                            (a - b).abs()
+                        } else {
+                            ((a - b) / a).abs()
+                        }
+                    })
+                    .fold(0.0f64, f64::max);
+                if log.total_corrected() > 0 && max_rel <= self.config.sdc_threshold {
+                    FaultOutcome::Corrected
+                } else if max_rel <= self.config.sdc_threshold {
+                    FaultOutcome::Masked
+                } else {
+                    FaultOutcome::SilentDataCorruption
+                }
+            }
+        }
+    }
+
+    fn relative_error(&self, solution: &[f64]) -> f64 {
+        let norm: f64 = self.reference.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let diff: f64 = solution
+            .iter()
+            .zip(&self.reference)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        if norm == 0.0 {
+            diff
+        } else {
+            diff / norm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_ecc::Crc32cBackend;
+
+    fn config(scheme: EccScheme, target: FaultTarget, trials: usize) -> CampaignConfig {
+        CampaignConfig {
+            nx: 8,
+            ny: 8,
+            trials,
+            flips_per_trial: 1,
+            protection: ProtectionConfig::full(scheme)
+                .with_crc_backend(Crc32cBackend::SlicingBy16),
+            target,
+            seed: 42,
+            sdc_threshold: 1e-9,
+        }
+    }
+
+    #[test]
+    fn secded_corrects_or_masks_every_single_flip() {
+        for target in FaultTarget::ALL {
+            let campaign = Campaign::new(config(EccScheme::Secded64, target, 40));
+            let stats = campaign.run();
+            assert_eq!(stats.trials(), 40);
+            assert_eq!(
+                stats.count(FaultOutcome::SilentDataCorruption),
+                0,
+                "{target:?}"
+            );
+            assert_eq!(
+                stats.count(FaultOutcome::DetectedUncorrectable),
+                0,
+                "{target:?}: single flips must be correctable"
+            );
+            assert!(stats.safety_rate() == 1.0);
+            assert!(
+                stats.count(FaultOutcome::Corrected) > 0,
+                "{target:?}: expected at least some corrections"
+            );
+        }
+    }
+
+    #[test]
+    fn sed_detects_single_flips_without_correcting() {
+        let campaign = Campaign::new(config(EccScheme::Sed, FaultTarget::MatrixValues, 40));
+        let stats = campaign.run();
+        assert_eq!(stats.count(FaultOutcome::SilentDataCorruption), 0);
+        assert_eq!(stats.count(FaultOutcome::Corrected), 0);
+        assert!(stats.count(FaultOutcome::DetectedUncorrectable) > 0);
+    }
+
+    #[test]
+    fn unprotected_runs_suffer_silent_corruptions() {
+        let mut cfg = config(EccScheme::None, FaultTarget::MatrixValues, 60);
+        cfg.protection = ProtectionConfig::unprotected();
+        // Flip high-order exponent bits often enough to corrupt the answer.
+        cfg.flips_per_trial = 3;
+        let campaign = Campaign::new(cfg);
+        let stats = campaign.run();
+        assert!(
+            stats.count(FaultOutcome::SilentDataCorruption) > 0,
+            "without protection some flips must corrupt the solution: {stats}"
+        );
+        assert!(stats.safety_rate() < 1.0);
+    }
+
+    #[test]
+    fn double_flips_are_detected_by_secded_not_corrected() {
+        let mut cfg = config(EccScheme::Secded64, FaultTarget::MatrixValues, 40);
+        cfg.flips_per_trial = 2;
+        let campaign = Campaign::new(cfg);
+        let stats = campaign.run();
+        assert_eq!(stats.count(FaultOutcome::SilentDataCorruption), 0);
+        // Two flips in the same codeword are uncorrectable; two flips in
+        // different codewords are each corrected — both happen.
+        assert!(stats.count(FaultOutcome::DetectedUncorrectable) > 0
+            || stats.count(FaultOutcome::Corrected) > 0);
+    }
+
+    #[test]
+    fn crc_handles_burst_errors() {
+        let campaign = Campaign::new(config(EccScheme::Crc32c, FaultTarget::MatrixValues, 1));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..20 {
+            let spec = FaultSpec::random_burst(
+                &mut rng,
+                FaultTarget::MatrixValues,
+                campaign.matrix.nnz(),
+                5,
+            );
+            let outcome = campaign.run_trial(&spec);
+            assert!(
+                outcome.is_safe(),
+                "burst of 5 must at least be detected, got {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_bookkeeping() {
+        let mut stats = CampaignStats::default();
+        stats.record(FaultOutcome::Corrected);
+        stats.record(FaultOutcome::Corrected);
+        stats.record(FaultOutcome::SilentDataCorruption);
+        assert_eq!(stats.trials(), 3);
+        assert_eq!(stats.count(FaultOutcome::Corrected), 2);
+        assert!((stats.rate(FaultOutcome::Corrected) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.safety_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(stats.to_string().contains("corrected"));
+        assert_eq!(CampaignStats::default().rate(FaultOutcome::Masked), 0.0);
+    }
+}

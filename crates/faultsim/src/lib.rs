@@ -1,0 +1,30 @@
+//! # abft-faultsim — fault injection campaigns
+//!
+//! The paper's claim is that the ABFT schemes protect the *whole* working set
+//! of the solver from memory bit flips.  This crate validates that claim by
+//! injecting flips (the software stand-in for the cosmic-ray upsets of §I)
+//! into every protected region and classifying what happens:
+//!
+//! * [`FaultOutcome::Corrected`] — the flip was detected and repaired
+//!   (a Detectable Correctable Error);
+//! * [`FaultOutcome::DetectedUncorrectable`] — the flip was detected but not
+//!   repairable; the application is told instead of silently computing with
+//!   bad data (a Detectable Uncorrectable Error);
+//! * [`FaultOutcome::BoundsCaught`] — a range check (the cheap check used
+//!   between full-check intervals, §VI-A-2) stopped an out-of-bounds access;
+//! * [`FaultOutcome::Masked`] — the flip landed somewhere harmless (e.g. a
+//!   reserved redundancy bit or an explicitly stored zero) and the solution
+//!   is unaffected;
+//! * [`FaultOutcome::SilentDataCorruption`] — the flip escaped detection and
+//!   changed the answer: the failure mode ECC exists to prevent.
+//!
+//! Campaigns are deterministic for a given seed (ChaCha8 RNG), so every
+//! statistic in EXPERIMENTS.md can be regenerated exactly.
+
+pub mod campaign;
+pub mod flip;
+pub mod outcome;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignStats};
+pub use flip::{FaultSpec, FaultTarget};
+pub use outcome::FaultOutcome;

@@ -1,0 +1,64 @@
+//! Classification of what happened to an injected fault.
+
+/// The observed consequence of one fault-injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOutcome {
+    /// Detected and repaired; the run completed with the correct answer.
+    Corrected,
+    /// Detected but not repairable; the run was aborted with an error the
+    /// application can act on (re-assemble, restart the step, …).
+    DetectedUncorrectable,
+    /// An out-of-range index produced by the corruption was caught by a
+    /// bounds check before it could cause an out-of-bounds access.
+    BoundsCaught,
+    /// The flip was never flagged but had no effect on the result (it hit a
+    /// reserved bit, a stored zero, or was numerically negligible).
+    Masked,
+    /// The flip was never flagged and the result is wrong — a silent data
+    /// corruption.
+    SilentDataCorruption,
+}
+
+impl FaultOutcome {
+    /// All outcomes in reporting order.
+    pub const ALL: [FaultOutcome; 5] = [
+        FaultOutcome::Corrected,
+        FaultOutcome::DetectedUncorrectable,
+        FaultOutcome::BoundsCaught,
+        FaultOutcome::Masked,
+        FaultOutcome::SilentDataCorruption,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultOutcome::Corrected => "corrected",
+            FaultOutcome::DetectedUncorrectable => "detected (uncorrectable)",
+            FaultOutcome::BoundsCaught => "caught by bounds check",
+            FaultOutcome::Masked => "masked (no effect)",
+            FaultOutcome::SilentDataCorruption => "silent data corruption",
+        }
+    }
+
+    /// Whether the protection did its job for this trial: either the fault
+    /// was handled (corrected / detected / contained) or it was harmless.
+    pub fn is_safe(self) -> bool {
+        !matches!(self, FaultOutcome::SilentDataCorruption)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_classification() {
+        assert!(FaultOutcome::Corrected.is_safe());
+        assert!(FaultOutcome::DetectedUncorrectable.is_safe());
+        assert!(FaultOutcome::BoundsCaught.is_safe());
+        assert!(FaultOutcome::Masked.is_safe());
+        assert!(!FaultOutcome::SilentDataCorruption.is_safe());
+        assert_eq!(FaultOutcome::ALL.len(), 5);
+        assert!(FaultOutcome::SilentDataCorruption.label().contains("silent"));
+    }
+}

@@ -1,0 +1,465 @@
+//! The Conjugate Gradient method.
+//!
+//! CG is the solver TeaLeaf uses for every time-step of the paper's
+//! evaluation (§V-A): over 98 % of the runtime is the SpMV plus two dot
+//! products of this loop, which is exactly where the ABFT integrity checks
+//! are placed.
+//!
+//! Three variants are provided, one per protection tier:
+//!
+//! * [`cg_plain`] — the unprotected baseline (serial or Rayon-parallel
+//!   kernels) used as the 0 % reference of every overhead figure;
+//! * [`CgSolver::solve_matrix_protected`] — the matrix is a [`ProtectedCsr`]
+//!   but the work vectors stay plain (`Vec<f64>`); this is the configuration
+//!   of Figures 4–8;
+//! * [`CgSolver::solve_fully_protected`] — matrix *and* work vectors are
+//!   protected; this is the configuration of Figure 9 and of the combined
+//!   SECDED result (≈ 11 % overhead in the paper).
+//!
+//! The protected variants consult the matrix [`FaultLog`] after the solve and
+//! scrub the matrix if any correctable error was observed during the
+//! iteration, mirroring the paper's end-of-time-step whole-matrix check.
+
+use crate::status::{SolveStatus, SolverConfig};
+use abft_core::spmv::{protected_spmv_auto, DenseSource};
+use abft_core::{AbftError, EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig};
+use abft_sparse::spmv::{axpy_parallel, dot_parallel, spmv_parallel, spmv_serial};
+use abft_sparse::vector::{blas_axpy, blas_dot};
+use abft_sparse::{CsrMatrix, Vector};
+
+/// Result of a protected CG solve: the (decoded) solution, the convergence
+/// status and the fault log accumulated during the solve.
+#[derive(Debug)]
+pub struct ProtectedCgResult {
+    /// The solution vector, decoded to plain values.
+    pub solution: Vec<f64>,
+    /// Convergence information.
+    pub status: SolveStatus,
+    /// Snapshot of the integrity-check activity during the solve.
+    pub faults: abft_core::FaultLogSnapshot,
+}
+
+/// Unprotected CG baseline: `A x = b` starting from `x = 0`.
+///
+/// `parallel` selects the Rayon kernels (the multi-threaded "platform" of the
+/// reproduction).
+pub fn cg_plain(
+    a: &CsrMatrix,
+    b: &Vector,
+    config: &SolverConfig,
+    parallel: bool,
+) -> (Vector, SolveStatus) {
+    let n = a.rows();
+    assert_eq!(b.len(), n, "cg_plain: rhs has wrong length");
+    let mut x = vec![0.0; n];
+    let mut r = b.as_slice().to_vec();
+    let mut p = r.clone();
+    let mut w = vec![0.0; n];
+
+    let dot = |u: &[f64], v: &[f64]| {
+        if parallel {
+            dot_parallel(u, v)
+        } else {
+            blas_dot(u, v)
+        }
+    };
+
+    let mut rr = dot(&r, &r);
+    let initial_residual = rr;
+    let mut status = SolveStatus {
+        converged: rr < config.tolerance,
+        iterations: 0,
+        initial_residual,
+        final_residual: rr,
+    };
+
+    for iteration in 0..config.max_iterations {
+        if status.converged {
+            break;
+        }
+        if parallel {
+            spmv_parallel(a, &p, &mut w);
+        } else {
+            spmv_serial(a, &p, &mut w);
+        }
+        let pw = dot(&p, &w);
+        if pw == 0.0 {
+            break;
+        }
+        let alpha = rr / pw;
+        if parallel {
+            axpy_parallel(&mut x, alpha, &p);
+            axpy_parallel(&mut r, -alpha, &w);
+        } else {
+            blas_axpy(&mut x, alpha, &p);
+            blas_axpy(&mut r, -alpha, &w);
+        }
+        let rr_new = dot(&r, &r);
+        status.iterations = iteration + 1;
+        status.final_residual = rr_new;
+        if rr_new < config.tolerance {
+            status.converged = true;
+            break;
+        }
+        let beta = rr_new / rr;
+        for (pi, &ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rr = rr_new;
+    }
+    (Vector::from_vec(x), status)
+}
+
+/// Conjugate Gradient over protected data structures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgSolver {
+    /// Stopping criteria.
+    pub config: SolverConfig,
+}
+
+impl CgSolver {
+    /// Creates a solver with the given stopping criteria.
+    pub fn new(config: SolverConfig) -> Self {
+        CgSolver { config }
+    }
+
+    /// Solves `A x = b` with a protected matrix and **plain** work vectors
+    /// (the matrix-only protection tier of Figures 4–8).
+    ///
+    /// The `iteration` counter passed to the SpMV drives the check-interval
+    /// policy; after the last iteration a whole-matrix verification is run if
+    /// the policy skipped any checks, mirroring §VI-A-2's end-of-time-step
+    /// check.
+    pub fn solve_matrix_protected(
+        &self,
+        a: &ProtectedCsr,
+        b: &[f64],
+        log: &FaultLog,
+    ) -> Result<ProtectedCgResult, AbftError> {
+        let n = a.rows();
+        assert_eq!(b.len(), n, "cg: rhs has wrong length");
+        let parallel = a.config().parallel;
+        let mut x = vec![0.0f64; n];
+        let mut r = b.to_vec();
+        let mut p = r.clone();
+        let mut w = vec![0.0f64; n];
+
+        let dot = |u: &[f64], v: &[f64]| {
+            if parallel {
+                dot_parallel(u, v)
+            } else {
+                blas_dot(u, v)
+            }
+        };
+
+        let mut rr = dot(&r, &r);
+        let initial_residual = rr;
+        let mut status = SolveStatus {
+            converged: rr < self.config.tolerance,
+            iterations: 0,
+            initial_residual,
+            final_residual: rr,
+        };
+
+        for iteration in 0..self.config.max_iterations {
+            if status.converged {
+                break;
+            }
+            a.spmv_auto(&p[..], &mut w, iteration as u64, log)?;
+            let pw = dot(&p, &w);
+            if pw == 0.0 {
+                break;
+            }
+            let alpha = rr / pw;
+            if parallel {
+                axpy_parallel(&mut x, alpha, &p);
+                axpy_parallel(&mut r, -alpha, &w);
+            } else {
+                blas_axpy(&mut x, alpha, &p);
+                blas_axpy(&mut r, -alpha, &w);
+            }
+            let rr_new = dot(&r, &r);
+            status.iterations = iteration + 1;
+            status.final_residual = rr_new;
+            if rr_new < self.config.tolerance {
+                status.converged = true;
+                break;
+            }
+            let beta = rr_new / rr;
+            for (pi, &ri) in p.iter_mut().zip(&r) {
+                *pi = ri + beta * *pi;
+            }
+            rr = rr_new;
+        }
+
+        // End-of-solve whole-matrix check: mandatory when the interval policy
+        // may have skipped per-iteration checks (§VI-A-2).
+        if a.policy().interval() > 1 {
+            a.verify_all(log)?;
+        }
+
+        Ok(ProtectedCgResult {
+            solution: x,
+            status,
+            faults: log.snapshot(),
+        })
+    }
+
+    /// Solves `A x = b` with the matrix **and** every work vector protected
+    /// (the fully protected tier of Figure 9 / the combined result).
+    pub fn solve_fully_protected(
+        &self,
+        a: &ProtectedCsr,
+        b: &[f64],
+        protection: &ProtectionConfig,
+        log: &FaultLog,
+    ) -> Result<ProtectedCgResult, AbftError> {
+        let n = a.rows();
+        assert_eq!(b.len(), n, "cg: rhs has wrong length");
+        let scheme = protection.vectors;
+        let backend = protection.crc_backend;
+
+        let mut x = ProtectedVector::zeros(n, scheme, backend);
+        let mut r = ProtectedVector::from_slice(b, scheme, backend);
+        let mut p = r.clone();
+        let mut w = ProtectedVector::zeros(n, scheme, backend);
+
+        let mut rr = r.dot(&r, log)?;
+        let initial_residual = rr;
+        let mut status = SolveStatus {
+            converged: rr < self.config.tolerance,
+            iterations: 0,
+            initial_residual,
+            final_residual: rr,
+        };
+
+        for iteration in 0..self.config.max_iterations {
+            if status.converged {
+                break;
+            }
+            protected_spmv_auto(a, &mut p, &mut w, iteration as u64, log)?;
+            let pw = p.dot(&w, log)?;
+            if pw == 0.0 {
+                break;
+            }
+            let alpha = rr / pw;
+            x.axpy(alpha, &p, log)?;
+            r.axpy(-alpha, &w, log)?;
+            let rr_new = r.dot(&r, log)?;
+            status.iterations = iteration + 1;
+            status.final_residual = rr_new;
+            if rr_new < self.config.tolerance {
+                status.converged = true;
+                break;
+            }
+            let beta = rr_new / rr;
+            p.xpay(beta, &r, log)?;
+            rr = rr_new;
+        }
+
+        if a.policy().interval() > 1 {
+            a.verify_all(log)?;
+        }
+        // Any corrected error observed in the vectors is repaired in place so
+        // the returned solution reflects clean storage.
+        if scheme != EccScheme::None && log.total_corrected() > 0 {
+            x.scrub(log)?;
+        }
+
+        Ok(ProtectedCgResult {
+            solution: (0..x.len()).map(|i| x.value(i)).collect(),
+            status,
+            faults: log.snapshot(),
+        })
+    }
+
+    /// Convenience dispatcher: builds the protected matrix from a plain CSR
+    /// matrix and runs the appropriate tier for `protection`.
+    pub fn solve(
+        &self,
+        matrix: &CsrMatrix,
+        b: &[f64],
+        protection: &ProtectionConfig,
+    ) -> Result<ProtectedCgResult, AbftError> {
+        let log = FaultLog::new();
+        let a = ProtectedCsr::from_csr(matrix, protection)?;
+        if protection.vectors == EccScheme::None {
+            self.solve_matrix_protected(&a, b, &log)
+        } else {
+            self.solve_fully_protected(&a, b, protection, &log)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_ecc::Crc32cBackend;
+    use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d, random_spd, tridiagonal};
+
+    fn residual_norm(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let mut ax = vec![0.0; a.rows()];
+        spmv_serial(a, x, &mut ax);
+        ax.iter()
+            .zip(b)
+            .map(|(axi, bi)| (axi - bi) * (axi - bi))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 7 % 13) as f64) * 0.25 + 1.0).collect()
+    }
+
+    #[test]
+    fn plain_cg_solves_poisson() {
+        let a = poisson_2d(10, 10);
+        let b = Vector::from_vec(rhs(a.rows()));
+        let config = SolverConfig::new(500, 1e-18);
+        for parallel in [false, true] {
+            let (x, status) = cg_plain(&a, &b, &config, parallel);
+            assert!(status.converged, "parallel={parallel}");
+            assert!(status.iterations > 0 && status.iterations < 500);
+            assert!(residual_norm(&a, x.as_slice(), b.as_slice()) < 1e-7);
+            assert!(status.relative_residual() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn plain_cg_on_other_spd_matrices() {
+        let config = SolverConfig::new(1000, 1e-20);
+        for a in [tridiagonal(50, 4.0, -1.0), random_spd(60, 150, 3)] {
+            let b = Vector::from_vec(rhs(a.rows()));
+            let (x, status) = cg_plain(&a, &b, &config, false);
+            assert!(status.converged);
+            assert!(residual_norm(&a, x.as_slice(), b.as_slice()) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn trivial_rhs_converges_immediately() {
+        let a = poisson_2d(4, 4);
+        let b = Vector::zeros(a.rows());
+        let (x, status) = cg_plain(&a, &b, &SolverConfig::default(), false);
+        assert!(status.converged);
+        assert_eq!(status.iterations, 0);
+        assert!(x.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn protected_matrix_cg_matches_plain_for_every_scheme() {
+        let a = pad_rows_to_min_entries(&poisson_2d(9, 8), 4);
+        let b = rhs(a.rows());
+        let config = SolverConfig::new(500, 1e-18);
+        let (x_ref, status_ref) = cg_plain(&a, &Vector::from_vec(b.clone()), &config, false);
+        let solver = CgSolver::new(config);
+        for scheme in EccScheme::ALL {
+            let protection = ProtectionConfig::matrix_only(scheme)
+                .with_crc_backend(Crc32cBackend::SlicingBy16);
+            let result = solver.solve(&a, &b, &protection).unwrap();
+            assert!(result.status.converged, "{scheme:?}");
+            // The matrix protection does not perturb any value, so the solve
+            // follows the exact same trajectory as the baseline.
+            assert_eq!(result.status.iterations, status_ref.iterations, "{scheme:?}");
+            for (got, expect) in result.solution.iter().zip(x_ref.as_slice()) {
+                assert!((got - expect).abs() < 1e-12, "{scheme:?}");
+            }
+            assert_eq!(result.faults.total_uncorrectable(), 0);
+        }
+    }
+
+    #[test]
+    fn fully_protected_cg_converges_with_bounded_perturbation() {
+        let a = pad_rows_to_min_entries(&poisson_2d(9, 8), 4);
+        let b = rhs(a.rows());
+        let config = SolverConfig::new(500, 1e-18);
+        let (x_ref, status_ref) = cg_plain(&a, &Vector::from_vec(b.clone()), &config, false);
+        let solver = CgSolver::new(config);
+        for scheme in EccScheme::ALL {
+            let protection =
+                ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16);
+            let result = solver.solve(&a, &b, &protection).unwrap();
+            assert!(result.status.converged, "{scheme:?}");
+            // §VI-B: the masking noise may cost a few extra iterations but
+            // stays within ~1 % and the solution stays extremely close.
+            let extra = result.status.iterations as f64 / status_ref.iterations as f64;
+            assert!(extra < 1.25, "{scheme:?}: {extra}");
+            let ref_norm: f64 = x_ref.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt();
+            let diff: f64 = result
+                .solution
+                .iter()
+                .zip(x_ref.as_slice())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(diff / ref_norm < 1e-6, "{scheme:?}: {}", diff / ref_norm);
+            assert!(residual_norm(&a, &result.solution, &b) < 1e-6, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn check_interval_does_not_change_the_answer() {
+        let a = pad_rows_to_min_entries(&poisson_2d(8, 8), 4);
+        let b = rhs(a.rows());
+        let config = SolverConfig::new(500, 1e-18);
+        let solver = CgSolver::new(config);
+        let every = solver
+            .solve(
+                &a,
+                &b,
+                &ProtectionConfig::matrix_only(EccScheme::Secded64)
+                    .with_crc_backend(Crc32cBackend::SlicingBy16),
+            )
+            .unwrap();
+        let sparse_checks = solver
+            .solve(
+                &a,
+                &b,
+                &ProtectionConfig::matrix_only(EccScheme::Secded64)
+                    .with_check_interval(32)
+                    .with_crc_backend(Crc32cBackend::SlicingBy16),
+            )
+            .unwrap();
+        assert_eq!(every.solution, sparse_checks.solution);
+        assert_eq!(every.status.iterations, sparse_checks.status.iterations);
+        // Fewer full checks are performed with the larger interval.
+        let checks_every = every.faults.checks.iter().sum::<u64>();
+        let checks_sparse = sparse_checks.faults.checks.iter().sum::<u64>();
+        assert!(checks_sparse < checks_every);
+    }
+
+    #[test]
+    fn corrected_fault_during_solve_does_not_change_result() {
+        let a = pad_rows_to_min_entries(&poisson_2d(8, 7), 4);
+        let b = rhs(a.rows());
+        let config = SolverConfig::new(500, 1e-18);
+        let solver = CgSolver::new(config);
+        let protection = ProtectionConfig::matrix_only(EccScheme::Secded64)
+            .with_crc_backend(Crc32cBackend::SlicingBy16);
+        let clean = solver.solve(&a, &b, &protection).unwrap();
+
+        let log = FaultLog::new();
+        let mut protected = ProtectedCsr::from_csr(&a, &protection).unwrap();
+        protected.inject_value_bit_flip(31, 17);
+        let faulty = solver.solve_matrix_protected(&protected, &b, &log).unwrap();
+        assert!(faulty.status.converged);
+        assert!(faulty.faults.total_corrected() > 0);
+        for (x, y) in clean.solution.iter().zip(&faulty.solution) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uncorrectable_fault_aborts_with_error() {
+        let a = pad_rows_to_min_entries(&poisson_2d(6, 6), 4);
+        let b = rhs(a.rows());
+        let solver = CgSolver::new(SolverConfig::new(200, 1e-18));
+        let protection = ProtectionConfig::matrix_only(EccScheme::Sed)
+            .with_crc_backend(Crc32cBackend::SlicingBy16);
+        let log = FaultLog::new();
+        let mut protected = ProtectedCsr::from_csr(&a, &protection).unwrap();
+        protected.inject_value_bit_flip(10, 52);
+        let result = solver.solve_matrix_protected(&protected, &b, &log);
+        assert!(matches!(result, Err(AbftError::Uncorrectable { .. })));
+    }
+}

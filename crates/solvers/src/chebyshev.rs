@@ -1,0 +1,190 @@
+//! Chebyshev iteration.
+//!
+//! TeaLeaf offers a Chebyshev solver that, once the extreme eigenvalues of
+//! the (preconditioned) operator are known, iterates without any dot products
+//! — attractive at scale because it removes the global reductions.  Here the
+//! eigenvalue bounds are supplied explicitly ([`ChebyshevBounds`]); the
+//! TeaLeaf driver estimates them from a few CG iterations, which
+//! [`ChebyshevBounds::estimate_gershgorin`] approximates with Gershgorin
+//! circles.
+
+use crate::status::{SolveStatus, SolverConfig};
+use abft_sparse::spmv::spmv_serial;
+use abft_sparse::{CsrMatrix, Vector};
+
+/// Bounds on the spectrum of the operator, `0 < min ≤ λ ≤ max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChebyshevBounds {
+    /// Lower bound on the smallest eigenvalue.
+    pub min: f64,
+    /// Upper bound on the largest eigenvalue.
+    pub max: f64,
+}
+
+impl ChebyshevBounds {
+    /// Creates explicit bounds.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min <= max`.
+    pub fn new(min: f64, max: f64) -> Self {
+        assert!(min > 0.0 && min <= max, "invalid Chebyshev bounds");
+        ChebyshevBounds { min, max }
+    }
+
+    /// Estimates bounds with Gershgorin circles: for an SPD matrix every
+    /// eigenvalue lies within `[min_i (a_ii − r_i), max_i (a_ii + r_i)]`
+    /// where `r_i` is the off-diagonal absolute row sum.  The lower bound is
+    /// clamped to a small positive value because Gershgorin may produce zero
+    /// for Poisson-like operators.
+    pub fn estimate_gershgorin(a: &CsrMatrix) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for row in 0..a.rows() {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (c, v) in a.row_entries(row) {
+                if c as usize == row {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            min = min.min(diag - off);
+            max = max.max(diag + off);
+        }
+        ChebyshevBounds {
+            min: min.max(1e-3 * max.max(1.0)),
+            max: max.max(1e-30),
+        }
+    }
+
+    /// Condition-number estimate `max / min`.
+    pub fn condition(&self) -> f64 {
+        self.max / self.min
+    }
+}
+
+/// Solves `A x = b` by Chebyshev iteration with the given spectral bounds.
+pub fn chebyshev_solve(
+    a: &CsrMatrix,
+    b: &Vector,
+    bounds: ChebyshevBounds,
+    config: &SolverConfig,
+) -> (Vector, SolveStatus) {
+    let n = a.rows();
+    assert_eq!(b.len(), n, "chebyshev: rhs has wrong length");
+    let theta = (bounds.max + bounds.min) / 2.0;
+    // Guard against degenerate (min == max) bounds: keep delta positive so
+    // the recurrence stays finite (it then reduces to Richardson iteration).
+    let delta = ((bounds.max - bounds.min) / 2.0).max(1e-12 * theta);
+
+    let mut x = vec![0.0f64; n];
+    let mut r = b.as_slice().to_vec();
+    let mut ax = vec![0.0f64; n];
+
+    let rr0: f64 = r.iter().map(|v| v * v).sum();
+    let mut status = SolveStatus {
+        converged: rr0 < config.tolerance,
+        iterations: 0,
+        initial_residual: rr0,
+        final_residual: rr0,
+    };
+
+    // Chebyshev acceleration (Saad, "Iterative Methods for Sparse Linear
+    // Systems", algorithm 12.1):
+    //   sigma = theta / delta,  rho_0 = 1 / sigma,  d_0 = r_0 / theta
+    //   x   += d
+    //   r   -= A d
+    //   rho' = 1 / (2 sigma - rho)
+    //   d    = rho' rho d + (2 rho' / delta) r
+    let sigma = theta / delta;
+    let mut rho = 1.0 / sigma;
+    let mut d: Vec<f64> = r.iter().map(|&ri| ri / theta).collect();
+
+    for iteration in 0..config.max_iterations {
+        if status.converged {
+            break;
+        }
+        for (xi, &di) in x.iter_mut().zip(&d) {
+            *xi += di;
+        }
+        spmv_serial(a, &d, &mut ax);
+        for (ri, &adi) in r.iter_mut().zip(&ax) {
+            *ri -= adi;
+        }
+        let rho_next = 1.0 / (2.0 * sigma - rho);
+        for (di, &ri) in d.iter_mut().zip(&r) {
+            *di = rho_next * rho * *di + (2.0 * rho_next / delta) * ri;
+        }
+        rho = rho_next;
+
+        let rr: f64 = r.iter().map(|v| v * v).sum();
+        status.iterations = iteration + 1;
+        status.final_residual = rr;
+        if rr < config.tolerance {
+            status.converged = true;
+        }
+    }
+    (Vector::from_vec(x), status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_sparse::builders::{poisson_2d, tridiagonal};
+
+    #[test]
+    fn bounds_validation_and_estimation() {
+        let b = ChebyshevBounds::new(0.5, 8.0);
+        assert_eq!(b.condition(), 16.0);
+        let a = tridiagonal(20, 4.0, -1.0);
+        let est = ChebyshevBounds::estimate_gershgorin(&a);
+        // Gershgorin for this matrix: [2, 6].
+        assert!(est.min <= 2.0 + 1e-12);
+        assert!(est.max >= 6.0 - 1e-12);
+        assert!(est.min > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bounds_panic() {
+        ChebyshevBounds::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn chebyshev_reduces_the_residual() {
+        let a = poisson_2d(6, 6);
+        let b = Vector::filled(a.rows(), 1.0);
+        let bounds = ChebyshevBounds::estimate_gershgorin(&a);
+        let config = SolverConfig::new(400, 1e-12);
+        let (x, status) = chebyshev_solve(&a, &b, bounds, &config);
+        assert!(status.final_residual < status.initial_residual * 1e-3);
+        // The iterate approaches the CG solution.
+        let (x_ref, _) = crate::cg::cg_plain(&a, &b, &SolverConfig::new(500, 1e-20), false);
+        let err: f64 = x
+            .as_slice()
+            .iter()
+            .zip(x_ref.as_slice())
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
+        let norm: f64 = x_ref.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / norm < 0.05, "relative error {}", err / norm);
+    }
+
+    #[test]
+    fn tight_bounds_converge_faster_than_loose_ones() {
+        let a = tridiagonal(30, 4.0, -1.0);
+        let b = Vector::filled(30, 1.0);
+        let config = SolverConfig::new(2000, 1e-16);
+        let tight = chebyshev_solve(&a, &b, ChebyshevBounds::new(2.0, 6.0), &config).1;
+        let loose = chebyshev_solve(&a, &b, ChebyshevBounds::new(0.1, 20.0), &config).1;
+        assert!(tight.converged);
+        assert!(
+            tight.iterations <= loose.iterations,
+            "tight {} vs loose {}",
+            tight.iterations,
+            loose.iterations
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Jacobi relaxation.
+//!
+//! TeaLeaf's simplest solver option: `x ← x + D⁻¹ (b − A x)`.  It converges
+//! slowly compared to CG but needs no dot products, which makes it a useful
+//! second workload for exercising the protected SpMV on its own.
+
+use crate::status::{SolveStatus, SolverConfig};
+use abft_core::{AbftError, FaultLog, ProtectedCsr};
+use abft_sparse::spmv::spmv_serial;
+use abft_sparse::{CsrMatrix, Vector};
+
+/// Solves `A x = b` by Jacobi iteration on the unprotected matrix.
+///
+/// # Panics
+/// Panics if any diagonal entry of `a` is zero.
+pub fn jacobi_solve(a: &CsrMatrix, b: &Vector, config: &SolverConfig) -> (Vector, SolveStatus) {
+    let n = a.rows();
+    assert_eq!(b.len(), n, "jacobi: rhs has wrong length");
+    let diag = a.diagonal();
+    assert!(
+        diag.as_slice().iter().all(|&d| d != 0.0),
+        "jacobi requires a non-zero diagonal"
+    );
+    let mut x = vec![0.0f64; n];
+    let mut ax = vec![0.0f64; n];
+
+    let residual_sq = |ax: &[f64]| -> f64 {
+        ax.iter()
+            .zip(b.as_slice())
+            .map(|(axi, bi)| (bi - axi) * (bi - axi))
+            .sum()
+    };
+
+    spmv_serial(a, &x, &mut ax);
+    let initial_residual = residual_sq(&ax);
+    let mut status = SolveStatus {
+        converged: initial_residual < config.tolerance,
+        iterations: 0,
+        initial_residual,
+        final_residual: initial_residual,
+    };
+
+    for iteration in 0..config.max_iterations {
+        if status.converged {
+            break;
+        }
+        for i in 0..n {
+            x[i] += (b[i] - ax[i]) / diag[i];
+        }
+        spmv_serial(a, &x, &mut ax);
+        let rr = residual_sq(&ax);
+        status.iterations = iteration + 1;
+        status.final_residual = rr;
+        if rr < config.tolerance {
+            status.converged = true;
+        }
+    }
+    (Vector::from_vec(x), status)
+}
+
+/// Jacobi iteration over a protected matrix (plain work vectors); the
+/// protected analogue of [`jacobi_solve`].
+pub fn jacobi_solve_protected(
+    a: &ProtectedCsr,
+    b: &[f64],
+    config: &SolverConfig,
+    log: &FaultLog,
+) -> Result<(Vec<f64>, SolveStatus), AbftError> {
+    let n = a.rows();
+    assert_eq!(b.len(), n, "jacobi: rhs has wrong length");
+    let matrix = a.to_csr();
+    let diag = matrix.diagonal();
+    let mut x = vec![0.0f64; n];
+    let mut ax = vec![0.0f64; n];
+
+    let residual_sq = |ax: &[f64]| -> f64 {
+        ax.iter()
+            .zip(b)
+            .map(|(axi, bi)| (bi - axi) * (bi - axi))
+            .sum()
+    };
+
+    a.spmv_auto(&x[..], &mut ax, 0, log)?;
+    let initial_residual = residual_sq(&ax);
+    let mut status = SolveStatus {
+        converged: initial_residual < config.tolerance,
+        iterations: 0,
+        initial_residual,
+        final_residual: initial_residual,
+    };
+
+    for iteration in 0..config.max_iterations {
+        if status.converged {
+            break;
+        }
+        for i in 0..n {
+            x[i] += (b[i] - ax[i]) / diag[i];
+        }
+        a.spmv_auto(&x[..], &mut ax, iteration as u64 + 1, log)?;
+        let rr = residual_sq(&ax);
+        status.iterations = iteration + 1;
+        status.final_residual = rr;
+        if rr < config.tolerance {
+            status.converged = true;
+        }
+    }
+    Ok((x, status))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_core::{EccScheme, ProtectionConfig};
+    use abft_ecc::Crc32cBackend;
+    use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d, tridiagonal};
+
+    #[test]
+    fn jacobi_converges_on_diagonally_dominant_systems() {
+        let a = tridiagonal(40, 4.0, -1.0);
+        let b = Vector::filled(40, 1.0);
+        let (x, status) = jacobi_solve(&a, &b, &SolverConfig::new(2000, 1e-20));
+        assert!(status.converged);
+        let mut ax = vec![0.0; 40];
+        spmv_serial(&a, x.as_slice(), &mut ax);
+        for (axi, bi) in ax.iter().zip(b.as_slice()) {
+            assert!((axi - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn jacobi_needs_more_iterations_than_cg() {
+        let a = poisson_2d(8, 8);
+        let b = Vector::filled(a.rows(), 1.0);
+        let config = SolverConfig::new(20_000, 1e-16);
+        let (_, jacobi_status) = jacobi_solve(&a, &b, &config);
+        let (_, cg_status) = crate::cg::cg_plain(&a, &b, &config, false);
+        assert!(jacobi_status.converged);
+        assert!(cg_status.converged);
+        assert!(jacobi_status.iterations > cg_status.iterations);
+    }
+
+    #[test]
+    fn protected_jacobi_matches_plain() {
+        let a = pad_rows_to_min_entries(&poisson_2d(6, 6), 4);
+        let b = Vector::filled(a.rows(), 2.0);
+        let config = SolverConfig::new(5000, 1e-18);
+        let (x_ref, status_ref) = jacobi_solve(&a, &b, &config);
+        let protection = ProtectionConfig::matrix_only(EccScheme::Secded64)
+            .with_crc_backend(Crc32cBackend::SlicingBy16);
+        let protected = ProtectedCsr::from_csr(&a, &protection).unwrap();
+        let log = FaultLog::new();
+        let (x, status) = jacobi_solve_protected(&protected, b.as_slice(), &config, &log).unwrap();
+        assert!(status.converged);
+        assert_eq!(status.iterations, status_ref.iterations);
+        for (u, v) in x.iter().zip(x_ref.as_slice()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_diagonal_panics() {
+        let a = CsrMatrix::try_new(2, 2, vec![1.0], vec![1], vec![0, 1, 1]).unwrap();
+        let b = Vector::zeros(2);
+        jacobi_solve(&a, &b, &SolverConfig::default());
+    }
+}

@@ -1,0 +1,33 @@
+//! # abft-solvers — iterative sparse solvers
+//!
+//! The solvers TeaLeaf offers for its implicit heat-conduction step, written
+//! against both the unprotected substrate (`abft-sparse`) and the protected
+//! structures (`abft-core`):
+//!
+//! * [`cg`] — the Conjugate Gradient method, the solver the paper evaluates.
+//!   Three entry points exist: a plain baseline ([`cg::cg_plain`]), a variant
+//!   with a protected matrix and plain work vectors (Figures 4–8), and a
+//!   fully protected variant whose work vectors are [`ProtectedVector`]s
+//!   (Figure 9 and the combined-overhead experiment).
+//! * [`jacobi`] — the Jacobi relaxation solver (TeaLeaf's simplest option).
+//! * [`chebyshev`] — Chebyshev iteration with explicit eigenvalue bounds.
+//! * [`ppcg`] — polynomially preconditioned CG (CG with a fixed number of
+//!   Chebyshev-style inner smoothing steps per iteration).
+//!
+//! All solvers report a [`SolveStatus`] with iteration counts and residuals
+//! so the convergence-impact study of §VI-B (masking noise vs iteration
+//! count) can be reproduced.
+//!
+//! [`ProtectedVector`]: abft_core::ProtectedVector
+
+pub mod cg;
+pub mod chebyshev;
+pub mod jacobi;
+pub mod ppcg;
+pub mod status;
+
+pub use cg::{CgSolver, ProtectedCgResult};
+pub use chebyshev::{chebyshev_solve, ChebyshevBounds};
+pub use jacobi::jacobi_solve;
+pub use ppcg::ppcg_solve;
+pub use status::{SolveStatus, SolverConfig};

@@ -1,0 +1,101 @@
+//! Solver configuration and convergence reporting.
+
+/// Stopping criteria shared by all solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the *absolute* squared residual norm
+    /// (TeaLeaf's `eps`: the solve stops when ‖r‖² < eps).
+    pub tolerance: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_iterations: 10_000,
+            tolerance: 1e-15,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Convenience constructor.
+    pub fn new(max_iterations: usize, tolerance: f64) -> Self {
+        SolverConfig {
+            max_iterations,
+            tolerance,
+        }
+    }
+
+    /// Builder-style setter for the iteration cap.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Builder-style setter for the tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+}
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStatus {
+    /// Whether the tolerance was reached within the iteration cap.
+    pub converged: bool,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Squared residual norm ‖r₀‖² before the first iteration.
+    pub initial_residual: f64,
+    /// Squared residual norm ‖r‖² at exit.
+    pub final_residual: f64,
+}
+
+impl SolveStatus {
+    /// Relative residual reduction achieved, `‖r‖ / ‖r₀‖`.
+    pub fn relative_residual(&self) -> f64 {
+        if self.initial_residual == 0.0 {
+            0.0
+        } else {
+            (self.final_residual / self.initial_residual).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_builders() {
+        let c = SolverConfig::default();
+        assert_eq!(c.max_iterations, 10_000);
+        assert!(c.tolerance > 0.0);
+        let c = SolverConfig::new(50, 1e-10)
+            .with_max_iterations(75)
+            .with_tolerance(1e-12);
+        assert_eq!(c.max_iterations, 75);
+        assert_eq!(c.tolerance, 1e-12);
+    }
+
+    #[test]
+    fn relative_residual() {
+        let s = SolveStatus {
+            converged: true,
+            iterations: 3,
+            initial_residual: 100.0,
+            final_residual: 1.0,
+        };
+        assert!((s.relative_residual() - 0.1).abs() < 1e-15);
+        let zero = SolveStatus {
+            converged: true,
+            iterations: 0,
+            initial_residual: 0.0,
+            final_residual: 0.0,
+        };
+        assert_eq!(zero.relative_residual(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Level-1 BLAS helpers shared by the solvers.
+//!
+//! These free functions operate on raw `&[f64]` slices so that both the
+//! unprotected [`crate::Vector`] and the protected vector of `abft-core`
+//! (which exposes its masked payload as a slice after decoding) can reuse
+//! them.  Serial versions live here; parallel versions are in
+//! [`crate::spmv`].
+
+/// `y ← alpha * x + beta * y` (general vector update).
+pub fn axpby(y: &mut [f64], alpha: f64, x: &[f64], beta: f64) {
+    assert_eq!(y.len(), x.len(), "axpby: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// `z ← x - y` elementwise.
+pub fn sub_into(z: &mut [f64], x: &[f64], y: &[f64]) {
+    assert_eq!(z.len(), x.len());
+    assert_eq!(z.len(), y.len());
+    for ((zi, &xi), &yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi - yi;
+    }
+}
+
+/// `z ← x ⊘ y` elementwise division (used by Jacobi preconditioning with a
+/// diagonal stored as a vector).
+pub fn div_into(z: &mut [f64], x: &[f64], y: &[f64]) {
+    assert_eq!(z.len(), x.len());
+    assert_eq!(z.len(), y.len());
+    for ((zi, &xi), &yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi / yi;
+    }
+}
+
+/// Sum of squared differences — convergence diagnostics.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Relative L2 error `‖a − b‖ / ‖b‖` (0 when both are zero).
+pub fn relative_error(a: &[f64], b: &[f64]) -> f64 {
+    let denom: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let num = squared_distance(a, b).sqrt();
+    if denom == 0.0 {
+        num
+    } else {
+        num / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpby_general_update() {
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpby(&mut y, 2.0, &[1.0, 1.0, 1.0], 0.5);
+        assert_eq!(y, vec![2.5, 3.0, 3.5]);
+    }
+
+    #[test]
+    fn sub_and_div() {
+        let mut z = vec![0.0; 3];
+        sub_into(&mut z, &[5.0, 6.0, 7.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(z, vec![4.0, 4.0, 4.0]);
+        let mut q = vec![0.0; 3];
+        div_into(&mut q, &z, &[2.0, 4.0, 8.0]);
+        assert_eq!(q, vec![2.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(squared_distance(&[1.0, 2.0], &[1.0, 4.0]), 4.0);
+        assert!((relative_error(&[1.0, 0.0], &[0.0, 0.0]) - 1.0).abs() < 1e-15);
+        assert!(relative_error(&[2.0, 0.0], &[2.0, 0.0]) < 1e-15);
+        assert!((relative_error(&[2.2, 0.0], &[2.0, 0.0]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn axpby_length_mismatch_panics() {
+        axpby(&mut [0.0], 1.0, &[0.0, 1.0], 1.0);
+    }
+}

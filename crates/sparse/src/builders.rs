@@ -1,0 +1,215 @@
+//! Sparse matrix generators.
+//!
+//! The main generator is the **five-point-stencil** operator on a regular 2-D
+//! grid — the structure TeaLeaf assembles every time-step for its implicit
+//! heat-conduction solve (§V-A of the paper: each row has at most five
+//! non-zeros, one per stencil point).  A plain Poisson operator, a
+//! symmetric-positive-definite random matrix and a tridiagonal matrix are
+//! provided for tests and for exercising the ABFT schemes on structures that
+//! are *not* five rows wide.
+
+use crate::{CooMatrix, CsrMatrix};
+
+/// The standard 2-D Poisson (negative Laplacian) operator on an `nx × ny`
+/// grid with Dirichlet boundaries: diagonal 4, off-diagonals −1 for the four
+/// neighbours.  Symmetric positive definite, `nx·ny` unknowns.
+pub fn poisson_2d(nx: usize, ny: usize) -> CsrMatrix {
+    five_point_stencil(nx, ny, |_, _| (4.0, -1.0, -1.0, -1.0, -1.0))
+}
+
+/// A general five-point-stencil operator: for each grid point `(i, j)` the
+/// callback returns `(centre, west, east, south, north)` coefficients.
+/// Entries that would fall outside the grid are dropped (Dirichlet
+/// truncation), exactly like TeaLeaf's interior-chunk assembly.
+pub fn five_point_stencil(
+    nx: usize,
+    ny: usize,
+    mut coeff: impl FnMut(usize, usize) -> (f64, f64, f64, f64, f64),
+) -> CsrMatrix {
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    for j in 0..ny {
+        for i in 0..nx {
+            let row = j * nx + i;
+            let (c, w, e, s, nth) = coeff(i, j);
+            if j > 0 {
+                coo.push(row, row - nx, s);
+            }
+            if i > 0 {
+                coo.push(row, row - 1, w);
+            }
+            coo.push(row, row, c);
+            if i + 1 < nx {
+                coo.push(row, row + 1, e);
+            }
+            if j + 1 < ny {
+                coo.push(row, row + nx, nth);
+            }
+        }
+    }
+    coo.to_csr().expect("stencil assembly is structurally valid")
+}
+
+/// Pads every row of `matrix` to at least `min_entries` stored entries by
+/// adding explicit zero-valued entries at unused columns.
+///
+/// The CRC32C element-protection scheme of the ABFT layer distributes its
+/// 32-bit checksum over 8 spare bits per element and therefore needs at least
+/// four entries per row.  TeaLeaf's five-point-stencil assembly always stores
+/// five entries per row; for general matrices (e.g. the plain Poisson
+/// operator whose corner rows only have three neighbours) this helper
+/// restores that property without changing the operator.
+///
+/// # Panics
+/// Panics if the matrix has fewer columns than `min_entries`.
+pub fn pad_rows_to_min_entries(matrix: &CsrMatrix, min_entries: usize) -> CsrMatrix {
+    assert!(
+        matrix.cols() >= min_entries,
+        "cannot pad rows of a matrix with fewer than {min_entries} columns"
+    );
+    let mut coo = CooMatrix::with_capacity(
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz() + matrix.rows(),
+    );
+    for row in 0..matrix.rows() {
+        let existing: Vec<u32> = matrix.row_entries(row).map(|(c, _)| c).collect();
+        for (c, v) in matrix.row_entries(row) {
+            coo.push(row, c as usize, v);
+        }
+        let mut missing = min_entries.saturating_sub(existing.len());
+        let mut candidate = 0usize;
+        while missing > 0 {
+            if !existing.contains(&(candidate as u32)) {
+                coo.push(row, candidate, 0.0);
+                missing -= 1;
+            }
+            candidate += 1;
+        }
+    }
+    coo.to_csr().expect("padding preserves validity")
+}
+
+/// Symmetric positive-definite tridiagonal matrix with the given diagonal and
+/// off-diagonal values.
+pub fn tridiagonal(n: usize, diag: f64, off: f64) -> CsrMatrix {
+    let mut coo = CooMatrix::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        if i > 0 {
+            coo.push(i, i - 1, off);
+        }
+        coo.push(i, i, diag);
+        if i + 1 < n {
+            coo.push(i, i + 1, off);
+        }
+    }
+    coo.to_csr().expect("tridiagonal assembly is valid")
+}
+
+/// A random sparse symmetric diagonally-dominant matrix, useful for property
+/// tests: `extra` off-diagonal entries are scattered with a simple
+/// multiplicative-congruential generator (deterministic for a given seed),
+/// then the diagonal is set to the absolute row sum plus one so the matrix is
+/// strictly diagonally dominant (hence SPD).
+pub fn random_spd(n: usize, extra: usize, seed: u64) -> CsrMatrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * extra + n);
+    let mut off_diagonal = vec![0.0f64; n];
+    let mut pairs = std::collections::BTreeSet::new();
+    for _ in 0..extra {
+        let i = (next() % n as u64) as usize;
+        let j = (next() % n as u64) as usize;
+        if i == j || !pairs.insert((i.min(j), i.max(j))) {
+            continue;
+        }
+        let v = ((next() % 1000) as f64 / 1000.0) - 0.5;
+        coo.push(i, j, v);
+        coo.push(j, i, v);
+        off_diagonal[i] += v.abs();
+        off_diagonal[j] += v.abs();
+    }
+    for (i, &o) in off_diagonal.iter().enumerate() {
+        coo.push(i, i, o + 1.0);
+    }
+    coo.to_csr().expect("random SPD assembly is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vector;
+
+    #[test]
+    fn poisson_structure() {
+        let a = poisson_2d(3, 3);
+        assert_eq!(a.rows(), 9);
+        assert_eq!(a.cols(), 9);
+        // Corner rows have 3 entries, edge rows 4, the centre row 5.
+        assert_eq!(a.row_range(0).len(), 3);
+        assert_eq!(a.row_range(1).len(), 4);
+        assert_eq!(a.row_range(4).len(), 5);
+        assert_eq!(a.nnz(), 9 + 2 * (2 * 3 * 2)); // diag + two neighbours per interior edge
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a.get(4, 4), 4.0);
+        assert_eq!(a.get(4, 3), -1.0);
+        assert_eq!(a.get(4, 7), -1.0);
+        assert_eq!(a.get(4, 0), 0.0);
+    }
+
+    #[test]
+    fn poisson_row_width_is_at_most_five() {
+        let a = poisson_2d(8, 5);
+        for row in 0..a.rows() {
+            let w = a.row_range(row).len();
+            assert!((3..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn stencil_callback_receives_grid_coordinates() {
+        let a = five_point_stencil(4, 3, |i, j| ((i + j) as f64 + 1.0, 0.5, 0.5, 0.5, 0.5));
+        assert_eq!(a.get(0, 0), 1.0); // (0,0)
+        assert_eq!(a.get(5, 5), 3.0); // (1,1)
+        assert_eq!(a.get(11, 11), 6.0); // (3,2)
+    }
+
+    #[test]
+    fn tridiagonal_spmv() {
+        let a = tridiagonal(5, 2.0, -1.0);
+        assert!(a.is_symmetric(0.0));
+        let x = Vector::filled(5, 1.0);
+        let mut y = Vector::zeros(5);
+        a.spmv(&x, &mut y);
+        assert_eq!(y.as_slice(), &[1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn random_spd_is_symmetric_and_dominant() {
+        let a = random_spd(40, 120, 42);
+        assert!(a.is_symmetric(1e-12));
+        for row in 0..a.rows() {
+            let diag = a.get(row, row);
+            let off: f64 = a
+                .row_entries(row)
+                .filter(|&(c, _)| c as usize != row)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(diag > off, "row {row} not diagonally dominant");
+        }
+    }
+
+    #[test]
+    fn random_spd_is_deterministic_for_a_seed() {
+        let a = random_spd(20, 50, 7);
+        let b = random_spd(20, 50, 7);
+        assert_eq!(a, b);
+        let c = random_spd(20, 50, 8);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,167 @@
+//! Coordinate-format (COO) sparse matrices.
+//!
+//! COO is the natural assembly format: entries are pushed in any order as
+//! `(row, col, value)` triplets and converted to CSR once assembly is
+//! complete.  The paper's earlier work ([McIntosh-Smith et al.]) protected
+//! COO as well as CSR; here COO serves as the builder for CSR and as a
+//! secondary format for tests.
+
+use crate::{CsrMatrix, SparseError};
+
+/// A sparse matrix under assembly, stored as coordinate triplets.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty matrix with capacity for `nnz` entries.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (duplicates not yet merged).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds `value` at `(row, col)`.  Duplicate coordinates are summed when
+    /// the matrix is converted to CSR.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        assert!(col < self.cols, "col {col} out of bounds ({})", self.cols);
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Converts to CSR, sorting by row then column and summing duplicates.
+    pub fn to_csr(&self) -> Result<CsrMatrix, SparseError> {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut values = Vec::with_capacity(entries.len());
+        let mut col_indices = Vec::with_capacity(entries.len());
+        let mut row_pointer = vec![0u32; self.rows + 1];
+
+        let mut iter = entries.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while let Some(&(nr, nc, nv)) = iter.peek() {
+                if nr == r && nc == c {
+                    v += nv;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            values.push(v);
+            col_indices.push(c);
+            row_pointer[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_pointer[i + 1] += row_pointer[i];
+        }
+        CsrMatrix::try_new(self.rows, self.cols, values, col_indices, row_pointer)
+    }
+
+    /// Iterates the stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_and_conversion() {
+        let mut coo = CooMatrix::with_capacity(3, 3, 5);
+        coo.push(2, 2, 4.0);
+        coo.push(0, 0, 4.0);
+        coo.push(1, 1, 4.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        assert_eq!(coo.nnz(), 5);
+        assert_eq!(coo.rows(), 3);
+        assert_eq!(coo.cols(), 3);
+
+        let csr = coo.to_csr().unwrap();
+        assert_eq!(csr.nnz(), 5);
+        assert_eq!(csr.get(0, 0), 4.0);
+        assert_eq!(csr.get(0, 1), 1.0);
+        assert_eq!(csr.get(1, 0), 1.0);
+        assert_eq!(csr.get(2, 2), 4.0);
+        assert_eq!(csr.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.5);
+        coo.push(1, 1, 1.0);
+        let csr = coo.to_csr().unwrap();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn empty_rows_are_allowed() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(3, 3, 2.0);
+        let csr = coo.to_csr().unwrap();
+        assert_eq!(csr.row_pointer(), &[0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn iter_returns_pushed_triplets() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(1, 2, 5.0);
+        let triplets: Vec<_> = coo.iter().collect();
+        assert_eq!(triplets, vec![(1, 2, 5.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_push_panics() {
+        CooMatrix::new(2, 2).push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::new(3, 3);
+        let csr = coo.to_csr().unwrap();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.row_pointer(), &[0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Sparse matrix–vector products.
+//!
+//! The paper notes that over 98 % of TeaLeaf's runtime lives in three
+//! kernels: the SpMV and two dot products of the CG iteration.  These are
+//! the routines the ABFT schemes wrap, so the unprotected versions here are
+//! both the baseline of every overhead figure and the reference the
+//! protected versions are tested against.
+//!
+//! A serial and a Rayon-parallel version are provided; the parallel version
+//! partitions by row, matching the OpenMP/CUDA one-thread-per-row structure
+//! of the original TeaLeaf kernels.
+
+use crate::CsrMatrix;
+use rayon::prelude::*;
+
+/// `y = A x`, serial.
+///
+/// # Panics
+/// Panics if the dimensions of `x` or `y` do not match the matrix.
+pub fn spmv_serial(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.cols(), "spmv: x has wrong length");
+    assert_eq!(y.len(), a.rows(), "spmv: y has wrong length");
+    let values = a.values();
+    let cols = a.col_indices();
+    let row_ptr = a.row_pointer();
+    for (row, yi) in y.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for k in row_ptr[row] as usize..row_ptr[row + 1] as usize {
+            acc += values[k] * x[cols[k] as usize];
+        }
+        *yi = acc;
+    }
+}
+
+/// `y = A x`, one Rayon task per chunk of rows.
+pub fn spmv_parallel(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.cols(), "spmv: x has wrong length");
+    assert_eq!(y.len(), a.rows(), "spmv: y has wrong length");
+    let values = a.values();
+    let cols = a.col_indices();
+    let row_ptr = a.row_pointer();
+    y.par_iter_mut().enumerate().for_each(|(row, yi)| {
+        let mut acc = 0.0;
+        for k in row_ptr[row] as usize..row_ptr[row + 1] as usize {
+            acc += values[k] * x[cols[k] as usize];
+        }
+        *yi = acc;
+    });
+}
+
+/// Parallel dot product (used by the parallel CG configuration).
+pub fn dot_parallel(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Parallel AXPY: `y ← y + alpha x`.
+pub fn axpy_parallel(y: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy: length mismatch");
+    y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| {
+        *yi += alpha * xi;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::poisson_2d;
+    use crate::vector::blas_dot;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let a = poisson_2d(17, 13);
+        let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y1 = vec![0.0; a.rows()];
+        let mut y2 = vec![0.0; a.rows()];
+        spmv_serial(&a, &x, &mut y1);
+        spmv_parallel(&a, &x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_blas1_matches_serial() {
+        let a: Vec<f64> = (0..1000).map(|i| (i as f64).cos()).collect();
+        let b: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.5).sin()).collect();
+        let serial = blas_dot(&a, &b);
+        let parallel = dot_parallel(&a, &b);
+        assert!((serial - parallel).abs() < 1e-9);
+
+        let mut y1 = a.clone();
+        let mut y2 = a.clone();
+        crate::vector::blas_axpy(&mut y1, 1.5, &b);
+        axpy_parallel(&mut y2, 1.5, &b);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_x_length_panics() {
+        let a = poisson_2d(4, 4);
+        let x = vec![0.0; 3];
+        let mut y = vec![0.0; a.rows()];
+        spmv_serial(&a, &x, &mut y);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_y_length_panics() {
+        let a = poisson_2d(4, 4);
+        let x = vec![0.0; a.cols()];
+        let mut y = vec![0.0; 3];
+        spmv_parallel(&a, &x, &mut y);
+    }
+}

@@ -1,0 +1,238 @@
+//! Dense `f64` vectors.
+//!
+//! [`Vector`] is a thin wrapper over `Vec<f64>` that carries the BLAS-1
+//! operations needed by the CG family of solvers.  It is the unprotected
+//! counterpart of `abft_core::ProtectedVector`; both implement the same
+//! access pattern so that solver code can be written once against the
+//! `VectorStorage`-style traits in `abft-solvers`.
+
+use std::ops::{Index, IndexMut};
+
+/// A dense double-precision vector.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a zero-filled vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector filled with `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Vector {
+            data: vec![value; n],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+
+    /// Builds a vector from a function of the index.
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> f64) -> Self {
+        Vector {
+            data: (0..n).map(f).collect(),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the vector has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Copies the contents of `other` into `self`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "copy_from: length mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Dot product `self · other`.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        blas_dot(&self.data, &other.data)
+    }
+
+    /// `self ← self + alpha * other` (AXPY).
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) {
+        blas_axpy(&mut self.data, alpha, &other.data);
+    }
+
+    /// `self ← other + alpha * self` (the "xpay" update CG uses for the
+    /// search direction).
+    pub fn xpay(&mut self, alpha: f64, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "xpay: length mismatch");
+        for (s, &o) in self.data.iter_mut().zip(&other.data) {
+            *s = o + alpha * *s;
+        }
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Maximum absolute element.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Free-function dot product over raw slices (shared with the protected path).
+#[inline]
+pub fn blas_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Free-function AXPY over raw slices: `y ← y + alpha * x`.
+#[inline]
+pub fn blas_axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Vector::zeros(4).as_slice(), &[0.0; 4]);
+        assert_eq!(Vector::filled(3, 2.5).as_slice(), &[2.5, 2.5, 2.5]);
+        assert_eq!(
+            Vector::from_fn(4, |i| i as f64 * 2.0).as_slice(),
+            &[0.0, 2.0, 4.0, 6.0]
+        );
+        let v: Vector = vec![1.0, 2.0].into();
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert!(Vector::zeros(0).is_empty());
+        let w: Vector = [3.0, 4.0].into_iter().collect();
+        assert_eq!(w.into_vec(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from_vec(vec![4.0, -5.0, 6.0]);
+        assert_eq!(a.dot(&b), 4.0 - 10.0 + 18.0);
+        assert!((a.norm2() - 14.0f64.sqrt()).abs() < 1e-15);
+        assert_eq!(b.norm_inf(), 6.0);
+        assert_eq!(a.sum(), 6.0);
+    }
+
+    #[test]
+    fn axpy_xpay_scale() {
+        let mut y = Vector::from_vec(vec![1.0, 1.0, 1.0]);
+        let x = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        y.axpy(2.0, &x);
+        assert_eq!(y.as_slice(), &[3.0, 5.0, 7.0]);
+        y.xpay(0.5, &x);
+        assert_eq!(y.as_slice(), &[2.5, 4.5, 6.5]);
+        y.scale(2.0);
+        assert_eq!(y.as_slice(), &[5.0, 9.0, 13.0]);
+        y.fill(0.0);
+        assert_eq!(y.norm2(), 0.0);
+    }
+
+    #[test]
+    fn copy_and_index() {
+        let mut a = Vector::zeros(3);
+        let b = Vector::from_vec(vec![7.0, 8.0, 9.0]);
+        a.copy_from(&b);
+        assert_eq!(a[1], 8.0);
+        a[1] = -1.0;
+        assert_eq!(a.as_slice(), &[7.0, -1.0, 9.0]);
+        assert_eq!(a.as_mut_slice().len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_dot_panics() {
+        let _ = Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_copy_panics() {
+        Vector::zeros(2).copy_from(&Vector::zeros(3));
+    }
+}

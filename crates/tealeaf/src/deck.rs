@@ -1,0 +1,336 @@
+//! tea.in-style input decks.
+//!
+//! The original TeaLeaf reads a small keyword-based input file.  This module
+//! parses the subset of keywords the reproduction needs and provides the
+//! standard benchmark decks programmatically (the paper uses a
+//! 2048 × 2048-cell deck run for 5 time-steps).
+
+use crate::states::{Geometry, State};
+
+/// Which iterative solver performs the implicit step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Conjugate Gradient (the paper's solver).
+    #[default]
+    Cg,
+    /// Jacobi relaxation.
+    Jacobi,
+    /// Chebyshev iteration.
+    Chebyshev,
+    /// Polynomially preconditioned CG.
+    Ppcg,
+}
+
+impl SolverKind {
+    /// Deck keyword for this solver.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SolverKind::Cg => "use_cg",
+            SolverKind::Jacobi => "use_jacobi",
+            SolverKind::Chebyshev => "use_chebyshev",
+            SolverKind::Ppcg => "use_ppcg",
+        }
+    }
+}
+
+/// A parsed TeaLeaf input deck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deck {
+    /// Cells in x.
+    pub x_cells: usize,
+    /// Cells in y.
+    pub y_cells: usize,
+    /// Domain extent in x (starts at 0).
+    pub x_max: f64,
+    /// Domain extent in y (starts at 0).
+    pub y_max: f64,
+    /// Number of time-steps to run.
+    pub end_step: usize,
+    /// Time-step size.
+    pub dt_init: f64,
+    /// Solver iteration cap per time-step.
+    pub max_iters: usize,
+    /// Solver tolerance on the squared residual norm.
+    pub eps: f64,
+    /// Solver selection.
+    pub solver: SolverKind,
+    /// Initial states (state 1 is the background).
+    pub states: Vec<State>,
+}
+
+impl Default for Deck {
+    fn default() -> Self {
+        Deck::standard(64, 64, 5)
+    }
+}
+
+impl Deck {
+    /// The standard TeaLeaf benchmark problem scaled to an arbitrary grid:
+    /// cold background (density 0.2, energy 1.0) with a hot rectangular
+    /// region in the lower-left corner (density 1.0, energy 2.5), matching
+    /// the canonical tea.in bm deck geometry proportions.
+    pub fn standard(x_cells: usize, y_cells: usize, end_step: usize) -> Self {
+        let x_max = 10.0;
+        let y_max = 10.0;
+        Deck {
+            x_cells,
+            y_cells,
+            x_max,
+            y_max,
+            end_step,
+            dt_init: 0.004,
+            max_iters: 1000,
+            eps: 1e-15,
+            solver: SolverKind::Cg,
+            states: vec![
+                State::background(0.2, 1.0),
+                State {
+                    geometry: Geometry::Rectangle {
+                        x_min: 0.0,
+                        x_max: x_max / 2.0,
+                        y_min: 0.0,
+                        y_max: y_max / 5.0,
+                    },
+                    density: 1.0,
+                    energy: 2.5,
+                },
+            ],
+        }
+    }
+
+    /// The deck used by the paper's evaluation: 2048 × 2048 cells, 5
+    /// time-steps, CG solver.
+    pub fn paper_deck() -> Self {
+        Deck::standard(2048, 2048, 5)
+    }
+
+    /// Parses a tea.in-style deck.  Unknown keywords are ignored (TeaLeaf
+    /// does the same), `state N ...` lines define the initial regions.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut deck = Deck::standard(64, 64, 5);
+        deck.states.clear();
+        for raw_line in text.lines() {
+            let line = raw_line.split('!').next().unwrap_or("").trim().to_lowercase();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("state") {
+                deck.states.push(parse_state(&line)?);
+                continue;
+            }
+            if let Some((key, value)) = line.split_once('=') {
+                let key = key.trim();
+                let value = value.trim();
+                match key {
+                    "x_cells" => deck.x_cells = parse_num(key, value)? as usize,
+                    "y_cells" => deck.y_cells = parse_num(key, value)? as usize,
+                    "xmax" => deck.x_max = parse_num(key, value)?,
+                    "ymax" => deck.y_max = parse_num(key, value)?,
+                    "end_step" => deck.end_step = parse_num(key, value)? as usize,
+                    "initial_timestep" => deck.dt_init = parse_num(key, value)?,
+                    "tl_max_iters" => deck.max_iters = parse_num(key, value)? as usize,
+                    "tl_eps" => deck.eps = parse_num(key, value)?,
+                    _ => {}
+                }
+            } else {
+                match line.as_str() {
+                    "use_cg" | "tl_use_cg" => deck.solver = SolverKind::Cg,
+                    "use_jacobi" | "tl_use_jacobi" => deck.solver = SolverKind::Jacobi,
+                    "use_chebyshev" | "tl_use_chebyshev" => deck.solver = SolverKind::Chebyshev,
+                    "use_ppcg" | "tl_use_ppcg" => deck.solver = SolverKind::Ppcg,
+                    _ => {}
+                }
+            }
+        }
+        if deck.states.is_empty() {
+            deck.states = Deck::standard(deck.x_cells, deck.y_cells, deck.end_step).states;
+        }
+        if deck.x_cells == 0 || deck.y_cells == 0 {
+            return Err("deck must specify a non-empty grid".into());
+        }
+        Ok(deck)
+    }
+
+    /// Serialises the deck back to tea.in syntax (round-trips through
+    /// [`Deck::parse`]).
+    pub fn to_deck_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("*tea\n");
+        out.push_str(&format!("x_cells = {}\n", self.x_cells));
+        out.push_str(&format!("y_cells = {}\n", self.y_cells));
+        out.push_str(&format!("xmax = {}\n", self.x_max));
+        out.push_str(&format!("ymax = {}\n", self.y_max));
+        out.push_str(&format!("end_step = {}\n", self.end_step));
+        out.push_str(&format!("initial_timestep = {}\n", self.dt_init));
+        out.push_str(&format!("tl_max_iters = {}\n", self.max_iters));
+        out.push_str(&format!("tl_eps = {}\n", self.eps));
+        out.push_str(&format!("{}\n", self.solver.keyword()));
+        for (n, state) in self.states.iter().enumerate() {
+            out.push_str(&format_state(n + 1, state));
+        }
+        out.push_str("*endtea\n");
+        out
+    }
+}
+
+fn parse_num(key: &str, value: &str) -> Result<f64, String> {
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("invalid numeric value for {key}: {value:?}"))
+}
+
+fn parse_state(line: &str) -> Result<State, String> {
+    // e.g. "state 2 density=1.0 energy=2.5 geometry=rectangle xmin=0.0 xmax=5.0 ymin=0.0 ymax=2.0"
+    let mut density = 0.0;
+    let mut energy = 0.0;
+    let mut geometry_kind = "everywhere".to_string();
+    let mut coords = std::collections::HashMap::new();
+    for token in line.split_whitespace().skip(2) {
+        if let Some((key, value)) = token.split_once('=') {
+            match key {
+                "density" => density = parse_num(key, value)?,
+                "energy" => energy = parse_num(key, value)?,
+                "geometry" => geometry_kind = value.to_string(),
+                other => {
+                    coords.insert(other.to_string(), parse_num(other, value)?);
+                }
+            }
+        }
+    }
+    let get = |k: &str| coords.get(k).copied().unwrap_or(0.0);
+    let geometry = match geometry_kind.as_str() {
+        "rectangle" => Geometry::Rectangle {
+            x_min: get("xmin"),
+            x_max: get("xmax"),
+            y_min: get("ymin"),
+            y_max: get("ymax"),
+        },
+        "circular" | "circle" => Geometry::Circle {
+            x: get("xcentre"),
+            y: get("ycentre"),
+            radius: get("radius"),
+        },
+        "point" => Geometry::Point {
+            x: get("xmin"),
+            y: get("ymin"),
+        },
+        _ => Geometry::Everywhere,
+    };
+    Ok(State {
+        geometry,
+        density,
+        energy,
+    })
+}
+
+fn format_state(n: usize, state: &State) -> String {
+    let geom = match state.geometry {
+        Geometry::Everywhere => String::new(),
+        Geometry::Rectangle {
+            x_min,
+            x_max,
+            y_min,
+            y_max,
+        } => format!(" geometry=rectangle xmin={x_min} xmax={x_max} ymin={y_min} ymax={y_max}"),
+        Geometry::Circle { x, y, radius } => {
+            format!(" geometry=circular xcentre={x} ycentre={y} radius={radius}")
+        }
+        Geometry::Point { x, y } => format!(" geometry=point xmin={x} ymin={y}"),
+    };
+    format!(
+        "state {n} density={} energy={}{geom}\n",
+        state.density, state.energy
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_deck_matches_expectations() {
+        let deck = Deck::standard(128, 64, 10);
+        assert_eq!(deck.x_cells, 128);
+        assert_eq!(deck.y_cells, 64);
+        assert_eq!(deck.end_step, 10);
+        assert_eq!(deck.solver, SolverKind::Cg);
+        assert_eq!(deck.states.len(), 2);
+        let paper = Deck::paper_deck();
+        assert_eq!(paper.x_cells, 2048);
+        assert_eq!(paper.y_cells, 2048);
+        assert_eq!(paper.end_step, 5);
+    }
+
+    #[test]
+    fn parse_standard_keywords() {
+        let text = "
+*tea
+x_cells = 32          ! grid
+y_cells = 16
+xmax = 10.0
+ymax = 10.0
+end_step = 3
+initial_timestep = 0.004
+tl_max_iters = 500
+tl_eps = 1.0e-12
+use_cg
+state 1 density=0.2 energy=1.0
+state 2 density=1.0 energy=2.5 geometry=rectangle xmin=0.0 xmax=5.0 ymin=0.0 ymax=2.0
+*endtea
+";
+        let deck = Deck::parse(text).unwrap();
+        assert_eq!(deck.x_cells, 32);
+        assert_eq!(deck.y_cells, 16);
+        assert_eq!(deck.end_step, 3);
+        assert_eq!(deck.max_iters, 500);
+        assert_eq!(deck.eps, 1e-12);
+        assert_eq!(deck.solver, SolverKind::Cg);
+        assert_eq!(deck.states.len(), 2);
+        assert_eq!(deck.states[0].density, 0.2);
+        assert!(matches!(deck.states[1].geometry, Geometry::Rectangle { .. }));
+    }
+
+    #[test]
+    fn parse_other_solvers_and_geometries() {
+        let deck = Deck::parse(
+            "x_cells = 8\ny_cells = 8\nuse_ppcg\nstate 1 density=1 energy=1\nstate 2 density=2 energy=2 geometry=circular xcentre=5 ycentre=5 radius=2\nstate 3 density=3 energy=3 geometry=point xmin=1 ymin=1\n",
+        )
+        .unwrap();
+        assert_eq!(deck.solver, SolverKind::Ppcg);
+        assert!(matches!(deck.states[1].geometry, Geometry::Circle { .. }));
+        assert!(matches!(deck.states[2].geometry, Geometry::Point { .. }));
+        assert_eq!(
+            Deck::parse("x_cells=4\ny_cells=4\nuse_jacobi\n").unwrap().solver,
+            SolverKind::Jacobi
+        );
+        assert_eq!(
+            Deck::parse("x_cells=4\ny_cells=4\nuse_chebyshev\n").unwrap().solver,
+            SolverKind::Chebyshev
+        );
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        assert!(Deck::parse("x_cells = banana\n").is_err());
+        assert!(Deck::parse("x_cells = 0\ny_cells = 4\n").is_err());
+    }
+
+    #[test]
+    fn deck_roundtrips_through_serialisation() {
+        let deck = Deck::standard(48, 24, 7);
+        let text = deck.to_deck_string();
+        let reparsed = Deck::parse(&text).unwrap();
+        assert_eq!(reparsed.x_cells, deck.x_cells);
+        assert_eq!(reparsed.y_cells, deck.y_cells);
+        assert_eq!(reparsed.end_step, deck.end_step);
+        assert_eq!(reparsed.states, deck.states);
+        assert_eq!(reparsed.solver, deck.solver);
+    }
+
+    #[test]
+    fn solver_keywords() {
+        assert_eq!(SolverKind::Cg.keyword(), "use_cg");
+        assert_eq!(SolverKind::Ppcg.keyword(), "use_ppcg");
+        assert_eq!(SolverKind::default(), SolverKind::Cg);
+    }
+}

@@ -1,0 +1,121 @@
+//! Regular 2-D grid geometry.
+
+/// A regular Cartesian grid of `nx × ny` cells covering
+/// `[x_min, x_max] × [y_min, y_max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Number of cells in x.
+    pub nx: usize,
+    /// Number of cells in y.
+    pub ny: usize,
+    /// Domain bounds.
+    pub x_min: f64,
+    /// Domain bounds.
+    pub x_max: f64,
+    /// Domain bounds.
+    pub y_min: f64,
+    /// Domain bounds.
+    pub y_max: f64,
+}
+
+impl Grid {
+    /// Creates a grid over the unit-ish domain used by the TeaLeaf decks.
+    pub fn new(nx: usize, ny: usize, x_max: f64, y_max: f64) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must have at least one cell");
+        assert!(x_max > 0.0 && y_max > 0.0, "domain must have positive extent");
+        Grid {
+            nx,
+            ny,
+            x_min: 0.0,
+            x_max,
+            y_min: 0.0,
+            y_max,
+        }
+    }
+
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Cell width in x.
+    pub fn dx(&self) -> f64 {
+        (self.x_max - self.x_min) / self.nx as f64
+    }
+
+    /// Cell width in y.
+    pub fn dy(&self) -> f64 {
+        (self.y_max - self.y_min) / self.ny as f64
+    }
+
+    /// Cell area (all cells are identical).
+    pub fn cell_area(&self) -> f64 {
+        self.dx() * self.dy()
+    }
+
+    /// Flattened row-major index of cell `(i, j)`.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny);
+        j * self.nx + i
+    }
+
+    /// Grid coordinates of flattened index `idx`.
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx % self.nx, idx / self.nx)
+    }
+
+    /// Centre of cell `(i, j)` in physical coordinates.
+    pub fn cell_centre(&self, i: usize, j: usize) -> (f64, f64) {
+        (
+            self.x_min + (i as f64 + 0.5) * self.dx(),
+            self.y_min + (j as f64 + 0.5) * self.dy(),
+        )
+    }
+
+    /// Bounds of cell `(i, j)`: `(x_lo, x_hi, y_lo, y_hi)`.
+    pub fn cell_bounds(&self, i: usize, j: usize) -> (f64, f64, f64, f64) {
+        (
+            self.x_min + i as f64 * self.dx(),
+            self.x_min + (i as f64 + 1.0) * self.dx(),
+            self.y_min + j as f64 * self.dy(),
+            self.y_min + (j as f64 + 1.0) * self.dy(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let g = Grid::new(10, 5, 10.0, 2.5);
+        assert_eq!(g.cells(), 50);
+        assert_eq!(g.dx(), 1.0);
+        assert_eq!(g.dy(), 0.5);
+        assert_eq!(g.cell_area(), 0.5);
+        assert_eq!(g.index(3, 2), 23);
+        assert_eq!(g.coords(23), (3, 2));
+        assert_eq!(g.cell_centre(0, 0), (0.5, 0.25));
+        let (xl, xh, yl, yh) = g.cell_bounds(9, 4);
+        assert_eq!((xl, xh), (9.0, 10.0));
+        assert_eq!((yl, yh), (2.0, 2.5));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let g = Grid::new(7, 9, 1.0, 1.0);
+        for idx in 0..g.cells() {
+            let (i, j) = g.coords(idx);
+            assert_eq!(g.index(i, j), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cells_panics() {
+        Grid::new(0, 5, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # abft-tealeaf — a TeaLeaf-style heat conduction mini-app
+//!
+//! TeaLeaf (Mantevo / UoB-HPC) solves the linear heat conduction equation on
+//! a 2-D regular grid with a five-point stencil; each time-step performs an
+//! implicit solve `(I + Δt·K) u = u₀` with a sparse iterative solver.  The
+//! paper uses TeaLeaf as the host application for its ABFT techniques
+//! (§V-A): the sparse matrix is rebuilt at the start of every time-step and
+//! is constant across the CG iterations inside the step, which is what makes
+//! the less-frequent-checking optimisation sound.
+//!
+//! This crate rebuilds the parts of TeaLeaf the evaluation needs:
+//!
+//! * [`deck`] — a tea.in-style input deck (grid size, time-step count, solver
+//!   selection, initial states);
+//! * [`grid`] — the regular 2-D grid geometry;
+//! * [`states`] — the initial density/energy regions (rectangles, circles,
+//!   points) used to set up the problem;
+//! * [`assembly`] — the five-point-stencil conduction matrix and RHS
+//!   assembly, always storing five entries per row like the original code;
+//! * [`simulation`] — the time-step driver, running the chosen solver under a
+//!   chosen [`ProtectionConfig`](abft_core::ProtectionConfig) and reporting
+//!   timings, iteration counts and fault-log activity per step;
+//! * [`summary`] — the field summary (volume, mass, total energy,
+//!   temperature) TeaLeaf prints to validate a run.
+
+pub mod assembly;
+pub mod deck;
+pub mod grid;
+pub mod simulation;
+pub mod states;
+pub mod summary;
+
+pub use deck::{Deck, SolverKind};
+pub use grid::Grid;
+pub use simulation::{RunReport, Simulation, StepReport};
+pub use states::{Geometry, State};
+pub use summary::FieldSummary;

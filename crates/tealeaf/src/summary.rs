@@ -1,0 +1,102 @@
+//! Field summaries.
+//!
+//! TeaLeaf prints a "field summary" after selected steps — total volume,
+//! mass, internal energy and temperature — which is how a run is validated
+//! against the reference output.  The same quantities let the reproduction
+//! check that protected and unprotected runs agree to within the masking
+//! noise bound of §VI-B.
+
+use crate::grid::Grid;
+
+/// Volume-integrated quantities over the whole grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldSummary {
+    /// Total cell volume (area in 2-D).
+    pub volume: f64,
+    /// Total mass (density × volume).
+    pub mass: f64,
+    /// Total internal energy (density × energy × volume).
+    pub internal_energy: f64,
+    /// Volume-weighted mean temperature (energy density).
+    pub temperature: f64,
+}
+
+impl FieldSummary {
+    /// Computes the summary from the density and specific-energy fields.
+    pub fn compute(grid: &Grid, density: &[f64], energy: &[f64]) -> Self {
+        assert_eq!(density.len(), grid.cells());
+        assert_eq!(energy.len(), grid.cells());
+        let cell_volume = grid.cell_area();
+        let mut volume = 0.0;
+        let mut mass = 0.0;
+        let mut internal_energy = 0.0;
+        let mut temperature = 0.0;
+        for (rho, e) in density.iter().zip(energy) {
+            volume += cell_volume;
+            mass += rho * cell_volume;
+            internal_energy += rho * e * cell_volume;
+            temperature += rho * e * cell_volume;
+        }
+        FieldSummary {
+            volume,
+            mass,
+            internal_energy,
+            temperature: temperature / volume,
+        }
+    }
+
+    /// Largest relative difference between two summaries (used to compare
+    /// protected and unprotected runs).
+    pub fn max_relative_difference(&self, other: &FieldSummary) -> f64 {
+        let rel = |a: f64, b: f64| {
+            if b == 0.0 {
+                a.abs()
+            } else {
+                ((a - b) / b).abs()
+            }
+        };
+        rel(self.volume, other.volume)
+            .max(rel(self.mass, other.mass))
+            .max(rel(self.internal_energy, other.internal_energy))
+            .max(rel(self.temperature, other.temperature))
+    }
+}
+
+impl std::fmt::Display for FieldSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "volume {:.6e}  mass {:.6e}  energy {:.6e}  temperature {:.6e}",
+            self.volume, self.mass, self.internal_energy, self.temperature
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fields_integrate_exactly() {
+        let grid = Grid::new(10, 10, 10.0, 10.0);
+        let density = vec![0.5; 100];
+        let energy = vec![2.0; 100];
+        let s = FieldSummary::compute(&grid, &density, &energy);
+        assert!((s.volume - 100.0).abs() < 1e-12);
+        assert!((s.mass - 50.0).abs() < 1e-12);
+        assert!((s.internal_energy - 100.0).abs() < 1e-12);
+        assert!((s.temperature - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_relative_difference(&s), 0.0);
+        assert!(s.to_string().contains("mass"));
+    }
+
+    #[test]
+    fn relative_difference_detects_changes() {
+        let grid = Grid::new(4, 4, 4.0, 4.0);
+        let density = vec![1.0; 16];
+        let a = FieldSummary::compute(&grid, &density, &vec![1.0; 16]);
+        let b = FieldSummary::compute(&grid, &density, &vec![1.1; 16]);
+        let d = a.max_relative_difference(&b);
+        assert!(d > 0.05 && d < 0.15);
+    }
+}

@@ -1,0 +1,60 @@
+//! Less frequent correctness checking (§VI-A-2), i.e. Figures 6–8 in miniature.
+//!
+//! ```bash
+//! cargo run --release --example check_interval_tuning -- [nx] [ny] [iters]
+//! ```
+//!
+//! Protects the whole CSR matrix with each scheme and sweeps the integrity
+//! check interval, printing the overhead relative to the unprotected solve.
+//! The trade-off is detection latency: with interval N an error can go
+//! unnoticed for up to N−1 CG iterations (bounds checks still prevent
+//! out-of-range accesses in between).
+
+use abft_suite::core::{EccScheme, ProtectionConfig};
+use abft_suite::ecc::Crc32cBackend;
+use abft_bench::{overhead_pct, tealeaf_system, time_cg};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nx: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(192);
+    let ny: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(192);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(40);
+
+    let system = tealeaf_system(nx, ny);
+    println!(
+        "TeaLeaf {}x{} ({} non-zeros), {} CG iterations per measurement\n",
+        nx,
+        ny,
+        system.matrix.nnz(),
+        iters
+    );
+
+    let baseline = (0..3)
+        .map(|_| time_cg(&system, &ProtectionConfig::unprotected(), iters))
+        .fold(f64::INFINITY, f64::min);
+    println!("unprotected baseline: {baseline:.4} s\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>22}",
+        "scheme", "interval", "seconds", "overhead %", "worst-case delay (iters)"
+    );
+
+    for scheme in [EccScheme::Sed, EccScheme::Secded64, EccScheme::Crc32c] {
+        for interval in [1u32, 2, 8, 32, 128] {
+            let cfg = ProtectionConfig::matrix_only(scheme)
+                .with_check_interval(interval)
+                .with_crc_backend(Crc32cBackend::SlicingBy16);
+            let seconds = (0..3)
+                .map(|_| time_cg(&system, &cfg, iters))
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "{:<12} {:>10} {:>12.4} {:>12.1} {:>22}",
+                scheme.label(),
+                interval,
+                seconds,
+                overhead_pct(baseline, seconds),
+                interval - 1
+            );
+        }
+        println!();
+    }
+}

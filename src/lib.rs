@@ -1,0 +1,34 @@
+//! # abft-suite — umbrella crate
+//!
+//! Re-exports the public API of the ABFT sparse-matrix-solver reproduction so
+//! downstream users (and the examples/integration tests in this repository)
+//! can depend on a single crate:
+//!
+//! * [`ecc`] — software error detecting/correcting codes (SED, SECDED, CRC32C)
+//! * [`sparse`] — CSR/COO matrices, dense vectors, SpMV and BLAS-1 kernels
+//! * [`core`] — the protected data structures (the paper's contribution)
+//! * [`solvers`] — CG, Jacobi, Chebyshev and PPCG iterative solvers
+//! * [`tealeaf`] — the TeaLeaf-style 2-D heat-conduction mini-app
+//! * [`faultsim`] — bit-flip injection and fault campaigns
+//!
+//! See the README for a quickstart and DESIGN.md / EXPERIMENTS.md for the
+//! mapping from the paper's figures to the benchmark harness.
+
+pub use abft_core as core;
+pub use abft_ecc as ecc;
+pub use abft_faultsim as faultsim;
+pub use abft_solvers as solvers;
+pub use abft_sparse as sparse;
+pub use abft_tealeaf as tealeaf;
+
+/// Convenience prelude bringing the most commonly used types into scope.
+pub mod prelude {
+    pub use abft_core::{
+        CheckPolicy, EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig,
+    };
+    pub use abft_ecc::{CheckOutcome, Crc32c, Crc32cBackend};
+    pub use abft_faultsim::{Campaign, CampaignConfig, FaultOutcome, FaultTarget};
+    pub use abft_solvers::{CgSolver, SolveStatus, SolverConfig};
+    pub use abft_sparse::{CooMatrix, CsrMatrix, Vector};
+    pub use abft_tealeaf::{Deck, Simulation, SolverKind};
+}
