@@ -15,7 +15,9 @@ fn ecc_primitives(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_millis(1200));
-    let words: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let words: Vec<u64> = (0..1024u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
 
     group.throughput(Throughput::Bytes((words.len() * 8) as u64));
     group.bench_function("parity_u64", |b| {
@@ -81,7 +83,9 @@ fn ecc_primitives(c: &mut Criterion) {
 
 fn protected_kernels(c: &mut Criterion) {
     let system = abft_bench::tealeaf_system(128, 128);
-    let x: Vec<f64> = (0..system.matrix.cols()).map(|i| (i as f64 * 0.01).sin()).collect();
+    let x: Vec<f64> = (0..system.matrix.cols())
+        .map(|i| (i as f64 * 0.01).sin())
+        .collect();
     let log = FaultLog::new();
 
     let mut group = c.benchmark_group("spmv_kernels");

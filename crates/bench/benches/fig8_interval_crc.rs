@@ -6,8 +6,6 @@
 use abft_bench::{tealeaf_system, TeaLeafSystem};
 use abft_core::{EccScheme, ProtectionConfig};
 use abft_ecc::Crc32cBackend;
-use abft_solvers::{cg::cg_plain, CgSolver, SolverConfig};
-use abft_sparse::Vector;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -17,22 +15,7 @@ const ITERS: usize = 20;
 const INTERVALS: [u32; 6] = [1, 2, 4, 16, 64, 128];
 
 fn run(system: &TeaLeafSystem, protection: &ProtectionConfig) {
-    let config = SolverConfig::new(ITERS, 0.0);
-    if protection.is_unprotected() {
-        let (x, _) = cg_plain(
-            &system.matrix,
-            &Vector::from_vec(system.rhs.clone()),
-            &config,
-            false,
-        );
-        std::hint::black_box(x);
-    } else {
-        let solver = CgSolver::new(config);
-        let result = solver
-            .solve(&system.matrix, &system.rhs, protection)
-            .expect("clean solve");
-        std::hint::black_box(result.solution);
-    }
+    abft_bench::bench_cg_solve(system, protection, ITERS);
 }
 
 fn bench(c: &mut Criterion) {

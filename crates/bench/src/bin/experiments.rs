@@ -16,14 +16,13 @@
 //! Absolute times depend on the host; the quantity to compare against the
 //! paper is the *relative overhead* column and its ordering across schemes.
 
+use abft_bench::json::Json;
 use abft_bench::{
     combined_full_protection, convergence_impact, fault_campaign_summary, figure4, figure5,
     figure6, figure7, figure8, figure9, FigureTable, MeasurementConfig,
 };
 use abft_ecc::analysis::{crc32c_hd6_window, operating_points, sweep_crc32c};
 use abft_ecc::{Crc32c, Crc32cBackend};
-use serde::Serialize;
-use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -102,9 +101,7 @@ fn parse_args() -> Result<Args, String> {
             "--parallel" => args.parallel = true,
             "--nx" => args.nx = value("--nx")?.parse().map_err(|e| format!("{e}"))?,
             "--ny" => args.ny = value("--ny")?.parse().map_err(|e| format!("{e}"))?,
-            "--iters" => {
-                args.iterations = value("--iters")?.parse().map_err(|e| format!("{e}"))?
-            }
+            "--iters" => args.iterations = value("--iters")?.parse().map_err(|e| format!("{e}"))?,
             "--repeats" => {
                 args.repeats = value("--repeats")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -129,12 +126,83 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct JsonOutput {
     figures: Vec<FigureTable>,
     convergence: Vec<abft_bench::ConvergenceRow>,
     campaign: Vec<abft_bench::CampaignRow>,
-    crc_capability: BTreeMap<String, serde_json::Value>,
+    crc_capability: Vec<(String, Json)>,
+}
+
+impl JsonOutput {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "figures",
+                Json::Arr(self.figures.iter().map(figure_json).collect()),
+            ),
+            (
+                "convergence",
+                Json::Arr(self.convergence.iter().map(convergence_json).collect()),
+            ),
+            (
+                "campaign",
+                Json::Arr(self.campaign.iter().map(campaign_json).collect()),
+            ),
+            ("crc_capability", Json::Obj(self.crc_capability.clone())),
+        ])
+    }
+}
+
+fn figure_json(table: &FigureTable) -> Json {
+    Json::obj([
+        ("figure", table.figure.clone().into()),
+        ("title", table.title.clone().into()),
+        ("workload", table.workload.clone().into()),
+        ("baseline_seconds", table.baseline_seconds.into()),
+        (
+            "rows",
+            Json::Arr(
+                table
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        Json::obj([
+                            ("label", row.label.clone().into()),
+                            ("seconds", row.seconds.into()),
+                            ("overhead_pct", row.overhead_pct.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn convergence_json(row: &abft_bench::ConvergenceRow) -> Json {
+    Json::obj([
+        ("scheme", row.scheme.clone().into()),
+        ("iterations", row.iterations.into()),
+        ("baseline_iterations", row.baseline_iterations.into()),
+        ("iteration_increase_pct", row.iteration_increase_pct.into()),
+        (
+            "solution_norm_difference_pct",
+            row.solution_norm_difference_pct.into(),
+        ),
+    ])
+}
+
+fn campaign_json(row: &abft_bench::CampaignRow) -> Json {
+    Json::obj([
+        ("scheme", row.scheme.clone().into()),
+        ("target", row.target.clone().into()),
+        ("trials", row.trials.into()),
+        ("corrected_pct", row.corrected_pct.into()),
+        ("detected_pct", row.detected_pct.into()),
+        ("bounds_pct", row.bounds_pct.into()),
+        ("masked_pct", row.masked_pct.into()),
+        ("sdc_pct", row.sdc_pct.into()),
+    ])
 }
 
 fn main() {
@@ -254,21 +322,20 @@ fn main() {
                 sweep.patterns,
                 100.0 * sweep.detection_rate()
             );
-            output.crc_capability.insert(
+            output.crc_capability.push((
                 format!("weight_{weight}"),
-                serde_json::json!({
-                    "patterns": sweep.patterns,
-                    "detected": sweep.detected,
-                    "rate": sweep.detection_rate(),
-                }),
-            );
+                Json::obj([
+                    ("patterns", sweep.patterns.into()),
+                    ("detected", sweep.detected.into()),
+                    ("rate", sweep.detection_rate().into()),
+                ]),
+            ));
         }
         println!();
     }
 
     if let Some(path) = &args.json {
-        let json = serde_json::to_string_pretty(&output).expect("serialise results");
-        std::fs::write(path, json).expect("write JSON output");
+        std::fs::write(path, output.to_json().render()).expect("write JSON output");
         println!("machine-readable results written to {path}");
     }
 }

@@ -16,13 +16,14 @@
 use abft_core::{EccScheme, ProtectionConfig};
 use abft_ecc::Crc32cBackend;
 use abft_faultsim::{Campaign, CampaignConfig, FaultOutcome, FaultTarget};
-use abft_solvers::{cg::cg_plain, CgSolver, SolverConfig};
-use abft_sparse::{CsrMatrix, Vector};
+use abft_solvers::{ProtectionMode, Solver};
+use abft_sparse::CsrMatrix;
 use abft_tealeaf::assembly::{assemble_matrix, assemble_rhs, face_coefficients, Conductivity};
 use abft_tealeaf::states::apply_states;
 use abft_tealeaf::{Deck, Grid};
-use serde::Serialize;
 use std::time::Instant;
+
+pub mod json;
 
 /// A TeaLeaf linear system (conduction matrix and right-hand side) for one
 /// time-step of the standard benchmark deck.
@@ -54,26 +55,24 @@ pub fn tealeaf_system(nx: usize, ny: usize) -> TeaLeafSystem {
 /// The unprotected configuration takes the plain baseline path — the same
 /// code the paper's unmodified TeaLeaf would run.
 pub fn time_cg(system: &TeaLeafSystem, protection: &ProtectionConfig, iterations: usize) -> f64 {
-    let config = SolverConfig::new(iterations, 0.0);
     let start = Instant::now();
-    if protection.is_unprotected() {
-        let (x, status) = cg_plain(
-            &system.matrix,
-            &Vector::from_vec(system.rhs.clone()),
-            &config,
-            protection.parallel,
-        );
-        assert_eq!(status.iterations, iterations);
-        std::hint::black_box(x);
-    } else {
-        let solver = CgSolver::new(config);
-        let result = solver
-            .solve(&system.matrix, &system.rhs, protection)
-            .expect("protected solve must succeed on clean data");
-        assert_eq!(result.status.iterations, iterations);
-        std::hint::black_box(result.solution);
-    }
+    bench_cg_solve(system, protection, iterations);
     start.elapsed().as_secs_f64()
+}
+
+/// The solve body shared by [`time_cg`] and the per-figure Criterion
+/// benches: exactly `iterations` CG iterations under `protection`, with the
+/// solution black-boxed so the optimiser cannot elide the work.
+pub fn bench_cg_solve(system: &TeaLeafSystem, protection: &ProtectionConfig, iterations: usize) {
+    let outcome = Solver::cg()
+        .max_iterations(iterations)
+        .tolerance(0.0)
+        .protection(ProtectionMode::from_config(protection))
+        .parallel(protection.parallel)
+        .solve(&system.matrix, &system.rhs)
+        .expect("solve must succeed on clean data");
+    assert_eq!(outcome.status.iterations, iterations);
+    std::hint::black_box(outcome.solution);
 }
 
 /// Runtime overhead of `protected` relative to `baseline`, in percent.
@@ -82,7 +81,7 @@ pub fn overhead_pct(baseline_seconds: f64, protected_seconds: f64) -> f64 {
 }
 
 /// One row of an overhead table (one bar of a figure).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// Configuration label (e.g. "SECDED64" or "CRC32C (hw)").
     pub label: String,
@@ -93,7 +92,7 @@ pub struct OverheadRow {
 }
 
 /// A complete table for one figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureTable {
     /// Figure identifier, e.g. "Figure 4".
     pub figure: String,
@@ -283,7 +282,13 @@ pub fn figure_interval_sweep(
 
 /// Figure 6: SED full-matrix protection vs check interval.
 pub fn figure6(m: &MeasurementConfig, intervals: &[u32]) -> FigureTable {
-    figure_interval_sweep("Figure 6", EccScheme::Sed, Crc32cBackend::Hardware, intervals, m)
+    figure_interval_sweep(
+        "Figure 6",
+        EccScheme::Sed,
+        Crc32cBackend::Hardware,
+        intervals,
+        m,
+    )
 }
 
 /// Figure 7: SECDED64 full-matrix protection vs check interval.
@@ -331,7 +336,7 @@ pub fn combined_full_protection(m: &MeasurementConfig) -> FigureTable {
 }
 
 /// One row of the convergence-impact study (§VI-B).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ConvergenceRow {
     /// Scheme label.
     pub scheme: String,
@@ -349,31 +354,28 @@ pub struct ConvergenceRow {
 /// by a negligible amount and the iteration count by less than ~1 %.
 pub fn convergence_impact(nx: usize, ny: usize) -> Vec<ConvergenceRow> {
     let system = tealeaf_system(nx, ny);
-    let config = SolverConfig::new(5000, 1e-15);
-    let (x_ref, status_ref) = cg_plain(
-        &system.matrix,
-        &Vector::from_vec(system.rhs.clone()),
-        &config,
-        false,
-    );
-    let ref_norm: f64 = x_ref.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt();
-    let solver = CgSolver::new(config);
+    let solver = Solver::cg().max_iterations(5000).tolerance(1e-15);
+    let reference = solver
+        .solve(&system.matrix, &system.rhs)
+        .expect("plain reference solve");
+    let ref_norm: f64 = reference.solution.iter().map(|v| v * v).sum::<f64>().sqrt();
     EccScheme::ALL
         .iter()
         .map(|&scheme| {
             let protection =
                 ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::Hardware);
             let result = solver
-                .solve(&system.matrix, &system.rhs, &protection)
+                .protection(ProtectionMode::Full(protection))
+                .solve(&system.matrix, &system.rhs)
                 .expect("protected solve");
             let norm: f64 = result.solution.iter().map(|v| v * v).sum::<f64>().sqrt();
             ConvergenceRow {
                 scheme: scheme.label().to_string(),
                 iterations: result.status.iterations,
-                baseline_iterations: status_ref.iterations,
+                baseline_iterations: reference.status.iterations,
                 iteration_increase_pct: 100.0
-                    * (result.status.iterations as f64 - status_ref.iterations as f64)
-                    / status_ref.iterations as f64,
+                    * (result.status.iterations as f64 - reference.status.iterations as f64)
+                    / reference.status.iterations as f64,
                 solution_norm_difference_pct: 100.0 * ((norm - ref_norm) / ref_norm).abs(),
             }
         })
@@ -381,7 +383,7 @@ pub fn convergence_impact(nx: usize, ny: usize) -> Vec<ConvergenceRow> {
 }
 
 /// One row of the fault-injection summary table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CampaignRow {
     /// Scheme label.
     pub scheme: String,
@@ -429,7 +431,7 @@ pub fn fault_campaign_summary(trials: usize, seed: u64) -> Vec<CampaignRow> {
                 },
                 target,
                 seed,
-                sdc_threshold: 1e-9,
+                ..CampaignConfig::default()
             };
             let stats = Campaign::new(config).run();
             rows.push(CampaignRow {
@@ -471,11 +473,7 @@ mod tests {
     fn timing_runs_for_protected_and_unprotected() {
         let system = tealeaf_system(16, 16);
         let t0 = time_cg(&system, &ProtectionConfig::unprotected(), 5);
-        let t1 = time_cg(
-            &system,
-            &ProtectionConfig::full(EccScheme::Secded64),
-            5,
-        );
+        let t1 = time_cg(&system, &ProtectionConfig::full(EccScheme::Secded64), 5);
         assert!(t0 > 0.0 && t1 > 0.0);
     }
 

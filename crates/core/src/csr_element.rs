@@ -103,7 +103,8 @@ impl ElementCodec {
                     } else {
                         // A trailing unpaired element carries its own
                         // per-element SECDED code (only 8 spare bits exist).
-                        cols[k] = encode_secded64_element(values[k].to_bits(), cols[k] & COL_MASK_24);
+                        cols[k] =
+                            encode_secded64_element(values[k].to_bits(), cols[k] & COL_MASK_24);
                     }
                     k += 2;
                 }
@@ -124,7 +125,8 @@ impl ElementCodec {
                     for c in cols[start..end].iter_mut() {
                         *c &= COL_MASK_24;
                     }
-                    let checksum = self.row_checksum(&values[start..end], &cols[start..end], &mut scratch);
+                    let checksum =
+                        self.row_checksum(&values[start..end], &cols[start..end], &mut scratch);
                     for (i, byte) in checksum.to_le_bytes().iter().enumerate() {
                         cols[start + i] |= (*byte as u32) << 24;
                     }
@@ -343,7 +345,10 @@ impl ElementCodec {
         scratch: &mut Vec<u8>,
         log: &FaultLog,
     ) -> Result<(), AbftError> {
-        debug_assert!(end - start >= 4, "CRC-protected rows have at least 4 entries");
+        debug_assert!(
+            end - start >= 4,
+            "CRC-protected rows have at least 4 entries"
+        );
         let computed = self.row_checksum(&values[start..end], &cols[start..end], scratch);
         let stored = self.stored_row_checksum(cols, start);
         if computed == stored {
@@ -586,7 +591,11 @@ mod tests {
         let row_ptr = vec![0u32, 3];
         assert!(matches!(
             codec.encode(&values, &mut cols, &row_ptr),
-            Err(AbftError::RowTooShort { row: 0, entries: 3, min: 4 })
+            Err(AbftError::RowTooShort {
+                row: 0,
+                entries: 3,
+                min: 4
+            })
         ));
     }
 

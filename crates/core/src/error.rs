@@ -14,7 +14,11 @@ pub enum AbftError {
     TooManyNonZeros { nnz: usize, max: usize },
     /// A matrix row has fewer stored entries than the scheme needs to embed
     /// its redundancy (CRC32C requires at least four entries per row).
-    RowTooShort { row: usize, entries: usize, min: usize },
+    RowTooShort {
+        row: usize,
+        entries: usize,
+        min: usize,
+    },
     /// An uncorrectable error was detected during an integrity check.  The
     /// solver can react (re-assemble the matrix, restart the time-step, fall
     /// back to checkpoint-restart) instead of crashing.
@@ -22,7 +26,12 @@ pub enum AbftError {
     /// An index read from a (possibly corrupted) structure was out of range;
     /// raised by the bounds checks that replace integrity checks between
     /// check intervals.
-    OutOfRange { region: Region, index: usize, value: usize, limit: usize },
+    OutOfRange {
+        region: Region,
+        index: usize,
+        value: usize,
+        limit: usize,
+    },
     /// The requested configuration is not supported (explanatory message).
     Unsupported(String),
 }
@@ -31,10 +40,16 @@ impl std::fmt::Display for AbftError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AbftError::TooManyColumns { cols, max } => {
-                write!(f, "matrix has {cols} columns but the scheme supports at most {max}")
+                write!(
+                    f,
+                    "matrix has {cols} columns but the scheme supports at most {max}"
+                )
             }
             AbftError::TooManyNonZeros { nnz, max } => {
-                write!(f, "matrix has {nnz} non-zeros but the scheme supports at most {max}")
+                write!(
+                    f,
+                    "matrix has {nnz} non-zeros but the scheme supports at most {max}"
+                )
             }
             AbftError::RowTooShort { row, entries, min } => write!(
                 f,
@@ -68,13 +83,23 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = AbftError::TooManyColumns { cols: 1 << 25, max: (1 << 24) - 1 };
+        let e = AbftError::TooManyColumns {
+            cols: 1 << 25,
+            max: (1 << 24) - 1,
+        };
         assert!(e.to_string().contains("columns"));
         let e = AbftError::TooManyNonZeros { nnz: 10, max: 5 };
         assert!(e.to_string().contains("non-zeros"));
-        let e = AbftError::RowTooShort { row: 3, entries: 2, min: 4 };
+        let e = AbftError::RowTooShort {
+            row: 3,
+            entries: 2,
+            min: 4,
+        };
         assert!(e.to_string().contains("row 3"));
-        let e = AbftError::Uncorrectable { region: Region::RowPointer, index: 7 };
+        let e = AbftError::Uncorrectable {
+            region: Region::RowPointer,
+            index: 7,
+        };
         assert!(e.to_string().contains("row pointer"));
         let e = AbftError::OutOfRange {
             region: Region::CsrElements,

@@ -50,7 +50,7 @@ impl CheckPolicy {
     /// solve is caught immediately regardless of the interval.
     #[inline]
     pub fn should_check(&self, iteration: u64) -> bool {
-        iteration % self.interval as u64 == 0
+        iteration.is_multiple_of(self.interval as u64)
     }
 
     /// Maximum number of accesses an error can stay undetected (the paper's

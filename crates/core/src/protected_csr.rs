@@ -136,6 +136,41 @@ impl ProtectedCsr {
         self.row_pointer.inject_bit_flip(entry, bit);
     }
 
+    /// Visits every stored entry as `(row, column, value)` with the
+    /// redundancy bits masked off (unchecked, like
+    /// [`ProtectedCsr::to_csr`]) — lets callers derive row-wise summaries
+    /// (diagonal, Gershgorin bounds) without materialising a plain matrix.
+    pub fn for_each_entry(&self, mut f: impl FnMut(usize, u32, f64)) {
+        let row_pointer = self.row_pointer.to_plain();
+        for row in 0..self.rows {
+            for k in row_pointer[row] as usize..row_pointer[row + 1] as usize {
+                f(
+                    row,
+                    self.codec.mask_col(self.col_indices[k]),
+                    self.values[k],
+                );
+            }
+        }
+    }
+
+    /// Extracts the diagonal as plain values (masked, unchecked; zero where
+    /// no diagonal entry is stored), mirroring
+    /// [`CsrMatrix::diagonal`](abft_sparse::CsrMatrix::diagonal) without
+    /// decoding the whole matrix.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut diag = vec![0.0; self.rows.min(self.cols)];
+        // `CsrMatrix::get` returns the *first* stored entry for a position,
+        // so take the first diagonal hit per row, not a sum.
+        let mut seen = vec![false; diag.len()];
+        self.for_each_entry(|row, col, value| {
+            if col as usize == row && row < diag.len() && !seen[row] {
+                diag[row] = value;
+                seen[row] = true;
+            }
+        });
+        diag
+    }
+
     /// Decodes the matrix back into a plain [`CsrMatrix`] (masked, unchecked).
     pub fn to_csr(&self) -> CsrMatrix {
         let cols: Vec<u32> = self
@@ -293,8 +328,7 @@ impl ProtectedCsr {
             EccScheme::None => unreachable!(),
             EccScheme::Sed => {
                 for k in start..end {
-                    if parity_u64(self.values[k].to_bits()) ^ parity_u32(self.col_indices[k]) != 0
-                    {
+                    if parity_u64(self.values[k].to_bits()) ^ parity_u32(self.col_indices[k]) != 0 {
                         log.record_uncorrectable(Region::CsrElements);
                         return Err(AbftError::Uncorrectable {
                             region: Region::CsrElements,
@@ -519,8 +553,7 @@ impl ProtectedCsr {
             EccScheme::Sed => {
                 for k in start..end {
                     log.record_check(Region::CsrElements);
-                    if parity_u64(self.values[k].to_bits()) ^ parity_u32(self.col_indices[k]) != 0
-                    {
+                    if parity_u64(self.values[k].to_bits()) ^ parity_u32(self.col_indices[k]) != 0 {
                         log.record_uncorrectable(Region::CsrElements);
                         return Err(AbftError::Uncorrectable {
                             region: Region::CsrElements,
@@ -589,8 +622,19 @@ mod tests {
         let m = test_matrix();
         let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.13).cos()).collect();
         let expected = reference_spmv(&m, &x);
-        for elements in [EccScheme::None, EccScheme::Sed, EccScheme::Secded64, EccScheme::Secded128, EccScheme::Crc32c] {
-            for row_pointer in [EccScheme::None, EccScheme::Sed, EccScheme::Secded64, EccScheme::Crc32c] {
+        for elements in [
+            EccScheme::None,
+            EccScheme::Sed,
+            EccScheme::Secded64,
+            EccScheme::Secded128,
+            EccScheme::Crc32c,
+        ] {
+            for row_pointer in [
+                EccScheme::None,
+                EccScheme::Sed,
+                EccScheme::Secded64,
+                EccScheme::Crc32c,
+            ] {
                 let p = ProtectedCsr::from_csr(&m, &config(elements, row_pointer)).unwrap();
                 let log = FaultLog::new();
                 let mut y = vec![0.0; m.rows()];
@@ -750,7 +794,13 @@ mod tests {
         let log = FaultLog::new();
         let mut y = vec![0.0; m.rows()];
         let err = p.spmv(&x, &mut y, 0, &log).unwrap_err();
-        assert!(matches!(err, AbftError::Uncorrectable { region: Region::CsrElements, .. }));
+        assert!(matches!(
+            err,
+            AbftError::Uncorrectable {
+                region: Region::CsrElements,
+                ..
+            }
+        ));
         assert!(log.total_uncorrectable() > 0);
     }
 

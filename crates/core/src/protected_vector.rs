@@ -62,7 +62,7 @@ impl ProtectedVector {
     /// lost (masked to zero) — this is the controlled noise §VI-B discusses.
     pub fn from_slice(values: &[f64], scheme: EccScheme, backend: Crc32cBackend) -> Self {
         let group = scheme.vector_group();
-        let padded = values.len().div_ceil(group).max(0) * group;
+        let padded = values.len().div_ceil(group) * group;
         let mut v = ProtectedVector {
             scheme,
             data: vec![0u64; padded],
@@ -240,6 +240,59 @@ impl ProtectedVector {
         self.fill_from_fn(|_| value);
     }
 
+    /// Read-modify-write of every element through `f(index, value)`, one
+    /// decode + one encode per codeword group (§VI-C buffering).  This is the
+    /// primitive behind the pointwise solver updates (Jacobi's
+    /// `x += D⁻¹ (b − A x)` and scalar scaling) on protected storage.
+    pub fn update_from_fn(
+        &mut self,
+        log: &FaultLog,
+        mut f: impl FnMut(usize, f64) -> f64,
+    ) -> Result<(), AbftError> {
+        let group = self.group_size();
+        if self.scheme != EccScheme::None {
+            log.record_checks(Region::DenseVector, (self.data.len() / group) as u64);
+        }
+        let len = self.len;
+        let mut base = 0;
+        while base < self.data.len() {
+            let (mut buf, _) = self.decode_group(base, log)?;
+            let count = group.min(len.saturating_sub(base));
+            for (j, value) in buf[..count].iter_mut().enumerate() {
+                *value = f(base + j, *value);
+            }
+            self.encode_group(base, &buf);
+            base += group;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `alpha` (checked read-modify-write).
+    pub fn scale(&mut self, alpha: f64, log: &FaultLog) -> Result<(), AbftError> {
+        self.update_from_fn(log, |_, value| value * alpha)
+    }
+
+    /// Decodes the whole vector into `out`, verifying each codeword group as
+    /// it is read (the checked counterpart of [`ProtectedVector::to_vec`],
+    /// without allocating).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn read_checked(&self, out: &mut [f64], log: &FaultLog) -> Result<(), AbftError> {
+        assert_eq!(out.len(), self.len, "read_checked: length mismatch");
+        let group = self.group_size();
+        if self.scheme != EccScheme::None {
+            log.record_checks(Region::DenseVector, (self.data.len() / group) as u64);
+        }
+        let mut base = 0;
+        while base < self.data.len() {
+            let (buf, logical) = self.decode_group(base, log)?;
+            out[base..base + logical].copy_from_slice(&buf[..logical]);
+            base += group;
+        }
+        Ok(())
+    }
+
     /// Copies (and re-encodes) the contents of `other`, checking `other` as
     /// it is read.
     pub fn copy_from(&mut self, other: &ProtectedVector, log: &FaultLog) -> Result<(), AbftError> {
@@ -385,7 +438,11 @@ impl ProtectedVector {
     /// values plus the number of *logical* elements in the group.  Errors are
     /// recorded in `log`.
     #[inline]
-    fn decode_group(&self, base: usize, log: &FaultLog) -> Result<([f64; MAX_GROUP], usize), AbftError> {
+    fn decode_group(
+        &self,
+        base: usize,
+        log: &FaultLog,
+    ) -> Result<([f64; MAX_GROUP], usize), AbftError> {
         let group = self.group_size();
         // The storage is padded to whole groups; `count` is how many of the
         // group's elements are real.
@@ -551,26 +608,30 @@ impl ProtectedVector {
         let count = self.group_size().min(self.data.len() - base);
         match self.scheme {
             EccScheme::None => {
-                for j in 0..count {
-                    self.data[base + j] = values[j].to_bits();
+                for (j, v) in values[..count].iter().enumerate() {
+                    self.data[base + j] = v.to_bits();
                 }
             }
             EccScheme::Sed => {
-                for j in 0..count {
-                    let payload = values[j].to_bits() & mask;
+                for (j, v) in values[..count].iter().enumerate() {
+                    let payload = v.to_bits() & mask;
                     self.data[base + j] = payload | parity_u64(payload) as u64;
                 }
             }
             EccScheme::Secded64 => {
-                for j in 0..count {
-                    let payload = [values[j].to_bits() >> 8];
+                for (j, v) in values[..count].iter().enumerate() {
+                    let payload = [v.to_bits() >> 8];
                     let red = SECDED_56.encode(&payload) as u64;
                     self.data[base + j] = (payload[0] << 8) | red;
                 }
             }
             EccScheme::Secded128 => {
                 let b0 = values[0].to_bits() >> 5;
-                let b1 = if count > 1 { values[1].to_bits() >> 5 } else { 0 };
+                let b1 = if count > 1 {
+                    values[1].to_bits() >> 5
+                } else {
+                    0
+                };
                 let payload = [b0 | (b1 << 59), b1 >> 5];
                 let red = SECDED_118.encode(&payload) as u64;
                 self.data[base] = (b0 << 5) | (red & 0x1F);
@@ -580,12 +641,12 @@ impl ProtectedVector {
             }
             EccScheme::Crc32c => {
                 let mut words = [0u64; MAX_GROUP];
-                for j in 0..count {
-                    words[j] = values[j].to_bits() & mask;
+                for (w, v) in words[..count].iter_mut().zip(values) {
+                    *w = v.to_bits() & mask;
                 }
                 let checksum = self.crc_group_checksum(&words, count);
-                for j in 0..count {
-                    self.data[base + j] = words[j] | (((checksum >> (8 * j)) & 0xFF) as u64);
+                for (j, &w) in words[..count].iter().enumerate() {
+                    self.data[base + j] = w | (((checksum >> (8 * j)) & 0xFF) as u64);
                 }
             }
         }
@@ -608,7 +669,9 @@ mod tests {
     use super::*;
 
     fn sample(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.618).sin() * 1000.0 + 0.125).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.618).sin() * 1000.0 + 0.125)
+            .collect()
     }
 
     fn all_schemes() -> [EccScheme; 5] {
@@ -723,7 +786,10 @@ mod tests {
             // protected kernels are defined to compute with.
             let expect_dot: f64 = (0..25).map(|i| a.get(i) * b.get(i)).sum();
             let got = a.dot(&b, &log).unwrap();
-            assert!((got - expect_dot).abs() <= 1e-9 * expect_dot.abs().max(1.0), "{scheme:?}");
+            assert!(
+                (got - expect_dot).abs() <= 1e-9 * expect_dot.abs().max(1.0),
+                "{scheme:?}"
+            );
 
             let mut y = a.clone();
             y.axpy(2.5, &b, &log).unwrap();
@@ -747,7 +813,10 @@ mod tests {
     }
 
     fn expect_dot_norm(a: &ProtectedVector) -> f64 {
-        (0..a.len()).map(|i| a.get(i) * a.get(i)).sum::<f64>().sqrt()
+        (0..a.len())
+            .map(|i| a.get(i) * a.get(i))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
@@ -783,7 +852,8 @@ mod tests {
     #[test]
     fn copy_between_different_schemes() {
         let log = FaultLog::new();
-        let src = ProtectedVector::from_slice(&sample(9), EccScheme::Crc32c, Crc32cBackend::SlicingBy16);
+        let src =
+            ProtectedVector::from_slice(&sample(9), EccScheme::Crc32c, Crc32cBackend::SlicingBy16);
         let mut dst = ProtectedVector::zeros(9, EccScheme::Sed, Crc32cBackend::SlicingBy16);
         dst.copy_from(&src, &log).unwrap();
         for i in 0..9 {
@@ -798,9 +868,15 @@ mod tests {
 
     #[test]
     fn masking_noise_bound_is_small() {
-        assert_eq!(masking_relative_error_bound(EccScheme::None), 2f64.powi(-52));
+        assert_eq!(
+            masking_relative_error_bound(EccScheme::None),
+            2f64.powi(-52)
+        );
         assert!(masking_relative_error_bound(EccScheme::Crc32c) < 1e-12);
-        assert!(masking_relative_error_bound(EccScheme::Secded128) < masking_relative_error_bound(EccScheme::Secded64));
+        assert!(
+            masking_relative_error_bound(EccScheme::Secded128)
+                < masking_relative_error_bound(EccScheme::Secded64)
+        );
     }
 
     #[test]
@@ -823,7 +899,8 @@ mod tests {
         for scheme in [EccScheme::Secded128, EccScheme::Crc32c] {
             for n in [1usize, 2, 3, 5, 6, 7, 9] {
                 let values = sample(n);
-                let clean = ProtectedVector::from_slice(&values, scheme, Crc32cBackend::SlicingBy16);
+                let clean =
+                    ProtectedVector::from_slice(&values, scheme, Crc32cBackend::SlicingBy16);
                 let mut v = clean.clone();
                 v.inject_bit_flip(n - 1, 37);
                 v.check_all(&log).unwrap();

@@ -164,6 +164,21 @@ impl FaultLog {
         snap
     }
 
+    /// Adds the counters of a snapshot into this log, so activity recorded by
+    /// a nested solve (which runs with its own fault context) can be folded
+    /// into an aggregate log.
+    pub fn absorb(&self, snapshot: &FaultLogSnapshot) {
+        for (i, r) in self.regions.iter().enumerate() {
+            r.checks.fetch_add(snapshot.checks[i], Ordering::Relaxed);
+            r.corrected
+                .fetch_add(snapshot.corrected[i], Ordering::Relaxed);
+            r.uncorrectable
+                .fetch_add(snapshot.uncorrectable[i], Ordering::Relaxed);
+            r.bounds_violations
+                .fetch_add(snapshot.bounds_violations[i], Ordering::Relaxed);
+        }
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&self) {
         for r in &self.regions {

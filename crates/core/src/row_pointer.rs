@@ -474,9 +474,15 @@ mod tests {
     #[test]
     fn roundtrip_all_schemes() {
         let row_ptr = sample_row_ptr(23, 5);
-        for scheme in [EccScheme::None, EccScheme::Sed, EccScheme::Secded64, EccScheme::Secded128, EccScheme::Crc32c] {
-            let p = ProtectedRowPointer::encode(&row_ptr, scheme, Crc32cBackend::SlicingBy16)
-                .unwrap();
+        for scheme in [
+            EccScheme::None,
+            EccScheme::Sed,
+            EccScheme::Secded64,
+            EccScheme::Secded128,
+            EccScheme::Crc32c,
+        ] {
+            let p =
+                ProtectedRowPointer::encode(&row_ptr, scheme, Crc32cBackend::SlicingBy16).unwrap();
             assert_eq!(p.to_plain(), row_ptr, "{scheme:?}");
             assert_eq!(p.scheme(), scheme);
             assert_eq!(p.len(), 24);
@@ -530,7 +536,12 @@ mod tests {
             assert_eq!(p.row_range(5, true, &log).unwrap(), (25, 30), "{scheme:?}");
             assert!(log.total_corrected() > 0);
             // The storage still holds the flipped bit until scrubbed.
-            assert_ne!(p.raw()[5], ProtectedRowPointer::encode(&row_ptr, scheme, Crc32cBackend::SlicingBy16).unwrap().raw()[5]);
+            assert_ne!(
+                p.raw()[5],
+                ProtectedRowPointer::encode(&row_ptr, scheme, Crc32cBackend::SlicingBy16)
+                    .unwrap()
+                    .raw()[5]
+            );
             let repaired = p.scrub(&log).unwrap();
             assert_eq!(repaired, 1);
             assert_eq!(p.to_plain(), row_ptr);
@@ -588,7 +599,11 @@ mod tests {
         p.inject_bit_flip(6, 0);
         let log = FaultLog::new();
         let unchecked = p.row_range(6, false, &log).unwrap();
-        assert_ne!(unchecked, (30, 35), "bounds check alone accepts the corrupt offset");
+        assert_ne!(
+            unchecked,
+            (30, 35),
+            "bounds check alone accepts the corrupt offset"
+        );
         let checked = p.row_range(6, true, &log).unwrap();
         assert_eq!(checked, (30, 35));
     }
@@ -597,7 +612,10 @@ mod tests {
     fn nnz_limits_are_enforced() {
         // SED allows up to 2^31-1 but SECDED64 only 2^28-1.
         let row_ptr = vec![0u32, (1 << 28) + 5];
-        assert!(ProtectedRowPointer::encode(&row_ptr, EccScheme::Sed, Crc32cBackend::SlicingBy16).is_ok());
+        assert!(
+            ProtectedRowPointer::encode(&row_ptr, EccScheme::Sed, Crc32cBackend::SlicingBy16)
+                .is_ok()
+        );
         assert!(matches!(
             ProtectedRowPointer::encode(&row_ptr, EccScheme::Secded64, Crc32cBackend::SlicingBy16),
             Err(AbftError::TooManyNonZeros { .. })

@@ -167,7 +167,9 @@ mod tests {
         let m = pad_rows_to_min_entries(&poisson_2d(9, 7), 4);
         let cfg = full_config(scheme);
         let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
-        let x_plain: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.11).sin() + 2.0).collect();
+        let x_plain: Vec<f64> = (0..m.cols())
+            .map(|i| (i as f64 * 0.11).sin() + 2.0)
+            .collect();
         let x = ProtectedVector::from_slice(&x_plain, scheme, cfg.crc_backend);
         let y = ProtectedVector::zeros(m.rows(), scheme, cfg.crc_backend);
         // Reference computed with the *masked* x (what the protected kernel sees).
@@ -179,14 +181,23 @@ mod tests {
 
     #[test]
     fn fully_protected_spmv_matches_reference() {
-        for scheme in [EccScheme::None, EccScheme::Sed, EccScheme::Secded64, EccScheme::Secded128, EccScheme::Crc32c] {
+        for scheme in [
+            EccScheme::None,
+            EccScheme::Sed,
+            EccScheme::Secded64,
+            EccScheme::Secded128,
+            EccScheme::Crc32c,
+        ] {
             let (a, mut x, mut y, reference) = setup(scheme);
             let log = FaultLog::new();
             protected_spmv(&a, &mut x, &mut y, 0, &log).unwrap();
             for (row, &expect) in reference.iter().enumerate() {
                 let got = y.get(row);
                 let tol = 1e-12 * expect.abs().max(1.0);
-                assert!((got - expect).abs() <= tol.max(1e-10), "{scheme:?} row {row}: {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() <= tol.max(1e-10),
+                    "{scheme:?} row {row}: {got} vs {expect}"
+                );
             }
             assert_eq!(log.total_corrected() + log.total_uncorrectable(), 0);
 
@@ -234,10 +245,11 @@ mod tests {
         let log = FaultLog::new();
         protected_spmv_auto(&a, &mut x, &mut y, 0, &log).unwrap();
         // Row sums of the padded Poisson operator are reproduced.
+        let ones = vec![1.0; m.cols()];
         let mut reference = vec![0.0; m.rows()];
-        abft_sparse::spmv::spmv_serial(&m, &vec![1.0; m.cols()], &mut reference);
-        for row in 0..m.rows() {
-            assert!((y.get(row) - reference[row]).abs() < 1e-12);
+        abft_sparse::spmv::spmv_serial(&m, &ones, &mut reference);
+        for (row, expect) in reference.iter().enumerate() {
+            assert!((y.get(row) - expect).abs() < 1e-12);
         }
     }
 
@@ -246,15 +258,16 @@ mod tests {
         let data = vec![1.5, -2.25, 3.0];
         let slice: &[f64] = &data;
         let vector = Vector::from_vec(data.clone());
-        let protected = ProtectedVector::from_slice(&data, EccScheme::None, Crc32cBackend::SlicingBy16);
+        let protected =
+            ProtectedVector::from_slice(&data, EccScheme::None, Crc32cBackend::SlicingBy16);
         assert_eq!(slice.length(), 3);
         assert_eq!(data.length(), 3);
         assert_eq!(vector.length(), 3);
         assert_eq!(protected.length(), 3);
-        for i in 0..3 {
-            assert_eq!(slice.value(i), data[i]);
-            assert_eq!(vector.value(i), data[i]);
-            assert_eq!(protected.value(i), data[i]);
+        for (i, &expect) in data.iter().enumerate() {
+            assert_eq!(slice.value(i), expect);
+            assert_eq!(vector.value(i), expect);
+            assert_eq!(protected.value(i), expect);
         }
     }
 }

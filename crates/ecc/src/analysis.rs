@@ -79,12 +79,7 @@ pub fn sweep_secded(code: &Secded, payload: &[u64]) -> (DetectionSweep, Detectio
 /// detected.  Patterns are enumerated exhaustively when their count does not
 /// exceed `max_patterns`, otherwise a deterministic stride-sampled subset is
 /// used.
-pub fn sweep_crc32c(
-    crc: &Crc32c,
-    data: &[u8],
-    weight: usize,
-    max_patterns: u64,
-) -> DetectionSweep {
+pub fn sweep_crc32c(crc: &Crc32c, data: &[u8], weight: usize, max_patterns: u64) -> DetectionSweep {
     let reference = crc.checksum(data);
     let bits = data.len() * 8;
     let mut sweep = DetectionSweep::default();
@@ -102,7 +97,7 @@ pub fn sweep_crc32c(
     let stride = (total / max_patterns.max(1)).max(1);
     let mut counter = 0u64;
     loop {
-        if counter % stride == 0 {
+        if counter.is_multiple_of(stride) {
             for &b in &pattern {
                 buf[b / 8] ^= 1 << (b % 8);
             }

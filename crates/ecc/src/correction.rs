@@ -74,7 +74,9 @@ mod tests {
     use crate::crc32c::Crc32cBackend;
 
     fn sample(len: usize) -> Vec<u8> {
-        (0..len).map(|i| (i as u8).wrapping_mul(67).wrapping_add(13)).collect()
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(67).wrapping_add(13))
+            .collect()
     }
 
     #[test]

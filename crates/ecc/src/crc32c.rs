@@ -335,7 +335,9 @@ mod tests {
     #[test]
     fn single_bit_flips_always_detected() {
         let crc = Crc32c::best();
-        let data: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37).wrapping_add(5)).collect();
+        let data: Vec<u8> = (0..64u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(5))
+            .collect();
         let reference = crc.checksum(&data);
         for byte in 0..data.len() {
             for bit in 0..8 {

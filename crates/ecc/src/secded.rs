@@ -162,8 +162,8 @@ impl Secded {
         let mut checks = 0u16;
         for i in 0..self.check_bits as usize {
             let mut p = 0u32;
-            for w in 0..self.words {
-                p ^= parity_u64(data[w] & self.masks[i][w]);
+            for (&d, &m) in data[..self.words].iter().zip(&self.masks[i]) {
+                p ^= parity_u64(d & m);
             }
             checks |= (p as u16) << i;
         }
@@ -186,7 +186,10 @@ impl Secded {
     #[inline]
     pub fn encode(&self, data: &[u64]) -> u16 {
         let checks = self.hamming_checks(data);
-        let data_parity: u32 = data[..self.words].iter().map(|&w| parity_u64(w)).fold(0, |a, b| a ^ b);
+        let data_parity: u32 = data[..self.words]
+            .iter()
+            .map(|&w| parity_u64(w))
+            .fold(0, |a, b| a ^ b);
         let overall = data_parity ^ (checks.count_ones() & 1);
         checks | ((overall as u16) << self.check_bits)
     }
@@ -218,7 +221,10 @@ impl Secded {
         let computed_checks = self.hamming_checks(data);
         let syndrome = (stored_checks ^ computed_checks) as usize;
 
-        let data_parity: u32 = data[..self.words].iter().map(|&w| parity_u64(w)).fold(0, |a, b| a ^ b);
+        let data_parity: u32 = data[..self.words]
+            .iter()
+            .map(|&w| parity_u64(w))
+            .fold(0, |a, b| a ^ b);
         // Parity of the received codeword = data parity ^ stored check bits ^ stored parity bit.
         let received_parity =
             data_parity ^ (stored_checks.count_ones() & 1) ^ (stored_parity as u32);
@@ -392,7 +398,10 @@ mod tests {
                 let mut corrupted = data.clone();
                 crate::bitops::flip_bit(&mut corrupted, dbit);
                 let bad_red = red ^ (1u16 << rbit);
-                assert_eq!(code.check(&corrupted, bad_red), DecodeOutcome::Uncorrectable);
+                assert_eq!(
+                    code.check(&corrupted, bad_red),
+                    DecodeOutcome::Uncorrectable
+                );
             }
         }
     }

@@ -15,7 +15,7 @@
 /// odd, `0` otherwise.
 #[inline]
 pub fn parity_u32(x: u32) -> u32 {
-    (x.count_ones() & 1) as u32
+    x.count_ones() & 1
 }
 
 /// Parity of a 64-bit word.
@@ -27,7 +27,7 @@ pub fn parity_u64(x: u64) -> u32 {
 /// Parity of a 128-bit word.
 #[inline]
 pub fn parity_u128(x: u128) -> u32 {
-    (x.count_ones() & 1) as u32
+    x.count_ones() & 1
 }
 
 /// Parity of an arbitrary word slice (the XOR of all bits).
@@ -82,10 +82,7 @@ mod tests {
         assert_eq!(parity_csr_element(1, 1), 0);
         let v = 0x3FF0_0000_0000_0001_u64; // some double pattern
         let c = 12345u32;
-        assert_eq!(
-            parity_csr_element(v, c),
-            parity_u64(v) ^ parity_u32(c)
-        );
+        assert_eq!(parity_csr_element(v, c), parity_u64(v) ^ parity_u32(c));
     }
 
     #[test]

@@ -8,8 +8,9 @@
 use crate::flip::{FaultSpec, FaultTarget};
 use crate::outcome::FaultOutcome;
 use abft_core::{AbftError, EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig};
-use abft_solvers::{cg::cg_plain, CgSolver, SolverConfig};
-use abft_sparse::{CsrMatrix, Vector};
+use abft_solvers::backends::MatrixProtected;
+use abft_solvers::{ChebyshevBounds, Method, Solver, SolverError};
+use abft_sparse::CsrMatrix;
 use abft_tealeaf::assembly::{assemble_matrix, assemble_rhs, face_coefficients, Conductivity};
 use abft_tealeaf::states::apply_states;
 use abft_tealeaf::{Deck, Grid};
@@ -38,6 +39,9 @@ pub struct CampaignConfig {
     /// Relative solution error above which an undetected fault counts as a
     /// silent data corruption rather than as masked.
     pub sdc_threshold: f64,
+    /// Iterative method run on the corrupted system (the generic solver
+    /// layer makes every method injectable, not just CG).
+    pub solver: Method,
 }
 
 impl Default for CampaignConfig {
@@ -51,6 +55,7 @@ impl Default for CampaignConfig {
             target: FaultTarget::MatrixValues,
             seed: 0xABF7,
             sdc_threshold: 1e-9,
+            solver: Method::Cg,
         }
     }
 }
@@ -131,18 +136,17 @@ impl Campaign {
         let coeffs = face_coefficients(&grid, &density, Conductivity::Reciprocal);
         let matrix = assemble_matrix(&grid, &coeffs, deck.dt_init);
         let rhs = assemble_rhs(&density, &energy);
-        let (reference, status) = cg_plain(
-            &matrix,
-            &Vector::from_vec(rhs.clone()),
-            &SolverConfig::new(deck.max_iters, deck.eps),
-            false,
-        );
-        assert!(status.converged, "reference solve must converge");
+        let reference = Solver::cg()
+            .max_iterations(deck.max_iters)
+            .tolerance(deck.eps)
+            .solve(&matrix, &rhs)
+            .expect("plain reference solve cannot fault");
+        assert!(reference.status.converged, "reference solve must converge");
         Campaign {
             config,
             matrix,
             rhs,
-            reference: reference.into_vec(),
+            reference: reference.solution,
         }
     }
 
@@ -186,7 +190,6 @@ impl Campaign {
     }
 
     fn run_matrix_trial(&self, spec: &FaultSpec) -> FaultOutcome {
-        let log = FaultLog::new();
         let mut protected = match ProtectedCsr::from_csr(&self.matrix, &self.config.protection) {
             Ok(p) => p,
             Err(_) => return FaultOutcome::DetectedUncorrectable,
@@ -199,14 +202,29 @@ impl Campaign {
                 FaultTarget::DenseVector => unreachable!(),
             }
         }
-        let solver = CgSolver::new(SolverConfig::new(2000, 1e-15));
-        match solver.solve_matrix_protected(&protected, &self.rhs, &log) {
-            Err(AbftError::OutOfRange { .. }) => FaultOutcome::BoundsCaught,
+        // Jacobi needs a much larger iteration budget than the Krylov /
+        // Chebyshev methods; keep the cap tight for the others so stalled
+        // trials (e.g. an undetected corruption under no protection) don't
+        // burn 10x the iterations for nothing.
+        let max_iterations = match self.config.solver {
+            Method::Jacobi => 20_000,
+            _ => 2_000,
+        };
+        // Spectral bounds are estimated from the *clean* matrix (TeaLeaf
+        // derives them at assembly time, before any upset can strike) — the
+        // corrupted copy could yield arbitrarily bad bounds and stall the
+        // Chebyshev-type methods.
+        let solver = Solver::new(self.config.solver)
+            .max_iterations(max_iterations)
+            .tolerance(1e-15)
+            .bounds(ChebyshevBounds::estimate_gershgorin(&self.matrix));
+        match solver.solve_operator(&MatrixProtected::new(&protected), &self.rhs) {
+            Err(SolverError::Fault(AbftError::OutOfRange { .. })) => FaultOutcome::BoundsCaught,
             Err(_) => FaultOutcome::DetectedUncorrectable,
-            Ok(result) => {
-                if result.faults.total_corrected() > 0 {
+            Ok(outcome) => {
+                if outcome.faults.total_corrected() > 0 {
                     FaultOutcome::Corrected
-                } else if self.relative_error(&result.solution) <= self.config.sdc_threshold {
+                } else if self.relative_error(&outcome.solution) <= self.config.sdc_threshold {
                     FaultOutcome::Masked
                 } else {
                     FaultOutcome::SilentDataCorruption
@@ -277,11 +295,10 @@ mod tests {
             ny: 8,
             trials,
             flips_per_trial: 1,
-            protection: ProtectionConfig::full(scheme)
-                .with_crc_backend(Crc32cBackend::SlicingBy16),
+            protection: ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16),
             target,
             seed: 42,
-            sdc_threshold: 1e-9,
+            ..CampaignConfig::default()
         }
     }
 
@@ -342,8 +359,10 @@ mod tests {
         assert_eq!(stats.count(FaultOutcome::SilentDataCorruption), 0);
         // Two flips in the same codeword are uncorrectable; two flips in
         // different codewords are each corrected — both happen.
-        assert!(stats.count(FaultOutcome::DetectedUncorrectable) > 0
-            || stats.count(FaultOutcome::Corrected) > 0);
+        assert!(
+            stats.count(FaultOutcome::DetectedUncorrectable) > 0
+                || stats.count(FaultOutcome::Corrected) > 0
+        );
     }
 
     #[test]
@@ -362,6 +381,23 @@ mod tests {
                 outcome.is_safe(),
                 "burst of 5 must at least be detected, got {outcome:?}"
             );
+        }
+    }
+
+    #[test]
+    fn every_solver_method_is_injectable() {
+        // The generic solver layer means the campaign is no longer CG-only:
+        // protected Chebyshev and PPCG absorb single flips just as well.
+        for method in [Method::Jacobi, Method::Chebyshev, Method::Ppcg] {
+            let mut cfg = config(EccScheme::Secded64, FaultTarget::MatrixValues, 12);
+            cfg.solver = method;
+            let stats = Campaign::new(cfg).run();
+            assert_eq!(
+                stats.count(FaultOutcome::SilentDataCorruption),
+                0,
+                "{method:?}"
+            );
+            assert!(stats.count(FaultOutcome::Corrected) > 0, "{method:?}");
         }
     }
 

@@ -56,12 +56,7 @@ impl FaultSpec {
     /// Draws `count` independent uniformly random flips over `elements`
     /// elements of `target`.  Flips may coincide (the paper's multi-bit-upset
     /// scenario includes that case).
-    pub fn random(
-        rng: &mut impl Rng,
-        target: FaultTarget,
-        elements: usize,
-        count: usize,
-    ) -> Self {
+    pub fn random(rng: &mut impl Rng, target: FaultTarget, elements: usize, count: usize) -> Self {
         assert!(elements > 0, "cannot inject into an empty region");
         let flips = (0..count)
             .map(|_| {
@@ -87,7 +82,9 @@ impl FaultSpec {
         assert!(length >= 1 && length <= target.element_bits());
         let element = rng.gen_range(0..elements);
         let start = rng.gen_range(0..=target.element_bits() - length);
-        let flips = (0..length).map(|offset| (element, start + offset)).collect();
+        let flips = (0..length)
+            .map(|offset| (element, start + offset))
+            .collect();
         FaultSpec { target, flips }
     }
 

@@ -59,6 +59,8 @@ mod tests {
         assert!(FaultOutcome::Masked.is_safe());
         assert!(!FaultOutcome::SilentDataCorruption.is_safe());
         assert_eq!(FaultOutcome::ALL.len(), 5);
-        assert!(FaultOutcome::SilentDataCorruption.label().contains("silent"));
+        assert!(FaultOutcome::SilentDataCorruption
+            .label()
+            .contains("silent"));
     }
 }

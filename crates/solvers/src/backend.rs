@@ -1,0 +1,280 @@
+//! The backend trait layer the generic solvers are written against.
+//!
+//! The paper's central architectural claim is that ABFT protection can be
+//! slid *underneath* an unmodified solver: the iteration only ever touches
+//! the operator (one SpMV per step) and a handful of BLAS-1 vector kernels,
+//! so making those two surfaces pluggable lets one CG/Jacobi/Chebyshev/PPCG
+//! implementation serve every protection tier.  The same separation is
+//! argued by Bridges et al.'s *selective reliability* (arXiv:1206.1390) and
+//! Elliott et al.'s *opaque preconditioners* (arXiv:1404.5552): reliability
+//! is a property of the data/operator layer, not of the solver.
+//!
+//! Two traits capture the surfaces:
+//!
+//! * [`LinearOperator`] — the matrix side: `apply` (SpMV, with the iteration
+//!   index that drives the check-interval policy), vector construction for
+//!   its associated storage, the diagonal (for Jacobi), and the end-of-solve
+//!   `finish` hook (whole-matrix verification + scrubbing, §VI-A-2).
+//! * [`SolverVector`] — the vector side: the BLAS-1 kernels the CG family
+//!   needs (`dot`, `axpy`, `xpay`, `scale`, fills and copies), each
+//!   fallible because protected storage verifies codewords on access.
+//!
+//! Every operation threads a [`FaultContext`] carrying the
+//! [`FaultLog`](abft_core::FaultLog) in which integrity-check activity is
+//! recorded, and returns the unified [`SolverError`] on detection of an
+//! uncorrectable fault.  Concrete backends for the three protection tiers
+//! live in [`crate::backends`].
+
+use abft_core::{AbftError, FaultLog, FaultLogSnapshot};
+use std::fmt;
+
+/// Shared fault-observation state threaded through a solve.
+///
+/// Wraps the atomic [`FaultLog`] so that one context can be handed by
+/// reference to every kernel (including Rayon-parallel ones) and snapshotted
+/// into the [`SolveOutcome`](crate::SolveOutcome) at the end.  A context
+/// either owns its log ([`FaultContext::new`]) or borrows a caller-supplied
+/// one ([`FaultContext::with_log`]) — the latter records live, so activity
+/// observed before an aborting fault is preserved even on the error path.
+#[derive(Debug)]
+pub struct FaultContext<'a> {
+    log: LogHandle<'a>,
+}
+
+#[derive(Debug)]
+enum LogHandle<'a> {
+    Owned(FaultLog),
+    Borrowed(&'a FaultLog),
+}
+
+impl Default for FaultContext<'static> {
+    fn default() -> Self {
+        FaultContext::new()
+    }
+}
+
+impl<'a> FaultContext<'a> {
+    /// Creates a context owning an empty log.
+    pub fn new() -> FaultContext<'static> {
+        FaultContext {
+            log: LogHandle::Owned(FaultLog::new()),
+        }
+    }
+
+    /// Creates a context recording into a caller-supplied log.
+    pub fn with_log(log: &'a FaultLog) -> FaultContext<'a> {
+        FaultContext {
+            log: LogHandle::Borrowed(log),
+        }
+    }
+
+    /// The underlying fault log.
+    pub fn log(&self) -> &FaultLog {
+        match &self.log {
+            LogHandle::Owned(log) => log,
+            LogHandle::Borrowed(log) => log,
+        }
+    }
+
+    /// Plain-data snapshot of everything observed so far.
+    pub fn snapshot(&self) -> FaultLogSnapshot {
+        self.log().snapshot()
+    }
+}
+
+/// Unified error type of the generic solver layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// A protected structure reported a fault it could not absorb
+    /// (uncorrectable corruption, a bounds violation, or an encoding-time
+    /// capacity limit).
+    Fault(AbftError),
+    /// The requested solver configuration is not expressible (explanatory
+    /// message).
+    Unsupported(String),
+}
+
+impl SolverError {
+    /// The underlying ABFT error, when this error wraps one.
+    pub fn fault(&self) -> Option<&AbftError> {
+        match self {
+            SolverError::Fault(e) => Some(e),
+            SolverError::Unsupported(_) => None,
+        }
+    }
+
+    /// Converts into the core error type (for callers predating the unified
+    /// error).
+    pub fn into_abft(self) -> AbftError {
+        match self {
+            SolverError::Fault(e) => e,
+            SolverError::Unsupported(msg) => AbftError::Unsupported(msg),
+        }
+    }
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Fault(e) => write!(f, "solver aborted on fault: {e}"),
+            SolverError::Unsupported(msg) => write!(f, "unsupported solver configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolverError::Fault(e) => Some(e),
+            SolverError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<AbftError> for SolverError {
+    fn from(e: AbftError) -> Self {
+        SolverError::Fault(e)
+    }
+}
+
+/// The dense-vector surface an iterative solver needs, implemented by plain
+/// `Vec<f64>` storage and by [`ProtectedVector`](abft_core::ProtectedVector).
+///
+/// Every kernel is fallible: on protected storage each call decodes and
+/// verifies the codewords it touches, recording activity in the
+/// [`FaultContext`] and failing with [`SolverError::Fault`] on uncorrectable
+/// corruption.  Plain storage never errs.
+pub trait SolverVector: Clone {
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// True when the vector has no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checked dot product `self · other`.
+    fn dot(&self, other: &Self, ctx: &FaultContext) -> Result<f64, SolverError>;
+
+    /// Checked Euclidean norm.
+    fn norm2(&self, ctx: &FaultContext) -> Result<f64, SolverError> {
+        Ok(self.dot(self, ctx)?.sqrt())
+    }
+
+    /// `self ← self + alpha · x`.
+    fn axpy(&mut self, alpha: f64, x: &Self, ctx: &FaultContext) -> Result<(), SolverError>;
+
+    /// `self ← x + alpha · self` (the CG search-direction update).
+    fn xpay(&mut self, alpha: f64, x: &Self, ctx: &FaultContext) -> Result<(), SolverError>;
+
+    /// `self ← alpha · self`.
+    fn scale(&mut self, alpha: f64, ctx: &FaultContext) -> Result<(), SolverError>;
+
+    /// Overwrites every element with `value` (re-encoding, never reading).
+    fn fill(&mut self, value: f64);
+
+    /// Copies (and re-encodes) the contents of `other`.
+    fn copy_from(&mut self, other: &Self, ctx: &FaultContext) -> Result<(), SolverError>;
+
+    /// Pointwise read-modify-write `self[i] ← f(i, self[i])` — the primitive
+    /// behind Jacobi's diagonally scaled correction.
+    fn update_indexed(
+        &mut self,
+        ctx: &FaultContext,
+        f: impl FnMut(usize, f64) -> f64,
+    ) -> Result<(), SolverError>;
+
+    /// Decodes into a plain `Vec<f64>` (masked values for protected storage).
+    fn to_plain(&self) -> Vec<f64>;
+
+    /// Decodes into a caller-provided buffer **with** integrity checks on
+    /// protected storage (unlike [`SolverVector::to_plain`], which is the
+    /// unchecked fast path) and without allocating — the read primitive for
+    /// per-iteration solver consumption of a vector's values.
+    fn read_checked(&self, out: &mut [f64], ctx: &FaultContext) -> Result<(), SolverError>;
+}
+
+/// The operator surface an iterative solver needs: `y = A x` plus the
+/// bookkeeping that lets a protection tier hide underneath it.
+pub trait LinearOperator {
+    /// The vector storage this operator computes with.
+    type Vector: SolverVector;
+
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Number of columns.
+    fn cols(&self) -> usize;
+
+    /// `y = A x`.  `iteration` drives the check-interval policy of protected
+    /// backends (§VI-A-2); `x` is mutable because the fully protected SpMV
+    /// scrubs (repairs) the input vector as its read-side integrity pass.
+    fn apply(
+        &self,
+        x: &mut Self::Vector,
+        y: &mut Self::Vector,
+        iteration: u64,
+        ctx: &FaultContext,
+    ) -> Result<(), SolverError>;
+
+    /// The matrix diagonal as plain values (Jacobi's preconditioner).
+    fn diagonal(&self, ctx: &FaultContext) -> Result<Vec<f64>, SolverError>;
+
+    /// Encodes plain values into this backend's vector storage.
+    fn vector_from(&self, values: &[f64]) -> Self::Vector;
+
+    /// A zero vector of length `n` in this backend's storage.
+    fn zero_vector(&self, n: usize) -> Self::Vector;
+
+    /// Spectral-bound estimate for Chebyshev-type solvers, when the backend
+    /// can provide one.
+    fn bounds_hint(&self) -> Option<crate::chebyshev::ChebyshevBounds> {
+        None
+    }
+
+    /// End-of-solve hook: runs the whole-matrix verification mandated when
+    /// the check policy skipped per-iteration checks, scrubs the solution
+    /// vector if any correctable error was observed, and decodes it to plain
+    /// values.
+    fn finish(
+        &self,
+        solution: &mut Self::Vector,
+        ctx: &FaultContext,
+    ) -> Result<Vec<f64>, SolverError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_core::Region;
+
+    #[test]
+    fn context_snapshots_log_activity() {
+        let ctx = FaultContext::new();
+        ctx.log().record_corrected(Region::DenseVector);
+        ctx.log().record_checks(Region::CsrElements, 3);
+        let snap = ctx.snapshot();
+        assert_eq!(snap.total_corrected(), 1);
+        assert_eq!(snap.checks[0], 3);
+    }
+
+    #[test]
+    fn error_conversions_round_trip() {
+        let abft = AbftError::Uncorrectable {
+            region: Region::DenseVector,
+            index: 4,
+        };
+        let err: SolverError = abft.clone().into();
+        assert_eq!(err.fault(), Some(&abft));
+        assert_eq!(err.clone().into_abft(), abft);
+        assert!(err.to_string().contains("fault"));
+
+        let unsupported = SolverError::Unsupported("why".into());
+        assert!(unsupported.fault().is_none());
+        assert!(matches!(
+            unsupported.clone().into_abft(),
+            AbftError::Unsupported(_)
+        ));
+        assert!(unsupported.to_string().contains("why"));
+    }
+}

@@ -1,30 +1,17 @@
-//! The Conjugate Gradient method.
+//! The Conjugate Gradient method — compatibility shims.
 //!
 //! CG is the solver TeaLeaf uses for every time-step of the paper's
-//! evaluation (§V-A): over 98 % of the runtime is the SpMV plus two dot
-//! products of this loop, which is exactly where the ABFT integrity checks
-//! are placed.
-//!
-//! Three variants are provided, one per protection tier:
-//!
-//! * [`cg_plain`] — the unprotected baseline (serial or Rayon-parallel
-//!   kernels) used as the 0 % reference of every overhead figure;
-//! * [`CgSolver::solve_matrix_protected`] — the matrix is a [`ProtectedCsr`]
-//!   but the work vectors stay plain (`Vec<f64>`); this is the configuration
-//!   of Figures 4–8;
-//! * [`CgSolver::solve_fully_protected`] — matrix *and* work vectors are
-//!   protected; this is the configuration of Figure 9 and of the combined
-//!   SECDED result (≈ 11 % overhead in the paper).
-//!
-//! The protected variants consult the matrix [`FaultLog`] after the solve and
-//! scrub the matrix if any correctable error was observed during the
-//! iteration, mirroring the paper's end-of-time-step whole-matrix check.
+//! evaluation (§V-A).  The implementation now lives in [`crate::generic::cg`],
+//! written once over the backend trait layer; this module keeps the
+//! historical per-mode entry points (`cg_plain`,
+//! [`CgSolver::solve_matrix_protected`], [`CgSolver::solve_fully_protected`])
+//! alive as thin deprecated wrappers around the [`Solver`] front door so
+//! downstream code can migrate at its own pace.
 
+use crate::backends::{FullyProtected, MatrixProtected};
+use crate::solver::{ProtectionMode, Solver};
 use crate::status::{SolveStatus, SolverConfig};
-use abft_core::spmv::{protected_spmv_auto, DenseSource};
-use abft_core::{AbftError, EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig};
-use abft_sparse::spmv::{axpy_parallel, dot_parallel, spmv_parallel, spmv_serial};
-use abft_sparse::vector::{blas_axpy, blas_dot};
+use abft_core::{AbftError, FaultLog, ProtectedCsr, ProtectionConfig};
 use abft_sparse::{CsrMatrix, Vector};
 
 /// Result of a protected CG solve: the (decoded) solution, the convergence
@@ -40,83 +27,37 @@ pub struct ProtectedCgResult {
 }
 
 /// Unprotected CG baseline: `A x = b` starting from `x = 0`.
-///
-/// `parallel` selects the Rayon kernels (the multi-threaded "platform" of the
-/// reproduction).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Solver::cg().parallel(..).solve(a, b) — one generic CG serves every protection mode"
+)]
 pub fn cg_plain(
     a: &CsrMatrix,
     b: &Vector,
     config: &SolverConfig,
     parallel: bool,
 ) -> (Vector, SolveStatus) {
-    let n = a.rows();
-    assert_eq!(b.len(), n, "cg_plain: rhs has wrong length");
-    let mut x = vec![0.0; n];
-    let mut r = b.as_slice().to_vec();
-    let mut p = r.clone();
-    let mut w = vec![0.0; n];
-
-    let dot = |u: &[f64], v: &[f64]| {
-        if parallel {
-            dot_parallel(u, v)
-        } else {
-            blas_dot(u, v)
-        }
-    };
-
-    let mut rr = dot(&r, &r);
-    let initial_residual = rr;
-    let mut status = SolveStatus {
-        converged: rr < config.tolerance,
-        iterations: 0,
-        initial_residual,
-        final_residual: rr,
-    };
-
-    for iteration in 0..config.max_iterations {
-        if status.converged {
-            break;
-        }
-        if parallel {
-            spmv_parallel(a, &p, &mut w);
-        } else {
-            spmv_serial(a, &p, &mut w);
-        }
-        let pw = dot(&p, &w);
-        if pw == 0.0 {
-            break;
-        }
-        let alpha = rr / pw;
-        if parallel {
-            axpy_parallel(&mut x, alpha, &p);
-            axpy_parallel(&mut r, -alpha, &w);
-        } else {
-            blas_axpy(&mut x, alpha, &p);
-            blas_axpy(&mut r, -alpha, &w);
-        }
-        let rr_new = dot(&r, &r);
-        status.iterations = iteration + 1;
-        status.final_residual = rr_new;
-        if rr_new < config.tolerance {
-            status.converged = true;
-            break;
-        }
-        let beta = rr_new / rr;
-        for (pi, &ri) in p.iter_mut().zip(&r) {
-            *pi = ri + beta * *pi;
-        }
-        rr = rr_new;
-    }
-    (Vector::from_vec(x), status)
+    let outcome = Solver::cg()
+        .config(*config)
+        .parallel(parallel)
+        .solve(a, b.as_slice())
+        .expect("a plain CG solve cannot fail");
+    (Vector::from_vec(outcome.solution), outcome.status)
 }
 
-/// Conjugate Gradient over protected data structures.
+/// Conjugate Gradient over protected data structures — deprecated facade
+/// over the [`Solver`] builder.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Solver::cg().protection(..).solve(a, b), or solve_operator for a pre-built backend"
+)]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CgSolver {
     /// Stopping criteria.
     pub config: SolverConfig,
 }
 
+#[allow(deprecated)]
 impl CgSolver {
     /// Creates a solver with the given stopping criteria.
     pub fn new(config: SolverConfig) -> Self {
@@ -125,83 +66,20 @@ impl CgSolver {
 
     /// Solves `A x = b` with a protected matrix and **plain** work vectors
     /// (the matrix-only protection tier of Figures 4–8).
-    ///
-    /// The `iteration` counter passed to the SpMV drives the check-interval
-    /// policy; after the last iteration a whole-matrix verification is run if
-    /// the policy skipped any checks, mirroring §VI-A-2's end-of-time-step
-    /// check.
     pub fn solve_matrix_protected(
         &self,
         a: &ProtectedCsr,
         b: &[f64],
         log: &FaultLog,
     ) -> Result<ProtectedCgResult, AbftError> {
-        let n = a.rows();
-        assert_eq!(b.len(), n, "cg: rhs has wrong length");
-        let parallel = a.config().parallel;
-        let mut x = vec![0.0f64; n];
-        let mut r = b.to_vec();
-        let mut p = r.clone();
-        let mut w = vec![0.0f64; n];
-
-        let dot = |u: &[f64], v: &[f64]| {
-            if parallel {
-                dot_parallel(u, v)
-            } else {
-                blas_dot(u, v)
-            }
-        };
-
-        let mut rr = dot(&r, &r);
-        let initial_residual = rr;
-        let mut status = SolveStatus {
-            converged: rr < self.config.tolerance,
-            iterations: 0,
-            initial_residual,
-            final_residual: rr,
-        };
-
-        for iteration in 0..self.config.max_iterations {
-            if status.converged {
-                break;
-            }
-            a.spmv_auto(&p[..], &mut w, iteration as u64, log)?;
-            let pw = dot(&p, &w);
-            if pw == 0.0 {
-                break;
-            }
-            let alpha = rr / pw;
-            if parallel {
-                axpy_parallel(&mut x, alpha, &p);
-                axpy_parallel(&mut r, -alpha, &w);
-            } else {
-                blas_axpy(&mut x, alpha, &p);
-                blas_axpy(&mut r, -alpha, &w);
-            }
-            let rr_new = dot(&r, &r);
-            status.iterations = iteration + 1;
-            status.final_residual = rr_new;
-            if rr_new < self.config.tolerance {
-                status.converged = true;
-                break;
-            }
-            let beta = rr_new / rr;
-            for (pi, &ri) in p.iter_mut().zip(&r) {
-                *pi = ri + beta * *pi;
-            }
-            rr = rr_new;
-        }
-
-        // End-of-solve whole-matrix check: mandatory when the interval policy
-        // may have skipped per-iteration checks (§VI-A-2).
-        if a.policy().interval() > 1 {
-            a.verify_all(log)?;
-        }
-
+        let outcome = Solver::cg()
+            .config(self.config)
+            .solve_operator_logged(&MatrixProtected::new(a), b, log)
+            .map_err(|e| e.into_abft())?;
         Ok(ProtectedCgResult {
-            solution: x,
-            status,
-            faults: log.snapshot(),
+            solution: outcome.solution,
+            status: outcome.status,
+            faults: outcome.faults,
         })
     }
 
@@ -214,62 +92,15 @@ impl CgSolver {
         protection: &ProtectionConfig,
         log: &FaultLog,
     ) -> Result<ProtectedCgResult, AbftError> {
-        let n = a.rows();
-        assert_eq!(b.len(), n, "cg: rhs has wrong length");
-        let scheme = protection.vectors;
-        let backend = protection.crc_backend;
-
-        let mut x = ProtectedVector::zeros(n, scheme, backend);
-        let mut r = ProtectedVector::from_slice(b, scheme, backend);
-        let mut p = r.clone();
-        let mut w = ProtectedVector::zeros(n, scheme, backend);
-
-        let mut rr = r.dot(&r, log)?;
-        let initial_residual = rr;
-        let mut status = SolveStatus {
-            converged: rr < self.config.tolerance,
-            iterations: 0,
-            initial_residual,
-            final_residual: rr,
-        };
-
-        for iteration in 0..self.config.max_iterations {
-            if status.converged {
-                break;
-            }
-            protected_spmv_auto(a, &mut p, &mut w, iteration as u64, log)?;
-            let pw = p.dot(&w, log)?;
-            if pw == 0.0 {
-                break;
-            }
-            let alpha = rr / pw;
-            x.axpy(alpha, &p, log)?;
-            r.axpy(-alpha, &w, log)?;
-            let rr_new = r.dot(&r, log)?;
-            status.iterations = iteration + 1;
-            status.final_residual = rr_new;
-            if rr_new < self.config.tolerance {
-                status.converged = true;
-                break;
-            }
-            let beta = rr_new / rr;
-            p.xpay(beta, &r, log)?;
-            rr = rr_new;
-        }
-
-        if a.policy().interval() > 1 {
-            a.verify_all(log)?;
-        }
-        // Any corrected error observed in the vectors is repaired in place so
-        // the returned solution reflects clean storage.
-        if scheme != EccScheme::None && log.total_corrected() > 0 {
-            x.scrub(log)?;
-        }
-
+        let op = FullyProtected::with_vectors(a, protection.vectors, protection.crc_backend);
+        let outcome = Solver::cg()
+            .config(self.config)
+            .solve_operator_logged(&op, b, log)
+            .map_err(|e| e.into_abft())?;
         Ok(ProtectedCgResult {
-            solution: (0..x.len()).map(|i| x.value(i)).collect(),
-            status,
-            faults: log.snapshot(),
+            solution: outcome.solution,
+            status: outcome.status,
+            faults: outcome.faults,
         })
     }
 
@@ -281,21 +112,38 @@ impl CgSolver {
         b: &[f64],
         protection: &ProtectionConfig,
     ) -> Result<ProtectedCgResult, AbftError> {
-        let log = FaultLog::new();
-        let a = ProtectedCsr::from_csr(matrix, protection)?;
-        if protection.vectors == EccScheme::None {
-            self.solve_matrix_protected(&a, b, &log)
+        let mode = if protection.is_unprotected() {
+            // The historical dispatcher always went through the protected
+            // machinery; Matrix mode with an all-None config reproduces that.
+            ProtectionMode::Matrix(*protection)
         } else {
-            self.solve_fully_protected(&a, b, protection, &log)
-        }
+            ProtectionMode::from_config(protection)
+        };
+        let outcome = Solver::cg()
+            .config(self.config)
+            .protection(mode)
+            .solve(matrix, b)
+            .map_err(|e| e.into_abft())?;
+        Ok(ProtectedCgResult {
+            solution: outcome.solution,
+            status: outcome.status,
+            faults: outcome.faults,
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use abft_core::EccScheme;
     use abft_ecc::Crc32cBackend;
-    use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d, random_spd, tridiagonal};
+    use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+    use abft_sparse::spmv::spmv_serial;
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 7 % 13) as f64) * 0.25 + 1.0).collect()
+    }
 
     fn residual_norm(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
         let mut ax = vec![0.0; a.rows()];
@@ -307,150 +155,76 @@ mod tests {
             .sqrt()
     }
 
-    fn rhs(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 7 % 13) as f64) * 0.25 + 1.0).collect()
-    }
-
     #[test]
-    fn plain_cg_solves_poisson() {
+    fn deprecated_cg_plain_matches_the_builder_api() {
         let a = poisson_2d(10, 10);
         let b = Vector::from_vec(rhs(a.rows()));
         let config = SolverConfig::new(500, 1e-18);
         for parallel in [false, true] {
             let (x, status) = cg_plain(&a, &b, &config, parallel);
             assert!(status.converged, "parallel={parallel}");
-            assert!(status.iterations > 0 && status.iterations < 500);
             assert!(residual_norm(&a, x.as_slice(), b.as_slice()) < 1e-7);
-            assert!(status.relative_residual() < 1e-6);
+            let outcome = Solver::cg()
+                .config(config)
+                .parallel(parallel)
+                .solve(&a, b.as_slice())
+                .unwrap();
+            // The shim *is* the generic solver: identical trajectory.
+            assert_eq!(outcome.solution, x.as_slice());
+            assert_eq!(outcome.status, status);
         }
     }
 
     #[test]
-    fn plain_cg_on_other_spd_matrices() {
-        let config = SolverConfig::new(1000, 1e-20);
-        for a in [tridiagonal(50, 4.0, -1.0), random_spd(60, 150, 3)] {
-            let b = Vector::from_vec(rhs(a.rows()));
-            let (x, status) = cg_plain(&a, &b, &config, false);
-            assert!(status.converged);
-            assert!(residual_norm(&a, x.as_slice(), b.as_slice()) < 1e-8);
-        }
-    }
-
-    #[test]
-    fn trivial_rhs_converges_immediately() {
-        let a = poisson_2d(4, 4);
-        let b = Vector::zeros(a.rows());
-        let (x, status) = cg_plain(&a, &b, &SolverConfig::default(), false);
-        assert!(status.converged);
-        assert_eq!(status.iterations, 0);
-        assert!(x.as_slice().iter().all(|&v| v == 0.0));
-    }
-
-    #[test]
-    fn protected_matrix_cg_matches_plain_for_every_scheme() {
+    fn deprecated_cg_solver_tiers_still_work() {
         let a = pad_rows_to_min_entries(&poisson_2d(9, 8), 4);
         let b = rhs(a.rows());
         let config = SolverConfig::new(500, 1e-18);
-        let (x_ref, status_ref) = cg_plain(&a, &Vector::from_vec(b.clone()), &config, false);
         let solver = CgSolver::new(config);
         for scheme in EccScheme::ALL {
-            let protection = ProtectionConfig::matrix_only(scheme)
-                .with_crc_backend(Crc32cBackend::SlicingBy16);
-            let result = solver.solve(&a, &b, &protection).unwrap();
+            let matrix_only =
+                ProtectionConfig::matrix_only(scheme).with_crc_backend(Crc32cBackend::SlicingBy16);
+            let result = solver.solve(&a, &b, &matrix_only).unwrap();
             assert!(result.status.converged, "{scheme:?}");
-            // The matrix protection does not perturb any value, so the solve
-            // follows the exact same trajectory as the baseline.
-            assert_eq!(result.status.iterations, status_ref.iterations, "{scheme:?}");
-            for (got, expect) in result.solution.iter().zip(x_ref.as_slice()) {
-                assert!((got - expect).abs() < 1e-12, "{scheme:?}");
-            }
             assert_eq!(result.faults.total_uncorrectable(), 0);
-        }
-    }
 
-    #[test]
-    fn fully_protected_cg_converges_with_bounded_perturbation() {
-        let a = pad_rows_to_min_entries(&poisson_2d(9, 8), 4);
-        let b = rhs(a.rows());
-        let config = SolverConfig::new(500, 1e-18);
-        let (x_ref, status_ref) = cg_plain(&a, &Vector::from_vec(b.clone()), &config, false);
-        let solver = CgSolver::new(config);
-        for scheme in EccScheme::ALL {
-            let protection =
-                ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16);
-            let result = solver.solve(&a, &b, &protection).unwrap();
+            let full = ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16);
+            let result = solver.solve(&a, &b, &full).unwrap();
             assert!(result.status.converged, "{scheme:?}");
-            // §VI-B: the masking noise may cost a few extra iterations but
-            // stays within ~1 % and the solution stays extremely close.
-            let extra = result.status.iterations as f64 / status_ref.iterations as f64;
-            assert!(extra < 1.25, "{scheme:?}: {extra}");
-            let ref_norm: f64 = x_ref.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt();
-            let diff: f64 = result
-                .solution
-                .iter()
-                .zip(x_ref.as_slice())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
-            assert!(diff / ref_norm < 1e-6, "{scheme:?}: {}", diff / ref_norm);
             assert!(residual_norm(&a, &result.solution, &b) < 1e-6, "{scheme:?}");
         }
     }
 
     #[test]
-    fn check_interval_does_not_change_the_answer() {
-        let a = pad_rows_to_min_entries(&poisson_2d(8, 8), 4);
-        let b = rhs(a.rows());
-        let config = SolverConfig::new(500, 1e-18);
-        let solver = CgSolver::new(config);
-        let every = solver
-            .solve(
-                &a,
-                &b,
-                &ProtectionConfig::matrix_only(EccScheme::Secded64)
-                    .with_crc_backend(Crc32cBackend::SlicingBy16),
-            )
-            .unwrap();
-        let sparse_checks = solver
-            .solve(
-                &a,
-                &b,
-                &ProtectionConfig::matrix_only(EccScheme::Secded64)
-                    .with_check_interval(32)
-                    .with_crc_backend(Crc32cBackend::SlicingBy16),
-            )
-            .unwrap();
-        assert_eq!(every.solution, sparse_checks.solution);
-        assert_eq!(every.status.iterations, sparse_checks.status.iterations);
-        // Fewer full checks are performed with the larger interval.
-        let checks_every = every.faults.checks.iter().sum::<u64>();
-        let checks_sparse = sparse_checks.faults.checks.iter().sum::<u64>();
-        assert!(checks_sparse < checks_every);
-    }
-
-    #[test]
-    fn corrected_fault_during_solve_does_not_change_result() {
+    fn deprecated_explicit_tier_calls_share_the_callers_log() {
         let a = pad_rows_to_min_entries(&poisson_2d(8, 7), 4);
         let b = rhs(a.rows());
         let config = SolverConfig::new(500, 1e-18);
         let solver = CgSolver::new(config);
         let protection = ProtectionConfig::matrix_only(EccScheme::Secded64)
             .with_crc_backend(Crc32cBackend::SlicingBy16);
-        let clean = solver.solve(&a, &b, &protection).unwrap();
-
         let log = FaultLog::new();
         let mut protected = ProtectedCsr::from_csr(&a, &protection).unwrap();
         protected.inject_value_bit_flip(31, 17);
         let faulty = solver.solve_matrix_protected(&protected, &b, &log).unwrap();
         assert!(faulty.status.converged);
         assert!(faulty.faults.total_corrected() > 0);
-        for (x, y) in clean.solution.iter().zip(&faulty.solution) {
-            assert!((x - y).abs() < 1e-12);
-        }
+        // The caller-supplied log absorbed the activity.
+        assert!(log.total_corrected() > 0);
+
+        let full = ProtectionConfig::full(EccScheme::Secded64)
+            .with_crc_backend(Crc32cBackend::SlicingBy16);
+        let encoded = ProtectedCsr::from_csr(&a, &full).unwrap();
+        let log2 = FaultLog::new();
+        let result = solver
+            .solve_fully_protected(&encoded, &b, &full, &log2)
+            .unwrap();
+        assert!(result.status.converged);
+        assert!(log2.snapshot().checks.iter().sum::<u64>() > 0);
     }
 
     #[test]
-    fn uncorrectable_fault_aborts_with_error() {
+    fn deprecated_uncorrectable_fault_still_aborts_with_abft_error() {
         let a = pad_rows_to_min_entries(&poisson_2d(6, 6), 4);
         let b = rhs(a.rows());
         let solver = CgSolver::new(SolverConfig::new(200, 1e-18));
@@ -461,5 +235,9 @@ mod tests {
         protected.inject_value_bit_flip(10, 52);
         let result = solver.solve_matrix_protected(&protected, &b, &log);
         assert!(matches!(result, Err(AbftError::Uncorrectable { .. })));
+        // Activity observed before the abort still lands in the caller's
+        // log (the historical live-recording contract).
+        assert!(log.total_uncorrectable() > 0);
+        assert!(log.snapshot().checks.iter().sum::<u64>() > 0);
     }
 }

@@ -1,15 +1,16 @@
-//! Chebyshev iteration.
+//! Chebyshev iteration: spectral bounds plus a compatibility shim.
 //!
 //! TeaLeaf offers a Chebyshev solver that, once the extreme eigenvalues of
 //! the (preconditioned) operator are known, iterates without any dot products
-//! — attractive at scale because it removes the global reductions.  Here the
-//! eigenvalue bounds are supplied explicitly ([`ChebyshevBounds`]); the
-//! TeaLeaf driver estimates them from a few CG iterations, which
-//! [`ChebyshevBounds::estimate_gershgorin`] approximates with Gershgorin
-//! circles.
+//! — attractive at scale because it removes the global reductions.  The
+//! iteration itself now lives in [`crate::generic::chebyshev`], written once
+//! over the backend trait layer (so it also runs on protected matrices and
+//! vectors); this module keeps the [`ChebyshevBounds`] type — still the
+//! canonical home of the spectral-bound estimation — and the historical
+//! `chebyshev_solve` entry point as a thin deprecated wrapper.
 
+use crate::solver::Solver;
 use crate::status::{SolveStatus, SolverConfig};
-use abft_sparse::spmv::spmv_serial;
 use abft_sparse::{CsrMatrix, Vector};
 
 /// Bounds on the spectrum of the operator, `0 < min ≤ λ ≤ max`.
@@ -65,70 +66,26 @@ impl ChebyshevBounds {
 }
 
 /// Solves `A x = b` by Chebyshev iteration with the given spectral bounds.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Solver::chebyshev().bounds(..).solve(a, b) — the generic Chebyshev also runs protected"
+)]
 pub fn chebyshev_solve(
     a: &CsrMatrix,
     b: &Vector,
     bounds: ChebyshevBounds,
     config: &SolverConfig,
 ) -> (Vector, SolveStatus) {
-    let n = a.rows();
-    assert_eq!(b.len(), n, "chebyshev: rhs has wrong length");
-    let theta = (bounds.max + bounds.min) / 2.0;
-    // Guard against degenerate (min == max) bounds: keep delta positive so
-    // the recurrence stays finite (it then reduces to Richardson iteration).
-    let delta = ((bounds.max - bounds.min) / 2.0).max(1e-12 * theta);
-
-    let mut x = vec![0.0f64; n];
-    let mut r = b.as_slice().to_vec();
-    let mut ax = vec![0.0f64; n];
-
-    let rr0: f64 = r.iter().map(|v| v * v).sum();
-    let mut status = SolveStatus {
-        converged: rr0 < config.tolerance,
-        iterations: 0,
-        initial_residual: rr0,
-        final_residual: rr0,
-    };
-
-    // Chebyshev acceleration (Saad, "Iterative Methods for Sparse Linear
-    // Systems", algorithm 12.1):
-    //   sigma = theta / delta,  rho_0 = 1 / sigma,  d_0 = r_0 / theta
-    //   x   += d
-    //   r   -= A d
-    //   rho' = 1 / (2 sigma - rho)
-    //   d    = rho' rho d + (2 rho' / delta) r
-    let sigma = theta / delta;
-    let mut rho = 1.0 / sigma;
-    let mut d: Vec<f64> = r.iter().map(|&ri| ri / theta).collect();
-
-    for iteration in 0..config.max_iterations {
-        if status.converged {
-            break;
-        }
-        for (xi, &di) in x.iter_mut().zip(&d) {
-            *xi += di;
-        }
-        spmv_serial(a, &d, &mut ax);
-        for (ri, &adi) in r.iter_mut().zip(&ax) {
-            *ri -= adi;
-        }
-        let rho_next = 1.0 / (2.0 * sigma - rho);
-        for (di, &ri) in d.iter_mut().zip(&r) {
-            *di = rho_next * rho * *di + (2.0 * rho_next / delta) * ri;
-        }
-        rho = rho_next;
-
-        let rr: f64 = r.iter().map(|v| v * v).sum();
-        status.iterations = iteration + 1;
-        status.final_residual = rr;
-        if rr < config.tolerance {
-            status.converged = true;
-        }
-    }
-    (Vector::from_vec(x), status)
+    let outcome = Solver::chebyshev()
+        .config(*config)
+        .bounds(bounds)
+        .solve(a, b.as_slice())
+        .expect("a plain Chebyshev solve cannot fail");
+    (Vector::from_vec(outcome.solution), outcome.status)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use abft_sparse::builders::{poisson_2d, tridiagonal};
@@ -160,15 +117,20 @@ mod tests {
         let (x, status) = chebyshev_solve(&a, &b, bounds, &config);
         assert!(status.final_residual < status.initial_residual * 1e-3);
         // The iterate approaches the CG solution.
-        let (x_ref, _) = crate::cg::cg_plain(&a, &b, &SolverConfig::new(500, 1e-20), false);
+        let x_ref = Solver::cg()
+            .max_iterations(500)
+            .tolerance(1e-20)
+            .solve(&a, b.as_slice())
+            .unwrap()
+            .solution;
         let err: f64 = x
             .as_slice()
             .iter()
-            .zip(x_ref.as_slice())
+            .zip(&x_ref)
             .map(|(u, v)| (u - v) * (u - v))
             .sum::<f64>()
             .sqrt();
-        let norm: f64 = x_ref.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt();
+        let norm: f64 = x_ref.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err / norm < 0.05, "relative error {}", err / norm);
     }
 

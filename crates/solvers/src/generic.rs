@@ -1,0 +1,371 @@
+//! The four iterative solvers, written **once** against the backend trait
+//! layer of [`crate::backend`].
+//!
+//! Each function is generic over a [`LinearOperator`], so the same code runs
+//! the unprotected baseline, the matrix-protected tier (Figures 4–8) and the
+//! fully protected tier (Figure 9 / combined) — the architectural point of
+//! the paper: protection slides underneath an unmodified solver.  On the
+//! plain backend the arithmetic is operation-for-operation identical to the
+//! historical per-mode entry points, so trajectories (iterates, residuals,
+//! iteration counts) are preserved bit-for-bit; the parity tests in
+//! `tests/solver_api.rs` pin that down.
+//!
+//! All solvers start from `x = 0`, stop on the *absolute squared* residual
+//! norm (TeaLeaf's `eps` convention) and report a [`SolveStatus`].
+
+use crate::backend::{FaultContext, LinearOperator, SolverError, SolverVector};
+use crate::chebyshev::ChebyshevBounds;
+use crate::status::{SolveStatus, SolverConfig};
+
+/// Conjugate Gradient: `A x = b` from `x = 0`.
+///
+/// One SpMV and two dot products per iteration — the three kernels that hold
+/// over 98 % of TeaLeaf's runtime and therefore carry the ABFT checks.
+pub fn cg<Op: LinearOperator>(
+    op: &Op,
+    b: &Op::Vector,
+    config: &SolverConfig,
+    ctx: &FaultContext,
+) -> Result<(Op::Vector, SolveStatus), SolverError> {
+    let n = op.rows();
+    assert_eq!(b.len(), n, "cg: rhs has wrong length");
+    let mut x = op.zero_vector(n);
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut w = op.zero_vector(n);
+
+    let mut rr = r.dot(&r, ctx)?;
+    let mut status = SolveStatus {
+        converged: rr < config.tolerance,
+        iterations: 0,
+        initial_residual: rr,
+        final_residual: rr,
+    };
+
+    for iteration in 0..config.max_iterations {
+        if status.converged {
+            break;
+        }
+        op.apply(&mut p, &mut w, iteration as u64, ctx)?;
+        let pw = p.dot(&w, ctx)?;
+        if pw == 0.0 {
+            break;
+        }
+        let alpha = rr / pw;
+        x.axpy(alpha, &p, ctx)?;
+        r.axpy(-alpha, &w, ctx)?;
+        let rr_new = r.dot(&r, ctx)?;
+        status.iterations = iteration + 1;
+        status.final_residual = rr_new;
+        if rr_new < config.tolerance {
+            status.converged = true;
+            break;
+        }
+        let beta = rr_new / rr;
+        p.xpay(beta, &r, ctx)?;
+        rr = rr_new;
+    }
+    Ok((x, status))
+}
+
+/// Jacobi relaxation: `x ← x + D⁻¹ (b − A x)`.
+///
+/// # Panics
+/// Panics if any diagonal entry of the operator is zero.
+pub fn jacobi<Op: LinearOperator>(
+    op: &Op,
+    b: &Op::Vector,
+    config: &SolverConfig,
+    ctx: &FaultContext,
+) -> Result<(Op::Vector, SolveStatus), SolverError> {
+    let n = op.rows();
+    assert_eq!(b.len(), n, "jacobi: rhs has wrong length");
+    let diag = op.diagonal(ctx)?;
+    assert!(
+        diag.iter().all(|&d| d != 0.0),
+        "jacobi requires a non-zero diagonal"
+    );
+
+    let mut x = op.zero_vector(n);
+    let mut ax = op.zero_vector(n);
+    let mut residual = op.zero_vector(n);
+    // Reused decode buffer for the per-iteration checked read of the
+    // residual (no allocation inside the loop).
+    let mut correction = vec![0.0; n];
+
+    op.apply(&mut x, &mut ax, 0, ctx)?;
+    residual.copy_from(b, ctx)?;
+    residual.axpy(-1.0, &ax, ctx)?;
+    let rr0 = residual.dot(&residual, ctx)?;
+    let mut status = SolveStatus {
+        converged: rr0 < config.tolerance,
+        iterations: 0,
+        initial_residual: rr0,
+        final_residual: rr0,
+    };
+
+    for iteration in 0..config.max_iterations {
+        if status.converged {
+            break;
+        }
+        residual.read_checked(&mut correction, ctx)?;
+        x.update_indexed(ctx, |i, xi| xi + correction[i] / diag[i])?;
+        op.apply(&mut x, &mut ax, iteration as u64 + 1, ctx)?;
+        residual.copy_from(b, ctx)?;
+        residual.axpy(-1.0, &ax, ctx)?;
+        let rr = residual.dot(&residual, ctx)?;
+        status.iterations = iteration + 1;
+        status.final_residual = rr;
+        if rr < config.tolerance {
+            status.converged = true;
+        }
+    }
+    Ok((x, status))
+}
+
+/// Chebyshev iteration with explicit spectral bounds — no dot products in
+/// the loop body beyond the convergence check, which is what makes it
+/// attractive at scale (no global reductions).
+pub fn chebyshev<Op: LinearOperator>(
+    op: &Op,
+    b: &Op::Vector,
+    bounds: ChebyshevBounds,
+    config: &SolverConfig,
+    ctx: &FaultContext,
+) -> Result<(Op::Vector, SolveStatus), SolverError> {
+    let n = op.rows();
+    assert_eq!(b.len(), n, "chebyshev: rhs has wrong length");
+    let theta = (bounds.max + bounds.min) / 2.0;
+    // Guard against degenerate (min == max) bounds: keep delta positive so
+    // the recurrence stays finite (it then reduces to Richardson iteration).
+    let delta = ((bounds.max - bounds.min) / 2.0).max(1e-12 * theta);
+    let sigma = theta / delta;
+    let mut rho = 1.0 / sigma;
+
+    let mut x = op.zero_vector(n);
+    let mut r = b.clone();
+    let mut ax = op.zero_vector(n);
+
+    let rr0 = r.dot(&r, ctx)?;
+    let mut status = SolveStatus {
+        converged: rr0 < config.tolerance,
+        iterations: 0,
+        initial_residual: rr0,
+        final_residual: rr0,
+    };
+
+    // Chebyshev acceleration (Saad, "Iterative Methods for Sparse Linear
+    // Systems", algorithm 12.1):
+    //   sigma = theta / delta,  rho_0 = 1 / sigma,  d_0 = r_0 / theta
+    //   x   += d
+    //   r   -= A d
+    //   rho' = 1 / (2 sigma - rho)
+    //   d    = rho' rho d + (2 rho' / delta) r
+    let mut d = r.clone();
+    d.scale(1.0 / theta, ctx)?;
+
+    for iteration in 0..config.max_iterations {
+        if status.converged {
+            break;
+        }
+        x.axpy(1.0, &d, ctx)?;
+        op.apply(&mut d, &mut ax, iteration as u64, ctx)?;
+        r.axpy(-1.0, &ax, ctx)?;
+        let rho_next = 1.0 / (2.0 * sigma - rho);
+        d.scale(rho_next * rho, ctx)?;
+        d.axpy(2.0 * rho_next / delta, &r, ctx)?;
+        rho = rho_next;
+
+        let rr = r.dot(&r, ctx)?;
+        status.iterations = iteration + 1;
+        status.final_residual = rr;
+        if rr < config.tolerance {
+            status.converged = true;
+        }
+    }
+    Ok((x, status))
+}
+
+/// Scratch vectors reused across polynomial-preconditioner applications.
+struct PpcgWorkspace<V> {
+    inner_r: V,
+    d: V,
+    ad: V,
+}
+
+/// Applies `steps` Chebyshev smoothing iterations to approximate
+/// `z ≈ A⁻¹ r` (the polynomial preconditioner of PPCG).
+#[allow(clippy::too_many_arguments)]
+fn polynomial_preconditioner<Op: LinearOperator>(
+    op: &Op,
+    r: &Op::Vector,
+    z: &mut Op::Vector,
+    ws: &mut PpcgWorkspace<Op::Vector>,
+    bounds: ChebyshevBounds,
+    steps: usize,
+    iteration: u64,
+    ctx: &FaultContext,
+) -> Result<(), SolverError> {
+    let theta = (bounds.max + bounds.min) / 2.0;
+    let delta = ((bounds.max - bounds.min) / 2.0).max(1e-12 * theta);
+    let sigma = theta / delta;
+    let mut rho = 1.0 / sigma;
+
+    z.fill(0.0);
+    ws.inner_r.copy_from(r, ctx)?;
+    ws.d.copy_from(r, ctx)?;
+    ws.d.scale(1.0 / theta, ctx)?;
+    for _ in 0..steps {
+        z.axpy(1.0, &ws.d, ctx)?;
+        op.apply(&mut ws.d, &mut ws.ad, iteration, ctx)?;
+        ws.inner_r.axpy(-1.0, &ws.ad, ctx)?;
+        let rho_next = 1.0 / (2.0 * sigma - rho);
+        ws.d.scale(rho_next * rho, ctx)?;
+        ws.d.axpy(2.0 * rho_next / delta, &ws.inner_r, ctx)?;
+        rho = rho_next;
+    }
+    Ok(())
+}
+
+/// Polynomially Preconditioned CG: outer CG whose preconditioner is
+/// `inner_steps` Chebyshev iterations on the operator itself.
+///
+/// # Panics
+/// Panics unless `inner_steps > 0`.
+pub fn ppcg<Op: LinearOperator>(
+    op: &Op,
+    b: &Op::Vector,
+    bounds: ChebyshevBounds,
+    inner_steps: usize,
+    config: &SolverConfig,
+    ctx: &FaultContext,
+) -> Result<(Op::Vector, SolveStatus), SolverError> {
+    let n = op.rows();
+    assert_eq!(b.len(), n, "ppcg: rhs has wrong length");
+    assert!(inner_steps > 0, "ppcg needs at least one inner step");
+
+    let mut x = op.zero_vector(n);
+    let mut r = b.clone();
+    let mut z = op.zero_vector(n);
+    let mut w = op.zero_vector(n);
+    let mut ws = PpcgWorkspace {
+        inner_r: op.zero_vector(n),
+        d: op.zero_vector(n),
+        ad: op.zero_vector(n),
+    };
+
+    let rr0 = r.dot(&r, ctx)?;
+    let mut status = SolveStatus {
+        converged: rr0 < config.tolerance,
+        iterations: 0,
+        initial_residual: rr0,
+        final_residual: rr0,
+    };
+    if status.converged {
+        return Ok((x, status));
+    }
+
+    polynomial_preconditioner(op, &r, &mut z, &mut ws, bounds, inner_steps, 0, ctx)?;
+    let mut p = z.clone();
+    let mut rz = r.dot(&z, ctx)?;
+
+    for iteration in 0..config.max_iterations {
+        op.apply(&mut p, &mut w, iteration as u64, ctx)?;
+        let pw = p.dot(&w, ctx)?;
+        if pw == 0.0 || rz == 0.0 {
+            break;
+        }
+        let alpha = rz / pw;
+        x.axpy(alpha, &p, ctx)?;
+        r.axpy(-alpha, &w, ctx)?;
+        let rr = r.dot(&r, ctx)?;
+        status.iterations = iteration + 1;
+        status.final_residual = rr;
+        if rr < config.tolerance {
+            status.converged = true;
+            break;
+        }
+        polynomial_preconditioner(
+            op,
+            &r,
+            &mut z,
+            &mut ws,
+            bounds,
+            inner_steps,
+            iteration as u64,
+            ctx,
+        )?;
+        let rz_new = r.dot(&z, ctx)?;
+        let beta = rz_new / rz;
+        p.xpay(beta, &z, ctx)?;
+        rz = rz_new;
+    }
+    Ok((x, status))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::Plain;
+    use abft_sparse::builders::poisson_2d;
+    use abft_sparse::spmv::spmv_serial;
+
+    fn residual_norm(a: &abft_sparse::CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let mut ax = vec![0.0; a.rows()];
+        spmv_serial(a, x, &mut ax);
+        ax.iter()
+            .zip(b)
+            .map(|(axi, bi)| (axi - bi) * (axi - bi))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn all_four_generic_solvers_solve_poisson_on_the_plain_backend() {
+        let a = poisson_2d(10, 10);
+        let b: Vec<f64> = (0..a.rows()).map(|i| 1.0 + (i % 5) as f64 * 0.2).collect();
+        let op = Plain::new(&a, false);
+        let ctx = FaultContext::new();
+        let bvec = op.vector_from(&b);
+        let bounds = op.bounds_hint().unwrap();
+
+        let config = SolverConfig::new(500, 1e-18);
+        let (x, s) = cg(&op, &bvec, &config, &ctx).unwrap();
+        assert!(s.converged);
+        assert!(residual_norm(&a, &x.to_plain(), &b) < 1e-7);
+
+        let config = SolverConfig::new(20_000, 1e-16);
+        let (x, s) = jacobi(&op, &bvec, &config, &ctx).unwrap();
+        assert!(s.converged);
+        assert!(residual_norm(&a, &x.to_plain(), &b) < 1e-6);
+
+        let config = SolverConfig::new(2000, 1e-14);
+        let (x, s) = chebyshev(&op, &bvec, bounds, &config, &ctx).unwrap();
+        assert!(s.final_residual < s.initial_residual * 1e-6);
+        assert!(residual_norm(&a, &x.to_plain(), &b) < 1e-4);
+
+        let config = SolverConfig::new(500, 1e-18);
+        let (x, s) = ppcg(&op, &bvec, bounds, 4, &config, &ctx).unwrap();
+        assert!(s.converged);
+        assert!(residual_norm(&a, &x.to_plain(), &b) < 1e-7);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately_everywhere() {
+        let a = poisson_2d(4, 4);
+        let op = Plain::new(&a, false);
+        let ctx = FaultContext::new();
+        let b = op.zero_vector(a.rows());
+        let bounds = op.bounds_hint().unwrap();
+        let config = SolverConfig::default();
+        for status in [
+            cg(&op, &b, &config, &ctx).unwrap().1,
+            jacobi(&op, &b, &config, &ctx).unwrap().1,
+            chebyshev(&op, &b, bounds, &config, &ctx).unwrap().1,
+            ppcg(&op, &b, bounds, 2, &config, &ctx).unwrap().1,
+        ] {
+            assert!(status.converged);
+            assert_eq!(status.iterations, 0);
+        }
+    }
+}

@@ -1,118 +1,58 @@
-//! Jacobi relaxation.
+//! Jacobi relaxation — compatibility shims.
 //!
-//! TeaLeaf's simplest solver option: `x ← x + D⁻¹ (b − A x)`.  It converges
-//! slowly compared to CG but needs no dot products, which makes it a useful
-//! second workload for exercising the protected SpMV on its own.
+//! TeaLeaf's simplest solver option: `x ← x + D⁻¹ (b − A x)`.  The
+//! implementation now lives in [`crate::generic::jacobi`], written once over
+//! the backend trait layer; the historical entry points remain as thin
+//! deprecated wrappers.
 
+use crate::backends::MatrixProtected;
+use crate::solver::Solver;
 use crate::status::{SolveStatus, SolverConfig};
 use abft_core::{AbftError, FaultLog, ProtectedCsr};
-use abft_sparse::spmv::spmv_serial;
 use abft_sparse::{CsrMatrix, Vector};
 
 /// Solves `A x = b` by Jacobi iteration on the unprotected matrix.
 ///
 /// # Panics
 /// Panics if any diagonal entry of `a` is zero.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Solver::jacobi().solve(a, b) — one generic Jacobi serves every protection mode"
+)]
 pub fn jacobi_solve(a: &CsrMatrix, b: &Vector, config: &SolverConfig) -> (Vector, SolveStatus) {
-    let n = a.rows();
-    assert_eq!(b.len(), n, "jacobi: rhs has wrong length");
-    let diag = a.diagonal();
-    assert!(
-        diag.as_slice().iter().all(|&d| d != 0.0),
-        "jacobi requires a non-zero diagonal"
-    );
-    let mut x = vec![0.0f64; n];
-    let mut ax = vec![0.0f64; n];
-
-    let residual_sq = |ax: &[f64]| -> f64 {
-        ax.iter()
-            .zip(b.as_slice())
-            .map(|(axi, bi)| (bi - axi) * (bi - axi))
-            .sum()
-    };
-
-    spmv_serial(a, &x, &mut ax);
-    let initial_residual = residual_sq(&ax);
-    let mut status = SolveStatus {
-        converged: initial_residual < config.tolerance,
-        iterations: 0,
-        initial_residual,
-        final_residual: initial_residual,
-    };
-
-    for iteration in 0..config.max_iterations {
-        if status.converged {
-            break;
-        }
-        for i in 0..n {
-            x[i] += (b[i] - ax[i]) / diag[i];
-        }
-        spmv_serial(a, &x, &mut ax);
-        let rr = residual_sq(&ax);
-        status.iterations = iteration + 1;
-        status.final_residual = rr;
-        if rr < config.tolerance {
-            status.converged = true;
-        }
-    }
-    (Vector::from_vec(x), status)
+    let outcome = Solver::jacobi()
+        .config(*config)
+        .solve(a, b.as_slice())
+        .expect("a plain Jacobi solve cannot fail");
+    (Vector::from_vec(outcome.solution), outcome.status)
 }
 
-/// Jacobi iteration over a protected matrix (plain work vectors); the
-/// protected analogue of [`jacobi_solve`].
+/// Jacobi iteration over a protected matrix (plain work vectors).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Solver::jacobi().protection(..).solve(a, b), or solve_operator for a pre-built backend"
+)]
 pub fn jacobi_solve_protected(
     a: &ProtectedCsr,
     b: &[f64],
     config: &SolverConfig,
     log: &FaultLog,
 ) -> Result<(Vec<f64>, SolveStatus), AbftError> {
-    let n = a.rows();
-    assert_eq!(b.len(), n, "jacobi: rhs has wrong length");
-    let matrix = a.to_csr();
-    let diag = matrix.diagonal();
-    let mut x = vec![0.0f64; n];
-    let mut ax = vec![0.0f64; n];
-
-    let residual_sq = |ax: &[f64]| -> f64 {
-        ax.iter()
-            .zip(b)
-            .map(|(axi, bi)| (bi - axi) * (bi - axi))
-            .sum()
-    };
-
-    a.spmv_auto(&x[..], &mut ax, 0, log)?;
-    let initial_residual = residual_sq(&ax);
-    let mut status = SolveStatus {
-        converged: initial_residual < config.tolerance,
-        iterations: 0,
-        initial_residual,
-        final_residual: initial_residual,
-    };
-
-    for iteration in 0..config.max_iterations {
-        if status.converged {
-            break;
-        }
-        for i in 0..n {
-            x[i] += (b[i] - ax[i]) / diag[i];
-        }
-        a.spmv_auto(&x[..], &mut ax, iteration as u64 + 1, log)?;
-        let rr = residual_sq(&ax);
-        status.iterations = iteration + 1;
-        status.final_residual = rr;
-        if rr < config.tolerance {
-            status.converged = true;
-        }
-    }
-    Ok((x, status))
+    let outcome = Solver::jacobi()
+        .config(*config)
+        .solve_operator_logged(&MatrixProtected::new(a), b, log)
+        .map_err(|e| e.into_abft())?;
+    Ok((outcome.solution, outcome.status))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use abft_core::{EccScheme, ProtectionConfig};
     use abft_ecc::Crc32cBackend;
     use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d, tridiagonal};
+    use abft_sparse::spmv::spmv_serial;
 
     #[test]
     fn jacobi_converges_on_diagonally_dominant_systems() {
@@ -133,7 +73,11 @@ mod tests {
         let b = Vector::filled(a.rows(), 1.0);
         let config = SolverConfig::new(20_000, 1e-16);
         let (_, jacobi_status) = jacobi_solve(&a, &b, &config);
-        let (_, cg_status) = crate::cg::cg_plain(&a, &b, &config, false);
+        let cg_status = Solver::cg()
+            .config(config)
+            .solve(&a, b.as_slice())
+            .unwrap()
+            .status;
         assert!(jacobi_status.converged);
         assert!(cg_status.converged);
         assert!(jacobi_status.iterations > cg_status.iterations);
@@ -155,6 +99,7 @@ mod tests {
         for (u, v) in x.iter().zip(x_ref.as_slice()) {
             assert!((u - v).abs() < 1e-12);
         }
+        assert!(log.snapshot().checks.iter().sum::<u64>() > 0);
     }
 
     #[test]

@@ -1,33 +1,82 @@
-//! # abft-solvers — iterative sparse solvers
+//! # abft-solvers — iterative sparse solvers, generic over protection
 //!
-//! The solvers TeaLeaf offers for its implicit heat-conduction step, written
-//! against both the unprotected substrate (`abft-sparse`) and the protected
-//! structures (`abft-core`):
+//! The solvers TeaLeaf offers for its implicit heat-conduction step — the
+//! Conjugate Gradient method (the solver the paper evaluates), Jacobi
+//! relaxation, Chebyshev iteration and polynomially preconditioned CG — each
+//! written **once** and runnable under every ABFT protection tier.
 //!
-//! * [`cg`] — the Conjugate Gradient method, the solver the paper evaluates.
-//!   Three entry points exist: a plain baseline ([`cg::cg_plain`]), a variant
-//!   with a protected matrix and plain work vectors (Figures 4–8), and a
-//!   fully protected variant whose work vectors are [`ProtectedVector`]s
-//!   (Figure 9 and the combined-overhead experiment).
-//! * [`jacobi`] — the Jacobi relaxation solver (TeaLeaf's simplest option).
-//! * [`chebyshev`] — Chebyshev iteration with explicit eigenvalue bounds.
-//! * [`ppcg`] — polynomially preconditioned CG (CG with a fixed number of
-//!   Chebyshev-style inner smoothing steps per iteration).
+//! ## Architecture
 //!
-//! All solvers report a [`SolveStatus`] with iteration counts and residuals
-//! so the convergence-impact study of §VI-B (masking noise vs iteration
-//! count) can be reproduced.
+//! The crate is layered so that reliability is a property of the data the
+//! solver runs on, not of the solver itself (the design argued by the
+//! paper and by the *selective reliability* / *opaque preconditioner*
+//! literature):
 //!
-//! [`ProtectedVector`]: abft_core::ProtectedVector
+//! * [`backend`] — the trait seam: [`LinearOperator`] (the SpMV surface,
+//!   check-interval threading, end-of-solve verification) and
+//!   [`SolverVector`] (the fallible BLAS-1 surface), plus the shared
+//!   [`FaultContext`] and the unified [`SolverError`].
+//! * [`backends`] — the three concrete tiers: [`backends::Plain`] (the 0 %
+//!   baseline), [`backends::MatrixProtected`] (protected matrix + plain
+//!   vectors, Figures 4–8) and [`backends::FullyProtected`] (protected
+//!   matrix + protected vectors, Figure 9 / combined).
+//! * [`generic`] — CG, Jacobi, Chebyshev and PPCG over the trait seam.
+//! * [`solver`] — the builder front door.
+//!
+//! ## Usage
+//!
+//! ```
+//! use abft_core::{EccScheme, ProtectionConfig};
+//! use abft_solvers::{ProtectionMode, Solver};
+//! use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+//!
+//! let a = pad_rows_to_min_entries(&poisson_2d(16, 16), 4);
+//! let b = vec![1.0; a.rows()];
+//!
+//! // Plain baseline.
+//! let plain = Solver::cg().tolerance(1e-16).solve(&a, &b).unwrap();
+//!
+//! // Same solver, fully protected data structures.
+//! let config = ProtectionConfig::full(EccScheme::Secded64);
+//! let protected = Solver::cg()
+//!     .tolerance(1e-16)
+//!     .protection(ProtectionMode::Full(config))
+//!     .solve(&a, &b)
+//!     .unwrap();
+//!
+//! assert!(plain.status.converged && protected.status.converged);
+//! assert_eq!(protected.faults.total_uncorrectable(), 0);
+//! ```
+//!
+//! Every [`SolveOutcome`] carries the [`SolveStatus`] (iterations,
+//! residuals) and a [`FaultLogSnapshot`](abft_core::FaultLogSnapshot) of the
+//! integrity-check activity, so the convergence-impact study of §VI-B and
+//! the overhead figures read off the same API.
+//!
+//! The historical per-mode entry points (`cg::cg_plain`, `cg::CgSolver`,
+//! `jacobi::jacobi_solve`, …) remain as thin deprecated shims over the
+//! builder.
 
+pub mod backend;
+pub mod backends;
 pub mod cg;
 pub mod chebyshev;
+pub mod generic;
 pub mod jacobi;
 pub mod ppcg;
+pub mod solver;
 pub mod status;
 
-pub use cg::{CgSolver, ProtectedCgResult};
-pub use chebyshev::{chebyshev_solve, ChebyshevBounds};
-pub use jacobi::jacobi_solve;
-pub use ppcg::ppcg_solve;
+pub use backend::{FaultContext, LinearOperator, SolverError, SolverVector};
+pub use chebyshev::ChebyshevBounds;
+pub use solver::{Method, ProtectionMode, SolveOutcome, Solver};
 pub use status::{SolveStatus, SolverConfig};
+
+#[allow(deprecated)]
+pub use cg::{cg_plain, CgSolver, ProtectedCgResult};
+#[allow(deprecated)]
+pub use chebyshev::chebyshev_solve;
+#[allow(deprecated)]
+pub use jacobi::jacobi_solve;
+#[allow(deprecated)]
+pub use ppcg::ppcg_solve;

@@ -1,53 +1,25 @@
-//! Polynomially Preconditioned Conjugate Gradient (PPCG).
+//! Polynomially Preconditioned Conjugate Gradient — compatibility shim.
 //!
 //! TeaLeaf's PPCG solver wraps CG around a fixed number of Chebyshev-style
 //! inner smoothing steps, trading extra SpMVs per iteration for fewer global
-//! reductions.  The inner steps implicitly apply a polynomial in `A` as the
-//! preconditioner, which is symmetric positive definite as long as the
-//! eigenvalue bounds are valid, so the outer CG recurrence remains correct.
+//! reductions.  The implementation now lives in [`crate::generic::ppcg`],
+//! written once over the backend trait layer; the historical `ppcg_solve`
+//! entry point remains as a thin deprecated wrapper.
 
 use crate::chebyshev::ChebyshevBounds;
+use crate::solver::Solver;
 use crate::status::{SolveStatus, SolverConfig};
-use abft_sparse::spmv::spmv_serial;
-use abft_sparse::vector::{blas_axpy, blas_dot};
 use abft_sparse::{CsrMatrix, Vector};
-
-/// Applies `steps` Chebyshev smoothing iterations to approximate `z ≈ A⁻¹ r`.
-fn polynomial_preconditioner(
-    a: &CsrMatrix,
-    r: &[f64],
-    z: &mut [f64],
-    bounds: ChebyshevBounds,
-    steps: usize,
-) {
-    let n = r.len();
-    let theta = (bounds.max + bounds.min) / 2.0;
-    let delta = ((bounds.max - bounds.min) / 2.0).max(1e-12 * theta);
-    let sigma = theta / delta;
-    let mut rho = 1.0 / sigma;
-
-    z.fill(0.0);
-    let mut inner_r = r.to_vec();
-    let mut d: Vec<f64> = inner_r.iter().map(|&ri| ri / theta).collect();
-    let mut ad = vec![0.0f64; n];
-    for _ in 0..steps {
-        for (zi, &di) in z.iter_mut().zip(&d) {
-            *zi += di;
-        }
-        spmv_serial(a, &d, &mut ad);
-        for (ri, &adi) in inner_r.iter_mut().zip(&ad) {
-            *ri -= adi;
-        }
-        let rho_next = 1.0 / (2.0 * sigma - rho);
-        for (di, &ri) in d.iter_mut().zip(&inner_r) {
-            *di = rho_next * rho * *di + (2.0 * rho_next / delta) * ri;
-        }
-        rho = rho_next;
-    }
-}
 
 /// Solves `A x = b` with PPCG: preconditioned CG whose preconditioner is
 /// `inner_steps` Chebyshev iterations on `A` itself.
+///
+/// # Panics
+/// Panics unless `inner_steps > 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Solver::ppcg().bounds(..).inner_steps(..).solve(a, b) — the generic PPCG also runs protected"
+)]
 pub fn ppcg_solve(
     a: &CsrMatrix,
     b: &Vector,
@@ -55,62 +27,21 @@ pub fn ppcg_solve(
     inner_steps: usize,
     config: &SolverConfig,
 ) -> (Vector, SolveStatus) {
-    let n = a.rows();
-    assert_eq!(b.len(), n, "ppcg: rhs has wrong length");
-    assert!(inner_steps > 0, "ppcg needs at least one inner step");
-
-    let mut x = vec![0.0f64; n];
-    let mut r = b.as_slice().to_vec();
-    let mut z = vec![0.0f64; n];
-    let mut w = vec![0.0f64; n];
-
-    let rr0 = blas_dot(&r, &r);
-    let mut status = SolveStatus {
-        converged: rr0 < config.tolerance,
-        iterations: 0,
-        initial_residual: rr0,
-        final_residual: rr0,
-    };
-    if status.converged {
-        return (Vector::from_vec(x), status);
-    }
-
-    polynomial_preconditioner(a, &r, &mut z, bounds, inner_steps);
-    let mut p = z.clone();
-    let mut rz = blas_dot(&r, &z);
-
-    for iteration in 0..config.max_iterations {
-        spmv_serial(a, &p, &mut w);
-        let pw = blas_dot(&p, &w);
-        if pw == 0.0 || rz == 0.0 {
-            break;
-        }
-        let alpha = rz / pw;
-        blas_axpy(&mut x, alpha, &p);
-        blas_axpy(&mut r, -alpha, &w);
-        let rr = blas_dot(&r, &r);
-        status.iterations = iteration + 1;
-        status.final_residual = rr;
-        if rr < config.tolerance {
-            status.converged = true;
-            break;
-        }
-        polynomial_preconditioner(a, &r, &mut z, bounds, inner_steps);
-        let rz_new = blas_dot(&r, &z);
-        let beta = rz_new / rz;
-        for (pi, &zi) in p.iter_mut().zip(&z) {
-            *pi = zi + beta * *pi;
-        }
-        rz = rz_new;
-    }
-    (Vector::from_vec(x), status)
+    let outcome = Solver::ppcg()
+        .config(*config)
+        .bounds(bounds)
+        .inner_steps(inner_steps)
+        .solve(a, b.as_slice())
+        .expect("a plain PPCG solve cannot fail");
+    (Vector::from_vec(outcome.solution), outcome.status)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::cg::cg_plain;
     use abft_sparse::builders::poisson_2d;
+    use abft_sparse::spmv::spmv_serial;
 
     #[test]
     fn ppcg_solves_poisson() {
@@ -135,7 +66,11 @@ mod tests {
         // λ = 4 − 2 cos(iπ/13) − 2 cos(jπ/13) ∈ [~0.115, ~7.885].
         let bounds = ChebyshevBounds::new(0.1, 8.0);
         let config = SolverConfig::new(1000, 1e-16);
-        let (_, cg_status) = cg_plain(&a, &b, &config, false);
+        let cg_status = Solver::cg()
+            .config(config)
+            .solve(&a, b.as_slice())
+            .unwrap()
+            .status;
         let (_, ppcg_status) = ppcg_solve(&a, &b, bounds, 8, &config);
         assert!(cg_status.converged && ppcg_status.converged);
         assert!(

@@ -1,0 +1,446 @@
+//! The builder-style front door of the solver crate.
+//!
+//! One entry point serves the whole solver × protection matrix:
+//!
+//! ```
+//! use abft_solvers::{ProtectionMode, Solver};
+//! use abft_core::{EccScheme, ProtectionConfig};
+//! use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+//!
+//! let a = pad_rows_to_min_entries(&poisson_2d(8, 8), 4);
+//! let b = vec![1.0; a.rows()];
+//! let outcome = Solver::cg()
+//!     .max_iterations(500)
+//!     .tolerance(1e-16)
+//!     .protection(ProtectionMode::Full(ProtectionConfig::full(
+//!         EccScheme::Secded64,
+//!     )))
+//!     .solve(&a, &b)
+//!     .unwrap();
+//! assert!(outcome.status.converged);
+//! assert_eq!(outcome.faults.total_uncorrectable(), 0);
+//! ```
+//!
+//! [`Solver::solve`] encodes the matrix for the selected
+//! [`ProtectionMode`] and dispatches the chosen [`Method`] through the
+//! generic implementations in [`crate::generic`]; [`Solver::solve_operator`]
+//! is the advanced path for callers that already hold a backend (e.g. the
+//! fault-injection campaigns, which corrupt a [`ProtectedCsr`] before
+//! solving on it).
+
+use crate::backend::{FaultContext, LinearOperator, SolverError};
+use crate::backends::{FullyProtected, MatrixProtected, Plain};
+use crate::chebyshev::ChebyshevBounds;
+use crate::generic;
+use crate::status::{SolveStatus, SolverConfig};
+use abft_core::{EccScheme, FaultLog, FaultLogSnapshot, ProtectedCsr, ProtectionConfig};
+use abft_sparse::CsrMatrix;
+
+/// The iterative method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Conjugate Gradient (the paper's solver).
+    #[default]
+    Cg,
+    /// Jacobi relaxation.
+    Jacobi,
+    /// Chebyshev iteration with spectral bounds.
+    Chebyshev,
+    /// Polynomially preconditioned CG.
+    Ppcg,
+}
+
+/// Which protection tier the solve runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ProtectionMode {
+    /// No protection: plain matrix and plain work vectors (the baseline).
+    #[default]
+    Plain,
+    /// Protected matrix, plain work vectors (Figures 4–8).  The `vectors`
+    /// field of the configuration is ignored.
+    Matrix(ProtectionConfig),
+    /// Protected matrix and protected work vectors (Figure 9 / combined).
+    Full(ProtectionConfig),
+}
+
+impl ProtectionMode {
+    /// Derives the mode a [`ProtectionConfig`] describes: `Plain` when
+    /// nothing is protected, `Matrix` when only the matrix regions are, and
+    /// `Full` when the dense vectors are protected too.
+    pub fn from_config(config: &ProtectionConfig) -> Self {
+        if config.is_unprotected() {
+            ProtectionMode::Plain
+        } else if config.vectors == EccScheme::None {
+            ProtectionMode::Matrix(*config)
+        } else {
+            ProtectionMode::Full(*config)
+        }
+    }
+
+    /// The configuration behind this mode, when one exists.
+    pub fn config(&self) -> Option<&ProtectionConfig> {
+        match self {
+            ProtectionMode::Plain => None,
+            ProtectionMode::Matrix(cfg) | ProtectionMode::Full(cfg) => Some(cfg),
+        }
+    }
+
+    /// Whether the kernels would run in parallel under this mode's
+    /// configuration (`None` for the plain mode, which follows
+    /// [`Solver::parallel`] instead).
+    pub fn parallel(&self) -> Option<bool> {
+        self.config().map(|cfg| cfg.parallel)
+    }
+}
+
+/// Result of a [`Solver`] run: the decoded solution, convergence
+/// information, and a snapshot of the integrity-check activity.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The solution vector, decoded to plain values.
+    pub solution: Vec<f64>,
+    /// Convergence information.
+    pub status: SolveStatus,
+    /// Integrity-check activity during the solve.
+    pub faults: FaultLogSnapshot,
+}
+
+/// Builder-style solver front door: method, stopping criteria, protection
+/// mode, and method-specific knobs, all in one place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Solver {
+    method: Method,
+    config: SolverConfig,
+    protection: ProtectionMode,
+    parallel: bool,
+    bounds: Option<ChebyshevBounds>,
+    inner_steps: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new(Method::Cg)
+    }
+}
+
+impl Solver {
+    /// Creates a solver for `method` with default stopping criteria and no
+    /// protection.
+    pub fn new(method: Method) -> Self {
+        Solver {
+            method,
+            config: SolverConfig::default(),
+            protection: ProtectionMode::Plain,
+            parallel: false,
+            bounds: None,
+            inner_steps: 4,
+        }
+    }
+
+    /// Conjugate Gradient.
+    pub fn cg() -> Self {
+        Solver::new(Method::Cg)
+    }
+
+    /// Jacobi relaxation.
+    pub fn jacobi() -> Self {
+        Solver::new(Method::Jacobi)
+    }
+
+    /// Chebyshev iteration.
+    pub fn chebyshev() -> Self {
+        Solver::new(Method::Chebyshev)
+    }
+
+    /// Polynomially preconditioned CG.
+    pub fn ppcg() -> Self {
+        Solver::new(Method::Ppcg)
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.config.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the tolerance on the absolute squared residual norm.
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.config.tolerance = tolerance;
+        self
+    }
+
+    /// Replaces both stopping criteria at once.
+    pub fn config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the protection tier.
+    pub fn protection(mut self, protection: ProtectionMode) -> Self {
+        self.protection = protection;
+        self
+    }
+
+    /// Uses the Rayon-parallel kernels for plain solves.  Protected solves
+    /// follow the `parallel` flag of their [`ProtectionConfig`].
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Supplies explicit spectral bounds for Chebyshev/PPCG; when omitted,
+    /// Gershgorin bounds are estimated from the matrix.
+    pub fn bounds(mut self, bounds: ChebyshevBounds) -> Self {
+        self.bounds = Some(bounds);
+        self
+    }
+
+    /// Number of inner Chebyshev smoothing steps per PPCG iteration
+    /// (default 4).
+    pub fn inner_steps(mut self, inner_steps: usize) -> Self {
+        self.inner_steps = inner_steps;
+        self
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The configured protection mode.
+    pub fn protection_mode(&self) -> ProtectionMode {
+        self.protection
+    }
+
+    /// Solves `A x = b`, encoding the matrix for the configured protection
+    /// mode first.
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<SolveOutcome, SolverError> {
+        // Estimate Chebyshev bounds from the plain matrix up front: cheaper
+        // and exact, where the protected backends would have to decode.
+        let mut solver = *self;
+        if solver.bounds.is_none() && matches!(self.method, Method::Chebyshev | Method::Ppcg) {
+            solver.bounds = Some(ChebyshevBounds::estimate_gershgorin(a));
+        }
+        match self.protection {
+            ProtectionMode::Plain => solver.solve_operator(&Plain::new(a, self.parallel), b),
+            ProtectionMode::Matrix(cfg) => {
+                let cfg = ProtectionConfig {
+                    vectors: EccScheme::None,
+                    ..cfg
+                };
+                let protected = ProtectedCsr::from_csr(a, &cfg)?;
+                solver.solve_operator(&MatrixProtected::new(&protected), b)
+            }
+            ProtectionMode::Full(cfg) => {
+                let protected = ProtectedCsr::from_csr(a, &cfg)?;
+                solver.solve_operator(&FullyProtected::new(&protected), b)
+            }
+        }
+    }
+
+    /// Solves on an existing backend operator — the advanced path for
+    /// callers that built (or deliberately corrupted) the protected matrix
+    /// themselves.
+    pub fn solve_operator<Op: LinearOperator>(
+        &self,
+        op: &Op,
+        b: &[f64],
+    ) -> Result<SolveOutcome, SolverError> {
+        self.solve_in(op, b, &FaultContext::new())
+    }
+
+    /// Like [`Solver::solve_operator`], but records integrity-check activity
+    /// live into a caller-supplied log, so observations made before an
+    /// aborting fault survive on the error path.
+    pub fn solve_operator_logged<Op: LinearOperator>(
+        &self,
+        op: &Op,
+        b: &[f64],
+        log: &FaultLog,
+    ) -> Result<SolveOutcome, SolverError> {
+        self.solve_in(op, b, &FaultContext::with_log(log))
+    }
+
+    fn solve_in<Op: LinearOperator>(
+        &self,
+        op: &Op,
+        b: &[f64],
+        ctx: &FaultContext<'_>,
+    ) -> Result<SolveOutcome, SolverError> {
+        let bvec = op.vector_from(b);
+        let (mut x, status) = match self.method {
+            Method::Cg => generic::cg(op, &bvec, &self.config, ctx)?,
+            Method::Jacobi => generic::jacobi(op, &bvec, &self.config, ctx)?,
+            Method::Chebyshev => {
+                let bounds = self.bounds_for(op)?;
+                generic::chebyshev(op, &bvec, bounds, &self.config, ctx)?
+            }
+            Method::Ppcg => {
+                let bounds = self.bounds_for(op)?;
+                generic::ppcg(op, &bvec, bounds, self.inner_steps, &self.config, ctx)?
+            }
+        };
+        let solution = op.finish(&mut x, ctx)?;
+        Ok(SolveOutcome {
+            solution,
+            status,
+            faults: ctx.snapshot(),
+        })
+    }
+
+    fn bounds_for<Op: LinearOperator>(&self, op: &Op) -> Result<ChebyshevBounds, SolverError> {
+        self.bounds.or_else(|| op.bounds_hint()).ok_or_else(|| {
+            SolverError::Unsupported(
+                "Chebyshev-type solvers need spectral bounds and the backend cannot estimate them"
+                    .into(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_ecc::Crc32cBackend;
+    use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+    use abft_sparse::spmv::spmv_serial;
+
+    fn system() -> (CsrMatrix, Vec<f64>) {
+        let a = pad_rows_to_min_entries(&poisson_2d(9, 8), 4);
+        let b = (0..a.rows()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+        (a, b)
+    }
+
+    fn residual_norm(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let mut ax = vec![0.0; a.rows()];
+        spmv_serial(a, x, &mut ax);
+        ax.iter()
+            .zip(b)
+            .map(|(axi, bi)| (axi - bi) * (axi - bi))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The acceptance matrix of the redesign: every method × every
+    /// protection tier solves through the one front door.
+    #[test]
+    fn every_method_runs_in_every_protection_mode() {
+        let (a, b) = system();
+        let methods = [
+            (Method::Cg, 500, 1e-18),
+            (Method::Jacobi, 20_000, 1e-16),
+            (Method::Chebyshev, 3000, 1e-14),
+            (Method::Ppcg, 500, 1e-18),
+        ];
+        let modes = [
+            ProtectionMode::Plain,
+            ProtectionMode::Matrix(
+                ProtectionConfig::matrix_only(EccScheme::Secded64)
+                    .with_crc_backend(Crc32cBackend::SlicingBy16),
+            ),
+            ProtectionMode::Full(
+                ProtectionConfig::full(EccScheme::Secded64)
+                    .with_crc_backend(Crc32cBackend::SlicingBy16),
+            ),
+        ];
+        for (method, max_iterations, tolerance) in methods {
+            for mode in modes {
+                let outcome = Solver::new(method)
+                    .max_iterations(max_iterations)
+                    .tolerance(tolerance)
+                    .protection(mode)
+                    .solve(&a, &b)
+                    .unwrap_or_else(|e| panic!("{method:?} / {mode:?}: {e}"));
+                let tol = if method == Method::Chebyshev {
+                    1e-3
+                } else {
+                    1e-6
+                };
+                assert!(
+                    residual_norm(&a, &outcome.solution, &b) < tol,
+                    "{method:?} / {mode:?}"
+                );
+                assert_eq!(outcome.faults.total_uncorrectable(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_knobs_are_recorded() {
+        let solver = Solver::ppcg()
+            .max_iterations(7)
+            .tolerance(1e-3)
+            .parallel(true)
+            .inner_steps(9)
+            .bounds(ChebyshevBounds::new(1.0, 2.0));
+        assert_eq!(solver.method(), Method::Ppcg);
+        assert_eq!(solver.config.max_iterations, 7);
+        assert_eq!(solver.config.tolerance, 1e-3);
+        assert!(solver.parallel);
+        assert_eq!(solver.inner_steps, 9);
+        assert_eq!(solver.bounds, Some(ChebyshevBounds::new(1.0, 2.0)));
+        assert_eq!(Solver::default().method(), Method::Cg);
+        assert_eq!(Solver::jacobi().method(), Method::Jacobi);
+        assert_eq!(Solver::chebyshev().method(), Method::Chebyshev);
+    }
+
+    #[test]
+    fn protection_mode_derivation() {
+        assert_eq!(
+            ProtectionMode::from_config(&ProtectionConfig::unprotected()),
+            ProtectionMode::Plain
+        );
+        let matrix_cfg = ProtectionConfig::matrix_only(EccScheme::Sed);
+        assert_eq!(
+            ProtectionMode::from_config(&matrix_cfg),
+            ProtectionMode::Matrix(matrix_cfg)
+        );
+        let full_cfg = ProtectionConfig::full(EccScheme::Crc32c);
+        assert_eq!(
+            ProtectionMode::from_config(&full_cfg),
+            ProtectionMode::Full(full_cfg)
+        );
+        assert!(ProtectionMode::Plain.config().is_none());
+        assert_eq!(ProtectionMode::Full(full_cfg).config(), Some(&full_cfg));
+        assert_eq!(ProtectionMode::Matrix(matrix_cfg).parallel(), Some(false));
+    }
+
+    #[test]
+    fn matrix_mode_ignores_stray_vector_scheme() {
+        // A Full-style config passed as Matrix mode must not protect vectors.
+        let (a, b) = system();
+        let cfg = ProtectionConfig::full(EccScheme::Secded64)
+            .with_crc_backend(Crc32cBackend::SlicingBy16);
+        let matrix = Solver::cg()
+            .max_iterations(500)
+            .tolerance(1e-18)
+            .protection(ProtectionMode::Matrix(cfg))
+            .solve(&a, &b)
+            .unwrap();
+        let plain = Solver::cg()
+            .max_iterations(500)
+            .tolerance(1e-18)
+            .solve(&a, &b)
+            .unwrap();
+        // Matrix protection never perturbs values, so the trajectory is
+        // bit-identical to the baseline (no vector masking noise).
+        assert_eq!(matrix.solution, plain.solution);
+        assert_eq!(matrix.status.iterations, plain.status.iterations);
+    }
+
+    #[test]
+    fn solve_operator_reuses_an_existing_backend() {
+        use crate::backends::MatrixProtected;
+        let (a, b) = system();
+        let cfg = ProtectionConfig::matrix_only(EccScheme::Secded64)
+            .with_crc_backend(Crc32cBackend::SlicingBy16);
+        let protected = ProtectedCsr::from_csr(&a, &cfg).unwrap();
+        let outcome = Solver::cg()
+            .max_iterations(500)
+            .tolerance(1e-18)
+            .solve_operator(&MatrixProtected::new(&protected), &b)
+            .unwrap();
+        assert!(outcome.status.converged);
+        assert!(residual_norm(&a, &outcome.solution, &b) < 1e-7);
+    }
+}

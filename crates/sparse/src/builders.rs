@@ -47,7 +47,8 @@ pub fn five_point_stencil(
             }
         }
     }
-    coo.to_csr().expect("stencil assembly is structurally valid")
+    coo.to_csr()
+        .expect("stencil assembly is structurally valid")
 }
 
 /// Pads every row of `matrix` to at least `min_entries` stored entries by
@@ -67,11 +68,8 @@ pub fn pad_rows_to_min_entries(matrix: &CsrMatrix, min_entries: usize) -> CsrMat
         matrix.cols() >= min_entries,
         "cannot pad rows of a matrix with fewer than {min_entries} columns"
     );
-    let mut coo = CooMatrix::with_capacity(
-        matrix.rows(),
-        matrix.cols(),
-        matrix.nnz() + matrix.rows(),
-    );
+    let mut coo =
+        CooMatrix::with_capacity(matrix.rows(), matrix.cols(), matrix.nnz() + matrix.rows());
     for row in 0..matrix.rows() {
         let existing: Vec<u32> = matrix.row_entries(row).map(|(c, _)| c).collect();
         for (c, v) in matrix.row_entries(row) {

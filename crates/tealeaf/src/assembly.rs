@@ -119,11 +119,7 @@ pub fn assemble_matrix(grid: &Grid, coeffs: &FaceCoefficients, dt: f64) -> CsrMa
 /// Builds the right-hand side `u₀ = ρ·e` (cell energy density).
 pub fn assemble_rhs(density: &[f64], energy: &[f64]) -> Vec<f64> {
     assert_eq!(density.len(), energy.len());
-    density
-        .iter()
-        .zip(energy)
-        .map(|(rho, e)| rho * e)
-        .collect()
+    density.iter().zip(energy).map(|(rho, e)| rho * e).collect()
 }
 
 /// Recovers the specific energy field from the solved energy density.

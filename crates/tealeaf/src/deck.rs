@@ -110,7 +110,12 @@ impl Deck {
         let mut deck = Deck::standard(64, 64, 5);
         deck.states.clear();
         for raw_line in text.lines() {
-            let line = raw_line.split('!').next().unwrap_or("").trim().to_lowercase();
+            let line = raw_line
+                .split('!')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_lowercase();
             if line.is_empty() {
                 continue;
             }
@@ -287,7 +292,10 @@ state 2 density=1.0 energy=2.5 geometry=rectangle xmin=0.0 xmax=5.0 ymin=0.0 yma
         assert_eq!(deck.solver, SolverKind::Cg);
         assert_eq!(deck.states.len(), 2);
         assert_eq!(deck.states[0].density, 0.2);
-        assert!(matches!(deck.states[1].geometry, Geometry::Rectangle { .. }));
+        assert!(matches!(
+            deck.states[1].geometry,
+            Geometry::Rectangle { .. }
+        ));
     }
 
     #[test]
@@ -300,11 +308,15 @@ state 2 density=1.0 energy=2.5 geometry=rectangle xmin=0.0 xmax=5.0 ymin=0.0 yma
         assert!(matches!(deck.states[1].geometry, Geometry::Circle { .. }));
         assert!(matches!(deck.states[2].geometry, Geometry::Point { .. }));
         assert_eq!(
-            Deck::parse("x_cells=4\ny_cells=4\nuse_jacobi\n").unwrap().solver,
+            Deck::parse("x_cells=4\ny_cells=4\nuse_jacobi\n")
+                .unwrap()
+                .solver,
             SolverKind::Jacobi
         );
         assert_eq!(
-            Deck::parse("x_cells=4\ny_cells=4\nuse_chebyshev\n").unwrap().solver,
+            Deck::parse("x_cells=4\ny_cells=4\nuse_chebyshev\n")
+                .unwrap()
+                .solver,
             SolverKind::Chebyshev
         );
     }

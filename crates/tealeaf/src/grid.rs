@@ -22,7 +22,10 @@ impl Grid {
     /// Creates a grid over the unit-ish domain used by the TeaLeaf decks.
     pub fn new(nx: usize, ny: usize, x_max: f64, y_max: f64) -> Self {
         assert!(nx > 0 && ny > 0, "grid must have at least one cell");
-        assert!(x_max > 0.0 && y_max > 0.0, "domain must have positive extent");
+        assert!(
+            x_max > 0.0 && y_max > 0.0,
+            "domain must have positive extent"
+        );
         Grid {
             nx,
             ny,

@@ -6,18 +6,22 @@
 //! field from the solution.  Every step produces a [`StepReport`] with wall
 //! times, iteration counts and the fault-log snapshot — the raw material of
 //! every overhead figure in the paper.
+//!
+//! The solver × protection dispatch is a single call into the generic
+//! [`Solver`] builder: the protection tier is derived from the
+//! [`ProtectionConfig`] and slid underneath whichever method the deck
+//! selects, so every solver (CG, Jacobi, Chebyshev, PPCG) runs in every
+//! protection mode.
 
-use crate::assembly::{assemble_matrix, assemble_rhs, energy_from_u, face_coefficients, Conductivity};
+use crate::assembly::{
+    assemble_matrix, assemble_rhs, energy_from_u, face_coefficients, Conductivity,
+};
 use crate::deck::{Deck, SolverKind};
 use crate::grid::Grid;
 use crate::states::apply_states;
 use crate::summary::FieldSummary;
-use abft_core::{AbftError, EccScheme, FaultLog, FaultLogSnapshot, ProtectedCsr, ProtectionConfig};
-use abft_solvers::chebyshev::{chebyshev_solve, ChebyshevBounds};
-use abft_solvers::jacobi::{jacobi_solve, jacobi_solve_protected};
-use abft_solvers::ppcg::ppcg_solve;
-use abft_solvers::{cg::cg_plain, CgSolver, SolverConfig};
-use abft_sparse::Vector;
+use abft_core::{FaultLogSnapshot, ProtectionConfig};
+use abft_solvers::{Method, ProtectionMode, Solver, SolverConfig, SolverError};
 use std::time::Instant;
 
 /// Per-time-step results.
@@ -136,101 +140,46 @@ impl Simulation {
         FieldSummary::compute(&self.grid, &self.density, &self.energy)
     }
 
+    /// The generic solver this deck and protection configuration select.
+    fn solver(&self) -> Solver {
+        let method = match self.deck.solver {
+            SolverKind::Cg => Method::Cg,
+            SolverKind::Jacobi => Method::Jacobi,
+            SolverKind::Chebyshev => Method::Chebyshev,
+            SolverKind::Ppcg => Method::Ppcg,
+        };
+        Solver::new(method)
+            .config(SolverConfig::new(self.deck.max_iters, self.deck.eps))
+            .protection(ProtectionMode::from_config(&self.protection))
+            .parallel(self.protection.parallel)
+    }
+
     /// Advances the simulation by one time-step.
-    pub fn step(&mut self, step_index: usize) -> Result<StepReport, AbftError> {
+    pub fn step(&mut self, step_index: usize) -> Result<StepReport, SolverError> {
         let assembly_start = Instant::now();
         let coeffs = face_coefficients(&self.grid, &self.density, self.conductivity);
         let matrix = assemble_matrix(&self.grid, &coeffs, self.deck.dt_init);
         let rhs = assemble_rhs(&self.density, &self.energy);
         let assembly_seconds = assembly_start.elapsed().as_secs_f64();
 
-        let solver_config = SolverConfig::new(self.deck.max_iters, self.deck.eps);
-        let log = FaultLog::new();
         let solve_start = Instant::now();
-        let (u, iterations, converged) = match (self.deck.solver, self.protection.is_unprotected())
-        {
-            (SolverKind::Cg, true) => {
-                let (x, status) = cg_plain(
-                    &matrix,
-                    &Vector::from_vec(rhs.clone()),
-                    &solver_config,
-                    self.protection.parallel,
-                );
-                (x.into_vec(), status.iterations, status.converged)
-            }
-            (SolverKind::Cg, false) => {
-                let solver = CgSolver::new(solver_config);
-                let result = if self.protection.vectors == EccScheme::None {
-                    let a = ProtectedCsr::from_csr(&matrix, &self.protection)?;
-                    solver.solve_matrix_protected(&a, &rhs, &log)?
-                } else {
-                    let a = ProtectedCsr::from_csr(&matrix, &self.protection)?;
-                    solver.solve_fully_protected(&a, &rhs, &self.protection, &log)?
-                };
-                (
-                    result.solution,
-                    result.status.iterations,
-                    result.status.converged,
-                )
-            }
-            (SolverKind::Jacobi, true) => {
-                let (x, status) =
-                    jacobi_solve(&matrix, &Vector::from_vec(rhs.clone()), &solver_config);
-                (x.into_vec(), status.iterations, status.converged)
-            }
-            (SolverKind::Jacobi, false) => {
-                let a = ProtectedCsr::from_csr(&matrix, &self.protection)?;
-                let (x, status) = jacobi_solve_protected(&a, &rhs, &solver_config, &log)?;
-                (x, status.iterations, status.converged)
-            }
-            (SolverKind::Chebyshev, unprotected) => {
-                if !unprotected {
-                    return Err(AbftError::Unsupported(
-                        "protected Chebyshev is not implemented; use CG or Jacobi".into(),
-                    ));
-                }
-                let bounds = ChebyshevBounds::estimate_gershgorin(&matrix);
-                let (x, status) = chebyshev_solve(
-                    &matrix,
-                    &Vector::from_vec(rhs.clone()),
-                    bounds,
-                    &solver_config,
-                );
-                (x.into_vec(), status.iterations, status.converged)
-            }
-            (SolverKind::Ppcg, unprotected) => {
-                if !unprotected {
-                    return Err(AbftError::Unsupported(
-                        "protected PPCG is not implemented; use CG or Jacobi".into(),
-                    ));
-                }
-                let bounds = ChebyshevBounds::estimate_gershgorin(&matrix);
-                let (x, status) = ppcg_solve(
-                    &matrix,
-                    &Vector::from_vec(rhs.clone()),
-                    bounds,
-                    4,
-                    &solver_config,
-                );
-                (x.into_vec(), status.iterations, status.converged)
-            }
-        };
+        let outcome = self.solver().solve(&matrix, &rhs)?;
         let solve_seconds = solve_start.elapsed().as_secs_f64();
 
-        self.energy = energy_from_u(&u, &self.density);
+        self.energy = energy_from_u(&outcome.solution, &self.density);
         Ok(StepReport {
             step: step_index,
-            iterations,
-            converged,
+            iterations: outcome.status.iterations,
+            converged: outcome.status.converged,
             assembly_seconds,
             solve_seconds,
-            faults: log.snapshot(),
+            faults: outcome.faults,
             summary: self.summary(),
         })
     }
 
     /// Runs the deck's configured number of time-steps.
-    pub fn run(&mut self) -> Result<RunReport, AbftError> {
+    pub fn run(&mut self) -> Result<RunReport, SolverError> {
         let mut steps = Vec::with_capacity(self.deck.end_step);
         for step_index in 0..self.deck.end_step {
             steps.push(self.step(step_index)?);
@@ -245,6 +194,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abft_core::EccScheme;
     use abft_ecc::Crc32cBackend;
 
     fn small_deck(solver: SolverKind) -> Deck {
@@ -265,7 +215,9 @@ mod tests {
         assert!(report.total_iterations() > 0);
         // Diffusion with insulated boundaries conserves total internal energy.
         let after = report.final_summary;
-        assert!((after.internal_energy - before.internal_energy).abs() / before.internal_energy < 1e-6);
+        assert!(
+            (after.internal_energy - before.internal_energy).abs() / before.internal_energy < 1e-6
+        );
         // Heat flows: the field summary changes in detail but mass is constant.
         assert!((after.mass - before.mass).abs() < 1e-9);
     }
@@ -274,8 +226,8 @@ mod tests {
     fn protected_runs_match_unprotected_within_masking_noise() {
         let baseline = Simulation::new(small_deck(SolverKind::Cg)).run().unwrap();
         for scheme in EccScheme::ALL {
-            let protection = ProtectionConfig::full(scheme)
-                .with_crc_backend(Crc32cBackend::SlicingBy16);
+            let protection =
+                ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16);
             let report = Simulation::new(small_deck(SolverKind::Cg))
                 .with_protection(protection)
                 .run()
@@ -305,7 +257,9 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(
-            report.final_summary.max_relative_difference(&baseline.final_summary),
+            report
+                .final_summary
+                .max_relative_difference(&baseline.final_summary),
             0.0
         );
         assert_eq!(report.total_iterations(), baseline.total_iterations());
@@ -337,17 +291,41 @@ mod tests {
         assert!(report.steps[0].converged);
     }
 
+    /// The redesign's headline: the solver × protection matrix is complete.
+    /// Chebyshev and PPCG — previously rejected under protection — now run
+    /// in both protected tiers and reproduce the unprotected physics.
     #[test]
-    fn protected_chebyshev_is_rejected() {
-        let mut sim = Simulation::new(small_deck(SolverKind::Chebyshev))
-            .with_protection(ProtectionConfig::full(EccScheme::Sed));
-        assert!(matches!(sim.step(0), Err(AbftError::Unsupported(_))));
+    fn protected_chebyshev_and_ppcg_run_in_every_tier() {
+        for solver in [SolverKind::Chebyshev, SolverKind::Ppcg] {
+            let mut deck = small_deck(solver);
+            deck.end_step = 1;
+            deck.max_iters = 20_000;
+            let baseline = Simulation::new(deck.clone()).run().unwrap();
+            for protection in [
+                ProtectionConfig::matrix_only(EccScheme::Secded64)
+                    .with_crc_backend(Crc32cBackend::SlicingBy16),
+                ProtectionConfig::full(EccScheme::Secded64)
+                    .with_crc_backend(Crc32cBackend::SlicingBy16),
+            ] {
+                let report = Simulation::new(deck.clone())
+                    .with_protection(protection)
+                    .run()
+                    .unwrap();
+                assert!(report.steps[0].converged, "{solver:?}");
+                let diff = report
+                    .final_summary
+                    .max_relative_difference(&baseline.final_summary);
+                assert!(diff < 1e-9, "{solver:?}: drifted by {diff}");
+                // The protected run actually performed integrity checks.
+                assert!(report.steps[0].faults.checks.iter().sum::<u64>() > 0);
+            }
+        }
     }
 
     #[test]
     fn accessors() {
-        let sim = Simulation::new(small_deck(SolverKind::Cg))
-            .with_conductivity(Conductivity::Density);
+        let sim =
+            Simulation::new(small_deck(SolverKind::Cg)).with_conductivity(Conductivity::Density);
         assert_eq!(sim.grid().cells(), 256);
         assert_eq!(sim.deck().x_cells, 16);
         assert_eq!(sim.density().len(), 256);

@@ -94,8 +94,8 @@ mod tests {
     fn relative_difference_detects_changes() {
         let grid = Grid::new(4, 4, 4.0, 4.0);
         let density = vec![1.0; 16];
-        let a = FieldSummary::compute(&grid, &density, &vec![1.0; 16]);
-        let b = FieldSummary::compute(&grid, &density, &vec![1.1; 16]);
+        let a = FieldSummary::compute(&grid, &density, &[1.0; 16]);
+        let b = FieldSummary::compute(&grid, &density, &[1.1; 16]);
         let d = a.max_relative_difference(&b);
         assert!(d > 0.05 && d < 0.15);
     }

@@ -10,9 +10,9 @@
 //! unnoticed for up to N−1 CG iterations (bounds checks still prevent
 //! out-of-range accesses in between).
 
+use abft_bench::{overhead_pct, tealeaf_system, time_cg};
 use abft_suite::core::{EccScheme, ProtectionConfig};
 use abft_suite::ecc::Crc32cBackend;
-use abft_bench::{overhead_pct, tealeaf_system, time_cg};
 
 fn main() {
     let mut args = std::env::args().skip(1);

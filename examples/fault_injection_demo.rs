@@ -42,7 +42,7 @@ fn main() {
                 },
                 target,
                 seed: 2017,
-                sdc_threshold: 1e-9,
+                ..CampaignConfig::default()
             };
             let stats = Campaign::new(config).run();
             println!(

@@ -44,8 +44,7 @@ fn main() {
         protected.total_iterations()
     );
 
-    let overhead = 100.0
-        * (protected.total_solve_seconds() - baseline.total_solve_seconds())
+    let overhead = 100.0 * (protected.total_solve_seconds() - baseline.total_solve_seconds())
         / baseline.total_solve_seconds();
     println!("runtime overhead of full SECDED protection: {overhead:.1} %");
 

@@ -7,12 +7,15 @@
 //! * [`ecc`] — software error detecting/correcting codes (SED, SECDED, CRC32C)
 //! * [`sparse`] — CSR/COO matrices, dense vectors, SpMV and BLAS-1 kernels
 //! * [`core`] — the protected data structures (the paper's contribution)
-//! * [`solvers`] — CG, Jacobi, Chebyshev and PPCG iterative solvers
+//! * [`solvers`] — the generic solver layer: CG, Jacobi, Chebyshev and PPCG
+//!   written once over the backend traits, fronted by the [`Solver`]
+//!   builder (`prelude::Solver`)
 //! * [`tealeaf`] — the TeaLeaf-style 2-D heat-conduction mini-app
 //! * [`faultsim`] — bit-flip injection and fault campaigns
 //!
-//! See the README for a quickstart and DESIGN.md / EXPERIMENTS.md for the
-//! mapping from the paper's figures to the benchmark harness.
+//! See the README for a quickstart showing one solve in each protection
+//! mode, and DESIGN.md / EXPERIMENTS.md for the mapping from the paper's
+//! figures to the benchmark harness.
 
 pub use abft_core as core;
 pub use abft_ecc as ecc;
@@ -28,7 +31,9 @@ pub mod prelude {
     };
     pub use abft_ecc::{CheckOutcome, Crc32c, Crc32cBackend};
     pub use abft_faultsim::{Campaign, CampaignConfig, FaultOutcome, FaultTarget};
-    pub use abft_solvers::{CgSolver, SolveStatus, SolverConfig};
+    pub use abft_solvers::{
+        Method, ProtectionMode, SolveOutcome, SolveStatus, Solver, SolverConfig, SolverError,
+    };
     pub use abft_sparse::{CooMatrix, CsrMatrix, Vector};
     pub use abft_tealeaf::{Deck, Simulation, SolverKind};
 }

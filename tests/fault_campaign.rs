@@ -17,7 +17,7 @@ fn campaign(scheme: EccScheme, target: FaultTarget, flips: usize, trials: usize)
         },
         target,
         seed: 20170905, // the paper's conference date, for reproducibility
-        sdc_threshold: 1e-9,
+        ..CampaignConfig::default()
     })
 }
 
@@ -72,7 +72,7 @@ fn unprotected_baseline_shows_why_protection_matters() {
         protection: ProtectionConfig::unprotected(),
         target: FaultTarget::MatrixValues,
         seed: 99,
-        sdc_threshold: 1e-9,
+        ..CampaignConfig::default()
     };
     let unprotected = Campaign::new(config.clone()).run();
     assert!(

@@ -2,9 +2,9 @@
 //! protected structures → CG solve → fault log, with and without injected
 //! faults.
 
-use abft_suite::prelude::*;
 use abft_suite::core::spmv::protected_spmv;
-use abft_suite::solvers::SolverConfig;
+use abft_suite::prelude::*;
+use abft_suite::solvers::backends::MatrixProtected;
 use abft_suite::tealeaf::assembly::{
     assemble_matrix, assemble_rhs, face_coefficients, Conductivity,
 };
@@ -27,10 +27,8 @@ fn tealeaf_system(nx: usize, ny: usize) -> (abft_suite::sparse::CsrMatrix, Vec<f
 #[test]
 fn every_scheme_solves_the_tealeaf_system_cleanly() {
     let (matrix, rhs) = tealeaf_system(24, 18);
-    let solver = CgSolver::new(SolverConfig::new(2000, 1e-16));
-    let baseline = solver
-        .solve(&matrix, &rhs, &ProtectionConfig::unprotected())
-        .unwrap();
+    let solver = Solver::cg().max_iterations(2000).tolerance(1e-16);
+    let baseline = solver.solve(&matrix, &rhs).unwrap();
     for scheme in EccScheme::ALL {
         for protection in [
             ProtectionConfig::elements_only(scheme),
@@ -39,7 +37,10 @@ fn every_scheme_solves_the_tealeaf_system_cleanly() {
             ProtectionConfig::vectors_only(scheme),
             ProtectionConfig::full(scheme),
         ] {
-            let result = solver.solve(&matrix, &rhs, &protection).unwrap();
+            let result = solver
+                .protection(ProtectionMode::from_config(&protection))
+                .solve(&matrix, &rhs)
+                .unwrap();
             assert!(result.status.converged, "{}", protection.describe());
             assert_eq!(result.faults.total_uncorrectable(), 0);
             let norm: f64 = baseline.solution.iter().map(|v| v * v).sum::<f64>().sqrt();
@@ -63,17 +64,19 @@ fn every_scheme_solves_the_tealeaf_system_cleanly() {
 #[test]
 fn parallel_and_serial_protected_solves_agree() {
     let (matrix, rhs) = tealeaf_system(20, 20);
-    let solver = CgSolver::new(SolverConfig::new(2000, 1e-16));
+    let solver = Solver::cg().max_iterations(2000).tolerance(1e-16);
     for scheme in [EccScheme::Sed, EccScheme::Secded64, EccScheme::Crc32c] {
         let serial = solver
-            .solve(&matrix, &rhs, &ProtectionConfig::matrix_only(scheme))
+            .protection(ProtectionMode::Matrix(ProtectionConfig::matrix_only(
+                scheme,
+            )))
+            .solve(&matrix, &rhs)
             .unwrap();
         let parallel = solver
-            .solve(
-                &matrix,
-                &rhs,
-                &ProtectionConfig::matrix_only(scheme).with_parallel(true),
-            )
+            .protection(ProtectionMode::Matrix(
+                ProtectionConfig::matrix_only(scheme).with_parallel(true),
+            ))
+            .solve(&matrix, &rhs)
             .unwrap();
         // The parallel dot products reduce in a different order, so the
         // trajectories may differ in the last few ulps; iterations and the
@@ -95,8 +98,11 @@ fn parallel_and_serial_protected_solves_agree() {
 fn injected_fault_mid_pipeline_is_absorbed() {
     let (matrix, rhs) = tealeaf_system(16, 16);
     let protection = ProtectionConfig::full(EccScheme::Crc32c);
-    let solver = CgSolver::new(SolverConfig::new(2000, 1e-16));
-    let clean = solver.solve(&matrix, &rhs, &protection).unwrap();
+    let solver = Solver::cg().max_iterations(2000).tolerance(1e-16);
+    let clean = solver
+        .protection(ProtectionMode::Full(protection))
+        .solve(&matrix, &rhs)
+        .unwrap();
 
     let log = FaultLog::new();
     let mut protected = ProtectedCsr::from_csr(&matrix, &protection).unwrap();
@@ -105,8 +111,9 @@ fn injected_fault_mid_pipeline_is_absorbed() {
     protected.inject_col_bit_flip(333, 12);
     protected.inject_row_pointer_bit_flip(40, 9);
     let faulty = solver
-        .solve_matrix_protected(&protected, &rhs, &log)
+        .solve_operator(&MatrixProtected::new(&protected), &rhs)
         .unwrap();
+    log.absorb(&faulty.faults);
     assert!(faulty.faults.total_corrected() >= 3);
     // Matrix protection never perturbs values, so the trajectories agree to
     // round-off of the masked RHS used in the fully protected clean run.

@@ -1,134 +1,171 @@
-//! Property-based tests (proptest) for the core data structures and codecs:
+//! Randomised property tests for the core data structures and codecs:
 //! encode/decode round-trips, single-flip correction guarantees, and CSR
-//! structural invariants, all over randomly generated inputs.
+//! structural invariants, all over seeded random inputs.
+//!
+//! The cases mirror what a proptest harness would generate, driven by the
+//! deterministic ChaCha8 generator so every failure is reproducible from the
+//! fixed seed.
 
 use abft_suite::core::row_pointer::ProtectedRowPointer;
 use abft_suite::ecc::crc32c::{update_naive, update_slicing16};
 use abft_suite::ecc::{Crc32c, Crc32cBackend, SECDED_118, SECDED_56, SECDED_64, SECDED_88};
 use abft_suite::prelude::*;
 use abft_suite::sparse::builders::pad_rows_to_min_entries;
-use proptest::prelude::*;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-fn arb_scheme() -> impl Strategy<Value = EccScheme> {
-    prop_oneof![
-        Just(EccScheme::Sed),
-        Just(EccScheme::Secded64),
-        Just(EccScheme::Secded128),
-        Just(EccScheme::Crc32c),
-    ]
+const CASES: usize = 64;
+
+fn rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x2017_ABF7)
 }
+
+fn random_bytes(rng: &mut ChaCha8Rng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+}
+
+fn random_f64(rng: &mut ChaCha8Rng) -> f64 {
+    // Uniform in [-1e6, 1e6), the range the proptest harness used.
+    (rng.gen_range(0u64..1 << 53) as f64 / (1u64 << 53) as f64) * 2e6 - 1e6
+}
+
+const SCHEMES: [EccScheme; 4] = [
+    EccScheme::Sed,
+    EccScheme::Secded64,
+    EccScheme::Secded128,
+    EccScheme::Crc32c,
+];
 
 /// A random small COO matrix with a guaranteed non-zero diagonal, converted
 /// to CSR and padded to at least 4 entries per row.
-fn arb_padded_matrix() -> impl Strategy<Value = CsrMatrix> {
-    (4usize..12, 4usize..12)
-        .prop_flat_map(|(rows, cols)| {
-            let n = rows.min(cols);
-            (
-                Just(rows),
-                Just(cols),
-                proptest::collection::vec((0..rows, 0..cols, -10.0f64..10.0), 0..40),
-                proptest::collection::vec(0.5f64..5.0, n),
-            )
-        })
-        .prop_map(|(rows, cols, triplets, diag)| {
-            let mut coo = CooMatrix::new(rows, cols);
-            for (i, d) in diag.iter().enumerate() {
-                coo.push(i, i, *d);
-            }
-            for (r, c, v) in triplets {
-                coo.push(r, c, v);
-            }
-            pad_rows_to_min_entries(&coo.to_csr().unwrap(), 4.min(cols))
-        })
+fn random_padded_matrix(rng: &mut ChaCha8Rng) -> CsrMatrix {
+    let rows = rng.gen_range(4usize..12);
+    let cols = rng.gen_range(4usize..12);
+    let mut coo = CooMatrix::new(rows, cols);
+    for i in 0..rows.min(cols) {
+        coo.push(i, i, 0.5 + random_f64(rng).abs() % 4.5);
+    }
+    for _ in 0..rng.gen_range(0usize..40) {
+        let r = rng.gen_range(0..rows);
+        let c = rng.gen_range(0..cols);
+        coo.push(r, c, random_f64(rng) % 10.0);
+    }
+    pad_rows_to_min_entries(&coo.to_csr().unwrap(), 4.min(cols))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn crc32c_backends_agree(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn crc32c_backends_agree() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..512);
+        let data = random_bytes(&mut rng, len);
         let naive = !update_naive(!0, &data);
         let slicing = !update_slicing16(!0, &data);
-        prop_assert_eq!(naive, slicing);
+        assert_eq!(naive, slicing);
         let hw = Crc32c::new(Crc32cBackend::Hardware).checksum(&data);
-        prop_assert_eq!(naive, hw);
+        assert_eq!(naive, hw);
     }
+}
 
-    #[test]
-    fn crc32c_detects_low_weight_errors(
-        data in proptest::collection::vec(any::<u8>(), 23..256),
-        flips in proptest::collection::hash_set(0usize..23 * 8, 1..=5),
-    ) {
+#[test]
+fn crc32c_detects_low_weight_errors() {
+    let mut rng = rng();
+    let crc = Crc32c::best();
+    for _ in 0..CASES {
         // Codeword lengths 184..2048 bits lie inside the HD=6 window, so any
         // 1..=5 distinct flips must be detected.
-        let crc = Crc32c::best();
+        let len = rng.gen_range(23usize..256);
+        let data = random_bytes(&mut rng, len);
         let reference = crc.checksum(&data);
+        let mut flips = std::collections::HashSet::new();
+        let weight = rng.gen_range(1usize..=5);
+        while flips.len() < weight {
+            flips.insert(rng.gen_range(0usize..23 * 8));
+        }
         let mut corrupted = data.clone();
         for bit in &flips {
             corrupted[bit / 8] ^= 1 << (bit % 8);
         }
-        prop_assert_ne!(crc.checksum(&corrupted), reference);
+        assert_ne!(crc.checksum(&corrupted), reference, "weight {weight}");
     }
+}
 
-    #[test]
-    fn secded_roundtrip_and_single_flip_correction(
-        payload in proptest::collection::vec(any::<u64>(), 2),
-        flip in 0usize..118,
-    ) {
-        for (code, bits) in [(&SECDED_56, 56usize), (&SECDED_64, 64), (&SECDED_88, 88), (&SECDED_118, 118)] {
-            let mut data = payload.clone();
+#[test]
+fn secded_roundtrip_and_single_flip_correction() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let payload = [rng.next_u64(), rng.next_u64()];
+        let flip = rng.gen_range(0usize..118);
+        for (code, bits) in [
+            (&SECDED_56, 56usize),
+            (&SECDED_64, 64),
+            (&SECDED_88, 88),
+            (&SECDED_118, 118),
+        ] {
+            let mut data = payload.to_vec();
             // Mask to the code's width.
             for (w, word) in data.iter_mut().enumerate() {
                 let low = bits.saturating_sub(w * 64).min(64);
-                *word &= if low == 64 { u64::MAX } else { (1u64 << low) - 1 };
+                *word &= if low == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << low) - 1
+                };
             }
             let data = &data[..bits.div_ceil(64)];
             let red = code.encode(data);
-            prop_assert_eq!(code.check(data, red), abft_suite::ecc::DecodeOutcome::NoError);
+            assert_eq!(
+                code.check(data, red),
+                abft_suite::ecc::DecodeOutcome::NoError
+            );
 
             let bit = flip % bits;
             let mut corrupted = data.to_vec();
             corrupted[bit / 64] ^= 1u64 << (bit % 64);
             let outcome = code.check_and_correct(&mut corrupted, red);
-            prop_assert_eq!(outcome, abft_suite::ecc::DecodeOutcome::CorrectedData(bit));
-            prop_assert_eq!(&corrupted[..], data);
+            assert_eq!(outcome, abft_suite::ecc::DecodeOutcome::CorrectedData(bit));
+            assert_eq!(&corrupted[..], data);
         }
     }
+}
 
-    #[test]
-    fn coo_to_csr_preserves_entries(
-        rows in 1usize..10,
-        cols in 1usize..10,
-        triplets in proptest::collection::vec((0usize..10, 0usize..10, -5.0f64..5.0), 0..30),
-    ) {
+#[test]
+fn coo_to_csr_preserves_entries() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let rows = rng.gen_range(1usize..10);
+        let cols = rng.gen_range(1usize..10);
         let mut coo = CooMatrix::new(rows, cols);
         let mut dense = vec![vec![0.0f64; cols]; rows];
-        for (r, c, v) in &triplets {
-            let (r, c) = (r % rows, c % cols);
-            coo.push(r, c, *v);
+        for _ in 0..rng.gen_range(0usize..30) {
+            let r = rng.gen_range(0..rows);
+            let c = rng.gen_range(0..cols);
+            let v = random_f64(&mut rng) % 5.0;
+            coo.push(r, c, v);
             dense[r][c] += v;
         }
         let csr = coo.to_csr().unwrap();
-        prop_assert_eq!(csr.rows(), rows);
-        prop_assert_eq!(csr.cols(), cols);
-        for r in 0..rows {
-            for c in 0..cols {
-                prop_assert!((csr.get(r, c) - dense[r][c]).abs() < 1e-12);
+        assert_eq!(csr.rows(), rows);
+        assert_eq!(csr.cols(), cols);
+        for (r, dense_row) in dense.iter().enumerate() {
+            for (c, expect) in dense_row.iter().enumerate() {
+                assert!((csr.get(r, c) - expect).abs() < 1e-12);
             }
         }
         // Row pointer is monotone and ends at nnz.
         let rp = csr.row_pointer();
-        prop_assert!(rp.windows(2).all(|w| w[0] <= w[1]));
-        prop_assert_eq!(*rp.last().unwrap() as usize, csr.nnz());
+        assert!(rp.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*rp.last().unwrap() as usize, csr.nnz());
     }
+}
 
-    #[test]
-    fn protected_csr_roundtrips_and_spmv_matches(
-        matrix in arb_padded_matrix(),
-        scheme in arb_scheme(),
-        rowptr_scheme in arb_scheme(),
-    ) {
+#[test]
+fn protected_csr_roundtrips_and_spmv_matches() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let matrix = random_padded_matrix(&mut rng);
+        let scheme = SCHEMES[rng.gen_range(0usize..SCHEMES.len())];
+        let rowptr_scheme = SCHEMES[rng.gen_range(0usize..SCHEMES.len())];
         let protection = ProtectionConfig {
             elements: scheme,
             row_pointer: rowptr_scheme,
@@ -138,7 +175,7 @@ proptest! {
             parallel: false,
         };
         let protected = ProtectedCsr::from_csr(&matrix, &protection).unwrap();
-        prop_assert_eq!(protected.to_csr(), matrix.clone());
+        assert_eq!(protected.to_csr(), matrix);
 
         let x: Vec<f64> = (0..matrix.cols()).map(|i| (i as f64 * 0.7).sin()).collect();
         let mut y_ref = vec![0.0; matrix.rows()];
@@ -146,89 +183,95 @@ proptest! {
         let log = FaultLog::new();
         let mut y = vec![0.0; matrix.rows()];
         protected.spmv(&x[..], &mut y, 0, &log).unwrap();
-        prop_assert_eq!(y, y_ref);
-        prop_assert_eq!(log.total_corrected() + log.total_uncorrectable(), 0);
+        assert_eq!(y, y_ref);
+        assert_eq!(log.total_corrected() + log.total_uncorrectable(), 0);
     }
+}
 
-    #[test]
-    fn protected_csr_single_flip_never_goes_unnoticed(
-        matrix in arb_padded_matrix(),
-        scheme in arb_scheme(),
-        element_selector in any::<prop::sample::Index>(),
-        bit in 0u32..64,
-    ) {
+#[test]
+fn protected_csr_single_flip_never_goes_unnoticed() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let matrix = random_padded_matrix(&mut rng);
+        let scheme = SCHEMES[rng.gen_range(0usize..SCHEMES.len())];
         let protection = ProtectionConfig::matrix_only(scheme);
         let mut protected = ProtectedCsr::from_csr(&matrix, &protection).unwrap();
-        let k = element_selector.index(matrix.nnz());
+        let k = rng.gen_range(0..matrix.nnz());
+        let bit = rng.gen_range(0u32..64);
         protected.inject_value_bit_flip(k, bit);
         let log = FaultLog::new();
         let result = protected.verify_all(&log);
         match scheme {
             EccScheme::Sed => {
                 // Parity detects the flip (cannot correct it).
-                prop_assert!(result.is_err());
+                assert!(result.is_err(), "({k},{bit})");
             }
             _ => {
-                prop_assert!(result.is_ok());
-                prop_assert_eq!(log.total_corrected(), 1);
+                assert!(result.is_ok(), "{scheme:?} ({k},{bit})");
+                assert_eq!(log.total_corrected(), 1, "{scheme:?} ({k},{bit})");
             }
         }
     }
+}
 
-    #[test]
-    fn protected_vector_roundtrip_and_flip_handling(
-        values in proptest::collection::vec(-1e6f64..1e6, 1..40),
-        scheme in arb_scheme(),
-        element_selector in any::<prop::sample::Index>(),
-        bit in 0u32..64,
-    ) {
+#[test]
+fn protected_vector_roundtrip_and_flip_handling() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let values: Vec<f64> = (0..rng.gen_range(1usize..40))
+            .map(|_| random_f64(&mut rng))
+            .collect();
+        let scheme = SCHEMES[rng.gen_range(0usize..SCHEMES.len())];
         let v = ProtectedVector::from_slice(&values, scheme, Crc32cBackend::Hardware);
         let bound = abft_suite::core::protected_vector::masking_relative_error_bound(scheme);
         for (i, &orig) in values.iter().enumerate() {
-            let rel = if orig == 0.0 { v.get(i).abs() } else { ((v.get(i) - orig) / orig).abs() };
-            prop_assert!(rel <= bound);
+            let rel = if orig == 0.0 {
+                v.get(i).abs()
+            } else {
+                ((v.get(i) - orig) / orig).abs()
+            };
+            assert!(rel <= bound);
         }
         let log = FaultLog::new();
         v.check_all(&log).unwrap();
-        prop_assert_eq!(log.total_corrected() + log.total_uncorrectable(), 0);
+        assert_eq!(log.total_corrected() + log.total_uncorrectable(), 0);
 
         // A single flip anywhere is corrected (SECDED / CRC) or detected (SED).
         let mut corrupted = v.clone();
-        corrupted.inject_bit_flip(element_selector.index(values.len()), bit);
+        corrupted.inject_bit_flip(rng.gen_range(0..values.len()), rng.gen_range(0u32..64));
         let result = corrupted.scrub(&log);
         if scheme == EccScheme::Sed {
-            prop_assert!(result.is_err());
+            assert!(result.is_err());
         } else {
-            prop_assert_eq!(result.unwrap(), 1);
-            prop_assert_eq!(corrupted.raw(), v.raw());
+            assert_eq!(result.unwrap(), 1);
+            assert_eq!(corrupted.raw(), v.raw());
         }
     }
+}
 
-    #[test]
-    fn protected_row_pointer_roundtrip_and_flip_handling(
-        per_row in proptest::collection::vec(0u32..9, 1..50),
-        scheme in arb_scheme(),
-        entry_selector in any::<prop::sample::Index>(),
-        bit in 0u32..32,
-    ) {
+#[test]
+fn protected_row_pointer_roundtrip_and_flip_handling() {
+    let mut rng = rng();
+    for _ in 0..CASES {
         // Build a valid row pointer from per-row counts.
         let mut row_ptr = vec![0u32];
-        for count in &per_row {
-            row_ptr.push(row_ptr.last().unwrap() + count);
+        for _ in 0..rng.gen_range(1usize..50) {
+            row_ptr.push(row_ptr.last().unwrap() + rng.gen_range(0u32..9));
         }
+        let scheme = SCHEMES[rng.gen_range(0usize..SCHEMES.len())];
         let p = ProtectedRowPointer::encode(&row_ptr, scheme, Crc32cBackend::Hardware).unwrap();
-        prop_assert_eq!(p.to_plain(), row_ptr.clone());
+        assert_eq!(p.to_plain(), row_ptr);
         let log = FaultLog::new();
         p.check_all(&log).unwrap();
 
         let mut corrupted = p.clone();
-        corrupted.inject_bit_flip(entry_selector.index(row_ptr.len()), bit);
+        corrupted.inject_bit_flip(rng.gen_range(0..row_ptr.len()), rng.gen_range(0u32..32));
         let result = corrupted.scrub(&log);
         if scheme == EccScheme::Sed {
-            prop_assert!(result.is_err());
+            assert!(result.is_err());
         } else {
             result.unwrap();
-            prop_assert_eq!(corrupted.to_plain(), row_ptr);
+            assert_eq!(corrupted.to_plain(), row_ptr);
         }
     }
 }

@@ -1,0 +1,129 @@
+//! A minimal, dependency-free stand-in for the `rand` crate, providing the
+//! trait surface the fault-injection campaigns use: `RngCore`, `Rng` with
+//! `gen_range` over half-open and inclusive integer ranges, and
+//! `SeedableRng::seed_from_u64`.
+//!
+//! The build environment has no network access, so the real `rand` cannot be
+//! fetched; this shim keeps campaign code source-compatible.  The concrete
+//! generator lives in the sibling `rand_chacha` shim.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniformly random words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits (two 32-bit draws by default).
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+}
+
+/// User-facing sampling interface, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Expands a 64-bit seed into a full generator state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, span)` by 64-bit multiply-shift; the modulo bias is
+/// negligible for the small spans the fault campaigns use.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($ty:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64(rng, span) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end - start) as u64 + 1;
+                // `span` can only overflow to 0 for a full-width u64 range,
+                // which none of the call sites uses.
+                start + uniform_u64(rng, span) as $ty
+            }
+        }
+    };
+}
+
+impl_sample_range!(u32);
+impl_sample_range!(u64);
+impl_sample_range!(usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (self.0 >> 32) as u32
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..10_000 {
+            let a: usize = rng.gen_range(0..17);
+            assert!(a < 17);
+            let b: u32 = rng.gen_range(3..9);
+            assert!((3..9).contains(&b));
+            let c: u32 = rng.gen_range(5..=5);
+            assert_eq!(c, 5);
+        }
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let mut rng = Counter(7);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((8000..12000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut rng = Counter(1);
+        let _: usize = rng.gen_range(5..5);
+    }
+}

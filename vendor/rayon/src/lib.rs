@@ -1,0 +1,373 @@
+//! A minimal, dependency-free stand-in for the `rayon` data-parallelism
+//! crate, providing exactly the parallel-iterator surface this workspace
+//! uses (`par_iter`, `par_iter_mut`, `enumerate`, `zip`, `map`, `sum`,
+//! `for_each`, `try_for_each_init`).
+//!
+//! The build environment for this repository has no network access, so the
+//! real rayon cannot be fetched from crates.io; this shim keeps the kernel
+//! code source-compatible.  Work is split into contiguous chunks executed on
+//! `std::thread::scope` threads (one per available core); on single-core
+//! hosts, or for small inputs where thread spin-up would dominate, it runs
+//! the loop inline.  Swapping the real rayon back in is a one-line
+//! `Cargo.toml` change — no kernel code needs to be touched.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Everything the kernels import.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Inputs shorter than this run inline: spawning threads costs more than the
+/// loop itself.
+const MIN_CHUNK: usize = 4096;
+
+fn thread_count(len: usize) -> usize {
+    if len < MIN_CHUNK {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len.div_ceil(MIN_CHUNK))
+}
+
+/// `slice.par_iter()` entry point.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter;
+    /// Borrows the collection as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `slice.par_iter_mut()` entry point.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter;
+    /// Mutably borrows the collection as a parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Shared-reference parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+/// Mutable parallel iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+/// Index-carrying mutable parallel iterator.
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+/// Lock-step pairing of two shared-reference iterators.
+pub struct ZipRef<'a, 'b, A, B> {
+    a: &'a [A],
+    b: &'b [B],
+}
+
+/// Lock-step pairing of a mutable and a shared-reference iterator.
+pub struct ZipMut<'a, 'b, A, B> {
+    a: &'a mut [A],
+    b: &'b [B],
+}
+
+/// Mapped view of a [`ZipRef`].
+pub struct MapZip<'a, 'b, A, B, F> {
+    a: &'a [A],
+    b: &'b [B],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pairs this iterator with another of the same length.
+    pub fn zip<'b, B: Sync>(self, other: ParIter<'b, B>) -> ZipRef<'a, 'b, T, B> {
+        ZipRef {
+            a: self.slice,
+            b: other.slice,
+        }
+    }
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Attaches the element index to each item.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+
+    /// Pairs this iterator with a shared-reference iterator.
+    pub fn zip<'b, B: Sync>(self, other: ParIter<'b, B>) -> ZipMut<'a, 'b, T, B> {
+        ZipMut {
+            a: self.slice,
+            b: other.slice,
+        }
+    }
+}
+
+impl<T: Send> EnumerateMut<'_, T> {
+    /// Applies `f` to every `(index, &mut element)` pair, in parallel chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: for<'x> Fn((usize, &'x mut T)) + Sync,
+    {
+        let threads = thread_count(self.slice.len());
+        if threads <= 1 {
+            for (i, item) in self.slice.iter_mut().enumerate() {
+                f((i, item));
+            }
+            return;
+        }
+        let chunk = self.slice.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (c, part) in self.slice.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (i, item) in part.iter_mut().enumerate() {
+                        f((c * chunk + i, item));
+                    }
+                });
+            }
+        });
+    }
+
+    /// Fallible `for_each` with one scratch value per worker, mirroring
+    /// rayon's `try_for_each_init`.  Returns the first error observed.
+    pub fn try_for_each_init<I, INIT, F, E>(self, init: INIT, f: F) -> Result<(), E>
+    where
+        INIT: Fn() -> I + Sync,
+        F: for<'x> Fn(&mut I, (usize, &'x mut T)) -> Result<(), E> + Sync,
+        E: Send,
+    {
+        let threads = thread_count(self.slice.len());
+        if threads <= 1 {
+            let mut scratch = init();
+            for (i, item) in self.slice.iter_mut().enumerate() {
+                f(&mut scratch, (i, item))?;
+            }
+            return Ok(());
+        }
+        let chunk = self.slice.len().div_ceil(threads);
+        // A relaxed flag keeps the per-element cancellation check off the
+        // hot path; the Mutex is only touched by the first failing worker.
+        let failed = AtomicBool::new(false);
+        let error: Mutex<Option<E>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for (c, part) in self.slice.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                let init = &init;
+                let failed = &failed;
+                let error = &error;
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    for (i, item) in part.iter_mut().enumerate() {
+                        if failed.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if let Err(e) = f(&mut scratch, (c * chunk + i, item)) {
+                            failed.store(true, Ordering::Relaxed);
+                            if let Ok(mut slot) = error.lock() {
+                                slot.get_or_insert(e);
+                            }
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        match error.into_inner().expect("poisoned error slot") {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<'a, 'b, A: Sync, B: Sync> ZipRef<'a, 'b, A, B> {
+    /// Maps every `(&A, &B)` pair through `f`.
+    pub fn map<F, O>(self, f: F) -> MapZip<'a, 'b, A, B, F>
+    where
+        F: for<'x> Fn((&'x A, &'x B)) -> O + Sync,
+    {
+        MapZip {
+            a: self.a,
+            b: self.b,
+            f,
+        }
+    }
+}
+
+impl<A: Sync, B: Sync, F, O> MapZip<'_, '_, A, B, F>
+where
+    F: for<'x> Fn((&'x A, &'x B)) -> O + Sync,
+    O: Send + std::iter::Sum<O>,
+{
+    /// Reduces the mapped values with `Sum`.  Per-chunk partial sums are
+    /// combined in chunk order (join handles are drained in spawn order), so
+    /// the reduction is deterministic for a given input length and thread
+    /// count — repeated parallel dot products are bit-identical.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<O> + Send + std::iter::Sum<S>,
+    {
+        let len = self.a.len().min(self.b.len());
+        let threads = thread_count(len);
+        if threads <= 1 {
+            return self
+                .a
+                .iter()
+                .zip(self.b)
+                .map(|(a, b)| (self.f)((a, b)))
+                .sum();
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .a
+                .chunks(chunk)
+                .zip(self.b.chunks(chunk))
+                .map(|(pa, pb)| {
+                    let f = &self.f;
+                    scope.spawn(move || pa.iter().zip(pb).map(|(a, b)| f((a, b))).sum::<S>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("worker panicked"))
+                .sum()
+        })
+    }
+}
+
+impl<A: Send, B: Sync> ZipMut<'_, '_, A, B> {
+    /// Applies `f` to every `(&mut A, &B)` pair, in parallel chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: for<'x> Fn((&'x mut A, &'x B)) + Sync,
+    {
+        let len = self.a.len().min(self.b.len());
+        let threads = thread_count(len);
+        if threads <= 1 {
+            for (a, b) in self.a.iter_mut().zip(self.b) {
+                f((a, b));
+            }
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (pa, pb) in self.a.chunks_mut(chunk).zip(self.b.chunks(chunk)) {
+                let f = &f;
+                scope.spawn(move || {
+                    for (a, b) in pa.iter_mut().zip(pb) {
+                        f((a, b));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerate_for_each_visits_every_index() {
+        let mut v = vec![0usize; 10_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 2);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn try_for_each_init_propagates_errors() {
+        let mut v = vec![0u32; 5000];
+        let ok: Result<(), ()> =
+            v.par_iter_mut()
+                .enumerate()
+                .try_for_each_init(Vec::<u8>::new, |_, (i, x)| {
+                    *x = i as u32;
+                    Ok(())
+                });
+        assert!(ok.is_ok());
+        let err: Result<(), usize> =
+            v.par_iter_mut()
+                .enumerate()
+                .try_for_each_init(
+                    Vec::<u8>::new,
+                    |_, (i, _)| if i == 4321 { Err(i) } else { Ok(()) },
+                );
+        assert_eq!(err, Err(4321));
+    }
+
+    #[test]
+    fn zip_map_sum_matches_sequential() {
+        let a: Vec<f64> = (0..20_000).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..20_000).map(|i| (i % 7) as f64).collect();
+        let par: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        let seq: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((par - seq).abs() <= 1e-6 * seq.abs());
+    }
+
+    #[test]
+    fn zip_map_sum_is_deterministic() {
+        let a: Vec<f64> = (0..50_000).map(|i| (i as f64 * 0.61).sin()).collect();
+        let b: Vec<f64> = (0..50_000).map(|i| (i as f64 * 0.37).cos()).collect();
+        let first: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        for _ in 0..10 {
+            let again: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+            assert_eq!(first.to_bits(), again.to_bits());
+        }
+    }
+
+    #[test]
+    fn zip_mut_for_each_updates_in_place() {
+        let mut y = vec![1.0f64; 9000];
+        let x: Vec<f64> = (0..9000).map(|i| i as f64).collect();
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| {
+            *yi += 2.0 * xi;
+        });
+        for (i, &v) in y.iter().enumerate() {
+            assert_eq!(v, 1.0 + 2.0 * i as f64);
+        }
+    }
+}
