@@ -17,6 +17,9 @@
 //! paper is the *relative overhead* column and its ordering across schemes.
 
 use abft_bench::json::Json;
+use abft_bench::spmv_bench::{
+    render_table, spmv_microbench, trajectory_point_json, SpmvBenchConfig,
+};
 use abft_bench::{
     combined_full_protection, convergence_impact, fault_campaign_summary, figure4, figure5,
     figure6, figure7, figure8, figure9, FigureTable, MeasurementConfig,
@@ -33,6 +36,9 @@ struct Args {
     crc_capability: bool,
     combined: bool,
     full: bool,
+    smoke: bool,
+    bench_spmv: bool,
+    bench_label: String,
     parallel: bool,
     nx: usize,
     ny: usize,
@@ -52,6 +58,9 @@ impl Default for Args {
             crc_capability: false,
             combined: false,
             full: false,
+            smoke: false,
+            bench_spmv: false,
+            bench_label: "current".to_string(),
             parallel: false,
             nx: 256,
             ny: 256,
@@ -71,6 +80,9 @@ const HELP: &str = "experiments — regenerate the paper's figures.
   --campaign           fault-injection outcome summary
   --crc-capability     §IV CRC32C detection-capability table
   --full               paper-sized workload (2048x2048, 100 CG iterations)
+  --smoke              tiny CI preset: every section at 24x24, 3 iterations
+  --bench-spmv         SpMV kernel microbenchmark (the BENCH_spmv.json sweep)
+  --bench-label L      trajectory-point label for --bench-spmv JSON output
   --parallel           use the Rayon-parallel kernels
   --nx N / --ny N      grid size (default 256x256)
   --iters N            CG iterations per timed solve (default 50)
@@ -98,6 +110,9 @@ fn parse_args() -> Result<Args, String> {
             "--crc-capability" => args.crc_capability = true,
             "--combined" => args.combined = true,
             "--full" => args.full = true,
+            "--smoke" => args.smoke = true,
+            "--bench-spmv" => args.bench_spmv = true,
+            "--bench-label" => args.bench_label = value("--bench-label")?,
             "--parallel" => args.parallel = true,
             "--nx" => args.nx = value("--nx")?.parse().map_err(|e| format!("{e}"))?,
             "--ny" => args.ny = value("--ny")?.parse().map_err(|e| format!("{e}"))?,
@@ -122,6 +137,14 @@ fn parse_args() -> Result<Args, String> {
         args.ny = 2048;
         args.iterations = 100;
         args.repeats = 1;
+    }
+    if args.smoke {
+        args.all = true;
+        args.nx = 24;
+        args.ny = 24;
+        args.iterations = 3;
+        args.repeats = 1;
+        args.trials = 20;
     }
     Ok(args)
 }
@@ -221,6 +244,30 @@ fn main() {
         parallel: args.parallel,
     };
     let mut output = JsonOutput::default();
+
+    if args.bench_spmv {
+        // --nx / --iters / --repeats drive the sweep (and --smoke shrinks
+        // them via parse_args); ny is meaningless for the square Poisson
+        // grid this benchmark uses.
+        let config = SpmvBenchConfig {
+            n: args.nx,
+            iters: args.iterations,
+            repeats: args.repeats,
+        };
+        println!(
+            "SpMV kernel microbenchmark ({}x{} Poisson grid, {} iters, {} repeats)",
+            config.n, config.n, config.iters, config.repeats
+        );
+        let rows = spmv_microbench(&config);
+        print!("{}", render_table(&rows));
+        if let Some(path) = &args.json {
+            let point = trajectory_point_json(&args.bench_label, &config, &rows);
+            let doc = Json::obj([("trajectory", Json::Arr(vec![point]))]);
+            std::fs::write(path, doc.render()).expect("write JSON output");
+            println!("machine-readable results written to {path}");
+        }
+        return;
+    }
 
     let run_all = args.all;
     let wants = |n: u32| run_all || args.figures.contains(&n);

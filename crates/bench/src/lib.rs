@@ -24,6 +24,7 @@ use abft_tealeaf::{Deck, Grid};
 use std::time::Instant;
 
 pub mod json;
+pub mod spmv_bench;
 
 /// A TeaLeaf linear system (conduction matrix and right-hand side) for one
 /// time-step of the standard benchmark deck.

@@ -60,10 +60,18 @@ impl ElementCodec {
     /// Strips the redundancy bits from a stored column index.
     #[inline]
     pub fn mask_col(&self, col: u32) -> u32 {
+        col & self.col_mask()
+    }
+
+    /// The AND-mask selecting the real index bits of this scheme — hoistable
+    /// out of kernel inner loops, unlike the per-call match of
+    /// [`ElementCodec::mask_col`].
+    #[inline]
+    pub fn col_mask(&self) -> u32 {
         match self.scheme {
-            EccScheme::None => col,
-            EccScheme::Sed => col & COL_MASK_31,
-            _ => col & COL_MASK_24,
+            EccScheme::None => u32::MAX,
+            EccScheme::Sed => COL_MASK_31,
+            _ => COL_MASK_24,
         }
     }
 

@@ -43,3 +43,4 @@ pub use protected_vector::ProtectedVector;
 pub use report::{FaultLog, FaultLogSnapshot, Region};
 pub use row_pointer::ProtectedRowPointer;
 pub use schemes::{EccScheme, ProtectionConfig};
+pub use spmv::{DenseSource, DenseView, SpmvWorkspace};

@@ -21,15 +21,14 @@ use crate::csr_element::{ElementCodec, COL_MASK_24};
 use crate::error::AbftError;
 use crate::policy::CheckPolicy;
 use crate::report::{FaultLog, Region};
-use crate::row_pointer::ProtectedRowPointer;
+use crate::row_pointer::{mask_entry, ProtectedRowPointer};
 use crate::schemes::{EccScheme, ProtectionConfig};
-use crate::spmv::DenseSource;
+use crate::spmv::{DenseSource, DenseView, DynX, MaskedX, SliceX, SpmvWorkspace, XRead};
 use abft_ecc::correction::correct_crc32c_single;
 use abft_ecc::secded::DecodeOutcome;
 use abft_ecc::sed::{parity_u32, parity_u64};
 use abft_ecc::{Crc32c, SECDED_176, SECDED_88};
 use abft_sparse::CsrMatrix;
-use rayon::prelude::*;
 
 /// A CSR matrix whose elements and row pointer carry embedded software ECC.
 #[derive(Debug, Clone)]
@@ -141,14 +140,12 @@ impl ProtectedCsr {
     /// [`ProtectedCsr::to_csr`]) — lets callers derive row-wise summaries
     /// (diagonal, Gershgorin bounds) without materialising a plain matrix.
     pub fn for_each_entry(&self, mut f: impl FnMut(usize, u32, f64)) {
-        let row_pointer = self.row_pointer.to_plain();
+        let mask = self.codec.col_mask();
         for row in 0..self.rows {
-            for k in row_pointer[row] as usize..row_pointer[row + 1] as usize {
-                f(
-                    row,
-                    self.codec.mask_col(self.col_indices[k]),
-                    self.values[k],
-                );
+            let start = self.row_pointer.get_masked(row) as usize;
+            let end = self.row_pointer.get_masked(row + 1) as usize;
+            for k in start..end {
+                f(row, self.col_indices[k] & mask, self.values[k]);
             }
         }
     }
@@ -204,7 +201,8 @@ impl ProtectedCsr {
     /// `x` may be a plain slice or a [`crate::ProtectedVector`] (any
     /// [`DenseSource`]); `iteration` drives the check policy: full integrity
     /// checks run when `policy.should_check(iteration)`, bounds checks
-    /// otherwise.
+    /// otherwise.  Prefer [`ProtectedCsr::spmv_with`] inside solver loops —
+    /// it reuses a caller-owned workspace instead of local scratch.
     pub fn spmv<X: DenseSource + ?Sized>(
         &self,
         x: &X,
@@ -212,20 +210,47 @@ impl ProtectedCsr {
         iteration: u64,
         log: &FaultLog,
     ) -> Result<(), AbftError> {
+        let mut scratch = Vec::new();
+        self.spmv_serial_impl(x, y, iteration, log, &mut scratch)
+    }
+
+    /// [`ProtectedCsr::spmv`] with caller-owned scratch: zero heap
+    /// allocations per call once the workspace is warm.
+    pub fn spmv_with<X: DenseSource + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+        ws: &mut SpmvWorkspace,
+    ) -> Result<(), AbftError> {
+        self.spmv_serial_impl(x, y, iteration, log, &mut ws.scratch)
+    }
+
+    fn spmv_serial_impl<X: DenseSource + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), AbftError> {
         assert_eq!(x.length(), self.cols, "spmv: x has wrong length");
         assert_eq!(y.len(), self.rows, "spmv: y has wrong length");
         let check = self.policy.should_check(iteration);
-        let mut scratch = Vec::new();
-        for (row, yi) in y.iter_mut().enumerate() {
-            let (start, end) = self.row_range(row, check, log)?;
-            *yi = self.row_product(start, end, x, check, &mut scratch, log)?;
+        match x.view() {
+            Some(DenseView::Slice(s)) => self.spmv_range(0, SliceX(s), y, check, scratch, log),
+            Some(DenseView::MaskedWords { words, mask }) => {
+                self.spmv_range(0, MaskedX { words, mask }, y, check, scratch, log)
+            }
+            None => self.spmv_range(0, DynX(x), y, check, scratch, log),
         }
-        Ok(())
     }
 
-    /// Rayon-parallel sparse matrix–vector product (one task per row chunk,
-    /// matching the one-thread-per-row structure of the paper's OpenMP and
-    /// CUDA kernels).
+    /// Parallel sparse matrix–vector product on the persistent worker pool
+    /// (one task per contiguous row chunk, matching the one-thread-per-row
+    /// structure of the paper's OpenMP and CUDA kernels).  Prefer
+    /// [`ProtectedCsr::spmv_parallel_with`] inside solver loops.
     pub fn spmv_parallel<X: DenseSource + Sync + ?Sized>(
         &self,
         x: &X,
@@ -233,16 +258,47 @@ impl ProtectedCsr {
         iteration: u64,
         log: &FaultLog,
     ) -> Result<(), AbftError> {
-        assert_eq!(x.length(), self.cols, "spmv: x has wrong length");
-        assert_eq!(y.len(), self.rows, "spmv: y has wrong length");
+        let mut ws = SpmvWorkspace::new();
+        self.spmv_parallel_with(x, y, iteration, log, &mut ws)
+    }
+
+    /// [`ProtectedCsr::spmv_parallel`] with caller-owned per-chunk scratch:
+    /// zero heap allocations per call once the workspace is warm.
+    pub fn spmv_parallel_with<X: DenseSource + Sync + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+        ws: &mut SpmvWorkspace,
+    ) -> Result<(), AbftError> {
+        assert_eq!(x.length(), self.cols, "spmv_parallel: x has wrong length");
+        assert_eq!(y.len(), self.rows, "spmv_parallel: y has wrong length");
         let check = self.policy.should_check(iteration);
-        y.par_iter_mut()
-            .enumerate()
-            .try_for_each_init(Vec::new, |scratch, (row, yi)| {
-                let (start, end) = self.row_range(row, check, log)?;
-                *yi = self.row_product(start, end, x, check, scratch, log)?;
-                Ok(())
-            })
+        let n_chunks = rayon::chunk_count(y.len());
+        let scratches = ws.chunk_scratch_for(n_chunks);
+        match x.view() {
+            Some(DenseView::Slice(s)) => {
+                self.spmv_parallel_dispatch(SliceX(s), y, check, scratches, log)
+            }
+            Some(DenseView::MaskedWords { words, mask }) => {
+                self.spmv_parallel_dispatch(MaskedX { words, mask }, y, check, scratches, log)
+            }
+            None => self.spmv_parallel_dispatch(DynX(x), y, check, scratches, log),
+        }
+    }
+
+    fn spmv_parallel_dispatch<R: XRead + Sync>(
+        &self,
+        x: R,
+        y: &mut [f64],
+        check: bool,
+        scratches: &mut [Vec<u8>],
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        rayon::with_chunks_mut(y, scratches, |offset, chunk, scratch| {
+            self.spmv_range(offset, x, chunk, check, scratch, log)
+        })
     }
 
     /// Dispatches to the serial or parallel SpMV according to the
@@ -261,6 +317,22 @@ impl ProtectedCsr {
         }
     }
 
+    /// [`ProtectedCsr::spmv_auto`] with a caller-owned workspace.
+    pub fn spmv_auto_with<X: DenseSource + Sync + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+        ws: &mut SpmvWorkspace,
+    ) -> Result<(), AbftError> {
+        if self.config.parallel {
+            self.spmv_parallel_with(x, y, iteration, log, ws)
+        } else {
+            self.spmv_with(x, y, iteration, log, ws)
+        }
+    }
+
     /// Verifies every codeword of the matrix (elements and row pointer)
     /// without modifying storage.  This is the whole-matrix check the paper
     /// performs at the end of each time-step.
@@ -271,10 +343,11 @@ impl ProtectedCsr {
         }
         let mut scratch = Vec::new();
         if self.config.elements == EccScheme::Crc32c {
-            // Row-granular codewords need the row boundaries.
-            let plain = self.row_pointer.to_plain();
+            // Row-granular codewords need the row boundaries; read them
+            // entry-wise instead of materialising the whole plain vector.
             for row in 0..self.rows {
-                let (start, end) = (plain[row] as usize, plain[row + 1] as usize);
+                let start = self.row_pointer.get_masked(row) as usize;
+                let end = self.row_pointer.get_masked(row + 1) as usize;
                 self.verify_row(start, end, &mut scratch, log)?;
             }
         } else {
@@ -291,154 +364,194 @@ impl ProtectedCsr {
     pub fn scrub(&mut self, log: &FaultLog) -> Result<usize, AbftError> {
         let repaired_rp = self.row_pointer.scrub(log)?;
         let before = log.total_corrected();
-        let plain = self.row_pointer.to_plain();
-        let ranges: Vec<(usize, usize)> = plain
-            .windows(2)
-            .map(|w| (w[0] as usize, w[1] as usize))
-            .collect();
+        // The row pointer was scrubbed just above, so its masked entries are
+        // trustworthy; stream the row ranges instead of materialising them.
+        let row_pointer = &self.row_pointer;
+        let rows = self.rows;
         self.codec.check_all(
             &mut self.values,
             &mut self.col_indices,
-            ranges.into_iter(),
+            (0..rows).map(|row| {
+                (
+                    row_pointer.get_masked(row) as usize,
+                    row_pointer.get_masked(row + 1) as usize,
+                )
+            }),
             log,
         )?;
         let corrected_elements = (log.total_corrected() - before) as usize;
         Ok(repaired_rp + corrected_elements)
     }
 
-    /// Computes one row's contribution to the SpMV, performing either full
-    /// integrity checks (with transient correction) or bounds checks.
-    pub(crate) fn row_product<X: DenseSource + ?Sized>(
+    /// Computes `y[i] = (A x)[row0 + i]` for a contiguous row range — the
+    /// monomorphized kernel behind every SpMV entry point (`R` fixes the
+    /// input-vector storage kind, the element scheme is matched **once**
+    /// outside the row loop).
+    ///
+    /// Integrity-check counters are tallied locally and folded into the
+    /// shared log in one bulk update per invocation, so the parallel path
+    /// performs two atomic additions per *chunk* instead of several per row.
+    pub(crate) fn spmv_range<R: XRead>(
         &self,
-        start: usize,
-        end: usize,
-        x: &X,
+        row0: usize,
+        x: R,
+        y: &mut [f64],
         check: bool,
         scratch: &mut Vec<u8>,
         log: &FaultLog,
-    ) -> Result<f64, AbftError> {
-        if !check || self.config.elements == EccScheme::None {
-            return self.row_product_bounds_only(start, end, x, log);
+    ) -> Result<(), AbftError> {
+        let mut rp_checks = 0u64;
+        let mut elem_checks = 0u64;
+        let result = self.spmv_range_inner(
+            row0,
+            x,
+            y,
+            check,
+            scratch,
+            log,
+            &mut rp_checks,
+            &mut elem_checks,
+        );
+        // Flushed on the error path too, so checks performed before an
+        // aborting fault stay accounted for.
+        if rp_checks > 0 {
+            log.record_checks(Region::RowPointer, rp_checks);
         }
-        let mut acc = 0.0;
-        // One bulk counter update per row keeps the atomic bookkeeping out of
-        // the per-element hot path.
-        log.record_checks(Region::CsrElements, (end - start) as u64);
+        if elem_checks > 0 {
+            log.record_checks(Region::CsrElements, elem_checks);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spmv_range_inner<R: XRead>(
+        &self,
+        row0: usize,
+        x: R,
+        y: &mut [f64],
+        check: bool,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+        rp_checks: &mut u64,
+        elem_checks: &mut u64,
+    ) -> Result<(), AbftError> {
+        let rp_checked = check && self.row_pointer.scheme() != EccScheme::None;
+        let mut cursor = RpCursor::new(&self.row_pointer);
+        let values = self.values.as_slice();
+        let cols = self.col_indices.as_slice();
+
+        if !check || self.config.elements == EccScheme::None {
+            // Interval-skipped (or element-unprotected) fast path: only range
+            // checks on the decoded column indices, mask hoisted into a
+            // register.
+            let mask = self.codec.col_mask();
+            for (i, yi) in y.iter_mut().enumerate() {
+                let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
+                let mut acc = 0.0;
+                for (k, (&v, &c)) in values[start..end].iter().zip(&cols[start..end]).enumerate() {
+                    let col = (c & mask) as usize;
+                    acc += v * read_x(x, col, start + k, log)?;
+                }
+                *yi = acc;
+            }
+            return Ok(());
+        }
+
         match self.config.elements {
-            EccScheme::None => unreachable!(),
+            EccScheme::None => unreachable!("handled by the fast path above"),
             EccScheme::Sed => {
-                for k in start..end {
-                    if parity_u64(self.values[k].to_bits()) ^ parity_u32(self.col_indices[k]) != 0 {
-                        log.record_uncorrectable(Region::CsrElements);
-                        return Err(AbftError::Uncorrectable {
-                            region: Region::CsrElements,
-                            index: k,
-                        });
+                for (i, yi) in y.iter_mut().enumerate() {
+                    let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
+                    *elem_checks += (end - start) as u64;
+                    let mut acc = 0.0;
+                    for (k, (&v, &c)) in
+                        values[start..end].iter().zip(&cols[start..end]).enumerate()
+                    {
+                        if parity_u64(v.to_bits()) ^ parity_u32(c) != 0 {
+                            log.record_uncorrectable(Region::CsrElements);
+                            return Err(AbftError::Uncorrectable {
+                                region: Region::CsrElements,
+                                index: start + k,
+                            });
+                        }
+                        let col = (c & crate::csr_element::COL_MASK_31) as usize;
+                        acc += v * read_x(x, col, start + k, log)?;
                     }
-                    let col = (self.col_indices[k] & crate::csr_element::COL_MASK_31) as usize;
-                    acc += self.values[k] * self.checked_x(x, col, k, log)?;
+                    *yi = acc;
                 }
             }
             EccScheme::Secded64 => {
-                for k in start..end {
-                    let (value, col) = self.checked_element_secded64(k, log)?;
-                    acc += value * self.checked_x(x, col as usize, k, log)?;
+                for (i, yi) in y.iter_mut().enumerate() {
+                    let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
+                    *elem_checks += (end - start) as u64;
+                    let mut acc = 0.0;
+                    for (k, (&v, &c)) in
+                        values[start..end].iter().zip(&cols[start..end]).enumerate()
+                    {
+                        let (value, col) = check_element_secded64(v, c, start + k, log)?;
+                        acc += value * read_x(x, col as usize, start + k, log)?;
+                    }
+                    *yi = acc;
                 }
             }
             EccScheme::Secded128 => {
-                let mut k = start;
-                while k < end {
-                    let pair = k & !1;
-                    let (values, cols) = self.checked_pair_secded128(pair, log)?;
-                    for (m, (&v, &c)) in values.iter().zip(cols.iter()).enumerate() {
-                        let idx = pair + m;
-                        if idx >= start && idx < end {
-                            acc += v * self.checked_x(x, c as usize, idx, log)?;
+                for (i, yi) in y.iter_mut().enumerate() {
+                    let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
+                    *elem_checks += (end - start) as u64;
+                    let mut acc = 0.0;
+                    let mut k = start;
+                    while k < end {
+                        let pair = k & !1;
+                        let (pair_values, pair_cols) = self.checked_pair_secded128(pair, log)?;
+                        for (m, (&v, &c)) in pair_values.iter().zip(pair_cols.iter()).enumerate() {
+                            let idx = pair + m;
+                            if idx >= start && idx < end {
+                                acc += v * read_x(x, c as usize, idx, log)?;
+                            }
                         }
+                        k = pair + 2;
                     }
-                    k = pair + 2;
+                    *yi = acc;
                 }
             }
             EccScheme::Crc32c => {
-                let correction = self.checked_row_crc(start, end, scratch, log)?;
-                for k in start..end {
-                    let (mut value, mut col) =
-                        (self.values[k], (self.col_indices[k] & COL_MASK_24) as u64);
+                for (i, yi) in y.iter_mut().enumerate() {
+                    let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
+                    *elem_checks += (end - start) as u64;
+                    let correction = self.checked_row_crc(start, end, scratch, log)?;
+                    let mut acc = 0.0;
                     if let Some((elem, vbits, cbits)) = correction {
-                        if start + elem == k {
-                            value = f64::from_bits(vbits);
-                            col = cbits as u64;
+                        // Rare: apply the located single-flip correction while
+                        // reading.
+                        for k in start..end {
+                            let (mut value, mut col) =
+                                (values[k], (cols[k] & COL_MASK_24) as usize);
+                            if start + elem == k {
+                                value = f64::from_bits(vbits);
+                                col = cbits as usize;
+                            }
+                            acc += value * read_x(x, col, k, log)?;
+                        }
+                    } else {
+                        for (k, (&v, &c)) in
+                            values[start..end].iter().zip(&cols[start..end]).enumerate()
+                        {
+                            let col = (c & COL_MASK_24) as usize;
+                            acc += v * read_x(x, col, start + k, log)?;
                         }
                     }
-                    acc += value * self.checked_x(x, col as usize, k, log)?;
+                    *yi = acc;
                 }
             }
         }
-        Ok(acc)
-    }
-
-    /// The interval-skipped variant of the row product: only range checks on
-    /// the decoded column indices.
-    fn row_product_bounds_only<X: DenseSource + ?Sized>(
-        &self,
-        start: usize,
-        end: usize,
-        x: &X,
-        log: &FaultLog,
-    ) -> Result<f64, AbftError> {
-        let mut acc = 0.0;
-        for k in start..end {
-            let col = self.codec.mask_col(self.col_indices[k]) as usize;
-            acc += self.values[k] * self.checked_x(x, col, k, log)?;
-        }
-        Ok(acc)
-    }
-
-    /// Bounds-checked read of the input vector (prevents the segmentation
-    /// faults the paper's range checks exist to stop).
-    #[inline]
-    fn checked_x<X: DenseSource + ?Sized>(
-        &self,
-        x: &X,
-        col: usize,
-        k: usize,
-        log: &FaultLog,
-    ) -> Result<f64, AbftError> {
-        if col >= x.length() {
-            log.record_bounds_violation(Region::CsrElements);
-            return Err(AbftError::OutOfRange {
-                region: Region::CsrElements,
-                index: k,
-                value: col,
-                limit: x.length(),
-            });
-        }
-        Ok(x.value(col))
+        Ok(())
     }
 
     /// Non-mutating SECDED64 element check; returns the (transiently
     /// corrected) value and masked column index.
     #[inline]
     fn checked_element_secded64(&self, k: usize, log: &FaultLog) -> Result<(f64, u32), AbftError> {
-        let stored = (self.col_indices[k] >> 24) as u16;
-        let mut payload = [
-            self.values[k].to_bits(),
-            (self.col_indices[k] & COL_MASK_24) as u64,
-        ];
-        match SECDED_88.check_and_correct(&mut payload, stored) {
-            DecodeOutcome::NoError => {}
-            DecodeOutcome::CorrectedData(_) | DecodeOutcome::CorrectedRedundancy => {
-                log.record_corrected(Region::CsrElements);
-            }
-            DecodeOutcome::Uncorrectable => {
-                log.record_uncorrectable(Region::CsrElements);
-                return Err(AbftError::Uncorrectable {
-                    region: Region::CsrElements,
-                    index: k,
-                });
-            }
-        }
-        Ok((f64::from_bits(payload[0]), payload[1] as u32 & COL_MASK_24))
+        check_element_secded64(self.values[k], self.col_indices[k], k, log)
     }
 
     /// Non-mutating SECDED128 pair check; returns corrected values and masked
@@ -584,6 +697,135 @@ impl ProtectedCsr {
                 self.checked_row_crc(start, end, scratch, log).map(|_| ())
             }
         }
+    }
+}
+
+/// Non-mutating SECDED64 check of one element's (value, encoded index) pair:
+/// the single source for the SpMV kernel, [`ProtectedCsr::verify_all`] and
+/// the unpaired SECDED128 tail.  Returns the (transiently corrected) value
+/// and masked column index; `index` is the absolute element position for
+/// error reporting.
+#[inline(always)]
+fn check_element_secded64(
+    value: f64,
+    col: u32,
+    index: usize,
+    log: &FaultLog,
+) -> Result<(f64, u32), AbftError> {
+    let stored = (col >> 24) as u16;
+    let mut payload = [value.to_bits(), (col & COL_MASK_24) as u64];
+    match SECDED_88.check_and_correct(&mut payload, stored) {
+        DecodeOutcome::NoError => {}
+        DecodeOutcome::CorrectedData(_) | DecodeOutcome::CorrectedRedundancy => {
+            log.record_corrected(Region::CsrElements);
+        }
+        DecodeOutcome::Uncorrectable => {
+            log.record_uncorrectable(Region::CsrElements);
+            return Err(AbftError::Uncorrectable {
+                region: Region::CsrElements,
+                index,
+            });
+        }
+    }
+    Ok((f64::from_bits(payload[0]), payload[1] as u32 & COL_MASK_24))
+}
+
+/// Bounds-checked read of the input vector inside the kernels — the single
+/// `Option` test per access is the range check that prevents the
+/// segmentation faults the paper's checks exist to stop.
+#[inline(always)]
+fn read_x<R: XRead>(x: R, col: usize, k: usize, log: &FaultLog) -> Result<f64, AbftError> {
+    match x.get(col) {
+        Some(v) => Ok(v),
+        None => Err(x_out_of_range(log, k, col, x.len())),
+    }
+}
+
+/// Out-of-line construction of the bounds-violation error keeps the kernel
+/// loops free of error-formatting code.
+#[cold]
+fn x_out_of_range(log: &FaultLog, index: usize, col: usize, limit: usize) -> AbftError {
+    log.record_bounds_violation(Region::CsrElements);
+    AbftError::OutOfRange {
+        region: Region::CsrElements,
+        index,
+        value: col,
+        limit,
+    }
+}
+
+/// Sequential row-range reader caching the last decoded row-pointer codeword
+/// group.
+///
+/// Consecutive rows share row-pointer entries (row `i` ends where row `i+1`
+/// starts) and, for the grouped schemes, whole codeword groups; decoding a
+/// group once per `group − 1` rows instead of twice per row removes most of
+/// the row-pointer ECC work from the SpMV.  Corrections observed during a
+/// group decode are transient (storage untouched) exactly like the uncached
+/// [`ProtectedRowPointer::row_range`] path, but are recorded once per group
+/// per kernel invocation rather than once per touching row.
+struct RpCursor<'a> {
+    rp: &'a ProtectedRowPointer,
+    group: usize,
+    cached: usize,
+    entries: [u32; 8],
+}
+
+impl<'a> RpCursor<'a> {
+    fn new(rp: &'a ProtectedRowPointer) -> Self {
+        RpCursor {
+            rp,
+            group: rp.scheme().row_pointer_group(),
+            cached: usize::MAX,
+            entries: [0; 8],
+        }
+    }
+
+    /// Fully checked read of entry `i` through the group cache.
+    #[inline]
+    fn entry_checked(&mut self, i: usize, log: &FaultLog) -> Result<u32, AbftError> {
+        if self.group <= 1 {
+            // Per-entry codewords (None / SED) have nothing to cache.
+            return self.rp.read_entry(i, true, log);
+        }
+        let g = i / self.group;
+        if g != self.cached {
+            self.entries = self.rp.decode_group(g, log)?;
+            self.cached = g;
+        }
+        Ok(mask_entry(
+            self.rp.scheme(),
+            self.entries[i - g * self.group],
+        ))
+    }
+
+    /// The decoded element range of `row`: full codeword checks when
+    /// `rp_checked` (tallying two entry checks per row into `rp_checks`),
+    /// bounds checks otherwise.
+    #[inline]
+    fn row_range(
+        &mut self,
+        row: usize,
+        rp_checked: bool,
+        log: &FaultLog,
+        rp_checks: &mut u64,
+    ) -> Result<(usize, usize), AbftError> {
+        if !rp_checked {
+            return self.rp.row_range(row, false, log);
+        }
+        *rp_checks += 2;
+        let start = self.entry_checked(row, log)? as usize;
+        let end = self.entry_checked(row + 1, log)? as usize;
+        if start > end || end > self.rp.nnz() {
+            log.record_bounds_violation(Region::RowPointer);
+            return Err(AbftError::OutOfRange {
+                region: Region::RowPointer,
+                index: row,
+                value: end.max(start),
+                limit: self.rp.nnz(),
+            });
+        }
+        Ok((start, end))
     }
 }
 

@@ -106,6 +106,18 @@ impl ProtectedVector {
         &self.data
     }
 
+    /// The masked raw-slice fast path: the logical elements as raw bit
+    /// patterns plus the AND-mask that clears the reserved redundancy bits.
+    ///
+    /// Reading `f64::from_bits(words[i] & mask)` is exactly
+    /// [`ProtectedVector::get`] without the bounds assert — the view the
+    /// SpMV kernels use after the per-invocation scrub has verified the
+    /// storage (§VI-C read caching).
+    #[inline]
+    pub fn masked_words(&self) -> (&[u64], u64) {
+        (&self.data[..self.len], self.read_mask)
+    }
+
     /// Flips one bit of one stored element (fault injection hook).
     pub fn inject_bit_flip(&mut self, index: usize, bit: u32) {
         self.data[index] ^= 1u64 << bit;

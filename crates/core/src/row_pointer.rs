@@ -165,7 +165,12 @@ impl ProtectedRowPointer {
 
     /// Reads entry `i`, either with a full integrity check (transiently
     /// correcting single flips) or with a bounds check only.
-    fn read_entry(&self, i: usize, check: bool, log: &FaultLog) -> Result<u32, AbftError> {
+    pub(crate) fn read_entry(
+        &self,
+        i: usize,
+        check: bool,
+        log: &FaultLog,
+    ) -> Result<u32, AbftError> {
         if !check || self.scheme == EccScheme::None {
             let value = self.get_masked(i);
             if self.scheme == EccScheme::None {
@@ -208,7 +213,7 @@ impl ProtectedRowPointer {
     /// `[g*group, (g+1)*group)`, returning the corrected stored entries
     /// (redundancy bits still attached).  Storage is not modified;
     /// corrections are transient (see [`ProtectedRowPointer::scrub`]).
-    fn decode_group(&self, g: usize, log: &FaultLog) -> Result<[u32; 8], AbftError> {
+    pub(crate) fn decode_group(&self, g: usize, log: &FaultLog) -> Result<[u32; 8], AbftError> {
         let group = self.scheme.row_pointer_group();
         let base = g * group;
         let mut entries = [0u32; 8];
@@ -310,7 +315,7 @@ impl ProtectedRowPointer {
 
 /// Masks the redundancy bits off one stored entry.
 #[inline]
-fn mask_entry(scheme: EccScheme, e: u32) -> u32 {
+pub(crate) fn mask_entry(scheme: EccScheme, e: u32) -> u32 {
     match scheme {
         EccScheme::None => e,
         EccScheme::Sed => e & ROW_PTR_MASK_31,

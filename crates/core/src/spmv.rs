@@ -11,8 +11,17 @@
 //!   role of the paper's multi-element, multi-iteration-aware read cache
 //!   (§VI-C): every codeword of `x` is checked exactly once per SpMV instead
 //!   of once per stencil access;
+//! * after that scrub the kernel reads `x` through the **masked raw-slice
+//!   fast path** ([`DenseView::MaskedWords`]): a `&[u64]` view plus an
+//!   AND-mask held in a register, so the bandwidth-bound inner loop performs
+//!   one load and one AND per access instead of an assert-guarded
+//!   `ProtectedVector::get` call;
 //! * the output vector is written one codeword group at a time (write
 //!   buffering), so each group is encoded exactly once.
+//!
+//! All row products are staged in a caller-owned [`SpmvWorkspace`], so a
+//! solver iterating these kernels performs **zero heap allocations** after
+//! the first call warms the workspace.
 
 use crate::error::AbftError;
 use crate::protected_csr::ProtectedCsr;
@@ -20,7 +29,23 @@ use crate::protected_vector::ProtectedVector;
 use crate::report::FaultLog;
 use crate::schemes::EccScheme;
 use abft_sparse::Vector;
-use rayon::prelude::*;
+
+/// Borrowed storage view of a dense source, letting the SpMV kernels
+/// monomorphize one tight inner loop per storage kind instead of calling
+/// [`DenseSource::value`] per element.
+#[derive(Debug, Clone, Copy)]
+pub enum DenseView<'a> {
+    /// Plain `f64` storage.
+    Slice(&'a [f64]),
+    /// Raw 64-bit words whose reserved redundancy bits are cleared by an
+    /// AND-mask on every read (a scrubbed [`ProtectedVector`]).
+    MaskedWords {
+        /// The logical elements as raw bit patterns.
+        words: &'a [u64],
+        /// AND-mask clearing the reserved bits.
+        mask: u64,
+    },
+}
 
 /// Read-only access to a dense vector, abstracting over plain storage and the
 /// masked reads of a [`ProtectedVector`].
@@ -30,6 +55,11 @@ pub trait DenseSource {
     /// Element `i` as used in computation (already masked for protected
     /// storage).
     fn value(&self, i: usize) -> f64;
+    /// Storage view for the kernels' slice fast paths; `None` falls back to
+    /// per-element [`DenseSource::value`] calls.
+    fn view(&self) -> Option<DenseView<'_>> {
+        None
+    }
 }
 
 impl DenseSource for [f64] {
@@ -40,6 +70,10 @@ impl DenseSource for [f64] {
     #[inline]
     fn value(&self, i: usize) -> f64 {
         self[i]
+    }
+    #[inline]
+    fn view(&self) -> Option<DenseView<'_>> {
+        Some(DenseView::Slice(self))
     }
 }
 
@@ -52,6 +86,10 @@ impl DenseSource for Vec<f64> {
     fn value(&self, i: usize) -> f64 {
         self[i]
     }
+    #[inline]
+    fn view(&self) -> Option<DenseView<'_>> {
+        Some(DenseView::Slice(self))
+    }
 }
 
 impl DenseSource for Vector {
@@ -62,6 +100,10 @@ impl DenseSource for Vector {
     #[inline]
     fn value(&self, i: usize) -> f64 {
         self[i]
+    }
+    #[inline]
+    fn view(&self) -> Option<DenseView<'_>> {
+        Some(DenseView::Slice(self.as_slice()))
     }
 }
 
@@ -74,18 +116,130 @@ impl DenseSource for ProtectedVector {
     fn value(&self, i: usize) -> f64 {
         self.get(i)
     }
+    #[inline]
+    fn view(&self) -> Option<DenseView<'_>> {
+        let (words, mask) = self.masked_words();
+        Some(DenseView::MaskedWords { words, mask })
+    }
+}
+
+/// Bounds-checked element access the monomorphized kernels read `x` through.
+/// The single `Option` check per access *is* the paper's range check — no
+/// separate assert, no double indexing.
+pub(crate) trait XRead: Copy {
+    /// Number of readable elements.
+    fn len(&self) -> usize;
+    /// Element `i`, or `None` when `i` is out of range (a corrupted column
+    /// index pointing outside the vector).
+    fn get(&self, i: usize) -> Option<f64>;
+}
+
+/// Plain-slice reader.
+#[derive(Clone, Copy)]
+pub(crate) struct SliceX<'a>(pub(crate) &'a [f64]);
+
+impl XRead for SliceX<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    #[inline(always)]
+    fn get(&self, i: usize) -> Option<f64> {
+        self.0.get(i).copied()
+    }
+}
+
+/// Masked raw-word reader: one load, one AND, mask in a register.
+#[derive(Clone, Copy)]
+pub(crate) struct MaskedX<'a> {
+    pub(crate) words: &'a [u64],
+    pub(crate) mask: u64,
+}
+
+impl XRead for MaskedX<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.words.len()
+    }
+    #[inline(always)]
+    fn get(&self, i: usize) -> Option<f64> {
+        self.words.get(i).map(|&w| f64::from_bits(w & self.mask))
+    }
+}
+
+/// Fallback reader for [`DenseSource`] implementations without a storage
+/// view.
+pub(crate) struct DynX<'a, X: ?Sized>(pub(crate) &'a X);
+
+impl<X: ?Sized> Clone for DynX<'_, X> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<X: ?Sized> Copy for DynX<'_, X> {}
+
+impl<X: DenseSource + ?Sized> XRead for DynX<'_, X> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.0.length()
+    }
+    #[inline(always)]
+    fn get(&self, i: usize) -> Option<f64> {
+        if i < self.0.length() {
+            Some(self.0.value(i))
+        } else {
+            None
+        }
+    }
+}
+
+/// Reusable scratch storage for the SpMV kernels, owned by the solver state
+/// so iterations perform no heap allocations after setup.
+///
+/// One workspace serves every kernel shape: the row-product staging buffer
+/// of the fully protected SpMV, the CRC row-codeword scratch of the serial
+/// kernels, and one scratch buffer per parallel chunk.  Buffers grow on
+/// first use and are reused verbatim afterwards.
+#[derive(Debug, Default, Clone)]
+pub struct SpmvWorkspace {
+    /// Row products of the fully protected SpMV before group encoding.
+    pub(crate) products: Vec<f64>,
+    /// CRC row-codeword bytes (serial kernels).
+    pub(crate) scratch: Vec<u8>,
+    /// CRC row-codeword bytes, one buffer per parallel chunk.
+    pub(crate) chunk_scratch: Vec<Vec<u8>>,
+}
+
+impl SpmvWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily by the first
+    /// kernel invocation.
+    pub fn new() -> Self {
+        SpmvWorkspace::default()
+    }
+
+    /// Per-chunk scratch buffers, grown to at least `n` chunks.
+    pub(crate) fn chunk_scratch_for(&mut self, n: usize) -> &mut [Vec<u8>] {
+        if self.chunk_scratch.len() < n {
+            self.chunk_scratch.resize_with(n, Vec::new);
+        }
+        &mut self.chunk_scratch[..n]
+    }
 }
 
 /// `y = A x` with both the matrix and the vectors protected (serial).
 ///
 /// The input vector is scrubbed (checked, and repaired if a correctable flip
-/// is found) once up front; the output vector is rebuilt group by group.
+/// is found) once up front; row products are then computed through the
+/// masked raw-slice fast path into the workspace and the output vector is
+/// rebuilt group by group.
 pub fn protected_spmv(
     a: &ProtectedCsr,
     x: &mut ProtectedVector,
     y: &mut ProtectedVector,
     iteration: u64,
     log: &FaultLog,
+    ws: &mut SpmvWorkspace,
 ) -> Result<(), AbftError> {
     assert_eq!(x.len(), a.cols(), "protected_spmv: x has wrong length");
     assert_eq!(y.len(), a.rows(), "protected_spmv: y has wrong length");
@@ -93,20 +247,25 @@ pub fn protected_spmv(
         x.scrub(log)?;
     }
     let check = a.policy().should_check(iteration);
-    let mut scratch = Vec::new();
-    // Borrow x immutably for the remainder of the kernel.
-    let x_ref: &ProtectedVector = x;
-    y.try_fill_from_fn(|row| {
-        let (start, end) = a.row_range(row, check, log)?;
-        a.row_product(start, end, x_ref, check, &mut scratch, log)
-    })
+    let (words, mask) = x.masked_words();
+    let xr = MaskedX { words, mask };
+    let SpmvWorkspace {
+        products, scratch, ..
+    } = ws;
+    if products.len() < a.rows() {
+        products.resize(a.rows(), 0.0);
+    }
+    let products = &mut products[..a.rows()];
+    a.spmv_range(0, xr, products, check, scratch, log)?;
+    y.fill_from_fn(|row| products[row]);
+    Ok(())
 }
 
 /// `y = A x` with both the matrix and the vectors protected, using the
-/// Rayon-parallel SpMV kernel.
+/// persistent-pool parallel SpMV kernel.
 ///
-/// The row products are computed in parallel into a transient buffer and the
-/// protected output is then encoded group by group (the transient buffer is
+/// The row products are computed in parallel into the workspace buffer and
+/// the protected output is then encoded group by group (the buffer is
 /// scratch space, not persistent storage, so the zero-storage-overhead
 /// property of the protected structures is preserved).
 pub fn protected_spmv_parallel(
@@ -115,23 +274,42 @@ pub fn protected_spmv_parallel(
     y: &mut ProtectedVector,
     iteration: u64,
     log: &FaultLog,
+    ws: &mut SpmvWorkspace,
 ) -> Result<(), AbftError> {
-    assert_eq!(x.len(), a.cols(), "protected_spmv: x has wrong length");
-    assert_eq!(y.len(), a.rows(), "protected_spmv: y has wrong length");
+    assert_eq!(
+        x.len(),
+        a.cols(),
+        "protected_spmv_parallel: x has wrong length"
+    );
+    assert_eq!(
+        y.len(),
+        a.rows(),
+        "protected_spmv_parallel: y has wrong length"
+    );
     if x.scheme() != EccScheme::None {
         x.scrub(log)?;
     }
     let check = a.policy().should_check(iteration);
-    let x_ref: &ProtectedVector = x;
-    let mut products = vec![0.0f64; a.rows()];
-    products
-        .par_iter_mut()
-        .enumerate()
-        .try_for_each_init(Vec::new, |scratch, (row, out)| {
-            let (start, end) = a.row_range(row, check, log)?;
-            *out = a.row_product(start, end, x_ref, check, scratch, log)?;
-            Ok(())
-        })?;
+    let (words, mask) = x.masked_words();
+    let xr = MaskedX { words, mask };
+    let n_chunks = rayon::chunk_count(a.rows());
+    let SpmvWorkspace {
+        products,
+        chunk_scratch,
+        ..
+    } = ws;
+    if products.len() < a.rows() {
+        products.resize(a.rows(), 0.0);
+    }
+    if chunk_scratch.len() < n_chunks {
+        chunk_scratch.resize_with(n_chunks, Vec::new);
+    }
+    let products = &mut products[..a.rows()];
+    rayon::with_chunks_mut(
+        products,
+        &mut chunk_scratch[..n_chunks],
+        |offset, chunk, scratch| a.spmv_range(offset, xr, chunk, check, scratch, log),
+    )?;
     y.fill_from_fn(|row| products[row]);
     Ok(())
 }
@@ -144,11 +322,12 @@ pub fn protected_spmv_auto(
     y: &mut ProtectedVector,
     iteration: u64,
     log: &FaultLog,
+    ws: &mut SpmvWorkspace,
 ) -> Result<(), AbftError> {
     if a.config().parallel {
-        protected_spmv_parallel(a, x, y, iteration, log)
+        protected_spmv_parallel(a, x, y, iteration, log, ws)
     } else {
-        protected_spmv(a, x, y, iteration, log)
+        protected_spmv(a, x, y, iteration, log, ws)
     }
 }
 
@@ -190,7 +369,8 @@ mod tests {
         ] {
             let (a, mut x, mut y, reference) = setup(scheme);
             let log = FaultLog::new();
-            protected_spmv(&a, &mut x, &mut y, 0, &log).unwrap();
+            let mut ws = SpmvWorkspace::new();
+            protected_spmv(&a, &mut x, &mut y, 0, &log, &mut ws).unwrap();
             for (row, &expect) in reference.iter().enumerate() {
                 let got = y.get(row);
                 let tol = 1e-12 * expect.abs().max(1.0);
@@ -203,7 +383,7 @@ mod tests {
 
             // Parallel variant agrees with the serial one.
             let mut y2 = ProtectedVector::zeros(a.rows(), scheme, Crc32cBackend::SlicingBy16);
-            protected_spmv_parallel(&a, &mut x, &mut y2, 0, &log).unwrap();
+            protected_spmv_parallel(&a, &mut x, &mut y2, 0, &log, &mut ws).unwrap();
             for row in 0..a.rows() {
                 assert_eq!(y.get(row), y2.get(row), "{scheme:?} row {row}");
             }
@@ -215,7 +395,8 @@ mod tests {
         let (a, mut x, mut y, reference) = setup(EccScheme::Secded64);
         x.inject_bit_flip(10, 33);
         let log = FaultLog::new();
-        protected_spmv(&a, &mut x, &mut y, 0, &log).unwrap();
+        let mut ws = SpmvWorkspace::new();
+        protected_spmv(&a, &mut x, &mut y, 0, &log, &mut ws).unwrap();
         assert!(log.total_corrected() > 0);
         for (row, &expect) in reference.iter().enumerate() {
             assert!((y.get(row) - expect).abs() <= 1e-10 + 1e-12 * expect.abs());
@@ -227,7 +408,8 @@ mod tests {
         let (a, mut x, mut y, _) = setup(EccScheme::Sed);
         x.inject_bit_flip(4, 50);
         let log = FaultLog::new();
-        assert!(protected_spmv(&a, &mut x, &mut y, 0, &log).is_err());
+        let mut ws = SpmvWorkspace::new();
+        assert!(protected_spmv(&a, &mut x, &mut y, 0, &log, &mut ws).is_err());
         assert!(log.total_uncorrectable() > 0);
     }
 
@@ -243,7 +425,8 @@ mod tests {
         );
         let mut y = ProtectedVector::zeros(m.rows(), EccScheme::Crc32c, Crc32cBackend::SlicingBy16);
         let log = FaultLog::new();
-        protected_spmv_auto(&a, &mut x, &mut y, 0, &log).unwrap();
+        let mut ws = SpmvWorkspace::new();
+        protected_spmv_auto(&a, &mut x, &mut y, 0, &log, &mut ws).unwrap();
         // Row sums of the padded Poisson operator are reproduced.
         let ones = vec![1.0; m.cols()];
         let mut reference = vec![0.0; m.rows()];
@@ -251,6 +434,24 @@ mod tests {
         for (row, expect) in reference.iter().enumerate() {
             assert!((y.get(row) - expect).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn workspace_buffers_are_reused_between_calls() {
+        let (a, mut x, mut y, _) = setup(EccScheme::Crc32c);
+        let log = FaultLog::new();
+        let mut ws = SpmvWorkspace::new();
+        protected_spmv(&a, &mut x, &mut y, 0, &log, &mut ws).unwrap();
+        let products_ptr = ws.products.as_ptr();
+        let products_cap = ws.products.capacity();
+        let scratch_cap = ws.scratch.capacity();
+        for iteration in 1..10 {
+            protected_spmv(&a, &mut x, &mut y, iteration, &log, &mut ws).unwrap();
+        }
+        // The staging buffers were neither reallocated nor grown.
+        assert_eq!(ws.products.as_ptr(), products_ptr);
+        assert_eq!(ws.products.capacity(), products_cap);
+        assert_eq!(ws.scratch.capacity(), scratch_cap);
     }
 
     #[test]
@@ -268,6 +469,18 @@ mod tests {
             assert_eq!(slice.value(i), expect);
             assert_eq!(vector.value(i), expect);
             assert_eq!(protected.value(i), expect);
+        }
+        // Every storage view reads back the same values as `value()`.
+        for source in [slice.view().unwrap(), protected.view().unwrap()] {
+            match source {
+                DenseView::Slice(s) => assert_eq!(s, &data[..]),
+                DenseView::MaskedWords { words, mask } => {
+                    assert_eq!(words.len(), 3);
+                    for (i, &w) in words.iter().enumerate() {
+                        assert_eq!(f64::from_bits(w & mask), protected.get(i));
+                    }
+                }
+            }
         }
     }
 }

@@ -21,12 +21,16 @@
 //! | [`SECDED_118`] | 118 | 8 | two `f64`s with 5 LSBs masked (59 payload bits each) |
 //! | [`SECDED_176`] | 176 | 9 | a pair of CSR elements (value + 24-bit index, twice) |
 //!
-//! Check-bit masks are pre-computed at compile time (`const fn`), so an
-//! encode is just `r` AND+popcount passes over at most two words — cheap
-//! enough for the SpMV inner loop.
+//! The check bits and the overall parity are computed together through a
+//! compile-time byte-wise **syndrome table**: entry `table[p][b]` is the XOR
+//! of the codeword-position columns of every set bit of byte value `b` at
+//! byte position `p`, with the overall-parity contribution folded into one
+//! extra table bit.  A full check of an 88-bit codeword is then 11 table
+//! lookups and XORs — no per-bit popcounts — which keeps the cost low even
+//! on targets whose baseline ISA lacks a popcount instruction (the SpMV
+//! inner loop runs one of these per matrix element).
 
 use crate::bitops;
-use crate::sed::parity_u64;
 
 /// Maximum number of 64-bit words a SECDED payload may span.
 pub const MAX_WORDS: usize = 3;
@@ -69,8 +73,11 @@ pub struct Secded {
     data_bits: usize,
     words: usize,
     check_bits: u32,
-    /// `masks[i][w]` selects the data bits of word `w` covered by check bit `i`.
-    masks: [[u64; MAX_WORDS]; MAX_CHECKS],
+    /// Byte-wise syndrome table: `table[p][b]` is the XOR of the column
+    /// patterns (Hamming codeword position plus the overall-parity bit at
+    /// position `check_bits`) of every set bit of byte value `b` at payload
+    /// byte position `p`.
+    table: [[u16; 256]; MAX_WORDS * 8],
 }
 
 /// Codeword position (1-indexed, power-of-two positions reserved for check
@@ -109,21 +116,27 @@ const fn required_check_bits(data_bits: usize) -> u32 {
 }
 
 impl Secded {
-    /// Builds the code for `data_bits` bits of payload (`1..=128`).
+    /// Builds the code for `data_bits` bits of payload (`1..=192`).
     pub const fn new(data_bits: usize) -> Self {
         assert!(data_bits >= 1 && data_bits <= MAX_WORDS * 64);
         let check_bits = required_check_bits(data_bits);
         assert!(check_bits as usize <= MAX_CHECKS);
-        let mut masks = [[0u64; MAX_WORDS]; MAX_CHECKS];
+        let mut table = [[0u16; 256]; MAX_WORDS * 8];
         let mut j = 0usize;
         while j < data_bits {
+            // The Hamming construction guarantees pos < 2^check_bits, so the
+            // column pattern (position bits + overall-parity bit just above
+            // them) fits a u16 for every code this crate defines.
             let pos = data_bit_position(j);
-            let mut i = 0usize;
-            while i < check_bits as usize {
-                if pos & (1usize << i) != 0 {
-                    masks[i][j / 64] |= 1u64 << (j % 64);
+            let column = (pos as u16) | (1u16 << check_bits);
+            let byte = j / 8;
+            let bit = j % 8;
+            let mut b = 0usize;
+            while b < 256 {
+                if b & (1usize << bit) != 0 {
+                    table[byte][b] ^= column;
                 }
-                i += 1;
+                b += 1;
             }
             j += 1;
         }
@@ -131,7 +144,7 @@ impl Secded {
             data_bits,
             words: data_bits.div_ceil(64),
             check_bits,
-            masks,
+            table,
         }
     }
 
@@ -153,21 +166,21 @@ impl Secded {
         self.check_bits + 1
     }
 
-    /// Computes the Hamming check bits for `data` (low `data_bits` bits of the
-    /// word slice; any higher bits must be zero).
+    /// One pass over the payload bytes computing the Hamming check bits (low
+    /// `check_bits` bits) together with the payload parity (the next bit up):
+    /// `words × 8` table lookups, no popcounts.
     #[inline]
-    fn hamming_checks(&self, data: &[u64]) -> u16 {
+    fn syndrome_word(&self, data: &[u64]) -> u16 {
         debug_assert!(data.len() >= self.words);
         debug_assert!(self.unused_bits_clear(data), "payload has stray high bits");
-        let mut checks = 0u16;
-        for i in 0..self.check_bits as usize {
-            let mut p = 0u32;
-            for (&d, &m) in data[..self.words].iter().zip(&self.masks[i]) {
-                p ^= parity_u64(d & m);
+        let mut s = 0u16;
+        for (w, &word) in data[..self.words].iter().enumerate() {
+            let base = w * 8;
+            for i in 0..8 {
+                s ^= self.table[base + i][((word >> (i * 8)) & 0xFF) as usize];
             }
-            checks |= (p as u16) << i;
         }
-        checks
+        s
     }
 
     #[inline]
@@ -185,13 +198,11 @@ impl Secded {
     /// them.
     #[inline]
     pub fn encode(&self, data: &[u64]) -> u16 {
-        let checks = self.hamming_checks(data);
-        let data_parity: u32 = data[..self.words]
-            .iter()
-            .map(|&w| parity_u64(w))
-            .fold(0, |a, b| a ^ b);
-        let overall = data_parity ^ (checks.count_ones() & 1);
-        checks | ((overall as u16) << self.check_bits)
+        let s = self.syndrome_word(data);
+        let checks = s & ((1u16 << self.check_bits) - 1);
+        let data_parity = (s >> self.check_bits) & 1;
+        let overall = data_parity ^ (checks.count_ones() as u16 & 1);
+        checks | (overall << self.check_bits)
     }
 
     /// Verifies `data` against the stored redundancy without modifying the
@@ -218,13 +229,11 @@ impl Secded {
     fn classify(&self, data: &[u64], stored: u16) -> (DecodeOutcome, Option<usize>) {
         let stored_checks = stored & ((1u16 << self.check_bits) - 1);
         let stored_parity = (stored >> self.check_bits) & 1;
-        let computed_checks = self.hamming_checks(data);
+        let s = self.syndrome_word(data);
+        let computed_checks = s & ((1u16 << self.check_bits) - 1);
+        let data_parity = ((s >> self.check_bits) & 1) as u32;
         let syndrome = (stored_checks ^ computed_checks) as usize;
 
-        let data_parity: u32 = data[..self.words]
-            .iter()
-            .map(|&w| parity_u64(w))
-            .fold(0, |a, b| a ^ b);
         // Parity of the received codeword = data parity ^ stored check bits ^ stored parity bit.
         let received_parity =
             data_parity ^ (stored_checks.count_ones() & 1) ^ (stored_parity as u32);

@@ -16,11 +16,12 @@
 use crate::backend::{FaultContext, LinearOperator, SolverError, SolverVector};
 use crate::chebyshev::ChebyshevBounds;
 use abft_core::spmv::protected_spmv_auto;
-use abft_core::{EccScheme, ProtectedCsr, ProtectedVector};
+use abft_core::{EccScheme, ProtectedCsr, ProtectedVector, SpmvWorkspace};
 use abft_ecc::Crc32cBackend;
 use abft_sparse::spmv::{axpy_parallel, dot_parallel, spmv_parallel, spmv_serial};
 use abft_sparse::vector::{blas_axpy, blas_dot};
 use abft_sparse::CsrMatrix;
+use std::cell::RefCell;
 
 /// Plain work vector: `Vec<f64>` storage plus the kernel-dispatch flag, so a
 /// parallel solve uses the Rayon dot/AXPY kernels exactly as the plain CG
@@ -250,15 +251,23 @@ impl LinearOperator for Plain<'_> {
 
 /// The matrix-only protection tier (Figures 4–8): protected matrix, plain
 /// work vectors.
-#[derive(Debug, Clone, Copy)]
+///
+/// The operator owns a [`SpmvWorkspace`] behind a `RefCell`, so repeated
+/// `apply` calls from a solver loop reuse the same scratch buffers — zero
+/// heap allocations per iteration once the first SpMV has warmed them.
+#[derive(Debug, Clone)]
 pub struct MatrixProtected<'a> {
     matrix: &'a ProtectedCsr,
+    workspace: RefCell<SpmvWorkspace>,
 }
 
 impl<'a> MatrixProtected<'a> {
     /// Wraps an already-encoded protected matrix.
     pub fn new(matrix: &'a ProtectedCsr) -> Self {
-        MatrixProtected { matrix }
+        MatrixProtected {
+            matrix,
+            workspace: RefCell::new(SpmvWorkspace::new()),
+        }
     }
 }
 
@@ -280,9 +289,10 @@ impl LinearOperator for MatrixProtected<'_> {
         iteration: u64,
         ctx: &FaultContext,
     ) -> Result<(), SolverError> {
+        let mut ws = self.workspace.borrow_mut();
         Ok(self
             .matrix
-            .spmv_auto(&x.data[..], &mut y.data, iteration, ctx.log())?)
+            .spmv_auto_with(&x.data[..], &mut y.data, iteration, ctx.log(), &mut ws)?)
     }
 
     fn diagonal(&self, _ctx: &FaultContext) -> Result<Vec<f64>, SolverError> {
@@ -317,11 +327,15 @@ impl LinearOperator for MatrixProtected<'_> {
 
 /// The fully protected tier (Figure 9 / combined): protected matrix and
 /// protected work vectors.
-#[derive(Debug, Clone, Copy)]
+///
+/// Like [`MatrixProtected`], the operator owns the [`SpmvWorkspace`] its
+/// kernels stage row products in, so solver iterations allocate nothing.
+#[derive(Debug, Clone)]
 pub struct FullyProtected<'a> {
     matrix: &'a ProtectedCsr,
     scheme: EccScheme,
     crc_backend: Crc32cBackend,
+    workspace: RefCell<SpmvWorkspace>,
 }
 
 impl<'a> FullyProtected<'a> {
@@ -332,6 +346,7 @@ impl<'a> FullyProtected<'a> {
             matrix,
             scheme: matrix.config().vectors,
             crc_backend: matrix.config().crc_backend,
+            workspace: RefCell::new(SpmvWorkspace::new()),
         }
     }
 
@@ -347,6 +362,7 @@ impl<'a> FullyProtected<'a> {
             matrix,
             scheme,
             crc_backend,
+            workspace: RefCell::new(SpmvWorkspace::new()),
         }
     }
 
@@ -374,12 +390,14 @@ impl LinearOperator for FullyProtected<'_> {
         iteration: u64,
         ctx: &FaultContext,
     ) -> Result<(), SolverError> {
+        let mut ws = self.workspace.borrow_mut();
         Ok(protected_spmv_auto(
             self.matrix,
             x,
             y,
             iteration,
             ctx.log(),
+            &mut ws,
         )?)
     }
 

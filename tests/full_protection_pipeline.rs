@@ -142,7 +142,8 @@ fn protected_spmv_with_protected_vectors_is_consistent() {
         let mut x = ProtectedVector::from_slice(&rhs, scheme, protection.crc_backend);
         let mut y = ProtectedVector::zeros(matrix.rows(), scheme, protection.crc_backend);
         let log = FaultLog::new();
-        protected_spmv(&a, &mut x, &mut y, 0, &log).unwrap();
+        let mut ws = abft_suite::core::SpmvWorkspace::new();
+        protected_spmv(&a, &mut x, &mut y, 0, &log, &mut ws).unwrap();
 
         // Reference with the masked input (what the protected kernel computes with).
         let x_masked: Vec<f64> = (0..x.len()).map(|i| x.get(i)).collect();

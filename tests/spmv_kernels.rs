@@ -1,0 +1,176 @@
+//! Kernel-parity pins for the zero-allocation SpMV rewrite.
+//!
+//! The monomorphized slice kernels must be *bitwise* interchangeable: serial
+//! vs parallel execution, checked vs interval-skipped iterations, and the
+//! masked raw-slice fast path vs an explicitly masked plain input all have
+//! to produce identical `f64` bit patterns for every protection scheme —
+//! otherwise a future kernel optimisation could silently change solver
+//! trajectories.
+
+use abft_suite::core::spmv::{protected_spmv, protected_spmv_parallel};
+use abft_suite::core::{
+    EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig, SpmvWorkspace,
+};
+use abft_suite::prelude::Crc32cBackend;
+use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::CsrMatrix;
+
+/// Big enough that the parallel path actually splits into several pool
+/// chunks (the shim goes parallel at 4096 rows).
+fn test_matrix() -> CsrMatrix {
+    pad_rows_to_min_entries(&poisson_2d(96, 96), 4)
+}
+
+fn all_schemes() -> [EccScheme; 5] {
+    [
+        EccScheme::None,
+        EccScheme::Sed,
+        EccScheme::Secded64,
+        EccScheme::Secded128,
+        EccScheme::Crc32c,
+    ]
+}
+
+fn assert_bitwise_eq(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: length mismatch");
+    for (row, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: row {row} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_agree_bitwise_for_every_scheme_and_interval() {
+    let m = test_matrix();
+    let x: Vec<f64> = (0..m.cols())
+        .map(|i| (i as f64 * 0.37).sin() + 1.5)
+        .collect();
+    for scheme in all_schemes() {
+        for interval in [1u32, 8] {
+            let cfg = ProtectionConfig::matrix_only(scheme)
+                .with_check_interval(interval)
+                .with_crc_backend(Crc32cBackend::SlicingBy16);
+            let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
+            let log = FaultLog::new();
+            let mut ws = SpmvWorkspace::new();
+            // Iteration 0 always runs full checks; with interval 8,
+            // iteration 3 is a skipped (`should_check == false`) iteration.
+            for iteration in [0u64, 3] {
+                let mut y_serial = vec![0.0; m.rows()];
+                a.spmv_with(&x[..], &mut y_serial, iteration, &log, &mut ws)
+                    .unwrap();
+                let mut y_parallel = vec![0.0; m.rows()];
+                a.spmv_parallel_with(&x[..], &mut y_parallel, iteration, &log, &mut ws)
+                    .unwrap();
+                assert_bitwise_eq(
+                    &y_serial,
+                    &y_parallel,
+                    &format!("{scheme:?} interval={interval} iteration={iteration}"),
+                );
+                // The plain (no-workspace) entry points match too.
+                let mut y_plain = vec![0.0; m.rows()];
+                a.spmv(&x[..], &mut y_plain, iteration, &log).unwrap();
+                assert_bitwise_eq(
+                    &y_serial,
+                    &y_plain,
+                    &format!("{scheme:?} interval={interval} workspace vs plain"),
+                );
+            }
+            assert_eq!(log.total_corrected() + log.total_uncorrectable(), 0);
+        }
+    }
+}
+
+#[test]
+fn masked_fast_path_matches_explicitly_masked_input_bitwise() {
+    let m = test_matrix();
+    let x_plain: Vec<f64> = (0..m.cols())
+        .map(|i| 2.0 + (i as f64 * 0.21).cos())
+        .collect();
+    for scheme in all_schemes() {
+        let cfg = ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16);
+        let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
+        let xp = ProtectedVector::from_slice(&x_plain, scheme, cfg.crc_backend);
+        // What the masked view is defined to read.
+        let x_masked: Vec<f64> = (0..xp.len()).map(|i| xp.get(i)).collect();
+        let log = FaultLog::new();
+
+        // The protected vector rides the MaskedWords fast path through the
+        // DenseSource dispatch; the plain slice rides the Slice path.  Both
+        // must produce identical bits.
+        let mut y_masked = vec![0.0; m.rows()];
+        a.spmv(&xp, &mut y_masked, 0, &log).unwrap();
+        let mut y_slice = vec![0.0; m.rows()];
+        a.spmv(&x_masked[..], &mut y_slice, 0, &log).unwrap();
+        assert_bitwise_eq(&y_masked, &y_slice, &format!("{scheme:?} masked vs slice"));
+
+        // Same through the parallel kernel.
+        let mut y_masked_par = vec![0.0; m.rows()];
+        a.spmv_parallel(&xp, &mut y_masked_par, 0, &log).unwrap();
+        assert_bitwise_eq(
+            &y_masked,
+            &y_masked_par,
+            &format!("{scheme:?} masked serial vs parallel"),
+        );
+    }
+}
+
+#[test]
+fn fully_protected_serial_and_parallel_agree_bitwise() {
+    let m = test_matrix();
+    let x_plain: Vec<f64> = (0..m.cols())
+        .map(|i| 1.0 + (i % 13) as f64 * 0.125)
+        .collect();
+    for scheme in all_schemes() {
+        for interval in [1u32, 8] {
+            let cfg = ProtectionConfig::full(scheme)
+                .with_check_interval(interval)
+                .with_crc_backend(Crc32cBackend::SlicingBy16);
+            let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
+            let mut x = ProtectedVector::from_slice(&x_plain, scheme, cfg.crc_backend);
+            let log = FaultLog::new();
+            let mut ws = SpmvWorkspace::new();
+            for iteration in [0u64, 3] {
+                let mut y1 = ProtectedVector::zeros(m.rows(), scheme, cfg.crc_backend);
+                protected_spmv(&a, &mut x, &mut y1, iteration, &log, &mut ws).unwrap();
+                let mut y2 = ProtectedVector::zeros(m.rows(), scheme, cfg.crc_backend);
+                protected_spmv_parallel(&a, &mut x, &mut y2, iteration, &log, &mut ws).unwrap();
+                // The encoded storage (values + embedded redundancy) must be
+                // bit-identical, not just the masked reads.
+                assert_eq!(
+                    y1.raw(),
+                    y2.raw(),
+                    "{scheme:?} interval={interval} iteration={iteration}"
+                );
+            }
+            assert_eq!(log.total_corrected() + log.total_uncorrectable(), 0);
+        }
+    }
+}
+
+#[test]
+fn kernels_still_catch_and_correct_faults_after_the_rewrite() {
+    // A flip in a SECDED64 element is transparently corrected on the checked
+    // iteration by both execution modes, bitwise identically.
+    let m = test_matrix();
+    let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64).sqrt()).collect();
+    let cfg = ProtectionConfig::matrix_only(EccScheme::Secded64)
+        .with_crc_backend(Crc32cBackend::SlicingBy16);
+    let mut a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
+    a.inject_value_bit_flip(1234, 40);
+    let log = FaultLog::new();
+    let mut reference = vec![0.0; m.rows()];
+    abft_suite::sparse::spmv::spmv_serial(&m, &x, &mut reference);
+
+    let mut y_serial = vec![0.0; m.rows()];
+    a.spmv(&x[..], &mut y_serial, 0, &log).unwrap();
+    assert_bitwise_eq(&y_serial, &reference, "corrected serial");
+    assert!(log.total_corrected() > 0);
+
+    let mut y_parallel = vec![0.0; m.rows()];
+    a.spmv_parallel(&x[..], &mut y_parallel, 0, &log).unwrap();
+    assert_bitwise_eq(&y_parallel, &reference, "corrected parallel");
+}

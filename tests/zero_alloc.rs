@@ -1,0 +1,108 @@
+//! Pins the zero-allocation property of the solver hot loop: once the
+//! operator workspace is warm, extra CG iterations must not touch the heap.
+//!
+//! A counting global allocator measures the allocations of a 10-iteration
+//! and a 60-iteration solve of the same system on the same operator; the
+//! counts must be identical — every allocation belongs to per-solve setup
+//! (vector clones, the decoded solution), none to the iterations.
+
+use abft_suite::core::{EccScheme, ProtectionConfig};
+use abft_suite::prelude::{Crc32cBackend, Solver};
+use abft_suite::solvers::backends::{FullyProtected, MatrixProtected};
+use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Serialises the measuring tests so counts from concurrently running test
+/// threads cannot interleave.
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+/// 63×63 grid: 3969 rows, below the parallel threshold, so the solve stays
+/// on the calling thread and the counter observes every allocation.
+fn system() -> (abft_suite::sparse::CsrMatrix, Vec<f64>) {
+    let a = pad_rows_to_min_entries(&poisson_2d(63, 63), 4);
+    let b: Vec<f64> = (0..a.rows()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+    (a, b)
+}
+
+#[test]
+fn matrix_protected_cg_iterations_do_not_allocate() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let (a, b) = system();
+    let cfg = ProtectionConfig::matrix_only(EccScheme::Secded64)
+        .with_crc_backend(Crc32cBackend::SlicingBy16);
+    let protected = abft_suite::core::ProtectedCsr::from_csr(&a, &cfg).unwrap();
+    let op = MatrixProtected::new(&protected);
+    let short = Solver::cg().max_iterations(10).tolerance(0.0);
+    let long = Solver::cg().max_iterations(60).tolerance(0.0);
+    // Warm the operator workspace (first SpMV sizes the scratch buffers).
+    short.solve_operator(&op, &b).unwrap();
+
+    let allocs_short = allocations_during(|| {
+        short.solve_operator(&op, &b).unwrap();
+    });
+    let allocs_long = allocations_during(|| {
+        long.solve_operator(&op, &b).unwrap();
+    });
+    // 50 extra CG iterations (SpMV + 2 dots + 2 AXPYs + XPAY each) must not
+    // add a single heap allocation.
+    assert_eq!(
+        allocs_short, allocs_long,
+        "CG iterations allocated: {allocs_short} allocs at 10 iters vs {allocs_long} at 60"
+    );
+}
+
+#[test]
+fn fully_protected_cg_iterations_do_not_allocate() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let (a, b) = system();
+    for scheme in [EccScheme::Secded64, EccScheme::Crc32c] {
+        let cfg = ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16);
+        let protected = abft_suite::core::ProtectedCsr::from_csr(&a, &cfg).unwrap();
+        let op = FullyProtected::new(&protected);
+        let short = Solver::cg().max_iterations(10).tolerance(0.0);
+        let long = Solver::cg().max_iterations(60).tolerance(0.0);
+        short.solve_operator(&op, &b).unwrap();
+
+        let allocs_short = allocations_during(|| {
+            short.solve_operator(&op, &b).unwrap();
+        });
+        let allocs_long = allocations_during(|| {
+            long.solve_operator(&op, &b).unwrap();
+        });
+        assert_eq!(
+            allocs_short, allocs_long,
+            "{scheme:?}: fully protected CG iterations allocated"
+        );
+    }
+}

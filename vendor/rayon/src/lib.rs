@@ -1,29 +1,36 @@
 //! A minimal, dependency-free stand-in for the `rayon` data-parallelism
 //! crate, providing exactly the parallel-iterator surface this workspace
 //! uses (`par_iter`, `par_iter_mut`, `enumerate`, `zip`, `map`, `sum`,
-//! `for_each`, `try_for_each_init`).
+//! `for_each`, `try_for_each_init`) plus a chunked dispatch helper for the
+//! ABFT SpMV kernels.
 //!
 //! The build environment for this repository has no network access, so the
 //! real rayon cannot be fetched from crates.io; this shim keeps the kernel
-//! code source-compatible.  Work is split into contiguous chunks executed on
-//! `std::thread::scope` threads (one per available core); on single-core
-//! hosts, or for small inputs where thread spin-up would dominate, it runs
-//! the loop inline.  Swapping the real rayon back in is a one-line
-//! `Cargo.toml` change — no kernel code needs to be touched.
+//! code source-compatible.  Work is executed on a **persistent worker pool**
+//! (spawned lazily on first use, one thread per available core), so a
+//! parallel kernel invocation costs a handful of queue pushes instead of a
+//! full thread spawn/join cycle — the difference between ~10 µs and ~1 ms of
+//! fixed overhead per SpMV.  For small inputs, where even queue traffic
+//! would dominate, the loop runs inline on the caller.  Swapping the real
+//! rayon back in is a one-line `Cargo.toml` change — no kernel code needs to
+//! be touched.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 
 /// Everything the kernels import.
 pub mod prelude {
     pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
-/// Inputs shorter than this run inline: spawning threads costs more than the
-/// loop itself.
+/// Inputs shorter than this run inline: even enqueueing on the persistent
+/// pool costs more than the loop itself.
 const MIN_CHUNK: usize = 4096;
 
-fn thread_count(len: usize) -> usize {
+/// The number of chunks (and thus pool tasks) a parallel operation over
+/// `len` elements is split into.  `1` means the operation runs inline.
+pub fn chunk_count(len: usize) -> usize {
     if len < MIN_CHUNK {
         return 1;
     }
@@ -32,6 +39,207 @@ fn thread_count(len: usize) -> usize {
         .unwrap_or(1)
         .min(len.div_ceil(MIN_CHUNK))
 }
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    sender: Mutex<mpsc::Sender<Job>>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set inside pool workers so nested parallel calls degrade to inline
+    /// execution instead of deadlocking the (fixed-size) pool.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for index in 0..threads {
+            let receiver = Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("abft-rayon-{index}"))
+                .spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        let job = match receiver.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        Pool {
+            sender: Mutex::new(sender),
+        }
+    })
+}
+
+/// Tracks outstanding tasks of one scoped dispatch and whether any panicked.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("latch poisoned");
+        }
+    }
+}
+
+/// Runs every task on the pool, keeping the last one on the calling thread,
+/// and blocks until all of them have finished.  Because this function does
+/// not return before completion, tasks may safely borrow from the caller's
+/// stack frame (the `'scope` lifetime).
+fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    let mut tasks = tasks;
+    let inline_task = match tasks.pop() {
+        Some(task) => task,
+        None => return,
+    };
+    if tasks.is_empty() || IN_WORKER.with(|flag| flag.get()) {
+        // Single task, or already on a pool worker (nested parallelism):
+        // execute inline to avoid deadlocking the fixed-size pool.
+        inline_task();
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    let latch = Arc::new(Latch::new(tasks.len()));
+    {
+        let sender = pool().sender.lock().expect("pool sender poisoned");
+        for task in tasks {
+            // SAFETY: `run_scoped` blocks on the latch until every submitted
+            // task has run to completion before returning, so the `'scope`
+            // borrows captured by the task strictly outlive its execution.
+            // The transmute only erases that lifetime; the layout of the
+            // boxed trait object is unchanged.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + 'scope>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(task)
+            };
+            let latch = Arc::clone(&latch);
+            let job: Job = Box::new(move || {
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    latch.panicked.store(true, Ordering::Relaxed);
+                }
+                latch.complete_one();
+            });
+            sender.send(job).expect("pool workers alive");
+        }
+    }
+    let inline_panic = catch_unwind(AssertUnwindSafe(inline_task));
+    latch.wait();
+    if latch.panicked.load(Ordering::Relaxed) {
+        panic!("rayon shim: a pool task panicked");
+    }
+    if let Err(payload) = inline_panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked dispatch for the ABFT kernels
+// ---------------------------------------------------------------------------
+
+/// Splits `data` into `states.len()` contiguous chunks and runs
+/// `f(offset, chunk, state)` for each pairing on the persistent pool,
+/// handing chunk `i` exclusive access to `states[i]` (per-chunk scratch
+/// buffers, local fault tallies, …).  Returns the first error observed.
+/// Chunks that have not *started* when the first error lands are skipped;
+/// chunks already running finish their work (cancellation is per chunk, not
+/// per element — chunks are one-per-worker, so mid-chunk polling would buy
+/// little and cost a flag check in every kernel inner loop).
+///
+/// With a single state (or an empty `data`) the call runs inline on the
+/// caller — the serial fallback every parallel kernel shares.
+pub fn with_chunks_mut<T, S, E, F>(data: &mut [T], states: &mut [S], f: F) -> Result<(), E>
+where
+    T: Send,
+    S: Send,
+    E: Send,
+    F: Fn(usize, &mut [T], &mut S) -> Result<(), E> + Sync,
+{
+    assert!(!states.is_empty(), "with_chunks_mut: no chunk states");
+    let n_chunks = states.len();
+    if n_chunks == 1 || data.len() <= 1 {
+        return f(0, data, &mut states[0]);
+    }
+    let chunk = data.len().div_ceil(n_chunks);
+    let failed = AtomicBool::new(false);
+    let error: Mutex<Option<E>> = Mutex::new(None);
+    {
+        let f = &f;
+        let failed = &failed;
+        let error = &error;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+            .chunks_mut(chunk)
+            .zip(states.iter_mut())
+            .enumerate()
+            .map(|(index, (part, state))| {
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    if failed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Err(e) = f(index * chunk, part, state) {
+                        failed.store(true, Ordering::Relaxed);
+                        if let Ok(mut slot) = error.lock() {
+                            slot.get_or_insert(e);
+                        }
+                    }
+                });
+                task
+            })
+            .collect();
+        run_scoped(tasks);
+    }
+    match error.into_inner().expect("poisoned error slot") {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rayon-compatible parallel iterator surface
+// ---------------------------------------------------------------------------
 
 /// `slice.par_iter()` entry point.
 pub trait IntoParallelRefIterator<'a> {
@@ -150,24 +358,29 @@ impl<T: Send> EnumerateMut<'_, T> {
     where
         F: for<'x> Fn((usize, &'x mut T)) + Sync,
     {
-        let threads = thread_count(self.slice.len());
-        if threads <= 1 {
+        let chunks = chunk_count(self.slice.len());
+        if chunks <= 1 {
             for (i, item) in self.slice.iter_mut().enumerate() {
                 f((i, item));
             }
             return;
         }
-        let chunk = self.slice.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (c, part) in self.slice.chunks_mut(chunk).enumerate() {
-                let f = &f;
-                scope.spawn(move || {
+        let chunk = self.slice.len().div_ceil(chunks);
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+            .slice
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, part)| {
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                     for (i, item) in part.iter_mut().enumerate() {
                         f((c * chunk + i, item));
                     }
                 });
-            }
-        });
+                task
+            })
+            .collect();
+        run_scoped(tasks);
     }
 
     /// Fallible `for_each` with one scratch value per worker, mirroring
@@ -178,42 +391,49 @@ impl<T: Send> EnumerateMut<'_, T> {
         F: for<'x> Fn(&mut I, (usize, &'x mut T)) -> Result<(), E> + Sync,
         E: Send,
     {
-        let threads = thread_count(self.slice.len());
-        if threads <= 1 {
+        let chunks = chunk_count(self.slice.len());
+        if chunks <= 1 {
             let mut scratch = init();
             for (i, item) in self.slice.iter_mut().enumerate() {
                 f(&mut scratch, (i, item))?;
             }
             return Ok(());
         }
-        let chunk = self.slice.len().div_ceil(threads);
+        let chunk = self.slice.len().div_ceil(chunks);
         // A relaxed flag keeps the per-element cancellation check off the
         // hot path; the Mutex is only touched by the first failing worker.
         let failed = AtomicBool::new(false);
         let error: Mutex<Option<E>> = Mutex::new(None);
-        std::thread::scope(|scope| {
-            for (c, part) in self.slice.chunks_mut(chunk).enumerate() {
-                let f = &f;
-                let init = &init;
-                let failed = &failed;
-                let error = &error;
-                scope.spawn(move || {
-                    let mut scratch = init();
-                    for (i, item) in part.iter_mut().enumerate() {
-                        if failed.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        if let Err(e) = f(&mut scratch, (c * chunk + i, item)) {
-                            failed.store(true, Ordering::Relaxed);
-                            if let Ok(mut slot) = error.lock() {
-                                slot.get_or_insert(e);
+        {
+            let f = &f;
+            let init = &init;
+            let failed = &failed;
+            let error = &error;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+                .slice
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(c, part)| {
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        let mut scratch = init();
+                        for (i, item) in part.iter_mut().enumerate() {
+                            if failed.load(Ordering::Relaxed) {
+                                return;
                             }
-                            return;
+                            if let Err(e) = f(&mut scratch, (c * chunk + i, item)) {
+                                failed.store(true, Ordering::Relaxed);
+                                if let Ok(mut slot) = error.lock() {
+                                    slot.get_or_insert(e);
+                                }
+                                return;
+                            }
                         }
-                    }
-                });
-            }
-        });
+                    });
+                    task
+                })
+                .collect();
+            run_scoped(tasks);
+        }
         match error.into_inner().expect("poisoned error slot") {
             Some(e) => Err(e),
             None => Ok(()),
@@ -241,16 +461,16 @@ where
     O: Send + std::iter::Sum<O>,
 {
     /// Reduces the mapped values with `Sum`.  Per-chunk partial sums are
-    /// combined in chunk order (join handles are drained in spawn order), so
-    /// the reduction is deterministic for a given input length and thread
-    /// count — repeated parallel dot products are bit-identical.
+    /// combined in chunk order, so the reduction is deterministic for a
+    /// given input length and thread count — repeated parallel dot products
+    /// are bit-identical.
     pub fn sum<S>(self) -> S
     where
         S: std::iter::Sum<O> + Send + std::iter::Sum<S>,
     {
         let len = self.a.len().min(self.b.len());
-        let threads = thread_count(len);
-        if threads <= 1 {
+        let chunks = chunk_count(len);
+        if chunks <= 1 {
             return self
                 .a
                 .iter()
@@ -258,22 +478,29 @@ where
                 .map(|(a, b)| (self.f)((a, b)))
                 .sum();
         }
-        let chunk = len.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
+        let chunk = len.div_ceil(chunks);
+        let mut partials: Vec<Option<S>> = Vec::new();
+        partials.resize_with(chunks, || None);
+        {
+            let f = &self.f;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
                 .a
                 .chunks(chunk)
                 .zip(self.b.chunks(chunk))
-                .map(|(pa, pb)| {
-                    let f = &self.f;
-                    scope.spawn(move || pa.iter().zip(pb).map(|(a, b)| f((a, b))).sum::<S>())
+                .zip(partials.iter_mut())
+                .map(|((pa, pb), slot)| {
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        *slot = Some(pa.iter().zip(pb).map(|(a, b)| f((a, b))).sum::<S>());
+                    });
+                    task
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("worker panicked"))
-                .sum()
-        })
+            run_scoped(tasks);
+        }
+        partials
+            .into_iter()
+            .map(|slot| slot.expect("chunk sum missing"))
+            .sum()
     }
 }
 
@@ -284,24 +511,29 @@ impl<A: Send, B: Sync> ZipMut<'_, '_, A, B> {
         F: for<'x> Fn((&'x mut A, &'x B)) + Sync,
     {
         let len = self.a.len().min(self.b.len());
-        let threads = thread_count(len);
-        if threads <= 1 {
+        let chunks = chunk_count(len);
+        if chunks <= 1 {
             for (a, b) in self.a.iter_mut().zip(self.b) {
                 f((a, b));
             }
             return;
         }
-        let chunk = len.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (pa, pb) in self.a.chunks_mut(chunk).zip(self.b.chunks(chunk)) {
-                let f = &f;
-                scope.spawn(move || {
+        let chunk = len.div_ceil(chunks);
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+            .a
+            .chunks_mut(chunk)
+            .zip(self.b.chunks(chunk))
+            .map(|(pa, pb)| {
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                     for (a, b) in pa.iter_mut().zip(pb) {
                         f((a, b));
                     }
                 });
-            }
-        });
+                task
+            })
+            .collect();
+        run_scoped(tasks);
     }
 }
 
@@ -369,5 +601,68 @@ mod tests {
         for (i, &v) in y.iter().enumerate() {
             assert_eq!(v, 1.0 + 2.0 * i as f64);
         }
+    }
+
+    #[test]
+    fn with_chunks_mut_covers_every_element() {
+        let mut data = vec![0u64; 30_000];
+        let mut states = vec![0u64; super::chunk_count(data.len())];
+        let ok: Result<(), ()> =
+            super::with_chunks_mut(&mut data, &mut states, |offset, part, state| {
+                for (i, x) in part.iter_mut().enumerate() {
+                    *x = (offset + i) as u64;
+                    *state += 1;
+                }
+                Ok(())
+            });
+        assert!(ok.is_ok());
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+        assert_eq!(states.iter().sum::<u64>(), 30_000);
+    }
+
+    #[test]
+    fn with_chunks_mut_propagates_errors() {
+        let mut data = vec![0u8; 20_000];
+        let mut states = vec![(); super::chunk_count(data.len())];
+        let err: Result<(), &'static str> =
+            super::with_chunks_mut(&mut data, &mut states, |offset, _, _| {
+                if offset == 0 {
+                    Err("first chunk failed")
+                } else {
+                    Ok(())
+                }
+            });
+        assert_eq!(err, Err("first chunk failed"));
+    }
+
+    #[test]
+    fn pool_survives_repeated_invocations() {
+        // Hammer the pool: if spawn-per-call were still in place this test
+        // would be dramatically slower; it mainly guards against deadlocks
+        // and lost tasks in the persistent-pool dispatch.
+        for round in 0..200 {
+            let mut v = vec![0usize; 8192];
+            v.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = i + round);
+            assert_eq!(v[17], 17 + round);
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_to_inline() {
+        let mut outer = vec![0usize; 16_384];
+        outer.par_iter_mut().enumerate().for_each(|(i, x)| {
+            // A nested parallel call from a worker must not deadlock.
+            let inner: f64 = vec![1.0f64; 8192]
+                .par_iter()
+                .zip(vec![2.0f64; 8192].par_iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            *x = i + inner as usize;
+        });
+        assert_eq!(outer[3], 3 + 16_384);
     }
 }
