@@ -16,6 +16,7 @@
 //! Absolute times depend on the host; the quantity to compare against the
 //! paper is the *relative overhead* column and its ordering across schemes.
 
+use abft_bench::blas1_bench::{blas1_microbench, trajectory_points_json, Blas1BenchConfig};
 use abft_bench::json::Json;
 use abft_bench::spmv_bench::{
     render_table, spmv_microbench, trajectory_point_json, SpmvBenchConfig,
@@ -38,6 +39,7 @@ struct Args {
     full: bool,
     smoke: bool,
     bench_spmv: bool,
+    bench_blas1: bool,
     bench_label: String,
     parallel: bool,
     nx: usize,
@@ -60,6 +62,7 @@ impl Default for Args {
             full: false,
             smoke: false,
             bench_spmv: false,
+            bench_blas1: false,
             bench_label: "current".to_string(),
             parallel: false,
             nx: 256,
@@ -82,7 +85,8 @@ const HELP: &str = "experiments — regenerate the paper's figures.
   --full               paper-sized workload (2048x2048, 100 CG iterations)
   --smoke              tiny CI preset: every section at 24x24, 3 iterations
   --bench-spmv         SpMV kernel microbenchmark (the BENCH_spmv.json sweep)
-  --bench-label L      trajectory-point label for --bench-spmv JSON output
+  --bench-blas1        protected BLAS-1 microbenchmark (the BENCH_blas1.json sweep)
+  --bench-label L      trajectory-point label for --bench-* JSON output
   --parallel           use the Rayon-parallel kernels
   --nx N / --ny N      grid size (default 256x256)
   --iters N            CG iterations per timed solve (default 50)
@@ -112,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
             "--full" => args.full = true,
             "--smoke" => args.smoke = true,
             "--bench-spmv" => args.bench_spmv = true,
+            "--bench-blas1" => args.bench_blas1 = true,
             "--bench-label" => args.bench_label = value("--bench-label")?,
             "--parallel" => args.parallel = true,
             "--nx" => args.nx = value("--nx")?.parse().map_err(|e| format!("{e}"))?,
@@ -244,6 +249,35 @@ fn main() {
         parallel: args.parallel,
     };
     let mut output = JsonOutput::default();
+
+    if args.bench_blas1 {
+        // --nx / --iters / --repeats drive the sweep (--smoke shrinks them
+        // via parse_args); vectors have nx² elements.
+        let config = Blas1BenchConfig {
+            n: args.nx,
+            iters: args.iterations.max(2),
+            repeats: args.repeats,
+            cg_iterations: args.iterations,
+            parallel: args.parallel,
+        };
+        println!(
+            "Protected BLAS-1 microbenchmark ({0}x{0} Poisson grid = {1} elements, {2} iters, {3} repeats, masked path {4})",
+            config.n,
+            config.n * config.n,
+            config.iters,
+            config.repeats,
+            if config.parallel { "parallel" } else { "serial" }
+        );
+        let rows = blas1_microbench(&config);
+        print!("{}", abft_bench::blas1_bench::render_table(&rows));
+        if let Some(path) = &args.json {
+            let points = trajectory_points_json(&args.bench_label, &config, &rows);
+            let doc = Json::obj([("trajectory", Json::Arr(points))]);
+            std::fs::write(path, doc.render()).expect("write JSON output");
+            println!("machine-readable results written to {path}");
+        }
+        return;
+    }
 
     if args.bench_spmv {
         // --nx / --iters / --repeats drive the sweep (and --smoke shrinks

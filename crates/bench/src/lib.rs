@@ -23,6 +23,7 @@ use abft_tealeaf::states::apply_states;
 use abft_tealeaf::{Deck, Grid};
 use std::time::Instant;
 
+pub mod blas1_bench;
 pub mod json;
 pub mod spmv_bench;
 

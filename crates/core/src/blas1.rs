@@ -1,0 +1,796 @@
+//! Masked-slice protected BLAS-1 kernels — the §VI-C read-caching argument
+//! applied to the *vector* half of a solver iteration.
+//!
+//! Once the protected SpMV became a raw-slice kernel (PR 2), every
+//! CG/Chebyshev/PPCG iteration spent its remaining time in
+//! [`ProtectedVector`] dot/AXPY/scale kernels that decode each codeword
+//! group into a stack buffer element by element.  The ECC math does not
+//! require that: a group can be **checked once** (a cheap verify-only
+//! predicate, no correction machinery) and, when clean — the overwhelmingly
+//! common case — the arithmetic can run straight over the raw `u64` words
+//! with the read mask held in a register, exactly like the SpMV fast path.
+//! Only a group that fails its check takes the correcting
+//! [`GroupCodec::decode`] slow path.
+//!
+//! Three further properties, shared by every kernel here:
+//!
+//! * **Bulk fault accounting** — integrity checks are tallied in a local
+//!   counter and flushed to the [`FaultLog`] in one atomic update per call
+//!   (per chunk, in the parallel variants), mirroring `spmv_range`.  The
+//!   flush happens on the error path too, so an aborting fault reports
+//!   exactly the checks performed.
+//! * **Blocked reductions** — the dot-product family accumulates per
+//!   [`ACC_BLOCK`] elements and folds the block partials in order, so the
+//!   serial kernels, the chunked parallel kernels and the group-decode
+//!   reference path ([`ProtectedVector::dot`]) are **bitwise identical**.
+//! * **Fusion** — [`ProtectedVector::dot_axpy_masked`] applies
+//!   `self ← self + α·x` and returns the updated `‖self‖²` in a single pass
+//!   over each group, so CG's residual update and convergence check touch
+//!   every codeword once instead of three times.  Likewise
+//!   [`ProtectedVector::scale_axpy_masked`] fuses Chebyshev's
+//!   `d ← β·d + α·r` pair.
+//!
+//! The serial kernels are allocation-free (stack group buffers only); the
+//! parallel variants allocate small per-call partial/tally buffers and are
+//! therefore not part of the zero-allocation contract pinned by
+//! `tests/zero_alloc.rs`, which exercises the serial path.
+
+use crate::error::AbftError;
+use crate::protected_vector::{GroupCodec, ProtectedVector, ACC_BLOCK, MAX_GROUP};
+use crate::report::{FaultLog, Region};
+use crate::schemes::EccScheme;
+use abft_ecc::sed::parity_u64;
+
+/// Flushes a locally tallied check count in one bulk atomic update.
+#[inline]
+fn flush_checks(log: &FaultLog, scheme: EccScheme, tally: u64) {
+    if scheme != EccScheme::None && tally > 0 {
+        log.record_checks(Region::DenseVector, tally);
+    }
+}
+
+/// Number of chunk states for a parallel kernel over `n` storage words such
+/// that every chunk boundary falls on an [`ACC_BLOCK`] boundary (and hence
+/// on a codeword-group boundary).  Returns 1 — run serial — when the input
+/// is too small or no aligned split exists.
+fn block_aligned_chunks(n: usize) -> usize {
+    if n < 2 * ACC_BLOCK {
+        return 1;
+    }
+    let max = rayon::chunk_count(n);
+    (2..=max)
+        .rev()
+        .find(|&k| n.div_ceil(k) % ACC_BLOCK == 0)
+        .unwrap_or(1)
+}
+
+/// Worker count for the block-partial dot kernels (which chunk the partials
+/// buffer, not the data, so no alignment constraint applies).
+fn partial_chunks(n_blocks: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(n_blocks)
+}
+
+/// `Σ a[i]·b[i]` over one block's logical elements, checking each codeword
+/// group once.  `a`/`b` are whole-group storage slices; `base` is the global
+/// element index of `a[0]`, `len` the global logical length.
+fn dot_block(
+    codec: GroupCodec,
+    a: &[u64],
+    b: &[u64],
+    base: usize,
+    len: usize,
+    log: &FaultLog,
+    tally: &mut u64,
+) -> Result<f64, AbftError> {
+    let mask = codec.mask;
+    let mut acc = 0.0;
+    match codec.scheme {
+        EccScheme::None => {
+            for (&aw, &bw) in a.iter().zip(b) {
+                acc += f64::from_bits(aw & mask) * f64::from_bits(bw & mask);
+            }
+        }
+        EccScheme::Sed => {
+            for (j, (&aw, &bw)) in a.iter().zip(b).enumerate() {
+                *tally += 2;
+                if parity_u64(aw) != 0 || parity_u64(bw) != 0 {
+                    log.record_uncorrectable(Region::DenseVector);
+                    return Err(AbftError::Uncorrectable {
+                        region: Region::DenseVector,
+                        index: base + j,
+                    });
+                }
+                acc += f64::from_bits(aw & mask) * f64::from_bits(bw & mask);
+            }
+        }
+        _ => {
+            let group = codec.group();
+            let mut off = 0;
+            while off < a.len() {
+                *tally += 2;
+                let logical = group.min(len - (base + off));
+                let ga = &a[off..off + group];
+                let gb = &b[off..off + group];
+                if codec.is_clean(ga) && codec.is_clean(gb) {
+                    for j in 0..logical {
+                        acc += f64::from_bits(ga[j] & mask) * f64::from_bits(gb[j] & mask);
+                    }
+                } else {
+                    let av = codec.decode(ga, logical, base + off, log)?;
+                    let bv = codec.decode(gb, logical, base + off, log)?;
+                    for j in 0..logical {
+                        acc += av[j] * bv[j];
+                    }
+                }
+                off += group;
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// `Σ a[i]²` over one block, checking each codeword group **once** (where
+/// the two-operand dot would check it twice).
+fn norm_block(
+    codec: GroupCodec,
+    a: &[u64],
+    base: usize,
+    len: usize,
+    log: &FaultLog,
+    tally: &mut u64,
+) -> Result<f64, AbftError> {
+    let mask = codec.mask;
+    let mut acc = 0.0;
+    match codec.scheme {
+        EccScheme::None => {
+            for &aw in a {
+                let v = f64::from_bits(aw & mask);
+                acc += v * v;
+            }
+        }
+        EccScheme::Sed => {
+            for (j, &aw) in a.iter().enumerate() {
+                *tally += 1;
+                if parity_u64(aw) != 0 {
+                    log.record_uncorrectable(Region::DenseVector);
+                    return Err(AbftError::Uncorrectable {
+                        region: Region::DenseVector,
+                        index: base + j,
+                    });
+                }
+                let v = f64::from_bits(aw & mask);
+                acc += v * v;
+            }
+        }
+        _ => {
+            let group = codec.group();
+            let mut off = 0;
+            while off < a.len() {
+                *tally += 1;
+                let logical = group.min(len - (base + off));
+                let ga = &a[off..off + group];
+                if codec.is_clean(ga) {
+                    for &gw in &ga[..logical] {
+                        let v = f64::from_bits(gw & mask);
+                        acc += v * v;
+                    }
+                } else {
+                    let av = codec.decode(ga, logical, base + off, log)?;
+                    for &v in &av[..logical] {
+                        acc += v * v;
+                    }
+                }
+                off += group;
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// Two-operand update `s[i] ← op(s[i], x[i])` over a whole-group storage
+/// range, one check per group per operand, one re-encode per group.
+#[allow(clippy::too_many_arguments)]
+fn zip_range(
+    codec: GroupCodec,
+    s: &mut [u64],
+    x: &[u64],
+    base: usize,
+    len: usize,
+    log: &FaultLog,
+    tally: &mut u64,
+    op: &impl Fn(f64, f64) -> f64,
+) -> Result<(), AbftError> {
+    let mask = codec.mask;
+    match codec.scheme {
+        EccScheme::None => {
+            for (sw, &xw) in s.iter_mut().zip(x) {
+                *sw = op(f64::from_bits(*sw & mask), f64::from_bits(xw & mask)).to_bits();
+            }
+        }
+        EccScheme::Sed => {
+            for (j, (sw, &xw)) in s.iter_mut().zip(x).enumerate() {
+                *tally += 2;
+                if parity_u64(*sw) != 0 || parity_u64(xw) != 0 {
+                    log.record_uncorrectable(Region::DenseVector);
+                    return Err(AbftError::Uncorrectable {
+                        region: Region::DenseVector,
+                        index: base + j,
+                    });
+                }
+                let payload =
+                    op(f64::from_bits(*sw & mask), f64::from_bits(xw & mask)).to_bits() & mask;
+                *sw = payload | parity_u64(payload) as u64;
+            }
+        }
+        _ => {
+            let group = codec.group();
+            let mut off = 0;
+            while off < s.len() {
+                *tally += 2;
+                let logical = group.min(len - (base + off));
+                let mut buf = [0.0f64; MAX_GROUP];
+                {
+                    let gs = &s[off..off + group];
+                    let gx = &x[off..off + group];
+                    if codec.is_clean(gs) && codec.is_clean(gx) {
+                        for j in 0..logical {
+                            buf[j] = op(f64::from_bits(gs[j] & mask), f64::from_bits(gx[j] & mask));
+                        }
+                    } else {
+                        let sv = codec.decode(gs, logical, base + off, log)?;
+                        let xv = codec.decode(gx, logical, base + off, log)?;
+                        for j in 0..logical {
+                            buf[j] = op(sv[j], xv[j]);
+                        }
+                    }
+                }
+                codec.encode(&buf, &mut s[off..off + group]);
+                off += group;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// In-place scale `s[i] ← α·s[i]`, one check per group.
+fn scale_range(
+    codec: GroupCodec,
+    s: &mut [u64],
+    base: usize,
+    len: usize,
+    log: &FaultLog,
+    tally: &mut u64,
+    alpha: f64,
+) -> Result<(), AbftError> {
+    let mask = codec.mask;
+    match codec.scheme {
+        EccScheme::None => {
+            for sw in s.iter_mut() {
+                *sw = (f64::from_bits(*sw & mask) * alpha).to_bits();
+            }
+        }
+        EccScheme::Sed => {
+            for (j, sw) in s.iter_mut().enumerate() {
+                *tally += 1;
+                if parity_u64(*sw) != 0 {
+                    log.record_uncorrectable(Region::DenseVector);
+                    return Err(AbftError::Uncorrectable {
+                        region: Region::DenseVector,
+                        index: base + j,
+                    });
+                }
+                let payload = (f64::from_bits(*sw & mask) * alpha).to_bits() & mask;
+                *sw = payload | parity_u64(payload) as u64;
+            }
+        }
+        _ => {
+            let group = codec.group();
+            let mut off = 0;
+            while off < s.len() {
+                *tally += 1;
+                let logical = group.min(len - (base + off));
+                let mut buf = [0.0f64; MAX_GROUP];
+                {
+                    let gs = &s[off..off + group];
+                    if codec.is_clean(gs) {
+                        for j in 0..logical {
+                            buf[j] = f64::from_bits(gs[j] & mask) * alpha;
+                        }
+                    } else {
+                        let sv = codec.decode(gs, logical, base + off, log)?;
+                        for j in 0..logical {
+                            buf[j] = sv[j] * alpha;
+                        }
+                    }
+                }
+                codec.encode(&buf, &mut s[off..off + group]);
+                off += group;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fused `s ← s + α·x` and `Σ s'[i]²` (post-update) over one block — the
+/// squared values are the *stored* (masked, re-encoded) ones, so the result
+/// equals running the AXPY and then a dot on the updated vector.
+#[allow(clippy::too_many_arguments)]
+fn dot_axpy_block(
+    codec: GroupCodec,
+    alpha: f64,
+    s: &mut [u64],
+    x: &[u64],
+    base: usize,
+    len: usize,
+    log: &FaultLog,
+    tally: &mut u64,
+) -> Result<f64, AbftError> {
+    let mask = codec.mask;
+    let mut acc = 0.0;
+    match codec.scheme {
+        EccScheme::None => {
+            for (sw, &xw) in s.iter_mut().zip(x) {
+                let updated = f64::from_bits(*sw & mask) + alpha * f64::from_bits(xw & mask);
+                *sw = updated.to_bits();
+                acc += updated * updated;
+            }
+        }
+        EccScheme::Sed => {
+            for (j, (sw, &xw)) in s.iter_mut().zip(x).enumerate() {
+                *tally += 2;
+                if parity_u64(*sw) != 0 || parity_u64(xw) != 0 {
+                    log.record_uncorrectable(Region::DenseVector);
+                    return Err(AbftError::Uncorrectable {
+                        region: Region::DenseVector,
+                        index: base + j,
+                    });
+                }
+                let updated = f64::from_bits(*sw & mask) + alpha * f64::from_bits(xw & mask);
+                let payload = updated.to_bits() & mask;
+                *sw = payload | parity_u64(payload) as u64;
+                let stored = f64::from_bits(payload);
+                acc += stored * stored;
+            }
+        }
+        _ => {
+            let group = codec.group();
+            let mut off = 0;
+            while off < s.len() {
+                *tally += 2;
+                let logical = group.min(len - (base + off));
+                let mut buf = [0.0f64; MAX_GROUP];
+                {
+                    let gs = &s[off..off + group];
+                    let gx = &x[off..off + group];
+                    if codec.is_clean(gs) && codec.is_clean(gx) {
+                        for j in 0..logical {
+                            buf[j] =
+                                f64::from_bits(gs[j] & mask) + alpha * f64::from_bits(gx[j] & mask);
+                        }
+                    } else {
+                        let sv = codec.decode(gs, logical, base + off, log)?;
+                        let xv = codec.decode(gx, logical, base + off, log)?;
+                        for j in 0..logical {
+                            buf[j] = sv[j] + alpha * xv[j];
+                        }
+                    }
+                }
+                codec.encode(&buf, &mut s[off..off + group]);
+                for &v in &buf[..logical] {
+                    let stored = f64::from_bits(v.to_bits() & mask);
+                    acc += stored * stored;
+                }
+                off += group;
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// Per-chunk state of the parallel fused kernel: local check tally plus the
+/// chunk's block partial sums (folded in chunk order afterwards).
+#[derive(Default)]
+struct ChunkAcc {
+    tally: u64,
+    partials: Vec<f64>,
+}
+
+impl ProtectedVector {
+    /// Masked bulk dot product: each codeword group is checked once with the
+    /// verify-only predicate, then the multiply-accumulate runs over the raw
+    /// words with the mask in a register; only failing groups take the
+    /// correcting decode.  Check tallies are flushed to the log in one bulk
+    /// atomic update per call.  Bitwise identical to
+    /// [`ProtectedVector::dot`].
+    pub fn dot_masked(&self, other: &ProtectedVector, log: &FaultLog) -> Result<f64, AbftError> {
+        assert_eq!(self.len(), other.len(), "dot_masked: length mismatch");
+        if self.scheme != other.scheme {
+            // Mismatched schemes take the checked element-wise fallback.
+            return self.dot(other, log);
+        }
+        let codec = self.codec();
+        let mut tally = 0u64;
+        let mut total = 0.0;
+        let mut result = Ok(());
+        let mut start = 0;
+        while start < self.data.len() {
+            let end = (start + ACC_BLOCK).min(self.data.len());
+            match dot_block(
+                codec,
+                &self.data[start..end],
+                &other.data[start..end],
+                start,
+                self.len,
+                log,
+                &mut tally,
+            ) {
+                Ok(part) => total += part,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            start = end;
+        }
+        flush_checks(log, codec.scheme, tally);
+        result.map(|()| total)
+    }
+
+    /// Chunked-parallel [`ProtectedVector::dot_masked`]: block partials are
+    /// computed on the worker pool and folded in block order, so the result
+    /// is bitwise identical to the serial kernel.  Falls back to serial for
+    /// small vectors.
+    pub fn dot_masked_parallel(
+        &self,
+        other: &ProtectedVector,
+        log: &FaultLog,
+    ) -> Result<f64, AbftError> {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "dot_masked_parallel: length mismatch"
+        );
+        if self.scheme != other.scheme {
+            return self.dot(other, log);
+        }
+        let padded = self.data.len();
+        let n_blocks = padded.div_ceil(ACC_BLOCK);
+        if padded < 2 * ACC_BLOCK || partial_chunks(n_blocks) <= 1 {
+            return self.dot_masked(other, log);
+        }
+        let codec = self.codec();
+        let len = self.len;
+        let mut partials = vec![0.0f64; n_blocks];
+        let mut tallies = vec![0u64; partial_chunks(n_blocks)];
+        let result = rayon::with_chunks_mut(&mut partials, &mut tallies, |block0, part, tally| {
+            for (i, slot) in part.iter_mut().enumerate() {
+                let start = (block0 + i) * ACC_BLOCK;
+                let end = (start + ACC_BLOCK).min(padded);
+                *slot = dot_block(
+                    codec,
+                    &self.data[start..end],
+                    &other.data[start..end],
+                    start,
+                    len,
+                    log,
+                    tally,
+                )?;
+            }
+            Ok(())
+        });
+        flush_checks(log, codec.scheme, tallies.iter().sum());
+        result?;
+        Ok(partials.iter().sum())
+    }
+
+    /// Masked Euclidean norm: one pass, one check per codeword group (the
+    /// two-operand `dot(self, self)` checks and decodes every group twice).
+    pub fn norm2_masked(&self, log: &FaultLog) -> Result<f64, AbftError> {
+        let codec = self.codec();
+        let mut tally = 0u64;
+        let mut total = 0.0;
+        let mut result = Ok(());
+        let mut start = 0;
+        while start < self.data.len() {
+            let end = (start + ACC_BLOCK).min(self.data.len());
+            match norm_block(
+                codec,
+                &self.data[start..end],
+                start,
+                self.len,
+                log,
+                &mut tally,
+            ) {
+                Ok(part) => total += part,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            start = end;
+        }
+        flush_checks(log, codec.scheme, tally);
+        result.map(|()| total.sqrt())
+    }
+
+    /// Chunked-parallel [`ProtectedVector::norm2_masked`], bitwise identical
+    /// to the serial kernel.
+    pub fn norm2_masked_parallel(&self, log: &FaultLog) -> Result<f64, AbftError> {
+        let padded = self.data.len();
+        let n_blocks = padded.div_ceil(ACC_BLOCK);
+        if padded < 2 * ACC_BLOCK || partial_chunks(n_blocks) <= 1 {
+            return self.norm2_masked(log);
+        }
+        let codec = self.codec();
+        let len = self.len;
+        let mut partials = vec![0.0f64; n_blocks];
+        let mut tallies = vec![0u64; partial_chunks(n_blocks)];
+        let result = rayon::with_chunks_mut(&mut partials, &mut tallies, |block0, part, tally| {
+            for (i, slot) in part.iter_mut().enumerate() {
+                let start = (block0 + i) * ACC_BLOCK;
+                let end = (start + ACC_BLOCK).min(padded);
+                *slot = norm_block(codec, &self.data[start..end], start, len, log, tally)?;
+            }
+            Ok(())
+        });
+        flush_checks(log, codec.scheme, tallies.iter().sum());
+        result?;
+        Ok(partials.iter().sum::<f64>().sqrt())
+    }
+
+    /// Masked `self ← self + α·x`: one check per group per operand, then the
+    /// update runs on the raw masked words and each group is re-encoded
+    /// once.  Produces storage bitwise identical to
+    /// [`ProtectedVector::axpy`].
+    pub fn axpy_masked(
+        &mut self,
+        alpha: f64,
+        x: &ProtectedVector,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        self.zip_masked(x, log, "axpy_masked", move |s, xv| s + alpha * xv)
+    }
+
+    /// Chunked-parallel [`ProtectedVector::axpy_masked`] (elementwise, so
+    /// trivially bitwise identical to the serial kernel).
+    pub fn axpy_masked_parallel(
+        &mut self,
+        alpha: f64,
+        x: &ProtectedVector,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        self.zip_masked_parallel(x, log, "axpy_masked_parallel", move |s, xv| s + alpha * xv)
+    }
+
+    /// Masked `self ← x + α·self` (the CG search-direction update).
+    pub fn xpay_masked(
+        &mut self,
+        alpha: f64,
+        x: &ProtectedVector,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        self.zip_masked(x, log, "xpay_masked", move |s, xv| xv + alpha * s)
+    }
+
+    /// Masked `self ← α·self`: one check and one re-encode per group.
+    pub fn scale_masked(&mut self, alpha: f64, log: &FaultLog) -> Result<(), AbftError> {
+        let codec = self.codec();
+        let len = self.len;
+        let mut tally = 0u64;
+        let result = scale_range(codec, &mut self.data, 0, len, log, &mut tally, alpha);
+        flush_checks(log, codec.scheme, tally);
+        result
+    }
+
+    /// Fused masked `self ← β·self + α·x` — Chebyshev's scale-then-AXPY pair
+    /// in a single pass over each group.  The scaled intermediate is
+    /// re-masked exactly as the scale kernel would have stored it, so the
+    /// result is bitwise identical to `scale(β)` followed by `axpy(α, x)`.
+    pub fn scale_axpy_masked(
+        &mut self,
+        beta: f64,
+        alpha: f64,
+        x: &ProtectedVector,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        let mask = self.read_mask;
+        self.zip_masked(x, log, "scale_axpy_masked", move |s, xv| {
+            f64::from_bits((s * beta).to_bits() & mask) + alpha * xv
+        })
+    }
+
+    /// Fused masked `self ← self + α·x` returning the updated `‖self‖²` —
+    /// CG's residual update and convergence reduction in one pass over each
+    /// group (one check per operand, one re-encode, instead of the three
+    /// passes of AXPY + two dot reads).  Bitwise identical to the AXPY
+    /// followed by `dot(self, self)`.
+    pub fn dot_axpy_masked(
+        &mut self,
+        alpha: f64,
+        x: &ProtectedVector,
+        log: &FaultLog,
+    ) -> Result<f64, AbftError> {
+        assert_eq!(self.len(), x.len(), "dot_axpy_masked: length mismatch");
+        assert_eq!(
+            self.scheme, x.scheme,
+            "dot_axpy_masked: schemes must match (got {:?} vs {:?})",
+            self.scheme, x.scheme
+        );
+        let codec = self.codec();
+        let len = self.len;
+        let mut tally = 0u64;
+        let mut total = 0.0;
+        let mut result = Ok(());
+        let mut start = 0;
+        while start < self.data.len() {
+            let end = (start + ACC_BLOCK).min(self.data.len());
+            match dot_axpy_block(
+                codec,
+                alpha,
+                &mut self.data[start..end],
+                &x.data[start..end],
+                start,
+                len,
+                log,
+                &mut tally,
+            ) {
+                Ok(part) => total += part,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            start = end;
+        }
+        flush_checks(log, codec.scheme, tally);
+        result.map(|()| total)
+    }
+
+    /// Chunked-parallel [`ProtectedVector::dot_axpy_masked`]: chunks are
+    /// aligned to [`ACC_BLOCK`] boundaries and the block partials are folded
+    /// in block order, so the result (and the updated storage) is bitwise
+    /// identical to the serial kernel.
+    pub fn dot_axpy_masked_parallel(
+        &mut self,
+        alpha: f64,
+        x: &ProtectedVector,
+        log: &FaultLog,
+    ) -> Result<f64, AbftError> {
+        assert_eq!(
+            self.len(),
+            x.len(),
+            "dot_axpy_masked_parallel: length mismatch"
+        );
+        assert_eq!(
+            self.scheme, x.scheme,
+            "dot_axpy_masked_parallel: schemes must match"
+        );
+        let n_chunks = block_aligned_chunks(self.data.len());
+        if n_chunks <= 1 {
+            return self.dot_axpy_masked(alpha, x, log);
+        }
+        let codec = self.codec();
+        let len = self.len;
+        let mut states: Vec<ChunkAcc> = (0..n_chunks).map(|_| ChunkAcc::default()).collect();
+        let x_data = &x.data;
+        let result = rayon::with_chunks_mut(&mut self.data, &mut states, |offset, chunk, acc| {
+            let mut start = 0;
+            while start < chunk.len() {
+                let end = (start + ACC_BLOCK).min(chunk.len());
+                let part = dot_axpy_block(
+                    codec,
+                    alpha,
+                    &mut chunk[start..end],
+                    &x_data[offset + start..offset + end],
+                    offset + start,
+                    len,
+                    log,
+                    &mut acc.tally,
+                )?;
+                acc.partials.push(part);
+                start = end;
+            }
+            Ok(())
+        });
+        flush_checks(log, codec.scheme, states.iter().map(|s| s.tally).sum());
+        result?;
+        Ok(states.iter().flat_map(|s| s.partials.iter()).sum())
+    }
+
+    /// Shared driver of the serial two-operand masked updates.
+    fn zip_masked(
+        &mut self,
+        x: &ProtectedVector,
+        log: &FaultLog,
+        what: &str,
+        op: impl Fn(f64, f64) -> f64,
+    ) -> Result<(), AbftError> {
+        assert_eq!(self.len(), x.len(), "{what}: length mismatch");
+        assert_eq!(
+            self.scheme, x.scheme,
+            "{what}: schemes must match (got {:?} vs {:?})",
+            self.scheme, x.scheme
+        );
+        let codec = self.codec();
+        let len = self.len;
+        let mut tally = 0u64;
+        let result = zip_range(codec, &mut self.data, &x.data, 0, len, log, &mut tally, &op);
+        flush_checks(log, codec.scheme, tally);
+        result
+    }
+
+    /// Shared driver of the chunked-parallel two-operand masked updates.
+    fn zip_masked_parallel(
+        &mut self,
+        x: &ProtectedVector,
+        log: &FaultLog,
+        what: &str,
+        op: impl Fn(f64, f64) -> f64 + Sync,
+    ) -> Result<(), AbftError> {
+        assert_eq!(self.len(), x.len(), "{what}: length mismatch");
+        assert_eq!(
+            self.scheme, x.scheme,
+            "{what}: schemes must match (got {:?} vs {:?})",
+            self.scheme, x.scheme
+        );
+        let n_chunks = block_aligned_chunks(self.data.len());
+        if n_chunks <= 1 {
+            return self.zip_masked(x, log, what, op);
+        }
+        let codec = self.codec();
+        let len = self.len;
+        let mut tallies = vec![0u64; n_chunks];
+        let x_data = &x.data;
+        let op = &op;
+        let result =
+            rayon::with_chunks_mut(&mut self.data, &mut tallies, |offset, chunk, tally| {
+                zip_range(
+                    codec,
+                    chunk,
+                    &x_data[offset..offset + chunk.len()],
+                    offset,
+                    len,
+                    log,
+                    tally,
+                    op,
+                )
+            });
+        flush_checks(log, codec.scheme, tallies.iter().sum());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_ecc::Crc32cBackend;
+
+    #[test]
+    fn block_aligned_chunk_boundaries_land_on_blocks() {
+        assert_eq!(block_aligned_chunks(100), 1);
+        assert_eq!(block_aligned_chunks(ACC_BLOCK), 1);
+        for n in [4 * ACC_BLOCK, 16 * ACC_BLOCK, 256 * ACC_BLOCK] {
+            let k = block_aligned_chunks(n);
+            assert!(k >= 1);
+            if k > 1 {
+                assert_eq!(n.div_ceil(k) % ACC_BLOCK, 0, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_kernels_handle_the_empty_vector() {
+        let log = FaultLog::new();
+        let a = ProtectedVector::zeros(0, EccScheme::Crc32c, Crc32cBackend::SlicingBy16);
+        let mut b = a.clone();
+        assert_eq!(a.dot_masked(&a, &log).unwrap(), 0.0);
+        assert_eq!(a.norm2_masked(&log).unwrap(), 0.0);
+        b.axpy_masked(2.0, &a, &log).unwrap();
+        b.scale_masked(3.0, &log).unwrap();
+        assert_eq!(b.dot_axpy_masked(1.0, &a, &log).unwrap(), 0.0);
+        assert_eq!(log.snapshot().checks[2], 0);
+    }
+}

@@ -19,7 +19,17 @@
 //! All bulk kernels (dot, AXPY, fills) work one codeword ("group") at a time:
 //! a group is decoded and integrity-checked once, operated on, and re-encoded
 //! once — the read-buffering / write-buffering scheme of §VI-C that removes
-//! the per-element read-modify-write penalty.
+//! the per-element read-modify-write penalty.  The methods here are the
+//! group-decode reference path; the masked raw-slice fast paths (check each
+//! group once, then compute straight over the raw words with the AND-mask in
+//! a register) live in [`crate::blas1`] and share this module's
+//! [`GroupCodec`], so the two paths cannot drift.
+//!
+//! Check accounting is uniform across every method: integrity checks are
+//! tallied locally while a kernel runs and folded into the [`FaultLog`] in
+//! one bulk update when it finishes — on the error path too, so an aborting
+//! fault reports exactly the checks that were performed, never the checks a
+//! completed pass would have performed.
 
 use crate::error::AbftError;
 use crate::report::{FaultLog, Region};
@@ -29,7 +39,15 @@ use abft_ecc::sed::parity_u64;
 use abft_ecc::{Crc32c, Crc32cBackend, SECDED_118, SECDED_56};
 
 /// Maximum number of elements in one codeword group.
-const MAX_GROUP: usize = 4;
+pub(crate) const MAX_GROUP: usize = 4;
+
+/// Elements per partial-sum block of the dot-product family.  All reduction
+/// kernels (the group-decode [`ProtectedVector::dot`] here and the masked
+/// and parallel variants in [`crate::blas1`]) accumulate per fixed-size
+/// block and then fold the block partials in order, so serial, masked and
+/// chunked-parallel reductions are **bitwise identical** for a given input.
+/// A multiple of every group size.
+pub(crate) const ACC_BLOCK: usize = 4096;
 
 /// A dense `f64` vector whose elements carry embedded ECC in their
 /// least-significant mantissa bits.
@@ -41,15 +59,19 @@ const MAX_GROUP: usize = 4;
 /// constant handful of bytes, not a per-element overhead.
 #[derive(Debug, Clone)]
 pub struct ProtectedVector {
-    scheme: EccScheme,
+    pub(crate) scheme: EccScheme,
     /// Raw bit patterns, redundancy embedded in the reserved low bits.
     /// Length is `len` rounded up to a multiple of the group size.
-    data: Vec<u64>,
+    pub(crate) data: Vec<u64>,
     /// Logical number of elements.
-    len: usize,
+    pub(crate) len: usize,
     /// AND-mask applied on every read (clears the reserved bits).
-    read_mask: u64,
-    crc: Crc32c,
+    pub(crate) read_mask: u64,
+    pub(crate) crc: Crc32c,
+    /// Execution hint for the trait-level BLAS-1 dispatch: backends set it
+    /// so dot/AXPY/norm² route through the chunked parallel kernels.  Not
+    /// part of the encoded state — the raw storage is unaffected.
+    parallel: bool,
 }
 
 impl ProtectedVector {
@@ -69,6 +91,7 @@ impl ProtectedVector {
             len: values.len(),
             read_mask: read_mask(scheme),
             crc: Crc32c::new(backend),
+            parallel: false,
         };
         let mut base = 0;
         while base < values.len() {
@@ -99,6 +122,26 @@ impl ProtectedVector {
     /// Number of elements per codeword group.
     pub fn group_size(&self) -> usize {
         self.scheme.vector_group()
+    }
+
+    /// Number of codeword groups that hold user-visible elements.  The
+    /// storage is padded to whole groups, so this also equals the storage
+    /// group count; check accounting is specified in terms of logical groups
+    /// so a change to the padding policy can never drift the reported
+    /// counts.
+    pub fn logical_groups(&self) -> u64 {
+        self.len.div_ceil(self.group_size()) as u64
+    }
+
+    /// Sets the execution hint the backend trait layer reads to route the
+    /// BLAS-1 kernels through their chunked parallel variants.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Whether the parallel BLAS-1 kernels were requested for this vector.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
     }
 
     /// Raw (encoded) storage — exposed for fault injection and tests.
@@ -145,6 +188,9 @@ impl ProtectedVector {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let group = self.group_size();
         let base = (i / group) * group;
+        if self.scheme != EccScheme::None {
+            log.record_checks(Region::DenseVector, 1);
+        }
         let (mut buf, _) = self.decode_group(base, log)?;
         buf[i - base] = value;
         self.encode_group(base, &buf);
@@ -157,12 +203,18 @@ impl ProtectedVector {
         if self.scheme == EccScheme::None {
             return Ok(());
         }
-        let group = self.group_size();
-        log.record_checks(Region::DenseVector, (self.data.len() / group) as u64);
+        let mut tally = 0u64;
+        let result = self.check_all_inner(log, &mut tally);
+        log.record_checks(Region::DenseVector, tally);
+        result
+    }
+
+    fn check_all_inner(&self, log: &FaultLog, tally: &mut u64) -> Result<(), AbftError> {
         if self.scheme == EccScheme::Sed {
             // Tight per-element parity loop (SED is the scheme the paper
             // recommends when overhead matters most, so keep it lean).
             for (i, &w) in self.data.iter().enumerate() {
+                *tally += 1;
                 if parity_u64(w) != 0 {
                     log.record_uncorrectable(Region::DenseVector);
                     return Err(AbftError::Uncorrectable {
@@ -173,8 +225,10 @@ impl ProtectedVector {
             }
             return Ok(());
         }
+        let group = self.group_size();
         let mut base = 0;
         while base < self.data.len() {
+            *tally += 1;
             self.decode_group(base, log)?;
             base += group;
         }
@@ -192,11 +246,18 @@ impl ProtectedVector {
             self.check_all(log)?;
             return Ok(0);
         }
+        let mut tally = 0u64;
+        let result = self.scrub_inner(log, &mut tally);
+        log.record_checks(Region::DenseVector, tally);
+        result
+    }
+
+    fn scrub_inner(&mut self, log: &FaultLog, tally: &mut u64) -> Result<usize, AbftError> {
         let group = self.group_size();
-        log.record_checks(Region::DenseVector, (self.data.len() / group) as u64);
         let mut repaired = 0;
         let mut base = 0;
         while base < self.data.len() {
+            *tally += 1;
             let before = log.total_corrected();
             let (buf, _) = self.decode_group(base, log)?;
             if log.total_corrected() > before {
@@ -255,19 +316,31 @@ impl ProtectedVector {
     /// Read-modify-write of every element through `f(index, value)`, one
     /// decode + one encode per codeword group (§VI-C buffering).  This is the
     /// primitive behind the pointwise solver updates (Jacobi's
-    /// `x += D⁻¹ (b − A x)` and scalar scaling) on protected storage.
+    /// `x += D⁻¹ (b − A x)`) on protected storage.
     pub fn update_from_fn(
         &mut self,
         log: &FaultLog,
+        f: impl FnMut(usize, f64) -> f64,
+    ) -> Result<(), AbftError> {
+        let mut tally = 0u64;
+        let result = self.update_from_fn_inner(log, &mut tally, f);
+        if self.scheme != EccScheme::None {
+            log.record_checks(Region::DenseVector, tally);
+        }
+        result
+    }
+
+    fn update_from_fn_inner(
+        &mut self,
+        log: &FaultLog,
+        tally: &mut u64,
         mut f: impl FnMut(usize, f64) -> f64,
     ) -> Result<(), AbftError> {
         let group = self.group_size();
-        if self.scheme != EccScheme::None {
-            log.record_checks(Region::DenseVector, (self.data.len() / group) as u64);
-        }
         let len = self.len;
         let mut base = 0;
         while base < self.data.len() {
+            *tally += 1;
             let (mut buf, _) = self.decode_group(base, log)?;
             let count = group.min(len.saturating_sub(base));
             for (j, value) in buf[..count].iter_mut().enumerate() {
@@ -280,6 +353,8 @@ impl ProtectedVector {
     }
 
     /// Multiplies every element by `alpha` (checked read-modify-write).
+    /// This is the group-decode reference path; the solver backends use
+    /// [`ProtectedVector::scale_masked`](crate::blas1).
     pub fn scale(&mut self, alpha: f64, log: &FaultLog) -> Result<(), AbftError> {
         self.update_from_fn(log, |_, value| value * alpha)
     }
@@ -292,12 +367,24 @@ impl ProtectedVector {
     /// Panics if `out.len() != self.len()`.
     pub fn read_checked(&self, out: &mut [f64], log: &FaultLog) -> Result<(), AbftError> {
         assert_eq!(out.len(), self.len, "read_checked: length mismatch");
-        let group = self.group_size();
+        let mut tally = 0u64;
+        let result = self.read_checked_inner(out, log, &mut tally);
         if self.scheme != EccScheme::None {
-            log.record_checks(Region::DenseVector, (self.data.len() / group) as u64);
+            log.record_checks(Region::DenseVector, tally);
         }
+        result
+    }
+
+    fn read_checked_inner(
+        &self,
+        out: &mut [f64],
+        log: &FaultLog,
+        tally: &mut u64,
+    ) -> Result<(), AbftError> {
+        let group = self.group_size();
         let mut base = 0;
         while base < self.data.len() {
+            *tally += 1;
             let (buf, logical) = self.decode_group(base, log)?;
             out[base..base + logical].copy_from_slice(&buf[..logical]);
             base += group;
@@ -310,23 +397,43 @@ impl ProtectedVector {
     pub fn copy_from(&mut self, other: &ProtectedVector, log: &FaultLog) -> Result<(), AbftError> {
         assert_eq!(self.len(), other.len(), "copy_from: length mismatch");
         if self.scheme == other.scheme {
-            let group = self.group_size();
-            let mut base = 0;
-            while base < self.data.len() {
-                let (buf, _) = other.decode_group(base, log)?;
-                self.encode_group(base, &buf);
-                base += group;
+            let mut tally = 0u64;
+            let result = self.copy_from_inner(other, log, &mut tally);
+            if self.scheme != EccScheme::None {
+                log.record_checks(Region::DenseVector, tally);
             }
-            Ok(())
+            result
         } else {
+            // `check_all` performs (and accounts for) the read-side checks.
             other.check_all(log)?;
             self.fill_from_fn(|i| other.get(i));
             Ok(())
         }
     }
 
+    fn copy_from_inner(
+        &mut self,
+        other: &ProtectedVector,
+        log: &FaultLog,
+        tally: &mut u64,
+    ) -> Result<(), AbftError> {
+        let group = self.group_size();
+        let mut base = 0;
+        while base < self.data.len() {
+            *tally += 1;
+            let (buf, _) = other.decode_group(base, log)?;
+            self.encode_group(base, &buf);
+            base += group;
+        }
+        Ok(())
+    }
+
     /// Dot product with read-side integrity checks, one per group (§VI-C
-    /// buffering).  Both vectors must use the same scheme.
+    /// buffering).  Both vectors must use the same scheme (mismatched
+    /// schemes fall back to a checked element-wise path).
+    ///
+    /// Accumulation is blocked per [`ACC_BLOCK`] elements, matching the
+    /// masked and parallel kernels in [`crate::blas1`] bit for bit.
     pub fn dot(&self, other: &ProtectedVector, log: &FaultLog) -> Result<f64, AbftError> {
         assert_eq!(self.len(), other.len(), "dot: length mismatch");
         if self.scheme != other.scheme {
@@ -334,41 +441,67 @@ impl ProtectedVector {
             other.check_all(log)?;
             return Ok((0..self.len()).map(|i| self.get(i) * other.get(i)).sum());
         }
-        let group = self.group_size();
+        let mut tally = 0u64;
+        let result = self.dot_inner(other, log, &mut tally);
         if self.scheme != EccScheme::None {
-            log.record_checks(Region::DenseVector, 2 * (self.data.len() / group) as u64);
+            log.record_checks(Region::DenseVector, tally);
         }
-        if matches!(self.scheme, EccScheme::None | EccScheme::Sed) {
-            // Per-element codewords: fused check + multiply without the
-            // group-buffer machinery.
-            let mask = self.read_mask;
-            let mut acc = 0.0;
-            for (i, (&a, &b)) in self.data.iter().zip(&other.data).enumerate() {
-                if self.scheme == EccScheme::Sed && (parity_u64(a) != 0 || parity_u64(b) != 0) {
-                    log.record_uncorrectable(Region::DenseVector);
-                    return Err(AbftError::Uncorrectable {
-                        region: Region::DenseVector,
-                        index: i,
-                    });
-                }
-                acc += f64::from_bits(a & mask) * f64::from_bits(b & mask);
-            }
-            return Ok(acc);
-        }
-        let mut acc = 0.0;
-        let mut base = 0;
-        while base < self.data.len() {
-            let (a, count) = self.decode_group(base, log)?;
-            let (b, _) = other.decode_group(base, log)?;
-            for j in 0..count {
-                acc += a[j] * b[j];
-            }
-            base += group;
-        }
-        Ok(acc)
+        result
     }
 
-    /// Euclidean norm (checked).
+    fn dot_inner(
+        &self,
+        other: &ProtectedVector,
+        log: &FaultLog,
+        tally: &mut u64,
+    ) -> Result<f64, AbftError> {
+        let group = self.group_size();
+        let per_element = matches!(self.scheme, EccScheme::None | EccScheme::Sed);
+        let mask = self.read_mask;
+        let sed = self.scheme == EccScheme::Sed;
+        let mut total = 0.0;
+        let mut block = 0;
+        while block < self.data.len() {
+            let block_end = (block + ACC_BLOCK).min(self.data.len());
+            let mut acc = 0.0;
+            if per_element {
+                // Per-element codewords: fused check + multiply without the
+                // group-buffer machinery.
+                for i in block..block_end {
+                    let (a, b) = (self.data[i], other.data[i]);
+                    if sed {
+                        *tally += 2;
+                        if parity_u64(a) != 0 || parity_u64(b) != 0 {
+                            log.record_uncorrectable(Region::DenseVector);
+                            return Err(AbftError::Uncorrectable {
+                                region: Region::DenseVector,
+                                index: i,
+                            });
+                        }
+                    }
+                    acc += f64::from_bits(a & mask) * f64::from_bits(b & mask);
+                }
+            } else {
+                let mut base = block;
+                while base < block_end {
+                    *tally += 2;
+                    let (a, count) = self.decode_group(base, log)?;
+                    let (b, _) = other.decode_group(base, log)?;
+                    for j in 0..count {
+                        acc += a[j] * b[j];
+                    }
+                    base += group;
+                }
+            }
+            total += acc;
+            block = block_end;
+        }
+        Ok(total)
+    }
+
+    /// Euclidean norm (checked).  Decodes every group twice (once per `dot`
+    /// operand); the single-pass variant is
+    /// [`ProtectedVector::norm2_masked`](crate::blas1).
     pub fn norm2(&self, log: &FaultLog) -> Result<f64, AbftError> {
         Ok(self.dot(self, log)?.sqrt())
     }
@@ -406,21 +539,36 @@ impl ProtectedVector {
             "vector update: schemes must match (got {:?} vs {:?})",
             self.scheme, x.scheme
         );
-        let group = self.group_size();
+        let mut tally = 0u64;
+        let result = self.zip_update_inner(x, log, &mut tally, op);
         if self.scheme != EccScheme::None {
-            log.record_checks(Region::DenseVector, 2 * (self.data.len() / group) as u64);
+            log.record_checks(Region::DenseVector, tally);
         }
+        result
+    }
+
+    fn zip_update_inner(
+        &mut self,
+        x: &ProtectedVector,
+        log: &FaultLog,
+        tally: &mut u64,
+        op: impl Fn(f64, f64) -> f64,
+    ) -> Result<(), AbftError> {
+        let group = self.group_size();
         if matches!(self.scheme, EccScheme::None | EccScheme::Sed) {
             // Per-element codewords: fused check + update + re-encode.
             let mask = self.read_mask;
             let sed = self.scheme == EccScheme::Sed;
             for (i, (s, &xw)) in self.data.iter_mut().zip(&x.data).enumerate() {
-                if sed && (parity_u64(*s) != 0 || parity_u64(xw) != 0) {
-                    log.record_uncorrectable(Region::DenseVector);
-                    return Err(AbftError::Uncorrectable {
-                        region: Region::DenseVector,
-                        index: i,
-                    });
+                if sed {
+                    *tally += 2;
+                    if parity_u64(*s) != 0 || parity_u64(xw) != 0 {
+                        log.record_uncorrectable(Region::DenseVector);
+                        return Err(AbftError::Uncorrectable {
+                            region: Region::DenseVector,
+                            index: i,
+                        });
+                    }
                 }
                 let updated = op(f64::from_bits(*s & mask), f64::from_bits(xw & mask));
                 let payload = updated.to_bits() & mask;
@@ -434,6 +582,7 @@ impl ProtectedVector {
         }
         let mut base = 0;
         while base < self.data.len() {
+            *tally += 2;
             let (mut s, count) = self.decode_group(base, log)?;
             let (xv, _) = x.decode_group(base, log)?;
             for j in 0..count {
@@ -445,41 +594,162 @@ impl ProtectedVector {
         Ok(())
     }
 
-    /// Decodes and verifies the group starting at `base`, returning the
-    /// masked (and, if a single flip was found, transiently corrected)
-    /// values plus the number of *logical* elements in the group.  Errors are
-    /// recorded in `log`.
+    /// The codec for this vector's scheme — the shared check / decode /
+    /// encode implementation the masked kernels also run on.
     #[inline]
-    fn decode_group(
+    pub(crate) fn codec(&self) -> GroupCodec {
+        GroupCodec {
+            scheme: self.scheme,
+            mask: self.read_mask,
+            crc: self.crc,
+        }
+    }
+
+    /// Decodes and verifies the group starting at `base`, returning the
+    /// masked (and, if a recoverable fault was found, transiently corrected)
+    /// values plus the number of *logical* elements in the group.  Errors
+    /// are recorded in `log`.
+    #[inline]
+    pub(crate) fn decode_group(
         &self,
         base: usize,
         log: &FaultLog,
     ) -> Result<([f64; MAX_GROUP], usize), AbftError> {
         let group = self.group_size();
-        // The storage is padded to whole groups; `count` is how many of the
-        // group's elements are real.
-        let count = group.min(self.data.len() - base);
         let logical = group.min(self.len.saturating_sub(base));
-        let mut words = [0u64; MAX_GROUP];
-        words[..count].copy_from_slice(&self.data[base..base + count]);
-        let mut out = [0.0f64; MAX_GROUP];
+        let out = self
+            .codec()
+            .decode(&self.data[base..base + group], logical, base, log)?;
+        Ok((out, logical))
+    }
 
+    /// Re-encodes the group starting at `base` from plain values (the
+    /// reserved LSBs of the inputs are discarded).  The whole group is
+    /// rewritten; entries in `values` beyond the logical length must be zero
+    /// (the callers' buffers are zero-initialised).
+    #[inline]
+    pub(crate) fn encode_group(&mut self, base: usize, values: &[f64; MAX_GROUP]) {
+        let group = self.group_size();
+        let codec = self.codec();
+        codec.encode(values, &mut self.data[base..base + group]);
+    }
+}
+
+/// Per-scheme codec for one codeword group of raw storage words.
+///
+/// The [`ProtectedVector`] read-modify-write methods and the masked-slice
+/// BLAS-1 kernels in [`crate::blas1`] (which run over chunked raw slices
+/// where no `&ProtectedVector` is available) share this one implementation
+/// of check / correct / re-encode, so the two paths cannot drift.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GroupCodec {
+    pub(crate) scheme: EccScheme,
+    pub(crate) mask: u64,
+    pub(crate) crc: Crc32c,
+}
+
+impl GroupCodec {
+    /// Elements per codeword group.
+    #[inline]
+    pub(crate) fn group(&self) -> usize {
+        self.scheme.vector_group()
+    }
+
+    /// Check-only verification of one group (`words.len()` must equal the
+    /// group size): `true` when every codeword bit is consistent.  The
+    /// masked kernels run their raw-slice fast path over groups this
+    /// accepts; anything else takes the correcting [`GroupCodec::decode`].
+    #[inline]
+    pub(crate) fn is_clean(&self, words: &[u64]) -> bool {
+        match self.scheme {
+            EccScheme::None => true,
+            EccScheme::Sed => parity_u64(words[0]) == 0,
+            EccScheme::Secded64 => {
+                let w = words[0];
+                w & 0x80 == 0 && SECDED_56.verify(&[w >> 8], (w & 0x7F) as u16)
+            }
+            EccScheme::Secded128 => {
+                let (w0, w1) = (words[0], words[1]);
+                let payload = [(w0 >> 5) | (w1 >> 5) << 59, (w1 >> 5) >> 5];
+                let stored = ((w0 & 0x1F) | ((w1 & 0x07) << 5)) as u16;
+                w1 & 0x18 == 0 && SECDED_118.verify(&payload, stored)
+            }
+            EccScheme::Crc32c => {
+                let stored = words
+                    .iter()
+                    .enumerate()
+                    .fold(0u32, |acc, (j, w)| acc | (((*w & 0xFF) as u32) << (8 * j)));
+                stored == self.crc.checksum_words_masked(words, self.mask)
+            }
+        }
+    }
+
+    /// Decodes and verifies one group, returning the masked (and, where a
+    /// recoverable fault was found, transiently corrected) values.
+    /// `logical` is the number of user-visible elements in the group (less
+    /// than the group size only in the trailing partial group); `base` is
+    /// the global index of the group's first element, used for error
+    /// attribution.  Corrected and uncorrectable events are recorded in
+    /// `log`; check counts are the caller's responsibility (kernels tally
+    /// them locally and flush in bulk).
+    pub(crate) fn decode(
+        &self,
+        stored: &[u64],
+        logical: usize,
+        base: usize,
+        log: &FaultLog,
+    ) -> Result<[f64; MAX_GROUP], AbftError> {
+        let group = stored.len();
+        let mut words = [0u64; MAX_GROUP];
+        words[..group].copy_from_slice(stored);
+        if let Err(offset) = self.correct_in_place(&mut words, group, log) {
+            match self.padding_reset(stored, logical) {
+                Some(fixed) => {
+                    // The corruption is confined to padding words, which are
+                    // architecturally zero: recoverable, and never blamed on
+                    // a user-visible element.
+                    log.record_corrected(Region::DenseVector);
+                    words = fixed;
+                }
+                None => {
+                    log.record_uncorrectable(Region::DenseVector);
+                    return Err(AbftError::Uncorrectable {
+                        region: Region::DenseVector,
+                        index: base + offset,
+                    });
+                }
+            }
+        }
+        let mut out = [0.0f64; MAX_GROUP];
+        for j in 0..group {
+            out[j] = f64::from_bits(words[j] & self.mask);
+        }
+        Ok(out)
+    }
+
+    /// Per-scheme check-and-correct over one group's words.  Correctable
+    /// flips are repaired in `words` (and recorded); an unrecoverable
+    /// codeword returns the in-group element offset to report, leaving the
+    /// uncorrectable classification to [`GroupCodec::decode`] (which first
+    /// attempts the padding reset).
+    fn correct_in_place(
+        &self,
+        words: &mut [u64; MAX_GROUP],
+        group: usize,
+        log: &FaultLog,
+    ) -> Result<(), usize> {
         match self.scheme {
             EccScheme::None => {}
             EccScheme::Sed => {
                 // Per-element parity over the full 64-bit word.
-                for (j, w) in words[..count].iter().enumerate() {
+                for (j, w) in words[..group].iter().enumerate() {
                     if parity_u64(*w) != 0 {
-                        log.record_uncorrectable(Region::DenseVector);
-                        return Err(AbftError::Uncorrectable {
-                            region: Region::DenseVector,
-                            index: base + j,
-                        });
+                        return Err(j);
                     }
                 }
             }
             EccScheme::Secded64 => {
-                for (j, w) in words[..count].iter_mut().enumerate() {
+                for (j, w) in words[..group].iter_mut().enumerate() {
                     let stored = (*w & 0xFF) as u16;
                     // Only 7 of the 8 reserved bits carry the code; the 8th is
                     // defined to be zero, so a flip there is trivially
@@ -498,20 +768,14 @@ impl ProtectedVector {
                         DecodeOutcome::CorrectedRedundancy => {
                             log.record_corrected(Region::DenseVector);
                         }
-                        DecodeOutcome::Uncorrectable => {
-                            log.record_uncorrectable(Region::DenseVector);
-                            return Err(AbftError::Uncorrectable {
-                                region: Region::DenseVector,
-                                index: base + j,
-                            });
-                        }
+                        DecodeOutcome::Uncorrectable => return Err(j),
                     }
                 }
             }
             EccScheme::Secded128 => {
                 // Pair codeword: 2 × 59 payload bits, 8 redundancy bits split
                 // 5 + 3 across the two elements' reserved LSBs.
-                let w1 = if count > 1 { words[1] } else { 0 };
+                let w1 = if group > 1 { words[1] } else { 0 };
                 // Bits 3–4 of the second element's reserved field are unused
                 // and defined to be zero.
                 if w1 & 0x18 != 0 {
@@ -524,7 +788,7 @@ impl ProtectedVector {
                     DecodeOutcome::CorrectedData(_) => {
                         log.record_corrected(Region::DenseVector);
                         words[0] = (payload[0] << 5) | (words[0] & 0x1F);
-                        if count > 1 {
+                        if group > 1 {
                             let p1 = (payload[0] >> 59) | (payload[1] << 5);
                             words[1] = (p1 << 5) | (w1 & 0x1F);
                         }
@@ -532,54 +796,54 @@ impl ProtectedVector {
                     DecodeOutcome::CorrectedRedundancy => {
                         log.record_corrected(Region::DenseVector);
                     }
-                    DecodeOutcome::Uncorrectable => {
-                        log.record_uncorrectable(Region::DenseVector);
-                        return Err(AbftError::Uncorrectable {
-                            region: Region::DenseVector,
-                            index: base,
-                        });
-                    }
+                    DecodeOutcome::Uncorrectable => return Err(0),
                 }
             }
             EccScheme::Crc32c => {
                 // Four-element codeword: CRC32C over the masked bit patterns,
                 // one checksum byte in each element's reserved LSBs.
-                let stored = words[..count]
+                let stored = words[..group]
                     .iter()
                     .enumerate()
                     .fold(0u32, |acc, (j, w)| acc | (((*w & 0xFF) as u32) << (8 * j)));
-                let computed = self.crc_group_checksum(&words, count);
+                let computed = self.crc.checksum_words_masked(&words[..group], self.mask);
                 if stored != computed {
                     if (stored ^ computed).count_ones() == 1 {
                         // Flip in the stored checksum byte: data intact.
                         log.record_corrected(Region::DenseVector);
-                    } else if let Some(fixed) = self.crc_try_correct(&words, count, stored) {
+                    } else if let Some(fixed) = self.crc_try_correct(words, group, stored) {
                         log.record_corrected(Region::DenseVector);
-                        words = fixed;
+                        *words = fixed;
                     } else {
-                        log.record_uncorrectable(Region::DenseVector);
-                        return Err(AbftError::Uncorrectable {
-                            region: Region::DenseVector,
-                            index: base,
-                        });
+                        return Err(0);
                     }
                 }
             }
         }
-
-        for j in 0..count {
-            out[j] = f64::from_bits(words[j] & self.read_mask);
-        }
-        Ok((out, logical))
+        Ok(())
     }
 
-    /// CRC32C of a group's masked bit patterns.
-    fn crc_group_checksum(&self, words: &[u64; MAX_GROUP], count: usize) -> u32 {
-        let mut bytes = [0u8; MAX_GROUP * 8];
-        for j in 0..count {
-            bytes[j * 8..j * 8 + 8].copy_from_slice(&(words[j] & self.read_mask).to_le_bytes());
+    /// Last-resort recovery for a trailing partial group: the padding
+    /// elements beyond the logical length are architecturally zero, so when
+    /// re-encoding the logical values (with zeroed padding) reproduces the
+    /// stored logical words bit for bit, the corruption is confined to the
+    /// padding words and the canonical re-encoding restores the group.
+    fn padding_reset(&self, stored: &[u64], logical: usize) -> Option<[u64; MAX_GROUP]> {
+        let group = stored.len();
+        if logical == 0 || logical >= group {
+            return None;
         }
-        self.crc.checksum(&bytes[..count * 8])
+        let mut values = [0.0f64; MAX_GROUP];
+        for (v, w) in values[..logical].iter_mut().zip(stored) {
+            *v = f64::from_bits(w & self.mask);
+        }
+        let mut canonical = [0u64; MAX_GROUP];
+        self.encode(&values, &mut canonical[..group]);
+        if canonical[..logical] == stored[..logical] {
+            Some(canonical)
+        } else {
+            None
+        }
     }
 
     /// Attempts single-bit trial correction of a CRC-protected group.
@@ -591,7 +855,7 @@ impl ProtectedVector {
     ) -> Option<[u64; MAX_GROUP]> {
         let mut bytes = [0u8; MAX_GROUP * 8];
         for j in 0..count {
-            bytes[j * 8..j * 8 + 8].copy_from_slice(&(words[j] & self.read_mask).to_le_bytes());
+            bytes[j * 8..j * 8 + 8].copy_from_slice(&(words[j] & self.mask).to_le_bytes());
         }
         let bit = abft_ecc::correction::correct_crc32c_single(
             &self.crc,
@@ -605,36 +869,35 @@ impl ProtectedVector {
         let mut fixed = *words;
         for j in 0..count {
             let restored = u64::from_le_bytes(bytes[j * 8..j * 8 + 8].try_into().unwrap());
-            fixed[j] = restored | (words[j] & !self.read_mask);
+            fixed[j] = restored | (words[j] & !self.mask);
         }
         Some(fixed)
     }
 
-    /// Re-encodes the group starting at `base` from plain values (the
-    /// reserved LSBs of the inputs are discarded).  The whole group is
-    /// rewritten; entries in `values` beyond the logical length must be zero
-    /// (the callers' buffers are zero-initialised).
+    /// Canonical encode of one group from plain values (the reserved LSBs of
+    /// the inputs are discarded).  `out.len()` must equal the group size;
+    /// entries in `values` beyond the logical length must be zero.
     #[inline]
-    fn encode_group(&mut self, base: usize, values: &[f64; MAX_GROUP]) {
-        let mask = self.read_mask;
-        let count = self.group_size().min(self.data.len() - base);
+    pub(crate) fn encode(&self, values: &[f64; MAX_GROUP], out: &mut [u64]) {
+        let mask = self.mask;
+        let count = out.len();
         match self.scheme {
             EccScheme::None => {
-                for (j, v) in values[..count].iter().enumerate() {
-                    self.data[base + j] = v.to_bits();
+                for (o, v) in out.iter_mut().zip(values) {
+                    *o = v.to_bits();
                 }
             }
             EccScheme::Sed => {
-                for (j, v) in values[..count].iter().enumerate() {
+                for (o, v) in out.iter_mut().zip(values) {
                     let payload = v.to_bits() & mask;
-                    self.data[base + j] = payload | parity_u64(payload) as u64;
+                    *o = payload | parity_u64(payload) as u64;
                 }
             }
             EccScheme::Secded64 => {
-                for (j, v) in values[..count].iter().enumerate() {
+                for (o, v) in out.iter_mut().zip(values) {
                     let payload = [v.to_bits() >> 8];
                     let red = SECDED_56.encode(&payload) as u64;
-                    self.data[base + j] = (payload[0] << 8) | red;
+                    *o = (payload[0] << 8) | red;
                 }
             }
             EccScheme::Secded128 => {
@@ -646,9 +909,9 @@ impl ProtectedVector {
                 };
                 let payload = [b0 | (b1 << 59), b1 >> 5];
                 let red = SECDED_118.encode(&payload) as u64;
-                self.data[base] = (b0 << 5) | (red & 0x1F);
+                out[0] = (b0 << 5) | (red & 0x1F);
                 if count > 1 {
-                    self.data[base + 1] = (b1 << 5) | ((red >> 5) & 0x07);
+                    out[1] = (b1 << 5) | ((red >> 5) & 0x07);
                 }
             }
             EccScheme::Crc32c => {
@@ -656,9 +919,9 @@ impl ProtectedVector {
                 for (w, v) in words[..count].iter_mut().zip(values) {
                     *w = v.to_bits() & mask;
                 }
-                let checksum = self.crc_group_checksum(&words, count);
-                for (j, &w) in words[..count].iter().enumerate() {
-                    self.data[base + j] = w | (((checksum >> (8 * j)) & 0xFF) as u64);
+                let checksum = self.crc.checksum_words_masked(&words[..count], mask);
+                for (o, (j, &w)) in out.iter_mut().zip(words[..count].iter().enumerate()) {
+                    *o = w | (((checksum >> (8 * j)) & 0xFF) as u64);
                 }
             }
         }
@@ -919,6 +1182,37 @@ mod tests {
                 assert!(log.total_corrected() > 0, "{scheme:?} n={n}");
                 log.reset();
             }
+        }
+    }
+
+    #[test]
+    fn parallel_hint_roundtrips_and_survives_clone() {
+        let mut v = ProtectedVector::zeros(4, EccScheme::Sed, Crc32cBackend::SlicingBy16);
+        assert!(!v.is_parallel());
+        v.set_parallel(true);
+        assert!(v.is_parallel());
+        assert!(v.clone().is_parallel());
+    }
+
+    #[test]
+    fn logical_group_counts() {
+        for (scheme, n, expect) in [
+            (EccScheme::Sed, 7usize, 7u64),
+            (EccScheme::Secded64, 7, 7),
+            (EccScheme::Secded128, 7, 4),
+            (EccScheme::Crc32c, 7, 2),
+            (EccScheme::Crc32c, 8, 2),
+            (EccScheme::Crc32c, 0, 0),
+        ] {
+            let v = ProtectedVector::zeros(n, scheme, Crc32cBackend::SlicingBy16);
+            assert_eq!(v.logical_groups(), expect, "{scheme:?} n={n}");
+            // The padded storage is always a whole number of groups, and
+            // every one of them holds at least one logical element.
+            assert_eq!(
+                v.raw().len() as u64,
+                expect * v.group_size() as u64,
+                "{scheme:?} n={n}"
+            );
         }
     }
 

@@ -140,6 +140,25 @@ impl Crc32c {
         !state
     }
 
+    /// CRC32C of `words` with `mask` ANDed onto every word before hashing —
+    /// the dense-vector group checksum, where the reserved redundancy bits
+    /// must be cleared.  The masked words are staged through one stack buffer
+    /// so the slicing backends see contiguous runs of bytes instead of
+    /// 8-byte fragments; this is the bulk check entry point the masked-slice
+    /// vector kernels verify each codeword group with.
+    #[inline]
+    pub fn checksum_words_masked(&self, words: &[u64], mask: u64) -> u32 {
+        let mut state = !0u32;
+        let mut buf = [0u8; 64];
+        for chunk in words.chunks(8) {
+            for (i, &w) in chunk.iter().enumerate() {
+                buf[i * 8..i * 8 + 8].copy_from_slice(&(w & mask).to_le_bytes());
+            }
+            state = self.update(state, &buf[..chunk.len() * 8]);
+        }
+        !state
+    }
+
     /// Streaming update of the raw CRC state (no init / final XOR applied).
     #[inline]
     pub fn update(&self, state: u32, data: &[u8]) -> u32 {
@@ -329,6 +348,31 @@ mod tests {
         for backend in [Crc32cBackend::Naive, Crc32cBackend::SlicingBy16] {
             let crc = Crc32c::new(backend);
             assert_eq!(crc.checksum_words(&words), crc.checksum(&bytes));
+            assert_eq!(crc.checksum_words_masked(&words, !0), crc.checksum(&bytes));
+        }
+    }
+
+    #[test]
+    fn masked_word_checksum_clears_reserved_bits() {
+        let mask = !0xFFu64;
+        // 12 words also exercises the multi-chunk staging path.
+        let words: Vec<u64> = (0..12u64)
+            .map(|i| i.wrapping_mul(0x0101_0101_0101_0137) | 0xAB)
+            .collect();
+        let mut masked_bytes = Vec::new();
+        for &w in &words {
+            masked_bytes.extend_from_slice(&(w & mask).to_le_bytes());
+        }
+        for backend in [
+            Crc32cBackend::Naive,
+            Crc32cBackend::SlicingBy16,
+            Crc32cBackend::Hardware,
+        ] {
+            let crc = Crc32c::new(backend);
+            assert_eq!(
+                crc.checksum_words_masked(&words, mask),
+                crc.checksum(&masked_bytes)
+            );
         }
     }
 

@@ -212,6 +212,25 @@ impl Secded {
         self.classify(data, stored).0
     }
 
+    /// Check-only fast path: `true` exactly when [`Secded::check`] would
+    /// return [`DecodeOutcome::NoError`], computed with the single syndrome
+    /// pass and none of the correction machinery.  This is the bulk entry
+    /// point of the masked-slice vector kernels, which verify every codeword
+    /// group up front and fall back to the correcting decode only for the
+    /// (rare) groups where this predicate fails.
+    #[inline]
+    pub fn verify(&self, data: &[u64], stored: u16) -> bool {
+        let s = self.syndrome_word(data);
+        let stored_checks = stored & ((1u16 << self.check_bits) - 1);
+        let computed_checks = s & ((1u16 << self.check_bits) - 1);
+        if stored_checks != computed_checks {
+            return false;
+        }
+        let data_parity = ((s >> self.check_bits) & 1) as u32;
+        let stored_parity = ((stored >> self.check_bits) & 1) as u32;
+        data_parity ^ (stored_checks.count_ones() & 1) ^ stored_parity == 0
+    }
+
     /// Verifies `data` against the stored redundancy and repairs a single
     /// data-bit flip in place.
     #[inline]
@@ -338,6 +357,23 @@ mod tests {
                 let data = sample_payload(code, seed);
                 let red = code.encode(&data);
                 assert_eq!(code.check(&data, red), DecodeOutcome::NoError);
+                assert!(code.verify(&data, red));
+            }
+        }
+    }
+
+    #[test]
+    fn verify_agrees_with_check_on_every_single_flip() {
+        for code in all_codes() {
+            let data = sample_payload(code, 13);
+            let red = code.encode(&data);
+            for bit in 0..code.data_bits() {
+                let mut corrupted = data.clone();
+                crate::bitops::flip_bit(&mut corrupted, bit);
+                assert!(!code.verify(&corrupted, red), "data bit {bit}");
+            }
+            for bit in 0..code.redundancy_bits() {
+                assert!(!code.verify(&data, red ^ (1u16 << bit)), "red bit {bit}");
             }
         }
     }

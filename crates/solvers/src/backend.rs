@@ -170,6 +170,35 @@ pub trait SolverVector: Clone {
     /// `self ← alpha · self`.
     fn scale(&mut self, alpha: f64, ctx: &FaultContext) -> Result<(), SolverError>;
 
+    /// Fused `self ← self + alpha · x` returning the updated `self · self` —
+    /// CG's residual update and convergence reduction in one kernel, so
+    /// protected storage checks and re-encodes each codeword group once
+    /// instead of three times.  The default delegates to [`SolverVector::axpy`]
+    /// followed by [`SolverVector::dot`] (bitwise identical on plain
+    /// storage); protected backends override it with the single-pass masked
+    /// kernel.
+    fn dot_axpy(&mut self, alpha: f64, x: &Self, ctx: &FaultContext) -> Result<f64, SolverError> {
+        self.axpy(alpha, x, ctx)?;
+        let s: &Self = self;
+        s.dot(s, ctx)
+    }
+
+    /// Fused `self ← beta · self + alpha · x` — the Chebyshev
+    /// search-direction update, one pass instead of a scale followed by an
+    /// AXPY.  The default delegates to [`SolverVector::scale`] +
+    /// [`SolverVector::axpy`]; protected backends override it with the
+    /// single-pass masked kernel.
+    fn scale_axpy(
+        &mut self,
+        beta: f64,
+        alpha: f64,
+        x: &Self,
+        ctx: &FaultContext,
+    ) -> Result<(), SolverError> {
+        self.scale(beta, ctx)?;
+        self.axpy(alpha, x, ctx)
+    }
+
     /// Overwrites every element with `value` (re-encoding, never reading).
     fn fill(&mut self, value: f64);
 

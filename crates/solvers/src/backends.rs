@@ -112,25 +112,69 @@ impl SolverVector for PlainVector {
     }
 }
 
+/// The protected vector rides the masked-slice BLAS-1 kernels of
+/// [`abft_core::blas1`]: every codeword group is checked once with the
+/// verify-only predicate, the arithmetic runs over the raw words with the
+/// mask in a register, and check tallies reach the fault log in one bulk
+/// atomic per kernel.  The vector's parallel hint (set by
+/// [`FullyProtected`] from the matrix configuration) routes the reductions
+/// and AXPYs through their chunked-parallel variants, which are bitwise
+/// identical to the serial kernels.
 impl SolverVector for ProtectedVector {
     fn len(&self) -> usize {
         ProtectedVector::len(self)
     }
 
     fn dot(&self, other: &Self, ctx: &FaultContext) -> Result<f64, SolverError> {
-        Ok(ProtectedVector::dot(self, other, ctx.log())?)
+        Ok(if self.is_parallel() {
+            self.dot_masked_parallel(other, ctx.log())?
+        } else {
+            self.dot_masked(other, ctx.log())?
+        })
+    }
+
+    fn norm2(&self, ctx: &FaultContext) -> Result<f64, SolverError> {
+        // Single pass: one check per group, not the two of dot(self, self).
+        Ok(if self.is_parallel() {
+            self.norm2_masked_parallel(ctx.log())?
+        } else {
+            self.norm2_masked(ctx.log())?
+        })
     }
 
     fn axpy(&mut self, alpha: f64, x: &Self, ctx: &FaultContext) -> Result<(), SolverError> {
-        Ok(ProtectedVector::axpy(self, alpha, x, ctx.log())?)
+        if self.is_parallel() {
+            self.axpy_masked_parallel(alpha, x, ctx.log())?;
+        } else {
+            self.axpy_masked(alpha, x, ctx.log())?;
+        }
+        Ok(())
     }
 
     fn xpay(&mut self, alpha: f64, x: &Self, ctx: &FaultContext) -> Result<(), SolverError> {
-        Ok(ProtectedVector::xpay(self, alpha, x, ctx.log())?)
+        Ok(self.xpay_masked(alpha, x, ctx.log())?)
     }
 
     fn scale(&mut self, alpha: f64, ctx: &FaultContext) -> Result<(), SolverError> {
-        Ok(ProtectedVector::scale(self, alpha, ctx.log())?)
+        Ok(self.scale_masked(alpha, ctx.log())?)
+    }
+
+    fn dot_axpy(&mut self, alpha: f64, x: &Self, ctx: &FaultContext) -> Result<f64, SolverError> {
+        Ok(if self.is_parallel() {
+            self.dot_axpy_masked_parallel(alpha, x, ctx.log())?
+        } else {
+            self.dot_axpy_masked(alpha, x, ctx.log())?
+        })
+    }
+
+    fn scale_axpy(
+        &mut self,
+        beta: f64,
+        alpha: f64,
+        x: &Self,
+        ctx: &FaultContext,
+    ) -> Result<(), SolverError> {
+        Ok(self.scale_axpy_masked(beta, alpha, x, ctx.log())?)
     }
 
     fn fill(&mut self, value: f64) {
@@ -406,11 +450,15 @@ impl LinearOperator for FullyProtected<'_> {
     }
 
     fn vector_from(&self, values: &[f64]) -> ProtectedVector {
-        ProtectedVector::from_slice(values, self.scheme, self.crc_backend)
+        let mut v = ProtectedVector::from_slice(values, self.scheme, self.crc_backend);
+        v.set_parallel(self.matrix.config().parallel);
+        v
     }
 
     fn zero_vector(&self, n: usize) -> ProtectedVector {
-        ProtectedVector::zeros(n, self.scheme, self.crc_backend)
+        let mut v = ProtectedVector::zeros(n, self.scheme, self.crc_backend);
+        v.set_parallel(self.matrix.config().parallel);
+        v
     }
 
     fn bounds_hint(&self) -> Option<ChebyshevBounds> {

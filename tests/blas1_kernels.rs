@@ -1,0 +1,370 @@
+//! Integration tests for the masked-slice protected BLAS-1 layer.
+//!
+//! Four guarantees are pinned down here:
+//!
+//! 1. **Masked / group-decode parity** — the masked kernels (check each
+//!    codeword group once, compute over raw words) produce bitwise identical
+//!    results and storage to the group-decode reference methods, for every
+//!    scheme and for lengths that are not a multiple of the group size.
+//! 2. **Serial / parallel parity** — the chunked parallel kernels are
+//!    bitwise identical to the serial ones (blocked reductions folded in
+//!    block order).
+//! 3. **Fault semantics** — corrupted groups are transparently corrected
+//!    (or the kernel aborts, for SED), with check tallies flushed even on
+//!    the error path; faults confined to the padding words of a trailing
+//!    partial group are recovered by the padding reset instead of being
+//!    blamed on a user-visible element.
+//! 4. **Check accounting** — every kernel reports exactly the codeword
+//!    checks it performed, pinned at `len % group != 0`.
+
+use abft_suite::core::protected_vector::masking_relative_error_bound;
+use abft_suite::core::{EccScheme, FaultLog, ProtectedVector};
+use abft_suite::prelude::Crc32cBackend;
+
+fn sample(n: usize, seed: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64 + seed) * 0.61803).sin() * 100.0 + 0.03125)
+        .collect()
+}
+
+fn all_schemes() -> [EccScheme; 5] {
+    [
+        EccScheme::None,
+        EccScheme::Sed,
+        EccScheme::Secded64,
+        EccScheme::Secded128,
+        EccScheme::Crc32c,
+    ]
+}
+
+fn encode(values: &[f64], scheme: EccScheme) -> ProtectedVector {
+    ProtectedVector::from_slice(values, scheme, Crc32cBackend::SlicingBy16)
+}
+
+/// Lengths exercising single-block, multi-block and partial trailing groups.
+const LENGTHS: [usize; 4] = [37, 4099, 8193, 16383];
+
+#[test]
+fn masked_kernels_match_group_decode_bitwise() {
+    for scheme in all_schemes() {
+        for n in LENGTHS {
+            let a_vals = sample(n, 1.0);
+            let b_vals = sample(n, 7.5);
+            let a = encode(&a_vals, scheme);
+            let b = encode(&b_vals, scheme);
+            let log = FaultLog::new();
+
+            // dot
+            let reference = a.dot(&b, &log).unwrap();
+            let masked = a.dot_masked(&b, &log).unwrap();
+            assert_eq!(
+                masked.to_bits(),
+                reference.to_bits(),
+                "{scheme:?} n={n} dot"
+            );
+
+            // norm2 (single-pass vs dot(self, self))
+            let reference = a.norm2(&log).unwrap();
+            let masked = a.norm2_masked(&log).unwrap();
+            assert_eq!(
+                masked.to_bits(),
+                reference.to_bits(),
+                "{scheme:?} n={n} norm2"
+            );
+
+            // axpy
+            let mut reference = a.clone();
+            reference.axpy(2.5, &b, &log).unwrap();
+            let mut masked = a.clone();
+            masked.axpy_masked(2.5, &b, &log).unwrap();
+            assert_eq!(masked.raw(), reference.raw(), "{scheme:?} n={n} axpy");
+
+            // xpay
+            let mut reference = a.clone();
+            reference.xpay(-0.75, &b, &log).unwrap();
+            let mut masked = a.clone();
+            masked.xpay_masked(-0.75, &b, &log).unwrap();
+            assert_eq!(masked.raw(), reference.raw(), "{scheme:?} n={n} xpay");
+
+            // scale
+            let mut reference = a.clone();
+            reference.scale(1.0 / 3.0, &log).unwrap();
+            let mut masked = a.clone();
+            masked.scale_masked(1.0 / 3.0, &log).unwrap();
+            assert_eq!(masked.raw(), reference.raw(), "{scheme:?} n={n} scale");
+
+            // fused scale_axpy vs the sequential scale-then-axpy composition
+            let mut reference = a.clone();
+            reference.scale(0.8, &log).unwrap();
+            reference.axpy(0.3, &b, &log).unwrap();
+            let mut masked = a.clone();
+            masked.scale_axpy_masked(0.8, 0.3, &b, &log).unwrap();
+            assert_eq!(masked.raw(), reference.raw(), "{scheme:?} n={n} scale_axpy");
+
+            // fused dot_axpy vs the sequential axpy-then-dot composition
+            let mut reference = a.clone();
+            reference.axpy(-1.25, &b, &log).unwrap();
+            let reference_dot = reference.dot(&reference, &log).unwrap();
+            let mut masked = a.clone();
+            let fused_dot = masked.dot_axpy_masked(-1.25, &b, &log).unwrap();
+            assert_eq!(masked.raw(), reference.raw(), "{scheme:?} n={n} dot_axpy");
+            assert_eq!(
+                fused_dot.to_bits(),
+                reference_dot.to_bits(),
+                "{scheme:?} n={n} dot_axpy reduction"
+            );
+
+            assert_eq!(log.total_corrected() + log.total_uncorrectable(), 0);
+        }
+    }
+}
+
+#[test]
+fn parallel_kernels_match_serial_bitwise() {
+    for scheme in all_schemes() {
+        for n in [16_383usize, 32_768] {
+            let a_vals = sample(n, 3.0);
+            let b_vals = sample(n, 11.0);
+            let a = encode(&a_vals, scheme);
+            let b = encode(&b_vals, scheme);
+            let log = FaultLog::new();
+
+            let serial = a.dot_masked(&b, &log).unwrap();
+            let parallel = a.dot_masked_parallel(&b, &log).unwrap();
+            assert_eq!(parallel.to_bits(), serial.to_bits(), "{scheme:?} n={n} dot");
+
+            let serial = a.norm2_masked(&log).unwrap();
+            let parallel = a.norm2_masked_parallel(&log).unwrap();
+            assert_eq!(
+                parallel.to_bits(),
+                serial.to_bits(),
+                "{scheme:?} n={n} norm2"
+            );
+
+            let mut s = a.clone();
+            s.axpy_masked(1.5, &b, &log).unwrap();
+            let mut p = a.clone();
+            p.axpy_masked_parallel(1.5, &b, &log).unwrap();
+            assert_eq!(p.raw(), s.raw(), "{scheme:?} n={n} axpy");
+
+            let mut s = a.clone();
+            let serial = s.dot_axpy_masked(-0.5, &b, &log).unwrap();
+            let mut p = a.clone();
+            let parallel = p.dot_axpy_masked_parallel(-0.5, &b, &log).unwrap();
+            assert_eq!(p.raw(), s.raw(), "{scheme:?} n={n} dot_axpy storage");
+            assert_eq!(
+                parallel.to_bits(),
+                serial.to_bits(),
+                "{scheme:?} n={n} dot_axpy reduction"
+            );
+        }
+    }
+}
+
+#[test]
+fn masked_kernels_compute_masked_arithmetic() {
+    // Against plain arithmetic on the masked values, with the scheme's noise
+    // bound — the same contract as the reference kernels.
+    for scheme in all_schemes() {
+        let n = 97;
+        let a = encode(&sample(n, 5.0), scheme);
+        let b = encode(&sample(n, 2.0), scheme);
+        let log = FaultLog::new();
+        let expect: f64 = (0..n).map(|i| a.get(i) * b.get(i)).sum();
+        let got = a.dot_masked(&b, &log).unwrap();
+        assert!(
+            (got - expect).abs() <= 1e-9 * expect.abs().max(1.0),
+            "{scheme:?}"
+        );
+
+        let bound = masking_relative_error_bound(scheme).max(1e-15);
+        let mut y = a.clone();
+        y.axpy_masked(2.0, &b, &log).unwrap();
+        for i in 0..n {
+            let expect = a.get(i) + 2.0 * b.get(i);
+            let rel = (y.get(i) - expect).abs() / expect.abs().max(1e-30);
+            assert!(rel <= 2.0 * bound, "{scheme:?} element {i}: rel {rel}");
+        }
+    }
+}
+
+#[test]
+fn corrupted_groups_are_corrected_in_the_masked_fast_path() {
+    for scheme in [EccScheme::Secded64, EccScheme::Secded128, EccScheme::Crc32c] {
+        let n = 50;
+        let a_vals = sample(n, 1.0);
+        let b = encode(&sample(n, 9.0), scheme);
+        let clean = encode(&a_vals, scheme);
+        let log = FaultLog::new();
+        let expect = clean.dot_masked(&b, &log).unwrap();
+
+        let mut corrupted = clean.clone();
+        corrupted.inject_bit_flip(17, 40);
+        let log = FaultLog::new();
+        let got = corrupted.dot_masked(&b, &log).unwrap();
+        assert_eq!(got.to_bits(), expect.to_bits(), "{scheme:?} dot after flip");
+        assert_eq!(log.total_corrected(), 1, "{scheme:?}");
+        assert_eq!(log.total_uncorrectable(), 0, "{scheme:?}");
+
+        // Write kernels absorb the correction into the re-encoded storage.
+        let mut corrupted = clean.clone();
+        corrupted.inject_bit_flip(17, 40);
+        let log = FaultLog::new();
+        corrupted.axpy_masked(0.0, &b, &log).unwrap();
+        assert!(log.total_corrected() >= 1, "{scheme:?}");
+        let log = FaultLog::new();
+        corrupted.check_all(&log).unwrap();
+        assert_eq!(log.total_corrected(), 0, "{scheme:?}: storage repaired");
+    }
+}
+
+#[test]
+fn sed_flip_aborts_with_partial_check_tally() {
+    let n = 100;
+    let b = encode(&sample(n, 2.0), EccScheme::Sed);
+    let mut a = encode(&sample(n, 1.0), EccScheme::Sed);
+    a.inject_bit_flip(60, 33);
+    let log = FaultLog::new();
+    let err = a.dot_masked(&b, &log).unwrap_err();
+    assert!(
+        err.to_string().contains("60"),
+        "error names the element: {err}"
+    );
+    assert_eq!(log.total_uncorrectable(), 1);
+    // Checks performed before the abort are flushed: two per element for
+    // elements 0..=60, nothing for the unreached tail.
+    assert_eq!(log.snapshot().checks[2], 2 * 61);
+}
+
+#[test]
+fn check_accounting_is_pinned_for_partial_trailing_groups() {
+    // len = 7: SED/SECDED64 → 7 groups, SECDED128 → 4, CRC32C → 2.
+    let n = 7;
+    for (scheme, groups) in [
+        (EccScheme::Sed, 7u64),
+        (EccScheme::Secded64, 7),
+        (EccScheme::Secded128, 4),
+        (EccScheme::Crc32c, 2),
+    ] {
+        let a = encode(&sample(n, 1.0), scheme);
+        let b = encode(&sample(n, 2.0), scheme);
+        assert_eq!(a.logical_groups(), groups, "{scheme:?}");
+        let dense = |log: &FaultLog| log.snapshot().checks[2];
+
+        let log = FaultLog::new();
+        a.check_all(&log).unwrap();
+        assert_eq!(dense(&log), groups, "{scheme:?} check_all");
+
+        let log = FaultLog::new();
+        a.dot_masked(&b, &log).unwrap();
+        assert_eq!(dense(&log), 2 * groups, "{scheme:?} dot_masked");
+
+        let log = FaultLog::new();
+        a.dot(&b, &log).unwrap();
+        assert_eq!(dense(&log), 2 * groups, "{scheme:?} dot");
+
+        // The single-pass norm checks each group once; the dot-based
+        // reference checks twice.
+        let log = FaultLog::new();
+        a.norm2_masked(&log).unwrap();
+        assert_eq!(dense(&log), groups, "{scheme:?} norm2_masked");
+
+        let log = FaultLog::new();
+        let mut y = a.clone();
+        y.axpy_masked(1.0, &b, &log).unwrap();
+        assert_eq!(dense(&log), 2 * groups, "{scheme:?} axpy_masked");
+
+        let log = FaultLog::new();
+        let mut y = a.clone();
+        y.scale_masked(2.0, &log).unwrap();
+        assert_eq!(dense(&log), groups, "{scheme:?} scale_masked");
+
+        let log = FaultLog::new();
+        let mut y = a.clone();
+        y.dot_axpy_masked(1.0, &b, &log).unwrap();
+        assert_eq!(dense(&log), 2 * groups, "{scheme:?} dot_axpy_masked");
+
+        // copy_from and set perform checks and must account for them.
+        let log = FaultLog::new();
+        let mut y = a.clone();
+        y.copy_from(&b, &log).unwrap();
+        assert_eq!(dense(&log), groups, "{scheme:?} copy_from");
+
+        let log = FaultLog::new();
+        let mut y = a.clone();
+        y.set(3, 1.0, &log).unwrap();
+        assert_eq!(dense(&log), 1, "{scheme:?} set");
+    }
+}
+
+#[test]
+fn grouped_error_path_reports_partial_check_tally() {
+    // A double flip in the second SECDED128 pair aborts check_all after two
+    // of the four group checks.
+    let mut v = encode(&sample(7, 1.0), EccScheme::Secded128);
+    v.inject_bit_flip(2, 20);
+    v.inject_bit_flip(2, 45);
+    let log = FaultLog::new();
+    assert!(v.check_all(&log).is_err());
+    assert_eq!(log.total_uncorrectable(), 1);
+    assert_eq!(log.snapshot().checks[2], 2);
+}
+
+#[test]
+fn padding_confined_faults_are_recovered_not_blamed() {
+    // Secded128, odd length: element 3 of the padded storage is padding.
+    // A double flip there exceeds SECDED's correction capability, but the
+    // padding is architecturally zero, so the padding reset recovers it.
+    let clean = encode(&sample(3, 1.0), EccScheme::Secded128);
+    assert_eq!(clean.raw().len(), 4);
+    let mut v = clean.clone();
+    v.inject_bit_flip(3, 20);
+    v.inject_bit_flip(3, 45);
+    let log = FaultLog::new();
+    v.check_all(&log)
+        .unwrap_or_else(|e| panic!("padding fault must not abort or blame user data: {e}"));
+    assert!(log.total_corrected() >= 1);
+    assert_eq!(log.total_uncorrectable(), 0);
+    assert_eq!(v.scrub(&log).unwrap(), 1);
+    assert_eq!(v.raw(), clean.raw());
+
+    // CRC32C, len 5: elements 5..8 of the second group are padding.  Flips
+    // spread across two padding words defeat single-bit trial correction,
+    // but not the padding reset.
+    let clean = encode(&sample(5, 2.0), EccScheme::Crc32c);
+    assert_eq!(clean.raw().len(), 8);
+    let mut v = clean.clone();
+    v.inject_bit_flip(6, 30);
+    v.inject_bit_flip(7, 50);
+    let log = FaultLog::new();
+    v.check_all(&log).unwrap();
+    assert!(log.total_corrected() >= 1);
+    assert_eq!(log.total_uncorrectable(), 0);
+    let mut w = v.clone();
+    w.scrub(&log).unwrap();
+    assert_eq!(w.raw(), clean.raw());
+
+    // The masked kernels see the same recovery.
+    let b = encode(&sample(5, 4.0), EccScheme::Crc32c);
+    let log = FaultLog::new();
+    let expect = clean.dot_masked(&b, &log).unwrap();
+    let log = FaultLog::new();
+    let got = v.dot_masked(&b, &log).unwrap();
+    assert_eq!(got.to_bits(), expect.to_bits());
+    assert!(log.total_corrected() >= 1);
+}
+
+#[test]
+fn mixed_logical_and_padding_corruption_is_still_detected() {
+    // One flip in a logical word and one in a padding word of the same
+    // CRC32C group: the stored logical words no longer match the canonical
+    // re-encoding, so the padding reset must refuse and the fault stays
+    // detected-uncorrectable.
+    let clean = encode(&sample(5, 2.0), EccScheme::Crc32c);
+    let mut v = clean.clone();
+    v.inject_bit_flip(4, 30); // logical element of the trailing group
+    v.inject_bit_flip(6, 50); // padding element of the trailing group
+    let log = FaultLog::new();
+    assert!(v.check_all(&log).is_err());
+    assert!(log.total_uncorrectable() > 0);
+}

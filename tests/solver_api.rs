@@ -273,6 +273,76 @@ fn protected_ppcg_recovers_from_vector_bit_flips() {
     assert!(relative_error(&outcome.solution, &clean.solution) < 1e-9);
 }
 
+/// The deprecated per-mode shims must forward the caller's fault log into
+/// the generic solver (not construct a fresh context), so campaign-style
+/// fault accounting through the old entry points matches the `Solver`
+/// builder exactly — counts, not just "something was recorded".
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_report_identical_fault_counts_to_the_builder() {
+    use abft_suite::solvers::cg::CgSolver;
+    let (a, b) = system();
+    let config = SolverConfig::new(120, 1e-18);
+
+    // Matrix-protected tier, with an injected (correctable) value flip.
+    let protection = ProtectionConfig::matrix_only(EccScheme::Secded64)
+        .with_crc_backend(Crc32cBackend::SlicingBy16);
+    let mut protected = ProtectedCsr::from_csr(&a, &protection).unwrap();
+    protected.inject_value_bit_flip(23, 41);
+
+    let log = FaultLog::new();
+    let shim = CgSolver::new(config)
+        .solve_matrix_protected(&protected, &b, &log)
+        .unwrap();
+    let builder = Solver::cg()
+        .config(config)
+        .solve_operator(&MatrixProtected::new(&protected), &b)
+        .unwrap();
+    assert!(shim.faults.total_corrected() > 0);
+    assert_eq!(shim.faults, builder.faults, "matrix tier fault accounting");
+    // The caller's log saw exactly what the outcome snapshot reports.
+    assert_eq!(
+        log.snapshot(),
+        shim.faults,
+        "shim must record into the caller's log"
+    );
+    assert_eq!(shim.solution, builder.solution);
+
+    // Fully protected tier.
+    let full =
+        ProtectionConfig::full(EccScheme::Secded64).with_crc_backend(Crc32cBackend::SlicingBy16);
+    let encoded = ProtectedCsr::from_csr(&a, &full).unwrap();
+    let log = FaultLog::new();
+    let shim = CgSolver::new(config)
+        .solve_fully_protected(&encoded, &b, &full, &log)
+        .unwrap();
+    let builder = Solver::cg()
+        .config(config)
+        .solve_operator(&FullyProtected::new(&encoded), &b)
+        .unwrap();
+    assert_eq!(shim.faults, builder.faults, "full tier fault accounting");
+    assert_eq!(log.snapshot(), shim.faults);
+    assert_eq!(shim.solution, builder.solution);
+
+    // Jacobi's deprecated protected entry point forwards its log too.
+    let log = FaultLog::new();
+    let jacobi_config = SolverConfig::new(300, 1e-18);
+    #[allow(deprecated)]
+    let (_, status) =
+        abft_suite::solvers::jacobi::jacobi_solve_protected(&protected, &b, &jacobi_config, &log)
+            .unwrap();
+    let builder = Solver::jacobi()
+        .config(jacobi_config)
+        .solve_operator(&MatrixProtected::new(&protected), &b)
+        .unwrap();
+    assert_eq!(status, builder.status);
+    assert_eq!(
+        log.snapshot(),
+        builder.faults,
+        "jacobi shim fault accounting"
+    );
+}
+
 #[test]
 fn campaign_covers_protected_chebyshev_and_ppcg() {
     for method in [Method::Chebyshev, Method::Ppcg] {

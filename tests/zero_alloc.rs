@@ -86,7 +86,16 @@ fn matrix_protected_cg_iterations_do_not_allocate() {
 fn fully_protected_cg_iterations_do_not_allocate() {
     let _guard = MEASURE_LOCK.lock().unwrap();
     let (a, b) = system();
-    for scheme in [EccScheme::Secded64, EccScheme::Crc32c] {
+    // All five element schemes: the masked BLAS-1 kernels (dot, fused
+    // dot_axpy, AXPY/XPAY, scale) must stay on stack buffers, so a full
+    // protected CG iteration — SpMV *and* its vector half — is heap-free.
+    for scheme in [
+        EccScheme::None,
+        EccScheme::Sed,
+        EccScheme::Secded64,
+        EccScheme::Secded128,
+        EccScheme::Crc32c,
+    ] {
         let cfg = ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16);
         let protected = abft_suite::core::ProtectedCsr::from_csr(&a, &cfg).unwrap();
         let op = FullyProtected::new(&protected);
