@@ -18,6 +18,8 @@
 
 use abft_bench::blas1_bench::{blas1_microbench, trajectory_points_json, Blas1BenchConfig};
 use abft_bench::json::Json;
+use abft_bench::regression::{check_regression, GateConfig};
+use abft_bench::scaling_bench::{self, scaling_microbench, ScalingBenchConfig};
 use abft_bench::spmv_bench::{
     render_table, spmv_microbench, trajectory_point_json, SpmvBenchConfig,
 };
@@ -40,6 +42,11 @@ struct Args {
     smoke: bool,
     bench_spmv: bool,
     bench_blas1: bool,
+    bench_scaling: bool,
+    check_regression: bool,
+    baseline_spmv: String,
+    baseline_blas1: String,
+    gate_tolerance: f64,
     bench_label: String,
     parallel: bool,
     nx: usize,
@@ -63,6 +70,11 @@ impl Default for Args {
             smoke: false,
             bench_spmv: false,
             bench_blas1: false,
+            bench_scaling: false,
+            check_regression: false,
+            baseline_spmv: "BENCH_spmv.json".to_string(),
+            baseline_blas1: "BENCH_blas1.json".to_string(),
+            gate_tolerance: 25.0,
             bench_label: "current".to_string(),
             parallel: false,
             nx: 256,
@@ -86,6 +98,13 @@ const HELP: &str = "experiments — regenerate the paper's figures.
   --smoke              tiny CI preset: every section at 24x24, 3 iterations
   --bench-spmv         SpMV kernel microbenchmark (the BENCH_spmv.json sweep)
   --bench-blas1        protected BLAS-1 microbenchmark (the BENCH_blas1.json sweep)
+  --bench-scaling      worker-count scaling sweep (the BENCH_scaling.json sweep)
+  --check-regression   CI gate: re-measure and compare overhead ratios against
+                       the committed BENCH_spmv.json / BENCH_blas1.json
+                       (exit 1 on >25% degradation)
+  --baseline-spmv P    SpMV baseline file for --check-regression
+  --baseline-blas1 P   BLAS-1 baseline file for --check-regression
+  --gate-tolerance PCT allowed ratio degradation for --check-regression
   --bench-label L      trajectory-point label for --bench-* JSON output
   --parallel           use the Rayon-parallel kernels
   --nx N / --ny N      grid size (default 256x256)
@@ -117,6 +136,15 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.smoke = true,
             "--bench-spmv" => args.bench_spmv = true,
             "--bench-blas1" => args.bench_blas1 = true,
+            "--bench-scaling" => args.bench_scaling = true,
+            "--check-regression" => args.check_regression = true,
+            "--baseline-spmv" => args.baseline_spmv = value("--baseline-spmv")?,
+            "--baseline-blas1" => args.baseline_blas1 = value("--baseline-blas1")?,
+            "--gate-tolerance" => {
+                args.gate_tolerance = value("--gate-tolerance")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--bench-label" => args.bench_label = value("--bench-label")?,
             "--parallel" => args.parallel = true,
             "--nx" => args.nx = value("--nx")?.parse().map_err(|e| format!("{e}"))?,
@@ -249,6 +277,65 @@ fn main() {
         parallel: args.parallel,
     };
     let mut output = JsonOutput::default();
+
+    if args.check_regression {
+        // The gate re-measures at the committed workload size (--nx, default
+        // 256) with CI-cheap iteration counts and compares overhead ratios;
+        // do not combine with --smoke, which shrinks --nx away from the
+        // committed workload.
+        let config = GateConfig {
+            spmv_baseline: args.baseline_spmv.clone(),
+            blas1_baseline: args.baseline_blas1.clone(),
+            nx: args.nx,
+            iters: args.iterations.min(8),
+            repeats: args.repeats.min(2),
+            tolerance_pct: args.gate_tolerance,
+        };
+        println!(
+            "Perf-regression gate: fresh {0}x{0} measurement vs {1} + {2} (tolerance +{3}%)",
+            config.nx, config.spmv_baseline, config.blas1_baseline, config.tolerance_pct
+        );
+        match check_regression(&config) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.regressed() {
+                    eprintln!("perf-regression gate FAILED");
+                    std::process::exit(1);
+                }
+                println!("perf-regression gate passed");
+            }
+            Err(err) => {
+                eprintln!("perf-regression gate could not run: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if args.bench_scaling {
+        let config = if args.smoke {
+            ScalingBenchConfig::smoke()
+        } else {
+            ScalingBenchConfig {
+                iters: args.iterations.min(8),
+                repeats: args.repeats,
+                ..ScalingBenchConfig::default()
+            }
+        };
+        println!(
+            "Worker-count scaling sweep (sizes {:?}, workers {:?}, {} iters, {} repeats)",
+            config.sizes, config.workers, config.iters, config.repeats
+        );
+        let rows = scaling_microbench(&config);
+        print!("{}", scaling_bench::render_table(&config, &rows));
+        if let Some(path) = &args.json {
+            let point = scaling_bench::trajectory_point_json(&args.bench_label, &config, &rows);
+            let doc = Json::obj([("trajectory", Json::Arr(vec![point]))]);
+            std::fs::write(path, doc.render()).expect("write JSON output");
+            println!("machine-readable results written to {path}");
+        }
+        return;
+    }
 
     if args.bench_blas1 {
         // --nx / --iters / --repeats drive the sweep (--smoke shrinks them

@@ -16,6 +16,7 @@
 //! pre (group-decode) and post (masked) — are measured on the same host in
 //! the same run, so the comparison is apples to apples.
 
+use crate::best_of;
 use crate::json::Json;
 use abft_core::spmv::protected_spmv;
 use abft_core::{
@@ -23,7 +24,6 @@ use abft_core::{
 };
 use abft_ecc::Crc32cBackend;
 use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
-use std::time::Instant;
 
 /// One measured kernel configuration.
 #[derive(Debug, Clone)]
@@ -51,9 +51,9 @@ pub struct Blas1BenchConfig {
     /// CG iterations of the end-to-end row.
     pub cg_iterations: usize,
     /// Route the masked path through the chunked-parallel kernel variants
-    /// (dot, norm², AXPY and the fused dot+AXPY; scale and XPAY have no
-    /// parallel variants).  The group-decode reference path is always
-    /// serial — this measures the parallel kernels against it.
+    /// (dot, norm², AXPY, XPAY, scale and the fused dot+AXPY).  The
+    /// group-decode reference path is always serial — this measures the
+    /// parallel kernels against it.
     pub parallel: bool,
 }
 
@@ -77,19 +77,6 @@ fn schemes() -> [EccScheme; 5] {
         EccScheme::Secded128,
         EccScheme::Crc32c,
     ]
-}
-
-/// Minimum-over-repeats mean time per application of `f`, in nanoseconds.
-fn best_of(repeats: usize, iters: usize, mut f: impl FnMut(usize)) -> f64 {
-    (0..repeats.max(1))
-        .map(|_| {
-            let start = Instant::now();
-            for i in 0..iters.max(1) {
-                f(i);
-            }
-            start.elapsed().as_nanos() as f64 / iters.max(1) as f64
-        })
-        .fold(f64::INFINITY, f64::min)
 }
 
 /// Which vector-kernel family a CG run uses.
@@ -153,10 +140,10 @@ fn protected_cg_solve(
             }
         };
         let beta = rr_new / rr;
-        if path == KernelPath::GroupDecode {
-            p.xpay(beta, &r, &log).unwrap();
-        } else {
-            p.xpay_masked(beta, &r, &log).unwrap();
+        match path {
+            KernelPath::GroupDecode => p.xpay(beta, &r, &log).unwrap(),
+            KernelPath::Masked => p.xpay_masked(beta, &r, &log).unwrap(),
+            KernelPath::MaskedParallel => p.xpay_masked_parallel(beta, &r, &log).unwrap(),
         }
         rr = rr_new;
     }
@@ -244,10 +231,10 @@ pub fn blas1_microbench(config: &Blas1BenchConfig) -> Vec<Blas1BenchRow> {
                 "scale",
                 best_of(config.repeats, config.iters, |i| {
                     let alpha = if i % 2 == 0 { 1.000001 } else { 1.0 / 1.000001 };
-                    if masked {
-                        y.scale_masked(alpha, &log).unwrap();
-                    } else {
-                        y.scale(alpha, &log).unwrap();
+                    match path {
+                        KernelPath::GroupDecode => y.scale(alpha, &log).unwrap(),
+                        KernelPath::Masked => y.scale_masked(alpha, &log).unwrap(),
+                        KernelPath::MaskedParallel => y.scale_masked_parallel(alpha, &log).unwrap(),
                     }
                 }),
             );

@@ -25,7 +25,24 @@ use std::time::Instant;
 
 pub mod blas1_bench;
 pub mod json;
+pub mod regression;
+pub mod scaling_bench;
 pub mod spmv_bench;
+
+/// Minimum-over-repeats mean time per application of `f`, in nanoseconds —
+/// the shared timing protocol of the kernel microbenchmarks (`f` receives
+/// the iteration index so mutating kernels can alternate their arguments).
+pub(crate) fn best_of(repeats: usize, iters: usize, mut f: impl FnMut(usize)) -> f64 {
+    (0..repeats.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for i in 0..iters.max(1) {
+                f(i);
+            }
+            start.elapsed().as_nanos() as f64 / iters.max(1) as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
 
 /// A TeaLeaf linear system (conduction matrix and right-hand side) for one
 /// time-step of the standard benchmark deck.

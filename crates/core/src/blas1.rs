@@ -31,15 +31,31 @@
 //!   `d ← β·d + α·r` pair.
 //!
 //! The serial kernels are allocation-free (stack group buffers only); the
-//! parallel variants allocate small per-call partial/tally buffers and are
-//! therefore not part of the zero-allocation contract pinned by
-//! `tests/zero_alloc.rs`, which exercises the serial path.
+//! parallel variants are allocation-free too once a caller-owned
+//! [`ReductionWorkspace`] is warm — the solver backends own one behind a
+//! `RefCell`, exactly like the [`SpmvWorkspace`](crate::SpmvWorkspace), so
+//! whole parallel protected CG iterations never touch the heap
+//! (`tests/zero_alloc.rs` pins both paths).  The `*_parallel` entry points
+//! without a workspace argument remain for callers that do not care and
+//! allocate a transient workspace per call.
 
 use crate::error::AbftError;
 use crate::protected_vector::{GroupCodec, ProtectedVector, ACC_BLOCK, MAX_GROUP};
 use crate::report::{FaultLog, Region};
 use crate::schemes::EccScheme;
 use abft_ecc::sed::parity_u64;
+
+/// Minimum storage-word count for the chunked-parallel BLAS-1 variants to
+/// engage; shorter vectors take the serial kernels.
+///
+/// Two blocked-reduction partials (2 × [`ACC_BLOCK`] = 8192 elements,
+/// 64 KiB of `f64` storage) are the smallest input a parallel split can
+/// cover while keeping every chunk boundary on a block boundary — and below
+/// roughly this size the scoped-dispatch fixed cost (announcing the task,
+/// waking workers, the completion wait) exceeds the loop it would offload.
+/// `--bench-scaling` reports one workload on each side of this threshold so
+/// the serial fallback stays visible in `BENCH_scaling.json`.
+pub const PARALLEL_MIN_ELEMENTS: usize = 2 * ACC_BLOCK;
 
 /// Flushes a locally tallied check count in one bulk atomic update.
 #[inline]
@@ -54,7 +70,7 @@ fn flush_checks(log: &FaultLog, scheme: EccScheme, tally: u64) {
 /// on a codeword-group boundary).  Returns 1 — run serial — when the input
 /// is too small or no aligned split exists.
 fn block_aligned_chunks(n: usize) -> usize {
-    if n < 2 * ACC_BLOCK {
+    if n < PARALLEL_MIN_ELEMENTS {
         return 1;
     }
     let max = rayon::chunk_count(n);
@@ -64,13 +80,91 @@ fn block_aligned_chunks(n: usize) -> usize {
         .unwrap_or(1)
 }
 
-/// Worker count for the block-partial dot kernels (which chunk the partials
+/// Chunk count for the block-partial dot kernels (which chunk the partials
 /// buffer, not the data, so no alignment constraint applies).
 fn partial_chunks(n_blocks: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    rayon::chunk_count(n_blocks * ACC_BLOCK)
         .min(n_blocks)
+        .max(1)
+}
+
+/// Reusable scratch storage for the chunked-parallel BLAS-1 kernels, owned
+/// by the solver backends (behind a `RefCell`, the sibling of
+/// [`crate::SpmvWorkspace`]) so parallel reductions reuse preallocated
+/// per-chunk partial slots instead of allocating per call.
+///
+/// Buffers grow on first use and are reused verbatim afterwards; all
+/// contents are transient per kernel invocation (tallies are re-zeroed,
+/// partial slots rewritten), so one workspace may serve any sequence of
+/// kernels on vectors of any length or scheme.
+#[derive(Debug, Default, Clone)]
+pub struct ReductionWorkspace {
+    /// Flat per-[`ACC_BLOCK`]-block partial sums (dot / norm²), folded in
+    /// block order after the dispatch.
+    partials: Vec<f64>,
+    /// Per-chunk check tallies, folded into the [`FaultLog`] in one bulk
+    /// update per kernel.
+    tallies: Vec<u64>,
+    /// Per-chunk fused-kernel states (dot + AXPY): block partials are kept
+    /// per chunk because that kernel chunks the mutated storage, not the
+    /// partials buffer.
+    chunks: Vec<ChunkAcc>,
+    /// Per-chunk partial sums of the *plain* parallel dot
+    /// ([`abft_sparse`] storage), so the unprotected backends share the
+    /// allocation-free property.
+    plain: Vec<f64>,
+}
+
+impl ReductionWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily by the first
+    /// kernel invocation.
+    pub fn new() -> Self {
+        ReductionWorkspace::default()
+    }
+
+    /// Borrows `n_blocks` partial slots and `n_chunks` zeroed tallies.
+    fn partials_and_tallies(
+        &mut self,
+        n_blocks: usize,
+        n_chunks: usize,
+    ) -> (&mut [f64], &mut [u64]) {
+        if self.partials.len() < n_blocks {
+            self.partials.resize(n_blocks, 0.0);
+        }
+        let tallies = Self::zeroed_tallies(&mut self.tallies, n_chunks);
+        (&mut self.partials[..n_blocks], tallies)
+    }
+
+    /// Borrows `n_chunks` zeroed tallies.
+    fn zeroed_tallies(tallies: &mut Vec<u64>, n_chunks: usize) -> &mut [u64] {
+        if tallies.len() < n_chunks {
+            tallies.resize(n_chunks, 0);
+        }
+        let tallies = &mut tallies[..n_chunks];
+        tallies.fill(0);
+        tallies
+    }
+
+    /// Borrows `n_chunks` reset fused-kernel states (tally zero, partial
+    /// list empty with its capacity retained).
+    fn reset_chunks(&mut self, n_chunks: usize) -> &mut [ChunkAcc] {
+        if self.chunks.len() < n_chunks {
+            self.chunks.resize_with(n_chunks, ChunkAcc::default);
+        }
+        let chunks = &mut self.chunks[..n_chunks];
+        for chunk in chunks.iter_mut() {
+            chunk.tally = 0;
+            chunk.partials.clear();
+        }
+        chunks
+    }
+
+    /// The plain-path per-chunk partial buffer, handed to
+    /// [`abft_sparse::spmv::dot_parallel_with`]-style kernels that size it
+    /// themselves.
+    pub fn plain_chunk_buffer(&mut self) -> &mut Vec<f64> {
+        &mut self.plain
+    }
 }
 
 /// `Σ a[i]·b[i]` over one block's logical elements, checking each codeword
@@ -392,7 +486,7 @@ fn dot_axpy_block(
 
 /// Per-chunk state of the parallel fused kernel: local check tally plus the
 /// chunk's block partial sums (folded in chunk order afterwards).
-#[derive(Default)]
+#[derive(Debug, Default, Clone)]
 struct ChunkAcc {
     tally: u64,
     partials: Vec<f64>,
@@ -442,11 +536,24 @@ impl ProtectedVector {
     /// Chunked-parallel [`ProtectedVector::dot_masked`]: block partials are
     /// computed on the worker pool and folded in block order, so the result
     /// is bitwise identical to the serial kernel.  Falls back to serial for
-    /// small vectors.
+    /// small vectors.  Allocates a transient [`ReductionWorkspace`]; solver
+    /// loops use [`ProtectedVector::dot_masked_parallel_with`].
     pub fn dot_masked_parallel(
         &self,
         other: &ProtectedVector,
         log: &FaultLog,
+    ) -> Result<f64, AbftError> {
+        self.dot_masked_parallel_with(other, log, &mut ReductionWorkspace::new())
+    }
+
+    /// [`ProtectedVector::dot_masked_parallel`] with caller-owned scratch:
+    /// the per-block partial slots and per-chunk tallies live in `ws`, so a
+    /// warm workspace makes the call allocation-free.
+    pub fn dot_masked_parallel_with(
+        &self,
+        other: &ProtectedVector,
+        log: &FaultLog,
+        ws: &mut ReductionWorkspace,
     ) -> Result<f64, AbftError> {
         assert_eq!(
             self.len(),
@@ -458,14 +565,14 @@ impl ProtectedVector {
         }
         let padded = self.data.len();
         let n_blocks = padded.div_ceil(ACC_BLOCK);
-        if padded < 2 * ACC_BLOCK || partial_chunks(n_blocks) <= 1 {
+        let n_chunks = partial_chunks(n_blocks);
+        if padded < PARALLEL_MIN_ELEMENTS || n_chunks <= 1 {
             return self.dot_masked(other, log);
         }
         let codec = self.codec();
         let len = self.len;
-        let mut partials = vec![0.0f64; n_blocks];
-        let mut tallies = vec![0u64; partial_chunks(n_blocks)];
-        let result = rayon::with_chunks_mut(&mut partials, &mut tallies, |block0, part, tally| {
+        let (partials, tallies) = ws.partials_and_tallies(n_blocks, n_chunks);
+        let result = rayon::with_chunks_mut(partials, tallies, |block0, part, tally| {
             for (i, slot) in part.iter_mut().enumerate() {
                 let start = (block0 + i) * ACC_BLOCK;
                 let end = (start + ACC_BLOCK).min(padded);
@@ -517,18 +624,29 @@ impl ProtectedVector {
     }
 
     /// Chunked-parallel [`ProtectedVector::norm2_masked`], bitwise identical
-    /// to the serial kernel.
+    /// to the serial kernel.  Allocates a transient workspace; solver loops
+    /// use [`ProtectedVector::norm2_masked_parallel_with`].
     pub fn norm2_masked_parallel(&self, log: &FaultLog) -> Result<f64, AbftError> {
+        self.norm2_masked_parallel_with(log, &mut ReductionWorkspace::new())
+    }
+
+    /// [`ProtectedVector::norm2_masked_parallel`] with caller-owned scratch
+    /// (allocation-free once `ws` is warm).
+    pub fn norm2_masked_parallel_with(
+        &self,
+        log: &FaultLog,
+        ws: &mut ReductionWorkspace,
+    ) -> Result<f64, AbftError> {
         let padded = self.data.len();
         let n_blocks = padded.div_ceil(ACC_BLOCK);
-        if padded < 2 * ACC_BLOCK || partial_chunks(n_blocks) <= 1 {
+        let n_chunks = partial_chunks(n_blocks);
+        if padded < PARALLEL_MIN_ELEMENTS || n_chunks <= 1 {
             return self.norm2_masked(log);
         }
         let codec = self.codec();
         let len = self.len;
-        let mut partials = vec![0.0f64; n_blocks];
-        let mut tallies = vec![0u64; partial_chunks(n_blocks)];
-        let result = rayon::with_chunks_mut(&mut partials, &mut tallies, |block0, part, tally| {
+        let (partials, tallies) = ws.partials_and_tallies(n_blocks, n_chunks);
+        let result = rayon::with_chunks_mut(partials, tallies, |block0, part, tally| {
             for (i, slot) in part.iter_mut().enumerate() {
                 let start = (block0 + i) * ACC_BLOCK;
                 let end = (start + ACC_BLOCK).min(padded);
@@ -555,14 +673,30 @@ impl ProtectedVector {
     }
 
     /// Chunked-parallel [`ProtectedVector::axpy_masked`] (elementwise, so
-    /// trivially bitwise identical to the serial kernel).
+    /// trivially bitwise identical to the serial kernel).  Allocates a
+    /// transient workspace; solver loops use
+    /// [`ProtectedVector::axpy_masked_parallel_with`].
     pub fn axpy_masked_parallel(
         &mut self,
         alpha: f64,
         x: &ProtectedVector,
         log: &FaultLog,
     ) -> Result<(), AbftError> {
-        self.zip_masked_parallel(x, log, "axpy_masked_parallel", move |s, xv| s + alpha * xv)
+        self.axpy_masked_parallel_with(alpha, x, log, &mut ReductionWorkspace::new())
+    }
+
+    /// [`ProtectedVector::axpy_masked_parallel`] with caller-owned scratch
+    /// (allocation-free once `ws` is warm).
+    pub fn axpy_masked_parallel_with(
+        &mut self,
+        alpha: f64,
+        x: &ProtectedVector,
+        log: &FaultLog,
+        ws: &mut ReductionWorkspace,
+    ) -> Result<(), AbftError> {
+        self.zip_masked_parallel_with(x, log, ws, "axpy_masked_parallel", move |s, xv| {
+            s + alpha * xv
+        })
     }
 
     /// Masked `self ← x + α·self` (the CG search-direction update).
@@ -575,6 +709,33 @@ impl ProtectedVector {
         self.zip_masked(x, log, "xpay_masked", move |s, xv| xv + alpha * s)
     }
 
+    /// Chunked-parallel [`ProtectedVector::xpay_masked`] (elementwise, so
+    /// trivially bitwise identical to the serial kernel).  Allocates a
+    /// transient workspace; solver loops use
+    /// [`ProtectedVector::xpay_masked_parallel_with`].
+    pub fn xpay_masked_parallel(
+        &mut self,
+        alpha: f64,
+        x: &ProtectedVector,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        self.xpay_masked_parallel_with(alpha, x, log, &mut ReductionWorkspace::new())
+    }
+
+    /// [`ProtectedVector::xpay_masked_parallel`] with caller-owned scratch
+    /// (allocation-free once `ws` is warm).
+    pub fn xpay_masked_parallel_with(
+        &mut self,
+        alpha: f64,
+        x: &ProtectedVector,
+        log: &FaultLog,
+        ws: &mut ReductionWorkspace,
+    ) -> Result<(), AbftError> {
+        self.zip_masked_parallel_with(x, log, ws, "xpay_masked_parallel", move |s, xv| {
+            xv + alpha * s
+        })
+    }
+
     /// Masked `self ← α·self`: one check and one re-encode per group.
     pub fn scale_masked(&mut self, alpha: f64, log: &FaultLog) -> Result<(), AbftError> {
         let codec = self.codec();
@@ -582,6 +743,36 @@ impl ProtectedVector {
         let mut tally = 0u64;
         let result = scale_range(codec, &mut self.data, 0, len, log, &mut tally, alpha);
         flush_checks(log, codec.scheme, tally);
+        result
+    }
+
+    /// Chunked-parallel [`ProtectedVector::scale_masked`] (elementwise, so
+    /// trivially bitwise identical to the serial kernel).  Allocates a
+    /// transient workspace; solver loops use
+    /// [`ProtectedVector::scale_masked_parallel_with`].
+    pub fn scale_masked_parallel(&mut self, alpha: f64, log: &FaultLog) -> Result<(), AbftError> {
+        self.scale_masked_parallel_with(alpha, log, &mut ReductionWorkspace::new())
+    }
+
+    /// [`ProtectedVector::scale_masked_parallel`] with caller-owned scratch
+    /// (allocation-free once `ws` is warm).
+    pub fn scale_masked_parallel_with(
+        &mut self,
+        alpha: f64,
+        log: &FaultLog,
+        ws: &mut ReductionWorkspace,
+    ) -> Result<(), AbftError> {
+        let n_chunks = block_aligned_chunks(self.data.len());
+        if n_chunks <= 1 {
+            return self.scale_masked(alpha, log);
+        }
+        let codec = self.codec();
+        let len = self.len;
+        let tallies = ReductionWorkspace::zeroed_tallies(&mut ws.tallies, n_chunks);
+        let result = rayon::with_chunks_mut(&mut self.data, tallies, |offset, chunk, tally| {
+            scale_range(codec, chunk, offset, len, log, tally, alpha)
+        });
+        flush_checks(log, codec.scheme, tallies.iter().sum());
         result
     }
 
@@ -652,12 +843,27 @@ impl ProtectedVector {
     /// Chunked-parallel [`ProtectedVector::dot_axpy_masked`]: chunks are
     /// aligned to [`ACC_BLOCK`] boundaries and the block partials are folded
     /// in block order, so the result (and the updated storage) is bitwise
-    /// identical to the serial kernel.
+    /// identical to the serial kernel.  Allocates a transient workspace;
+    /// solver loops use [`ProtectedVector::dot_axpy_masked_parallel_with`].
     pub fn dot_axpy_masked_parallel(
         &mut self,
         alpha: f64,
         x: &ProtectedVector,
         log: &FaultLog,
+    ) -> Result<f64, AbftError> {
+        self.dot_axpy_masked_parallel_with(alpha, x, log, &mut ReductionWorkspace::new())
+    }
+
+    /// [`ProtectedVector::dot_axpy_masked_parallel`] with caller-owned
+    /// scratch: the per-chunk tallies and block-partial lists live in `ws`
+    /// (capacity retained across calls), so a warm workspace makes the call
+    /// allocation-free.
+    pub fn dot_axpy_masked_parallel_with(
+        &mut self,
+        alpha: f64,
+        x: &ProtectedVector,
+        log: &FaultLog,
+        ws: &mut ReductionWorkspace,
     ) -> Result<f64, AbftError> {
         assert_eq!(
             self.len(),
@@ -674,9 +880,9 @@ impl ProtectedVector {
         }
         let codec = self.codec();
         let len = self.len;
-        let mut states: Vec<ChunkAcc> = (0..n_chunks).map(|_| ChunkAcc::default()).collect();
+        let states = ws.reset_chunks(n_chunks);
         let x_data = &x.data;
-        let result = rayon::with_chunks_mut(&mut self.data, &mut states, |offset, chunk, acc| {
+        let result = rayon::with_chunks_mut(&mut self.data, states, |offset, chunk, acc| {
             let mut start = 0;
             while start < chunk.len() {
                 let end = (start + ACC_BLOCK).min(chunk.len());
@@ -723,10 +929,11 @@ impl ProtectedVector {
     }
 
     /// Shared driver of the chunked-parallel two-operand masked updates.
-    fn zip_masked_parallel(
+    fn zip_masked_parallel_with(
         &mut self,
         x: &ProtectedVector,
         log: &FaultLog,
+        ws: &mut ReductionWorkspace,
         what: &str,
         op: impl Fn(f64, f64) -> f64 + Sync,
     ) -> Result<(), AbftError> {
@@ -742,22 +949,21 @@ impl ProtectedVector {
         }
         let codec = self.codec();
         let len = self.len;
-        let mut tallies = vec![0u64; n_chunks];
+        let tallies = ReductionWorkspace::zeroed_tallies(&mut ws.tallies, n_chunks);
         let x_data = &x.data;
         let op = &op;
-        let result =
-            rayon::with_chunks_mut(&mut self.data, &mut tallies, |offset, chunk, tally| {
-                zip_range(
-                    codec,
-                    chunk,
-                    &x_data[offset..offset + chunk.len()],
-                    offset,
-                    len,
-                    log,
-                    tally,
-                    op,
-                )
-            });
+        let result = rayon::with_chunks_mut(&mut self.data, tallies, |offset, chunk, tally| {
+            zip_range(
+                codec,
+                chunk,
+                &x_data[offset..offset + chunk.len()],
+                offset,
+                len,
+                log,
+                tally,
+                op,
+            )
+        });
         flush_checks(log, codec.scheme, tallies.iter().sum());
         result
     }

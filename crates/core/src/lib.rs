@@ -37,6 +37,7 @@ pub mod row_pointer;
 pub mod schemes;
 pub mod spmv;
 
+pub use blas1::{ReductionWorkspace, PARALLEL_MIN_ELEMENTS};
 pub use error::AbftError;
 pub use policy::CheckPolicy;
 pub use protected_csr::ProtectedCsr;

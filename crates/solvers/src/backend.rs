@@ -25,7 +25,8 @@
 //! uncorrectable fault.  Concrete backends for the three protection tiers
 //! live in [`crate::backends`].
 
-use abft_core::{AbftError, FaultLog, FaultLogSnapshot};
+use abft_core::{AbftError, FaultLog, FaultLogSnapshot, ReductionWorkspace};
+use std::cell::RefCell;
 use std::fmt;
 
 /// Shared fault-observation state threaded through a solve.
@@ -36,9 +37,18 @@ use std::fmt;
 /// either owns its log ([`FaultContext::new`]) or borrows a caller-supplied
 /// one ([`FaultContext::with_log`]) — the latter records live, so activity
 /// observed before an aborting fault is preserved even on the error path.
+///
+/// A context may additionally carry a borrow of the operator backend's
+/// [`ReductionWorkspace`] (see
+/// [`LinearOperator::reduction_workspace`]); the
+/// [`Solver`](crate::Solver) front door attaches it so the parallel BLAS-1
+/// kernels reuse the backend's preallocated partial slots instead of
+/// allocating per call.  Contexts without one (direct [`crate::generic`]
+/// callers) still work — the kernels then allocate transient scratch.
 #[derive(Debug)]
 pub struct FaultContext<'a> {
     log: LogHandle<'a>,
+    reduction: Option<&'a RefCell<ReductionWorkspace>>,
 }
 
 #[derive(Debug)]
@@ -58,6 +68,7 @@ impl<'a> FaultContext<'a> {
     pub fn new() -> FaultContext<'static> {
         FaultContext {
             log: LogHandle::Owned(FaultLog::new()),
+            reduction: None,
         }
     }
 
@@ -65,6 +76,20 @@ impl<'a> FaultContext<'a> {
     pub fn with_log(log: &'a FaultLog) -> FaultContext<'a> {
         FaultContext {
             log: LogHandle::Borrowed(log),
+            reduction: None,
+        }
+    }
+
+    /// A context recording into the same log as `self` but carrying the
+    /// given reduction workspace — how the solve front door scopes a
+    /// caller's context to the operator backend it is about to run on.
+    pub fn scoped_to<'b>(
+        &'b self,
+        reduction: Option<&'b RefCell<ReductionWorkspace>>,
+    ) -> FaultContext<'b> {
+        FaultContext {
+            log: LogHandle::Borrowed(self.log()),
+            reduction,
         }
     }
 
@@ -74,6 +99,12 @@ impl<'a> FaultContext<'a> {
             LogHandle::Owned(log) => log,
             LogHandle::Borrowed(log) => log,
         }
+    }
+
+    /// The attached reduction workspace, when the solve front door scoped
+    /// this context to an operator backend that owns one.
+    pub fn reduction(&self) -> Option<&RefCell<ReductionWorkspace>> {
+        self.reduction
     }
 
     /// Plain-data snapshot of everything observed so far.
@@ -258,6 +289,14 @@ pub trait LinearOperator {
     /// Spectral-bound estimate for Chebyshev-type solvers, when the backend
     /// can provide one.
     fn bounds_hint(&self) -> Option<crate::chebyshev::ChebyshevBounds> {
+        None
+    }
+
+    /// The backend's reduction workspace, when it owns one (the protected
+    /// backends do, next to their SpMV workspace).  The solve front door
+    /// attaches it to the [`FaultContext`] so the parallel BLAS-1 kernels
+    /// run allocation-free.
+    fn reduction_workspace(&self) -> Option<&RefCell<ReductionWorkspace>> {
         None
     }
 

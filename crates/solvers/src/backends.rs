@@ -16,9 +16,11 @@
 use crate::backend::{FaultContext, LinearOperator, SolverError, SolverVector};
 use crate::chebyshev::ChebyshevBounds;
 use abft_core::spmv::protected_spmv_auto;
-use abft_core::{EccScheme, ProtectedCsr, ProtectedVector, SpmvWorkspace};
+use abft_core::{EccScheme, ProtectedCsr, ProtectedVector, ReductionWorkspace, SpmvWorkspace};
 use abft_ecc::Crc32cBackend;
-use abft_sparse::spmv::{axpy_parallel, dot_parallel, spmv_parallel, spmv_serial};
+use abft_sparse::spmv::{
+    axpy_parallel, dot_parallel, dot_parallel_with, spmv_parallel, spmv_serial,
+};
 use abft_sparse::vector::{blas_axpy, blas_dot};
 use abft_sparse::CsrMatrix;
 use std::cell::RefCell;
@@ -49,9 +51,17 @@ impl SolverVector for PlainVector {
         self.data.len()
     }
 
-    fn dot(&self, other: &Self, _ctx: &FaultContext) -> Result<f64, SolverError> {
+    fn dot(&self, other: &Self, ctx: &FaultContext) -> Result<f64, SolverError> {
         Ok(if self.parallel {
-            dot_parallel(&self.data, &other.data)
+            // Reuse the backend's per-chunk partial buffer when the context
+            // carries one (bitwise identical to the allocating path).
+            match ctx.reduction() {
+                Some(cell) => {
+                    let mut ws = cell.borrow_mut();
+                    dot_parallel_with(&self.data, &other.data, ws.plain_chunk_buffer())
+                }
+                None => dot_parallel(&self.data, &other.data),
+            }
         } else {
             blas_dot(&self.data, &other.data)
         })
@@ -127,7 +137,12 @@ impl SolverVector for ProtectedVector {
 
     fn dot(&self, other: &Self, ctx: &FaultContext) -> Result<f64, SolverError> {
         Ok(if self.is_parallel() {
-            self.dot_masked_parallel(other, ctx.log())?
+            match ctx.reduction() {
+                Some(cell) => {
+                    self.dot_masked_parallel_with(other, ctx.log(), &mut cell.borrow_mut())?
+                }
+                None => self.dot_masked_parallel(other, ctx.log())?,
+            }
         } else {
             self.dot_masked(other, ctx.log())?
         })
@@ -136,7 +151,10 @@ impl SolverVector for ProtectedVector {
     fn norm2(&self, ctx: &FaultContext) -> Result<f64, SolverError> {
         // Single pass: one check per group, not the two of dot(self, self).
         Ok(if self.is_parallel() {
-            self.norm2_masked_parallel(ctx.log())?
+            match ctx.reduction() {
+                Some(cell) => self.norm2_masked_parallel_with(ctx.log(), &mut cell.borrow_mut())?,
+                None => self.norm2_masked_parallel(ctx.log())?,
+            }
         } else {
             self.norm2_masked(ctx.log())?
         })
@@ -144,7 +162,12 @@ impl SolverVector for ProtectedVector {
 
     fn axpy(&mut self, alpha: f64, x: &Self, ctx: &FaultContext) -> Result<(), SolverError> {
         if self.is_parallel() {
-            self.axpy_masked_parallel(alpha, x, ctx.log())?;
+            match ctx.reduction() {
+                Some(cell) => {
+                    self.axpy_masked_parallel_with(alpha, x, ctx.log(), &mut cell.borrow_mut())?
+                }
+                None => self.axpy_masked_parallel(alpha, x, ctx.log())?,
+            }
         } else {
             self.axpy_masked(alpha, x, ctx.log())?;
         }
@@ -152,16 +175,41 @@ impl SolverVector for ProtectedVector {
     }
 
     fn xpay(&mut self, alpha: f64, x: &Self, ctx: &FaultContext) -> Result<(), SolverError> {
-        Ok(self.xpay_masked(alpha, x, ctx.log())?)
+        if self.is_parallel() {
+            match ctx.reduction() {
+                Some(cell) => {
+                    self.xpay_masked_parallel_with(alpha, x, ctx.log(), &mut cell.borrow_mut())?
+                }
+                None => self.xpay_masked_parallel(alpha, x, ctx.log())?,
+            }
+        } else {
+            self.xpay_masked(alpha, x, ctx.log())?;
+        }
+        Ok(())
     }
 
     fn scale(&mut self, alpha: f64, ctx: &FaultContext) -> Result<(), SolverError> {
-        Ok(self.scale_masked(alpha, ctx.log())?)
+        if self.is_parallel() {
+            match ctx.reduction() {
+                Some(cell) => {
+                    self.scale_masked_parallel_with(alpha, ctx.log(), &mut cell.borrow_mut())?
+                }
+                None => self.scale_masked_parallel(alpha, ctx.log())?,
+            }
+        } else {
+            self.scale_masked(alpha, ctx.log())?;
+        }
+        Ok(())
     }
 
     fn dot_axpy(&mut self, alpha: f64, x: &Self, ctx: &FaultContext) -> Result<f64, SolverError> {
         Ok(if self.is_parallel() {
-            self.dot_axpy_masked_parallel(alpha, x, ctx.log())?
+            match ctx.reduction() {
+                Some(cell) => {
+                    self.dot_axpy_masked_parallel_with(alpha, x, ctx.log(), &mut cell.borrow_mut())?
+                }
+                None => self.dot_axpy_masked_parallel(alpha, x, ctx.log())?,
+            }
         } else {
             self.dot_axpy_masked(alpha, x, ctx.log())?
         })
@@ -296,13 +344,15 @@ impl LinearOperator for Plain<'_> {
 /// The matrix-only protection tier (Figures 4–8): protected matrix, plain
 /// work vectors.
 ///
-/// The operator owns a [`SpmvWorkspace`] behind a `RefCell`, so repeated
-/// `apply` calls from a solver loop reuse the same scratch buffers — zero
-/// heap allocations per iteration once the first SpMV has warmed them.
+/// The operator owns a [`SpmvWorkspace`] and a [`ReductionWorkspace`]
+/// behind `RefCell`s, so repeated `apply` calls and parallel BLAS-1
+/// reductions from a solver loop reuse the same scratch buffers — zero
+/// heap allocations per iteration once the first one has warmed them.
 #[derive(Debug, Clone)]
 pub struct MatrixProtected<'a> {
     matrix: &'a ProtectedCsr,
     workspace: RefCell<SpmvWorkspace>,
+    reduction: RefCell<ReductionWorkspace>,
 }
 
 impl<'a> MatrixProtected<'a> {
@@ -311,6 +361,7 @@ impl<'a> MatrixProtected<'a> {
         MatrixProtected {
             matrix,
             workspace: RefCell::new(SpmvWorkspace::new()),
+            reduction: RefCell::new(ReductionWorkspace::new()),
         }
     }
 }
@@ -355,6 +406,10 @@ impl LinearOperator for MatrixProtected<'_> {
         Some(gershgorin_protected(self.matrix))
     }
 
+    fn reduction_workspace(&self) -> Option<&RefCell<ReductionWorkspace>> {
+        Some(&self.reduction)
+    }
+
     fn finish(
         &self,
         solution: &mut PlainVector,
@@ -373,13 +428,16 @@ impl LinearOperator for MatrixProtected<'_> {
 /// protected work vectors.
 ///
 /// Like [`MatrixProtected`], the operator owns the [`SpmvWorkspace`] its
-/// kernels stage row products in, so solver iterations allocate nothing.
+/// kernels stage row products in and the [`ReductionWorkspace`] the
+/// parallel BLAS-1 reductions accumulate in, so solver iterations allocate
+/// nothing.
 #[derive(Debug, Clone)]
 pub struct FullyProtected<'a> {
     matrix: &'a ProtectedCsr,
     scheme: EccScheme,
     crc_backend: Crc32cBackend,
     workspace: RefCell<SpmvWorkspace>,
+    reduction: RefCell<ReductionWorkspace>,
 }
 
 impl<'a> FullyProtected<'a> {
@@ -391,6 +449,7 @@ impl<'a> FullyProtected<'a> {
             scheme: matrix.config().vectors,
             crc_backend: matrix.config().crc_backend,
             workspace: RefCell::new(SpmvWorkspace::new()),
+            reduction: RefCell::new(ReductionWorkspace::new()),
         }
     }
 
@@ -407,6 +466,7 @@ impl<'a> FullyProtected<'a> {
             scheme,
             crc_backend,
             workspace: RefCell::new(SpmvWorkspace::new()),
+            reduction: RefCell::new(ReductionWorkspace::new()),
         }
     }
 
@@ -463,6 +523,10 @@ impl LinearOperator for FullyProtected<'_> {
 
     fn bounds_hint(&self) -> Option<ChebyshevBounds> {
         Some(gershgorin_protected(self.matrix))
+    }
+
+    fn reduction_workspace(&self) -> Option<&RefCell<ReductionWorkspace>> {
+        Some(&self.reduction)
     }
 
     fn finish(

@@ -267,6 +267,10 @@ impl Solver {
         b: &[f64],
         ctx: &FaultContext<'_>,
     ) -> Result<SolveOutcome, SolverError> {
+        // Scope the context to this operator: protected backends expose
+        // their reduction workspace so the parallel BLAS-1 kernels reuse
+        // its preallocated partial slots across every iteration.
+        let ctx = &ctx.scoped_to(op.reduction_workspace());
         let bvec = op.vector_from(b);
         let (mut x, status) = match self.method {
             Method::Cg => generic::cg(op, &bvec, &self.config, ctx)?,

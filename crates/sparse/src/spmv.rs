@@ -54,6 +54,41 @@ pub fn dot_parallel(a: &[f64], b: &[f64]) -> f64 {
     a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum()
 }
 
+/// [`dot_parallel`] with a caller-owned per-chunk partial buffer, so solver
+/// loops reuse one allocation across iterations.  Per-chunk sums are folded
+/// in chunk order — bitwise identical to [`dot_parallel`] at the same chunk
+/// count, and to [`blas_dot`](crate::vector::blas_dot) when the input is
+/// below the parallel threshold.
+pub fn dot_parallel_with(a: &[f64], b: &[f64], partials: &mut Vec<f64>) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let len = a.len();
+    let chunks = rayon::chunk_count(len);
+    if chunks <= 1 {
+        return crate::vector::blas_dot(a, b);
+    }
+    let chunk = len.div_ceil(chunks);
+    if partials.len() < chunks {
+        partials.resize(chunks, 0.0);
+    }
+    // `Vec<()>` never allocates: the unit states only set the chunk count.
+    let mut states = vec![(); chunks];
+    let ok: Result<(), std::convert::Infallible> =
+        rayon::with_chunks_mut(&mut partials[..chunks], &mut states, |c, slot, _| {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(len);
+            slot[0] = a[start..end]
+                .iter()
+                .zip(&b[start..end])
+                .map(|(x, y)| x * y)
+                .sum();
+            Ok(())
+        });
+    match ok {
+        Ok(()) => partials[..chunks].iter().sum(),
+        Err(never) => match never {},
+    }
+}
+
 /// Parallel AXPY: `y ← y + alpha x`.
 pub fn axpy_parallel(y: &mut [f64], alpha: f64, x: &[f64]) {
     assert_eq!(y.len(), x.len(), "axpy: length mismatch");
@@ -94,6 +129,20 @@ mod tests {
         crate::vector::blas_axpy(&mut y1, 1.5, &b);
         axpy_parallel(&mut y2, 1.5, &b);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn workspace_dot_is_bitwise_identical_to_the_allocating_path() {
+        // Below the parallel threshold (serial fallback) and above it, with
+        // the buffer reused across calls of different lengths.
+        let mut partials = Vec::new();
+        for n in [1000usize, 30_000, 9_000] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+            let reference = dot_parallel(&a, &b);
+            let with_ws = dot_parallel_with(&a, &b, &mut partials);
+            assert_eq!(with_ws.to_bits(), reference.to_bits(), "n={n}");
+        }
     }
 
     #[test]

@@ -368,3 +368,99 @@ fn mixed_logical_and_padding_corruption_is_still_detected() {
     assert!(v.check_all(&log).is_err());
     assert!(log.total_uncorrectable() > 0);
 }
+
+#[test]
+fn sharded_scheduler_parity_under_worker_sweeps() {
+    // Worker limits past the host core count oversubscribe the chunk split
+    // (several chunks per lane), so announcements are genuinely stolen
+    // across the per-worker queues; the blocked reductions must keep every
+    // kernel bitwise identical to serial regardless, including the
+    // workspace-backed variants the solver backends run and the new
+    // parallel XPAY/scale.  Check tallies are per codeword group, so the
+    // bulk fault accounting must not depend on the chunk split either.
+    use abft_suite::core::ReductionWorkspace;
+    let n = 40_000;
+    for workers in [2usize, 8] {
+        rayon::set_worker_limit(Some(workers));
+        for scheme in all_schemes() {
+            let a = encode(&sample(n, 3.0), scheme);
+            let b = encode(&sample(n, 11.0), scheme);
+            let mut ws = ReductionWorkspace::new();
+            let context = |what: &str| format!("{scheme:?} workers={workers} {what}");
+
+            let serial_log = FaultLog::new();
+            let parallel_log = FaultLog::new();
+
+            let serial = a.dot_masked(&b, &serial_log).unwrap();
+            let parallel = a
+                .dot_masked_parallel_with(&b, &parallel_log, &mut ws)
+                .unwrap();
+            assert_eq!(parallel.to_bits(), serial.to_bits(), "{}", context("dot"));
+
+            let serial = a.norm2_masked(&serial_log).unwrap();
+            let parallel = a
+                .norm2_masked_parallel_with(&parallel_log, &mut ws)
+                .unwrap();
+            assert_eq!(parallel.to_bits(), serial.to_bits(), "{}", context("norm2"));
+
+            let mut s = a.clone();
+            s.axpy_masked(1.5, &b, &serial_log).unwrap();
+            let mut p = a.clone();
+            p.axpy_masked_parallel_with(1.5, &b, &parallel_log, &mut ws)
+                .unwrap();
+            assert_eq!(p.raw(), s.raw(), "{}", context("axpy"));
+
+            let mut s = a.clone();
+            s.xpay_masked(-0.75, &b, &serial_log).unwrap();
+            let mut p = a.clone();
+            p.xpay_masked_parallel_with(-0.75, &b, &parallel_log, &mut ws)
+                .unwrap();
+            assert_eq!(p.raw(), s.raw(), "{}", context("xpay"));
+
+            let mut s = a.clone();
+            s.scale_masked(1.0 / 3.0, &serial_log).unwrap();
+            let mut p = a.clone();
+            p.scale_masked_parallel_with(1.0 / 3.0, &parallel_log, &mut ws)
+                .unwrap();
+            assert_eq!(p.raw(), s.raw(), "{}", context("scale"));
+
+            let mut s = a.clone();
+            let serial = s.dot_axpy_masked(-0.5, &b, &serial_log).unwrap();
+            let mut p = a.clone();
+            let parallel = p
+                .dot_axpy_masked_parallel_with(-0.5, &b, &parallel_log, &mut ws)
+                .unwrap();
+            assert_eq!(p.raw(), s.raw(), "{}", context("dot_axpy storage"));
+            assert_eq!(
+                parallel.to_bits(),
+                serial.to_bits(),
+                "{}",
+                context("dot_axpy reduction")
+            );
+
+            // Identical bulk fault accounting: same checks, nothing else.
+            assert_eq!(
+                parallel_log.snapshot(),
+                serial_log.snapshot(),
+                "{}",
+                context("fault accounting")
+            );
+
+            // Reusing the warm workspace across a second round must not
+            // perturb results (stale tallies/partials would surface here).
+            let fresh = a
+                .dot_masked_parallel_with(&b, &parallel_log, &mut ws)
+                .unwrap();
+            let again = a
+                .dot_masked_parallel_with(&b, &parallel_log, &mut ws)
+                .unwrap();
+            assert_eq!(
+                fresh.to_bits(),
+                again.to_bits(),
+                "{}",
+                context("warm reuse")
+            );
+        }
+        rayon::set_worker_limit(None);
+    }
+}

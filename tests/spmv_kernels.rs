@@ -174,3 +174,58 @@ fn kernels_still_catch_and_correct_faults_after_the_rewrite() {
     a.spmv_parallel(&x[..], &mut y_parallel, 0, &log).unwrap();
     assert_bitwise_eq(&y_parallel, &reference, "corrected parallel");
 }
+
+#[test]
+fn sharded_scheduler_spmv_parity_under_worker_sweeps() {
+    // Serial vs sharded-parallel SpMV under worker limits past the core
+    // count (steal-heavy schedules: the chunk split oversubscribes lanes).
+    // Output bits and bulk check accounting must both be independent of the
+    // schedule, for the matrix-protected and the fully protected kernels.
+    let m = test_matrix();
+    let x_plain: Vec<f64> = (0..m.cols())
+        .map(|i| 1.0 + (i as f64 * 0.29).sin())
+        .collect();
+    for workers in [2usize, 8] {
+        rayon::set_worker_limit(Some(workers));
+        for scheme in all_schemes() {
+            let cfg = ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16);
+            let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
+            let mut ws = SpmvWorkspace::new();
+
+            let serial_log = FaultLog::new();
+            let mut y_serial = vec![0.0; m.rows()];
+            a.spmv_with(&x_plain[..], &mut y_serial, 0, &serial_log, &mut ws)
+                .unwrap();
+
+            let parallel_log = FaultLog::new();
+            let mut y_parallel = vec![0.0; m.rows()];
+            a.spmv_parallel_with(&x_plain[..], &mut y_parallel, 0, &parallel_log, &mut ws)
+                .unwrap();
+
+            assert_bitwise_eq(
+                &y_serial,
+                &y_parallel,
+                &format!("{scheme:?} workers={workers} plain-x"),
+            );
+            assert_eq!(
+                parallel_log.snapshot(),
+                serial_log.snapshot(),
+                "{scheme:?} workers={workers}: check accounting must not depend on the schedule"
+            );
+
+            // Fully protected kernel too (masked input, protected output).
+            let mut x = ProtectedVector::from_slice(&x_plain, scheme, cfg.crc_backend);
+            let log = FaultLog::new();
+            let mut y1 = ProtectedVector::zeros(m.rows(), scheme, cfg.crc_backend);
+            protected_spmv(&a, &mut x, &mut y1, 0, &log, &mut ws).unwrap();
+            let mut y2 = ProtectedVector::zeros(m.rows(), scheme, cfg.crc_backend);
+            protected_spmv_parallel(&a, &mut x, &mut y2, 0, &log, &mut ws).unwrap();
+            assert_eq!(
+                y1.raw(),
+                y2.raw(),
+                "{scheme:?} workers={workers} fully protected"
+            );
+        }
+        rayon::set_worker_limit(None);
+    }
+}

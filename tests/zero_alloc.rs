@@ -83,6 +83,52 @@ fn matrix_protected_cg_iterations_do_not_allocate() {
 }
 
 #[test]
+fn parallel_fully_protected_cg_iterations_do_not_allocate() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    // 128×128 grid: 16384 unknowns — above the parallel BLAS-1 threshold
+    // (PARALLEL_MIN_ELEMENTS) and enough SpMV rows for several chunks, so
+    // the solve genuinely dispatches on the sharded pool.  Four lanes force
+    // cross-thread scheduling even on a single-core CI box.
+    rayon::set_worker_limit(Some(4));
+    let a = pad_rows_to_min_entries(&poisson_2d(128, 128), 4);
+    let b: Vec<f64> = (0..a.rows()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+    for scheme in [
+        EccScheme::None,
+        EccScheme::Sed,
+        EccScheme::Secded64,
+        EccScheme::Secded128,
+        EccScheme::Crc32c,
+    ] {
+        let cfg = ProtectionConfig::full(scheme)
+            .with_parallel(true)
+            .with_crc_backend(Crc32cBackend::SlicingBy16);
+        let protected = abft_suite::core::ProtectedCsr::from_csr(&a, &cfg).unwrap();
+        let op = FullyProtected::new(&protected);
+        let short = Solver::cg().max_iterations(10).tolerance(0.0);
+        let long = Solver::cg().max_iterations(60).tolerance(0.0);
+        // Warm-up: spawns the pool (first use only), sizes the SpMV and
+        // reduction workspaces, and grows the per-chunk scratch buffers.
+        short.solve_operator(&op, &b).unwrap();
+
+        let allocs_short = allocations_during(|| {
+            short.solve_operator(&op, &b).unwrap();
+        });
+        let allocs_long = allocations_during(|| {
+            long.solve_operator(&op, &b).unwrap();
+        });
+        // 50 extra parallel CG iterations — sharded-pool SpMV dispatches plus
+        // workspace-backed parallel dot/AXPY/XPAY/fused dot+AXPY — must not
+        // add a single heap allocation, on any participating thread (the
+        // counting allocator is process-global).
+        assert_eq!(
+            allocs_short, allocs_long,
+            "{scheme:?}: parallel protected CG iterations allocated"
+        );
+    }
+    rayon::set_worker_limit(None);
+}
+
+#[test]
 fn fully_protected_cg_iterations_do_not_allocate() {
     let _guard = MEASURE_LOCK.lock().unwrap();
     let (a, b) = system();

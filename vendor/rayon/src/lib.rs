@@ -6,18 +6,47 @@
 //!
 //! The build environment for this repository has no network access, so the
 //! real rayon cannot be fetched from crates.io; this shim keeps the kernel
-//! code source-compatible.  Work is executed on a **persistent worker pool**
-//! (spawned lazily on first use, one thread per available core), so a
-//! parallel kernel invocation costs a handful of queue pushes instead of a
-//! full thread spawn/join cycle — the difference between ~10 µs and ~1 ms of
-//! fixed overhead per SpMV.  For small inputs, where even queue traffic
+//! code source-compatible.  Work runs on a **sharded persistent runtime**:
+//!
+//! * **Per-worker injector queues.**  Each pool worker owns a queue; a
+//!   scoped dispatch announces itself to as many queues as it wants lanes,
+//!   so concurrent dispatches (tests, the fault campaign, nested solver
+//!   pipelines) never serialise on one global queue lock the way the
+//!   previous single-`mpsc` pool did.
+//! * **Chunk-granular work stealing.**  A dispatch is described once by a
+//!   stack-allocated descriptor holding an atomic chunk cursor; every lane
+//!   that joins (the caller, workers that pop an announcement from their own
+//!   queue, and workers that steal one from another queue) claims chunks
+//!   with a `fetch_add` until the cursor runs dry.  A slow lane therefore
+//!   delays at most one chunk, not a fixed share of the input.
+//! * **Allocation-free dispatch.**  The descriptor lives on the caller's
+//!   stack and queue slots are plain pointers in pre-sized ring buffers, so
+//!   a parallel kernel invocation performs no heap allocation — the property
+//!   `tests/zero_alloc.rs` pins for whole protected CG iterations, now
+//!   including the parallel ones.
+//!
+//! Results are **bitwise deterministic for a given worker limit**: chunk
+//! index `i` always covers the same element range, every reduction folds
+//! per-chunk partials in index order, and which OS thread executes which
+//! chunk is the only thing scheduling decides — the invariant that makes
+//! stealing safe to land.  Changing the limit changes `chunk_count`, and
+//! with it the floating-point fold order of the *chunk-order* reductions
+//! here (`par_iter().zip().map().sum()`); only kernels that accumulate in
+//! fixed-size blocks independent of the chunk split (the protected BLAS-1
+//! layer in `abft-core`, which folds per 4096-element block) are bitwise
+//! identical across lane counts too.
+//!
+//! [`set_worker_limit`] caps the lanes a dispatch may use; the scaling
+//! benchmarks and the scheduler stress tests sweep it from 1 (fully inline)
+//! past the physical core count.  For small inputs, where even queue traffic
 //! would dominate, the loop runs inline on the caller.  Swapping the real
 //! rayon back in is a one-line `Cargo.toml` change — no kernel code needs to
 //! be touched.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Everything the kernels import.
 pub mod prelude {
@@ -28,26 +57,85 @@ pub mod prelude {
 /// pool costs more than the loop itself.
 const MIN_CHUNK: usize = 4096;
 
-/// The number of chunks (and thus pool tasks) a parallel operation over
-/// `len` elements is split into.  `1` means the operation runs inline.
-pub fn chunk_count(len: usize) -> usize {
-    if len < MIN_CHUNK {
-        return 1;
+/// Chunks created per execution lane, so stealing has slack to balance
+/// uneven chunk costs (a lane finishing early steals from the shared
+/// cursor rather than idling).
+const STEAL_CHUNKS_PER_WORKER: usize = 4;
+
+/// Workers the pool always provides, independent of the host core count, so
+/// worker-limit sweeps (scaling benches, scheduler stress tests) exercise
+/// real cross-thread scheduling even on small CI boxes.  Idle workers sleep
+/// on a condvar and cost nothing.
+const MIN_POOL_WORKERS: usize = 8;
+
+/// Announcement-queue capacity reserved per worker at pool start.  Bounded
+/// by the number of *concurrent* scoped dispatches (not their chunk
+/// counts), so 64 is far beyond anything this workspace produces; the queue
+/// grows (one allocation) rather than failing if it is ever exceeded.
+const SHARD_QUEUE_CAPACITY: usize = 64;
+
+/// Worker-count override (0 = follow `available_parallelism`).  Set by the
+/// scaling benchmarks and the scheduler stress tests to sweep parallelism
+/// degrees independently of the host's core count.
+static WORKER_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps (or restores) the number of execution lanes — caller plus pool
+/// workers — a parallel operation may use.  `None` restores the default
+/// (one lane per available core).  At a fixed limit results are bitwise
+/// deterministic (scheduling cannot affect them); across *different*
+/// limits only blocked-reduction kernels (the protected BLAS-1 layer, the
+/// row-indexed SpMV) are bitwise invariant — the chunk-order reductions in
+/// this shim re-chunk with the limit, which reorders their floating-point
+/// folds.
+pub fn set_worker_limit(limit: Option<usize>) {
+    WORKER_LIMIT.store(limit.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The number of execution lanes parallel operations currently target.
+pub fn effective_workers() -> usize {
+    let limit = WORKER_LIMIT.load(Ordering::Relaxed);
+    if limit > 0 {
+        return limit;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(len.div_ceil(MIN_CHUNK))
+}
+
+/// The number of chunks a parallel operation over `len` elements is split
+/// into.  `1` means the operation runs inline.  With more than one lane the
+/// split oversubscribes ([`STEAL_CHUNKS_PER_WORKER`] chunks per lane, chunk
+/// size at least [`MIN_CHUNK`]) so the stealing cursor can rebalance.
+pub fn chunk_count(len: usize) -> usize {
+    if len < MIN_CHUNK {
+        return 1;
+    }
+    let workers = effective_workers();
+    if workers <= 1 {
+        return 1;
+    }
+    (workers * STEAL_CHUNKS_PER_WORKER).min(len.div_ceil(MIN_CHUNK))
 }
 
 // ---------------------------------------------------------------------------
-// Persistent worker pool
+// Sharded persistent runtime
 // ---------------------------------------------------------------------------
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// One worker's injector queue of scoped-dispatch announcements.
+struct Shard {
+    queue: Mutex<VecDeque<TaskRef>>,
+}
 
 struct Pool {
-    sender: Mutex<mpsc::Sender<Job>>,
+    shards: Vec<Shard>,
+    /// Wake epoch: bumped (under the lock) by every announcement push, so a
+    /// worker that saw empty queues while holding the lock cannot miss the
+    /// wakeup for a push that raced with it going to sleep.
+    sleep: Mutex<u64>,
+    wakeup: Condvar,
+    /// Rotates the first shard announcements land on, so repeated small
+    /// dispatches spread across workers instead of hammering shard 0.
+    next_shard: AtomicUsize,
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
@@ -60,133 +148,285 @@ thread_local! {
 
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
-        let threads = std::thread::available_parallelism()
+        let workers = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1);
-        let (sender, receiver) = mpsc::channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        for index in 0..threads {
-            let receiver = Arc::clone(&receiver);
+            .unwrap_or(1)
+            .max(MIN_POOL_WORKERS);
+        let pool = Pool {
+            shards: (0..workers)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::with_capacity(SHARD_QUEUE_CAPACITY)),
+                })
+                .collect(),
+            sleep: Mutex::new(0),
+            wakeup: Condvar::new(),
+            next_shard: AtomicUsize::new(0),
+        };
+        for index in 0..workers {
             std::thread::Builder::new()
                 .name(format!("abft-rayon-{index}"))
-                .spawn(move || {
-                    IN_WORKER.with(|flag| flag.set(true));
-                    loop {
-                        let job = match receiver.lock() {
-                            Ok(guard) => guard.recv(),
-                            Err(_) => break,
-                        };
-                        match job {
-                            Ok(job) => job(),
-                            Err(_) => break,
-                        }
-                    }
-                })
+                .spawn(move || worker_loop(index))
                 .expect("spawn pool worker");
         }
-        Pool {
-            sender: Mutex::new(sender),
-        }
+        pool
     })
 }
 
-/// Tracks outstanding tasks of one scoped dispatch and whether any panicked.
-struct Latch {
-    remaining: Mutex<usize>,
-    done: Condvar,
+/// Lifetime-erased pointer to a [`ScopedTask`] on some caller's stack.  The
+/// scoped-dispatch protocol (announcement reference counting plus the
+/// caller's completion wait) guarantees the pointee outlives every queued
+/// copy.
+#[derive(Clone, Copy)]
+struct TaskRef(*const ScopedTask);
+
+// SAFETY: the pointee is Sync (atomics + function pointer) and its lifetime
+// is enforced by the dispatch protocol documented on `scope_chunks`.
+unsafe impl Send for TaskRef {}
+
+/// Stack-allocated descriptor of one scoped dispatch.
+struct ScopedTask {
+    /// Monomorphized trampoline invoking the caller's closure.
+    run: unsafe fn(*const (), usize),
+    /// The caller's closure, type-erased.
+    closure: *const (),
+    /// Total chunks to execute.
+    n_chunks: usize,
+    /// Work-stealing cursor: the next chunk index to claim.
+    next: AtomicUsize,
+    /// Chunks fully executed.
+    completed: AtomicUsize,
+    /// Outstanding queue announcements plus workers currently engaged; the
+    /// descriptor may be retired only once this reaches zero.
+    refs: AtomicUsize,
+    /// Set when any chunk panicked on a pool worker.
     panicked: AtomicBool,
 }
 
-impl Latch {
-    fn new(count: usize) -> Self {
-        Latch {
-            remaining: Mutex::new(count),
-            done: Condvar::new(),
-            panicked: AtomicBool::new(false),
+/// Claims and runs chunks of `task` until the cursor runs dry, then drops
+/// the engagement reference.  Runs on pool workers.
+fn engage(task: TaskRef) {
+    // SAFETY: `refs` was incremented when this announcement was pushed, and
+    // the dispatching caller cannot return before we decrement it below, so
+    // the descriptor is alive for the whole engagement.
+    let shared = unsafe { &*task.0 };
+    loop {
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= shared.n_chunks {
+            break;
+        }
+        // SAFETY: the trampoline was monomorphized for the closure behind
+        // `closure` by the dispatching caller.
+        let run = || unsafe { (shared.run)(shared.closure, i) };
+        if catch_unwind(AssertUnwindSafe(run)).is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        shared.completed.fetch_add(1, Ordering::Release);
+    }
+    shared.refs.fetch_sub(1, Ordering::Release);
+}
+
+/// Pops an announcement: own queue from the front, then — chunk-granular
+/// stealing's task-level counterpart — other queues from the back.
+fn find_task(pool: &Pool, me: usize) -> Option<TaskRef> {
+    let n = pool.shards.len();
+    if let Some(task) = pool.shards[me]
+        .queue
+        .lock()
+        .expect("shard poisoned")
+        .pop_front()
+    {
+        return Some(task);
+    }
+    for offset in 1..n {
+        let victim = &pool.shards[(me + offset) % n];
+        if let Some(task) = victim.queue.lock().expect("shard poisoned").pop_back() {
+            return Some(task);
         }
     }
+    None
+}
 
-    fn complete_one(&self) {
-        let mut remaining = self.remaining.lock().expect("latch poisoned");
-        *remaining -= 1;
-        if *remaining == 0 {
-            self.done.notify_all();
+fn worker_loop(me: usize) {
+    IN_WORKER.with(|flag| flag.set(true));
+    let pool = pool();
+    loop {
+        if let Some(task) = find_task(pool, me) {
+            engage(task);
+            continue;
         }
-    }
-
-    fn wait(&self) {
-        let mut remaining = self.remaining.lock().expect("latch poisoned");
-        while *remaining > 0 {
-            remaining = self.done.wait(remaining).expect("latch poisoned");
+        let mut epoch = pool.sleep.lock().expect("sleep lock poisoned");
+        // Re-check under the lock: a push that completed after our scan
+        // bumped the epoch before we could sleep.
+        if let Some(task) = find_task(pool, me) {
+            drop(epoch);
+            engage(task);
+            continue;
+        }
+        let seen = *epoch;
+        while *epoch == seen {
+            epoch = pool.wakeup.wait(epoch).expect("sleep lock poisoned");
         }
     }
 }
 
-/// Runs every task on the pool, keeping the last one on the calling thread,
-/// and blocks until all of them have finished.  Because this function does
-/// not return before completion, tasks may safely borrow from the caller's
-/// stack frame (the `'scope` lifetime).
-fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
-    let mut tasks = tasks;
-    let inline_task = match tasks.pop() {
-        Some(task) => task,
-        None => return,
-    };
-    if tasks.is_empty() || IN_WORKER.with(|flag| flag.get()) {
-        // Single task, or already on a pool worker (nested parallelism):
-        // execute inline to avoid deadlocking the fixed-size pool.
-        inline_task();
-        for task in tasks {
-            task();
+/// Runs `f(0) .. f(n_chunks - 1)` across the caller and up to
+/// `effective_workers() - 1` pool workers, returning when every chunk has
+/// executed.  Chunks may be claimed by any participating lane (work
+/// stealing); claim order is unspecified, so `f` must not depend on it —
+/// every caller in this workspace writes chunk-indexed output slots and
+/// folds them in index order afterwards.
+///
+/// The dispatch itself performs no heap allocation: the descriptor lives on
+/// this stack frame, and announcements are pointer-sized entries in the
+/// pool's pre-sized queues.
+///
+/// # Panics
+/// Propagates a panic from the caller's own chunks with its original
+/// payload; panics from pool-executed chunks surface as a generic panic
+/// after all chunks finish.
+pub fn scope_chunks<F: Fn(usize) + Sync>(n_chunks: usize, f: &F) {
+    if n_chunks == 0 {
+        return;
+    }
+    let lanes = effective_workers();
+    if n_chunks == 1 || lanes <= 1 || IN_WORKER.with(|flag| flag.get()) {
+        // Single chunk, serial limit, or nested parallelism on a pool
+        // worker: run inline.
+        for i in 0..n_chunks {
+            f(i);
         }
         return;
     }
-    let latch = Arc::new(Latch::new(tasks.len()));
+    let pool = pool();
+    let crew = (lanes.min(n_chunks) - 1).min(pool.shards.len());
+    if crew == 0 {
+        for i in 0..n_chunks {
+            f(i);
+        }
+        return;
+    }
+
+    /// Monomorphized trampoline recovering the closure type.
+    unsafe fn call<F: Fn(usize) + Sync>(closure: *const (), i: usize) {
+        (*(closure as *const F))(i)
+    }
+    let shared = ScopedTask {
+        run: call::<F>,
+        closure: f as *const F as *const (),
+        n_chunks,
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        refs: AtomicUsize::new(crew),
+        panicked: AtomicBool::new(false),
+    };
+    let task = TaskRef(&shared as *const ScopedTask);
+
+    // Announce to `crew` distinct injector queues, starting at a rotating
+    // shard so concurrent dispatches spread over the workers.
+    let first = pool.next_shard.fetch_add(1, Ordering::Relaxed);
+    for k in 0..crew {
+        let shard = &pool.shards[(first + k) % pool.shards.len()];
+        shard.queue.lock().expect("shard poisoned").push_back(task);
+    }
     {
-        let sender = pool().sender.lock().expect("pool sender poisoned");
-        for task in tasks {
-            // SAFETY: `run_scoped` blocks on the latch until every submitted
-            // task has run to completion before returning, so the `'scope`
-            // borrows captured by the task strictly outlive its execution.
-            // The transmute only erases that lifetime; the layout of the
-            // boxed trait object is unchanged.
-            let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
-                std::mem::transmute::<
-                    Box<dyn FnOnce() + Send + 'scope>,
-                    Box<dyn FnOnce() + Send + 'static>,
-                >(task)
-            };
-            let latch = Arc::clone(&latch);
-            let job: Job = Box::new(move || {
-                if catch_unwind(AssertUnwindSafe(task)).is_err() {
-                    latch.panicked.store(true, Ordering::Relaxed);
+        let mut epoch = pool.sleep.lock().expect("sleep lock poisoned");
+        *epoch += 1;
+    }
+    pool.wakeup.notify_all();
+
+    // The caller is lane 0: claim chunks off the shared cursor like any
+    // worker, keeping its original panic payload.
+    let mut caller_panic = None;
+    loop {
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= n_chunks {
+            break;
+        }
+        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(()) => {}
+            Err(payload) => {
+                shared.panicked.store(true, Ordering::Relaxed);
+                if caller_panic.is_none() {
+                    caller_panic = Some(payload);
                 }
-                latch.complete_one();
-            });
-            sender.send(job).expect("pool workers alive");
+            }
+        }
+        shared.completed.fetch_add(1, Ordering::Release);
+    }
+
+    // Withdraw announcements no worker claimed (all chunks may already be
+    // done), so the descriptor can be retired without waiting for busy
+    // workers to drain unrelated queues.
+    for k in 0..crew {
+        let shard = &pool.shards[(first + k) % pool.shards.len()];
+        let mut queue = shard.queue.lock().expect("shard poisoned");
+        let before = queue.len();
+        queue.retain(|entry| !std::ptr::eq(entry.0, task.0));
+        let withdrawn = before - queue.len();
+        drop(queue);
+        if withdrawn > 0 {
+            shared.refs.fetch_sub(withdrawn, Ordering::Release);
         }
     }
-    let inline_panic = catch_unwind(AssertUnwindSafe(inline_task));
-    latch.wait();
-    if latch.panicked.load(Ordering::Relaxed) {
-        panic!("rayon shim: a pool task panicked");
+
+    // Wait until every chunk has executed *and* every engaged worker has
+    // dropped its reference — only then is the stack descriptor dead.
+    let mut spins = 0u32;
+    while shared.completed.load(Ordering::Acquire) < n_chunks
+        || shared.refs.load(Ordering::Acquire) > 0
+    {
+        spins = spins.wrapping_add(1);
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
     }
-    if let Err(payload) = inline_panic {
+
+    if let Some(payload) = caller_panic {
         std::panic::resume_unwind(payload);
     }
+    if shared.panicked.load(Ordering::Relaxed) {
+        panic!("rayon shim: a pool task panicked");
+    }
 }
+
+/// Raw-pointer wrapper letting `scope_chunks` closures hand disjoint
+/// chunk-indexed regions of a caller-owned buffer to different lanes.
+/// The pointer is only reachable through [`SendPtr::get`], so edition-2021
+/// disjoint closure capture cannot peel the unwrapped `*mut T` out of it.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: every use derives disjoint regions from the chunk index; the
+// caller of `scope_chunks` owns the buffer for the whole dispatch.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 // ---------------------------------------------------------------------------
 // Chunked dispatch for the ABFT kernels
 // ---------------------------------------------------------------------------
 
 /// Splits `data` into `states.len()` contiguous chunks and runs
-/// `f(offset, chunk, state)` for each pairing on the persistent pool,
+/// `f(offset, chunk, state)` for each pairing on the sharded runtime,
 /// handing chunk `i` exclusive access to `states[i]` (per-chunk scratch
 /// buffers, local fault tallies, …).  Returns the first error observed.
 /// Chunks that have not *started* when the first error lands are skipped;
 /// chunks already running finish their work (cancellation is per chunk, not
-/// per element — chunks are one-per-worker, so mid-chunk polling would buy
+/// per element — chunks are small enough that mid-chunk polling would buy
 /// little and cost a flag check in every kernel inner loop).
 ///
 /// With a single state (or an empty `data`) the call runs inline on the
@@ -203,34 +443,31 @@ where
     if n_chunks == 1 || data.len() <= 1 {
         return f(0, data, &mut states[0]);
     }
-    let chunk = data.len().div_ceil(n_chunks);
+    let len = data.len();
+    let chunk = len.div_ceil(n_chunks);
     let failed = AtomicBool::new(false);
     let error: Mutex<Option<E>> = Mutex::new(None);
-    {
-        let f = &f;
-        let failed = &failed;
-        let error = &error;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
-            .chunks_mut(chunk)
-            .zip(states.iter_mut())
-            .enumerate()
-            .map(|(index, (part, state))| {
-                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    if failed.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    if let Err(e) = f(index * chunk, part, state) {
-                        failed.store(true, Ordering::Relaxed);
-                        if let Ok(mut slot) = error.lock() {
-                            slot.get_or_insert(e);
-                        }
-                    }
-                });
-                task
-            })
-            .collect();
-        run_scoped(tasks);
-    }
+    let data_ptr = SendPtr(data.as_mut_ptr());
+    let state_ptr = SendPtr(states.as_mut_ptr());
+    scope_chunks(n_chunks, &|c| {
+        let start = c * chunk;
+        if start >= len || failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let end = ((c + 1) * chunk).min(len);
+        // SAFETY: chunk `c` exclusively covers data[start..end] and
+        // states[c]; ranges for distinct `c` are disjoint and the caller's
+        // borrows outlive the dispatch.
+        let part =
+            unsafe { std::slice::from_raw_parts_mut(data_ptr.get().add(start), end - start) };
+        let state = unsafe { &mut *state_ptr.get().add(c) };
+        if let Err(e) = f(start, part, state) {
+            failed.store(true, Ordering::Relaxed);
+            if let Ok(mut slot) = error.lock() {
+                slot.get_or_insert(e);
+            }
+        }
+    });
     match error.into_inner().expect("poisoned error slot") {
         Some(e) => Err(e),
         None => Ok(()),
@@ -358,32 +595,32 @@ impl<T: Send> EnumerateMut<'_, T> {
     where
         F: for<'x> Fn((usize, &'x mut T)) + Sync,
     {
-        let chunks = chunk_count(self.slice.len());
+        let len = self.slice.len();
+        let chunks = chunk_count(len);
         if chunks <= 1 {
             for (i, item) in self.slice.iter_mut().enumerate() {
                 f((i, item));
             }
             return;
         }
-        let chunk = self.slice.len().div_ceil(chunks);
-        let f = &f;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
-            .slice
-            .chunks_mut(chunk)
-            .enumerate()
-            .map(|(c, part)| {
-                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    for (i, item) in part.iter_mut().enumerate() {
-                        f((c * chunk + i, item));
-                    }
-                });
-                task
-            })
-            .collect();
-        run_scoped(tasks);
+        let chunk = len.div_ceil(chunks);
+        let base = SendPtr(self.slice.as_mut_ptr());
+        scope_chunks(chunks, &|c| {
+            let start = c * chunk;
+            if start >= len {
+                return;
+            }
+            let end = ((c + 1) * chunk).min(len);
+            // SAFETY: chunk-indexed disjoint subslice of the borrowed slice.
+            let part =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+            for (i, item) in part.iter_mut().enumerate() {
+                f((start + i, item));
+            }
+        });
     }
 
-    /// Fallible `for_each` with one scratch value per worker, mirroring
+    /// Fallible `for_each` with one scratch value per chunk, mirroring
     /// rayon's `try_for_each_init`.  Returns the first error observed.
     pub fn try_for_each_init<I, INIT, F, E>(self, init: INIT, f: F) -> Result<(), E>
     where
@@ -391,7 +628,8 @@ impl<T: Send> EnumerateMut<'_, T> {
         F: for<'x> Fn(&mut I, (usize, &'x mut T)) -> Result<(), E> + Sync,
         E: Send,
     {
-        let chunks = chunk_count(self.slice.len());
+        let len = self.slice.len();
+        let chunks = chunk_count(len);
         if chunks <= 1 {
             let mut scratch = init();
             for (i, item) in self.slice.iter_mut().enumerate() {
@@ -399,41 +637,35 @@ impl<T: Send> EnumerateMut<'_, T> {
             }
             return Ok(());
         }
-        let chunk = self.slice.len().div_ceil(chunks);
+        let chunk = len.div_ceil(chunks);
         // A relaxed flag keeps the per-element cancellation check off the
-        // hot path; the Mutex is only touched by the first failing worker.
+        // hot path; the Mutex is only touched by the first failing chunk.
         let failed = AtomicBool::new(false);
         let error: Mutex<Option<E>> = Mutex::new(None);
-        {
-            let f = &f;
-            let init = &init;
-            let failed = &failed;
-            let error = &error;
-            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
-                .slice
-                .chunks_mut(chunk)
-                .enumerate()
-                .map(|(c, part)| {
-                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                        let mut scratch = init();
-                        for (i, item) in part.iter_mut().enumerate() {
-                            if failed.load(Ordering::Relaxed) {
-                                return;
-                            }
-                            if let Err(e) = f(&mut scratch, (c * chunk + i, item)) {
-                                failed.store(true, Ordering::Relaxed);
-                                if let Ok(mut slot) = error.lock() {
-                                    slot.get_or_insert(e);
-                                }
-                                return;
-                            }
-                        }
-                    });
-                    task
-                })
-                .collect();
-            run_scoped(tasks);
-        }
+        let base = SendPtr(self.slice.as_mut_ptr());
+        scope_chunks(chunks, &|c| {
+            let start = c * chunk;
+            if start >= len {
+                return;
+            }
+            let end = ((c + 1) * chunk).min(len);
+            // SAFETY: chunk-indexed disjoint subslice of the borrowed slice.
+            let part =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+            let mut scratch = init();
+            for (i, item) in part.iter_mut().enumerate() {
+                if failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Err(e) = f(&mut scratch, (start + i, item)) {
+                    failed.store(true, Ordering::Relaxed);
+                    if let Ok(mut slot) = error.lock() {
+                        slot.get_or_insert(e);
+                    }
+                    return;
+                }
+            }
+        });
         match error.into_inner().expect("poisoned error slot") {
             Some(e) => Err(e),
             None => Ok(()),
@@ -462,7 +694,7 @@ where
 {
     /// Reduces the mapped values with `Sum`.  Per-chunk partial sums are
     /// combined in chunk order, so the reduction is deterministic for a
-    /// given input length and thread count — repeated parallel dot products
+    /// given input length and lane count — repeated parallel dot products
     /// are bit-identical.
     pub fn sum<S>(self) -> S
     where
@@ -483,24 +715,24 @@ where
         partials.resize_with(chunks, || None);
         {
             let f = &self.f;
-            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
-                .a
-                .chunks(chunk)
-                .zip(self.b.chunks(chunk))
-                .zip(partials.iter_mut())
-                .map(|((pa, pb), slot)| {
-                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                        *slot = Some(pa.iter().zip(pb).map(|(a, b)| f((a, b))).sum::<S>());
-                    });
-                    task
-                })
-                .collect();
-            run_scoped(tasks);
+            let (a, b) = (self.a, self.b);
+            let slots = SendPtr(partials.as_mut_ptr());
+            scope_chunks(chunks, &|c| {
+                let start = c * chunk;
+                if start >= len {
+                    return;
+                }
+                let end = ((c + 1) * chunk).min(len);
+                let sum = a[start..end]
+                    .iter()
+                    .zip(&b[start..end])
+                    .map(|(x, y)| f((x, y)))
+                    .sum::<S>();
+                // SAFETY: slot `c` is written by exactly this chunk.
+                unsafe { *slots.get().add(c) = Some(sum) };
+            });
         }
-        partials
-            .into_iter()
-            .map(|slot| slot.expect("chunk sum missing"))
-            .sum()
+        partials.into_iter().flatten().sum()
     }
 }
 
@@ -519,27 +751,40 @@ impl<A: Send, B: Sync> ZipMut<'_, '_, A, B> {
             return;
         }
         let chunk = len.div_ceil(chunks);
-        let f = &f;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
-            .a
-            .chunks_mut(chunk)
-            .zip(self.b.chunks(chunk))
-            .map(|(pa, pb)| {
-                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    for (a, b) in pa.iter_mut().zip(pb) {
-                        f((a, b));
-                    }
-                });
-                task
-            })
-            .collect();
-        run_scoped(tasks);
+        let base = SendPtr(self.a.as_mut_ptr());
+        let b = self.b;
+        scope_chunks(chunks, &|c| {
+            let start = c * chunk;
+            if start >= len {
+                return;
+            }
+            let end = ((c + 1) * chunk).min(len);
+            // SAFETY: chunk-indexed disjoint subslice of the borrowed slice.
+            let part =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+            for (a, bv) in part.iter_mut().zip(&b[start..end]) {
+                f((a, bv));
+            }
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that change the worker limit (or depend on a stable
+    /// chunk count) — the limit is process-global.
+    static LIMIT_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Runs `f` under worker limit `w`, restoring the default afterwards.
+    fn with_limit<R>(w: usize, f: impl FnOnce() -> R) -> R {
+        super::set_worker_limit(Some(w));
+        let result = f();
+        super::set_worker_limit(None);
+        result
+    }
 
     #[test]
     fn enumerate_for_each_visits_every_index() {
@@ -582,13 +827,16 @@ mod tests {
 
     #[test]
     fn zip_map_sum_is_deterministic() {
+        let _guard = LIMIT_LOCK.lock().unwrap();
         let a: Vec<f64> = (0..50_000).map(|i| (i as f64 * 0.61).sin()).collect();
         let b: Vec<f64> = (0..50_000).map(|i| (i as f64 * 0.37).cos()).collect();
-        let first: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
-        for _ in 0..10 {
-            let again: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
-            assert_eq!(first.to_bits(), again.to_bits());
-        }
+        with_limit(4, || {
+            let first: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+            for _ in 0..10 {
+                let again: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+                assert_eq!(first.to_bits(), again.to_bits());
+            }
+        });
     }
 
     #[test]
@@ -605,27 +853,31 @@ mod tests {
 
     #[test]
     fn with_chunks_mut_covers_every_element() {
-        let mut data = vec![0u64; 30_000];
-        let mut states = vec![0u64; super::chunk_count(data.len())];
-        let ok: Result<(), ()> =
-            super::with_chunks_mut(&mut data, &mut states, |offset, part, state| {
-                for (i, x) in part.iter_mut().enumerate() {
-                    *x = (offset + i) as u64;
-                    *state += 1;
-                }
-                Ok(())
-            });
-        assert!(ok.is_ok());
-        for (i, &x) in data.iter().enumerate() {
-            assert_eq!(x, i as u64);
-        }
-        assert_eq!(states.iter().sum::<u64>(), 30_000);
+        let _guard = LIMIT_LOCK.lock().unwrap();
+        with_limit(4, || {
+            let mut data = vec![0u64; 30_000];
+            let mut states = vec![0u64; super::chunk_count(data.len())];
+            assert!(states.len() > 1, "limit 4 must produce multiple chunks");
+            let ok: Result<(), ()> =
+                super::with_chunks_mut(&mut data, &mut states, |offset, part, state| {
+                    for (i, x) in part.iter_mut().enumerate() {
+                        *x = (offset + i) as u64;
+                        *state += 1;
+                    }
+                    Ok(())
+                });
+            assert!(ok.is_ok());
+            for (i, &x) in data.iter().enumerate() {
+                assert_eq!(x, i as u64);
+            }
+            assert_eq!(states.iter().sum::<u64>(), 30_000);
+        });
     }
 
     #[test]
     fn with_chunks_mut_propagates_errors() {
         let mut data = vec![0u8; 20_000];
-        let mut states = vec![(); super::chunk_count(data.len())];
+        let mut states = vec![(); super::chunk_count(data.len()).max(2)];
         let err: Result<(), &'static str> =
             super::with_chunks_mut(&mut data, &mut states, |offset, _, _| {
                 if offset == 0 {
@@ -639,16 +891,18 @@ mod tests {
 
     #[test]
     fn pool_survives_repeated_invocations() {
-        // Hammer the pool: if spawn-per-call were still in place this test
-        // would be dramatically slower; it mainly guards against deadlocks
-        // and lost tasks in the persistent-pool dispatch.
-        for round in 0..200 {
-            let mut v = vec![0usize; 8192];
-            v.par_iter_mut()
-                .enumerate()
-                .for_each(|(i, x)| *x = i + round);
-            assert_eq!(v[17], 17 + round);
-        }
+        // Hammer the runtime: guards against deadlocks, lost chunks and
+        // descriptor lifetime bugs in the sharded dispatch.
+        let _guard = LIMIT_LOCK.lock().unwrap();
+        with_limit(4, || {
+            for round in 0..200 {
+                let mut v = vec![0usize; 8192];
+                v.par_iter_mut()
+                    .enumerate()
+                    .for_each(|(i, x)| *x = i + round);
+                assert_eq!(v[17], 17 + round);
+            }
+        });
     }
 
     #[test]
@@ -664,5 +918,90 @@ mod tests {
             *x = i + inner as usize;
         });
         assert_eq!(outer[3], 3 + 16_384);
+    }
+
+    #[test]
+    fn worker_limit_one_runs_inline() {
+        let _guard = LIMIT_LOCK.lock().unwrap();
+        with_limit(1, || {
+            assert_eq!(super::effective_workers(), 1);
+            assert_eq!(super::chunk_count(1 << 20), 1);
+            let mut v = vec![0usize; 20_000];
+            v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+            assert_eq!(v[19_999], 19_999);
+        });
+        assert!(super::effective_workers() >= 1);
+    }
+
+    #[test]
+    fn steal_heavy_schedule_executes_every_chunk_exactly_once() {
+        // Far more chunks than lanes: the cursor hands chunks to whichever
+        // lane is free, and each chunk must still run exactly once.
+        let _guard = LIMIT_LOCK.lock().unwrap();
+        with_limit(8, || {
+            let n_chunks = 64;
+            let counts: Vec<std::sync::atomic::AtomicUsize> = (0..n_chunks)
+                .map(|_| std::sync::atomic::AtomicUsize::new(0))
+                .collect();
+            super::scope_chunks(n_chunks, &|c| {
+                // Uneven chunk costs force rebalancing.
+                if c % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                counts[c].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+            for (c, count) in counts.iter().enumerate() {
+                assert_eq!(
+                    count.load(std::sync::atomic::Ordering::Relaxed),
+                    1,
+                    "chunk {c}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_dispatches_from_many_threads() {
+        // Several caller threads dispatching at once exercise the per-worker
+        // queues (announcements interleave across shards) and the
+        // announcement-withdrawal path.
+        let _guard = LIMIT_LOCK.lock().unwrap();
+        with_limit(4, || {
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    scope.spawn(move || {
+                        for round in 0..50 {
+                            let mut v = vec![0usize; 16_384];
+                            v.par_iter_mut()
+                                .enumerate()
+                                .for_each(|(i, x)| *x = i + t + round);
+                            assert_eq!(v[99], 99 + t + round);
+                        }
+                    });
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn pool_task_panic_propagates_to_the_caller() {
+        let _guard = LIMIT_LOCK.lock().unwrap();
+        with_limit(4, || {
+            let result = std::panic::catch_unwind(|| {
+                let mut v = vec![0usize; 40_000];
+                v.par_iter_mut().enumerate().for_each(|(i, _)| {
+                    if i == 20_001 {
+                        panic!("boom");
+                    }
+                });
+            });
+            assert!(result.is_err());
+        });
+        // The pool stays usable after a panic.
+        with_limit(4, || {
+            let mut v = vec![0usize; 8192];
+            v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+            assert_eq!(v[8191], 8191);
+        });
     }
 }
