@@ -17,6 +17,7 @@
 //! paper is the *relative overhead* column and its ordering across schemes.
 
 use abft_bench::blas1_bench::{blas1_microbench, trajectory_points_json, Blas1BenchConfig};
+use abft_bench::ecc_bench::{self, ecc_microbench, EccBenchConfig};
 use abft_bench::json::Json;
 use abft_bench::regression::{check_regression, GateConfig};
 use abft_bench::scaling_bench::{self, scaling_microbench, ScalingBenchConfig};
@@ -42,6 +43,7 @@ struct Args {
     smoke: bool,
     bench_spmv: bool,
     bench_blas1: bool,
+    bench_ecc: bool,
     bench_scaling: bool,
     check_regression: bool,
     baseline_spmv: String,
@@ -70,6 +72,7 @@ impl Default for Args {
             smoke: false,
             bench_spmv: false,
             bench_blas1: false,
+            bench_ecc: false,
             bench_scaling: false,
             check_regression: false,
             baseline_spmv: "BENCH_spmv.json".to_string(),
@@ -98,6 +101,9 @@ const HELP: &str = "experiments — regenerate the paper's figures.
   --smoke              tiny CI preset: every section at 24x24, 3 iterations
   --bench-spmv         SpMV kernel microbenchmark (the BENCH_spmv.json sweep)
   --bench-blas1        protected BLAS-1 microbenchmark (the BENCH_blas1.json sweep)
+  --bench-ecc          ECC check-throughput microbenchmark: per-group vs
+                       batched-SIMD verify, CRC slicing-width sweep
+                       (the BENCH_ecc.json sweep)
   --bench-scaling      worker-count scaling sweep (the BENCH_scaling.json sweep)
   --check-regression   CI gate: re-measure and compare overhead ratios against
                        the committed BENCH_spmv.json / BENCH_blas1.json
@@ -136,6 +142,7 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.smoke = true,
             "--bench-spmv" => args.bench_spmv = true,
             "--bench-blas1" => args.bench_blas1 = true,
+            "--bench-ecc" => args.bench_ecc = true,
             "--bench-scaling" => args.bench_scaling = true,
             "--check-regression" => args.check_regression = true,
             "--baseline-spmv" => args.baseline_spmv = value("--baseline-spmv")?,
@@ -331,6 +338,39 @@ fn main() {
         if let Some(path) = &args.json {
             let point = scaling_bench::trajectory_point_json(&args.bench_label, &config, &rows);
             let doc = Json::obj([("trajectory", Json::Arr(vec![point]))]);
+            std::fs::write(path, doc.render()).expect("write JSON output");
+            println!("machine-readable results written to {path}");
+        }
+        return;
+    }
+
+    if args.bench_ecc {
+        let config = if args.smoke {
+            EccBenchConfig::smoke()
+        } else {
+            EccBenchConfig {
+                elements: args.nx * args.nx,
+                grid_n: args.nx,
+                iters: args.iterations.max(2),
+                repeats: args.repeats,
+                ..EccBenchConfig::default()
+            }
+        };
+        println!(
+            "ECC check-throughput microbenchmark ({} elements, grid {}x{}, {} iters, {} repeats; ISA {}, hardware CRC {})",
+            config.elements,
+            config.grid_n,
+            config.grid_n,
+            config.iters,
+            config.repeats,
+            abft_ecc::verify::detected_isa().label(),
+            abft_ecc::crc32c::hardware_available(),
+        );
+        let rows = ecc_microbench(&config);
+        print!("{}", ecc_bench::render_table(&rows));
+        if let Some(path) = &args.json {
+            let points = ecc_bench::trajectory_points_json(&args.bench_label, &config, &rows);
+            let doc = Json::obj([("trajectory", Json::Arr(points))]);
             std::fs::write(path, doc.render()).expect("write JSON output");
             println!("machine-readable results written to {path}");
         }

@@ -24,6 +24,7 @@ use abft_tealeaf::{Deck, Grid};
 use std::time::Instant;
 
 pub mod blas1_bench;
+pub mod ecc_bench;
 pub mod json;
 pub mod regression;
 pub mod scaling_bench;

@@ -10,7 +10,7 @@
 //! common case — the arithmetic can run straight over the raw `u64` words
 //! with the read mask held in a register, exactly like the SpMV fast path.
 //! Only a group that fails its check takes the correcting
-//! [`GroupCodec::decode`] slow path.
+//! `GroupCodec::decode` slow path.
 //!
 //! Three further properties, shared by every kernel here:
 //!
@@ -187,6 +187,16 @@ fn dot_block(
                 acc += f64::from_bits(aw & mask) * f64::from_bits(bw & mask);
             }
         }
+        EccScheme::Sed
+            if abft_ecc::verify::sed_words_clean(a) && abft_ecc::verify::sed_words_clean(b) =>
+        {
+            // Batched screening pass certified the block: the multiply
+            // accumulates over raw words with no per-element parity left.
+            *tally += 2 * a.len() as u64;
+            for (&aw, &bw) in a.iter().zip(b) {
+                acc += f64::from_bits(aw & mask) * f64::from_bits(bw & mask);
+            }
+        }
         EccScheme::Sed => {
             for (j, (&aw, &bw)) in a.iter().zip(b).enumerate() {
                 *tally += 2;
@@ -197,6 +207,17 @@ fn dot_block(
                         index: base + j,
                     });
                 }
+                acc += f64::from_bits(aw & mask) * f64::from_bits(bw & mask);
+            }
+        }
+        _ if codec.has_batched_kernel() && codec.run_clean(a) && codec.run_clean(b) => {
+            // Batched screening pass certified every group of the block;
+            // accumulate the logical elements straight off the raw words.
+            // Group-order accumulation equals element-order accumulation,
+            // so this is bitwise identical to the walk below.
+            *tally += 2 * (a.len() / codec.group()) as u64;
+            let logical = a.len().min(len - base);
+            for (&aw, &bw) in a[..logical].iter().zip(&b[..logical]) {
                 acc += f64::from_bits(aw & mask) * f64::from_bits(bw & mask);
             }
         }
@@ -245,6 +266,13 @@ fn norm_block(
                 acc += v * v;
             }
         }
+        EccScheme::Sed if abft_ecc::verify::sed_words_clean(a) => {
+            *tally += a.len() as u64;
+            for &aw in a {
+                let v = f64::from_bits(aw & mask);
+                acc += v * v;
+            }
+        }
         EccScheme::Sed => {
             for (j, &aw) in a.iter().enumerate() {
                 *tally += 1;
@@ -255,6 +283,14 @@ fn norm_block(
                         index: base + j,
                     });
                 }
+                let v = f64::from_bits(aw & mask);
+                acc += v * v;
+            }
+        }
+        _ if codec.has_batched_kernel() && codec.run_clean(a) => {
+            *tally += (a.len() / codec.group()) as u64;
+            let logical = a.len().min(len - base);
+            for &aw in &a[..logical] {
                 let v = f64::from_bits(aw & mask);
                 acc += v * v;
             }
@@ -304,6 +340,16 @@ fn zip_range(
                 *sw = op(f64::from_bits(*sw & mask), f64::from_bits(xw & mask)).to_bits();
             }
         }
+        EccScheme::Sed
+            if abft_ecc::verify::sed_words_clean(s) && abft_ecc::verify::sed_words_clean(x) =>
+        {
+            *tally += 2 * s.len() as u64;
+            for (sw, &xw) in s.iter_mut().zip(x) {
+                let payload =
+                    op(f64::from_bits(*sw & mask), f64::from_bits(xw & mask)).to_bits() & mask;
+                *sw = payload | parity_u64(payload) as u64;
+            }
+        }
         EccScheme::Sed => {
             for (j, (sw, &xw)) in s.iter_mut().zip(x).enumerate() {
                 *tally += 2;
@@ -321,6 +367,12 @@ fn zip_range(
         }
         _ => {
             let group = codec.group();
+            // Batched screening pass: one predicate over each operand's
+            // whole range replaces the per-group checks; the walk below
+            // still re-encodes every group (that work is the write side,
+            // not the check side).  Schemes without a lane kernel (CRC32C)
+            // keep the interleaved per-group check.
+            let clean = codec.has_batched_kernel() && codec.run_clean(s) && codec.run_clean(x);
             let mut off = 0;
             while off < s.len() {
                 *tally += 2;
@@ -329,7 +381,7 @@ fn zip_range(
                 {
                     let gs = &s[off..off + group];
                     let gx = &x[off..off + group];
-                    if codec.is_clean(gs) && codec.is_clean(gx) {
+                    if clean || (codec.is_clean(gs) && codec.is_clean(gx)) {
                         for j in 0..logical {
                             buf[j] = op(f64::from_bits(gs[j] & mask), f64::from_bits(gx[j] & mask));
                         }
@@ -366,6 +418,13 @@ fn scale_range(
                 *sw = (f64::from_bits(*sw & mask) * alpha).to_bits();
             }
         }
+        EccScheme::Sed if abft_ecc::verify::sed_words_clean(s) => {
+            *tally += s.len() as u64;
+            for sw in s.iter_mut() {
+                let payload = (f64::from_bits(*sw & mask) * alpha).to_bits() & mask;
+                *sw = payload | parity_u64(payload) as u64;
+            }
+        }
         EccScheme::Sed => {
             for (j, sw) in s.iter_mut().enumerate() {
                 *tally += 1;
@@ -382,6 +441,9 @@ fn scale_range(
         }
         _ => {
             let group = codec.group();
+            // One batched predicate replaces the per-group checks (see
+            // `zip_range`).
+            let clean = codec.has_batched_kernel() && codec.run_clean(s);
             let mut off = 0;
             while off < s.len() {
                 *tally += 1;
@@ -389,7 +451,7 @@ fn scale_range(
                 let mut buf = [0.0f64; MAX_GROUP];
                 {
                     let gs = &s[off..off + group];
-                    if codec.is_clean(gs) {
+                    if clean || codec.is_clean(gs) {
                         for j in 0..logical {
                             buf[j] = f64::from_bits(gs[j] & mask) * alpha;
                         }
@@ -432,6 +494,18 @@ fn dot_axpy_block(
                 acc += updated * updated;
             }
         }
+        EccScheme::Sed
+            if abft_ecc::verify::sed_words_clean(s) && abft_ecc::verify::sed_words_clean(x) =>
+        {
+            *tally += 2 * s.len() as u64;
+            for (sw, &xw) in s.iter_mut().zip(x) {
+                let updated = f64::from_bits(*sw & mask) + alpha * f64::from_bits(xw & mask);
+                let payload = updated.to_bits() & mask;
+                *sw = payload | parity_u64(payload) as u64;
+                let stored = f64::from_bits(payload);
+                acc += stored * stored;
+            }
+        }
         EccScheme::Sed => {
             for (j, (sw, &xw)) in s.iter_mut().zip(x).enumerate() {
                 *tally += 2;
@@ -451,6 +525,9 @@ fn dot_axpy_block(
         }
         _ => {
             let group = codec.group();
+            // One batched predicate per operand replaces the per-group
+            // checks (see `zip_range`).
+            let clean = codec.has_batched_kernel() && codec.run_clean(s) && codec.run_clean(x);
             let mut off = 0;
             while off < s.len() {
                 *tally += 2;
@@ -459,7 +536,7 @@ fn dot_axpy_block(
                 {
                     let gs = &s[off..off + group];
                     let gx = &x[off..off + group];
-                    if codec.is_clean(gs) && codec.is_clean(gx) {
+                    if clean || (codec.is_clean(gs) && codec.is_clean(gx)) {
                         for j in 0..logical {
                             buf[j] =
                                 f64::from_bits(gs[j] & mask) + alpha * f64::from_bits(gx[j] & mask);
@@ -493,12 +570,28 @@ struct ChunkAcc {
 }
 
 impl ProtectedVector {
-    /// Masked bulk dot product: each codeword group is checked once with the
-    /// verify-only predicate, then the multiply-accumulate runs over the raw
-    /// words with the mask in a register; only failing groups take the
-    /// correcting decode.  Check tallies are flushed to the log in one bulk
-    /// atomic update per call.  Bitwise identical to
-    /// [`ProtectedVector::dot`].
+    /// Masked bulk dot product: each [`ACC_BLOCK`]-element block is first
+    /// certified clean by one batched SIMD predicate
+    /// ([`abft_ecc::verify`]), then the multiply-accumulate runs over the
+    /// raw words with the mask in a register; only a failing block is
+    /// re-walked group by group through the correcting decode.  Check
+    /// tallies are flushed to the log in one bulk atomic update per call.
+    /// Bitwise identical to [`ProtectedVector::dot`].
+    ///
+    /// ```
+    /// use abft_core::{EccScheme, FaultLog, ProtectedVector};
+    /// use abft_ecc::Crc32cBackend;
+    ///
+    /// let a = ProtectedVector::from_slice(&[1.0, 2.0, 3.0], EccScheme::Secded64,
+    ///                                     Crc32cBackend::Auto);
+    /// let b = ProtectedVector::from_slice(&[4.0, 5.0, 6.0], EccScheme::Secded64,
+    ///                                     Crc32cBackend::Auto);
+    /// let log = FaultLog::new();
+    /// let d = a.dot_masked(&b, &log)?;
+    /// assert!((d - 32.0).abs() < 1e-9);                 // 1·4 + 2·5 + 3·6
+    /// assert_eq!(d.to_bits(), a.dot(&b, &log)?.to_bits()); // reference path agrees
+    /// # Ok::<(), abft_core::AbftError>(())
+    /// ```
     pub fn dot_masked(&self, other: &ProtectedVector, log: &FaultLog) -> Result<f64, AbftError> {
         assert_eq!(self.len(), other.len(), "dot_masked: length mismatch");
         if self.scheme != other.scheme {

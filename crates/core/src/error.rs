@@ -8,28 +8,50 @@ pub enum AbftError {
     /// The matrix has too many columns for the chosen scheme (the redundancy
     /// bits would collide with real index bits — §VI-A limits: 2³¹−1 columns
     /// for SED, 2²⁴−1 for SECDED / CRC32C).
-    TooManyColumns { cols: usize, max: usize },
+    TooManyColumns {
+        /// Columns the matrix has.
+        cols: usize,
+        /// Largest column count the scheme can represent.
+        max: usize,
+    },
     /// The matrix has too many non-zeros for the chosen row-pointer scheme
     /// (2³¹−1 for SED, 2²⁸−1 otherwise).
-    TooManyNonZeros { nnz: usize, max: usize },
+    TooManyNonZeros {
+        /// Non-zeros the matrix stores.
+        nnz: usize,
+        /// Largest non-zero count the scheme can represent.
+        max: usize,
+    },
     /// A matrix row has fewer stored entries than the scheme needs to embed
     /// its redundancy (CRC32C requires at least four entries per row).
     RowTooShort {
+        /// Row that is too short.
         row: usize,
+        /// Entries the row stores.
         entries: usize,
+        /// Minimum entries the scheme requires.
         min: usize,
     },
     /// An uncorrectable error was detected during an integrity check.  The
     /// solver can react (re-assemble the matrix, restart the time-step, fall
     /// back to checkpoint-restart) instead of crashing.
-    Uncorrectable { region: Region, index: usize },
+    Uncorrectable {
+        /// Protected region the error was detected in.
+        region: Region,
+        /// Element index (within the region) blamed for the error.
+        index: usize,
+    },
     /// An index read from a (possibly corrupted) structure was out of range;
     /// raised by the bounds checks that replace integrity checks between
     /// check intervals.
     OutOfRange {
+        /// Protected region the violating value was read from.
         region: Region,
+        /// Position of the violating entry within the region.
         index: usize,
+        /// The out-of-range value itself.
         value: usize,
+        /// Exclusive upper bound the value violated.
         limit: usize,
     },
     /// The requested configuration is not supported (explanatory message).

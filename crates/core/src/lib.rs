@@ -26,6 +26,8 @@
 //!   whole ECC codeword (group) at a time, so a group is decoded and
 //!   re-encoded once per pass instead of once per element access.
 
+#![deny(missing_docs)]
+
 pub mod blas1;
 pub mod csr_element;
 pub mod error;

@@ -464,18 +464,30 @@ impl ProtectedCsr {
                     let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
                     *elem_checks += (end - start) as u64;
                     let mut acc = 0.0;
-                    for (k, (&v, &c)) in
-                        values[start..end].iter().zip(&cols[start..end]).enumerate()
+                    if abft_ecc::verify::sed_elements_clean(&values[start..end], &cols[start..end])
                     {
-                        if parity_u64(v.to_bits()) ^ parity_u32(c) != 0 {
-                            log.record_uncorrectable(Region::CsrElements);
-                            return Err(AbftError::Uncorrectable {
-                                region: Region::CsrElements,
-                                index: start + k,
-                            });
+                        // Batched lane predicate certified the row: only the
+                        // bounds-checked reads remain in the multiply loop.
+                        for (k, (&v, &c)) in
+                            values[start..end].iter().zip(&cols[start..end]).enumerate()
+                        {
+                            let col = (c & crate::csr_element::COL_MASK_31) as usize;
+                            acc += v * read_x(x, col, start + k, log)?;
                         }
-                        let col = (c & crate::csr_element::COL_MASK_31) as usize;
-                        acc += v * read_x(x, col, start + k, log)?;
+                    } else {
+                        for (k, (&v, &c)) in
+                            values[start..end].iter().zip(&cols[start..end]).enumerate()
+                        {
+                            if parity_u64(v.to_bits()) ^ parity_u32(c) != 0 {
+                                log.record_uncorrectable(Region::CsrElements);
+                                return Err(AbftError::Uncorrectable {
+                                    region: Region::CsrElements,
+                                    index: start + k,
+                                });
+                            }
+                            let col = (c & crate::csr_element::COL_MASK_31) as usize;
+                            acc += v * read_x(x, col, start + k, log)?;
+                        }
                     }
                     *yi = acc;
                 }
@@ -485,11 +497,27 @@ impl ProtectedCsr {
                     let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
                     *elem_checks += (end - start) as u64;
                     let mut acc = 0.0;
-                    for (k, (&v, &c)) in
-                        values[start..end].iter().zip(&cols[start..end]).enumerate()
-                    {
-                        let (value, col) = check_element_secded64(v, c, start + k, log)?;
-                        acc += value * read_x(x, col as usize, start + k, log)?;
+                    if abft_ecc::verify::secded88_elements_clean(
+                        &values[start..end],
+                        &cols[start..end],
+                    ) {
+                        // Batched syndrome gather certified the row clean —
+                        // the correcting per-element decode is skipped and
+                        // the masked column feeds the bounds-checked read
+                        // directly (identical to the corrected outputs of a
+                        // clean `check_element_secded64`).
+                        for (k, (&v, &c)) in
+                            values[start..end].iter().zip(&cols[start..end]).enumerate()
+                        {
+                            acc += v * read_x(x, (c & COL_MASK_24) as usize, start + k, log)?;
+                        }
+                    } else {
+                        for (k, (&v, &c)) in
+                            values[start..end].iter().zip(&cols[start..end]).enumerate()
+                        {
+                            let (value, col) = check_element_secded64(v, c, start + k, log)?;
+                            acc += value * read_x(x, col as usize, start + k, log)?;
+                        }
                     }
                     *yi = acc;
                 }

@@ -23,7 +23,7 @@
 //! group-decode reference path; the masked raw-slice fast paths (check each
 //! group once, then compute straight over the raw words with the AND-mask in
 //! a register) live in [`crate::blas1`] and share this module's
-//! [`GroupCodec`], so the two paths cannot drift.
+//! `GroupCodec`, so the two paths cannot drift.
 //!
 //! Check accounting is uniform across every method: integrity checks are
 //! tallied locally while a kernel runs and folded into the [`FaultLog`] in
@@ -47,7 +47,7 @@ pub(crate) const MAX_GROUP: usize = 4;
 /// block and then fold the block partials in order, so serial, masked and
 /// chunked-parallel reductions are **bitwise identical** for a given input.
 /// A multiple of every group size.
-pub(crate) const ACC_BLOCK: usize = 4096;
+pub const ACC_BLOCK: usize = 4096;
 
 /// A dense `f64` vector whose elements carry embedded ECC in their
 /// least-significant mantissa bits.
@@ -210,6 +210,13 @@ impl ProtectedVector {
     }
 
     fn check_all_inner(&self, log: &FaultLog, tally: &mut u64) -> Result<(), AbftError> {
+        // Batched screening pass: one SIMD-dispatched predicate certifies
+        // the whole vector in the (overwhelmingly common) clean case, with
+        // the same per-group check accounting as the walk below.
+        if self.codec().run_clean(&self.data) {
+            *tally += (self.data.len() / self.group_size()) as u64;
+            return Ok(());
+        }
         if self.scheme == EccScheme::Sed {
             // Tight per-element parity loop (SED is the scheme the paper
             // recommends when overhead matters most, so keep it lean).
@@ -253,6 +260,13 @@ impl ProtectedVector {
     }
 
     fn scrub_inner(&mut self, log: &FaultLog, tally: &mut u64) -> Result<usize, AbftError> {
+        // A scrub of clean storage (every SpMV performs one on its input
+        // vector) is certified by the batched predicate without decoding a
+        // single group; only a failing vector takes the correcting walk.
+        if self.codec().run_clean(&self.data) {
+            *tally += (self.data.len() / self.group_size()) as u64;
+            return Ok(0);
+        }
         let group = self.group_size();
         let mut repaired = 0;
         let mut base = 0;
@@ -655,10 +669,49 @@ impl GroupCodec {
         self.scheme.vector_group()
     }
 
+    /// Batched check-only verification of a whole-group-aligned run of
+    /// storage words (`words.len()` must be a multiple of the group size):
+    /// `true` when **every** codeword in the run is consistent.
+    ///
+    /// This is the block-granular screening pass of the masked kernels: one
+    /// call certifies an entire [`ACC_BLOCK`] (or a whole vector) through
+    /// the SIMD-dispatched predicates of [`abft_ecc::verify`], and only a
+    /// failing run is re-walked group by group to locate, correct and
+    /// attribute the fault.  CRC32C groups have no batched lane kernel —
+    /// their cost is the checksum itself, which [`Crc32c::auto`]'s
+    /// width policy already serves — so they loop [`GroupCodec::is_clean`]
+    /// per group.
+    #[inline]
+    pub(crate) fn run_clean(&self, words: &[u64]) -> bool {
+        match self.scheme {
+            EccScheme::None => true,
+            EccScheme::Sed => abft_ecc::verify::sed_words_clean(words),
+            EccScheme::Secded64 => abft_ecc::verify::secded64_words_clean(words),
+            EccScheme::Secded128 => abft_ecc::verify::secded128_words_clean(words),
+            EccScheme::Crc32c => words.chunks_exact(4).all(|group| self.is_clean(group)),
+        }
+    }
+
+    /// Whether [`GroupCodec::run_clean`] is backed by a batched SIMD lane
+    /// kernel for this scheme.  CRC32C is checksum-bound — its `run_clean`
+    /// is the same per-group checksum loop the block kernels already
+    /// interleave, so screening a block with it up front would only add a
+    /// second traversal; the block kernels keep the interleaved per-group
+    /// check for it.  Whole-vector certifies (`check_all`/`scrub`) still
+    /// use `run_clean` for CRC32C, where the verify-only checksum replaces
+    /// a correcting group decode.
+    #[inline]
+    pub(crate) fn has_batched_kernel(&self) -> bool {
+        matches!(
+            self.scheme,
+            EccScheme::Sed | EccScheme::Secded64 | EccScheme::Secded128
+        )
+    }
+
     /// Check-only verification of one group (`words.len()` must equal the
     /// group size): `true` when every codeword bit is consistent.  The
     /// masked kernels run their raw-slice fast path over groups this
-    /// accepts; anything else takes the correcting [`GroupCodec::decode`].
+    /// accepts; anything else takes the correcting `GroupCodec::decode`.
     #[inline]
     pub(crate) fn is_clean(&self, words: &[u64]) -> bool {
         match self.scheme {
@@ -730,7 +783,7 @@ impl GroupCodec {
     /// Per-scheme check-and-correct over one group's words.  Correctable
     /// flips are repaired in `words` (and recorded); an unrecoverable
     /// codeword returns the in-group element offset to report, leaving the
-    /// uncorrectable classification to [`GroupCodec::decode`] (which first
+    /// uncorrectable classification to `GroupCodec::decode` (which first
     /// attempts the padding reset).
     fn correct_in_place(
         &self,

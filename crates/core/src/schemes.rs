@@ -185,13 +185,18 @@ impl Default for ProtectionConfig {
 
 impl ProtectionConfig {
     /// No protection anywhere — the baseline configuration.
+    ///
+    /// The CRC backend defaults to [`Crc32cBackend::Auto`]: the hardware
+    /// instruction when the CPU has one, otherwise the slicing width chosen
+    /// per input length (short row codewords and long vector runs get
+    /// different widths — see [`abft_ecc::crc32c::auto_software_width`]).
     pub fn unprotected() -> Self {
         ProtectionConfig {
             elements: EccScheme::None,
             row_pointer: EccScheme::None,
             vectors: EccScheme::None,
             check_interval: 1,
-            crc_backend: Crc32cBackend::Hardware,
+            crc_backend: Crc32cBackend::Auto,
             parallel: false,
         }
     }

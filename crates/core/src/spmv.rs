@@ -230,9 +230,33 @@ impl SpmvWorkspace {
 /// `y = A x` with both the matrix and the vectors protected (serial).
 ///
 /// The input vector is scrubbed (checked, and repaired if a correctable flip
-/// is found) once up front; row products are then computed through the
-/// masked raw-slice fast path into the workspace and the output vector is
-/// rebuilt group by group.
+/// is found) once up front — a clean vector is certified by one batched
+/// SIMD predicate without decoding any group; row products are then
+/// computed through the masked raw-slice fast path into the workspace and
+/// the output vector is rebuilt group by group.
+///
+/// ```
+/// use abft_core::spmv::protected_spmv;
+/// use abft_core::{EccScheme, FaultLog, ProtectedCsr, ProtectedVector,
+///                 ProtectionConfig, SpmvWorkspace};
+/// use abft_ecc::Crc32cBackend;
+/// use abft_sparse::CsrMatrix;
+///
+/// // y = A x for a tiny 2×2 operator, fully protected with SECDED64.
+/// let m = CsrMatrix::try_new(2, 2, vec![2.0, 1.0, 3.0], vec![0, 1, 1],
+///                            vec![0, 2, 3])?;
+/// let cfg = ProtectionConfig::full(EccScheme::Secded64);
+/// let a = ProtectedCsr::from_csr(&m, &cfg)?;
+/// let mut x = ProtectedVector::from_slice(&[1.0, 10.0], EccScheme::Secded64,
+///                                         Crc32cBackend::Auto);
+/// let mut y = ProtectedVector::zeros(2, EccScheme::Secded64, Crc32cBackend::Auto);
+/// let log = FaultLog::new();
+/// let mut ws = SpmvWorkspace::new();
+/// protected_spmv(&a, &mut x, &mut y, 0, &log, &mut ws)?;
+/// assert!((y.get(0) - 12.0).abs() < 1e-9); // 2·1 + 1·10
+/// assert!((y.get(1) - 30.0).abs() < 1e-9); // 3·10
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn protected_spmv(
     a: &ProtectedCsr,
     x: &mut ProtectedVector,

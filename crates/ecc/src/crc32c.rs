@@ -11,15 +11,29 @@
 //!   see [`crate::correction`]);
 //! * modern Intel (SSE4.2) and ARMv8 CPUs compute it in hardware.
 //!
-//! Three backends are provided and selected at runtime:
+//! Several backends are provided and selected at runtime:
 //!
 //! * [`Crc32cBackend::Naive`] — bit-at-a-time long division, the reference
 //!   implementation used to validate the others;
-//! * [`Crc32cBackend::SlicingBy16`] — the table-driven software algorithm the
-//!   paper uses when no hardware support exists;
+//! * [`Crc32cBackend::SlicingBy4`] / [`Crc32cBackend::SlicingBy8`] /
+//!   [`Crc32cBackend::SlicingBy16`] — the table-driven software algorithm
+//!   the paper uses when no hardware support exists, at three slicing
+//!   widths.  Wider slicing amortises better on long inputs but touches
+//!   more table cache lines, which dominates on the ~60-byte TeaLeaf row
+//!   codewords — hence the width family instead of a single fixed width;
 //! * [`Crc32cBackend::Hardware`] — the `crc32` instruction on x86-64 with
 //!   SSE4.2 (and AArch64 with the CRC extension), the paper's
-//!   "hardware accelerated CRC32C".
+//!   "hardware accelerated CRC32C";
+//! * [`Crc32cBackend::Auto`] — hardware when the CPU has it, otherwise the
+//!   slicing width chosen **per input length** from the measured crossover
+//!   policy ([`auto_software_width`]).  [`Crc32c::auto`] is the recommended
+//!   constructor.
+//!
+//! Hardware support is probed **once** per process (a `OnceLock`), not per
+//! construction or per update; setting `ABFT_ECC_FORCE_SCALAR=1` before the
+//! first use disables the hardware path (and the SIMD verify kernels — see
+//! [`crate::verify`]), pinning everything to the portable software
+//! implementations.
 
 /// The CRC-32C (Castagnoli) polynomial in reflected (LSB-first) form.
 pub const CRC32C_POLY_REFLECTED: u32 = 0x82F6_3B78;
@@ -73,10 +87,19 @@ const fn generate_tables() -> [[u32; 256]; SLICES] {
 pub enum Crc32cBackend {
     /// Bit-at-a-time reference implementation (slow; for validation).
     Naive,
-    /// Table-driven slicing-by-16 (the paper's software fallback).
+    /// Table-driven slicing-by-4: 4 input bytes per step, 4 KiB of tables.
+    /// Lowest setup cost — wins on short codewords.
+    SlicingBy4,
+    /// Table-driven slicing-by-8: 8 input bytes per step, 8 KiB of tables.
+    SlicingBy8,
+    /// Table-driven slicing-by-16 (the paper's software fallback): 16 input
+    /// bytes per step, 16 KiB of tables.  Wins on long inputs.
     SlicingBy16,
     /// Hardware `crc32` instructions (SSE4.2 / ARMv8-CRC).
     Hardware,
+    /// Hardware when available, otherwise the slicing width selected per
+    /// input length by [`auto_software_width`].
+    Auto,
 }
 
 /// A CRC32C calculator bound to a backend.
@@ -102,17 +125,39 @@ impl Crc32c {
         Crc32c { backend }
     }
 
-    /// Picks the fastest backend available on this CPU (hardware if present,
-    /// slicing-by-16 otherwise) — the selection policy the paper describes.
+    /// The measured selection policy: the hardware instruction when the CPU
+    /// has one, otherwise the slicing width matched to each input's length
+    /// (see [`auto_software_width`]).  This is the constructor the protected
+    /// structures should use unless an experiment sweeps backends
+    /// explicitly.
+    ///
+    /// ```
+    /// use abft_ecc::{Crc32c, Crc32cBackend};
+    /// let auto = Crc32c::auto();
+    /// // The selection never changes the checksum, only the speed: every
+    /// // backend computes the same CRC32C.
+    /// let reference = Crc32c::new(Crc32cBackend::Naive);
+    /// for len in [0usize, 3, 8, 60, 200] {
+    ///     let data: Vec<u8> = (0..len as u8).collect();
+    ///     assert_eq!(auto.checksum(&data), reference.checksum(&data));
+    /// }
+    /// ```
+    pub fn auto() -> Self {
+        Crc32c {
+            backend: Crc32cBackend::Auto,
+        }
+    }
+
+    /// Picks the fastest backend available on this CPU — hardware if
+    /// present, otherwise the per-length [`Crc32cBackend::Auto`] software
+    /// policy.
     pub fn best() -> Self {
         if hardware_available() {
             Crc32c {
                 backend: Crc32cBackend::Hardware,
             }
         } else {
-            Crc32c {
-                backend: Crc32cBackend::SlicingBy16,
-            }
+            Crc32c::auto()
         }
     }
 
@@ -160,30 +205,92 @@ impl Crc32c {
     }
 
     /// Streaming update of the raw CRC state (no init / final XOR applied).
+    ///
+    /// For [`Crc32cBackend::Auto`] the width decision is made per `update`
+    /// call from `data.len()`: streaming callers that feed short fragments
+    /// get the short-input width for each fragment, which is exactly the
+    /// regime the policy was measured in (the protected structures hash one
+    /// codeword per call).
     #[inline]
     pub fn update(&self, state: u32, data: &[u8]) -> u32 {
         match self.backend {
             Crc32cBackend::Naive => update_naive(state, data),
+            Crc32cBackend::SlicingBy4 => update_slicing4(state, data),
+            Crc32cBackend::SlicingBy8 => update_slicing8(state, data),
             Crc32cBackend::SlicingBy16 => update_slicing16(state, data),
             Crc32cBackend::Hardware => update_hardware(state, data),
+            Crc32cBackend::Auto => {
+                if hardware_available() {
+                    update_hardware(state, data)
+                } else {
+                    match auto_software_width(data.len()) {
+                        Crc32cBackend::SlicingBy4 => update_slicing4(state, data),
+                        Crc32cBackend::SlicingBy8 => update_slicing8(state, data),
+                        _ => update_slicing16(state, data),
+                    }
+                }
+            }
         }
     }
 }
 
+/// Inputs shorter than this take slicing-by-4 on the software `Auto` path.
+///
+/// Measured with `experiments --bench-ecc` (see `BENCH_ecc.json`; x86-64
+/// AVX2 recording host): at 4–12 bytes slicing-by-4 wins or ties (3.1 ns at
+/// 4 B vs 3.9/4.1 ns for by-8/by-16) because the wider variants fall back
+/// to byte-at-a-time for most of such inputs.
+pub const AUTO_SLICING8_MIN_BYTES: usize = 16;
+
+/// Inputs shorter than this (and at least [`AUTO_SLICING8_MIN_BYTES`]) take
+/// slicing-by-8; longer inputs take slicing-by-16.
+///
+/// Measured with `experiments --bench-ecc`: the ~60-byte TeaLeaf row
+/// codeword lands in the slicing-by-8 band (21.8 ns vs 28.7 ns for by-16,
+/// whose 12-byte remainder is processed byte-at-a-time), while from 64
+/// bytes up slicing-by-16 wins and keeps widening its lead (25.2 ns vs
+/// 35.0 ns at 96 B, 2.4× at 4 KiB).
+pub const AUTO_SLICING16_MIN_BYTES: usize = 64;
+
+/// The software slicing width [`Crc32cBackend::Auto`] selects for an input
+/// of `len` bytes (the per-length half of the policy; hardware, when
+/// present, beats every width at every length).
+#[inline]
+pub fn auto_software_width(len: usize) -> Crc32cBackend {
+    if len < AUTO_SLICING8_MIN_BYTES {
+        Crc32cBackend::SlicingBy4
+    } else if len < AUTO_SLICING16_MIN_BYTES {
+        Crc32cBackend::SlicingBy8
+    } else {
+        Crc32cBackend::SlicingBy16
+    }
+}
+
 /// Returns `true` when this CPU exposes a CRC32C instruction.
+///
+/// The probe runs **once** per process and is cached (construction paths
+/// and the per-update dispatch previously re-ran feature detection on every
+/// call).  `ABFT_ECC_FORCE_SCALAR=1`, read at the same moment, forces
+/// `false` so tests can pin the software paths on hardware-capable hosts.
 pub fn hardware_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        std::arch::is_x86_feature_detected!("sse4.2")
-    }
-    #[cfg(target_arch = "aarch64")]
-    {
-        std::arch::is_aarch64_feature_detected!("crc")
-    }
-    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
-    {
-        false
-    }
+    static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        if crate::verify::force_scalar_requested() {
+            return false;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("sse4.2")
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            std::arch::is_aarch64_feature_detected!("crc")
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            false
+        }
+    })
 }
 
 /// Bit-at-a-time reference implementation.
@@ -220,6 +327,41 @@ pub fn update_slicing16(mut state: u32, data: &[u8]) -> u32 {
     update_byte_table(state, chunks.remainder())
 }
 
+/// Slicing-by-8: processes 8 input bytes per iteration using the first 8
+/// lookup tables — half the cache footprint of slicing-by-16, the winning
+/// width for medium-length codewords (see [`auto_software_width`]).
+pub fn update_slicing8(mut state: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+        let lo_bytes = lo.to_le_bytes();
+        state = 0;
+        for (i, &b) in lo_bytes.iter().enumerate() {
+            state ^= TABLES[7 - i][b as usize];
+        }
+        for (i, &b) in chunk[4..8].iter().enumerate() {
+            state ^= TABLES[3 - i][b as usize];
+        }
+    }
+    update_byte_table(state, chunks.remainder())
+}
+
+/// Slicing-by-4: processes 4 input bytes per iteration using the first 4
+/// lookup tables — the smallest table footprint of the family, the winning
+/// width for short codewords (see [`auto_software_width`]).
+pub fn update_slicing4(mut state: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        let x = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+        let bytes = x.to_le_bytes();
+        state = 0;
+        for (i, &b) in bytes.iter().enumerate() {
+            state ^= TABLES[3 - i][b as usize];
+        }
+    }
+    update_byte_table(state, chunks.remainder())
+}
+
 /// Byte-at-a-time table lookup (used for slicing remainders).
 #[inline]
 fn update_byte_table(mut state: u32, data: &[u8]) -> u32 {
@@ -229,25 +371,26 @@ fn update_byte_table(mut state: u32, data: &[u8]) -> u32 {
     state
 }
 
-/// Hardware-accelerated update.  Falls back to slicing-by-16 when compiled
-/// for an architecture without a CRC instruction (the runtime constructor
-/// never selects this backend in that case).
+/// Hardware-accelerated update.  Falls back to slicing-by-16 when the CPU
+/// lacks a CRC instruction (the runtime constructor never selects this
+/// backend in that case).  The feature probe is the cached
+/// [`hardware_available`] — resolved once per process, never inside this
+/// call.
 #[inline]
 pub fn update_hardware(state: u32, data: &[u8]) -> u32 {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("sse4.2") {
-            // SAFETY: guarded by the runtime feature check above.
+    if hardware_available() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: `hardware_available` verified SSE4.2 at first use.
             return unsafe { update_sse42(state, data) };
         }
-    }
-    #[cfg(target_arch = "aarch64")]
-    {
-        if std::arch::is_aarch64_feature_detected!("crc") {
-            // SAFETY: guarded by the runtime feature check above.
+        #[cfg(target_arch = "aarch64")]
+        {
+            // SAFETY: `hardware_available` verified the CRC extension.
             return unsafe { update_aarch64(state, data) };
         }
     }
+    #[allow(unreachable_code)]
     update_slicing16(state, data)
 }
 
@@ -295,8 +438,11 @@ mod tests {
     fn known_answer_all_backends() {
         for backend in [
             Crc32cBackend::Naive,
+            Crc32cBackend::SlicingBy4,
+            Crc32cBackend::SlicingBy8,
             Crc32cBackend::SlicingBy16,
             Crc32cBackend::Hardware,
+            Crc32cBackend::Auto,
         ] {
             let crc = Crc32c::new(backend);
             assert_eq!(
@@ -322,20 +468,47 @@ mod tests {
     #[test]
     fn backends_agree_on_arbitrary_lengths() {
         let naive = Crc32c::new(Crc32cBackend::Naive);
-        let slicing = Crc32c::new(Crc32cBackend::SlicingBy16);
-        let hw = Crc32c::new(Crc32cBackend::Hardware);
+        let others = [
+            Crc32c::new(Crc32cBackend::SlicingBy4),
+            Crc32c::new(Crc32cBackend::SlicingBy8),
+            Crc32c::new(Crc32cBackend::SlicingBy16),
+            Crc32c::new(Crc32cBackend::Hardware),
+            Crc32c::auto(),
+        ];
         let mut data = Vec::new();
         let mut x = 0x12345u32;
-        for len in 0..130usize {
+        // 0..150 crosses both auto-policy thresholds.
+        for len in 0..150usize {
             data.clear();
             for i in 0..len {
                 x = x.wrapping_mul(1664525).wrapping_add(1013904223);
                 data.push((x >> 24) as u8 ^ i as u8);
             }
             let a = naive.checksum(&data);
-            assert_eq!(a, slicing.checksum(&data), "len {len}");
-            assert_eq!(a, hw.checksum(&data), "len {len}");
+            for other in &others {
+                assert_eq!(a, other.checksum(&data), "{:?} len {len}", other.backend());
+            }
         }
+    }
+
+    #[test]
+    fn auto_policy_is_monotone_in_width() {
+        assert_eq!(auto_software_width(0), Crc32cBackend::SlicingBy4);
+        assert_eq!(
+            auto_software_width(AUTO_SLICING8_MIN_BYTES - 1),
+            Crc32cBackend::SlicingBy4
+        );
+        assert_eq!(
+            auto_software_width(AUTO_SLICING8_MIN_BYTES),
+            Crc32cBackend::SlicingBy8
+        );
+        // The ~60-byte TeaLeaf row codeword takes the middle width.
+        assert_eq!(auto_software_width(60), Crc32cBackend::SlicingBy8);
+        assert_eq!(
+            auto_software_width(AUTO_SLICING16_MIN_BYTES),
+            Crc32cBackend::SlicingBy16
+        );
+        assert_eq!(auto_software_width(1 << 20), Crc32cBackend::SlicingBy16);
     }
 
     #[test]
@@ -456,7 +629,9 @@ mod tests {
         if hardware_available() {
             assert_eq!(crc.backend(), Crc32cBackend::Hardware);
         } else {
-            assert_eq!(crc.backend(), Crc32cBackend::SlicingBy16);
+            assert_eq!(crc.backend(), Crc32cBackend::Auto);
         }
+        // The probe is cached: repeated queries agree.
+        assert_eq!(hardware_available(), hardware_available());
     }
 }

@@ -24,9 +24,15 @@
 //! * [`analysis`] — code-capability analysis helpers used by the tests and
 //!   the `experiments --crc-capability` harness: syndrome uniqueness checks,
 //!   detection exhaustiveness over bounded error weights.
+//! * [`verify`] — batched, SIMD-accelerated verify-only kernels with
+//!   runtime ISA dispatch (SSE2/AVX2 resolved once into a function-pointer
+//!   table, portable scalar reference kept): the check-throughput layer the
+//!   hot SpMV and BLAS-1 consumers run on.
 //!
 //! The crate is `no_std`-friendly in spirit (no allocation in the hot paths)
 //! but uses `std` for feature detection and the analysis helpers.
+
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod bitops;
@@ -34,6 +40,7 @@ pub mod correction;
 pub mod crc32c;
 pub mod secded;
 pub mod sed;
+pub mod verify;
 
 pub use correction::{correct_crc32c_single, correct_crc32c_up_to_two};
 pub use crc32c::{Crc32c, Crc32cBackend};

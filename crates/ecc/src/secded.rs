@@ -82,7 +82,7 @@ pub struct Secded {
 
 /// Codeword position (1-indexed, power-of-two positions reserved for check
 /// bits) of data bit `j`.
-const fn data_bit_position(j: usize) -> usize {
+pub(crate) const fn data_bit_position(j: usize) -> usize {
     // Walk codeword positions, skipping powers of two, until we have passed
     // `j` data positions.
     let mut pos = 1usize;

@@ -1,0 +1,1150 @@
+//! Batched, SIMD-accelerated verify-only ECC kernels with runtime ISA
+//! dispatch.
+//!
+//! The full-protection scheme makes every SpMV and every vector read pay an
+//! integrity check, so check throughput *is* solver throughput.  The
+//! verify-only predicates ([`crate::Secded::verify`], SED parity) already
+//! avoid the correction machinery; this module removes the remaining scalar
+//! bit-twiddling by verifying **2–4 codewords per step**:
+//!
+//! * every codeword layout the hot kernels touch is reduced to *"XOR a
+//!   handful of table lookups and compare with zero"* through a **flattened
+//!   full-codeword syndrome table** built at compile time (one `u32` per
+//!   `(byte position, byte value)` pair, stored redundancy folded in — see
+//!   the private `tables` module), so a 72-bit vector codeword is clean iff the XOR of
+//!   8 lookups is zero, with no shifts, masks, or popcounts left at runtime;
+//! * on x86-64 with AVX2 the lookups become one 8-lane `vpgatherdd` per
+//!   codeword and the zero-tests are merged across a batch of 2–4 codewords;
+//!   SED parity folds 4 words per step with plain vertical XORs (SSE2 folds
+//!   2);
+//! * the implementation is selected **once**, at first use, into a
+//!   process-wide function-pointer table (a `OnceLock` function table) from
+//!   `is_x86_feature_detected!` — feature detection never runs inside a
+//!   kernel loop.
+//!
+//! The portable scalar implementations live in [`scalar`] and remain the
+//! reference: they run on every architecture, the dispatched kernels must be
+//! bit-for-bit equivalent to them (pinned by differential tests across
+//! random lengths and injected faults), and benchmarks compare against them
+//! for the pre/post points of `BENCH_ecc.json`.
+//!
+//! # Forcing the scalar path
+//!
+//! Setting the environment variable **`ABFT_ECC_FORCE_SCALAR=1`** (any
+//! non-empty value other than `0`) before the first ECC operation pins the
+//! dispatch to the scalar implementations *and* disables the hardware CRC32C
+//! instruction, so tests and benchmarks can exercise the portable fallback
+//! on hosts that do have the fast paths.  The variable is read once, when
+//! the dispatch table is first resolved; changing it afterwards has no
+//! effect.
+//!
+//! # What is *not* here
+//!
+//! Correction stays scalar: a failing batch only tells the caller "not
+//! clean", and the caller re-walks the batch with the correcting per-group
+//! decode to locate, repair and attribute the fault.  Faults are rare by
+//! assumption, so the batched predicates are the common case and the scalar
+//! decode is the cold path.
+
+use crate::secded::data_bit_position;
+use std::sync::OnceLock;
+
+/// Instruction set selected by the runtime dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// Portable scalar reference implementations.
+    Scalar,
+    /// SSE2: 2-lane parity folds; table kernels batch 4 codewords per step
+    /// for instruction-level parallelism (x86-64 baseline, no gather).
+    Sse2,
+    /// AVX2: 4-lane parity folds and 8-lane `vpgatherdd` syndrome lookups.
+    Avx2,
+}
+
+impl Isa {
+    /// Label for benchmark output (`BENCH_ecc.json` records the detected
+    /// ISA so numbers from different hosts are never compared blindly).
+    pub fn label(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Sse2 => "sse2",
+            Isa::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The resolved kernel table: one function pointer per batched predicate.
+struct Kernels {
+    isa: Isa,
+    sed_words: fn(&[u64]) -> bool,
+    sed_elements: fn(&[f64], &[u32]) -> bool,
+    secded64_words: fn(&[u64]) -> bool,
+    secded128_words: fn(&[u64]) -> bool,
+    secded88_elements: fn(&[f64], &[u32]) -> bool,
+}
+
+static KERNELS: OnceLock<Kernels> = OnceLock::new();
+
+/// `true` when `ABFT_ECC_FORCE_SCALAR` requests the portable path.
+///
+/// The environment variable is read **once** per process, through this
+/// shared cache — the verify dispatch table and the CRC hardware probe
+/// both consult it, so the two can never resolve to inconsistent states
+/// no matter which is touched first or whether the variable changes
+/// mid-process.
+pub fn force_scalar_requested() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| match std::env::var("ABFT_ECC_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    })
+}
+
+fn resolve() -> Kernels {
+    if force_scalar_requested() {
+        return scalar_kernels();
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Kernels {
+                isa: Isa::Avx2,
+                sed_words: avx2::sed_words_clean,
+                sed_elements: avx2::sed_elements_clean,
+                secded64_words: avx2::secded64_words_clean,
+                secded128_words: avx2::secded128_words_clean,
+                secded88_elements: avx2::secded88_elements_clean,
+            };
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return Kernels {
+                isa: Isa::Sse2,
+                sed_words: sse2::sed_words_clean,
+                sed_elements: sse2::sed_elements_clean,
+                // x86 without AVX2 has no usable gather; the table kernels
+                // batch 4 codewords per step in scalar registers instead.
+                secded64_words: batched::secded64_words_clean,
+                secded128_words: batched::secded128_words_clean,
+                secded88_elements: batched::secded88_elements_clean,
+            };
+        }
+    }
+    scalar_kernels()
+}
+
+fn scalar_kernels() -> Kernels {
+    Kernels {
+        isa: Isa::Scalar,
+        sed_words: scalar::sed_words_clean,
+        sed_elements: scalar::sed_elements_clean,
+        secded64_words: scalar::secded64_words_clean,
+        secded128_words: scalar::secded128_words_clean,
+        secded88_elements: scalar::secded88_elements_clean,
+    }
+}
+
+#[inline]
+fn kernels() -> &'static Kernels {
+    KERNELS.get_or_init(resolve)
+}
+
+/// The ISA the dispatch resolved to (resolving it on first call).
+pub fn detected_isa() -> Isa {
+    kernels().isa
+}
+
+/// Batched SED check: `true` iff every word has even parity.
+///
+/// This is the whole-run predicate behind the SED fast paths: a clean run —
+/// the overwhelmingly common case — is certified in one pass and the caller
+/// never touches per-element parity; a failing run is re-walked by the
+/// caller's scalar loop to find and report the offending index.
+///
+/// ```
+/// use abft_ecc::verify::sed_words_clean;
+/// // Even-parity words pass, one flipped bit fails the whole run.
+/// let clean = [0b11u64, 0b1010, 0];
+/// assert!(sed_words_clean(&clean));
+/// let mut bad = clean;
+/// bad[1] ^= 1 << 40;
+/// assert!(!sed_words_clean(&bad));
+/// ```
+#[inline]
+pub fn sed_words_clean(words: &[u64]) -> bool {
+    (kernels().sed_words)(words)
+}
+
+/// Batched SED check of CSR elements: `true` iff every `(value, encoded
+/// column)` pair has even combined parity (the 96-bit element codeword of
+/// Fig. 1).  `values` and `cols` must have equal lengths.
+#[inline]
+pub fn sed_elements_clean(values: &[f64], cols: &[u32]) -> bool {
+    debug_assert_eq!(values.len(), cols.len());
+    (kernels().sed_elements)(values, cols)
+}
+
+/// Batched verify of SECDED64 dense-vector codewords: `true` iff every word
+/// is a clean 72-bit vector codeword (56-bit payload in the high bits, 7
+/// redundancy bits + 1 zero bit in the low byte).
+#[inline]
+pub fn secded64_words_clean(words: &[u64]) -> bool {
+    (kernels().secded64_words)(words)
+}
+
+/// Batched verify of SECDED128 dense-vector codewords: `true` iff every
+/// consecutive **pair** of words is a clean 126-bit vector codeword
+/// (2 × 59-bit payload, 8 redundancy bits split 5 + 3 across the two
+/// reserved low-bit fields).  `words.len()` must be even (protected-vector
+/// storage is always padded to whole groups).
+#[inline]
+pub fn secded128_words_clean(words: &[u64]) -> bool {
+    debug_assert_eq!(words.len() % 2, 0);
+    (kernels().secded128_words)(words)
+}
+
+/// Batched verify of SECDED88 CSR elements: `true` iff every `(value,
+/// encoded column)` pair is a clean 96-bit element codeword (64-bit value +
+/// 24-bit column payload, 8 redundancy bits in the column's top byte).
+/// `values` and `cols` must have equal lengths.
+#[inline]
+pub fn secded88_elements_clean(values: &[f64], cols: &[u32]) -> bool {
+    debug_assert_eq!(values.len(), cols.len());
+    (kernels().secded88_elements)(values, cols)
+}
+
+/// Compile-time construction of the flattened full-codeword syndrome
+/// tables.
+///
+/// Every verify-only check in this crate is linear over GF(2): the codeword
+/// is clean iff the XOR of a per-bit *column* over all set raw bits is zero,
+/// where the column of
+///
+/// * a payload bit `j` is its Hamming codeword position ORed with the
+///   overall-parity contribution,
+/// * a stored check bit `j` is `1 << j` (it cancels the computed check bit)
+///   ORed with the overall-parity contribution,
+/// * the stored parity bit is the overall-parity contribution alone,
+/// * a must-be-zero spare bit is a **sentinel** bit no real column uses, so
+///   any stray flip there fails the check, and
+/// * a bit outside the codeword is zero.
+///
+/// Folding eight adjacent bits at a time yields one 256-entry `u32` table
+/// per byte position; the tables for one layout are flattened into a single
+/// array so a SIMD gather can index them as `position * 256 + byte`.
+mod tables {
+    use super::data_bit_position;
+
+    /// Column bit set for spare bits that the layout defines to be zero.
+    pub(super) const SENTINEL: u32 = 1 << 31;
+
+    /// Role of one raw storage bit in a codeword layout.
+    #[derive(Clone, Copy)]
+    enum Role {
+        /// Payload bit `j` of the underlying Hamming code.
+        Payload(usize),
+        /// Stored Hamming check bit `j`.
+        Check(u32),
+        /// Stored overall-parity bit.
+        Parity,
+        /// Spare bit defined to be zero.
+        Zero,
+    }
+
+    const fn column(role: Role, check_bits: u32) -> u32 {
+        match role {
+            Role::Payload(j) => data_bit_position(j) as u32 | (1 << check_bits),
+            Role::Check(j) => (1 << j) | (1 << check_bits),
+            Role::Parity => 1 << check_bits,
+            Role::Zero => SENTINEL,
+        }
+    }
+
+    /// Folds per-bit columns into the flattened per-byte lookup table.
+    const fn fill<const BITS: usize, const SIZE: usize>(
+        roles: [Role; BITS],
+        check_bits: u32,
+    ) -> [u32; SIZE] {
+        assert!(SIZE == (BITS / 8) * 256);
+        let mut table = [0u32; SIZE];
+        let mut p = 0;
+        while p < BITS / 8 {
+            let mut b = 1usize;
+            while b < 256 {
+                // table[p][b] = table[p][b without its lowest set bit]
+                //             ^ column(lowest set bit)
+                let low = b & b.wrapping_neg();
+                let bit = low.trailing_zeros() as usize;
+                table[p * 256 + b] =
+                    table[p * 256 + (b ^ low)] ^ column(roles[p * 8 + bit], check_bits);
+                b += 1;
+            }
+            p += 1;
+        }
+        table
+    }
+
+    /// SECDED64 dense-vector codeword: one `u64` = 56-bit payload above an
+    /// 8-bit reserved field (bits 0–5 check bits, bit 6 parity, bit 7 zero).
+    const fn vec64_roles() -> [Role; 64] {
+        let mut roles = [Role::Zero; 64];
+        let mut j = 0;
+        while j < 6 {
+            roles[j] = Role::Check(j as u32);
+            j += 1;
+        }
+        roles[6] = Role::Parity;
+        // roles[7] stays Zero (the 8th reserved bit is defined to be zero).
+        let mut b = 8;
+        while b < 64 {
+            roles[b] = Role::Payload(b - 8);
+            b += 1;
+        }
+        roles
+    }
+
+    /// SECDED128 dense-vector codeword: two `u64`s = 2 × 59-bit payload
+    /// above 5-bit reserved fields; redundancy bits 0–4 in word 0, bits 5–7
+    /// (checks 5–6 + parity) in word 1, word-1 spare bits 3–4 zero.
+    const fn vec128_roles() -> [Role; 128] {
+        let mut roles = [Role::Zero; 128];
+        let mut j = 0;
+        while j < 5 {
+            roles[j] = Role::Check(j as u32);
+            j += 1;
+        }
+        let mut b = 5;
+        while b < 64 {
+            roles[b] = Role::Payload(b - 5);
+            b += 1;
+        }
+        roles[64] = Role::Check(5);
+        roles[65] = Role::Check(6);
+        roles[66] = Role::Parity;
+        // roles[67], roles[68] stay Zero.
+        let mut b = 69;
+        while b < 128 {
+            roles[b] = Role::Payload(59 + (b - 69));
+            b += 1;
+        }
+        roles
+    }
+
+    /// SECDED88 CSR element codeword: a 64-bit value (payload bits 0–63)
+    /// followed by a 32-bit column index (payload bits 64–87 in the low 24
+    /// bits, checks 0–6 + parity in the top byte).
+    const fn elem88_roles() -> [Role; 96] {
+        let mut roles = [Role::Zero; 96];
+        let mut b = 0;
+        while b < 64 {
+            roles[b] = Role::Payload(b);
+            b += 1;
+        }
+        while b < 88 {
+            roles[b] = Role::Payload(b);
+            b += 1;
+        }
+        let mut j = 0;
+        while j < 7 {
+            roles[88 + j] = Role::Check(j as u32);
+            j += 1;
+        }
+        roles[95] = Role::Parity;
+        roles
+    }
+
+    /// Flattened table for the SECDED64 vector codeword (8 byte positions).
+    pub(super) static VEC64: [u32; 8 * 256] = fill(vec64_roles(), 6);
+    /// Flattened table for the SECDED128 vector codeword (16 byte positions).
+    pub(super) static VEC128: [u32; 16 * 256] = fill(vec128_roles(), 7);
+    /// Flattened table for the SECDED88 element codeword (12 byte positions:
+    /// 8 value bytes then 4 column bytes).
+    pub(super) static ELEM88: [u32; 12 * 256] = fill(elem88_roles(), 7);
+}
+
+/// Full-codeword syndrome of one SECDED64 vector word: zero iff clean.
+#[inline(always)]
+fn vec64_syndrome(w: u64) -> u32 {
+    let t = &tables::VEC64;
+    let mut s = 0u32;
+    let mut i = 0;
+    while i < 8 {
+        s ^= t[i * 256 + ((w >> (i * 8)) & 0xFF) as usize];
+        i += 1;
+    }
+    s
+}
+
+/// Full-codeword syndrome of one SECDED128 vector pair: zero iff clean.
+#[inline(always)]
+fn vec128_syndrome(w0: u64, w1: u64) -> u32 {
+    let t = &tables::VEC128;
+    let mut s = 0u32;
+    let mut i = 0;
+    while i < 8 {
+        s ^= t[i * 256 + ((w0 >> (i * 8)) & 0xFF) as usize];
+        s ^= t[(8 + i) * 256 + ((w1 >> (i * 8)) & 0xFF) as usize];
+        i += 1;
+    }
+    s
+}
+
+/// Full-codeword syndrome of one SECDED88 CSR element: zero iff clean.
+#[inline(always)]
+fn elem88_syndrome(value: f64, col: u32) -> u32 {
+    let t = &tables::ELEM88;
+    let v = value.to_bits();
+    let mut s = 0u32;
+    let mut i = 0;
+    while i < 8 {
+        s ^= t[i * 256 + ((v >> (i * 8)) & 0xFF) as usize];
+        i += 1;
+    }
+    let mut i = 0;
+    while i < 4 {
+        s ^= t[(8 + i) * 256 + ((col >> (i * 8)) & 0xFF) as usize];
+        i += 1;
+    }
+    s
+}
+
+/// Portable scalar reference implementations.
+///
+/// These are the semantics the dispatched kernels must reproduce exactly;
+/// the differential tests compare every other implementation against them,
+/// and `BENCH_ecc.json`'s *pre* points time them.
+pub mod scalar {
+    use super::*;
+
+    /// Scalar [`super::sed_words_clean`].
+    pub fn sed_words_clean(words: &[u64]) -> bool {
+        // XOR-folding the whole run costs one op per word and detects any
+        // odd number of per-word parity failures; it cannot certify a run
+        // clean (two bad words cancel), so fold a *per-word* parity bit
+        // into an accumulator instead.
+        let mut acc = 0u64;
+        for &w in words {
+            acc |= fold_parity(w);
+        }
+        acc & 1 == 0
+    }
+
+    /// Parity of `w` folded into bit 0 (no popcount: the baseline ISA of
+    /// the scalar tier may lack one).
+    #[inline(always)]
+    fn fold_parity(w: u64) -> u64 {
+        let mut v = w;
+        v ^= v >> 32;
+        v ^= v >> 16;
+        v ^= v >> 8;
+        v ^= v >> 4;
+        v ^= v >> 2;
+        v ^= v >> 1;
+        v & 1
+    }
+
+    /// Scalar [`super::sed_elements_clean`].
+    pub fn sed_elements_clean(values: &[f64], cols: &[u32]) -> bool {
+        let mut acc = 0u64;
+        for (&v, &c) in values.iter().zip(cols) {
+            acc |= fold_parity(v.to_bits() ^ c as u64);
+        }
+        acc & 1 == 0
+    }
+
+    /// Scalar [`super::secded64_words_clean`].
+    pub fn secded64_words_clean(words: &[u64]) -> bool {
+        let mut acc = 0u32;
+        for &w in words {
+            acc |= vec64_syndrome(w);
+        }
+        acc == 0
+    }
+
+    /// Scalar [`super::secded128_words_clean`].
+    pub fn secded128_words_clean(words: &[u64]) -> bool {
+        let mut acc = 0u32;
+        for pair in words.chunks_exact(2) {
+            acc |= vec128_syndrome(pair[0], pair[1]);
+        }
+        acc == 0
+    }
+
+    /// Scalar [`super::secded88_elements_clean`].
+    pub fn secded88_elements_clean(values: &[f64], cols: &[u32]) -> bool {
+        let mut acc = 0u32;
+        for (&v, &c) in values.iter().zip(cols) {
+            acc |= elem88_syndrome(v, c);
+        }
+        acc == 0
+    }
+}
+
+/// Four-codewords-per-step table kernels for x86 tiers without gather
+/// (SSE2): the lookups stay scalar but four independent syndrome chains run
+/// concurrently, so the loads pipeline instead of serialising.
+mod batched {
+    use super::*;
+
+    pub(super) fn secded64_words_clean(words: &[u64]) -> bool {
+        let mut chunks = words.chunks_exact(4);
+        let (mut a, mut b, mut c, mut d) = (0u32, 0u32, 0u32, 0u32);
+        for q in &mut chunks {
+            a |= vec64_syndrome(q[0]);
+            b |= vec64_syndrome(q[1]);
+            c |= vec64_syndrome(q[2]);
+            d |= vec64_syndrome(q[3]);
+        }
+        for &w in chunks.remainder() {
+            a |= vec64_syndrome(w);
+        }
+        (a | b | c | d) == 0
+    }
+
+    pub(super) fn secded128_words_clean(words: &[u64]) -> bool {
+        let mut chunks = words.chunks_exact(4);
+        let (mut a, mut b) = (0u32, 0u32);
+        for q in &mut chunks {
+            a |= vec128_syndrome(q[0], q[1]);
+            b |= vec128_syndrome(q[2], q[3]);
+        }
+        let rem = chunks.remainder();
+        if rem.len() == 2 {
+            a |= vec128_syndrome(rem[0], rem[1]);
+        }
+        (a | b) == 0
+    }
+
+    pub(super) fn secded88_elements_clean(values: &[f64], cols: &[u32]) -> bool {
+        let n = values.len().min(cols.len());
+        let (mut a, mut b, mut c, mut d) = (0u32, 0u32, 0u32, 0u32);
+        let mut k = 0;
+        while k + 4 <= n {
+            a |= elem88_syndrome(values[k], cols[k]);
+            b |= elem88_syndrome(values[k + 1], cols[k + 1]);
+            c |= elem88_syndrome(values[k + 2], cols[k + 2]);
+            d |= elem88_syndrome(values[k + 3], cols[k + 3]);
+            k += 4;
+        }
+        while k < n {
+            a |= elem88_syndrome(values[k], cols[k]);
+            k += 1;
+        }
+        (a | b | c | d) == 0
+    }
+}
+
+/// SSE2 kernels: two 64-bit lanes per step for the parity folds.
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    /// 2-lane SED parity scan.
+    pub(super) fn sed_words_clean(words: &[u64]) -> bool {
+        // SAFETY: only installed in the dispatch table when SSE2 is
+        // detected (SSE2 is baseline x86-64, but keep the contract uniform).
+        unsafe { sed_words_clean_impl(words) }
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn sed_words_clean_impl(words: &[u64]) -> bool {
+        use std::arch::x86_64::*;
+        let mut chunks = words.chunks_exact(2);
+        let mut acc = _mm_setzero_si128();
+        for pair in &mut chunks {
+            let mut v = _mm_loadu_si128(pair.as_ptr() as *const __m128i);
+            v = _mm_xor_si128(v, _mm_srli_epi64::<32>(v));
+            v = _mm_xor_si128(v, _mm_srli_epi64::<16>(v));
+            v = _mm_xor_si128(v, _mm_srli_epi64::<8>(v));
+            v = _mm_xor_si128(v, _mm_srli_epi64::<4>(v));
+            v = _mm_xor_si128(v, _mm_srli_epi64::<2>(v));
+            v = _mm_xor_si128(v, _mm_srli_epi64::<1>(v));
+            acc = _mm_or_si128(acc, v);
+        }
+        let lanes = _mm_or_si128(acc, _mm_srli_si128::<8>(acc));
+        let mut bad = (_mm_cvtsi128_si64(lanes) & 1) != 0;
+        for &w in chunks.remainder() {
+            bad |= (w.count_ones() & 1) != 0;
+        }
+        !bad
+    }
+
+    /// 2-lane SED element-parity scan (value bits XOR zero-extended column).
+    pub(super) fn sed_elements_clean(values: &[f64], cols: &[u32]) -> bool {
+        // SAFETY: installed only when SSE2 is detected.
+        unsafe { sed_elements_clean_impl(values, cols) }
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn sed_elements_clean_impl(values: &[f64], cols: &[u32]) -> bool {
+        use std::arch::x86_64::*;
+        let n = values.len().min(cols.len());
+        let mut acc = _mm_setzero_si128();
+        let mut k = 0;
+        while k + 2 <= n {
+            let v = _mm_loadu_si128(values.as_ptr().add(k) as *const __m128i);
+            // Zero-extend the two columns into 64-bit lanes.
+            let c = _mm_set_epi64x(cols[k + 1] as i64, cols[k] as i64);
+            let mut x = _mm_xor_si128(v, c);
+            x = _mm_xor_si128(x, _mm_srli_epi64::<32>(x));
+            x = _mm_xor_si128(x, _mm_srli_epi64::<16>(x));
+            x = _mm_xor_si128(x, _mm_srli_epi64::<8>(x));
+            x = _mm_xor_si128(x, _mm_srli_epi64::<4>(x));
+            x = _mm_xor_si128(x, _mm_srli_epi64::<2>(x));
+            x = _mm_xor_si128(x, _mm_srli_epi64::<1>(x));
+            acc = _mm_or_si128(acc, x);
+            k += 2;
+        }
+        let lanes = _mm_or_si128(acc, _mm_srli_si128::<8>(acc));
+        let mut bad = (_mm_cvtsi128_si64(lanes) & 1) != 0;
+        while k < n {
+            bad |= ((values[k].to_bits().count_ones() + cols[k].count_ones()) & 1) != 0;
+            k += 1;
+        }
+        !bad
+    }
+}
+
+/// AVX2 kernels: 4-lane parity folds and 8-lane gathered syndrome lookups.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::tables;
+
+    /// 4-lane SED parity scan.
+    pub(super) fn sed_words_clean(words: &[u64]) -> bool {
+        // SAFETY: installed in the dispatch table only when AVX2 is
+        // detected at runtime.
+        unsafe { sed_words_clean_impl(words) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn sed_words_clean_impl(words: &[u64]) -> bool {
+        use std::arch::x86_64::*;
+        let mut chunks = words.chunks_exact(4);
+        let mut acc = _mm256_setzero_si256();
+        for quad in &mut chunks {
+            let mut v = _mm256_loadu_si256(quad.as_ptr() as *const __m256i);
+            v = _mm256_xor_si256(v, _mm256_srli_epi64::<32>(v));
+            v = _mm256_xor_si256(v, _mm256_srli_epi64::<16>(v));
+            v = _mm256_xor_si256(v, _mm256_srli_epi64::<8>(v));
+            v = _mm256_xor_si256(v, _mm256_srli_epi64::<4>(v));
+            v = _mm256_xor_si256(v, _mm256_srli_epi64::<2>(v));
+            v = _mm256_xor_si256(v, _mm256_srli_epi64::<1>(v));
+            acc = _mm256_or_si256(acc, v);
+        }
+        let ones = _mm256_set1_epi64x(1);
+        let bad_mask = _mm256_and_si256(acc, ones);
+        let mut bad = _mm256_testz_si256(bad_mask, bad_mask) == 0;
+        for &w in chunks.remainder() {
+            bad |= (w.count_ones() & 1) != 0;
+        }
+        !bad
+    }
+
+    /// 4-lane SED element-parity scan.
+    pub(super) fn sed_elements_clean(values: &[f64], cols: &[u32]) -> bool {
+        // SAFETY: installed only when AVX2 is detected.
+        unsafe { sed_elements_clean_impl(values, cols) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn sed_elements_clean_impl(values: &[f64], cols: &[u32]) -> bool {
+        use std::arch::x86_64::*;
+        let n = values.len().min(cols.len());
+        let mut acc = _mm256_setzero_si256();
+        let mut k = 0;
+        while k + 4 <= n {
+            let v = _mm256_loadu_si256(values.as_ptr().add(k) as *const __m256i);
+            let c32 = _mm_loadu_si128(cols.as_ptr().add(k) as *const __m128i);
+            let c = _mm256_cvtepu32_epi64(c32);
+            let mut x = _mm256_xor_si256(v, c);
+            x = _mm256_xor_si256(x, _mm256_srli_epi64::<32>(x));
+            x = _mm256_xor_si256(x, _mm256_srli_epi64::<16>(x));
+            x = _mm256_xor_si256(x, _mm256_srli_epi64::<8>(x));
+            x = _mm256_xor_si256(x, _mm256_srli_epi64::<4>(x));
+            x = _mm256_xor_si256(x, _mm256_srli_epi64::<2>(x));
+            x = _mm256_xor_si256(x, _mm256_srli_epi64::<1>(x));
+            acc = _mm256_or_si256(acc, x);
+            k += 4;
+        }
+        let ones = _mm256_set1_epi64x(1);
+        let bad_mask = _mm256_and_si256(acc, ones);
+        let mut bad = _mm256_testz_si256(bad_mask, bad_mask) == 0;
+        while k < n {
+            bad |= ((values[k].to_bits().count_ones() + cols[k].count_ones()) & 1) != 0;
+            k += 1;
+        }
+        !bad
+    }
+
+    /// Gathers the 8 per-byte-position table entries of one 64-bit storage
+    /// word: lane `i` reads `table[i * 256 + byte_i(w) + base_lane * 256]`.
+    ///
+    /// Returns the 8 lanes un-reduced so callers can XOR several gathers
+    /// before the horizontal fold.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn gather8(
+        table: &'static [u32],
+        w: u64,
+        offsets: std::arch::x86_64::__m256i,
+    ) -> std::arch::x86_64::__m256i {
+        use std::arch::x86_64::*;
+        // The 8 bytes of `w`, zero-extended to 32-bit lanes.
+        let bytes = _mm_set_epi64x(0, w as i64);
+        let idx = _mm256_add_epi32(_mm256_cvtepu8_epi32(bytes), offsets);
+        _mm256_i32gather_epi32::<4>(table.as_ptr() as *const i32, idx)
+    }
+
+    /// XOR-reduce 8 × u32 lanes to one u32.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn xor_reduce(v: std::arch::x86_64::__m256i) -> u32 {
+        use std::arch::x86_64::*;
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256::<1>(v);
+        let x = _mm_xor_si128(lo, hi);
+        let x = _mm_xor_si128(x, _mm_srli_si128::<8>(x));
+        let x = _mm_xor_si128(x, _mm_srli_si128::<4>(x));
+        _mm_cvtsi128_si32(x) as u32
+    }
+
+    /// Byte-position offsets 0, 256, 512, … for lanes 0–7 of a gather.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn lane_offsets(base: i32) -> std::arch::x86_64::__m256i {
+        use std::arch::x86_64::*;
+        _mm256_add_epi32(
+            _mm256_set1_epi32(base * 256),
+            _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792),
+        )
+    }
+
+    pub(super) fn secded64_words_clean(words: &[u64]) -> bool {
+        // SAFETY: installed only when AVX2 is detected.
+        unsafe { secded64_words_clean_impl(words) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn secded64_words_clean_impl(words: &[u64]) -> bool {
+        use std::arch::x86_64::*;
+        let table = &tables::VEC64[..];
+        let offsets = lane_offsets(0);
+        let mut chunks = words.chunks_exact(4);
+        let mut acc = _mm256_setzero_si256();
+        for quad in &mut chunks {
+            // Four independent gathers per step: the syndromes of four
+            // codewords are in flight at once and only the combined lanes
+            // are tested.
+            let s0 = gather8(table, quad[0], offsets);
+            let s1 = gather8(table, quad[1], offsets);
+            let s2 = gather8(table, quad[2], offsets);
+            let s3 = gather8(table, quad[3], offsets);
+            // Lanes of distinct words must not cancel each other: a clean
+            // batch has every *individual* syndrome zero, so fold each
+            // word's lanes and OR the results.  XOR within one word's lanes
+            // is the reduction; OR across words preserves failures.
+            let r01 = _mm256_or_si256(xor_pairwise(s0), xor_pairwise(s1));
+            let r23 = _mm256_or_si256(xor_pairwise(s2), xor_pairwise(s3));
+            acc = _mm256_or_si256(acc, _mm256_or_si256(r01, r23));
+        }
+        let mut bad = _mm256_testz_si256(acc, acc) == 0;
+        for &w in chunks.remainder() {
+            bad |= super::vec64_syndrome(w) != 0;
+        }
+        !bad
+    }
+
+    /// Reduces one word's 8 syndrome lanes by XOR into every lane (so an OR
+    /// with other words' reductions keeps per-word failures visible).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn xor_pairwise(v: std::arch::x86_64::__m256i) -> std::arch::x86_64::__m256i {
+        use std::arch::x86_64::*;
+        let swapped = _mm256_permute4x64_epi64::<0b01_00_11_10>(v);
+        let x = _mm256_xor_si256(v, swapped);
+        let x = _mm256_xor_si256(x, _mm256_shuffle_epi32::<0b01_00_11_10>(x));
+        _mm256_xor_si256(x, _mm256_shuffle_epi32::<0b10_11_00_01>(x))
+    }
+
+    pub(super) fn secded128_words_clean(words: &[u64]) -> bool {
+        // SAFETY: installed only when AVX2 is detected.
+        unsafe { secded128_words_clean_impl(words) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn secded128_words_clean_impl(words: &[u64]) -> bool {
+        use std::arch::x86_64::*;
+        let table = &tables::VEC128[..];
+        let off_lo = lane_offsets(0);
+        let off_hi = lane_offsets(8);
+        let mut chunks = words.chunks_exact(4);
+        let mut acc = _mm256_setzero_si256();
+        for quad in &mut chunks {
+            // Two codeword pairs per step; lanes of one pair XOR together
+            // (both gathers belong to the same codeword), pairs OR.
+            let p0 = _mm256_xor_si256(
+                gather8(table, quad[0], off_lo),
+                gather8(table, quad[1], off_hi),
+            );
+            let p1 = _mm256_xor_si256(
+                gather8(table, quad[2], off_lo),
+                gather8(table, quad[3], off_hi),
+            );
+            acc = _mm256_or_si256(acc, _mm256_or_si256(xor_pairwise(p0), xor_pairwise(p1)));
+        }
+        let mut bad = _mm256_testz_si256(acc, acc) == 0;
+        let rem = chunks.remainder();
+        if rem.len() == 2 {
+            bad |= super::vec128_syndrome(rem[0], rem[1]) != 0;
+        }
+        !bad
+    }
+
+    pub(super) fn secded88_elements_clean(values: &[f64], cols: &[u32]) -> bool {
+        // SAFETY: installed only when AVX2 is detected.
+        unsafe { secded88_elements_clean_impl(values, cols) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn secded88_elements_clean_impl(values: &[f64], cols: &[u32]) -> bool {
+        use std::arch::x86_64::*;
+        let table = &tables::ELEM88[..];
+        let off_val = lane_offsets(0);
+        // Column bytes live at byte positions 8–11; process two elements'
+        // columns per 8-lane gather (lanes 0–3 element k, lanes 4–7
+        // element k+1).
+        let off_col = _mm256_add_epi32(
+            _mm256_set1_epi32(8 * 256),
+            _mm256_setr_epi32(0, 256, 512, 768, 0, 256, 512, 768),
+        );
+        let n = values.len().min(cols.len());
+        let mut acc = _mm256_setzero_si256();
+        let mut k = 0;
+        while k + 2 <= n {
+            let s0 = gather8(table, values[k].to_bits(), off_val);
+            let s1 = gather8(table, values[k + 1].to_bits(), off_val);
+            // Both columns' bytes in one gather.
+            let col_bytes = _mm_set_epi64x(0, (cols[k] as u64 | (cols[k + 1] as u64) << 32) as i64);
+            let cidx = _mm256_add_epi32(_mm256_cvtepu8_epi32(col_bytes), off_col);
+            let sc = _mm256_i32gather_epi32::<4>(table.as_ptr() as *const i32, cidx);
+            // Element k owns lanes 0–3 of `sc`, element k+1 lanes 4–7;
+            // XOR-fold each element's value lanes down and combine with its
+            // column lanes, then OR the two elements' residues.
+            let c0 = _mm256_castsi256_si128(sc);
+            let c1 = _mm256_extracti128_si256::<1>(sc);
+            let r0 = xor_reduce(s0) ^ xor_reduce128(c0);
+            let r1 = xor_reduce(s1) ^ xor_reduce128(c1);
+            acc = _mm256_or_si256(acc, _mm256_set1_epi32((r0 | r1) as i32));
+            k += 2;
+        }
+        let mut bad = _mm256_testz_si256(acc, acc) == 0;
+        while k < n {
+            bad |= super::elem88_syndrome(values[k], cols[k]) != 0;
+            k += 1;
+        }
+        !bad
+    }
+
+    /// XOR-reduce 4 × u32 lanes to one u32.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn xor_reduce128(v: std::arch::x86_64::__m128i) -> u32 {
+        use std::arch::x86_64::*;
+        let x = _mm_xor_si128(v, _mm_srli_si128::<8>(v));
+        let x = _mm_xor_si128(x, _mm_srli_si128::<4>(x));
+        _mm_cvtsi128_si32(x) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitops::low_mask;
+    use crate::secded::{SECDED_118, SECDED_56, SECDED_88};
+
+    /// Deterministic pattern generator.
+    fn xorshift(x: &mut u64) -> u64 {
+        *x ^= *x << 13;
+        *x ^= *x >> 7;
+        *x ^= *x << 17;
+        *x
+    }
+
+    /// Encodes a clean SECDED64 vector word from raw payload bits.
+    fn encode_vec64(payload56: u64) -> u64 {
+        let payload = payload56 & low_mask(56);
+        let red = SECDED_56.encode(&[payload]) as u64;
+        (payload << 8) | red
+    }
+
+    /// Encodes a clean SECDED128 vector pair from raw payload bits.
+    fn encode_vec128(p0: u64, p1: u64) -> (u64, u64) {
+        let b0 = p0 & low_mask(59);
+        let b1 = p1 & low_mask(59);
+        let payload = [b0 | (b1 << 59), b1 >> 5];
+        let red = SECDED_118.encode(&payload) as u64;
+        ((b0 << 5) | (red & 0x1F), (b1 << 5) | ((red >> 5) & 0x07))
+    }
+
+    /// Encodes a clean SECDED88 element (value untouched, redundancy in the
+    /// column's top byte).
+    fn encode_elem88(value: f64, col24: u32) -> (f64, u32) {
+        let col = col24 & 0x00FF_FFFF;
+        let payload = [value.to_bits(), col as u64];
+        let red = SECDED_88.encode(&payload) as u32;
+        (value, col | (red << 24))
+    }
+
+    type WordImpl = (&'static str, fn(&[u64]) -> bool);
+    type ElementImpl = (&'static str, fn(&[f64], &[u32]) -> bool);
+
+    /// All implementations that must agree for a given predicate.
+    fn word_impls(which: &str) -> Vec<WordImpl> {
+        let mut impls: Vec<WordImpl> = Vec::new();
+        match which {
+            "sed" => {
+                impls.push(("dispatch", sed_words_clean as fn(&[u64]) -> bool));
+                impls.push(("scalar", scalar::sed_words_clean));
+                #[cfg(target_arch = "x86_64")]
+                {
+                    impls.push(("sse2", sse2::sed_words_clean));
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        impls.push(("avx2", avx2::sed_words_clean));
+                    }
+                }
+            }
+            "secded64" => {
+                impls.push(("dispatch", secded64_words_clean as fn(&[u64]) -> bool));
+                impls.push(("scalar", scalar::secded64_words_clean));
+                impls.push(("batched", batched::secded64_words_clean));
+                #[cfg(target_arch = "x86_64")]
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    impls.push(("avx2", avx2::secded64_words_clean));
+                }
+            }
+            "secded128" => {
+                impls.push(("dispatch", secded128_words_clean as fn(&[u64]) -> bool));
+                impls.push(("scalar", scalar::secded128_words_clean));
+                impls.push(("batched", batched::secded128_words_clean));
+                #[cfg(target_arch = "x86_64")]
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    impls.push(("avx2", avx2::secded128_words_clean));
+                }
+            }
+            other => panic!("unknown predicate {other}"),
+        }
+        impls
+    }
+
+    fn element_impls() -> Vec<ElementImpl> {
+        let mut impls: Vec<ElementImpl> = vec![
+            ("dispatch", secded88_elements_clean),
+            ("scalar", scalar::secded88_elements_clean),
+            ("batched", batched::secded88_elements_clean),
+        ];
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            impls.push(("avx2", avx2::secded88_elements_clean));
+        }
+        impls
+    }
+
+    #[test]
+    fn vec64_syndrome_matches_group_verify() {
+        let mut x = 0x1234_5678u64;
+        for _ in 0..200 {
+            let w = encode_vec64(xorshift(&mut x));
+            assert_eq!(vec64_syndrome(w), 0, "clean word {w:#x}");
+            for bit in 0..64 {
+                let bad = w ^ (1u64 << bit);
+                let expect = bad & 0x80 == 0 && SECDED_56.verify(&[bad >> 8], (bad & 0x7F) as u16);
+                assert_eq!(vec64_syndrome(bad) == 0, expect, "bit {bit} of {w:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn vec128_syndrome_matches_group_verify() {
+        let mut x = 0xDEAD_BEEFu64;
+        for _ in 0..100 {
+            let (w0, w1) = encode_vec128(xorshift(&mut x), xorshift(&mut x));
+            assert_eq!(vec128_syndrome(w0, w1), 0);
+            for bit in 0..128 {
+                let (mut b0, mut b1) = (w0, w1);
+                if bit < 64 {
+                    b0 ^= 1u64 << bit;
+                } else {
+                    b1 ^= 1u64 << (bit - 64);
+                }
+                let payload = [(b0 >> 5) | (b1 >> 5) << 59, (b1 >> 5) >> 5];
+                let stored = ((b0 & 0x1F) | ((b1 & 0x07) << 5)) as u16;
+                let expect = b1 & 0x18 == 0 && SECDED_118.verify(&payload, stored);
+                assert_eq!(vec128_syndrome(b0, b1) == 0, expect, "bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn elem88_syndrome_matches_code_verify() {
+        let mut x = 0xABCDu64;
+        for _ in 0..100 {
+            let value = f64::from_bits(xorshift(&mut x));
+            let (v, c) = encode_elem88(value, xorshift(&mut x) as u32);
+            assert_eq!(elem88_syndrome(v, c), 0);
+            for bit in 0..96 {
+                let (mut vb, mut cb) = (v.to_bits(), c);
+                if bit < 64 {
+                    vb ^= 1u64 << bit;
+                } else {
+                    cb ^= 1u32 << (bit - 64);
+                }
+                let payload = [vb, (cb & 0x00FF_FFFF) as u64];
+                let expect = SECDED_88.verify(&payload, (cb >> 24) as u16);
+                assert_eq!(
+                    elem88_syndrome(f64::from_bits(vb), cb) == 0,
+                    expect,
+                    "bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_word_impls_agree_on_random_runs_and_faults() {
+        let mut x = 7u64;
+        for which in ["sed", "secded64", "secded128"] {
+            let impls = word_impls(which);
+            for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 31, 64, 127] {
+                let len = if which == "secded128" { len & !1 } else { len };
+                let mut words: Vec<u64> = (0..len)
+                    .map(|_| match which {
+                        "sed" => {
+                            let p = xorshift(&mut x) & !1;
+                            p | (p.count_ones() as u64 & 1)
+                        }
+                        "secded64" => encode_vec64(xorshift(&mut x)),
+                        _ => 0,
+                    })
+                    .collect();
+                if which == "secded128" {
+                    for pair in words.chunks_exact_mut(2) {
+                        let (w0, w1) = encode_vec128(xorshift(&mut x), xorshift(&mut x));
+                        pair[0] = w0;
+                        pair[1] = w1;
+                    }
+                }
+                for (name, f) in &impls {
+                    assert!(f(&words), "{which}/{name} clean len={len}");
+                }
+                if len == 0 {
+                    continue;
+                }
+                // Single- and double-bit faults anywhere must produce the
+                // same verdict from every implementation.
+                for trial in 0..20 {
+                    let mut bad = words.clone();
+                    let i = (xorshift(&mut x) as usize) % len;
+                    bad[i] ^= 1u64 << (xorshift(&mut x) % 64);
+                    if trial % 2 == 0 {
+                        let j = (xorshift(&mut x) as usize) % len;
+                        bad[j] ^= 1u64 << (xorshift(&mut x) % 64);
+                    }
+                    let reference = impls[1].1(&bad);
+                    for (name, f) in &impls {
+                        assert_eq!(f(&bad), reference, "{which}/{name} len={len} trial={trial}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_element_impls_agree_on_random_runs_and_faults() {
+        let impls = element_impls();
+        let mut x = 99u64;
+        for len in [0usize, 1, 2, 3, 5, 8, 13, 64, 129] {
+            let mut values = Vec::new();
+            let mut cols = Vec::new();
+            for _ in 0..len {
+                let (v, c) =
+                    encode_elem88(f64::from_bits(xorshift(&mut x)), xorshift(&mut x) as u32);
+                values.push(v);
+                cols.push(c);
+            }
+            for (name, f) in &impls {
+                assert!(f(&values, &cols), "{name} clean len={len}");
+            }
+            if len == 0 {
+                continue;
+            }
+            for trial in 0..20 {
+                let mut bv = values.clone();
+                let mut bc = cols.clone();
+                let i = (xorshift(&mut x) as usize) % len;
+                let bit = xorshift(&mut x) % 96;
+                if bit < 64 {
+                    bv[i] = f64::from_bits(bv[i].to_bits() ^ (1u64 << bit));
+                } else {
+                    bc[i] ^= 1u32 << (bit - 64);
+                }
+                if trial % 2 == 0 {
+                    let j = (xorshift(&mut x) as usize) % len;
+                    bv[j] = f64::from_bits(bv[j].to_bits() ^ (1u64 << (xorshift(&mut x) % 64)));
+                }
+                let reference = impls[1].1(&bv, &bc);
+                for (name, f) in &impls {
+                    assert_eq!(f(&bv, &bc), reference, "{name} len={len} trial={trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sed_element_impls_agree() {
+        let mut impls: Vec<ElementImpl> = vec![
+            ("dispatch", sed_elements_clean),
+            ("scalar", scalar::sed_elements_clean),
+        ];
+        #[cfg(target_arch = "x86_64")]
+        {
+            impls.push(("sse2", sse2::sed_elements_clean));
+            if std::arch::is_x86_feature_detected!("avx2") {
+                impls.push(("avx2", avx2::sed_elements_clean));
+            }
+        }
+        let mut x = 3u64;
+        for len in [0usize, 1, 2, 3, 4, 5, 9, 33, 100] {
+            let mut values = Vec::new();
+            let mut cols = Vec::new();
+            for _ in 0..len {
+                // Even combined parity: fold the value's parity into the
+                // column's top bit.
+                let v = xorshift(&mut x);
+                let c = (xorshift(&mut x) as u32) & 0x7FFF_FFFF;
+                let p = (v.count_ones() + c.count_ones()) & 1;
+                values.push(f64::from_bits(v));
+                cols.push(c | (p << 31));
+            }
+            for (name, f) in &impls {
+                assert!(f(&values, &cols), "{name} clean len={len}");
+            }
+            if len == 0 {
+                continue;
+            }
+            for _ in 0..10 {
+                let mut bv = values.clone();
+                let i = (xorshift(&mut x) as usize) % len;
+                bv[i] = f64::from_bits(bv[i].to_bits() ^ (1u64 << (xorshift(&mut x) % 64)));
+                for (name, f) in &impls {
+                    assert!(!f(&bv, &cols), "{name} fault undetected len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_reports_an_isa() {
+        let isa = detected_isa();
+        assert!(!isa.label().is_empty());
+        // The dispatch is memoised: repeated calls return the same ISA.
+        assert_eq!(detected_isa(), isa);
+    }
+}

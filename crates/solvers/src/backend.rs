@@ -20,7 +20,7 @@
 //!   fallible because protected storage verifies codewords on access.
 //!
 //! Every operation threads a [`FaultContext`] carrying the
-//! [`FaultLog`](abft_core::FaultLog) in which integrity-check activity is
+//! [`FaultLog`] in which integrity-check activity is
 //! recorded, and returns the unified [`SolverError`] on detection of an
 //! uncorrectable fault.  Concrete backends for the three protection tiers
 //! live in [`crate::backends`].

@@ -8,8 +8,8 @@
 //! * [`sparse`] — CSR/COO matrices, dense vectors, SpMV and BLAS-1 kernels
 //! * [`core`] — the protected data structures (the paper's contribution)
 //! * [`solvers`] — the generic solver layer: CG, Jacobi, Chebyshev and PPCG
-//!   written once over the backend traits, fronted by the [`Solver`]
-//!   builder (`prelude::Solver`)
+//!   written once over the backend traits, fronted by the
+//!   [`Solver`](prelude::Solver) builder
 //! * [`tealeaf`] — the TeaLeaf-style 2-D heat-conduction mini-app
 //! * [`faultsim`] — bit-flip injection and fault campaigns
 //!

@@ -104,8 +104,8 @@ pub fn effective_workers() -> usize {
 
 /// The number of chunks a parallel operation over `len` elements is split
 /// into.  `1` means the operation runs inline.  With more than one lane the
-/// split oversubscribes ([`STEAL_CHUNKS_PER_WORKER`] chunks per lane, chunk
-/// size at least [`MIN_CHUNK`]) so the stealing cursor can rebalance.
+/// split oversubscribes (`STEAL_CHUNKS_PER_WORKER` chunks per lane, chunk
+/// size at least `MIN_CHUNK`) so the stealing cursor can rebalance.
 pub fn chunk_count(len: usize) -> usize {
     if len < MIN_CHUNK {
         return 1;
@@ -732,7 +732,14 @@ where
                 unsafe { *slots.get().add(c) = Some(sum) };
             });
         }
-        partials.into_iter().flatten().sum()
+        partials
+            .into_iter()
+            // Every chunk index is in range (chunk size ≥ MIN_CHUNK keeps
+            // chunk_count ≤ len/chunk), so a missing slot can only mean the
+            // dispatch lost a chunk — fail loudly rather than return a
+            // silently short sum to a convergence decision.
+            .map(|slot| slot.expect("chunk sum missing"))
+            .sum()
     }
 }
 
