@@ -19,6 +19,7 @@
 use abft_bench::blas1_bench::{blas1_microbench, trajectory_points_json, Blas1BenchConfig};
 use abft_bench::ecc_bench::{self, ecc_microbench, EccBenchConfig};
 use abft_bench::json::Json;
+use abft_bench::queue_bench::{self, queue_microbench, QueueBenchConfig};
 use abft_bench::regression::{check_regression, GateConfig};
 use abft_bench::scaling_bench::{self, scaling_microbench, ScalingBenchConfig};
 use abft_bench::spmv_bench::{
@@ -45,9 +46,11 @@ struct Args {
     bench_blas1: bool,
     bench_ecc: bool,
     bench_scaling: bool,
+    bench_queue: bool,
     check_regression: bool,
     baseline_spmv: String,
     baseline_blas1: String,
+    baseline_queue: String,
     gate_tolerance: f64,
     bench_label: String,
     parallel: bool,
@@ -74,9 +77,11 @@ impl Default for Args {
             bench_blas1: false,
             bench_ecc: false,
             bench_scaling: false,
+            bench_queue: false,
             check_regression: false,
             baseline_spmv: "BENCH_spmv.json".to_string(),
             baseline_blas1: "BENCH_blas1.json".to_string(),
+            baseline_queue: "BENCH_queue.json".to_string(),
             gate_tolerance: 25.0,
             bench_label: "current".to_string(),
             parallel: false,
@@ -105,11 +110,15 @@ const HELP: &str = "experiments — regenerate the paper's figures.
                        batched-SIMD verify, CRC slicing-width sweep
                        (the BENCH_ecc.json sweep)
   --bench-scaling      worker-count scaling sweep (the BENCH_scaling.json sweep)
+  --bench-queue        multi-tenant serving throughput: serial dispatch vs
+                       SolveQueue panels at k in {1,2,4,8}
+                       (the BENCH_queue.json sweep)
   --check-regression   CI gate: re-measure and compare overhead ratios against
-                       the committed BENCH_spmv.json / BENCH_blas1.json
-                       (exit 1 on >25% degradation)
+                       the committed BENCH_spmv.json / BENCH_blas1.json /
+                       BENCH_queue.json (exit 1 on >25% degradation)
   --baseline-spmv P    SpMV baseline file for --check-regression
   --baseline-blas1 P   BLAS-1 baseline file for --check-regression
+  --baseline-queue P   serving-throughput baseline file for --check-regression
   --gate-tolerance PCT allowed ratio degradation for --check-regression
   --bench-label L      trajectory-point label for --bench-* JSON output
   --parallel           use the Rayon-parallel kernels
@@ -144,9 +153,11 @@ fn parse_args() -> Result<Args, String> {
             "--bench-blas1" => args.bench_blas1 = true,
             "--bench-ecc" => args.bench_ecc = true,
             "--bench-scaling" => args.bench_scaling = true,
+            "--bench-queue" => args.bench_queue = true,
             "--check-regression" => args.check_regression = true,
             "--baseline-spmv" => args.baseline_spmv = value("--baseline-spmv")?,
             "--baseline-blas1" => args.baseline_blas1 = value("--baseline-blas1")?,
+            "--baseline-queue" => args.baseline_queue = value("--baseline-queue")?,
             "--gate-tolerance" => {
                 args.gate_tolerance = value("--gate-tolerance")?
                     .parse()
@@ -293,14 +304,19 @@ fn main() {
         let config = GateConfig {
             spmv_baseline: args.baseline_spmv.clone(),
             blas1_baseline: args.baseline_blas1.clone(),
+            queue_baseline: args.baseline_queue.clone(),
             nx: args.nx,
             iters: args.iterations.min(8),
             repeats: args.repeats.min(2),
             tolerance_pct: args.gate_tolerance,
         };
         println!(
-            "Perf-regression gate: fresh {0}x{0} measurement vs {1} + {2} (tolerance +{3}%)",
-            config.nx, config.spmv_baseline, config.blas1_baseline, config.tolerance_pct
+            "Perf-regression gate: fresh {0}x{0} measurement vs {1} + {2} + {3} (tolerance +{4}%)",
+            config.nx,
+            config.spmv_baseline,
+            config.blas1_baseline,
+            config.queue_baseline,
+            config.tolerance_pct
         );
         match check_regression(&config) {
             Ok(report) => {
@@ -315,6 +331,32 @@ fn main() {
                 eprintln!("perf-regression gate could not run: {err}");
                 std::process::exit(1);
             }
+        }
+        return;
+    }
+
+    if args.bench_queue {
+        let config = if args.smoke {
+            QueueBenchConfig::smoke()
+        } else {
+            QueueBenchConfig {
+                n: args.nx,
+                iters: args.iterations.min(25),
+                repeats: args.repeats.min(2),
+                ..QueueBenchConfig::default()
+            }
+        };
+        println!(
+            "Multi-tenant serving throughput ({0}x{0} Poisson grid, {1} jobs, widths {2:?}, {3} CG iters/solve, {4} repeats)",
+            config.n, config.jobs, config.widths, config.iters, config.repeats
+        );
+        let rows = queue_microbench(&config);
+        print!("{}", queue_bench::render_table(&rows));
+        if let Some(path) = &args.json {
+            let point = queue_bench::trajectory_point_json(&args.bench_label, &config, &rows);
+            let doc = Json::obj([("trajectory", Json::Arr(vec![point]))]);
+            std::fs::write(path, doc.render()).expect("write JSON output");
+            println!("machine-readable results written to {path}");
         }
         return;
     }

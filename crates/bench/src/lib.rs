@@ -26,6 +26,7 @@ use std::time::Instant;
 pub mod blas1_bench;
 pub mod ecc_bench;
 pub mod json;
+pub mod queue_bench;
 pub mod regression;
 pub mod scaling_bench;
 pub mod spmv_bench;

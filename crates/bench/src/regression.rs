@@ -16,6 +16,7 @@
 
 use crate::blas1_bench::{blas1_microbench, Blas1BenchConfig};
 use crate::json::Json;
+use crate::queue_bench::{queue_microbench, QueueBenchConfig};
 use crate::spmv_bench::{spmv_microbench, SpmvBenchConfig};
 
 /// Gate configuration.
@@ -25,6 +26,8 @@ pub struct GateConfig {
     pub spmv_baseline: String,
     /// Committed BLAS-1 trajectory file.
     pub blas1_baseline: String,
+    /// Committed serving-throughput trajectory file.
+    pub queue_baseline: String,
     /// Grid side length of the fresh measurement (must match the committed
     /// workload for the ratios to be comparable).
     pub nx: usize,
@@ -41,6 +44,7 @@ impl Default for GateConfig {
         GateConfig {
             spmv_baseline: "BENCH_spmv.json".into(),
             blas1_baseline: "BENCH_blas1.json".into(),
+            queue_baseline: "BENCH_queue.json".into(),
             nx: 256,
             iters: 6,
             repeats: 2,
@@ -303,6 +307,84 @@ fn measure_once(config: &GateConfig) -> Result<GateReport, String> {
         });
     }
 
+    // --- Serving throughput: each batched width's per-solve time,
+    // normalised by the serial one-at-a-time dispatch of the same run.  A
+    // queue change that loses the panel amortisation (or bloats dispatch)
+    // shows up as a ratio jump on every host. ---
+    let queue_points = load_trajectory(&config.queue_baseline)?;
+    let base_point = queue_points.last();
+    let base = last_point_rows(&queue_points, |_| true).unwrap_or_default();
+    if !base.is_empty() {
+        let workload = base_point.and_then(|p| p.get("workload"));
+        let usize_field = |key: &str, default: usize| {
+            workload
+                .and_then(|w| w.get(key))
+                .and_then(Json::as_f64)
+                .map(|v| v as usize)
+                .unwrap_or(default)
+        };
+        let widths: Vec<usize> = workload
+            .and_then(|w| w.get("widths"))
+            .and_then(Json::as_arr)
+            .map(|ws| {
+                ws.iter()
+                    .filter_map(Json::as_f64)
+                    .map(|v| v as usize)
+                    .collect()
+            })
+            .unwrap_or_else(|| vec![1, 2, 4, 8]);
+        let fresh = queue_microbench(&QueueBenchConfig {
+            n: config.nx,
+            jobs: usize_field("jobs", 8),
+            widths,
+            iters: config.iters,
+            repeats: config.repeats,
+        });
+        let serial_ns = |rows: &[&Json], scheme: &str| {
+            rows.iter()
+                .find(|r| str_field(r, "scheme") == scheme && str_field(r, "mode") == "serial")
+                .map(|r| num_field(r, "mean_ns_per_solve"))
+        };
+        let base_refs: Vec<&Json> = base.iter().collect();
+        for base_row in &base {
+            let (scheme, mode) = (str_field(base_row, "scheme"), str_field(base_row, "mode"));
+            if mode != "batched" {
+                continue; // serial rows are the normalisers
+            }
+            let width = num_field(base_row, "width") as usize;
+            let Some(base_norm) = serial_ns(&base_refs, scheme) else {
+                continue;
+            };
+            let Some(fresh_row) = fresh
+                .iter()
+                .find(|r| r.scheme == scheme && r.mode == "batched" && r.width == width)
+            else {
+                continue;
+            };
+            let Some(fresh_norm) = fresh
+                .iter()
+                .find(|r| r.scheme == scheme && r.mode == "serial")
+                .map(|r| r.mean_ns_per_solve)
+            else {
+                continue;
+            };
+            let baseline_ratio = num_field(base_row, "mean_ns_per_solve") / base_norm;
+            let fresh_ratio = fresh_row.mean_ns_per_solve / fresh_norm;
+            if !baseline_ratio.is_finite() || !fresh_ratio.is_finite() {
+                continue;
+            }
+            rows.push(GateRow {
+                suite: "queue".into(),
+                what: format!("batched k={width}"),
+                scheme: scheme.into(),
+                baseline_ratio,
+                fresh_ratio,
+                change_pct: (fresh_ratio / baseline_ratio - 1.0) * 100.0,
+                regressed: fresh_ratio > baseline_ratio * tol,
+            });
+        }
+    }
+
     if rows.is_empty() {
         return Err("regression gate compared zero rows — baselines empty or mismatched".into());
     }
@@ -357,9 +439,14 @@ mod tests {
             "abft_gate_blas1.json",
             &Json::obj([("trajectory", Json::Arr(vec![]))]).render(),
         );
+        let queue = write_temp(
+            "abft_gate_queue.json",
+            &Json::obj([("trajectory", Json::Arr(vec![]))]).render(),
+        );
         let generous = GateConfig {
             spmv_baseline: write_temp("abft_gate_spmv_ok.json", &spmv_baseline_doc(100_000.0)),
             blas1_baseline: blas1.clone(),
+            queue_baseline: queue,
             nx: 12,
             iters: 1,
             repeats: 1,

@@ -39,7 +39,7 @@ pub mod row_pointer;
 pub mod schemes;
 pub mod spmv;
 
-pub use blas1::{ReductionWorkspace, PARALLEL_MIN_ELEMENTS};
+pub use blas1::{dot_axpy_panel, norm2_panel, ReductionWorkspace, PARALLEL_MIN_ELEMENTS};
 pub use error::AbftError;
 pub use policy::CheckPolicy;
 pub use protected_csr::ProtectedCsr;
@@ -47,4 +47,4 @@ pub use protected_vector::ProtectedVector;
 pub use report::{FaultLog, FaultLogSnapshot, Region};
 pub use row_pointer::ProtectedRowPointer;
 pub use schemes::{EccScheme, ProtectionConfig};
-pub use spmv::{DenseSource, DenseView, SpmvWorkspace};
+pub use spmv::{DenseSource, DenseView, SpmmWorkspace, SpmvWorkspace, MAX_PANEL_WIDTH};

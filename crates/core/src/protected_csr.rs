@@ -23,7 +23,9 @@ use crate::policy::CheckPolicy;
 use crate::report::{FaultLog, Region};
 use crate::row_pointer::{mask_entry, ProtectedRowPointer};
 use crate::schemes::{EccScheme, ProtectionConfig};
-use crate::spmv::{DenseSource, DenseView, DynX, MaskedX, SliceX, SpmvWorkspace, XRead};
+use crate::spmv::{
+    DenseSource, DenseView, DynX, MaskedX, SliceX, SpmvWorkspace, XRead, MAX_PANEL_WIDTH,
+};
 use abft_ecc::correction::correct_crc32c_single;
 use abft_ecc::secded::DecodeOutcome;
 use abft_ecc::sed::{parity_u32, parity_u64};
@@ -575,6 +577,204 @@ impl ProtectedCsr {
         Ok(())
     }
 
+    /// Computes `products[i*k + j] = (A x_j)[row0 + i]` for a contiguous row
+    /// range and a width-`k` panel of input vectors — the multi-RHS sibling
+    /// of [`ProtectedCsr::spmv_range`].
+    ///
+    /// Every matrix codeword group (row-pointer entries, element codewords,
+    /// CRC row codewords) is verified **once** per traversal and the decoded
+    /// row is applied to all `k` right-hand sides, so the per-RHS matrix
+    /// verify cost scales as `1/k`.  Each column `j` accumulates into its own
+    /// slot in exactly the element order of the single-vector kernel, so
+    /// column `j`'s output is bitwise identical to `spmv_range(row0, xs[j],
+    /// …)` regardless of the panel's width or composition.
+    ///
+    /// All errors this kernel returns are matrix-side (element/row-pointer
+    /// corruption, or a decoded column index escaping the vector bounds) and
+    /// abort the whole panel; vector-side integrity is the caller's job
+    /// (scrub each column before building its reader).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn spmm_range<R: XRead>(
+        &self,
+        row0: usize,
+        xs: &[R],
+        products: &mut [f64],
+        check: bool,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        let mut rp_checks = 0u64;
+        let mut elem_checks = 0u64;
+        let result = self.spmm_range_inner(
+            row0,
+            xs,
+            products,
+            check,
+            scratch,
+            log,
+            &mut rp_checks,
+            &mut elem_checks,
+        );
+        // Flushed on the error path too, exactly like the SpMV kernel.
+        if rp_checks > 0 {
+            log.record_checks(Region::RowPointer, rp_checks);
+        }
+        if elem_checks > 0 {
+            log.record_checks(Region::CsrElements, elem_checks);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spmm_range_inner<R: XRead>(
+        &self,
+        row0: usize,
+        xs: &[R],
+        products: &mut [f64],
+        check: bool,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+        rp_checks: &mut u64,
+        elem_checks: &mut u64,
+    ) -> Result<(), AbftError> {
+        let width = xs.len();
+        assert!(
+            (1..=MAX_PANEL_WIDTH).contains(&width),
+            "spmm_range: panel width {width} outside 1..={MAX_PANEL_WIDTH}"
+        );
+        assert_eq!(
+            products.len() % width,
+            0,
+            "spmm_range: products not a whole number of rows"
+        );
+        let rp_checked = check && self.row_pointer.scheme() != EccScheme::None;
+        let mut cursor = RpCursor::new(&self.row_pointer);
+        let values = self.values.as_slice();
+        let cols = self.col_indices.as_slice();
+
+        if !check || self.config.elements == EccScheme::None {
+            let mask = self.codec.col_mask();
+            for (i, row) in products.chunks_exact_mut(width).enumerate() {
+                let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
+                let mut acc = [0.0f64; MAX_PANEL_WIDTH];
+                for (k, (&v, &c)) in values[start..end].iter().zip(&cols[start..end]).enumerate() {
+                    let col = (c & mask) as usize;
+                    fma_panel(xs, v, col, start + k, &mut acc, log)?;
+                }
+                row.copy_from_slice(&acc[..width]);
+            }
+            return Ok(());
+        }
+
+        match self.config.elements {
+            EccScheme::None => unreachable!("handled by the fast path above"),
+            EccScheme::Sed => {
+                for (i, row) in products.chunks_exact_mut(width).enumerate() {
+                    let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
+                    *elem_checks += (end - start) as u64;
+                    let mut acc = [0.0f64; MAX_PANEL_WIDTH];
+                    if abft_ecc::verify::sed_elements_clean(&values[start..end], &cols[start..end])
+                    {
+                        for (k, (&v, &c)) in
+                            values[start..end].iter().zip(&cols[start..end]).enumerate()
+                        {
+                            let col = (c & crate::csr_element::COL_MASK_31) as usize;
+                            fma_panel(xs, v, col, start + k, &mut acc, log)?;
+                        }
+                    } else {
+                        for (k, (&v, &c)) in
+                            values[start..end].iter().zip(&cols[start..end]).enumerate()
+                        {
+                            if parity_u64(v.to_bits()) ^ parity_u32(c) != 0 {
+                                log.record_uncorrectable(Region::CsrElements);
+                                return Err(AbftError::Uncorrectable {
+                                    region: Region::CsrElements,
+                                    index: start + k,
+                                });
+                            }
+                            let col = (c & crate::csr_element::COL_MASK_31) as usize;
+                            fma_panel(xs, v, col, start + k, &mut acc, log)?;
+                        }
+                    }
+                    row.copy_from_slice(&acc[..width]);
+                }
+            }
+            EccScheme::Secded64 => {
+                for (i, row) in products.chunks_exact_mut(width).enumerate() {
+                    let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
+                    *elem_checks += (end - start) as u64;
+                    let mut acc = [0.0f64; MAX_PANEL_WIDTH];
+                    if abft_ecc::verify::secded88_elements_clean(
+                        &values[start..end],
+                        &cols[start..end],
+                    ) {
+                        for (k, (&v, &c)) in
+                            values[start..end].iter().zip(&cols[start..end]).enumerate()
+                        {
+                            fma_panel(xs, v, (c & COL_MASK_24) as usize, start + k, &mut acc, log)?;
+                        }
+                    } else {
+                        for (k, (&v, &c)) in
+                            values[start..end].iter().zip(&cols[start..end]).enumerate()
+                        {
+                            let (value, col) = check_element_secded64(v, c, start + k, log)?;
+                            fma_panel(xs, value, col as usize, start + k, &mut acc, log)?;
+                        }
+                    }
+                    row.copy_from_slice(&acc[..width]);
+                }
+            }
+            EccScheme::Secded128 => {
+                for (i, row) in products.chunks_exact_mut(width).enumerate() {
+                    let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
+                    *elem_checks += (end - start) as u64;
+                    let mut acc = [0.0f64; MAX_PANEL_WIDTH];
+                    let mut k = start;
+                    while k < end {
+                        let pair = k & !1;
+                        let (pair_values, pair_cols) = self.checked_pair_secded128(pair, log)?;
+                        for (m, (&v, &c)) in pair_values.iter().zip(pair_cols.iter()).enumerate() {
+                            let idx = pair + m;
+                            if idx >= start && idx < end {
+                                fma_panel(xs, v, c as usize, idx, &mut acc, log)?;
+                            }
+                        }
+                        k = pair + 2;
+                    }
+                    row.copy_from_slice(&acc[..width]);
+                }
+            }
+            EccScheme::Crc32c => {
+                for (i, row) in products.chunks_exact_mut(width).enumerate() {
+                    let (start, end) = cursor.row_range(row0 + i, rp_checked, log, rp_checks)?;
+                    *elem_checks += (end - start) as u64;
+                    let correction = self.checked_row_crc(start, end, scratch, log)?;
+                    let mut acc = [0.0f64; MAX_PANEL_WIDTH];
+                    if let Some((elem, vbits, cbits)) = correction {
+                        for k in start..end {
+                            let (mut value, mut col) =
+                                (values[k], (cols[k] & COL_MASK_24) as usize);
+                            if start + elem == k {
+                                value = f64::from_bits(vbits);
+                                col = cbits as usize;
+                            }
+                            fma_panel(xs, value, col, k, &mut acc, log)?;
+                        }
+                    } else {
+                        for (k, (&v, &c)) in
+                            values[start..end].iter().zip(&cols[start..end]).enumerate()
+                        {
+                            let col = (c & COL_MASK_24) as usize;
+                            fma_panel(xs, v, col, start + k, &mut acc, log)?;
+                        }
+                    }
+                    row.copy_from_slice(&acc[..width]);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Non-mutating SECDED64 element check; returns the (transiently
     /// corrected) value and masked column index.
     #[inline]
@@ -756,6 +956,25 @@ fn check_element_secded64(
         }
     }
     Ok((f64::from_bits(payload[0]), payload[1] as u32 & COL_MASK_24))
+}
+
+/// Applies one decoded matrix element to every column of a panel:
+/// `acc[j] += v * xs[j][col]`.  Column `j`'s accumulator sees exactly the
+/// adds of the single-vector kernel, in the same order — the operation that
+/// makes multi-RHS outputs bitwise identical to k independent SpMVs.
+#[inline(always)]
+fn fma_panel<R: XRead>(
+    xs: &[R],
+    v: f64,
+    col: usize,
+    k: usize,
+    acc: &mut [f64; crate::spmv::MAX_PANEL_WIDTH],
+    log: &FaultLog,
+) -> Result<(), AbftError> {
+    for (j, x) in xs.iter().enumerate() {
+        acc[j] += v * read_x(*x, col, k, log)?;
+    }
+    Ok(())
 }
 
 /// Bounds-checked read of the input vector inside the kernels — the single

@@ -202,6 +202,11 @@ impl FaultLogSnapshot {
         )
     }
 
+    /// Total integrity checks across all regions.
+    pub fn total_checks(&self) -> u64 {
+        self.checks.iter().sum()
+    }
+
     /// Total corrected errors.
     pub fn total_corrected(&self) -> u64 {
         self.corrected.iter().sum()

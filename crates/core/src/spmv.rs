@@ -194,6 +194,14 @@ impl<X: DenseSource + ?Sized> XRead for DynX<'_, X> {
     }
 }
 
+/// Maximum number of right-hand sides a multi-RHS panel may carry.
+///
+/// The SpMM kernels accumulate one stack slot per column, so the bound keeps
+/// per-row state in registers / L1 and lets panel views live in fixed-size
+/// arrays (no per-call allocation).  Eight is where the per-RHS matrix
+/// verify cost has already dropped below the memory-bandwidth noise floor.
+pub const MAX_PANEL_WIDTH: usize = 8;
+
 /// Reusable scratch storage for the SpMV kernels, owned by the solver state
 /// so iterations perform no heap allocations after setup.
 ///
@@ -338,6 +346,210 @@ pub fn protected_spmv_parallel(
     Ok(())
 }
 
+/// Reusable scratch storage for the multi-RHS SpMM kernels — the panel
+/// sibling of [`SpmvWorkspace`].  The staging buffer holds a row-major
+/// `rows × k` product panel (`products[row * k + col]`); CRC scratch
+/// mirrors the SpMV workspace.
+#[derive(Debug, Default, Clone)]
+pub struct SpmmWorkspace {
+    /// Row-major product panel of the protected SpMM before group encoding.
+    pub(crate) products: Vec<f64>,
+    /// CRC row-codeword bytes (serial kernels).
+    pub(crate) scratch: Vec<u8>,
+    /// CRC row-codeword bytes, one buffer per parallel chunk.
+    pub(crate) chunk_scratch: Vec<Vec<u8>>,
+}
+
+impl SpmmWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily by the first
+    /// kernel invocation.
+    pub fn new() -> Self {
+        SpmmWorkspace::default()
+    }
+}
+
+/// Runs a prepared reader panel through the SpMM range kernel, serial or
+/// parallel per the matrix configuration, leaving the row-major product
+/// panel in the workspace.  Matrix-side checks and faults go to `log`.
+fn spmm_dispatch<R: XRead + Send + Sync>(
+    a: &ProtectedCsr,
+    xs: &[R],
+    check: bool,
+    log: &FaultLog,
+    ws: &mut SpmmWorkspace,
+) -> Result<(), AbftError> {
+    let width = xs.len();
+    let rows = a.rows();
+    if a.config().parallel {
+        let n_chunks = rayon::chunk_count(rows * width);
+        let SpmmWorkspace {
+            products,
+            chunk_scratch,
+            ..
+        } = ws;
+        let need = rows * width;
+        if products.len() < need {
+            products.resize(need, 0.0);
+        }
+        if chunk_scratch.len() < n_chunks {
+            chunk_scratch.resize_with(n_chunks, Vec::new);
+        }
+        rayon::with_chunks_mut_strided(
+            &mut products[..need],
+            &mut chunk_scratch[..n_chunks],
+            width,
+            |offset, chunk, scratch| a.spmm_range(offset / width, xs, chunk, check, scratch, log),
+        )
+    } else {
+        let SpmmWorkspace {
+            products, scratch, ..
+        } = ws;
+        let need = rows * width;
+        if products.len() < need {
+            products.resize(need, 0.0);
+        }
+        a.spmm_range(0, xs, &mut products[..need], check, scratch, log)
+    }
+}
+
+/// `ys[j] = A xs[j]` for a panel of plain vectors over a protected matrix —
+/// the multi-RHS entry point of the matrix-protected tier.
+///
+/// Each matrix codeword group is verified once for the whole panel, so the
+/// per-RHS matrix verify cost scales as `1/k`; column `j`'s output is
+/// bitwise identical to a single-vector SpMV of `xs[j]`.  Serial or
+/// parallel execution follows the matrix configuration.
+pub fn protected_spmm_plain(
+    a: &ProtectedCsr,
+    xs: &[&[f64]],
+    ys: &mut [&mut [f64]],
+    iteration: u64,
+    log: &FaultLog,
+    ws: &mut SpmmWorkspace,
+) -> Result<(), AbftError> {
+    let width = xs.len();
+    assert!(
+        (1..=MAX_PANEL_WIDTH).contains(&width),
+        "protected_spmm_plain: panel width {width} outside 1..={MAX_PANEL_WIDTH}"
+    );
+    assert_eq!(
+        ys.len(),
+        width,
+        "protected_spmm_plain: xs/ys width mismatch"
+    );
+    for x in xs {
+        assert_eq!(
+            x.len(),
+            a.cols(),
+            "protected_spmm_plain: x has wrong length"
+        );
+    }
+    for y in ys.iter() {
+        assert_eq!(
+            y.len(),
+            a.rows(),
+            "protected_spmm_plain: y has wrong length"
+        );
+    }
+    let check = a.policy().should_check(iteration);
+    let mut readers = [SliceX(&[][..]); MAX_PANEL_WIDTH];
+    for (slot, x) in readers.iter_mut().zip(xs) {
+        *slot = SliceX(x);
+    }
+    spmm_dispatch(a, &readers[..width], check, log, ws)?;
+    let panel = &ws.products[..a.rows() * width];
+    for (j, y) in ys.iter_mut().enumerate() {
+        for (row, yi) in y.iter_mut().enumerate() {
+            *yi = panel[row * width + j];
+        }
+    }
+    Ok(())
+}
+
+/// `ys[j] = A xs[j]` for a panel of protected vectors over a protected
+/// matrix — the fully protected multi-RHS kernel.
+///
+/// Vector-side integrity is per column: each `xs[j]` is scrubbed once into
+/// its own `col_logs[j]` (exactly the per-invocation scrub of
+/// [`protected_spmv`]), and a column whose scrub fails is dropped from the
+/// panel with its error stored in `col_errors[j]` — the other columns
+/// proceed.  Matrix-side checks and faults go to `matrix_log`; a matrix
+/// fault aborts the whole panel with `Err` (every surviving column read the
+/// same corrupt structure).  Columns whose `col_errors` slot is already
+/// `Some` on entry are skipped.
+#[allow(clippy::too_many_arguments)]
+pub fn protected_spmm(
+    a: &ProtectedCsr,
+    xs: &mut [&mut ProtectedVector],
+    ys: &mut [&mut ProtectedVector],
+    iteration: u64,
+    col_logs: &[&FaultLog],
+    matrix_log: &FaultLog,
+    col_errors: &mut [Option<AbftError>],
+    ws: &mut SpmmWorkspace,
+) -> Result<(), AbftError> {
+    let width = xs.len();
+    assert!(
+        (1..=MAX_PANEL_WIDTH).contains(&width),
+        "protected_spmm: panel width {width} outside 1..={MAX_PANEL_WIDTH}"
+    );
+    assert_eq!(ys.len(), width, "protected_spmm: xs/ys width mismatch");
+    assert_eq!(
+        col_logs.len(),
+        width,
+        "protected_spmm: col_logs width mismatch"
+    );
+    assert_eq!(
+        col_errors.len(),
+        width,
+        "protected_spmm: col_errors width mismatch"
+    );
+    for x in xs.iter() {
+        assert_eq!(x.len(), a.cols(), "protected_spmm: x has wrong length");
+    }
+    for y in ys.iter() {
+        assert_eq!(y.len(), a.rows(), "protected_spmm: y has wrong length");
+    }
+    // Per-column scrub, each into its own tenant log; a failing column is
+    // isolated, not panel-fatal.
+    for (j, x) in xs.iter_mut().enumerate() {
+        if col_errors[j].is_some() {
+            continue;
+        }
+        if x.scheme() != EccScheme::None {
+            if let Err(e) = x.scrub(col_logs[j]) {
+                col_errors[j] = Some(e);
+            }
+        }
+    }
+    // Compact the surviving columns into a fixed-size reader panel.
+    let mut readers = [MaskedX {
+        words: &[][..],
+        mask: 0,
+    }; MAX_PANEL_WIDTH];
+    let mut positions = [0usize; MAX_PANEL_WIDTH];
+    let mut live = 0usize;
+    for (j, x) in xs.iter().enumerate() {
+        if col_errors[j].is_some() {
+            continue;
+        }
+        let (words, mask) = x.masked_words();
+        readers[live] = MaskedX { words, mask };
+        positions[live] = j;
+        live += 1;
+    }
+    if live == 0 {
+        return Ok(());
+    }
+    let check = a.policy().should_check(iteration);
+    spmm_dispatch(a, &readers[..live], check, matrix_log, ws)?;
+    let panel = &ws.products[..a.rows() * live];
+    for (pos, &j) in positions[..live].iter().enumerate() {
+        ys[j].fill_from_fn(|row| panel[row * live + pos]);
+    }
+    Ok(())
+}
+
 /// Dispatches to the serial or parallel fully protected SpMV according to the
 /// matrix configuration.
 pub fn protected_spmv_auto(
@@ -476,6 +688,170 @@ mod tests {
         assert_eq!(ws.products.as_ptr(), products_ptr);
         assert_eq!(ws.products.capacity(), products_cap);
         assert_eq!(ws.scratch.capacity(), scratch_cap);
+    }
+
+    #[test]
+    fn spmm_columns_match_independent_spmvs_bitwise() {
+        for scheme in [
+            EccScheme::None,
+            EccScheme::Sed,
+            EccScheme::Secded64,
+            EccScheme::Secded128,
+            EccScheme::Crc32c,
+        ] {
+            let m = pad_rows_to_min_entries(&poisson_2d(9, 7), 4);
+            let cfg = full_config(scheme);
+            let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
+            for width in [1usize, 2, 3, 8] {
+                let mut xs: Vec<ProtectedVector> = (0..width)
+                    .map(|j| {
+                        let plain: Vec<f64> = (0..m.cols())
+                            .map(|i| ((i + 7 * j) as f64 * 0.13).cos() + 1.5)
+                            .collect();
+                        ProtectedVector::from_slice(&plain, scheme, cfg.crc_backend)
+                    })
+                    .collect();
+                // Reference: k independent single-vector SpMVs.
+                let mut refs = Vec::new();
+                for x in &mut xs {
+                    let mut y = ProtectedVector::zeros(m.rows(), scheme, cfg.crc_backend);
+                    let log = FaultLog::new();
+                    let mut ws = SpmvWorkspace::new();
+                    protected_spmv(&a, x, &mut y, 0, &log, &mut ws).unwrap();
+                    refs.push(y);
+                }
+                // Panel product.
+                let mut ys: Vec<ProtectedVector> = (0..width)
+                    .map(|_| ProtectedVector::zeros(m.rows(), scheme, cfg.crc_backend))
+                    .collect();
+                let col_logs: Vec<FaultLog> = (0..width).map(|_| FaultLog::new()).collect();
+                let matrix_log = FaultLog::new();
+                let mut col_errors = vec![None; width];
+                let mut ws = SpmmWorkspace::new();
+                {
+                    let mut xr: Vec<&mut ProtectedVector> = xs.iter_mut().collect();
+                    let mut yr: Vec<&mut ProtectedVector> = ys.iter_mut().collect();
+                    let lr: Vec<&FaultLog> = col_logs.iter().collect();
+                    protected_spmm(
+                        &a,
+                        &mut xr,
+                        &mut yr,
+                        0,
+                        &lr,
+                        &matrix_log,
+                        &mut col_errors,
+                        &mut ws,
+                    )
+                    .unwrap();
+                }
+                assert!(col_errors.iter().all(Option::is_none));
+                for (j, reference) in refs.iter().enumerate() {
+                    for row in 0..m.rows() {
+                        assert_eq!(
+                            ys[j].get(row).to_bits(),
+                            reference.get(row).to_bits(),
+                            "{scheme:?} width {width} col {j} row {row}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_matrix_checks_are_panel_width_invariant() {
+        // One traversal's matrix-side check count must not depend on how
+        // many RHS ride along — that is the 1/k amortization.
+        let m = pad_rows_to_min_entries(&poisson_2d(9, 7), 4);
+        for scheme in [EccScheme::Secded64, EccScheme::Crc32c] {
+            let cfg = full_config(scheme);
+            let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
+            let mut counts = Vec::new();
+            for width in [1usize, 2, 4, 8] {
+                let mut xs: Vec<ProtectedVector> = (0..width)
+                    .map(|_| {
+                        ProtectedVector::from_slice(&vec![1.0; m.cols()], scheme, cfg.crc_backend)
+                    })
+                    .collect();
+                let mut ys: Vec<ProtectedVector> = (0..width)
+                    .map(|_| ProtectedVector::zeros(m.rows(), scheme, cfg.crc_backend))
+                    .collect();
+                let col_logs: Vec<FaultLog> = (0..width).map(|_| FaultLog::new()).collect();
+                let matrix_log = FaultLog::new();
+                let mut col_errors = vec![None; width];
+                let mut ws = SpmmWorkspace::new();
+                let mut xr: Vec<&mut ProtectedVector> = xs.iter_mut().collect();
+                let mut yr: Vec<&mut ProtectedVector> = ys.iter_mut().collect();
+                let lr: Vec<&FaultLog> = col_logs.iter().collect();
+                protected_spmm(
+                    &a,
+                    &mut xr,
+                    &mut yr,
+                    0,
+                    &lr,
+                    &matrix_log,
+                    &mut col_errors,
+                    &mut ws,
+                )
+                .unwrap();
+                counts.push(matrix_log.snapshot().total_checks());
+            }
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "{scheme:?}: matrix checks varied with panel width: {counts:?}"
+            );
+            assert!(counts[0] > 0, "{scheme:?}: no matrix checks recorded");
+        }
+    }
+
+    #[test]
+    fn spmm_isolates_a_corrupt_column() {
+        let m = pad_rows_to_min_entries(&poisson_2d(9, 7), 4);
+        let cfg = full_config(EccScheme::Sed); // SED: any flip is uncorrectable
+        let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
+        let width = 3usize;
+        let mut xs: Vec<ProtectedVector> = (0..width)
+            .map(|_| {
+                ProtectedVector::from_slice(&vec![1.0; m.cols()], EccScheme::Sed, cfg.crc_backend)
+            })
+            .collect();
+        xs[1].inject_bit_flip(5, 40);
+        let mut ys: Vec<ProtectedVector> = (0..width)
+            .map(|_| ProtectedVector::zeros(m.rows(), EccScheme::Sed, cfg.crc_backend))
+            .collect();
+        let col_logs: Vec<FaultLog> = (0..width).map(|_| FaultLog::new()).collect();
+        let matrix_log = FaultLog::new();
+        let mut col_errors = vec![None; width];
+        let mut ws = SpmmWorkspace::new();
+        let mut xr: Vec<&mut ProtectedVector> = xs.iter_mut().collect();
+        let mut yr: Vec<&mut ProtectedVector> = ys.iter_mut().collect();
+        let lr: Vec<&FaultLog> = col_logs.iter().collect();
+        protected_spmm(
+            &a,
+            &mut xr,
+            &mut yr,
+            0,
+            &lr,
+            &matrix_log,
+            &mut col_errors,
+            &mut ws,
+        )
+        .unwrap();
+        // Column 1 died alone; its fault landed in its own log.
+        assert!(col_errors[1].is_some());
+        assert!(col_errors[0].is_none() && col_errors[2].is_none());
+        assert!(col_logs[1].total_uncorrectable() > 0);
+        assert_eq!(col_logs[0].total_uncorrectable(), 0);
+        assert_eq!(col_logs[2].total_uncorrectable(), 0);
+        // Survivors got their products.
+        let ones = vec![1.0; m.cols()];
+        let mut reference = vec![0.0; m.rows()];
+        abft_sparse::spmv::spmv_serial(&m, &ones, &mut reference);
+        for j in [0usize, 2] {
+            for (row, &expect) in reference.iter().enumerate() {
+                assert!((ys[j].get(row) - expect).abs() < 1e-9, "col {j} row {row}");
+            }
+        }
     }
 
     #[test]

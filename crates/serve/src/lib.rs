@@ -1,0 +1,28 @@
+//! # abft-serve — multi-tenant serving front door
+//!
+//! The serving layer on top of the protected solver stack: many concurrent
+//! solve jobs from different tenants, batched into multi-RHS panels so
+//! jobs that share a matrix also share its integrity verification.
+//!
+//! Two pieces:
+//!
+//! * [`pool`] — detached job submission over the sharded worker runtime:
+//!   [`submit`] returns a [`Ticket`] to block on; panics are captured and
+//!   re-thrown at the caller, never inside the pool.
+//! * [`queue`] — the [`SolveQueue`]: register encoded matrices, submit
+//!   [`JobSpec`]s, [`drain`](SolveQueue::drain) them as width-`k` panels
+//!   through the block-CG engine.  Per-tenant fault isolation, cooperative
+//!   cancellation, deadlines and iteration budgets are part of the job
+//!   contract ([`JobOutcome`]).
+//!
+//! The core property inherited from the kernels below: batching changes
+//! *cost*, never *answers*.  Each panel column is bitwise identical to a
+//! standalone solve, while the matrix verify cost per job drops as `1/k`.
+
+#![deny(missing_docs)]
+
+pub mod pool;
+pub mod queue;
+
+pub use pool::{submit, Ticket};
+pub use queue::{JobHandle, JobId, JobOutcome, JobSpec, MatrixId, SolveQueue};

@@ -1,0 +1,158 @@
+//! Detached job submission over the sharded runtime.
+//!
+//! [`submit`] hands a closure to the shared worker pool
+//! ([`rayon::spawn`]) and returns a [`Ticket`] the caller can block on for
+//! the result.  Panics inside the job are captured and re-thrown at
+//! [`Ticket::wait`], so a crashing job cannot take a pool worker (or a
+//! sibling job) down with it.
+//!
+//! Jobs run with the pool's worker flag set, so protected kernels invoked
+//! inside a job inline their parallel regions serially — results are
+//! bitwise independent of how many workers the pool happens to have, which
+//! is what makes the serving layer's determinism guarantees possible.
+//!
+//! **Caveat:** never block on a [`Ticket`] from *inside* a pool job.  A
+//! waiting job occupies its worker, and if every worker waits on tickets
+//! whose jobs are still queued behind them, the pool deadlocks.  Submit
+//! from ordinary threads (the queue's `drain`, a test, `main`) and wait
+//! there.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Slot<T> {
+    result: Mutex<Option<std::thread::Result<T>>>,
+    ready: Condvar,
+}
+
+/// A claim on the result of a job submitted with [`submit`].
+pub struct Ticket<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the job completes and returns its result.
+    ///
+    /// If the job panicked, the panic is resumed on the calling thread —
+    /// the same contract as `std::thread::JoinHandle::join().unwrap()`.
+    pub fn wait(self) -> T {
+        let mut guard = self.slot.result.lock().expect("ticket slot poisoned");
+        while guard.is_none() {
+            guard = self.slot.ready.wait(guard).expect("ticket slot poisoned");
+        }
+        match guard.take().expect("checked above") {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Returns the result if the job has already completed, without
+    /// blocking; `None` while it is still running.
+    pub fn try_wait(&self) -> Option<std::thread::Result<T>> {
+        self.slot
+            .result
+            .lock()
+            .expect("ticket slot poisoned")
+            .take()
+    }
+}
+
+/// Submits a job to the shared worker pool and returns a [`Ticket`] for
+/// its result.  The job starts as soon as a worker frees up; submission
+/// never blocks.
+pub fn submit<T, F>(job: F) -> Ticket<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let slot = Arc::new(Slot {
+        result: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    let shared = Arc::clone(&slot);
+    rayon::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        *shared.result.lock().expect("ticket slot poisoned") = Some(outcome);
+        shared.ready.notify_all();
+    });
+    Ticket { slot }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn submitted_jobs_run_and_deliver_results() {
+        let tickets: Vec<Ticket<usize>> = (0..32).map(|i| submit(move || i * i)).collect();
+        let results: Vec<usize> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(results, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_overlap_rather_than_serialise() {
+        // With at least two pool workers, two jobs that each wait for the
+        // other's side effect can only finish if they run concurrently.
+        let flag = Arc::new(AtomicUsize::new(0));
+        let a = {
+            let flag = Arc::clone(&flag);
+            submit(move || {
+                flag.fetch_add(1, Ordering::SeqCst);
+                while flag.load(Ordering::SeqCst) < 2 {
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let b = {
+            let flag = Arc::clone(&flag);
+            submit(move || {
+                flag.fetch_add(1, Ordering::SeqCst);
+                while flag.load(Ordering::SeqCst) < 2 {
+                    std::thread::yield_now();
+                }
+            })
+        };
+        a.wait();
+        b.wait();
+    }
+
+    #[test]
+    fn panics_resurface_at_wait_not_in_the_pool() {
+        let ticket: Ticket<()> = submit(|| panic!("job exploded"));
+        let err = catch_unwind(AssertUnwindSafe(|| ticket.wait())).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "job exploded");
+        // The pool survives: the next job still runs.
+        assert_eq!(submit(|| 7usize).wait(), 7);
+    }
+
+    #[test]
+    fn try_wait_is_non_blocking() {
+        let gate = Arc::new(AtomicUsize::new(0));
+        let ticket = {
+            let gate = Arc::clone(&gate);
+            submit(move || {
+                while gate.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
+                }
+                42usize
+            })
+        };
+        assert!(ticket.try_wait().is_none());
+        gate.store(1, Ordering::SeqCst);
+        loop {
+            if let Some(result) = ticket.try_wait() {
+                assert_eq!(result.unwrap(), 42);
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+}

@@ -277,6 +277,45 @@ pub trait LinearOperator {
         ctx: &FaultContext,
     ) -> Result<(), SolverError>;
 
+    /// `ys[j] = A xs[j]` for a width-k panel of vectors — the multi-RHS
+    /// form of [`LinearOperator::apply`].
+    ///
+    /// Contract: every passed column is live (`col_errors` entries are all
+    /// `None` on entry; the block solver compacts converged/faulted columns
+    /// out of the panel before calling).  A column whose *vector-side*
+    /// integrity fails is isolated: its error is parked in `col_errors[j]`,
+    /// its `ys[j]` is unspecified, and the other columns proceed.  `Err`
+    /// means a panel-fatal *matrix-side* fault (every column read the same
+    /// corrupt structure).
+    ///
+    /// The default runs one [`LinearOperator::apply`] per column with that
+    /// column's context — each column pays its own matrix traversal, and
+    /// any error (these backends cannot attribute it) is treated as
+    /// column-local.  Protected backends override this with the SpMM
+    /// kernels: each matrix codeword group is verified **once** per panel
+    /// (per-RHS matrix verify cost `1/k`), with matrix-side checks recorded
+    /// in `matrix_ctx` instead of the per-column contexts.
+    fn apply_panel(
+        &self,
+        xs: &mut [&mut Self::Vector],
+        ys: &mut [&mut Self::Vector],
+        iteration: u64,
+        col_ctxs: &[&FaultContext],
+        matrix_ctx: &FaultContext,
+        col_errors: &mut [Option<SolverError>],
+    ) -> Result<(), SolverError> {
+        let _ = matrix_ctx;
+        for (j, (x, y)) in xs.iter_mut().zip(ys.iter_mut()).enumerate() {
+            if col_errors[j].is_some() {
+                continue;
+            }
+            if let Err(e) = self.apply(x, y, iteration, col_ctxs[j]) {
+                col_errors[j] = Some(e);
+            }
+        }
+        Ok(())
+    }
+
     /// The matrix diagonal as plain values (Jacobi's preconditioner).
     fn diagonal(&self, ctx: &FaultContext) -> Result<Vec<f64>, SolverError>;
 

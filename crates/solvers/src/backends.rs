@@ -15,8 +15,11 @@
 
 use crate::backend::{FaultContext, LinearOperator, SolverError, SolverVector};
 use crate::chebyshev::ChebyshevBounds;
-use abft_core::spmv::protected_spmv_auto;
-use abft_core::{EccScheme, ProtectedCsr, ProtectedVector, ReductionWorkspace, SpmvWorkspace};
+use abft_core::spmv::{protected_spmm, protected_spmm_plain, protected_spmv_auto};
+use abft_core::{
+    AbftError, EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ReductionWorkspace,
+    SpmmWorkspace, SpmvWorkspace,
+};
 use abft_ecc::Crc32cBackend;
 use abft_sparse::spmv::{
     axpy_parallel, dot_parallel, dot_parallel_with, spmv_parallel, spmv_serial,
@@ -352,6 +355,7 @@ impl LinearOperator for Plain<'_> {
 pub struct MatrixProtected<'a> {
     matrix: &'a ProtectedCsr,
     workspace: RefCell<SpmvWorkspace>,
+    spmm: RefCell<SpmmWorkspace>,
     reduction: RefCell<ReductionWorkspace>,
 }
 
@@ -361,6 +365,7 @@ impl<'a> MatrixProtected<'a> {
         MatrixProtected {
             matrix,
             workspace: RefCell::new(SpmvWorkspace::new()),
+            spmm: RefCell::new(SpmmWorkspace::new()),
             reduction: RefCell::new(ReductionWorkspace::new()),
         }
     }
@@ -388,6 +393,31 @@ impl LinearOperator for MatrixProtected<'_> {
         Ok(self
             .matrix
             .spmv_auto_with(&x.data[..], &mut y.data, iteration, ctx.log(), &mut ws)?)
+    }
+
+    fn apply_panel(
+        &self,
+        xs: &mut [&mut PlainVector],
+        ys: &mut [&mut PlainVector],
+        iteration: u64,
+        _col_ctxs: &[&FaultContext],
+        matrix_ctx: &FaultContext,
+        _col_errors: &mut [Option<SolverError>],
+    ) -> Result<(), SolverError> {
+        // Plain work vectors cannot fault, so every error here is
+        // matrix-side and panel-fatal; matrix checks are recorded once in
+        // the panel's matrix context (1/k per RHS).
+        let mut ws = self.spmm.borrow_mut();
+        let x_slices: Vec<&[f64]> = xs.iter().map(|x| &x.data[..]).collect();
+        let mut y_slices: Vec<&mut [f64]> = ys.iter_mut().map(|y| &mut y.data[..]).collect();
+        Ok(protected_spmm_plain(
+            self.matrix,
+            &x_slices,
+            &mut y_slices,
+            iteration,
+            matrix_ctx.log(),
+            &mut ws,
+        )?)
     }
 
     fn diagonal(&self, _ctx: &FaultContext) -> Result<Vec<f64>, SolverError> {
@@ -437,6 +467,7 @@ pub struct FullyProtected<'a> {
     scheme: EccScheme,
     crc_backend: Crc32cBackend,
     workspace: RefCell<SpmvWorkspace>,
+    spmm: RefCell<SpmmWorkspace>,
     reduction: RefCell<ReductionWorkspace>,
 }
 
@@ -449,6 +480,7 @@ impl<'a> FullyProtected<'a> {
             scheme: matrix.config().vectors,
             crc_backend: matrix.config().crc_backend,
             workspace: RefCell::new(SpmvWorkspace::new()),
+            spmm: RefCell::new(SpmmWorkspace::new()),
             reduction: RefCell::new(ReductionWorkspace::new()),
         }
     }
@@ -466,6 +498,7 @@ impl<'a> FullyProtected<'a> {
             scheme,
             crc_backend,
             workspace: RefCell::new(SpmvWorkspace::new()),
+            spmm: RefCell::new(SpmmWorkspace::new()),
             reduction: RefCell::new(ReductionWorkspace::new()),
         }
     }
@@ -503,6 +536,40 @@ impl LinearOperator for FullyProtected<'_> {
             ctx.log(),
             &mut ws,
         )?)
+    }
+
+    fn apply_panel(
+        &self,
+        xs: &mut [&mut ProtectedVector],
+        ys: &mut [&mut ProtectedVector],
+        iteration: u64,
+        col_ctxs: &[&FaultContext],
+        matrix_ctx: &FaultContext,
+        col_errors: &mut [Option<SolverError>],
+    ) -> Result<(), SolverError> {
+        // Each column's vector-side scrub reports to its own context; the
+        // single matrix traversal reports to the panel's matrix context.  A
+        // column whose input fails its scrub is dropped from the panel and
+        // its error parked — only matrix-side faults abort the whole panel.
+        let mut ws = self.spmm.borrow_mut();
+        let col_logs: Vec<&FaultLog> = col_ctxs.iter().map(|c| c.log()).collect();
+        let mut abft_errors: Vec<Option<AbftError>> = (0..xs.len()).map(|_| None).collect();
+        protected_spmm(
+            self.matrix,
+            xs,
+            ys,
+            iteration,
+            &col_logs,
+            matrix_ctx.log(),
+            &mut abft_errors,
+            &mut ws,
+        )?;
+        for (slot, err) in col_errors.iter_mut().zip(abft_errors) {
+            if let Some(e) = err {
+                *slot = Some(SolverError::Fault(e));
+            }
+        }
+        Ok(())
     }
 
     fn diagonal(&self, _ctx: &FaultContext) -> Result<Vec<f64>, SolverError> {

@@ -1,17 +1,14 @@
-//! Chebyshev iteration: spectral bounds plus a compatibility shim.
+//! Chebyshev spectral bounds.
 //!
 //! TeaLeaf offers a Chebyshev solver that, once the extreme eigenvalues of
 //! the (preconditioned) operator are known, iterates without any dot products
 //! — attractive at scale because it removes the global reductions.  The
-//! iteration itself now lives in [`crate::generic::chebyshev`], written once
+//! iteration itself lives in [`crate::generic::chebyshev`], written once
 //! over the backend trait layer (so it also runs on protected matrices and
-//! vectors); this module keeps the [`ChebyshevBounds`] type — still the
-//! canonical home of the spectral-bound estimation — and the historical
-//! `chebyshev_solve` entry point as a thin deprecated wrapper.
+//! vectors); this module is the canonical home of the spectral-bound
+//! estimation the iteration needs.
 
-use crate::solver::Solver;
-use crate::status::{SolveStatus, SolverConfig};
-use abft_sparse::{CsrMatrix, Vector};
+use abft_sparse::CsrMatrix;
 
 /// Bounds on the spectrum of the operator, `0 < min ≤ λ ≤ max`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,29 +62,10 @@ impl ChebyshevBounds {
     }
 }
 
-/// Solves `A x = b` by Chebyshev iteration with the given spectral bounds.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Solver::chebyshev().bounds(..).solve(a, b) — the generic Chebyshev also runs protected"
-)]
-pub fn chebyshev_solve(
-    a: &CsrMatrix,
-    b: &Vector,
-    bounds: ChebyshevBounds,
-    config: &SolverConfig,
-) -> (Vector, SolveStatus) {
-    let outcome = Solver::chebyshev()
-        .config(*config)
-        .bounds(bounds)
-        .solve(a, b.as_slice())
-        .expect("a plain Chebyshev solve cannot fail");
-    (Vector::from_vec(outcome.solution), outcome.status)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::solver::Solver;
     use abft_sparse::builders::{poisson_2d, tridiagonal};
 
     #[test]
@@ -111,20 +89,25 @@ mod tests {
     #[test]
     fn chebyshev_reduces_the_residual() {
         let a = poisson_2d(6, 6);
-        let b = Vector::filled(a.rows(), 1.0);
+        let b = vec![1.0; a.rows()];
         let bounds = ChebyshevBounds::estimate_gershgorin(&a);
-        let config = SolverConfig::new(400, 1e-12);
-        let (x, status) = chebyshev_solve(&a, &b, bounds, &config);
+        let outcome = Solver::chebyshev()
+            .max_iterations(400)
+            .tolerance(1e-12)
+            .bounds(bounds)
+            .solve(&a, &b)
+            .unwrap();
+        let status = outcome.status;
         assert!(status.final_residual < status.initial_residual * 1e-3);
         // The iterate approaches the CG solution.
         let x_ref = Solver::cg()
             .max_iterations(500)
             .tolerance(1e-20)
-            .solve(&a, b.as_slice())
+            .solve(&a, &b)
             .unwrap()
             .solution;
-        let err: f64 = x
-            .as_slice()
+        let err: f64 = outcome
+            .solution
             .iter()
             .zip(&x_ref)
             .map(|(u, v)| (u - v) * (u - v))
@@ -137,10 +120,18 @@ mod tests {
     #[test]
     fn tight_bounds_converge_faster_than_loose_ones() {
         let a = tridiagonal(30, 4.0, -1.0);
-        let b = Vector::filled(30, 1.0);
-        let config = SolverConfig::new(2000, 1e-16);
-        let tight = chebyshev_solve(&a, &b, ChebyshevBounds::new(2.0, 6.0), &config).1;
-        let loose = chebyshev_solve(&a, &b, ChebyshevBounds::new(0.1, 20.0), &config).1;
+        let b = vec![1.0; 30];
+        let solve = |bounds| {
+            Solver::chebyshev()
+                .max_iterations(2000)
+                .tolerance(1e-16)
+                .bounds(bounds)
+                .solve(&a, &b)
+                .unwrap()
+                .status
+        };
+        let tight = solve(ChebyshevBounds::new(2.0, 6.0));
+        let loose = solve(ChebyshevBounds::new(0.1, 20.0));
         assert!(tight.converged);
         assert!(
             tight.iterations <= loose.iterations,

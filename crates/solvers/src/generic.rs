@@ -15,7 +15,8 @@
 
 use crate::backend::{FaultContext, LinearOperator, SolverError, SolverVector};
 use crate::chebyshev::ChebyshevBounds;
-use crate::status::{SolveStatus, SolverConfig};
+use crate::status::{SolveStatus, SolverConfig, Termination};
+use abft_core::{FaultLogSnapshot, MAX_PANEL_WIDTH};
 
 /// Conjugate Gradient: `A x = b` from `x = 0`.
 ///
@@ -70,6 +71,282 @@ pub fn cg<Op: LinearOperator>(
         rr = rr_new;
     }
     Ok((x, status))
+}
+
+/// Outcome of one column of a block solve.
+#[derive(Debug)]
+pub struct BlockColumnOutcome<V> {
+    /// The iterate at stop.  For a faulted column this is the last iterate
+    /// before the fault and should not be trusted; for a cancelled or
+    /// deadline-expired column it is the best partial solution.
+    pub solution: V,
+    /// Residual history and iteration count, same convention as [`cg`].
+    pub status: SolveStatus,
+    /// Why this column stopped.
+    pub termination: Termination,
+    /// The fault that poisoned this column, when `termination` is
+    /// [`Termination::Fault`].
+    pub error: Option<SolverError>,
+}
+
+/// `checks/corrected/uncorrectable/bounds` delta between two snapshots of
+/// the same monotone log.
+fn snapshot_delta(after: &FaultLogSnapshot, before: &FaultLogSnapshot) -> FaultLogSnapshot {
+    let mut d = FaultLogSnapshot::default();
+    for i in 0..3 {
+        d.checks[i] = after.checks[i] - before.checks[i];
+        d.corrected[i] = after.corrected[i] - before.corrected[i];
+        d.uncorrectable[i] = after.uncorrectable[i] - before.uncorrectable[i];
+        d.bounds_violations[i] = after.bounds_violations[i] - before.bounds_violations[i];
+    }
+    d
+}
+
+/// Block Conjugate Gradient: `A x_j = b_j` for a panel of up to
+/// [`MAX_PANEL_WIDTH`] right-hand sides, from `x_j = 0`.
+///
+/// Per column the arithmetic is operation-for-operation identical to [`cg`]
+/// — same kernels, same element order, same iteration indices — so each
+/// column's iterates are **bitwise identical** to a standalone solve of that
+/// system.  What changes is the matrix traversal: the panel SpMM
+/// ([`LinearOperator::apply_panel`]) verifies each matrix codeword group
+/// once per iteration regardless of how many columns are live, so the
+/// per-RHS matrix verify cost shrinks as `1/k`.
+///
+/// Columns converge (and fault, stall, cancel or expire) independently: a
+/// finished column is compacted out of the panel, not recomputed.  Because
+/// no column ever rejoins, the global iteration counter equals every live
+/// column's own iteration count — check-interval policies behave exactly as
+/// in a standalone solve.
+///
+/// * `col_ctxs[j]` receives column `j`'s vector-side checks and faults.
+/// * `matrix_ctx` receives the matrix-side checks of each panel traversal.
+///   When `attribute` is true the matrix log is treated as scratch and each
+///   iteration's matrix-check delta is also folded into every live column's
+///   context — the serving layer's per-tenant accounting (each tenant sees
+///   the same matrix-check totals it would have seen solving alone divided
+///   by nothing; the *shared* traversal is attributed to everyone who rode
+///   it).  Leave it false when `matrix_ctx` aliases the column contexts, or
+///   the checks would be double-counted.
+/// * `budgets[j]`, when `Some(n)`, caps column `j` at `n` iterations
+///   ([`Termination::IterationBudget`]) below the config-wide cap.
+/// * `poll(j, iteration)` is consulted at every iteration boundary for every
+///   live column; returning `Some` stops that column with the given
+///   termination (cooperative cancellation / deadlines).
+///
+/// A panel-fatal matrix fault poisons every live column.  Per-column
+/// vector faults poison only their column.  [`LinearOperator::finish`] is
+/// *not* called here — callers that want decoded/scrubbed plain solutions
+/// run it per column with that column's context.
+///
+/// # Panics
+/// Panics if `bs` is empty or wider than [`MAX_PANEL_WIDTH`], or if the
+/// `col_ctxs`/`budgets` lengths disagree with `bs`.
+#[allow(clippy::too_many_arguments)]
+pub fn block_cg_panel<Op: LinearOperator>(
+    op: &Op,
+    bs: &[&Op::Vector],
+    config: &SolverConfig,
+    col_ctxs: &[&FaultContext],
+    matrix_ctx: &FaultContext,
+    attribute: bool,
+    budgets: &[Option<usize>],
+    mut poll: impl FnMut(usize, usize) -> Option<Termination>,
+) -> Vec<BlockColumnOutcome<Op::Vector>> {
+    let n = op.rows();
+    let k = bs.len();
+    assert!(
+        (1..=MAX_PANEL_WIDTH).contains(&k),
+        "block_cg: panel width {k} outside 1..={MAX_PANEL_WIDTH}"
+    );
+    assert_eq!(col_ctxs.len(), k, "block_cg: one context per column");
+    assert_eq!(budgets.len(), k, "block_cg: one budget per column");
+    for b in bs {
+        assert_eq!(b.len(), n, "block_cg: rhs has wrong length");
+    }
+
+    let mut xs: Vec<Op::Vector> = Vec::with_capacity(k);
+    let mut rs: Vec<Op::Vector> = Vec::with_capacity(k);
+    let mut ps: Vec<Op::Vector> = Vec::with_capacity(k);
+    let mut ws: Vec<Op::Vector> = Vec::with_capacity(k);
+    let mut rr = vec![0.0f64; k];
+    let mut statuses = Vec::with_capacity(k);
+    let mut terminations: Vec<Option<Termination>> = vec![None; k];
+    let mut errors: Vec<Option<SolverError>> = (0..k).map(|_| None).collect();
+    // `active[j]`: column j still iterates.  Columns only ever leave.
+    let mut active = vec![true; k];
+
+    for (j, b) in bs.iter().enumerate() {
+        xs.push(op.zero_vector(n));
+        let r = (*b).clone();
+        ps.push(r.clone());
+        ws.push(op.zero_vector(n));
+        match r.dot(&r, col_ctxs[j]) {
+            Ok(v) => rr[j] = v,
+            Err(e) => {
+                errors[j] = Some(e);
+                terminations[j] = Some(Termination::Fault);
+                active[j] = false;
+            }
+        }
+        rs.push(r);
+        let converged = active[j] && rr[j] < config.tolerance;
+        statuses.push(SolveStatus {
+            converged,
+            iterations: 0,
+            initial_residual: rr[j],
+            final_residual: rr[j],
+        });
+        if converged {
+            terminations[j] = Some(Termination::Converged);
+            active[j] = false;
+        }
+    }
+
+    for iteration in 0..config.max_iterations {
+        // Iteration-boundary controls: budgets and cooperative polls.
+        for j in 0..k {
+            if !active[j] {
+                continue;
+            }
+            if budgets[j].is_some_and(|cap| iteration >= cap) {
+                terminations[j] = Some(Termination::IterationBudget);
+                active[j] = false;
+            } else if let Some(t) = poll(j, iteration) {
+                terminations[j] = Some(t);
+                active[j] = false;
+            }
+        }
+        let live: Vec<usize> = (0..k).filter(|&j| active[j]).collect();
+        if live.is_empty() {
+            break;
+        }
+
+        // One matrix traversal for every live column: w_j = A p_j.
+        let mut panel_x: Vec<&mut Op::Vector> = ps
+            .iter_mut()
+            .enumerate()
+            .filter(|(j, _)| active[*j])
+            .map(|(_, v)| v)
+            .collect();
+        let mut panel_y: Vec<&mut Op::Vector> = ws
+            .iter_mut()
+            .enumerate()
+            .filter(|(j, _)| active[*j])
+            .map(|(_, v)| v)
+            .collect();
+        let panel_ctxs: Vec<&FaultContext> = live.iter().map(|&j| col_ctxs[j]).collect();
+        let mut panel_errors: Vec<Option<SolverError>> = (0..live.len()).map(|_| None).collect();
+        let before = attribute.then(|| matrix_ctx.snapshot());
+        let panel_result = op.apply_panel(
+            &mut panel_x,
+            &mut panel_y,
+            iteration as u64,
+            &panel_ctxs,
+            matrix_ctx,
+            &mut panel_errors,
+        );
+        if let Some(before) = before {
+            // Attribute the shared traversal to every column that rode it.
+            let delta = snapshot_delta(&matrix_ctx.snapshot(), &before);
+            for &j in &live {
+                col_ctxs[j].log().absorb(&delta);
+            }
+        }
+        drop((panel_x, panel_y));
+        match panel_result {
+            Err(e) => {
+                // Matrix-side fault: every live column read the same corrupt
+                // structure.
+                for &j in &live {
+                    errors[j] = Some(e.clone());
+                    terminations[j] = Some(Termination::Fault);
+                    active[j] = false;
+                }
+                break;
+            }
+            Ok(()) => {
+                for (slot, &j) in panel_errors.into_iter().zip(&live) {
+                    if let Some(e) = slot {
+                        errors[j] = Some(e);
+                        terminations[j] = Some(Termination::Fault);
+                        active[j] = false;
+                    }
+                }
+            }
+        }
+
+        // Per-column CG updates, operation-for-operation the [`cg`] body.
+        for &j in &live {
+            if !active[j] {
+                continue;
+            }
+            let ctx = col_ctxs[j];
+            let result: Result<(), SolverError> = (|| {
+                let pw = ps[j].dot(&ws[j], ctx)?;
+                if pw == 0.0 {
+                    terminations[j] = Some(Termination::Stalled);
+                    active[j] = false;
+                    return Ok(());
+                }
+                let alpha = rr[j] / pw;
+                xs[j].axpy(alpha, &ps[j], ctx)?;
+                let rr_new = rs[j].dot_axpy(-alpha, &ws[j], ctx)?;
+                statuses[j].iterations = iteration + 1;
+                statuses[j].final_residual = rr_new;
+                if rr_new < config.tolerance {
+                    statuses[j].converged = true;
+                    terminations[j] = Some(Termination::Converged);
+                    active[j] = false;
+                    return Ok(());
+                }
+                let beta = rr_new / rr[j];
+                ps[j].xpay(beta, &rs[j], ctx)?;
+                rr[j] = rr_new;
+                Ok(())
+            })();
+            if let Err(e) = result {
+                errors[j] = Some(e);
+                terminations[j] = Some(Termination::Fault);
+                active[j] = false;
+            }
+        }
+    }
+
+    // Columns still live after the loop ran out of iterations.
+    for j in 0..k {
+        if active[j] {
+            terminations[j] = Some(Termination::IterationBudget);
+        }
+    }
+
+    let mut out = Vec::with_capacity(k);
+    for (j, x) in xs.into_iter().enumerate() {
+        out.push(BlockColumnOutcome {
+            solution: x,
+            status: statuses[j],
+            termination: terminations[j].unwrap_or(Termination::IterationBudget),
+            error: errors[j].clone(),
+        });
+    }
+    out
+}
+
+/// Block CG with one shared fault context — the plain multi-RHS entry point.
+///
+/// All columns record into `ctx`, including the shared matrix traversals,
+/// so the context's matrix-check totals are those of **one** solve even
+/// though `bs.len()` systems were solved: the per-RHS matrix verify cost is
+/// `1/k` of a standalone solve.
+pub fn block_cg<Op: LinearOperator>(
+    op: &Op,
+    bs: &[&Op::Vector],
+    config: &SolverConfig,
+    ctx: &FaultContext,
+) -> Vec<BlockColumnOutcome<Op::Vector>> {
+    let ctxs: Vec<&FaultContext> = bs.iter().map(|_| ctx).collect();
+    let budgets = vec![None; bs.len()];
+    block_cg_panel(op, bs, config, &ctxs, ctx, false, &budgets, |_, _| None)
 }
 
 /// Jacobi relaxation: `x ← x + D⁻¹ (b − A x)`.
@@ -351,6 +628,111 @@ mod tests {
         let (x, s) = ppcg(&op, &bvec, bounds, 4, &config, &ctx).unwrap();
         assert!(s.converged);
         assert!(residual_norm(&a, &x.to_plain(), &b) < 1e-7);
+    }
+
+    #[test]
+    fn jacobi_needs_more_iterations_than_cg() {
+        let a = poisson_2d(8, 8);
+        let op = Plain::new(&a, false);
+        let ctx = FaultContext::new();
+        let b = op.vector_from(&vec![1.0; a.rows()]);
+        let config = SolverConfig::new(20_000, 1e-16);
+        let (_, jacobi_status) = jacobi(&op, &b, &config, &ctx).unwrap();
+        let (_, cg_status) = cg(&op, &b, &config, &ctx).unwrap();
+        assert!(jacobi_status.converged && cg_status.converged);
+        assert!(jacobi_status.iterations > cg_status.iterations);
+    }
+
+    #[test]
+    fn ppcg_uses_fewer_outer_iterations_than_cg() {
+        let a = poisson_2d(12, 12);
+        let op = Plain::new(&a, false);
+        let ctx = FaultContext::new();
+        let b = op.vector_from(&vec![1.0; a.rows()]);
+        // Tight spectral bounds for the 12×12 Dirichlet Poisson operator:
+        // λ = 4 − 2 cos(iπ/13) − 2 cos(jπ/13) ∈ [~0.115, ~7.885].
+        let bounds = ChebyshevBounds::new(0.1, 8.0);
+        let config = SolverConfig::new(1000, 1e-16);
+        let (_, cg_status) = cg(&op, &b, &config, &ctx).unwrap();
+        let (_, ppcg_status) = ppcg(&op, &b, bounds, 8, &config, &ctx).unwrap();
+        assert!(cg_status.converged && ppcg_status.converged);
+        assert!(
+            ppcg_status.iterations < cg_status.iterations,
+            "ppcg {} vs cg {}",
+            ppcg_status.iterations,
+            cg_status.iterations
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn jacobi_zero_diagonal_panics() {
+        let a = abft_sparse::CsrMatrix::try_new(2, 2, vec![1.0], vec![1], vec![0, 1, 1]).unwrap();
+        let op = Plain::new(&a, false);
+        let ctx = FaultContext::new();
+        let b = op.zero_vector(2);
+        let _ = jacobi(&op, &b, &SolverConfig::default(), &ctx);
+    }
+
+    #[test]
+    fn block_cg_columns_match_standalone_cg_bitwise() {
+        let a = poisson_2d(9, 8);
+        let op = Plain::new(&a, false);
+        let ctx = FaultContext::new();
+        let config = SolverConfig::new(500, 1e-18);
+        let bs: Vec<_> = (0..3)
+            .map(|j| {
+                op.vector_from(
+                    &(0..a.rows())
+                        .map(|i| 1.0 + ((i * (j + 3)) % 7) as f64 * 0.25)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let b_refs: Vec<&_> = bs.iter().collect();
+        let block = block_cg(&op, &b_refs, &config, &ctx);
+        assert_eq!(block.len(), 3);
+        for (j, col) in block.iter().enumerate() {
+            let (x, status) = cg(&op, &bs[j], &config, &ctx).unwrap();
+            assert_eq!(col.termination, Termination::Converged, "column {j}");
+            assert_eq!(col.status, status, "column {j}");
+            assert_eq!(col.solution.to_plain(), x.to_plain(), "column {j}");
+        }
+    }
+
+    #[test]
+    fn block_cg_budget_and_poll_stop_columns_independently() {
+        let a = poisson_2d(8, 8);
+        let op = Plain::new(&a, false);
+        let ctx = FaultContext::new();
+        let config = SolverConfig::new(500, 1e-18);
+        let bs: Vec<_> = (0..3)
+            .map(|_| op.vector_from(&vec![1.0; a.rows()]))
+            .collect();
+        let b_refs: Vec<&_> = bs.iter().collect();
+        let ctxs = vec![&ctx; 3];
+        // Column 0 is capped at 2 iterations, column 1 is cancelled at
+        // iteration 3, column 2 runs to convergence.
+        let budgets = [Some(2), None, None];
+        let out = block_cg_panel(
+            &op,
+            &b_refs,
+            &config,
+            &ctxs,
+            &ctx,
+            false,
+            &budgets,
+            |j, it| (j == 1 && it >= 3).then_some(Termination::Cancelled),
+        );
+        assert_eq!(out[0].termination, Termination::IterationBudget);
+        assert_eq!(out[0].status.iterations, 2);
+        assert_eq!(out[1].termination, Termination::Cancelled);
+        assert_eq!(out[1].status.iterations, 3);
+        assert_eq!(out[2].termination, Termination::Converged);
+        // The stopped columns hold the same partial iterates a standalone
+        // solve would have produced after the same number of iterations.
+        let (x_ref, _) = cg(&op, &bs[0], &SolverConfig::new(2, 1e-18), &ctx).unwrap();
+        assert_eq!(out[0].solution.to_plain(), x_ref.to_plain());
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //!   baseline), [`backends::MatrixProtected`] (protected matrix + plain
 //!   vectors, Figures 4–8) and [`backends::FullyProtected`] (protected
 //!   matrix + protected vectors, Figure 9 / combined).
-//! * [`generic`] — CG, Jacobi, Chebyshev and PPCG over the trait seam.
+//! * [`generic`] — CG, Jacobi, Chebyshev and PPCG over the trait seam,
+//!   plus [`block_cg`] / [`block_cg_panel`]: multi-RHS CG that verifies
+//!   each matrix codeword group once per panel of up to
+//!   [`MAX_PANEL_WIDTH`](abft_core::MAX_PANEL_WIDTH) right-hand sides while
+//!   keeping every column bitwise identical to its standalone solve.
 //! * [`solver`] — the builder front door.
 //!
 //! ## Usage
@@ -53,30 +57,19 @@
 //! integrity-check activity, so the convergence-impact study of §VI-B and
 //! the overhead figures read off the same API.
 //!
-//! The historical per-mode entry points (`cg::cg_plain`, `cg::CgSolver`,
-//! `jacobi::jacobi_solve`, …) remain as thin deprecated shims over the
-//! builder.
+//! The historical per-mode entry points (`cg_plain`, `CgSolver`,
+//! `jacobi_solve`, …) have been removed; the builder and
+//! [`Solver::solve_operator`] cover every configuration they served.
 
 pub mod backend;
 pub mod backends;
-pub mod cg;
 pub mod chebyshev;
 pub mod generic;
-pub mod jacobi;
-pub mod ppcg;
 pub mod solver;
 pub mod status;
 
 pub use backend::{FaultContext, LinearOperator, SolverError, SolverVector};
 pub use chebyshev::ChebyshevBounds;
+pub use generic::{block_cg, block_cg_panel, BlockColumnOutcome};
 pub use solver::{Method, ProtectionMode, SolveOutcome, Solver};
-pub use status::{SolveStatus, SolverConfig};
-
-#[allow(deprecated)]
-pub use cg::{cg_plain, CgSolver, ProtectedCgResult};
-#[allow(deprecated)]
-pub use chebyshev::chebyshev_solve;
-#[allow(deprecated)]
-pub use jacobi::jacobi_solve;
-#[allow(deprecated)]
-pub use ppcg::ppcg_solve;
+pub use status::{SolveStatus, SolverConfig, Termination};

@@ -41,6 +41,42 @@ impl SolverConfig {
     }
 }
 
+/// Why a solve (or one column of a block solve) stopped.
+///
+/// [`SolveStatus`] answers "did it converge"; `Termination` answers *why it
+/// stopped*, which the serving layer needs to report per job: a cancelled
+/// job and a diverged job both have `converged == false` but demand very
+/// different handling upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The residual dropped below the tolerance.
+    Converged,
+    /// The iteration cap (solver-wide or per-job budget) was exhausted.
+    IterationBudget,
+    /// The job's cancellation token was observed at an iteration boundary.
+    Cancelled,
+    /// The job's deadline passed before convergence.
+    DeadlineExpired,
+    /// The iteration stalled (`pᵀw == 0`); no further progress possible.
+    Stalled,
+    /// An uncorrectable fault poisoned this column.
+    Fault,
+}
+
+impl Termination {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Termination::Converged => "converged",
+            Termination::IterationBudget => "iteration budget exhausted",
+            Termination::Cancelled => "cancelled",
+            Termination::DeadlineExpired => "deadline expired",
+            Termination::Stalled => "stalled",
+            Termination::Fault => "fault",
+        }
+    }
+}
+
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveStatus {

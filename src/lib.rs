@@ -9,7 +9,10 @@
 //! * [`core`] — the protected data structures (the paper's contribution)
 //! * [`solvers`] — the generic solver layer: CG, Jacobi, Chebyshev and PPCG
 //!   written once over the backend traits, fronted by the
-//!   [`Solver`](prelude::Solver) builder
+//!   [`Solver`](prelude::Solver) builder, plus multi-RHS block CG
+//! * [`serve`] — the multi-tenant serving front door: a
+//!   [`SolveQueue`](prelude::SolveQueue) batching concurrent jobs into
+//!   panels that share matrix verification
 //! * [`tealeaf`] — the TeaLeaf-style 2-D heat-conduction mini-app
 //! * [`faultsim`] — bit-flip injection and fault campaigns
 //!
@@ -20,6 +23,7 @@
 pub use abft_core as core;
 pub use abft_ecc as ecc;
 pub use abft_faultsim as faultsim;
+pub use abft_serve as serve;
 pub use abft_solvers as solvers;
 pub use abft_sparse as sparse;
 pub use abft_tealeaf as tealeaf;
@@ -31,8 +35,10 @@ pub mod prelude {
     };
     pub use abft_ecc::{CheckOutcome, Crc32c, Crc32cBackend};
     pub use abft_faultsim::{Campaign, CampaignConfig, FaultOutcome, FaultTarget};
+    pub use abft_serve::{JobOutcome, JobSpec, SolveQueue};
     pub use abft_solvers::{
         Method, ProtectionMode, SolveOutcome, SolveStatus, Solver, SolverConfig, SolverError,
+        Termination,
     };
     pub use abft_sparse::{CooMatrix, CsrMatrix, Vector};
     pub use abft_tealeaf::{Deck, Simulation, SolverKind};

@@ -273,14 +273,11 @@ fn protected_ppcg_recovers_from_vector_bit_flips() {
     assert!(relative_error(&outcome.solution, &clean.solution) < 1e-9);
 }
 
-/// The deprecated per-mode shims must forward the caller's fault log into
-/// the generic solver (not construct a fresh context), so campaign-style
-/// fault accounting through the old entry points matches the `Solver`
-/// builder exactly — counts, not just "something was recorded".
+/// `solve_operator_logged` must record into the caller's fault log (not a
+/// fresh context), so campaign-style fault accounting matches the snapshot
+/// the outcome reports — counts, not just "something was recorded".
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_report_identical_fault_counts_to_the_builder() {
-    use abft_suite::solvers::cg::CgSolver;
+fn solve_operator_logged_records_into_the_callers_log() {
     let (a, b) = system();
     let config = SolverConfig::new(120, 1e-18);
 
@@ -291,56 +288,59 @@ fn deprecated_shims_report_identical_fault_counts_to_the_builder() {
     protected.inject_value_bit_flip(23, 41);
 
     let log = FaultLog::new();
-    let shim = CgSolver::new(config)
-        .solve_matrix_protected(&protected, &b, &log)
+    let logged = Solver::cg()
+        .config(config)
+        .solve_operator_logged(&MatrixProtected::new(&protected), &b, &log)
         .unwrap();
     let builder = Solver::cg()
         .config(config)
         .solve_operator(&MatrixProtected::new(&protected), &b)
         .unwrap();
-    assert!(shim.faults.total_corrected() > 0);
-    assert_eq!(shim.faults, builder.faults, "matrix tier fault accounting");
+    assert!(logged.faults.total_corrected() > 0);
+    assert_eq!(
+        logged.faults, builder.faults,
+        "matrix tier fault accounting"
+    );
     // The caller's log saw exactly what the outcome snapshot reports.
     assert_eq!(
         log.snapshot(),
-        shim.faults,
-        "shim must record into the caller's log"
+        logged.faults,
+        "the caller-supplied log must receive the activity"
     );
-    assert_eq!(shim.solution, builder.solution);
+    assert_eq!(logged.solution, builder.solution);
 
     // Fully protected tier.
     let full =
         ProtectionConfig::full(EccScheme::Secded64).with_crc_backend(Crc32cBackend::SlicingBy16);
     let encoded = ProtectedCsr::from_csr(&a, &full).unwrap();
     let log = FaultLog::new();
-    let shim = CgSolver::new(config)
-        .solve_fully_protected(&encoded, &b, &full, &log)
+    let logged = Solver::cg()
+        .config(config)
+        .solve_operator_logged(&FullyProtected::new(&encoded), &b, &log)
         .unwrap();
     let builder = Solver::cg()
         .config(config)
         .solve_operator(&FullyProtected::new(&encoded), &b)
         .unwrap();
-    assert_eq!(shim.faults, builder.faults, "full tier fault accounting");
-    assert_eq!(log.snapshot(), shim.faults);
-    assert_eq!(shim.solution, builder.solution);
+    assert_eq!(logged.faults, builder.faults, "full tier fault accounting");
+    assert_eq!(log.snapshot(), logged.faults);
+    assert_eq!(logged.solution, builder.solution);
 
-    // Jacobi's deprecated protected entry point forwards its log too.
+    // An uncorrectable fault aborts the solve but the activity observed
+    // before the abort still lands in the caller's log.
+    let sed =
+        ProtectionConfig::matrix_only(EccScheme::Sed).with_crc_backend(Crc32cBackend::SlicingBy16);
+    let mut corrupt = ProtectedCsr::from_csr(&a, &sed).unwrap();
+    corrupt.inject_value_bit_flip(10, 52);
     let log = FaultLog::new();
-    let jacobi_config = SolverConfig::new(300, 1e-18);
-    #[allow(deprecated)]
-    let (_, status) =
-        abft_suite::solvers::jacobi::jacobi_solve_protected(&protected, &b, &jacobi_config, &log)
-            .unwrap();
-    let builder = Solver::jacobi()
-        .config(jacobi_config)
-        .solve_operator(&MatrixProtected::new(&protected), &b)
-        .unwrap();
-    assert_eq!(status, builder.status);
-    assert_eq!(
-        log.snapshot(),
-        builder.faults,
-        "jacobi shim fault accounting"
+    let result = Solver::cg().config(config).solve_operator_logged(
+        &MatrixProtected::new(&corrupt),
+        &b,
+        &log,
     );
+    assert!(matches!(result, Err(SolverError::Fault(_))));
+    assert!(log.total_uncorrectable() > 0);
+    assert!(log.snapshot().checks.iter().sum::<u64>() > 0);
 }
 
 #[test]

@@ -121,9 +121,22 @@ pub fn chunk_count(len: usize) -> usize {
 // Sharded persistent runtime
 // ---------------------------------------------------------------------------
 
-/// One worker's injector queue of scoped-dispatch announcements.
+/// One worker's injector queue of scoped-dispatch announcements and
+/// detached spawned jobs.
 struct Shard {
-    queue: Mutex<VecDeque<TaskRef>>,
+    queue: Mutex<VecDeque<QueueEntry>>,
+}
+
+/// One slot in a worker's injector queue.
+enum QueueEntry {
+    /// An announcement of a scoped chunk dispatch (stack descriptor, see
+    /// [`scope_chunks`]); claiming it means joining the chunk cursor.
+    Scoped(TaskRef),
+    /// A detached job submitted via [`spawn`]; runs to completion on
+    /// whichever worker pops it.  The only heap-allocating queue entry —
+    /// spawned jobs are whole solves, not kernel chunks, so one box per
+    /// job is noise.
+    Spawned(Box<dyn FnOnce() + Send + 'static>),
 }
 
 struct Pool {
@@ -227,7 +240,7 @@ fn engage(task: TaskRef) {
 
 /// Pops an announcement: own queue from the front, then — chunk-granular
 /// stealing's task-level counterpart — other queues from the back.
-fn find_task(pool: &Pool, me: usize) -> Option<TaskRef> {
+fn find_task(pool: &Pool, me: usize) -> Option<QueueEntry> {
     let n = pool.shards.len();
     if let Some(task) = pool.shards[me]
         .queue
@@ -246,12 +259,25 @@ fn find_task(pool: &Pool, me: usize) -> Option<TaskRef> {
     None
 }
 
+/// Executes one claimed queue entry on a pool worker.
+fn run_entry(entry: QueueEntry) {
+    match entry {
+        QueueEntry::Scoped(task) => engage(task),
+        // A panicking job must not take down the worker; the submitter
+        // (e.g. `abft-serve`'s job tickets) observes the panic through its
+        // own completion channel.
+        QueueEntry::Spawned(job) => {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+    }
+}
+
 fn worker_loop(me: usize) {
     IN_WORKER.with(|flag| flag.set(true));
     let pool = pool();
     loop {
         if let Some(task) = find_task(pool, me) {
-            engage(task);
+            run_entry(task);
             continue;
         }
         let mut epoch = pool.sleep.lock().expect("sleep lock poisoned");
@@ -259,7 +285,7 @@ fn worker_loop(me: usize) {
         // bumped the epoch before we could sleep.
         if let Some(task) = find_task(pool, me) {
             drop(epoch);
-            engage(task);
+            run_entry(task);
             continue;
         }
         let seen = *epoch;
@@ -267,6 +293,31 @@ fn worker_loop(me: usize) {
             epoch = pool.wakeup.wait(epoch).expect("sleep lock poisoned");
         }
     }
+}
+
+/// Submits a detached job to the persistent pool.  The job runs exactly
+/// once, on some pool worker, at an unspecified time after this call
+/// returns; there is no join handle — callers that need completion (the
+/// serving queue, the fault campaign) layer their own ticket on top.
+///
+/// Spawned jobs run with the worker's `IN_WORKER` flag set, so parallel
+/// kernels they invoke degrade to inline execution — a job is one lane,
+/// and many jobs occupy many lanes.  [`set_worker_limit`] does **not**
+/// bound spawned-job concurrency (it caps the lanes of one scoped
+/// dispatch); the pool's worker count does.
+pub fn spawn<F: FnOnce() + Send + 'static>(job: F) {
+    let pool = pool();
+    let shard = pool.next_shard.fetch_add(1, Ordering::Relaxed) % pool.shards.len();
+    pool.shards[shard]
+        .queue
+        .lock()
+        .expect("shard poisoned")
+        .push_back(QueueEntry::Spawned(Box::new(job)));
+    {
+        let mut epoch = pool.sleep.lock().expect("sleep lock poisoned");
+        *epoch += 1;
+    }
+    pool.wakeup.notify_all();
 }
 
 /// Runs `f(0) .. f(n_chunks - 1)` across the caller and up to
@@ -326,7 +377,11 @@ pub fn scope_chunks<F: Fn(usize) + Sync>(n_chunks: usize, f: &F) {
     let first = pool.next_shard.fetch_add(1, Ordering::Relaxed);
     for k in 0..crew {
         let shard = &pool.shards[(first + k) % pool.shards.len()];
-        shard.queue.lock().expect("shard poisoned").push_back(task);
+        shard
+            .queue
+            .lock()
+            .expect("shard poisoned")
+            .push_back(QueueEntry::Scoped(task));
     }
     {
         let mut epoch = pool.sleep.lock().expect("sleep lock poisoned");
@@ -361,7 +416,10 @@ pub fn scope_chunks<F: Fn(usize) + Sync>(n_chunks: usize, f: &F) {
         let shard = &pool.shards[(first + k) % pool.shards.len()];
         let mut queue = shard.queue.lock().expect("shard poisoned");
         let before = queue.len();
-        queue.retain(|entry| !std::ptr::eq(entry.0, task.0));
+        queue.retain(|entry| match entry {
+            QueueEntry::Scoped(t) => !std::ptr::eq(t.0, task.0),
+            QueueEntry::Spawned(_) => true,
+        });
         let withdrawn = before - queue.len();
         drop(queue);
         if withdrawn > 0 {
@@ -438,13 +496,34 @@ where
     E: Send,
     F: Fn(usize, &mut [T], &mut S) -> Result<(), E> + Sync,
 {
+    with_chunks_mut_strided(data, states, 1, f)
+}
+
+/// [`with_chunks_mut`] with chunk boundaries rounded up to multiples of
+/// `stride`.  The multi-RHS SpMM kernels lay a width-`k` panel out
+/// row-major (`products[row * k + col]`), so a chunk split that lands
+/// mid-row would hand two lanes the same matrix row; `stride = k` keeps
+/// every chunk row-aligned.  `stride = 1` is exactly [`with_chunks_mut`].
+pub fn with_chunks_mut_strided<T, S, E, F>(
+    data: &mut [T],
+    states: &mut [S],
+    stride: usize,
+    f: F,
+) -> Result<(), E>
+where
+    T: Send,
+    S: Send,
+    E: Send,
+    F: Fn(usize, &mut [T], &mut S) -> Result<(), E> + Sync,
+{
     assert!(!states.is_empty(), "with_chunks_mut: no chunk states");
+    assert!(stride > 0, "with_chunks_mut: zero stride");
     let n_chunks = states.len();
-    if n_chunks == 1 || data.len() <= 1 {
+    if n_chunks == 1 || data.len() <= stride {
         return f(0, data, &mut states[0]);
     }
     let len = data.len();
-    let chunk = len.div_ceil(n_chunks);
+    let chunk = len.div_ceil(n_chunks).div_ceil(stride) * stride;
     let failed = AtomicBool::new(false);
     let error: Mutex<Option<E>> = Mutex::new(None);
     let data_ptr = SendPtr(data.as_mut_ptr());
@@ -988,6 +1067,74 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn with_chunks_mut_strided_never_splits_a_row() {
+        let _guard = LIMIT_LOCK.lock().unwrap();
+        with_limit(4, || {
+            let stride = 3;
+            let rows = 10_001; // not a multiple of anything convenient
+            let mut data = vec![0usize; rows * stride];
+            let n = super::chunk_count(data.len()).max(2);
+            let mut states = vec![0usize; n];
+            let ok: Result<(), ()> = super::with_chunks_mut_strided(
+                &mut data,
+                &mut states,
+                stride,
+                |offset, part, state| {
+                    assert_eq!(offset % stride, 0, "chunk start mid-row");
+                    assert_eq!(part.len() % stride, 0, "chunk end mid-row");
+                    for (i, x) in part.iter_mut().enumerate() {
+                        *x = offset + i;
+                        *state += 1;
+                    }
+                    Ok(())
+                },
+            );
+            assert!(ok.is_ok());
+            for (i, &x) in data.iter().enumerate() {
+                assert_eq!(x, i);
+            }
+            assert_eq!(states.iter().sum::<usize>(), rows * stride);
+        });
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs_to_completion() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let done = Arc::new(AtomicUsize::new(0));
+        let jobs = 64;
+        for i in 0..jobs {
+            let done = Arc::clone(&done);
+            super::spawn(move || {
+                done.fetch_add(i + 1, Ordering::Relaxed);
+            });
+        }
+        let want: usize = (1..=jobs).sum();
+        let mut spins = 0u32;
+        while done.load(Ordering::Relaxed) != want {
+            spins += 1;
+            assert!(spins < 1_000_000, "spawned jobs never completed");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn spawned_job_panic_does_not_kill_the_worker() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        super::spawn(|| panic!("job boom"));
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        super::spawn(move || flag.store(true, Ordering::Relaxed));
+        let mut spins = 0u32;
+        while !done.load(Ordering::Relaxed) {
+            spins += 1;
+            assert!(spins < 1_000_000, "pool dead after a job panic");
+            std::thread::yield_now();
+        }
     }
 
     #[test]
