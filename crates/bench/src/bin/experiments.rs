@@ -17,6 +17,7 @@
 //! paper is the *relative overhead* column and its ordering across schemes.
 
 use abft_bench::blas1_bench::{blas1_microbench, trajectory_points_json, Blas1BenchConfig};
+use abft_bench::coverage::{self, check_coverage, measure_coverage, CoverageConfig};
 use abft_bench::ecc_bench::{self, ecc_microbench, EccBenchConfig};
 use abft_bench::json::Json;
 use abft_bench::queue_bench::{self, queue_microbench, QueueBenchConfig};
@@ -47,11 +48,15 @@ struct Args {
     bench_ecc: bool,
     bench_scaling: bool,
     bench_queue: bool,
+    bench_coverage: bool,
     check_regression: bool,
+    check_coverage: bool,
     baseline_spmv: String,
     baseline_blas1: String,
     baseline_queue: String,
+    baseline_coverage: String,
     gate_tolerance: f64,
+    coverage_tolerance: f64,
     bench_label: String,
     parallel: bool,
     nx: usize,
@@ -78,11 +83,15 @@ impl Default for Args {
             bench_ecc: false,
             bench_scaling: false,
             bench_queue: false,
+            bench_coverage: false,
             check_regression: false,
+            check_coverage: false,
             baseline_spmv: "BENCH_spmv.json".to_string(),
             baseline_blas1: "BENCH_blas1.json".to_string(),
             baseline_queue: "BENCH_queue.json".to_string(),
+            baseline_coverage: "BENCH_coverage.json".to_string(),
             gate_tolerance: 25.0,
+            coverage_tolerance: 5.0,
             bench_label: "current".to_string(),
             parallel: false,
             nx: 256,
@@ -113,13 +122,22 @@ const HELP: &str = "experiments — regenerate the paper's figures.
   --bench-queue        multi-tenant serving throughput: serial dispatch vs
                        SolveQueue panels at k in {1,2,4,8}
                        (the BENCH_queue.json sweep)
+  --bench-coverage     fixed-seed smoke fault-coverage campaign: bit flips for
+                       every scheme x region plus the parity-tier erasure
+                       scenarios (the BENCH_coverage.json matrix)
   --check-regression   CI gate: re-measure and compare overhead ratios against
                        the committed BENCH_spmv.json / BENCH_blas1.json /
                        BENCH_queue.json (exit 1 on >25% degradation)
+  --check-coverage     CI gate: re-run the smoke coverage campaign and compare
+                       safe / recovered / rebuilt rates against the committed
+                       BENCH_coverage.json (exit 1 on a rate drop)
   --baseline-spmv P    SpMV baseline file for --check-regression
   --baseline-blas1 P   BLAS-1 baseline file for --check-regression
   --baseline-queue P   serving-throughput baseline file for --check-regression
+  --baseline-coverage P coverage baseline file for --check-coverage
   --gate-tolerance PCT allowed ratio degradation for --check-regression
+  --coverage-tolerance PP allowed rate drop (percentage points) for
+                       --check-coverage
   --bench-label L      trajectory-point label for --bench-* JSON output
   --parallel           use the Rayon-parallel kernels
   --nx N / --ny N      grid size (default 256x256)
@@ -154,12 +172,20 @@ fn parse_args() -> Result<Args, String> {
             "--bench-ecc" => args.bench_ecc = true,
             "--bench-scaling" => args.bench_scaling = true,
             "--bench-queue" => args.bench_queue = true,
+            "--bench-coverage" => args.bench_coverage = true,
             "--check-regression" => args.check_regression = true,
+            "--check-coverage" => args.check_coverage = true,
             "--baseline-spmv" => args.baseline_spmv = value("--baseline-spmv")?,
             "--baseline-blas1" => args.baseline_blas1 = value("--baseline-blas1")?,
             "--baseline-queue" => args.baseline_queue = value("--baseline-queue")?,
+            "--baseline-coverage" => args.baseline_coverage = value("--baseline-coverage")?,
             "--gate-tolerance" => {
                 args.gate_tolerance = value("--gate-tolerance")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--coverage-tolerance" => {
+                args.coverage_tolerance = value("--coverage-tolerance")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
@@ -272,6 +298,7 @@ fn campaign_json(row: &abft_bench::CampaignRow) -> Json {
         ("target", row.target.clone().into()),
         ("trials", row.trials.into()),
         ("corrected_pct", row.corrected_pct.into()),
+        ("rebuilt_pct", row.rebuilt_pct.into()),
         ("detected_pct", row.detected_pct.into()),
         ("bounds_pct", row.bounds_pct.into()),
         ("masked_pct", row.masked_pct.into()),
@@ -331,6 +358,53 @@ fn main() {
                 eprintln!("perf-regression gate could not run: {err}");
                 std::process::exit(1);
             }
+        }
+        return;
+    }
+
+    if args.check_coverage {
+        let config = CoverageConfig {
+            baseline: args.baseline_coverage.clone(),
+            tolerance_pp: args.coverage_tolerance,
+            ..CoverageConfig::default()
+        };
+        println!(
+            "Fault-coverage gate: fresh fixed-seed campaign vs {} (tolerance -{} pp)",
+            config.baseline, config.tolerance_pp
+        );
+        match check_coverage(&config) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.dropped() {
+                    eprintln!("fault-coverage gate FAILED");
+                    std::process::exit(1);
+                }
+                println!("fault-coverage gate passed");
+            }
+            Err(err) => {
+                eprintln!("fault-coverage gate could not run: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if args.bench_coverage {
+        let config = CoverageConfig {
+            baseline: args.baseline_coverage.clone(),
+            tolerance_pp: args.coverage_tolerance,
+            ..CoverageConfig::default()
+        };
+        println!(
+            "Fault-coverage campaign ({0}x{1} grid, {2} trials/row, seed {3:#x})",
+            config.nx, config.ny, config.trials, config.seed
+        );
+        let rows = measure_coverage(&config);
+        print!("{}", coverage::render_table(&rows));
+        if let Some(path) = &args.json {
+            std::fs::write(path, coverage::coverage_json(&config, &rows).render())
+                .expect("write JSON output");
+            println!("machine-readable results written to {path}");
         }
         return;
     }
@@ -528,16 +602,25 @@ fn main() {
         let rows = fault_campaign_summary(args.trials, 0xABF7);
         println!("Fault-injection outcomes (single bit flip per trial)");
         println!(
-            "{:<12} {:<24} {:>7} {:>10} {:>10} {:>8} {:>8} {:>6}",
-            "scheme", "target", "trials", "corrected", "detected", "bounds", "masked", "SDC"
+            "{:<12} {:<24} {:>7} {:>10} {:>8} {:>10} {:>8} {:>8} {:>6}",
+            "scheme",
+            "target",
+            "trials",
+            "corrected",
+            "rebuilt",
+            "detected",
+            "bounds",
+            "masked",
+            "SDC"
         );
         for row in &rows {
             println!(
-                "{:<12} {:<24} {:>7} {:>9.1}% {:>9.1}% {:>7.1}% {:>7.1}% {:>5.1}%",
+                "{:<12} {:<24} {:>7} {:>9.1}% {:>7.1}% {:>9.1}% {:>7.1}% {:>7.1}% {:>5.1}%",
                 row.scheme,
                 row.target,
                 row.trials,
                 row.corrected_pct,
+                row.rebuilt_pct,
                 row.detected_pct,
                 row.bounds_pct,
                 row.masked_pct,

@@ -24,6 +24,7 @@ use abft_tealeaf::{Deck, Grid};
 use std::time::Instant;
 
 pub mod blas1_bench;
+pub mod coverage;
 pub mod ecc_bench;
 pub mod json;
 pub mod queue_bench;
@@ -414,7 +415,9 @@ pub struct CampaignRow {
     pub trials: usize,
     /// Percentage of faults corrected.
     pub corrected_pct: f64,
-    /// Percentage of faults detected but uncorrectable.
+    /// Percentage of faults rebuilt from the XOR parity tier.
+    pub rebuilt_pct: f64,
+    /// Percentage of faults detected but uncorrectable by either tier.
     pub detected_pct: f64,
     /// Percentage of faults caught by bounds checks.
     pub bounds_pct: f64,
@@ -460,10 +463,11 @@ pub fn fault_campaign_summary(trials: usize, seed: u64) -> Vec<CampaignRow> {
                 target: target.label().to_string(),
                 trials: stats.trials(),
                 corrected_pct: 100.0 * stats.rate(FaultOutcome::Corrected),
-                detected_pct: 100.0 * stats.rate(FaultOutcome::DetectedUncorrectable),
+                rebuilt_pct: 100.0 * stats.rate(FaultOutcome::DetectedRebuilt),
+                detected_pct: 100.0 * stats.rate(FaultOutcome::DetectedAborted),
                 bounds_pct: 100.0 * stats.rate(FaultOutcome::BoundsCaught),
                 masked_pct: 100.0 * stats.rate(FaultOutcome::Masked),
-                sdc_pct: 100.0 * stats.rate(FaultOutcome::SilentDataCorruption),
+                sdc_pct: 100.0 * stats.rate(FaultOutcome::SilentCorruption),
             });
         }
     }

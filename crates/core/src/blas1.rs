@@ -831,11 +831,15 @@ impl ProtectedVector {
 
     /// Masked `self ← α·self`: one check and one re-encode per group.
     pub fn scale_masked(&mut self, alpha: f64, log: &FaultLog) -> Result<(), AbftError> {
+        self.parity_precheck(None, log)?;
         let codec = self.codec();
         let len = self.len;
         let mut tally = 0u64;
         let result = scale_range(codec, &mut self.data, 0, len, log, &mut tally, alpha);
         flush_checks(log, codec.scheme, tally);
+        if result.is_ok() {
+            self.parity_commit();
+        }
         result
     }
 
@@ -859,6 +863,7 @@ impl ProtectedVector {
         if n_chunks <= 1 {
             return self.scale_masked(alpha, log);
         }
+        self.parity_precheck(None, log)?;
         let codec = self.codec();
         let len = self.len;
         let tallies = ReductionWorkspace::zeroed_tallies(&mut ws.tallies, n_chunks);
@@ -866,6 +871,9 @@ impl ProtectedVector {
             scale_range(codec, chunk, offset, len, log, tally, alpha)
         });
         flush_checks(log, codec.scheme, tallies.iter().sum());
+        if result.is_ok() {
+            self.parity_commit();
+        }
         result
     }
 
@@ -903,6 +911,7 @@ impl ProtectedVector {
             "dot_axpy_masked: schemes must match (got {:?} vs {:?})",
             self.scheme, x.scheme
         );
+        self.parity_precheck(Some(x), log)?;
         let codec = self.codec();
         let len = self.len;
         let mut tally = 0u64;
@@ -930,6 +939,9 @@ impl ProtectedVector {
             start = end;
         }
         flush_checks(log, codec.scheme, tally);
+        if result.is_ok() {
+            self.parity_commit();
+        }
         result.map(|()| total)
     }
 
@@ -971,6 +983,7 @@ impl ProtectedVector {
         if n_chunks <= 1 {
             return self.dot_axpy_masked(alpha, x, log);
         }
+        self.parity_precheck(Some(x), log)?;
         let codec = self.codec();
         let len = self.len;
         let states = ws.reset_chunks(n_chunks);
@@ -996,6 +1009,7 @@ impl ProtectedVector {
         });
         flush_checks(log, codec.scheme, states.iter().map(|s| s.tally).sum());
         result?;
+        self.parity_commit();
         Ok(states.iter().flat_map(|s| s.partials.iter()).sum())
     }
 
@@ -1013,11 +1027,15 @@ impl ProtectedVector {
             "{what}: schemes must match (got {:?} vs {:?})",
             self.scheme, x.scheme
         );
+        self.parity_precheck(Some(x), log)?;
         let codec = self.codec();
         let len = self.len;
         let mut tally = 0u64;
         let result = zip_range(codec, &mut self.data, &x.data, 0, len, log, &mut tally, &op);
         flush_checks(log, codec.scheme, tally);
+        if result.is_ok() {
+            self.parity_commit();
+        }
         result
     }
 
@@ -1040,6 +1058,7 @@ impl ProtectedVector {
         if n_chunks <= 1 {
             return self.zip_masked(x, log, what, op);
         }
+        self.parity_precheck(Some(x), log)?;
         let codec = self.codec();
         let len = self.len;
         let tallies = ReductionWorkspace::zeroed_tallies(&mut ws.tallies, n_chunks);
@@ -1058,6 +1077,9 @@ impl ProtectedVector {
             )
         });
         flush_checks(log, codec.scheme, tallies.iter().sum());
+        if result.is_ok() {
+            self.parity_commit();
+        }
         result
     }
 }

@@ -46,5 +46,5 @@ pub use protected_csr::ProtectedCsr;
 pub use protected_vector::ProtectedVector;
 pub use report::{FaultLog, FaultLogSnapshot, Region};
 pub use row_pointer::ProtectedRowPointer;
-pub use schemes::{EccScheme, ProtectionConfig};
+pub use schemes::{EccScheme, ParityConfig, ProtectionConfig};
 pub use spmv::{DenseSource, DenseView, SpmmWorkspace, SpmvWorkspace, MAX_PANEL_WIDTH};

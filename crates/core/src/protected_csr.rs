@@ -1091,6 +1091,7 @@ mod tests {
             check_interval: 1,
             crc_backend: Crc32cBackend::SlicingBy16,
             parallel: false,
+            parity: None,
         }
     }
 

@@ -33,7 +33,7 @@
 
 use crate::error::AbftError;
 use crate::report::{FaultLog, Region};
-use crate::schemes::EccScheme;
+use crate::schemes::{EccScheme, ParityConfig};
 use abft_ecc::secded::DecodeOutcome;
 use abft_ecc::sed::parity_u64;
 use abft_ecc::{Crc32c, Crc32cBackend, SECDED_118, SECDED_56};
@@ -72,6 +72,63 @@ pub struct ProtectedVector {
     /// so dot/AXPY/norm² route through the chunked parallel kernels.  Not
     /// part of the encoded state — the raw storage is unaffected.
     parallel: bool,
+    /// Optional XOR erasure tier: per-stripe parity chunks over the encoded
+    /// storage, so an uncorrectable codeword (or a deliberately erased
+    /// chunk) is rebuilt from its stripe siblings instead of aborting.
+    /// `None` (the default) keeps the vector byte-identical in behaviour to
+    /// the parity-free layout.
+    parity: Option<ParityState>,
+}
+
+/// Internal state of the XOR erasure tier (layout in [`ParityConfig`]).
+#[derive(Debug, Clone)]
+struct ParityState {
+    /// Chunk size in storage words (a multiple of [`MAX_GROUP`], so chunk
+    /// boundaries always align with codeword boundaries).
+    chunk_words: usize,
+    /// Data chunks per parity stripe.
+    stripe_chunks: usize,
+    /// Stripe-major parity words: `stripe_count × chunk_words` entries, each
+    /// the word-wise XOR of the stripe's data chunks (absent trailing words
+    /// of a partial final chunk contribute zero).
+    words: Vec<u64>,
+}
+
+/// Outcome of the stripe-parity cross-check (see
+/// [`ProtectedVector::verify_parity`]).
+///
+/// The classifier must run **before** a scrub gets to "repair" an erased
+/// chunk: the embedded schemes are linear, so once a scrub has re-encoded
+/// miscorrected garbage the stripe residual `parity ⊕ chunks` is itself a
+/// valid codeword and XORs cleanly into *every* chunk — attribution becomes
+/// impossible.  Pre-scrub, the residual of an erasure is raw noise and
+/// convicts exactly one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParityVerdict {
+    /// Every stripe's XOR matches its stored parity.
+    Consistent,
+    /// The mismatch is explainable by in-place ECC correction (pending
+    /// correctable bit flips): the ordinary scrub restores the originals,
+    /// and the parity becomes consistent again on its own.
+    Deferred,
+    /// Exactly one chunk's tentative rebuild (`parity ⊕ siblings`) verifies
+    /// clean, and the chunk's current content is beyond the embedded ECC's
+    /// correction radius from it: that chunk was erased and must be rebuilt
+    /// from the parity tier.
+    Erased {
+        /// The erased data chunk.
+        chunk: usize,
+    },
+    /// The data chunks all verify clean and no rebuild candidate exists:
+    /// the fault is confined to the parity words themselves, so the data
+    /// keeps being served.
+    StaleParity,
+    /// A mismatch that cannot be attributed to a single chunk (e.g. a
+    /// double loss in one stripe): unrecoverable.
+    Ambiguous {
+        /// The stripe whose mismatch could not be attributed.
+        stripe: usize,
+    },
 }
 
 impl ProtectedVector {
@@ -92,6 +149,7 @@ impl ProtectedVector {
             read_mask: read_mask(scheme),
             crc: Crc32c::new(backend),
             parallel: false,
+            parity: None,
         };
         let mut base = 0;
         while base < values.len() {
@@ -194,6 +252,7 @@ impl ProtectedVector {
         let (mut buf, _) = self.decode_group(base, log)?;
         buf[i - base] = value;
         self.encode_group(base, &buf);
+        self.parity_commit();
         Ok(())
     }
 
@@ -298,6 +357,7 @@ impl ProtectedVector {
             self.encode_group(base, &buf);
             base += group;
         }
+        self.parity_commit();
     }
 
     /// Fallible variant of [`ProtectedVector::fill_from_fn`] used when the
@@ -319,6 +379,7 @@ impl ProtectedVector {
             self.encode_group(base, &buf);
             base += group;
         }
+        self.parity_commit();
         Ok(())
     }
 
@@ -336,10 +397,14 @@ impl ProtectedVector {
         log: &FaultLog,
         f: impl FnMut(usize, f64) -> f64,
     ) -> Result<(), AbftError> {
+        self.parity_precheck(None, log)?;
         let mut tally = 0u64;
         let result = self.update_from_fn_inner(log, &mut tally, f);
         if self.scheme != EccScheme::None {
             log.record_checks(Region::DenseVector, tally);
+        }
+        if result.is_ok() {
+            self.parity_commit();
         }
         result
     }
@@ -410,7 +475,7 @@ impl ProtectedVector {
     /// it is read.
     pub fn copy_from(&mut self, other: &ProtectedVector, log: &FaultLog) -> Result<(), AbftError> {
         assert_eq!(self.len(), other.len(), "copy_from: length mismatch");
-        if self.scheme == other.scheme {
+        let result = if self.scheme == other.scheme {
             let mut tally = 0u64;
             let result = self.copy_from_inner(other, log, &mut tally);
             if self.scheme != EccScheme::None {
@@ -422,7 +487,11 @@ impl ProtectedVector {
             other.check_all(log)?;
             self.fill_from_fn(|i| other.get(i));
             Ok(())
+        };
+        if result.is_ok() {
+            self.parity_commit();
         }
+        result
     }
 
     fn copy_from_inner(
@@ -553,10 +622,14 @@ impl ProtectedVector {
             "vector update: schemes must match (got {:?} vs {:?})",
             self.scheme, x.scheme
         );
+        self.parity_precheck(Some(x), log)?;
         let mut tally = 0u64;
         let result = self.zip_update_inner(x, log, &mut tally, op);
         if self.scheme != EccScheme::None {
             log.record_checks(Region::DenseVector, tally);
+        }
+        if result.is_ok() {
+            self.parity_commit();
         }
         result
     }
@@ -646,6 +719,468 @@ impl ProtectedVector {
         let group = self.group_size();
         let codec = self.codec();
         codec.encode(values, &mut self.data[base..base + group]);
+    }
+
+    // ------------------------------------------------------------------
+    // XOR erasure tier
+    // ------------------------------------------------------------------
+
+    /// Enables the XOR erasure tier over the encoded storage and computes
+    /// the initial parity.  The storage words are split into chunks of
+    /// `config.chunk_words`; each stripe of `config.stripe_chunks` data
+    /// chunks gets one parity chunk holding their word-wise XOR, so any
+    /// single lost or uncorrectable chunk in a stripe can be rebuilt
+    /// bit-for-bit from the parity and its surviving siblings.
+    ///
+    /// # Panics
+    /// Panics when the vector is unprotected (`EccScheme::None`): a rebuilt
+    /// chunk is trusted only after the embedded ECC re-verifies it, which
+    /// needs a real scheme.  Also panics on a zero or non-group-aligned
+    /// `chunk_words` or a zero `stripe_chunks`.
+    pub fn enable_parity(&mut self, config: ParityConfig) {
+        assert!(
+            self.scheme != EccScheme::None,
+            "parity tier requires ECC-protected storage"
+        );
+        assert!(
+            config.chunk_words > 0 && config.chunk_words.is_multiple_of(MAX_GROUP),
+            "chunk_words must be a positive multiple of MAX_GROUP"
+        );
+        assert!(config.stripe_chunks > 0, "stripe_chunks must be > 0");
+        self.parity = Some(ParityState {
+            chunk_words: config.chunk_words,
+            stripe_chunks: config.stripe_chunks,
+            words: Vec::new(),
+        });
+        self.refresh_parity();
+    }
+
+    /// Whether the erasure tier is enabled.
+    pub fn has_parity(&self) -> bool {
+        self.parity.is_some()
+    }
+
+    /// Chunk size (in storage words) of the erasure tier, when enabled.
+    pub fn parity_chunk_words(&self) -> Option<usize> {
+        self.parity.as_ref().map(|p| p.chunk_words)
+    }
+
+    /// The parity words themselves — exposed for fault injection and tests.
+    pub fn parity_words(&self) -> Option<&[u64]> {
+        self.parity.as_ref().map(|p| p.words.as_slice())
+    }
+
+    /// Number of data chunks covered by the erasure tier (0 when disabled).
+    pub fn parity_chunks(&self) -> usize {
+        match &self.parity {
+            Some(p) => self.data.len().div_ceil(p.chunk_words),
+            None => 0,
+        }
+    }
+
+    /// Recomputes every parity chunk from the current encoded storage.  The
+    /// write paths call this after a successful mutation; a kernel that
+    /// aborts *before* mutating anything (the parity-mode pre-check) leaves
+    /// both storage and parity untouched, so the rebuild evidence stays
+    /// consistent.  A no-op when the tier is disabled.
+    pub fn refresh_parity(&mut self) {
+        let Some(state) = self.parity.as_mut() else {
+            return;
+        };
+        let cw = state.chunk_words;
+        let stripes = self.data.len().div_ceil(cw).div_ceil(state.stripe_chunks);
+        state.words.clear();
+        state.words.resize(stripes * cw, 0);
+        for (c, chunk) in self.data.chunks(cw).enumerate() {
+            let seg = (c / state.stripe_chunks) * cw;
+            for (p, &w) in state.words[seg..seg + cw].iter_mut().zip(chunk) {
+                *p ^= w;
+            }
+        }
+    }
+
+    /// Cross-checks every stripe's XOR against the stored parity and
+    /// attributes any mismatch.  See [`ParityVerdict`] and
+    /// [`ProtectedVector::verify_parity`] for the reasoning; this is the
+    /// shared classifier behind the read-side certification and
+    /// [`ProtectedVector::try_recover`].
+    fn parity_verdict(&self) -> ParityVerdict {
+        let Some(state) = self.parity.as_ref() else {
+            return ParityVerdict::Consistent;
+        };
+        let cw = state.chunk_words;
+        let n_chunks = self.data.len().div_ceil(cw);
+        let stripes = n_chunks.div_ceil(state.stripe_chunks);
+        let codec = self.codec();
+        let group = codec.group();
+        // Bits the embedded scheme can correct in place, per codeword group
+        // (SED detects but never corrects).
+        let cap: u32 = match self.scheme {
+            EccScheme::None | EccScheme::Sed => 0,
+            _ => 1,
+        };
+        let mut stale = false;
+        let mut deferred = false;
+        let mut acc = vec![0u64; cw];
+        let mut tentative = vec![0u64; cw];
+        for stripe in 0..stripes {
+            // acc = parity ⊕ (XOR of the stripe's data chunks): zero word-wise
+            // iff the stripe is consistent.
+            acc.copy_from_slice(&state.words[stripe * cw..(stripe + 1) * cw]);
+            let first = stripe * state.stripe_chunks;
+            let last = (first + state.stripe_chunks).min(n_chunks);
+            for chunk in first..last {
+                let lo = chunk * cw;
+                let hi = (lo + cw).min(self.data.len());
+                for (a, &w) in acc.iter_mut().zip(&self.data[lo..hi]) {
+                    *a ^= w;
+                }
+            }
+            if acc.iter().all(|&w| w == 0) {
+                continue;
+            }
+            // Attribute the mismatch.  The tentative rebuild of chunk `c` is
+            // `parity ⊕ siblings = acc ⊕ c`: for the chunk that took the
+            // fault that is its original content and verifies strictly clean
+            // under the embedded ECC, while an innocent chunk's tentative
+            // rebuild folds the raw residue in and decodes as noise.
+            let mut candidate = None;
+            let mut candidates = 0usize;
+            let mut all_current_clean = true;
+            for chunk in first..last {
+                let lo = chunk * cw;
+                let hi = (lo + cw).min(self.data.len());
+                let span = &self.data[lo..hi];
+                if !span.chunks_exact(group).all(|g| codec.is_clean(g)) {
+                    all_current_clean = false;
+                }
+                // A chunk whose span of `acc` is all zero cannot be the
+                // faulted one: rebuilding it would change nothing.
+                if acc[..hi - lo].iter().all(|&w| w == 0) {
+                    continue;
+                }
+                for (t, (&w, &r)) in tentative.iter_mut().zip(span.iter().zip(&acc)) {
+                    *t = w ^ r;
+                }
+                if tentative[..hi - lo]
+                    .chunks_exact(group)
+                    .all(|g| codec.is_clean(g))
+                {
+                    candidates += 1;
+                    candidate = Some((chunk, lo, hi));
+                }
+            }
+            match (candidates, candidate) {
+                (1, Some((chunk, lo, hi))) => {
+                    // Ordinary correctable noise also leaves exactly one
+                    // candidate (the flipped chunk, whose tentative rebuild
+                    // is its original).  Distinguish it from an erasure by
+                    // the correction radius: if every codeword group of the
+                    // current content is within `cap` flipped bits of the
+                    // tentative, the decoder will restore exactly that
+                    // original — leave it to the scrub.  Anything farther is
+                    // a loss only the parity tier can rebuild.
+                    let explainable = (0..hi - lo).step_by(group).all(|base| {
+                        (base..base + group)
+                            .map(|k| (self.data[lo + k] ^ tentative[k]).count_ones())
+                            .sum::<u32>()
+                            <= cap
+                    });
+                    if explainable {
+                        deferred = true;
+                    } else {
+                        return ParityVerdict::Erased { chunk };
+                    }
+                }
+                // No chunk's rebuild verifies and the data itself is clean:
+                // the parity words took the fault, not the data.
+                (0, _) if all_current_clean => stale = true,
+                // No candidate but dirty data: pending corrections spread
+                // over several chunks (scrub will restore them), or a
+                // multi-chunk loss (the scrub's DUE escalation decides).
+                (0, _) => deferred = true,
+                _ => return ParityVerdict::Ambiguous { stripe },
+            }
+        }
+        if deferred {
+            ParityVerdict::Deferred
+        } else if stale {
+            ParityVerdict::StaleParity
+        } else {
+            ParityVerdict::Consistent
+        }
+    }
+
+    /// Cross-check of the erasure tier, detection only: recomputes each
+    /// stripe's XOR and compares it against the stored parity words.
+    ///
+    /// This closes the one detection hole the embedded ECC has against
+    /// whole-chunk erasures: with small odds, every word of a garbage chunk
+    /// presents a syndrome that mimics a *correctable* single-bit error, so
+    /// a scrub would silently "repair" the garbage in place and the storage
+    /// would then verify clean.  The stripe XOR is not foolable that way —
+    /// a genuine correction restores the original word and keeps the parity
+    /// consistent, while miscorrected garbage does not — and because the
+    /// schemes are linear the check must run **before** any correction
+    /// re-encodes the chunk (afterwards the residual is itself a valid
+    /// codeword and the culprit can no longer be singled out).
+    ///
+    /// Returns `Ok` when every stripe is consistent, when a mismatch is
+    /// explainable by pending in-place corrections (the ordinary scrub
+    /// restores the originals), and when the only explanation is damage
+    /// confined to the parity words themselves (the data chunks all verify
+    /// clean and no rebuild candidate exists — the data is trustworthy and
+    /// keeps being served).  A located chunk loss is reported as an
+    /// uncorrectable error whose index points into that chunk, so the
+    /// recovery ladder rebuilds the right one; an unattributable mismatch
+    /// is reported against the stripe.  A no-op returning `Ok` when the
+    /// tier is disabled.
+    pub fn verify_parity(&self, log: &FaultLog) -> Result<(), AbftError> {
+        match self.parity_verdict() {
+            ParityVerdict::Consistent | ParityVerdict::Deferred | ParityVerdict::StaleParity => {
+                Ok(())
+            }
+            ParityVerdict::Erased { chunk } => {
+                log.record_uncorrectable(Region::DenseVector);
+                Err(AbftError::Uncorrectable {
+                    region: Region::DenseVector,
+                    index: chunk * self.parity_chunk_words().unwrap_or(1),
+                })
+            }
+            ParityVerdict::Ambiguous { stripe } => {
+                log.record_uncorrectable(Region::DenseVector);
+                let state = self.parity.as_ref().expect("verdict implies parity");
+                Err(AbftError::Uncorrectable {
+                    region: Region::DenseVector,
+                    index: stripe * state.stripe_chunks * state.chunk_words,
+                })
+            }
+        }
+    }
+
+    /// Read-side certification of the erasure tier: like
+    /// [`ProtectedVector::verify_parity`] but repairs what it convicts —
+    /// every chunk the stripe evidence identifies as lost is rebuilt from
+    /// parity and its siblings on the spot (recorded in `log`), **before**
+    /// the caller's scrub gets a chance to miscorrect it.  The kernels call
+    /// this ahead of the per-invocation scrub, so a rebuilt read proceeds on
+    /// the original bits and the solver trajectory is untouched.
+    ///
+    /// Returns `Err` only for an unattributable mismatch (e.g. a double
+    /// loss in one stripe), which no single parity chunk can rebuild.  A
+    /// no-op returning `Ok` when the tier is disabled.
+    pub fn repair_parity(&mut self, log: &FaultLog) -> Result<(), AbftError> {
+        let Some(cw) = self.parity_chunk_words() else {
+            return Ok(());
+        };
+        // Each pass rebuilds one distinct chunk; losses never recur once
+        // rebuilt, so the chunk count bounds the loop.
+        let budget = self.data.len().div_ceil(cw) + 1;
+        for _ in 0..budget {
+            match self.parity_verdict() {
+                ParityVerdict::Consistent
+                | ParityVerdict::Deferred
+                | ParityVerdict::StaleParity => return Ok(()),
+                ParityVerdict::Erased { chunk } => {
+                    if !self.rebuild_chunk(chunk, log) {
+                        // The classifier verified the tentative rebuild
+                        // clean, so this is unreachable in practice; abort
+                        // honestly rather than loop.
+                        log.record_uncorrectable(Region::DenseVector);
+                        return Err(AbftError::Uncorrectable {
+                            region: Region::DenseVector,
+                            index: chunk * cw,
+                        });
+                    }
+                }
+                ParityVerdict::Ambiguous { stripe } => {
+                    log.record_uncorrectable(Region::DenseVector);
+                    let state = self.parity.as_ref().expect("verdict implies parity");
+                    return Err(AbftError::Uncorrectable {
+                        region: Region::DenseVector,
+                        index: stripe * state.stripe_chunks * cw,
+                    });
+                }
+            }
+        }
+        log.record_uncorrectable(Region::DenseVector);
+        Err(AbftError::Uncorrectable {
+            region: Region::DenseVector,
+            index: 0,
+        })
+    }
+
+    /// Rebuilds data chunk `chunk` as the XOR of its stripe's parity chunk
+    /// and the surviving sibling chunks, then re-verifies the rebuilt words
+    /// with the embedded ECC.  Returns `true` (and records the rebuild in
+    /// `log`) only when the rebuilt chunk verifies strictly clean; a failed
+    /// verification (stale parity, double-chunk loss in one stripe) leaves
+    /// the chunk in its rebuilt-but-dirty state so the next integrity check
+    /// honestly aborts rather than ever accepting a wrong answer.
+    pub fn rebuild_chunk(&mut self, chunk: usize, log: &FaultLog) -> bool {
+        let Some(state) = self.parity.as_ref() else {
+            return false;
+        };
+        let cw = state.chunk_words;
+        let n_chunks = self.data.len().div_ceil(cw);
+        if chunk >= n_chunks {
+            return false;
+        }
+        let stripe = chunk / state.stripe_chunks;
+        let mut rebuilt = state.words[stripe * cw..(stripe + 1) * cw].to_vec();
+        let first = stripe * state.stripe_chunks;
+        let last = (first + state.stripe_chunks).min(n_chunks);
+        for sibling in (first..last).filter(|&s| s != chunk) {
+            let lo = sibling * cw;
+            let hi = (lo + cw).min(self.data.len());
+            for (p, &w) in rebuilt.iter_mut().zip(&self.data[lo..hi]) {
+                *p ^= w;
+            }
+        }
+        let lo = chunk * cw;
+        let hi = (lo + cw).min(self.data.len());
+        self.data[lo..hi].copy_from_slice(&rebuilt[..hi - lo]);
+        let codec = self.codec();
+        debug_assert_eq!((hi - lo) % codec.group(), 0);
+        let clean = self.data[lo..hi]
+            .chunks_exact(codec.group())
+            .all(|g| codec.is_clean(g));
+        if clean {
+            log.record_rebuilt(Region::DenseVector);
+        }
+        clean
+    }
+
+    /// Escalation ladder for uncorrectable dense-vector errors.  The parity
+    /// verdict runs first on every pass — rebuilding any chunk the stripe
+    /// evidence convicts *before* a scrub can miscorrect it (see the
+    /// linearity note on [`ProtectedVector::verify_parity`]) — then a
+    /// correcting scrub runs, and each DUE it still reports escalates to a
+    /// rebuild of the containing chunk.
+    /// Returns `true` when the vector ends verified clean under both the
+    /// embedded ECC and the stripe parity (every loss absorbed), `false`
+    /// when recovery is impossible — no parity tier, a non-vector fault,
+    /// more than one lost chunk in a stripe, or corrupt parity.
+    pub fn try_recover(&mut self, log: &FaultLog) -> bool {
+        let Some(cw) = self.parity_chunk_words() else {
+            return false;
+        };
+        // Each productive pass rebuilds one distinct chunk; the extra
+        // passes bound the final verification scrub and parity cross-check.
+        let budget = self.data.len().div_ceil(cw) + 2;
+        for _ in 0..budget {
+            match self.parity_verdict() {
+                ParityVerdict::Erased { chunk } => {
+                    if !self.rebuild_chunk(chunk, log) {
+                        return false;
+                    }
+                    continue;
+                }
+                ParityVerdict::Ambiguous { .. } => {
+                    log.record_uncorrectable(Region::DenseVector);
+                    return false;
+                }
+                ParityVerdict::Consistent
+                | ParityVerdict::Deferred
+                | ParityVerdict::StaleParity => {}
+            }
+            match self.scrub(log) {
+                Ok(_) => {
+                    if matches!(
+                        self.parity_verdict(),
+                        ParityVerdict::Consistent | ParityVerdict::StaleParity
+                    ) {
+                        return true;
+                    }
+                    // A rebuildable mismatch remains: the next pass handles
+                    // it at the top of the loop.
+                }
+                Err(AbftError::Uncorrectable {
+                    region: Region::DenseVector,
+                    index,
+                }) => {
+                    if !self.rebuild_chunk(index / cw, log) {
+                        // The rebuild did not verify strictly clean, but the
+                        // embedded ECC may still absorb the residue (e.g. a
+                        // parity chunk stale by one correctable bit): one
+                        // correcting scrub tries, and the next pass re-judges
+                        // the parity evidence honestly.
+                        if self.scrub(log).is_err() {
+                            return false;
+                        }
+                        log.record_rebuilt(Region::DenseVector);
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+        false
+    }
+
+    /// Poisons a whole chunk of encoded storage with deterministic garbage
+    /// (a splitmix64 stream over `seed`) **without** updating the parity
+    /// tier — the model of a lost shard or erased node.  `chunk_words` is
+    /// the chunk geometry (pass the parity tier's when enabled, so the
+    /// erasure lines up with a rebuildable chunk).
+    ///
+    /// # Panics
+    /// Panics when the chunk start lies beyond the storage.
+    pub fn inject_chunk_erasure(&mut self, chunk_words: usize, chunk: usize, seed: u64) {
+        assert!(chunk_words > 0, "chunk_words must be > 0");
+        let lo = chunk * chunk_words;
+        assert!(lo < self.data.len(), "chunk {chunk} beyond storage");
+        let hi = (lo + chunk_words).min(self.data.len());
+        let mut s = seed ^ (chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for w in &mut self.data[lo..hi] {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = z ^ (z >> 31);
+        }
+    }
+
+    /// Flips one bit of one parity word (fault-injection hook for the
+    /// "DUE confined to the parity tier" scenarios).
+    ///
+    /// # Panics
+    /// Panics when the parity tier is disabled or `word` is out of range.
+    pub fn inject_parity_bit_flip(&mut self, word: usize, bit: u32) {
+        let state = self.parity.as_mut().expect("parity tier not enabled");
+        state.words[word] ^= 1u64 << bit;
+    }
+
+    /// Parity-mode write barrier: before a read-modify-write kernel mutates
+    /// anything, certify the mutated vector (and any operand it reads) so a
+    /// detected fault aborts with **zero mutation** — the caller can then
+    /// rebuild the lost chunk and re-run the kernel without double-applying
+    /// a partial update.  A no-op when the erasure tier is disabled.
+    pub(crate) fn parity_precheck(
+        &self,
+        operand: Option<&ProtectedVector>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        if self.parity.is_none() {
+            return Ok(());
+        }
+        // Parity first (see `verify_parity`): an erasure must be convicted
+        // before any decode treats its garbage as correctable noise.
+        self.verify_parity(log)?;
+        self.check_all(log)?;
+        if let Some(other) = operand {
+            other.verify_parity(log)?;
+            other.check_all(log)?;
+        }
+        Ok(())
+    }
+
+    /// Parity-mode write epilogue: recompute parity after a successful
+    /// mutation.  A no-op when the tier is disabled.
+    #[inline]
+    pub(crate) fn parity_commit(&mut self) {
+        if self.parity.is_some() {
+            self.refresh_parity();
+        }
     }
 }
 
@@ -1276,5 +1811,165 @@ mod tests {
         let a = ProtectedVector::zeros(3, EccScheme::Sed, Crc32cBackend::SlicingBy16);
         let b = ProtectedVector::zeros(4, EccScheme::Sed, Crc32cBackend::SlicingBy16);
         let _ = a.dot(&b, &log);
+    }
+
+    fn small_parity() -> ParityConfig {
+        ParityConfig {
+            stripe_chunks: 3,
+            chunk_words: 8,
+        }
+    }
+
+    #[test]
+    fn parity_rebuild_restores_an_erased_chunk_bit_for_bit() {
+        let log = FaultLog::new();
+        for scheme in [
+            EccScheme::Sed,
+            EccScheme::Secded64,
+            EccScheme::Secded128,
+            EccScheme::Crc32c,
+        ] {
+            // 67 elements: every scheme gets a trailing partial chunk, and
+            // SECDED128 additionally gets a trailing partial codeword group.
+            let mut v =
+                ProtectedVector::from_slice(&sample(67), scheme, Crc32cBackend::SlicingBy16);
+            v.enable_parity(small_parity());
+            let clean = v.raw().to_vec();
+            let last = v.parity_chunks() - 1;
+            for chunk in [1usize, last] {
+                v.inject_chunk_erasure(8, chunk, 0x00DD_F00D + chunk as u64);
+                assert_ne!(v.raw(), &clean[..], "{scheme:?} chunk {chunk}");
+                assert!(v.try_recover(&log), "{scheme:?} chunk {chunk}");
+                assert_eq!(v.raw(), &clean[..], "{scheme:?} chunk {chunk}");
+            }
+            assert!(log.total_rebuilt() >= 2, "{scheme:?}");
+            log.reset();
+        }
+    }
+
+    #[test]
+    fn double_chunk_loss_in_one_stripe_aborts_instead_of_fabricating() {
+        let log = FaultLog::new();
+        let mut v = ProtectedVector::from_slice(
+            &sample(64),
+            EccScheme::Secded64,
+            Crc32cBackend::SlicingBy16,
+        );
+        v.enable_parity(ParityConfig {
+            stripe_chunks: 4,
+            chunk_words: 8,
+        });
+        v.inject_chunk_erasure(8, 0, 1);
+        v.inject_chunk_erasure(8, 1, 2);
+        assert!(
+            !v.try_recover(&log),
+            "two losses per stripe exceed XOR parity"
+        );
+        // The storage must still *fail* verification — never a wrong answer.
+        assert!(v.check_all(&log).is_err());
+    }
+
+    #[test]
+    fn corrupt_parity_never_reads_on_clean_data_and_never_fakes_a_rebuild() {
+        let log = FaultLog::new();
+        let values = sample(64);
+        let mut v =
+            ProtectedVector::from_slice(&values, EccScheme::Secded64, Crc32cBackend::SlicingBy16);
+        v.enable_parity(ParityConfig {
+            stripe_chunks: 2,
+            chunk_words: 8,
+        });
+        let clean = v.raw().to_vec();
+        // A DUE confined to the parity words: data stays clean, so the
+        // parity is simply never consulted.
+        v.inject_parity_bit_flip(3, 17);
+        v.check_all(&log).unwrap();
+        assert_eq!(v.scrub(&log).unwrap(), 0);
+        // Parity stale by ONE bit + a lost chunk: the rebuilt chunk is one
+        // flip away from the truth, which the embedded ECC corrects — the
+        // ladder recovers the exact original rather than aborting.
+        v.inject_chunk_erasure(8, 0, 7);
+        assert!(v.try_recover(&log));
+        assert_eq!(v.raw(), &clean[..]);
+        // Parity stale by TWO bits in one word + a lost chunk: the rebuilt
+        // word carries a double flip the ECC can only detect.  The ladder
+        // must abort — never hand back a wrong chunk.
+        v.refresh_parity();
+        v.inject_parity_bit_flip(3, 17);
+        v.inject_parity_bit_flip(3, 44);
+        v.inject_chunk_erasure(8, 0, 11);
+        assert!(!v.try_recover(&log));
+        assert!(v.check_all(&log).is_err());
+    }
+
+    #[test]
+    fn parity_tracks_the_mutating_write_paths() {
+        let log = FaultLog::new();
+        let values = sample(40);
+        let mut v =
+            ProtectedVector::from_slice(&values, EccScheme::Secded64, Crc32cBackend::SlicingBy16);
+        v.enable_parity(small_parity());
+        let x = ProtectedVector::from_slice(
+            &sample(40),
+            EccScheme::Secded64,
+            Crc32cBackend::SlicingBy16,
+        );
+        v.axpy(1.5, &x, &log).unwrap();
+        v.scale(0.25, &log).unwrap();
+        v.set(11, 42.0, &log).unwrap();
+        // The incremental refreshes must equal a from-scratch recompute.
+        let incremental = v.parity_words().unwrap().to_vec();
+        let mut fresh = v.clone();
+        fresh.refresh_parity();
+        assert_eq!(fresh.parity_words().unwrap(), &incremental[..]);
+        // And an erasure after the updates is still recoverable.
+        let clean = v.raw().to_vec();
+        v.inject_chunk_erasure(8, 2, 99);
+        assert!(v.try_recover(&log));
+        assert_eq!(v.raw(), &clean[..]);
+    }
+
+    #[test]
+    fn parity_precheck_aborts_with_zero_mutation() {
+        let log = FaultLog::new();
+        let mut v = ProtectedVector::from_slice(
+            &sample(32),
+            EccScheme::Secded64,
+            Crc32cBackend::SlicingBy16,
+        );
+        v.enable_parity(small_parity());
+        let mut x = ProtectedVector::from_slice(
+            &sample(32),
+            EccScheme::Secded64,
+            Crc32cBackend::SlicingBy16,
+        );
+        // A double flip makes the operand uncorrectable.
+        x.inject_bit_flip(1, 20);
+        x.inject_bit_flip(1, 45);
+        let before = v.raw().to_vec();
+        let parity_before = v.parity_words().unwrap().to_vec();
+        assert!(v.axpy(2.0, &x, &log).is_err());
+        assert_eq!(v.raw(), &before[..], "failed kernel must not mutate");
+        assert_eq!(v.parity_words().unwrap(), &parity_before[..]);
+    }
+
+    #[test]
+    fn recovery_without_parity_declines() {
+        let log = FaultLog::new();
+        let mut v = ProtectedVector::from_slice(
+            &sample(32),
+            EccScheme::Secded64,
+            Crc32cBackend::SlicingBy16,
+        );
+        v.inject_chunk_erasure(8, 0, 5);
+        assert!(!v.try_recover(&log));
+        assert_eq!(log.total_rebuilt(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn parity_requires_a_real_scheme() {
+        let mut v = ProtectedVector::zeros(8, EccScheme::None, Crc32cBackend::SlicingBy16);
+        v.enable_parity(ParityConfig::default());
     }
 }

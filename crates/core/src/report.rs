@@ -44,6 +44,7 @@ struct RegionCounters {
     corrected: AtomicU64,
     uncorrectable: AtomicU64,
     bounds_violations: AtomicU64,
+    rebuilt: AtomicU64,
 }
 
 /// Shared, thread-safe record of everything the integrity checks observed.
@@ -66,6 +67,9 @@ pub struct FaultLogSnapshot {
     /// Out-of-range indices caught by the bounds checks used between full
     /// integrity checks.
     pub bounds_violations: [u64; 3],
+    /// Chunks rebuilt from the parity tier after an uncorrectable error —
+    /// losses the erasure code absorbed instead of aborting the solve.
+    pub rebuilt: [u64; 3],
 }
 
 impl FaultLog {
@@ -123,6 +127,14 @@ impl FaultLog {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a chunk rebuilt from the parity tier (an absorbed erasure).
+    #[inline]
+    pub fn record_rebuilt(&self, region: Region) {
+        self.regions[Self::idx(region)]
+            .rebuilt
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of corrected errors across all regions.
     pub fn total_corrected(&self) -> u64 {
         self.regions
@@ -147,6 +159,14 @@ impl FaultLog {
             .sum()
     }
 
+    /// Number of parity-tier chunk rebuilds across all regions.
+    pub fn total_rebuilt(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.rebuilt.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// True when any error (correctable or not) or bounds violation was seen.
     pub fn any_error(&self) -> bool {
         self.total_corrected() + self.total_uncorrectable() + self.total_bounds_violations() > 0
@@ -160,6 +180,7 @@ impl FaultLog {
             snap.corrected[i] = r.corrected.load(Ordering::Relaxed);
             snap.uncorrectable[i] = r.uncorrectable.load(Ordering::Relaxed);
             snap.bounds_violations[i] = r.bounds_violations.load(Ordering::Relaxed);
+            snap.rebuilt[i] = r.rebuilt.load(Ordering::Relaxed);
         }
         snap
     }
@@ -176,6 +197,7 @@ impl FaultLog {
                 .fetch_add(snapshot.uncorrectable[i], Ordering::Relaxed);
             r.bounds_violations
                 .fetch_add(snapshot.bounds_violations[i], Ordering::Relaxed);
+            r.rebuilt.fetch_add(snapshot.rebuilt[i], Ordering::Relaxed);
         }
     }
 
@@ -186,6 +208,7 @@ impl FaultLog {
             r.corrected.store(0, Ordering::Relaxed);
             r.uncorrectable.store(0, Ordering::Relaxed);
             r.bounds_violations.store(0, Ordering::Relaxed);
+            r.rebuilt.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -216,20 +239,27 @@ impl FaultLogSnapshot {
     pub fn total_uncorrectable(&self) -> u64 {
         self.uncorrectable.iter().sum()
     }
+
+    /// Total parity-tier chunk rebuilds.
+    pub fn total_rebuilt(&self) -> u64 {
+        self.rebuilt.iter().sum()
+    }
 }
 
 impl std::fmt::Display for FaultLogSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for region in Region::ALL {
             let (checks, corrected, uncorrectable, bounds) = self.region(region);
+            let rebuilt = self.rebuilt[FaultLog::idx(region)];
             writeln!(
                 f,
-                "{:>13}: {} checks, {} corrected, {} uncorrectable, {} bounds violations",
+                "{:>13}: {} checks, {} corrected, {} uncorrectable, {} bounds violations, {} rebuilt",
                 region.label(),
                 checks,
                 corrected,
                 uncorrectable,
-                bounds
+                bounds,
+                rebuilt
             )?;
         }
         Ok(())
@@ -259,6 +289,26 @@ mod tests {
         assert!(log.any_error());
         assert_eq!(snap.total_corrected(), 1);
         assert_eq!(snap.total_uncorrectable(), 1);
+    }
+
+    #[test]
+    fn rebuilt_counter_tracks_parity_recoveries() {
+        let log = FaultLog::new();
+        log.record_rebuilt(Region::DenseVector);
+        log.record_rebuilt(Region::DenseVector);
+        let snap = log.snapshot();
+        assert_eq!(snap.rebuilt, [0, 0, 2]);
+        assert_eq!(log.total_rebuilt(), 2);
+        assert_eq!(snap.total_rebuilt(), 2);
+        // region() keeps its historical 4-tuple shape; rebuilds ride the
+        // public array instead.
+        assert_eq!(snap.region(Region::DenseVector), (0, 0, 0, 0));
+        let agg = FaultLog::new();
+        agg.absorb(&snap);
+        assert_eq!(agg.snapshot().rebuilt, [0, 0, 2]);
+        agg.reset();
+        assert_eq!(agg.total_rebuilt(), 0);
+        assert!(snap.to_string().contains("rebuilt"));
     }
 
     #[test]

@@ -155,6 +155,36 @@ pub enum ElementGrouping {
     PerRow,
 }
 
+/// Layout of the XOR erasure (parity) tier layered on top of a vector's
+/// embedded ECC: the storage words are split into fixed-size chunks, and one
+/// parity chunk is kept per stripe of `stripe_chunks` data chunks.  When the
+/// embedded ECC reports an *uncorrectable* error, the containing chunk is
+/// rebuilt bit-for-bit as the XOR of the stripe's parity and its surviving
+/// sibling chunks, then re-verified by the ECC before the solve resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParityConfig {
+    /// Number of data chunks per parity stripe (`P`): one parity chunk
+    /// absorbs the loss of any single chunk among `P` siblings.
+    pub stripe_chunks: usize,
+    /// Chunk size in storage words.  Must be a positive multiple of the
+    /// largest codeword group (4), so chunk boundaries always align with
+    /// codeword boundaries and a rebuilt chunk can be re-verified in
+    /// isolation.
+    pub chunk_words: usize,
+}
+
+impl Default for ParityConfig {
+    /// One parity chunk per 8 data chunks, chunks matching the reduction
+    /// kernels' accumulation block ([`crate::protected_vector::ACC_BLOCK`]) —
+    /// a 12.5 % parity overhead at the runtime's natural work granularity.
+    fn default() -> Self {
+        ParityConfig {
+            stripe_chunks: 8,
+            chunk_words: crate::protected_vector::ACC_BLOCK,
+        }
+    }
+}
+
 /// The full protection configuration of a solver run: which scheme protects
 /// each region, how often integrity checks run, and which CRC backend is
 /// used.  This is the knob the benchmark harness sweeps to regenerate the
@@ -175,6 +205,12 @@ pub struct ProtectionConfig {
     pub crc_backend: Crc32cBackend,
     /// Use the Rayon-parallel kernels.
     pub parallel: bool,
+    /// Optional XOR erasure tier for the dense solver vectors: `Some` layers
+    /// per-stripe parity chunks over the embedded ECC so an uncorrectable
+    /// error (or a lost chunk) is rebuilt instead of aborting the solve.
+    /// Requires `vectors != EccScheme::None` — a rebuilt chunk is only
+    /// trusted after the embedded ECC re-verifies it.
+    pub parity: Option<ParityConfig>,
 }
 
 impl Default for ProtectionConfig {
@@ -198,6 +234,7 @@ impl ProtectionConfig {
             check_interval: 1,
             crc_backend: Crc32cBackend::Auto,
             parallel: false,
+            parity: None,
         }
     }
 
@@ -264,6 +301,28 @@ impl ProtectionConfig {
         self
     }
 
+    /// Builder-style setter for the XOR erasure tier on the dense vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors are unprotected (`EccScheme::None`), if
+    /// `chunk_words` is zero or not a multiple of the largest codeword
+    /// group, or if `stripe_chunks` is zero: the rebuild path re-verifies a
+    /// reconstructed chunk with the embedded ECC, so parity without ECC
+    /// would accept silently wrong rebuilds.
+    pub fn with_parity(mut self, parity: ParityConfig) -> Self {
+        assert!(
+            self.vectors != EccScheme::None,
+            "parity tier requires ECC-protected vectors (vectors == None)"
+        );
+        assert!(
+            parity.chunk_words > 0 && parity.chunk_words.is_multiple_of(4),
+            "parity chunk_words must be a positive multiple of the max codeword group (4)"
+        );
+        assert!(parity.stripe_chunks > 0, "parity stripe_chunks must be > 0");
+        self.parity = Some(parity);
+        self
+    }
+
     /// True when no region is protected.
     pub fn is_unprotected(&self) -> bool {
         self.elements == EccScheme::None
@@ -275,12 +334,16 @@ impl ProtectionConfig {
     /// `elements=SECDED64 rowptr=None vectors=None interval=1`.
     pub fn describe(&self) -> String {
         format!(
-            "elements={} rowptr={} vectors={} interval={}{}",
+            "elements={} rowptr={} vectors={} interval={}{}{}",
             self.elements.label(),
             self.row_pointer.label(),
             self.vectors.label(),
             self.check_interval,
-            if self.parallel { " parallel" } else { "" }
+            if self.parallel { " parallel" } else { "" },
+            match self.parity {
+                Some(p) => format!(" parity(P={})", p.stripe_chunks),
+                None => String::new(),
+            }
         )
     }
 }
@@ -376,5 +439,22 @@ mod tests {
 
         // Interval is clamped to at least 1.
         assert_eq!(base.with_check_interval(0).check_interval, 1);
+    }
+
+    #[test]
+    fn parity_knob_defaults_off_and_builds_on() {
+        assert_eq!(ProtectionConfig::default().parity, None);
+        let p = ParityConfig::default();
+        assert_eq!(p.stripe_chunks, 8);
+        assert_eq!(p.chunk_words % 4, 0);
+        let cfg = ProtectionConfig::full(EccScheme::Secded64).with_parity(p);
+        assert_eq!(cfg.parity, Some(p));
+        assert!(cfg.describe().contains("parity(P=8)"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn parity_requires_protected_vectors() {
+        let _ = ProtectionConfig::unprotected().with_parity(ParityConfig::default());
     }
 }

@@ -276,6 +276,12 @@ pub fn protected_spmv(
     assert_eq!(x.len(), a.cols(), "protected_spmv: x has wrong length");
     assert_eq!(y.len(), a.rows(), "protected_spmv: y has wrong length");
     if x.scheme() != EccScheme::None {
+        // Parity first: an erased chunk whose garbage mimics correctable
+        // noise would be silently miscorrected by the scrub — and the
+        // schemes are linear, so afterwards the stripe evidence can no
+        // longer single out the culprit.  The cross-check rebuilds any
+        // convicted chunk before the scrub runs (no-op without the tier).
+        x.repair_parity(log)?;
         x.scrub(log)?;
     }
     let check = a.policy().should_check(iteration);
@@ -319,6 +325,9 @@ pub fn protected_spmv_parallel(
         "protected_spmv_parallel: y has wrong length"
     );
     if x.scheme() != EccScheme::None {
+        // Same parity-before-scrub erasure certification as the serial
+        // kernel.
+        x.repair_parity(log)?;
         x.scrub(log)?;
     }
     let check = a.policy().should_check(iteration);
@@ -517,7 +526,12 @@ pub fn protected_spmm(
             continue;
         }
         if x.scheme() != EccScheme::None {
-            if let Err(e) = x.scrub(col_logs[j]) {
+            // Parity-before-scrub plus the correcting scrub, exactly the
+            // per-invocation certification of `protected_spmv`.
+            if let Err(e) = x
+                .repair_parity(col_logs[j])
+                .and_then(|_| x.scrub(col_logs[j]).map(|_| ()))
+            {
                 col_errors[j] = Some(e);
             }
         }

@@ -1,23 +1,50 @@
 //! Fault-injection campaigns over the protected CG solver.
 //!
 //! One trial = build the TeaLeaf conduction system, protect it, inject a
-//! [`FaultSpec`], run the solve, and classify the outcome against a clean
-//! reference solution.  A campaign repeats this with fresh random faults and
-//! accumulates an outcome histogram per scheme.
+//! fault (bit flips, a burst, or a whole-chunk erasure), run the solve, and
+//! classify the outcome against a clean reference solution.  A campaign
+//! repeats this with fresh random faults and accumulates an outcome
+//! histogram per scheme.
+//!
+//! Every trial draws from its **own** ChaCha stream keyed by the campaign
+//! seed and the trial index, so the histogram is identical for any worker
+//! count or dispatch order; trials are dispatched to the shared worker pool
+//! in batches whose local counts merge order-independently.
 
 use crate::flip::{FaultSpec, FaultTarget};
 use crate::outcome::FaultOutcome;
 use abft_core::{AbftError, EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig};
-use abft_solvers::backends::MatrixProtected;
-use abft_solvers::{ChebyshevBounds, Method, Solver, SolverError};
+use abft_solvers::backends::{FullyProtected, MatrixProtected};
+use abft_solvers::{ChebyshevBounds, FaultContext, LinearOperator, Method, Solver, SolverError};
 use abft_sparse::CsrMatrix;
 use abft_tealeaf::assembly::{assemble_matrix, assemble_rhs, face_coefficients, Conductivity};
 use abft_tealeaf::states::apply_states;
 use abft_tealeaf::{Deck, Grid};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// What one trial injects into the running solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionKind {
+    /// `flips_per_trial` independent uniformly random bit flips — the
+    /// historical single/multi-bit-upset model.
+    BitFlips,
+    /// One contiguous burst of `flips_per_trial` bits inside one element
+    /// (the error class CRC32C targets).
+    Burst,
+    /// Mid-iteration whole-chunk erasure of dense solver-vector state: a
+    /// chunk of the CG direction vector is overwritten with garbage during
+    /// an SpMV, modelling a lost shard rather than a bit upset.  Requires
+    /// `protection.vectors != None`; recovery additionally requires the
+    /// parity tier (`protection.parity`).
+    ChunkErasure,
+    /// Erasure of a whole row-pointer codeword group: every entry of an
+    /// aligned 4-element span has half its bits flipped.
+    RowPointerGroupErasure,
+}
 
 /// Configuration of a fault-injection campaign.
 #[derive(Debug, Clone)]
@@ -43,6 +70,8 @@ pub struct CampaignConfig {
     /// Iterative method run on the corrupted system (the generic solver
     /// layer makes every method injectable, not just CG).
     pub solver: Method,
+    /// What each trial injects (bit flips, a burst, or an erasure).
+    pub injection: InjectionKind,
 }
 
 impl Default for CampaignConfig {
@@ -57,6 +86,7 @@ impl Default for CampaignConfig {
             seed: 0xABF7,
             sdc_threshold: 1e-9,
             solver: Method::Cg,
+            injection: InjectionKind::BitFlips,
         }
     }
 }
@@ -95,21 +125,68 @@ impl CampaignStats {
     }
 
     /// Fraction of trials in which the protection either handled the fault or
-    /// the fault was harmless (everything except silent data corruption).
+    /// the fault was harmless (everything except silent corruption).
     pub fn safety_rate(&self) -> f64 {
-        1.0 - self.rate(FaultOutcome::SilentDataCorruption)
+        1.0 - self.rate(FaultOutcome::SilentCorruption)
+    }
+
+    /// Fraction of trials that still produced the correct answer
+    /// (corrected, rebuilt from parity, or masked).
+    pub fn recovery_rate(&self) -> f64 {
+        FaultOutcome::ALL
+            .into_iter()
+            .filter(|o| o.is_recovered())
+            .map(|o| self.rate(o))
+            .sum()
+    }
+
+    /// Folds another histogram into this one (order-independent, so batch
+    /// results can merge in any completion order).
+    pub fn merge(&mut self, other: &CampaignStats) {
+        for (outcome, count) in &other.counts {
+            *self.counts.entry(*outcome).or_default() += count;
+        }
+        self.trials += other.trials;
+    }
+
+    /// Wilson 95 % score interval for the rate of `outcome` — the
+    /// uncertainty attached to every streamed campaign count.  Returns the
+    /// full `[0, 1]` interval when no trials were recorded.
+    pub fn wilson_ci(&self, outcome: FaultOutcome) -> (f64, f64) {
+        Self::wilson(self.count(outcome), self.trials)
+    }
+
+    /// Wilson 95 % score interval for `successes` out of `trials`.
+    pub fn wilson(successes: usize, trials: usize) -> (f64, f64) {
+        if trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z = 1.959_963_984_540_054_f64; // 97.5th percentile of N(0,1)
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = p + z2 / (2.0 * n);
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        (
+            (((centre - half) / denom).max(0.0)),
+            (((centre + half) / denom).min(1.0)),
+        )
     }
 }
 
 impl std::fmt::Display for CampaignStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for outcome in FaultOutcome::ALL {
+            let (lo, hi) = self.wilson_ci(outcome);
             writeln!(
                 f,
-                "{:>26}: {:5} ({:5.1} %)",
+                "{:>30}: {:5} ({:5.1} %, 95 % CI [{:5.1}, {:5.1}])",
                 outcome.label(),
                 self.count(outcome),
-                100.0 * self.rate(outcome)
+                100.0 * self.rate(outcome),
+                100.0 * lo,
+                100.0 * hi,
             )?;
         }
         Ok(())
@@ -158,36 +235,73 @@ impl Campaign {
 
     /// Runs all trials and returns the outcome histogram.
     ///
-    /// Fault specs are drawn sequentially from the seeded RNG (so the
-    /// campaign stays reproducible), then every trial is submitted to the
-    /// shared worker pool and the outcomes are collected in submission
-    /// order — trials overlap instead of running one at a time, and the
-    /// histogram is identical to what the historical serial loop produced.
+    /// Every trial derives its own ChaCha stream from the campaign seed and
+    /// the trial index ([`Campaign::run_trial_indexed`]), so trial `t`'s
+    /// faults never depend on how many random draws earlier trials made.
+    /// Trials are dispatched to the shared worker pool in fixed batches;
+    /// each batch streams its outcomes into a local histogram and the local
+    /// counts merge order-independently — the totals are identical for any
+    /// worker count, batch size, or completion order.
     pub fn run(&self) -> CampaignStats {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let specs: Vec<FaultSpec> = (0..self.config.trials)
-            .map(|_| {
-                FaultSpec::random(
-                    &mut rng,
-                    self.config.target,
-                    self.target_elements(),
-                    self.config.flips_per_trial,
-                )
-            })
-            .collect();
+        /// Trials per pool job: large enough to amortise submission, small
+        /// enough that batches overlap on a few workers.
+        const TRIALS_PER_JOB: usize = 16;
         let shared = Arc::new(self.clone());
-        let tickets: Vec<abft_serve::Ticket<FaultOutcome>> = specs
-            .into_iter()
-            .map(|spec| {
+        let jobs = self.config.trials.div_ceil(TRIALS_PER_JOB);
+        let tickets: Vec<abft_serve::Ticket<CampaignStats>> = (0..jobs)
+            .map(|job| {
                 let campaign = Arc::clone(&shared);
-                abft_serve::submit(move || campaign.run_trial(&spec))
+                abft_serve::submit(move || {
+                    let lo = job * TRIALS_PER_JOB;
+                    let hi = ((job + 1) * TRIALS_PER_JOB).min(campaign.config.trials);
+                    let mut local = CampaignStats::default();
+                    for trial in lo..hi {
+                        local.record(campaign.run_trial_indexed(trial));
+                    }
+                    local
+                })
             })
             .collect();
         let mut stats = CampaignStats::default();
         for ticket in tickets {
-            stats.record(ticket.wait());
+            stats.merge(&ticket.wait());
         }
         stats
+    }
+
+    /// Runs trial number `trial` of this campaign: draws the fault from the
+    /// trial's own ChaCha stream (keyed by campaign seed and trial index)
+    /// and classifies the outcome.
+    pub fn run_trial_indexed(&self, trial: usize) -> FaultOutcome {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(self.config.seed, trial as u64));
+        match self.config.injection {
+            InjectionKind::BitFlips => {
+                let spec = FaultSpec::random(
+                    &mut rng,
+                    self.config.target,
+                    self.target_elements(),
+                    self.config.flips_per_trial,
+                );
+                self.run_trial(&spec)
+            }
+            InjectionKind::Burst => {
+                let length = (self.config.flips_per_trial.max(1) as u32)
+                    .min(self.config.target.element_bits());
+                let spec = FaultSpec::random_burst(
+                    &mut rng,
+                    self.config.target,
+                    self.target_elements(),
+                    length,
+                );
+                self.run_trial(&spec)
+            }
+            InjectionKind::RowPointerGroupErasure => {
+                let spec =
+                    FaultSpec::erase_span(&mut rng, FaultTarget::RowPointer, self.matrix.rows(), 4);
+                self.run_trial(&spec)
+            }
+            InjectionKind::ChunkErasure => self.run_chunk_erasure_trial(&mut rng),
+        }
     }
 
     /// Number of elements in the configured target region.
@@ -207,10 +321,75 @@ impl Campaign {
         }
     }
 
+    /// Injects a whole-chunk erasure into the solver's direction vector
+    /// mid-iteration and lets the rebuild/retry ladder fight it out: the
+    /// striking operator poisons one chunk during an SpMV, the solver's
+    /// per-kernel retry asks the vector to rebuild from parity, and the
+    /// outcome is classified by what survived ([`FaultOutcome::DetectedRebuilt`]
+    /// when the rebuild let the solve converge to the right answer).
+    fn run_chunk_erasure_trial(&self, rng: &mut ChaCha8Rng) -> FaultOutcome {
+        assert_ne!(
+            self.config.protection.vectors,
+            EccScheme::None,
+            "chunk-erasure campaigns need protected vectors (the erasure must be detectable)"
+        );
+        let protected = match ProtectedCsr::from_csr(&self.matrix, &self.config.protection) {
+            Ok(p) => p,
+            Err(_) => return FaultOutcome::DetectedAborted,
+        };
+        let chunk_words = self
+            .config
+            .protection
+            .parity
+            .map(|p| p.chunk_words)
+            .unwrap_or(64);
+        let chunks = self.rhs.len().div_ceil(chunk_words);
+        let chunk = rng.gen_range(0..chunks);
+        let strike_iteration = u64::from(rng.gen_range(1u32..4));
+        let garbage_seed = rng.gen_range(0..u64::MAX);
+        let op = FullyProtected::new(&protected);
+        let striking = InjectingOperator {
+            inner: &op,
+            strike_iteration,
+            chunk,
+            chunk_words,
+            garbage_seed,
+            fired: Cell::new(false),
+        };
+        let max_iterations = match self.config.solver {
+            Method::Jacobi => 20_000,
+            _ => 2_000,
+        };
+        let solver = Solver::new(self.config.solver)
+            .max_iterations(max_iterations)
+            .tolerance(1e-15)
+            .bounds(ChebyshevBounds::estimate_gershgorin(&self.matrix));
+        match solver.solve_operator(&striking, &self.rhs) {
+            Err(SolverError::Fault(AbftError::OutOfRange { .. })) => FaultOutcome::BoundsCaught,
+            Err(_) => FaultOutcome::DetectedAborted,
+            Ok(outcome) => {
+                let correct = self.relative_error(&outcome.solution) <= self.config.sdc_threshold;
+                if outcome.faults.total_rebuilt() > 0 {
+                    if correct {
+                        FaultOutcome::DetectedRebuilt
+                    } else {
+                        FaultOutcome::SilentCorruption
+                    }
+                } else if outcome.faults.total_corrected() > 0 && correct {
+                    FaultOutcome::Corrected
+                } else if correct {
+                    FaultOutcome::Masked
+                } else {
+                    FaultOutcome::SilentCorruption
+                }
+            }
+        }
+    }
+
     fn run_matrix_trial(&self, spec: &FaultSpec) -> FaultOutcome {
         let mut protected = match ProtectedCsr::from_csr(&self.matrix, &self.config.protection) {
             Ok(p) => p,
-            Err(_) => return FaultOutcome::DetectedUncorrectable,
+            Err(_) => return FaultOutcome::DetectedAborted,
         };
         for &(element, bit) in &spec.flips {
             match spec.target {
@@ -238,14 +417,14 @@ impl Campaign {
             .bounds(ChebyshevBounds::estimate_gershgorin(&self.matrix));
         match solver.solve_operator(&MatrixProtected::new(&protected), &self.rhs) {
             Err(SolverError::Fault(AbftError::OutOfRange { .. })) => FaultOutcome::BoundsCaught,
-            Err(_) => FaultOutcome::DetectedUncorrectable,
+            Err(_) => FaultOutcome::DetectedAborted,
             Ok(outcome) => {
                 if outcome.faults.total_corrected() > 0 {
                     FaultOutcome::Corrected
                 } else if self.relative_error(&outcome.solution) <= self.config.sdc_threshold {
                     FaultOutcome::Masked
                 } else {
-                    FaultOutcome::SilentDataCorruption
+                    FaultOutcome::SilentCorruption
                 }
             }
         }
@@ -261,7 +440,7 @@ impl Campaign {
             vector.inject_bit_flip(element, bit);
         }
         match vector.scrub(&log) {
-            Err(_) => FaultOutcome::DetectedUncorrectable,
+            Err(_) => FaultOutcome::DetectedAborted,
             Ok(_) => {
                 let recovered: Vec<f64> = (0..vector.len()).map(|i| vector.get(i)).collect();
                 let max_rel = clean
@@ -280,7 +459,7 @@ impl Campaign {
                 } else if max_rel <= self.config.sdc_threshold {
                     FaultOutcome::Masked
                 } else {
-                    FaultOutcome::SilentDataCorruption
+                    FaultOutcome::SilentCorruption
                 }
             }
         }
@@ -299,6 +478,85 @@ impl Campaign {
         } else {
             diff / norm
         }
+    }
+}
+
+/// SplitMix64-style mixing of (campaign seed, trial index) into an
+/// independent stream key.  Trial `t`'s draws never depend on how many draws
+/// earlier trials made, so the campaign histogram is identical for any
+/// worker count, batch size, or dispatch order.
+fn mix_seed(seed: u64, trial: u64) -> u64 {
+    let mut z = seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Wraps a protected operator and poisons one chunk of the *input* vector
+/// the first time the solver applies it at (or past) the strike iteration —
+/// the mid-iteration erasure of live solver state.  Everything else
+/// delegates unchanged, so the solve is exactly the production stack with
+/// one shard yanked out from under it.
+struct InjectingOperator<'a, Op> {
+    inner: &'a Op,
+    strike_iteration: u64,
+    chunk: usize,
+    chunk_words: usize,
+    garbage_seed: u64,
+    fired: Cell<bool>,
+}
+
+impl<Op: LinearOperator<Vector = ProtectedVector>> LinearOperator for InjectingOperator<'_, Op> {
+    type Vector = ProtectedVector;
+
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.inner.cols()
+    }
+
+    fn apply(
+        &self,
+        x: &mut ProtectedVector,
+        y: &mut ProtectedVector,
+        iteration: u64,
+        ctx: &FaultContext,
+    ) -> Result<(), SolverError> {
+        if !self.fired.get() && iteration >= self.strike_iteration {
+            self.fired.set(true);
+            x.inject_chunk_erasure(self.chunk_words, self.chunk, self.garbage_seed);
+        }
+        self.inner.apply(x, y, iteration, ctx)
+    }
+
+    fn diagonal(&self, ctx: &FaultContext) -> Result<Vec<f64>, SolverError> {
+        self.inner.diagonal(ctx)
+    }
+
+    fn vector_from(&self, values: &[f64]) -> ProtectedVector {
+        self.inner.vector_from(values)
+    }
+
+    fn zero_vector(&self, n: usize) -> ProtectedVector {
+        self.inner.zero_vector(n)
+    }
+
+    fn bounds_hint(&self) -> Option<ChebyshevBounds> {
+        self.inner.bounds_hint()
+    }
+
+    fn reduction_workspace(&self) -> Option<&std::cell::RefCell<abft_core::ReductionWorkspace>> {
+        self.inner.reduction_workspace()
+    }
+
+    fn finish(
+        &self,
+        solution: &mut ProtectedVector,
+        ctx: &FaultContext,
+    ) -> Result<Vec<f64>, SolverError> {
+        self.inner.finish(solution, ctx)
     }
 }
 
@@ -326,13 +584,9 @@ mod tests {
             let campaign = Campaign::new(config(EccScheme::Secded64, target, 40));
             let stats = campaign.run();
             assert_eq!(stats.trials(), 40);
+            assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0, "{target:?}");
             assert_eq!(
-                stats.count(FaultOutcome::SilentDataCorruption),
-                0,
-                "{target:?}"
-            );
-            assert_eq!(
-                stats.count(FaultOutcome::DetectedUncorrectable),
+                stats.count(FaultOutcome::DetectedAborted),
                 0,
                 "{target:?}: single flips must be correctable"
             );
@@ -348,9 +602,9 @@ mod tests {
     fn sed_detects_single_flips_without_correcting() {
         let campaign = Campaign::new(config(EccScheme::Sed, FaultTarget::MatrixValues, 40));
         let stats = campaign.run();
-        assert_eq!(stats.count(FaultOutcome::SilentDataCorruption), 0);
+        assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0);
         assert_eq!(stats.count(FaultOutcome::Corrected), 0);
-        assert!(stats.count(FaultOutcome::DetectedUncorrectable) > 0);
+        assert!(stats.count(FaultOutcome::DetectedAborted) > 0);
     }
 
     #[test]
@@ -362,7 +616,7 @@ mod tests {
         let campaign = Campaign::new(cfg);
         let stats = campaign.run();
         assert!(
-            stats.count(FaultOutcome::SilentDataCorruption) > 0,
+            stats.count(FaultOutcome::SilentCorruption) > 0,
             "without protection some flips must corrupt the solution: {stats}"
         );
         assert!(stats.safety_rate() < 1.0);
@@ -374,13 +628,84 @@ mod tests {
         cfg.flips_per_trial = 2;
         let campaign = Campaign::new(cfg);
         let stats = campaign.run();
-        assert_eq!(stats.count(FaultOutcome::SilentDataCorruption), 0);
+        assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0);
         // Two flips in the same codeword are uncorrectable; two flips in
         // different codewords are each corrected — both happen.
         assert!(
-            stats.count(FaultOutcome::DetectedUncorrectable) > 0
+            stats.count(FaultOutcome::DetectedAborted) > 0
                 || stats.count(FaultOutcome::Corrected) > 0
         );
+    }
+
+    #[test]
+    fn trial_streams_are_independent_of_dispatch_order() {
+        // Per-trial seeding: running trials 0..n in any order, or one at a
+        // time, reproduces exactly the histogram `run()` computes.
+        let campaign = Campaign::new(config(EccScheme::Secded64, FaultTarget::MatrixValues, 20));
+        let batched = campaign.run();
+        let mut reversed = CampaignStats::default();
+        for trial in (0..20).rev() {
+            reversed.record(campaign.run_trial_indexed(trial));
+        }
+        assert_eq!(batched, reversed);
+    }
+
+    #[test]
+    fn chunk_erasure_with_parity_rebuilds_and_converges() {
+        let mut cfg = config(EccScheme::Secded64, FaultTarget::DenseVector, 8);
+        cfg.protection = cfg.protection.with_parity(abft_core::ParityConfig {
+            stripe_chunks: 4,
+            chunk_words: 16,
+        });
+        cfg.injection = InjectionKind::ChunkErasure;
+        let stats = Campaign::new(cfg).run();
+        assert_eq!(stats.trials(), 8);
+        assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0);
+        assert!(
+            stats.count(FaultOutcome::DetectedRebuilt) > 0,
+            "erasures must be rebuilt from parity: {stats}"
+        );
+        assert_eq!(stats.count(FaultOutcome::DetectedAborted), 0, "{stats}");
+    }
+
+    #[test]
+    fn chunk_erasure_without_parity_aborts_instead_of_corrupting() {
+        let mut cfg = config(EccScheme::Secded64, FaultTarget::DenseVector, 8);
+        cfg.injection = InjectionKind::ChunkErasure;
+        let stats = Campaign::new(cfg).run();
+        assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0, "{stats}");
+        assert_eq!(stats.count(FaultOutcome::DetectedRebuilt), 0, "{stats}");
+        assert!(
+            stats.count(FaultOutcome::DetectedAborted) > 0,
+            "without parity the erasure must surface as an abort: {stats}"
+        );
+    }
+
+    #[test]
+    fn row_pointer_group_erasure_is_always_detected() {
+        let mut cfg = config(EccScheme::Secded64, FaultTarget::RowPointer, 12);
+        cfg.injection = InjectionKind::RowPointerGroupErasure;
+        let stats = Campaign::new(cfg).run();
+        assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0, "{stats}");
+        assert_eq!(stats.count(FaultOutcome::Corrected), 0, "{stats}");
+        assert!(stats.safety_rate() == 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_rate() {
+        let (lo, hi) = CampaignStats::wilson(99, 100);
+        assert!(lo < 0.99 && 0.99 < hi);
+        assert!(
+            lo > 0.92,
+            "99/100 should have a tight lower bound, got {lo}"
+        );
+        assert_eq!(CampaignStats::wilson(0, 0), (0.0, 1.0));
+        let (lo, hi) = CampaignStats::wilson(0, 50);
+        assert!(lo < 1e-12, "degenerate lower bound, got {lo}");
+        assert!(hi < 0.12);
+        let (lo, hi) = CampaignStats::wilson(50, 50);
+        assert!(lo > 0.9);
+        assert!(hi > 1.0 - 1e-12, "degenerate upper bound, got {hi}");
     }
 
     #[test]
@@ -410,11 +735,7 @@ mod tests {
             let mut cfg = config(EccScheme::Secded64, FaultTarget::MatrixValues, 12);
             cfg.solver = method;
             let stats = Campaign::new(cfg).run();
-            assert_eq!(
-                stats.count(FaultOutcome::SilentDataCorruption),
-                0,
-                "{method:?}"
-            );
+            assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0, "{method:?}");
             assert!(stats.count(FaultOutcome::Corrected) > 0, "{method:?}");
         }
     }
@@ -424,12 +745,20 @@ mod tests {
         let mut stats = CampaignStats::default();
         stats.record(FaultOutcome::Corrected);
         stats.record(FaultOutcome::Corrected);
-        stats.record(FaultOutcome::SilentDataCorruption);
+        stats.record(FaultOutcome::SilentCorruption);
         assert_eq!(stats.trials(), 3);
         assert_eq!(stats.count(FaultOutcome::Corrected), 2);
         assert!((stats.rate(FaultOutcome::Corrected) - 2.0 / 3.0).abs() < 1e-12);
         assert!((stats.safety_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.recovery_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert!(stats.to_string().contains("corrected"));
         assert_eq!(CampaignStats::default().rate(FaultOutcome::Masked), 0.0);
+
+        let mut other = CampaignStats::default();
+        other.record(FaultOutcome::DetectedRebuilt);
+        other.merge(&stats);
+        assert_eq!(other.trials(), 4);
+        assert_eq!(other.count(FaultOutcome::Corrected), 2);
+        assert_eq!(other.count(FaultOutcome::DetectedRebuilt), 1);
     }
 }

@@ -88,6 +88,36 @@ impl FaultSpec {
         FaultSpec { target, flips }
     }
 
+    /// Draws an *erasure* of `span` consecutive elements: the span is chosen
+    /// aligned to its own width and every element in it receives roughly half
+    /// its bits as independent random flips — the flip-level model of losing
+    /// a whole shard or codeword group (the contents are garbage, not a
+    /// small perturbation of the original).
+    ///
+    /// # Panics
+    /// Panics when `span` is zero or larger than the region.
+    pub fn erase_span(
+        rng: &mut impl Rng,
+        target: FaultTarget,
+        elements: usize,
+        span: usize,
+    ) -> Self {
+        assert!(elements > 0, "cannot inject into an empty region");
+        assert!(
+            span >= 1 && span <= elements,
+            "erasure span {span} outside 1..={elements}"
+        );
+        let start = rng.gen_range(0..elements / span) * span;
+        let bits = target.element_bits();
+        let mut flips = Vec::with_capacity(span * (bits as usize / 2));
+        for element in start..start + span {
+            for _ in 0..bits / 2 {
+                flips.push((element, rng.gen_range(0..bits)));
+            }
+        }
+        FaultSpec { target, flips }
+    }
+
     /// Number of flips in this spec.
     pub fn weight(&self) -> usize {
         self.flips.len()
@@ -133,6 +163,20 @@ mod tests {
         assert_eq!(FaultTarget::MatrixValues.element_bits(), 64);
         assert_eq!(FaultTarget::RowPointer.element_bits(), 32);
         assert!(FaultTarget::DenseVector.label().contains("vector"));
+    }
+
+    #[test]
+    fn erase_span_is_aligned_and_dense() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let spec = FaultSpec::erase_span(&mut rng, FaultTarget::RowPointer, 40, 4);
+        // Half of 32 bits for each of the 4 elements in the span.
+        assert_eq!(spec.weight(), 4 * 16);
+        let start = spec.flips.iter().map(|&(e, _)| e).min().unwrap();
+        assert_eq!(start % 4, 0, "span must be aligned to its width");
+        for &(element, bit) in &spec.flips {
+            assert!((start..start + 4).contains(&element));
+            assert!(bit < 32);
+        }
     }
 
     #[test]

@@ -2,29 +2,38 @@
 //!
 //! The paper's claim is that the ABFT schemes protect the *whole* working set
 //! of the solver from memory bit flips.  This crate validates that claim by
-//! injecting flips (the software stand-in for the cosmic-ray upsets of §I)
-//! into every protected region and classifying what happens:
+//! injecting faults (the software stand-in for the cosmic-ray upsets of §I)
+//! into every protected region — independent bit flips, contiguous bursts,
+//! and whole-chunk *erasures* of live solver state — and classifying what
+//! happens:
 //!
-//! * [`FaultOutcome::Corrected`] — the flip was detected and repaired
-//!   (a Detectable Correctable Error);
-//! * [`FaultOutcome::DetectedUncorrectable`] — the flip was detected but not
-//!   repairable; the application is told instead of silently computing with
-//!   bad data (a Detectable Uncorrectable Error);
+//! * [`FaultOutcome::Corrected`] — the fault was detected and repaired in
+//!   place by the embedded ECC (a Detectable Correctable Error);
+//! * [`FaultOutcome::DetectedRebuilt`] — the fault exceeded the embedded
+//!   ECC but the lost chunk was rebuilt from the XOR parity tier and the
+//!   solve completed with the right answer;
+//! * [`FaultOutcome::DetectedAborted`] — the fault was detected but not
+//!   repairable by either tier; the application is told instead of silently
+//!   computing with bad data (a Detectable Uncorrectable Error);
 //! * [`FaultOutcome::BoundsCaught`] — a range check (the cheap check used
 //!   between full-check intervals, §VI-A-2) stopped an out-of-bounds access;
-//! * [`FaultOutcome::Masked`] — the flip landed somewhere harmless (e.g. a
+//! * [`FaultOutcome::Masked`] — the fault landed somewhere harmless (e.g. a
 //!   reserved redundancy bit or an explicitly stored zero) and the solution
 //!   is unaffected;
-//! * [`FaultOutcome::SilentDataCorruption`] — the flip escaped detection and
+//! * [`FaultOutcome::SilentCorruption`] — the fault escaped detection and
 //!   changed the answer: the failure mode ECC exists to prevent.
 //!
-//! Campaigns are deterministic for a given seed (ChaCha8 RNG), so every
-//! statistic in EXPERIMENTS.md can be regenerated exactly.
+//! Campaigns are deterministic for a given seed: every trial draws from its
+//! own ChaCha stream keyed by (campaign seed, trial index), so the histogram
+//! is identical for any worker count or dispatch order, and every rate comes
+//! with a Wilson 95 % confidence interval
+//! ([`CampaignStats::wilson_ci`]).  Every statistic in EXPERIMENTS.md can be
+//! regenerated exactly.
 
 pub mod campaign;
 pub mod flip;
 pub mod outcome;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignStats};
+pub use campaign::{Campaign, CampaignConfig, CampaignStats, InjectionKind};
 pub use flip::{FaultSpec, FaultTarget};
 pub use outcome::FaultOutcome;

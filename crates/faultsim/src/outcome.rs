@@ -3,47 +3,65 @@
 /// The observed consequence of one fault-injection trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultOutcome {
-    /// Detected and repaired; the run completed with the correct answer.
+    /// Detected and repaired in place by the embedded ECC; the run completed
+    /// with the correct answer.
     Corrected,
-    /// Detected but not repairable; the run was aborted with an error the
-    /// application can act on (re-assemble, restart the step, …).
-    DetectedUncorrectable,
+    /// Detected as uncorrectable by the embedded ECC, then rebuilt from the
+    /// XOR parity tier (the erasure escalation ladder); the run completed
+    /// with the correct answer.
+    DetectedRebuilt,
+    /// Detected but not repairable by either tier; the run was aborted with
+    /// an error the application can act on (re-assemble, restart the
+    /// step, …).
+    DetectedAborted,
     /// An out-of-range index produced by the corruption was caught by a
     /// bounds check before it could cause an out-of-bounds access.
     BoundsCaught,
-    /// The flip was never flagged but had no effect on the result (it hit a
+    /// The fault was never flagged but had no effect on the result (it hit a
     /// reserved bit, a stored zero, or was numerically negligible).
     Masked,
-    /// The flip was never flagged and the result is wrong — a silent data
-    /// corruption.
-    SilentDataCorruption,
+    /// The fault was never flagged and the result is wrong — a silent
+    /// corruption, the failure mode the protection exists to prevent.
+    SilentCorruption,
 }
 
 impl FaultOutcome {
     /// All outcomes in reporting order.
-    pub const ALL: [FaultOutcome; 5] = [
+    pub const ALL: [FaultOutcome; 6] = [
         FaultOutcome::Corrected,
-        FaultOutcome::DetectedUncorrectable,
+        FaultOutcome::DetectedRebuilt,
+        FaultOutcome::DetectedAborted,
         FaultOutcome::BoundsCaught,
         FaultOutcome::Masked,
-        FaultOutcome::SilentDataCorruption,
+        FaultOutcome::SilentCorruption,
     ];
 
     /// Human-readable label.
     pub fn label(self) -> &'static str {
         match self {
             FaultOutcome::Corrected => "corrected",
-            FaultOutcome::DetectedUncorrectable => "detected (uncorrectable)",
+            FaultOutcome::DetectedRebuilt => "detected (rebuilt from parity)",
+            FaultOutcome::DetectedAborted => "detected (aborted)",
             FaultOutcome::BoundsCaught => "caught by bounds check",
             FaultOutcome::Masked => "masked (no effect)",
-            FaultOutcome::SilentDataCorruption => "silent data corruption",
+            FaultOutcome::SilentCorruption => "silent corruption",
         }
     }
 
     /// Whether the protection did its job for this trial: either the fault
-    /// was handled (corrected / detected / contained) or it was harmless.
+    /// was handled (corrected / rebuilt / detected / contained) or it was
+    /// harmless.
     pub fn is_safe(self) -> bool {
-        !matches!(self, FaultOutcome::SilentDataCorruption)
+        !matches!(self, FaultOutcome::SilentCorruption)
+    }
+
+    /// Whether the trial still produced a correct answer (the fault was
+    /// absorbed rather than merely contained).
+    pub fn is_recovered(self) -> bool {
+        matches!(
+            self,
+            FaultOutcome::Corrected | FaultOutcome::DetectedRebuilt | FaultOutcome::Masked
+        )
     }
 }
 
@@ -54,13 +72,23 @@ mod tests {
     #[test]
     fn safety_classification() {
         assert!(FaultOutcome::Corrected.is_safe());
-        assert!(FaultOutcome::DetectedUncorrectable.is_safe());
+        assert!(FaultOutcome::DetectedRebuilt.is_safe());
+        assert!(FaultOutcome::DetectedAborted.is_safe());
         assert!(FaultOutcome::BoundsCaught.is_safe());
         assert!(FaultOutcome::Masked.is_safe());
-        assert!(!FaultOutcome::SilentDataCorruption.is_safe());
-        assert_eq!(FaultOutcome::ALL.len(), 5);
-        assert!(FaultOutcome::SilentDataCorruption
-            .label()
-            .contains("silent"));
+        assert!(!FaultOutcome::SilentCorruption.is_safe());
+        assert_eq!(FaultOutcome::ALL.len(), 6);
+        assert!(FaultOutcome::SilentCorruption.label().contains("silent"));
+        assert!(FaultOutcome::DetectedRebuilt.label().contains("parity"));
+    }
+
+    #[test]
+    fn recovery_classification() {
+        assert!(FaultOutcome::Corrected.is_recovered());
+        assert!(FaultOutcome::DetectedRebuilt.is_recovered());
+        assert!(FaultOutcome::Masked.is_recovered());
+        assert!(!FaultOutcome::DetectedAborted.is_recovered());
+        assert!(!FaultOutcome::BoundsCaught.is_recovered());
+        assert!(!FaultOutcome::SilentCorruption.is_recovered());
     }
 }

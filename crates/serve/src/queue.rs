@@ -28,6 +28,19 @@
 //! same jobs in a different order, or running with a different worker
 //! limit, yields bitwise-identical solutions and identical per-tenant
 //! fault snapshots.
+//!
+//! ## Graceful degradation
+//!
+//! With a non-zero [`SolveQueue::with_retry_budget`], a job whose column is
+//! poisoned by an unrecoverable fault is not surfaced immediately: its fault
+//! accounting is folded into the tenant's log right away, and the job is
+//! requeued as a fresh **single-RHS** job (its own panel, so a flaky tenant
+//! cannot poison neighbours twice) with exponential backoff measured in
+//! drains — attempt `k` becomes eligible `2^k` drains after it faulted.  The
+//! same [`JobId`], cancellation token and submission instant carry over, so
+//! deadlines keep burning across attempts.  Neighbouring columns of the
+//! faulted panel are untouched: their solutions and fault snapshots are
+//! bit-for-bit those of a fault-free drain.
 
 use crate::pool::{submit, Ticket};
 use abft_core::{
@@ -158,6 +171,9 @@ pub struct JobOutcome {
     pub faults: FaultLogSnapshot,
     /// Width of the panel the job was batched into.
     pub panel_width: usize,
+    /// How many earlier attempts of this job faulted and were requeued
+    /// under the queue's retry budget (`0` = answered on the first try).
+    pub attempts: u32,
 }
 
 struct PendingJob {
@@ -165,6 +181,15 @@ struct PendingJob {
     spec: JobSpec,
     cancel: Arc<AtomicBool>,
     submitted: Instant,
+    /// Completed attempts that ended in an unrecoverable fault.
+    attempts: u32,
+    /// Drain counter value at which this job becomes eligible — the
+    /// exponential-backoff clock, measured in drains rather than wall time
+    /// so retry schedules are deterministic.
+    earliest_drain: u64,
+    /// Requeued jobs run in a panel of their own: a column that already
+    /// faulted once must not share a traversal with healthy tenants.
+    solo: bool,
 }
 
 /// Per-column input to a panel solve, detached from the queue so the
@@ -177,6 +202,7 @@ struct PanelColumn {
     cancel: Arc<AtomicBool>,
     deadline: Option<Duration>,
     submitted: Instant,
+    attempts: u32,
 }
 
 struct ColumnResult {
@@ -188,7 +214,15 @@ struct ColumnResult {
     error: Option<SolverError>,
     faults: FaultLogSnapshot,
     panel_width: usize,
+    attempts: u32,
+    /// The original right-hand side, handed back only for faulted columns
+    /// so the queue can requeue the job without keeping a second copy.
+    rhs: Option<Vec<f64>>,
 }
+
+/// Panel grouping key: (matrix id, config hash halves, solo marker) —
+/// jobs share a panel iff their keys are equal.
+type PanelKey = (usize, usize, u64, u64);
 
 /// The serving front door: register matrices once, submit jobs from many
 /// tenants, drain them in batched panels.
@@ -199,6 +233,10 @@ pub struct SolveQueue {
     max_width: usize,
     tenant_logs: HashMap<String, FaultLog>,
     matrix_activity: FaultLog,
+    /// Drains performed so far — the clock the retry backoff counts in.
+    drain_count: u64,
+    /// Fault retries allowed per job; `0` surfaces faults immediately.
+    retry_budget: u32,
 }
 
 impl std::fmt::Debug for SolveQueue {
@@ -222,12 +260,30 @@ impl SolveQueue {
             max_width: max_width.clamp(1, MAX_PANEL_WIDTH),
             tenant_logs: HashMap::new(),
             matrix_activity: FaultLog::new(),
+            drain_count: 0,
+            retry_budget: 0,
         }
+    }
+
+    /// Builder-style setter for the per-job fault retry budget.
+    ///
+    /// With `budget > 0`, a job poisoned by an unrecoverable fault is
+    /// requeued (up to `budget` times) as a solo single-RHS job instead of
+    /// being returned — see the module-level *Graceful degradation* notes.
+    /// The default of `0` keeps the historical fail-fast behaviour.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
     }
 
     /// The panel width cap this queue batches to.
     pub fn max_width(&self) -> usize {
         self.max_width
+    }
+
+    /// Fault retries allowed per job before an outcome is surfaced.
+    pub fn retry_budget(&self) -> u32 {
+        self.retry_budget
     }
 
     /// Encodes and registers a matrix for subsequent jobs.
@@ -269,6 +325,9 @@ impl SolveQueue {
             spec,
             cancel: Arc::clone(&cancel),
             submitted: Instant::now(),
+            attempts: 0,
+            earliest_drain: 0,
+            solo: false,
         });
         JobHandle { id, cancel }
     }
@@ -298,28 +357,54 @@ impl SolveQueue {
         self.matrix_activity.snapshot()
     }
 
-    /// Runs every pending job and returns the outcomes in submission
-    /// order.
+    /// Runs every eligible pending job and returns the outcomes in
+    /// submission order.
     ///
     /// Admission: jobs are grouped by (matrix, solver config) in
     /// submission order and each group is split into panels of at most
     /// [`SolveQueue::max_width`] columns; each panel is one detached pool
     /// job, so distinct panels overlap on the worker pool while each
-    /// panel's columns share their matrix traversals.
+    /// panel's columns share their matrix traversals.  Requeued retries
+    /// form solo panels and only become eligible once their backoff clock
+    /// (`2^attempts` drains) has elapsed — keep draining until
+    /// [`SolveQueue::pending`] reaches zero to flush them.
     pub fn drain(&mut self) -> Vec<JobOutcome> {
-        let pending = std::mem::take(&mut self.pending);
-        if pending.is_empty() {
+        self.drain_count += 1;
+        let now = self.drain_count;
+        let (ready, deferred): (Vec<PendingJob>, Vec<PendingJob>) =
+            std::mem::take(&mut self.pending)
+                .into_iter()
+                .partition(|job| job.earliest_drain <= now);
+        self.pending = deferred;
+        if ready.is_empty() {
             return Vec::new();
         }
 
         // Group by (matrix, config); preserve submission order within and
         // across groups (first-seen order) so batching is reproducible.
-        let mut groups: Vec<((usize, usize, u64), Vec<PendingJob>)> = Vec::new();
-        for job in pending {
+        // Requeued retries carry a per-job `solo` marker that makes their
+        // key unique: a column that already faulted gets its own panel.
+        let mut groups: Vec<(PanelKey, Vec<PendingJob>)> = Vec::new();
+        let mut retry_meta: HashMap<usize, RetryMeta> = HashMap::new();
+        for job in ready {
+            if self.retry_budget > 0 {
+                retry_meta.insert(
+                    job.id.0,
+                    RetryMeta {
+                        matrix: job.spec.matrix,
+                        config: job.spec.config,
+                        deadline: job.spec.deadline,
+                        budget: job.spec.budget,
+                        cancel: Arc::clone(&job.cancel),
+                        submitted: job.submitted,
+                    },
+                );
+            }
             let key = (
                 job.spec.matrix.0,
                 job.spec.config.max_iterations,
                 job.spec.config.tolerance.to_bits(),
+                if job.solo { job.id.0 as u64 + 1 } else { 0 },
             );
             match groups.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, members)) => members.push(job),
@@ -344,6 +429,7 @@ impl SolveQueue {
                         cancel: job.cancel,
                         deadline: job.spec.deadline,
                         submitted: job.submitted,
+                        attempts: job.attempts,
                     })
                     .collect();
                 let matrix = Arc::clone(&matrix);
@@ -351,14 +437,51 @@ impl SolveQueue {
             }
         }
 
-        let mut outcomes: Vec<JobOutcome> = tickets
+        let mut results: Vec<ColumnResult> = tickets
             .into_iter()
             .flat_map(|ticket| {
                 let (cols, matrix_checks) = ticket.wait();
                 self.matrix_activity.absorb(&matrix_checks);
                 cols
             })
-            .map(|col| JobOutcome {
+            .collect();
+        results.sort_by_key(|c| c.id);
+
+        let mut outcomes = Vec::new();
+        for mut col in results {
+            // Fault accounting lands in the tenant's log right away, even
+            // when the job is requeued instead of answered — degradation
+            // must not hide detected faults from the tenant's history.
+            self.tenant_logs
+                .entry(col.tenant.clone())
+                .or_default()
+                .absorb(&col.faults);
+            let retry = col.termination == Termination::Fault
+                && col.attempts < self.retry_budget
+                && col.rhs.is_some();
+            if retry {
+                let meta = retry_meta
+                    .remove(&col.id.0)
+                    .expect("drain: faulted column missing retry metadata");
+                self.pending.push(PendingJob {
+                    id: col.id,
+                    spec: JobSpec {
+                        tenant: col.tenant,
+                        matrix: meta.matrix,
+                        rhs: col.rhs.take().expect("drain: retry without rhs"),
+                        config: meta.config,
+                        deadline: meta.deadline,
+                        budget: meta.budget,
+                    },
+                    cancel: meta.cancel,
+                    submitted: meta.submitted,
+                    attempts: col.attempts + 1,
+                    earliest_drain: now + (1u64 << col.attempts.min(16)),
+                    solo: true,
+                });
+                continue;
+            }
+            outcomes.push(JobOutcome {
                 id: col.id,
                 tenant: col.tenant,
                 solution: col.solution,
@@ -367,17 +490,22 @@ impl SolveQueue {
                 error: col.error,
                 faults: col.faults,
                 panel_width: col.panel_width,
-            })
-            .collect();
-        outcomes.sort_by_key(|o| o.id);
-        for outcome in &outcomes {
-            self.tenant_logs
-                .entry(outcome.tenant.clone())
-                .or_default()
-                .absorb(&outcome.faults);
+                attempts: col.attempts,
+            });
         }
         outcomes
     }
+}
+
+/// Everything needed to reconstruct a faulted job's [`JobSpec`] at requeue
+/// time (the right-hand side rides back in the [`ColumnResult`]).
+struct RetryMeta {
+    matrix: MatrixId,
+    config: SolverConfig,
+    deadline: Option<Duration>,
+    budget: Option<usize>,
+    cancel: Arc<AtomicBool>,
+    submitted: Instant,
 }
 
 /// Solves one panel on whichever backend tier the matrix was encoded for.
@@ -457,6 +585,7 @@ fn run_panel<Op: LinearOperator>(
                     Err(e) => (None, Termination::Fault, Some(e)),
                 }
             };
+            let rhs = (termination == Termination::Fault).then_some(spec.rhs);
             ColumnResult {
                 id: spec.id,
                 tenant: spec.tenant,
@@ -466,6 +595,8 @@ fn run_panel<Op: LinearOperator>(
                 error,
                 faults: logs[j].snapshot(),
                 panel_width: width,
+                attempts: spec.attempts,
+                rhs,
             }
         })
         .collect();

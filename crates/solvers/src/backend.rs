@@ -252,6 +252,17 @@ pub trait SolverVector: Clone {
     /// unchecked fast path) and without allocating — the read primitive for
     /// per-iteration solver consumption of a vector's values.
     fn read_checked(&self, out: &mut [f64], ctx: &FaultContext) -> Result<(), SolverError>;
+
+    /// Attempts to recover this vector after a kernel reported an
+    /// uncorrectable dense-vector fault: storage with an erasure (parity)
+    /// tier rebuilds the lost chunk, re-verifies it, and returns `true` so
+    /// the solver can retry the failed kernel.  The default declines —
+    /// plain storage and parity-free protected storage have nothing to
+    /// rebuild from, so the fault stays terminal.
+    fn try_rebuild(&mut self, ctx: &FaultContext) -> bool {
+        let _ = ctx;
+        false
+    }
 }
 
 /// The operator surface an iterative solver needs: `y = A x` plus the

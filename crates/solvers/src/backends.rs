@@ -251,6 +251,13 @@ impl SolverVector for ProtectedVector {
     fn read_checked(&self, out: &mut [f64], ctx: &FaultContext) -> Result<(), SolverError> {
         Ok(ProtectedVector::read_checked(self, out, ctx.log())?)
     }
+
+    fn try_rebuild(&mut self, ctx: &FaultContext) -> bool {
+        // Escalation ladder of the erasure tier: scrub → parity rebuild of
+        // the chunk the DUE was attributed to → re-verify, looping until the
+        // storage certifies clean or a stripe proves unrecoverable.
+        self.try_recover(ctx.log())
+    }
 }
 
 /// Gershgorin bounds computed by walking the protected storage directly —
@@ -579,12 +586,22 @@ impl LinearOperator for FullyProtected<'_> {
     fn vector_from(&self, values: &[f64]) -> ProtectedVector {
         let mut v = ProtectedVector::from_slice(values, self.scheme, self.crc_backend);
         v.set_parallel(self.matrix.config().parallel);
+        if let Some(parity) = self.matrix.config().parity {
+            if self.scheme != EccScheme::None {
+                v.enable_parity(parity);
+            }
+        }
         v
     }
 
     fn zero_vector(&self, n: usize) -> ProtectedVector {
         let mut v = ProtectedVector::zeros(n, self.scheme, self.crc_backend);
         v.set_parallel(self.matrix.config().parallel);
+        if let Some(parity) = self.matrix.config().parity {
+            if self.scheme != EccScheme::None {
+                v.enable_parity(parity);
+            }
+        }
         v
     }
 

@@ -16,7 +16,57 @@
 use crate::backend::{FaultContext, LinearOperator, SolverError, SolverVector};
 use crate::chebyshev::ChebyshevBounds;
 use crate::status::{SolveStatus, SolverConfig, Termination};
-use abft_core::{FaultLogSnapshot, MAX_PANEL_WIDTH};
+use abft_core::{AbftError, FaultLogSnapshot, Region, MAX_PANEL_WIDTH};
+
+/// True when a kernel failure is an uncorrectable dense-vector DUE — the one
+/// class of fault the erasure tier can undo by rebuilding the lost chunk from
+/// XOR parity ([`SolverVector::try_rebuild`]).  Matrix-side faults and
+/// unsupported-operation errors are never rebuildable.
+fn rebuildable(e: &SolverError) -> bool {
+    matches!(
+        e,
+        SolverError::Fault(AbftError::Uncorrectable {
+            region: Region::DenseVector,
+            ..
+        })
+    )
+}
+
+/// Bounded pause between a parity rebuild and the kernel retry.  Fixed-count
+/// spin rather than a clock so retried trajectories stay deterministic; long
+/// enough that a concurrent scrubber on another worker gets a scheduling
+/// edge before the retry re-reads the repaired storage.
+fn rebuild_backoff() {
+    for _ in 0..256 {
+        std::hint::spin_loop();
+    }
+}
+
+/// Runs a fallible kernel; on an uncorrectable dense-vector DUE, asks each
+/// listed vector to rebuild its lost chunks from parity and — if any storage
+/// was actually repaired — retries the kernel exactly once.  Everything else
+/// (matrix faults, unsupported ops, a failure that survives the rebuild)
+/// surfaces unchanged as [`Termination::Fault`] material.  Safe because
+/// parity-maintaining kernels certify their operands *before* mutating
+/// (failing reads leave zero partial writes), so the retry re-runs the exact
+/// same arithmetic on repaired storage.
+macro_rules! retry_kernel {
+    ($ctx:expr, [$($v:expr),* $(,)?], $call:expr) => {{
+        match $call {
+            Err(e) if rebuildable(&e) => {
+                let mut rebuilt = false;
+                $( rebuilt |= $v.try_rebuild($ctx); )*
+                if rebuilt {
+                    rebuild_backoff();
+                    $call
+                } else {
+                    Err(e)
+                }
+            }
+            other => other,
+        }
+    }};
+}
 
 /// Conjugate Gradient: `A x = b` from `x = 0`.
 ///
@@ -40,7 +90,7 @@ pub fn cg<Op: LinearOperator>(
     let mut p = r.clone();
     let mut w = op.zero_vector(n);
 
-    let mut rr = r.dot(&r, ctx)?;
+    let mut rr = retry_kernel!(ctx, [r], r.dot(&r, ctx))?;
     let mut status = SolveStatus {
         converged: rr < config.tolerance,
         iterations: 0,
@@ -52,14 +102,14 @@ pub fn cg<Op: LinearOperator>(
         if status.converged {
             break;
         }
-        op.apply(&mut p, &mut w, iteration as u64, ctx)?;
-        let pw = p.dot(&w, ctx)?;
+        retry_kernel!(ctx, [p, w], op.apply(&mut p, &mut w, iteration as u64, ctx))?;
+        let pw = retry_kernel!(ctx, [p, w], p.dot(&w, ctx))?;
         if pw == 0.0 {
             break;
         }
         let alpha = rr / pw;
-        x.axpy(alpha, &p, ctx)?;
-        let rr_new = r.dot_axpy(-alpha, &w, ctx)?;
+        retry_kernel!(ctx, [x, p], x.axpy(alpha, &p, ctx))?;
+        let rr_new = retry_kernel!(ctx, [r, w], r.dot_axpy(-alpha, &w, ctx))?;
         status.iterations = iteration + 1;
         status.final_residual = rr_new;
         if rr_new < config.tolerance {
@@ -67,7 +117,7 @@ pub fn cg<Op: LinearOperator>(
             break;
         }
         let beta = rr_new / rr;
-        p.xpay(beta, &r, ctx)?;
+        retry_kernel!(ctx, [p, r], p.xpay(beta, &r, ctx))?;
         rr = rr_new;
     }
     Ok((x, status))
@@ -98,6 +148,7 @@ fn snapshot_delta(after: &FaultLogSnapshot, before: &FaultLogSnapshot) -> FaultL
         d.corrected[i] = after.corrected[i] - before.corrected[i];
         d.uncorrectable[i] = after.uncorrectable[i] - before.uncorrectable[i];
         d.bounds_violations[i] = after.bounds_violations[i] - before.bounds_violations[i];
+        d.rebuilt[i] = after.rebuilt[i] - before.rebuilt[i];
     }
     d
 }
@@ -178,10 +229,10 @@ pub fn block_cg_panel<Op: LinearOperator>(
 
     for (j, b) in bs.iter().enumerate() {
         xs.push(op.zero_vector(n));
-        let r = (*b).clone();
+        let mut r = (*b).clone();
         ps.push(r.clone());
         ws.push(op.zero_vector(n));
-        match r.dot(&r, col_ctxs[j]) {
+        match retry_kernel!(col_ctxs[j], [r], r.dot(&r, col_ctxs[j])) {
             Ok(v) => rr[j] = v,
             Err(e) => {
                 errors[j] = Some(e);
@@ -268,9 +319,24 @@ pub fn block_cg_panel<Op: LinearOperator>(
             Ok(()) => {
                 for (slot, &j) in panel_errors.into_iter().zip(&live) {
                     if let Some(e) = slot {
-                        errors[j] = Some(e);
-                        terminations[j] = Some(Termination::Fault);
-                        active[j] = false;
+                        // Erasure escalation before declaring the column
+                        // faulted: rebuild the column's vectors from parity
+                        // and re-run its SpMV solo.  The extra traversal's
+                        // matrix checks land on the retried column's own
+                        // context — the column pays for its own retry, its
+                        // panel neighbours see nothing.
+                        let recovered = rebuildable(&e)
+                            && (ps[j].try_rebuild(col_ctxs[j]) | ws[j].try_rebuild(col_ctxs[j]))
+                            && {
+                                rebuild_backoff();
+                                op.apply(&mut ps[j], &mut ws[j], iteration as u64, col_ctxs[j])
+                                    .is_ok()
+                            };
+                        if !recovered {
+                            errors[j] = Some(e);
+                            terminations[j] = Some(Termination::Fault);
+                            active[j] = false;
+                        }
                     }
                 }
             }
@@ -283,15 +349,16 @@ pub fn block_cg_panel<Op: LinearOperator>(
             }
             let ctx = col_ctxs[j];
             let result: Result<(), SolverError> = (|| {
-                let pw = ps[j].dot(&ws[j], ctx)?;
+                let pw = retry_kernel!(ctx, [ps[j], ws[j]], ps[j].dot(&ws[j], ctx))?;
                 if pw == 0.0 {
                     terminations[j] = Some(Termination::Stalled);
                     active[j] = false;
                     return Ok(());
                 }
                 let alpha = rr[j] / pw;
-                xs[j].axpy(alpha, &ps[j], ctx)?;
-                let rr_new = rs[j].dot_axpy(-alpha, &ws[j], ctx)?;
+                retry_kernel!(ctx, [xs[j], ps[j]], xs[j].axpy(alpha, &ps[j], ctx))?;
+                let rr_new =
+                    retry_kernel!(ctx, [rs[j], ws[j]], rs[j].dot_axpy(-alpha, &ws[j], ctx))?;
                 statuses[j].iterations = iteration + 1;
                 statuses[j].final_residual = rr_new;
                 if rr_new < config.tolerance {
@@ -301,7 +368,7 @@ pub fn block_cg_panel<Op: LinearOperator>(
                     return Ok(());
                 }
                 let beta = rr_new / rr[j];
-                ps[j].xpay(beta, &rs[j], ctx)?;
+                retry_kernel!(ctx, [ps[j], rs[j]], ps[j].xpay(beta, &rs[j], ctx))?;
                 rr[j] = rr_new;
                 Ok(())
             })();
@@ -374,10 +441,10 @@ pub fn jacobi<Op: LinearOperator>(
     // residual (no allocation inside the loop).
     let mut correction = vec![0.0; n];
 
-    op.apply(&mut x, &mut ax, 0, ctx)?;
-    residual.copy_from(b, ctx)?;
-    residual.axpy(-1.0, &ax, ctx)?;
-    let rr0 = residual.dot(&residual, ctx)?;
+    retry_kernel!(ctx, [x, ax], op.apply(&mut x, &mut ax, 0, ctx))?;
+    retry_kernel!(ctx, [residual], residual.copy_from(b, ctx))?;
+    retry_kernel!(ctx, [residual, ax], residual.axpy(-1.0, &ax, ctx))?;
+    let rr0 = retry_kernel!(ctx, [residual], residual.dot(&residual, ctx))?;
     let mut status = SolveStatus {
         converged: rr0 < config.tolerance,
         iterations: 0,
@@ -389,12 +456,20 @@ pub fn jacobi<Op: LinearOperator>(
         if status.converged {
             break;
         }
-        residual.read_checked(&mut correction, ctx)?;
-        x.update_indexed(ctx, |i, xi| xi + correction[i] / diag[i])?;
-        op.apply(&mut x, &mut ax, iteration as u64 + 1, ctx)?;
-        residual.copy_from(b, ctx)?;
-        residual.axpy(-1.0, &ax, ctx)?;
-        let rr = residual.dot(&residual, ctx)?;
+        retry_kernel!(ctx, [residual], residual.read_checked(&mut correction, ctx))?;
+        retry_kernel!(
+            ctx,
+            [x],
+            x.update_indexed(ctx, |i, xi| xi + correction[i] / diag[i])
+        )?;
+        retry_kernel!(
+            ctx,
+            [x, ax],
+            op.apply(&mut x, &mut ax, iteration as u64 + 1, ctx)
+        )?;
+        retry_kernel!(ctx, [residual], residual.copy_from(b, ctx))?;
+        retry_kernel!(ctx, [residual, ax], residual.axpy(-1.0, &ax, ctx))?;
+        let rr = retry_kernel!(ctx, [residual], residual.dot(&residual, ctx))?;
         status.iterations = iteration + 1;
         status.final_residual = rr;
         if rr < config.tolerance {
@@ -427,7 +502,7 @@ pub fn chebyshev<Op: LinearOperator>(
     let mut r = b.clone();
     let mut ax = op.zero_vector(n);
 
-    let rr0 = r.dot(&r, ctx)?;
+    let rr0 = retry_kernel!(ctx, [r], r.dot(&r, ctx))?;
     let mut status = SolveStatus {
         converged: rr0 < config.tolerance,
         iterations: 0,
@@ -446,17 +521,25 @@ pub fn chebyshev<Op: LinearOperator>(
     // (dot_axpy) and the two-step d recurrence with scale_axpy, so protected
     // storage is checked and re-encoded once per kernel per group.
     let mut d = r.clone();
-    d.scale(1.0 / theta, ctx)?;
+    retry_kernel!(ctx, [d], d.scale(1.0 / theta, ctx))?;
 
     for iteration in 0..config.max_iterations {
         if status.converged {
             break;
         }
-        x.axpy(1.0, &d, ctx)?;
-        op.apply(&mut d, &mut ax, iteration as u64, ctx)?;
-        let rr = r.dot_axpy(-1.0, &ax, ctx)?;
+        retry_kernel!(ctx, [x, d], x.axpy(1.0, &d, ctx))?;
+        retry_kernel!(
+            ctx,
+            [d, ax],
+            op.apply(&mut d, &mut ax, iteration as u64, ctx)
+        )?;
+        let rr = retry_kernel!(ctx, [r, ax], r.dot_axpy(-1.0, &ax, ctx))?;
         let rho_next = 1.0 / (2.0 * sigma - rho);
-        d.scale_axpy(rho_next * rho, 2.0 * rho_next / delta, &r, ctx)?;
+        retry_kernel!(
+            ctx,
+            [d, r],
+            d.scale_axpy(rho_next * rho, 2.0 * rho_next / delta, &r, ctx)
+        )?;
         rho = rho_next;
 
         status.iterations = iteration + 1;
@@ -494,15 +577,23 @@ fn polynomial_preconditioner<Op: LinearOperator>(
     let mut rho = 1.0 / sigma;
 
     z.fill(0.0);
-    ws.inner_r.copy_from(r, ctx)?;
-    ws.d.copy_from(r, ctx)?;
-    ws.d.scale(1.0 / theta, ctx)?;
+    retry_kernel!(ctx, [ws.inner_r], ws.inner_r.copy_from(r, ctx))?;
+    retry_kernel!(ctx, [ws.d], ws.d.copy_from(r, ctx))?;
+    retry_kernel!(ctx, [ws.d], ws.d.scale(1.0 / theta, ctx))?;
     for _ in 0..steps {
-        z.axpy(1.0, &ws.d, ctx)?;
-        op.apply(&mut ws.d, &mut ws.ad, iteration, ctx)?;
-        ws.inner_r.axpy(-1.0, &ws.ad, ctx)?;
+        retry_kernel!(ctx, [z, ws.d], z.axpy(1.0, &ws.d, ctx))?;
+        retry_kernel!(
+            ctx,
+            [ws.d, ws.ad],
+            op.apply(&mut ws.d, &mut ws.ad, iteration, ctx)
+        )?;
+        retry_kernel!(ctx, [ws.inner_r, ws.ad], ws.inner_r.axpy(-1.0, &ws.ad, ctx))?;
         let rho_next = 1.0 / (2.0 * sigma - rho);
-        ws.d.scale_axpy(rho_next * rho, 2.0 * rho_next / delta, &ws.inner_r, ctx)?;
+        retry_kernel!(
+            ctx,
+            [ws.d, ws.inner_r],
+            ws.d.scale_axpy(rho_next * rho, 2.0 * rho_next / delta, &ws.inner_r, ctx)
+        )?;
         rho = rho_next;
     }
     Ok(())
@@ -535,7 +626,7 @@ pub fn ppcg<Op: LinearOperator>(
         ad: op.zero_vector(n),
     };
 
-    let rr0 = r.dot(&r, ctx)?;
+    let rr0 = retry_kernel!(ctx, [r], r.dot(&r, ctx))?;
     let mut status = SolveStatus {
         converged: rr0 < config.tolerance,
         iterations: 0,
@@ -548,17 +639,17 @@ pub fn ppcg<Op: LinearOperator>(
 
     polynomial_preconditioner(op, &r, &mut z, &mut ws, bounds, inner_steps, 0, ctx)?;
     let mut p = z.clone();
-    let mut rz = r.dot(&z, ctx)?;
+    let mut rz = retry_kernel!(ctx, [r, z], r.dot(&z, ctx))?;
 
     for iteration in 0..config.max_iterations {
-        op.apply(&mut p, &mut w, iteration as u64, ctx)?;
-        let pw = p.dot(&w, ctx)?;
+        retry_kernel!(ctx, [p, w], op.apply(&mut p, &mut w, iteration as u64, ctx))?;
+        let pw = retry_kernel!(ctx, [p, w], p.dot(&w, ctx))?;
         if pw == 0.0 || rz == 0.0 {
             break;
         }
         let alpha = rz / pw;
-        x.axpy(alpha, &p, ctx)?;
-        let rr = r.dot_axpy(-alpha, &w, ctx)?;
+        retry_kernel!(ctx, [x, p], x.axpy(alpha, &p, ctx))?;
+        let rr = retry_kernel!(ctx, [r, w], r.dot_axpy(-alpha, &w, ctx))?;
         status.iterations = iteration + 1;
         status.final_residual = rr;
         if rr < config.tolerance {
@@ -575,9 +666,9 @@ pub fn ppcg<Op: LinearOperator>(
             iteration as u64,
             ctx,
         )?;
-        let rz_new = r.dot(&z, ctx)?;
+        let rz_new = retry_kernel!(ctx, [r, z], r.dot(&z, ctx))?;
         let beta = rz_new / rz;
-        p.xpay(beta, &z, ctx)?;
+        retry_kernel!(ctx, [p, z], p.xpay(beta, &z, ctx))?;
         rz = rz_new;
     }
     Ok((x, status))

@@ -27,7 +27,7 @@ fn no_scheme_ever_suffers_sdc_from_single_flips() {
         for target in FaultTarget::ALL {
             let stats = campaign(scheme, target, 1, 30).run();
             assert_eq!(
-                stats.count(FaultOutcome::SilentDataCorruption),
+                stats.count(FaultOutcome::SilentCorruption),
                 0,
                 "{scheme:?} / {target:?}"
             );
@@ -46,7 +46,7 @@ fn correcting_schemes_correct_and_sed_only_detects() {
     ] {
         let secded = campaign(EccScheme::Secded64, target, 1, 30).run();
         assert_eq!(
-            secded.count(FaultOutcome::DetectedUncorrectable),
+            secded.count(FaultOutcome::DetectedAborted),
             0,
             "{target:?}: SECDED must correct every single flip"
         );
@@ -58,7 +58,7 @@ fn correcting_schemes_correct_and_sed_only_detects() {
         );
         // SED either detects the flip or the flip is harmless — never silent
         // corruption (parity catches every single flip).
-        assert_eq!(sed.count(FaultOutcome::SilentDataCorruption), 0);
+        assert_eq!(sed.count(FaultOutcome::SilentCorruption), 0);
     }
 }
 
@@ -76,13 +76,13 @@ fn unprotected_baseline_shows_why_protection_matters() {
     };
     let unprotected = Campaign::new(config.clone()).run();
     assert!(
-        unprotected.count(FaultOutcome::SilentDataCorruption) > 0,
+        unprotected.count(FaultOutcome::SilentCorruption) > 0,
         "unprotected flips must corrupt at least some runs"
     );
 
     config.protection = ProtectionConfig::full(EccScheme::Crc32c);
     let protected = Campaign::new(config).run();
-    assert_eq!(protected.count(FaultOutcome::SilentDataCorruption), 0);
+    assert_eq!(protected.count(FaultOutcome::SilentCorruption), 0);
     assert!(protected.safety_rate() > unprotected.safety_rate());
 }
 
@@ -91,6 +91,6 @@ fn crc_protects_against_multi_bit_upsets() {
     // CRC32C detects every error of weight <= 5 inside its HD-6 window; with
     // 3 flips spread over the matrix it must never silently corrupt.
     let stats = campaign(EccScheme::Crc32c, FaultTarget::MatrixValues, 3, 40).run();
-    assert_eq!(stats.count(FaultOutcome::SilentDataCorruption), 0);
+    assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0);
     assert!(stats.safety_rate() == 1.0);
 }

@@ -173,6 +173,7 @@ fn protected_csr_roundtrips_and_spmv_matches() {
             check_interval: 1,
             crc_backend: Crc32cBackend::Hardware,
             parallel: false,
+            parity: None,
         };
         let protected = ProtectedCsr::from_csr(&matrix, &protection).unwrap();
         assert_eq!(protected.to_csr(), matrix);

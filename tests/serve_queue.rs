@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use abft_suite::core::{EccScheme, FaultLogSnapshot, ProtectionConfig};
+use abft_suite::core::{EccScheme, FaultLogSnapshot, ProtectedCsr, ProtectionConfig};
 use abft_suite::prelude::{JobSpec, SolveQueue, SolverConfig, Termination};
 use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
 use abft_suite::sparse::CsrMatrix;
@@ -103,6 +103,85 @@ fn drain_results_are_invariant_to_submission_order_and_worker_count() {
         }
     }
     rayon::set_worker_limit(None);
+}
+
+#[test]
+fn faulted_job_is_requeued_with_backoff_and_neighbours_stay_bit_for_bit() {
+    let matrix = test_matrix();
+    let protection = ProtectionConfig::full(EccScheme::Secded64);
+    let config = SolverConfig::new(2000, 1e-15);
+
+    // Baseline: the two healthy tenants alone.
+    let mut queue = SolveQueue::new(4);
+    let id = queue.register_matrix(&matrix, &protection).unwrap();
+    queue.submit(JobSpec::new("alpha", id, rhs_for(&matrix, 3)).with_config(config));
+    queue.submit(JobSpec::new("charlie", id, rhs_for(&matrix, 5)).with_config(config));
+    let baseline = queue.drain();
+
+    // A matrix whose SED-protected values carry a pre-existing flip: every
+    // SpMV over it detects the corruption but cannot correct it, so every
+    // attempt of the "faulty" tenant's job ends in Termination::Fault —
+    // the deterministic stand-in for a tenant whose data keeps failing.
+    let mut poisoned =
+        ProtectedCsr::from_csr(&matrix, &ProtectionConfig::matrix_only(EccScheme::Sed)).unwrap();
+    poisoned.inject_value_bit_flip(10, 40);
+
+    let mut queue = SolveQueue::new(4).with_retry_budget(2);
+    let clean_id = queue.register_matrix(&matrix, &protection).unwrap();
+    let bad_id = queue.register_encoded(poisoned);
+    queue.submit(JobSpec::new("alpha", clean_id, rhs_for(&matrix, 3)).with_config(config));
+    queue.submit(JobSpec::new("faulty", bad_id, rhs_for(&matrix, 4)).with_config(config));
+    queue.submit(JobSpec::new("charlie", clean_id, rhs_for(&matrix, 5)).with_config(config));
+
+    // Drain 1: the healthy tenants are answered; the faulted job is NOT
+    // surfaced — it is requeued (attempt 1, eligible at drain 2) with its
+    // fault already folded into the tenant's history.
+    let first = queue.drain();
+    assert_eq!(first.len(), 2);
+    assert!(first.iter().all(|o| o.tenant != "faulty"));
+    assert_eq!(queue.pending(), 1);
+    let after_first = queue.tenant_snapshot("faulty");
+    assert!(after_first.total_uncorrectable() > 0);
+
+    // Drain 2: attempt 1 runs solo, faults again, and is requeued with
+    // exponential backoff — attempt 2 only becomes eligible at drain 4.
+    assert!(queue.drain().is_empty());
+    assert_eq!(queue.pending(), 1);
+    let after_second = queue.tenant_snapshot("faulty");
+    assert!(after_second.total_uncorrectable() > after_first.total_uncorrectable());
+
+    // Drain 3: inside the backoff window, the job must not even run — the
+    // drain is empty and the tenant's fault history does not move.
+    assert!(queue.drain().is_empty());
+    assert_eq!(queue.pending(), 1);
+    assert_eq!(queue.tenant_snapshot("faulty"), after_second);
+
+    // Drain 4: the retry budget (2) is exhausted, so the job is finally
+    // surfaced as a Fault, carrying its attempt count and no solution.
+    let last = queue.drain();
+    assert_eq!(last.len(), 1);
+    let outcome = &last[0];
+    assert_eq!(outcome.tenant, "faulty");
+    assert_eq!(outcome.termination, Termination::Fault);
+    assert_eq!(outcome.attempts, 2);
+    assert!(outcome.solution.is_none());
+    assert_eq!(queue.pending(), 0);
+
+    // The healthy tenants that shared the first drain with the faulting
+    // job are bit-for-bit what they were without it.
+    for name in ["alpha", "charlie"] {
+        let clean = baseline.iter().find(|o| o.tenant == name).unwrap();
+        let contested = first.iter().find(|o| o.tenant == name).unwrap();
+        assert_eq!(contested.termination, Termination::Converged, "{name}");
+        assert_eq!(
+            contested.solution, clean.solution,
+            "{name}: solution changed when a faulting job shared the drain"
+        );
+        assert_eq!(
+            contested.faults, clean.faults,
+            "{name}: fault accounting changed when a faulting job shared the drain"
+        );
+    }
 }
 
 #[test]

@@ -297,6 +297,7 @@ fn spmv_element_fast_paths_match_reference_semantics() {
             check_interval: 1,
             crc_backend: Crc32cBackend::SlicingBy16,
             parallel: false,
+            parity: None,
         };
         let clean = ProtectedCsr::from_csr(&m, &cfg).unwrap();
         let log = FaultLog::new();

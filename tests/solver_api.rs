@@ -358,11 +358,7 @@ fn campaign_covers_protected_chebyshev_and_ppcg() {
         })
         .run();
         assert_eq!(stats.trials(), 20);
-        assert_eq!(
-            stats.count(FaultOutcome::SilentDataCorruption),
-            0,
-            "{method:?}"
-        );
+        assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0, "{method:?}");
         assert!(stats.count(FaultOutcome::Corrected) > 0, "{method:?}");
     }
 }
