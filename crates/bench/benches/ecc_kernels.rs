@@ -3,7 +3,9 @@
 //! of a protected SpMV relative to the plain one.  These are the building
 //! blocks behind the per-figure overheads.
 
-use abft_core::{EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig};
+use abft_core::{
+    EccScheme, FaultLog, ProtectedCsr, ProtectedMatrix, ProtectedVector, ProtectionConfig,
+};
 use abft_ecc::sed::parity_u64;
 use abft_ecc::{Crc32c, Crc32cBackend, SECDED_64, SECDED_88};
 use abft_sparse::spmv::spmv_serial;

@@ -20,6 +20,7 @@ use abft_bench::blas1_bench::{blas1_microbench, trajectory_points_json, Blas1Ben
 use abft_bench::coverage::{self, check_coverage, measure_coverage, CoverageConfig};
 use abft_bench::ecc_bench::{self, ecc_microbench, EccBenchConfig};
 use abft_bench::json::Json;
+use abft_bench::matrix_file::{self, matrix_file_report, MatrixFileConfig};
 use abft_bench::queue_bench::{self, queue_microbench, QueueBenchConfig};
 use abft_bench::regression::{check_regression, GateConfig};
 use abft_bench::scaling_bench::{self, scaling_microbench, ScalingBenchConfig};
@@ -58,6 +59,8 @@ struct Args {
     gate_tolerance: f64,
     coverage_tolerance: f64,
     bench_label: String,
+    matrix_file: Option<String>,
+    num_blocks: usize,
     parallel: bool,
     nx: usize,
     ny: usize,
@@ -93,6 +96,8 @@ impl Default for Args {
             gate_tolerance: 25.0,
             coverage_tolerance: 5.0,
             bench_label: "current".to_string(),
+            matrix_file: None,
+            num_blocks: 8,
             parallel: false,
             nx: 256,
             ny: 256,
@@ -139,6 +144,12 @@ const HELP: &str = "experiments — regenerate the paper's figures.
   --coverage-tolerance PP allowed rate drop (percentage points) for
                        --check-coverage
   --bench-label L      trajectory-point label for --bench-* JSON output
+  --matrix-file M      run the protected kernels on a Matrix Market file:
+                       SpMV overhead per scheme on every storage tier (CSR,
+                       COO, blocked CSR), plus a per-tier matrix-protected
+                       CG solve when the operator is symmetric
+  --num-blocks B       block count of the blocked-CSR tier for --matrix-file
+                       (default 8)
   --parallel           use the Rayon-parallel kernels
   --nx N / --ny N      grid size (default 256x256)
   --iters N            CG iterations per timed solve (default 50)
@@ -190,6 +201,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("{e}"))?
             }
             "--bench-label" => args.bench_label = value("--bench-label")?,
+            "--matrix-file" => args.matrix_file = Some(value("--matrix-file")?),
+            "--num-blocks" => {
+                args.num_blocks = value("--num-blocks")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--parallel" => args.parallel = true,
             "--nx" => args.nx = value("--nx")?.parse().map_err(|e| format!("{e}"))?,
             "--ny" => args.ny = value("--ny")?.parse().map_err(|e| format!("{e}"))?,
@@ -322,6 +337,31 @@ fn main() {
         parallel: args.parallel,
     };
     let mut output = JsonOutput::default();
+
+    if let Some(path) = &args.matrix_file {
+        let config = MatrixFileConfig {
+            path: path.clone(),
+            num_blocks: args.num_blocks,
+            iters: args.iterations.min(20),
+            repeats: args.repeats,
+            parallel: args.parallel,
+        };
+        match matrix_file_report(&config) {
+            Ok(report) => {
+                print!("{}", matrix_file::render_report(&report));
+                if let Some(json_path) = &args.json {
+                    std::fs::write(json_path, matrix_file::report_json(&report).render())
+                        .expect("write JSON output");
+                    println!("machine-readable results written to {json_path}");
+                }
+            }
+            Err(err) => {
+                eprintln!("--matrix-file failed: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     if args.check_regression {
         // The gate re-measures at the committed workload size (--nx, default

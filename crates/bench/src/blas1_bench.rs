@@ -23,7 +23,7 @@ use abft_core::{
     EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig, SpmvWorkspace,
 };
 use abft_ecc::Crc32cBackend;
-use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_sparse::builders::poisson_2d_padded;
 
 /// One measured kernel configuration.
 #[derive(Debug, Clone)]
@@ -152,7 +152,7 @@ fn protected_cg_solve(
 
 /// Runs the op × scheme × path sweep, including the end-to-end CG row.
 pub fn blas1_microbench(config: &Blas1BenchConfig) -> Vec<Blas1BenchRow> {
-    let matrix = pad_rows_to_min_entries(&poisson_2d(config.n, config.n), 4);
+    let matrix = poisson_2d_padded(config.n, config.n);
     let len = matrix.cols();
     let a_vals: Vec<f64> = (0..len).map(|i| 1.0 + (i as f64 * 0.13).sin()).collect();
     let b_vals: Vec<f64> = (0..len).map(|i| 0.5 + (i as f64 * 0.07).cos()).collect();
@@ -378,7 +378,7 @@ mod tests {
     fn both_cg_paths_reduce_the_residual_identically() {
         // The group-decode and masked mini-CG trajectories are the same
         // arithmetic, so their final squared residuals agree bit for bit.
-        let matrix = pad_rows_to_min_entries(&poisson_2d(10, 10), 4);
+        let matrix = poisson_2d_padded(10, 10);
         let b: Vec<f64> = (0..matrix.rows()).map(|i| 1.0 + (i % 5) as f64).collect();
         for scheme in schemes() {
             let cfg = ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16);

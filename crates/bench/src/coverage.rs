@@ -24,7 +24,7 @@
 //!   unchanged recovery rate.
 
 use crate::json::Json;
-use abft_core::{EccScheme, ParityConfig, ProtectionConfig};
+use abft_core::{EccScheme, ParityConfig, ProtectionConfig, StorageTier};
 use abft_ecc::Crc32cBackend;
 use abft_faultsim::{Campaign, CampaignConfig, FaultOutcome, FaultTarget, InjectionKind};
 
@@ -130,6 +130,36 @@ pub fn measure_coverage(config: &CoverageConfig) -> Vec<CoverageRow> {
                     ..base.clone()
                 },
                 "bit flip",
+                scheme,
+            ));
+        }
+    }
+    // The COO tier carries the matrix-side redundancy differently (per-element
+    // codewords plus a SECDED code over every element's row index), so its
+    // matrix-region coverage is gated separately — a tier-specific decode
+    // regression must not be able to hide behind unchanged CSR rates.
+    for scheme in [
+        EccScheme::Sed,
+        EccScheme::Secded64,
+        EccScheme::Secded128,
+        EccScheme::Crc32c,
+    ] {
+        for target in [
+            FaultTarget::MatrixValues,
+            FaultTarget::MatrixColumnIndices,
+            FaultTarget::RowPointer,
+        ] {
+            rows.push(run_campaign(
+                CampaignConfig {
+                    protection: ProtectionConfig::full(scheme)
+                        .with_crc_backend(Crc32cBackend::Hardware),
+                    target,
+                    flips_per_trial: 1,
+                    injection: InjectionKind::BitFlips,
+                    storage: StorageTier::Coo,
+                    ..base.clone()
+                },
+                "bit flip (coo)",
                 scheme,
             ));
         }
@@ -383,9 +413,11 @@ mod tests {
             baseline: String::new(),
         };
         let rows = measure_coverage(&small);
-        // 4 schemes x 4 targets of bit flips, plus the 3 erasure scenarios.
-        assert_eq!(rows.len(), 19);
+        // 4 schemes x 4 targets of CSR bit flips, 4 schemes x 3 matrix-side
+        // targets through the COO tier, plus the 3 erasure scenarios.
+        assert_eq!(rows.len(), 31);
         assert!(render_table(&rows).contains("chunk erasure (parity)"));
+        assert!(render_table(&rows).contains("bit flip (coo)"));
         let parity_row = rows
             .iter()
             .find(|r| r.injection == "chunk erasure (parity)")

@@ -40,7 +40,7 @@ use abft_core::{
 use abft_ecc::secded::{SECDED_118, SECDED_56};
 use abft_ecc::sed::parity_u64;
 use abft_ecc::{verify, Crc32c, Crc32cBackend};
-use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_sparse::builders::poisson_2d_padded;
 
 /// One measured configuration.
 #[derive(Debug, Clone)]
@@ -253,7 +253,7 @@ pub fn ecc_microbench(config: &EccBenchConfig) -> Vec<EccBenchRow> {
     // Fully protected SpMV end to end (checked matrix + scrubbed vector),
     // per scheme — the consumer the verify layer exists for.  Shipped
     // (batched) path only: the per-group matrix kernels no longer exist.
-    let matrix = pad_rows_to_min_entries(&poisson_2d(config.grid_n, config.grid_n), 4);
+    let matrix = poisson_2d_padded(config.grid_n, config.grid_n);
     for scheme in schemes() {
         let cfg = ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::Auto);
         let encoded = ProtectedCsr::from_csr(&matrix, &cfg).expect("encode");

@@ -27,6 +27,7 @@ pub mod blas1_bench;
 pub mod coverage;
 pub mod ecc_bench;
 pub mod json;
+pub mod matrix_file;
 pub mod queue_bench;
 pub mod regression;
 pub mod scaling_bench;

@@ -27,7 +27,7 @@ use abft_core::{EccScheme, FaultLogSnapshot, ProtectedCsr, ProtectionConfig, Reg
 use abft_serve::{JobSpec, SolveQueue};
 use abft_solvers::backends::FullyProtected;
 use abft_solvers::{Solver, SolverConfig};
-use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_sparse::builders::poisson_2d_padded;
 
 /// One measured configuration of the sweep.
 #[derive(Debug, Clone)]
@@ -102,7 +102,7 @@ fn matrix_region_checks(snapshot: &FaultLogSnapshot) -> u64 {
 
 /// Runs the scheme × {serial, batched × width} sweep.
 pub fn queue_microbench(config: &QueueBenchConfig) -> Vec<QueueBenchRow> {
-    let matrix = pad_rows_to_min_entries(&poisson_2d(config.n, config.n), 4);
+    let matrix = poisson_2d_padded(config.n, config.n);
     let rhs: Vec<Vec<f64>> = (0..config.jobs)
         .map(|j| {
             (0..matrix.rows())

@@ -182,17 +182,27 @@ fn measure_once(config: &GateConfig) -> Result<GateReport, String> {
     let mut rows = Vec::new();
     let tol = 1.0 + config.tolerance_pct / 100.0;
 
-    // --- SpMV: normalise each row by the unprotected plain_x row of the
-    // SAME execution mode (serial rows by the serial one, parallel rows by
-    // the parallel one).  Normalising parallel rows by a serial time would
-    // bake the measuring host's core count into the ratio, and the whole
-    // point of ratio comparison is surviving host changes. ---
+    // --- SpMV: normalise each row by the unprotected plain-x row of the
+    // SAME matrix family (Poisson rows by `plain_x`, irregular-fixture rows
+    // by `irregular_plain_x`) and the SAME execution mode (serial rows by
+    // the serial one, parallel rows by the parallel one).  Normalising
+    // parallel rows by a serial time would bake the measuring host's core
+    // count into the ratio, and cross-family normalisation would mix two
+    // unrelated memory-access profiles; the whole point of ratio comparison
+    // is surviving host changes. ---
+    let norm_kernel_for = |kernel: &str| {
+        if kernel.starts_with("irregular_") {
+            "irregular_plain_x"
+        } else {
+            "plain_x"
+        }
+    };
     let spmv_points = load_trajectory(&config.spmv_baseline)?;
     let base = last_point_rows(&spmv_points, |_| true).unwrap_or_default();
-    let base_norm_for = |parallel: bool| {
+    let base_norm_for = |norm_kernel: &str, parallel: bool| {
         base.iter()
             .find(|r| {
-                str_field(r, "kernel") == "plain_x"
+                str_field(r, "kernel") == norm_kernel
                     && str_field(r, "scheme") == "Unprotected"
                     && bool_field(r, "parallel") == parallel
             })
@@ -204,10 +214,12 @@ fn measure_once(config: &GateConfig) -> Result<GateReport, String> {
         iters: config.iters,
         repeats: config.repeats,
     });
-    let fresh_norm_for = |parallel: bool| {
+    let fresh_norm_for = |norm_kernel: &str, parallel: bool| {
         fresh
             .iter()
-            .find(|r| r.kernel == "plain_x" && r.scheme == "Unprotected" && r.parallel == parallel)
+            .find(|r| {
+                r.kernel == norm_kernel && r.scheme == "Unprotected" && r.parallel == parallel
+            })
             .map(|r| r.mean_ns_per_iter)
             .unwrap_or(f64::NAN)
     };
@@ -219,7 +231,8 @@ fn measure_once(config: &GateConfig) -> Result<GateReport, String> {
         );
         // Only the protected kernels are gated; the normaliser rows
         // themselves would compare 1.0 vs 1.0.
-        if scheme == "Unprotected" && kernel == "plain_x" {
+        let norm_kernel = norm_kernel_for(kernel);
+        if scheme == "Unprotected" && kernel == norm_kernel {
             continue;
         }
         let Some(fresh_row) = fresh
@@ -228,8 +241,9 @@ fn measure_once(config: &GateConfig) -> Result<GateReport, String> {
         else {
             continue;
         };
-        let baseline_ratio = num_field(base_row, "mean_ns_per_iter") / base_norm_for(parallel);
-        let fresh_ratio = fresh_row.mean_ns_per_iter / fresh_norm_for(parallel);
+        let baseline_ratio =
+            num_field(base_row, "mean_ns_per_iter") / base_norm_for(norm_kernel, parallel);
+        let fresh_ratio = fresh_row.mean_ns_per_iter / fresh_norm_for(norm_kernel, parallel);
         if !baseline_ratio.is_finite() || !fresh_ratio.is_finite() {
             continue;
         }
@@ -424,6 +438,18 @@ mod tests {
                             ("parallel", false.into()),
                             ("mean_ns_per_iter", protected_ns.into()),
                         ]),
+                        Json::obj([
+                            ("kernel", "irregular_plain_x".into()),
+                            ("scheme", "Unprotected".into()),
+                            ("parallel", false.into()),
+                            ("mean_ns_per_iter", 1000.0.into()),
+                        ]),
+                        Json::obj([
+                            ("kernel", "irregular_protected_x".into()),
+                            ("scheme", "SECDED64".into()),
+                            ("parallel", false.into()),
+                            ("mean_ns_per_iter", protected_ns.into()),
+                        ]),
                     ]),
                 ),
             ])]),
@@ -455,6 +481,8 @@ mod tests {
         let report = check_regression(&generous).unwrap();
         assert!(!report.regressed(), "{}", report.render());
         assert!(report.render().contains("SECDED64"));
+        // The irregular-fixture family is gated with its own normaliser.
+        assert!(report.render().contains("irregular_protected_x"));
 
         let strict = GateConfig {
             spmv_baseline: write_temp("abft_gate_spmv_bad.json", &spmv_baseline_doc(0.1)),

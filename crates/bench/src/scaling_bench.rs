@@ -26,7 +26,7 @@ use abft_core::{
     SpmvWorkspace, PARALLEL_MIN_ELEMENTS,
 };
 use abft_ecc::Crc32cBackend;
-use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_sparse::builders::poisson_2d_padded;
 
 /// One measured configuration of the sweep.
 #[derive(Debug, Clone)]
@@ -95,7 +95,7 @@ fn schemes() -> [EccScheme; 3] {
 pub fn scaling_microbench(config: &ScalingBenchConfig) -> Vec<ScalingBenchRow> {
     let mut rows = Vec::new();
     for &n in &config.sizes {
-        let matrix = pad_rows_to_min_entries(&poisson_2d(n, n), 4);
+        let matrix = poisson_2d_padded(n, n);
         let len = matrix.cols();
         let a_vals: Vec<f64> = (0..len).map(|i| 1.0 + (i as f64 * 0.13).sin()).collect();
         let b_vals: Vec<f64> = (0..len).map(|i| 0.5 + (i as f64 * 0.07).cos()).collect();

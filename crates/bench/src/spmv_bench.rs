@@ -11,10 +11,12 @@
 use crate::json::Json;
 use abft_core::spmv::{protected_spmv, protected_spmv_parallel};
 use abft_core::{
-    EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig, SpmvWorkspace,
+    EccScheme, FaultLog, ProtectedCsr, ProtectedMatrix, ProtectedVector, ProtectionConfig,
+    SpmvWorkspace,
 };
 use abft_ecc::Crc32cBackend;
-use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d_padded};
+use abft_sparse::{load_matrix_market, CsrMatrix};
 use std::time::Instant;
 
 /// One measured kernel configuration.
@@ -63,9 +65,67 @@ fn schemes() -> [EccScheme; 5] {
     ]
 }
 
-/// Runs the full kernel × scheme × serial/parallel sweep.
+/// Locates the committed irregular `.mtx` fixture (skewed row lengths,
+/// empty rows), resolving the path from either the workspace root (where
+/// CI runs) or this crate's manifest directory.
+fn irregular_fixture() -> Option<CsrMatrix> {
+    let candidates = [
+        "tests/fixtures/skew_general.mtx",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/fixtures/skew_general.mtx"
+        ),
+    ];
+    for path in candidates {
+        if let Ok(m) = load_matrix_market(path) {
+            return Some(pad_rows_to_min_entries(&m, 4));
+        }
+    }
+    None
+}
+
+/// Tiles `m` block-diagonally `copies` times so the fixture's skew profile
+/// (long rows next to padded empty rows) is preserved at benchmark size.
+fn tile_block_diag(m: &CsrMatrix, copies: usize) -> CsrMatrix {
+    let copies = copies.max(1);
+    let (rows, cols, values, col_indices, row_pointer) = m.clone().into_raw();
+    let nnz = values.len();
+    let mut tiled_values = Vec::with_capacity(nnz * copies);
+    let mut tiled_cols = Vec::with_capacity(nnz * copies);
+    let mut tiled_rp = Vec::with_capacity(rows * copies + 1);
+    tiled_rp.push(0u32);
+    for tile in 0..copies {
+        let col_shift = (cols * tile) as u32;
+        let nnz_shift = (nnz * tile) as u32;
+        tiled_values.extend_from_slice(&values);
+        tiled_cols.extend(col_indices.iter().map(|&c| c + col_shift));
+        tiled_rp.extend(row_pointer[1..].iter().map(|&p| p + nnz_shift));
+    }
+    CsrMatrix::try_new(
+        rows * copies,
+        cols * copies,
+        tiled_values,
+        tiled_cols,
+        tiled_rp,
+    )
+    .expect("block-diagonal tiling preserves CSR validity")
+}
+
+/// Runs the full kernel × scheme × serial/parallel sweep on the padded
+/// Poisson operator, then repeats it on the tiled irregular fixture (rows
+/// labelled `irregular_plain_x` / `irregular_protected_x`) so the
+/// regression gate also pins the skewed-row-length code paths.
 pub fn spmv_microbench(config: &SpmvBenchConfig) -> Vec<SpmvBenchRow> {
-    let matrix = pad_rows_to_min_entries(&poisson_2d(config.n, config.n), 4);
+    let mut rows = sweep_matrix(&poisson_2d_padded(config.n, config.n), "", config);
+    if let Some(fixture) = irregular_fixture() {
+        let copies = (config.n * config.n / fixture.rows().max(1)).max(1);
+        let matrix = tile_block_diag(&fixture, copies);
+        rows.extend(sweep_matrix(&matrix, "irregular_", config));
+    }
+    rows
+}
+
+fn sweep_matrix(matrix: &CsrMatrix, prefix: &str, config: &SpmvBenchConfig) -> Vec<SpmvBenchRow> {
     let x_plain: Vec<f64> = (0..matrix.cols())
         .map(|i| 1.0 + (i as f64 * 0.13).sin())
         .collect();
@@ -76,7 +136,7 @@ pub fn spmv_microbench(config: &SpmvBenchConfig) -> Vec<SpmvBenchRow> {
             let cfg = ProtectionConfig::matrix_only(scheme)
                 .with_crc_backend(Crc32cBackend::SlicingBy16)
                 .with_parallel(parallel);
-            let a = ProtectedCsr::from_csr(&matrix, &cfg).expect("encode");
+            let a = ProtectedCsr::from_csr(matrix, &cfg).expect("encode");
             let log = FaultLog::new();
             let mut y = vec![0.0; matrix.rows()];
             let mut ws = SpmvWorkspace::new();
@@ -103,7 +163,7 @@ pub fn spmv_microbench(config: &SpmvBenchConfig) -> Vec<SpmvBenchRow> {
                 })
                 .fold(f64::INFINITY, f64::min);
             rows.push(SpmvBenchRow {
-                kernel: "plain_x".into(),
+                kernel: format!("{prefix}plain_x"),
                 scheme: scheme.label().into(),
                 parallel,
                 mean_ns_per_iter: best,
@@ -113,7 +173,7 @@ pub fn spmv_microbench(config: &SpmvBenchConfig) -> Vec<SpmvBenchRow> {
             let cfg = ProtectionConfig::full(scheme)
                 .with_crc_backend(Crc32cBackend::SlicingBy16)
                 .with_parallel(parallel);
-            let a = ProtectedCsr::from_csr(&matrix, &cfg).expect("encode");
+            let a = ProtectedCsr::from_csr(matrix, &cfg).expect("encode");
             let mut xp = ProtectedVector::from_slice(&x_plain, scheme, cfg.crc_backend);
             let mut yp = ProtectedVector::zeros(matrix.rows(), scheme, cfg.crc_backend);
             let best = (0..config.repeats.max(1))
@@ -140,7 +200,7 @@ pub fn spmv_microbench(config: &SpmvBenchConfig) -> Vec<SpmvBenchRow> {
                 })
                 .fold(f64::INFINITY, f64::min);
             rows.push(SpmvBenchRow {
-                kernel: "protected_x".into(),
+                kernel: format!("{prefix}protected_x"),
                 scheme: scheme.label().into(),
                 parallel,
                 mean_ns_per_iter: best,
@@ -214,11 +274,13 @@ mod tests {
             repeats: 1,
         };
         let rows = spmv_microbench(&config);
-        // 2 kernels × 5 schemes × 2 modes.
-        assert_eq!(rows.len(), 20);
+        // 2 kernels × 5 schemes × 2 modes, for the Poisson operator and
+        // again for the tiled irregular fixture.
+        assert_eq!(rows.len(), 40);
         assert!(rows.iter().all(|r| r.mean_ns_per_iter > 0.0));
         let json = trajectory_point_json("test", &config, &rows).render();
         assert!(json.contains("plain_x"));
+        assert!(json.contains("irregular_protected_x"));
         assert!(json.contains("SECDED64"));
         assert!(render_table(&rows).contains("serial"));
     }

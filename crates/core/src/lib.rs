@@ -29,10 +29,13 @@
 #![deny(missing_docs)]
 
 pub mod blas1;
+pub mod blocked_csr;
 pub mod csr_element;
 pub mod error;
 pub mod policy;
+pub mod protected_coo;
 pub mod protected_csr;
+pub mod protected_matrix;
 pub mod protected_vector;
 pub mod report;
 pub mod row_pointer;
@@ -40,9 +43,12 @@ pub mod schemes;
 pub mod spmv;
 
 pub use blas1::{dot_axpy_panel, norm2_panel, ReductionWorkspace, PARALLEL_MIN_ELEMENTS};
+pub use blocked_csr::ProtectedBlockedCsr;
 pub use error::AbftError;
 pub use policy::CheckPolicy;
+pub use protected_coo::ProtectedCoo;
 pub use protected_csr::ProtectedCsr;
+pub use protected_matrix::{AnyProtectedMatrix, ProtectedMatrix, StorageTier};
 pub use protected_vector::ProtectedVector;
 pub use report::{FaultLog, FaultLogSnapshot, Region};
 pub use row_pointer::ProtectedRowPointer;

@@ -20,12 +20,11 @@
 use crate::csr_element::{ElementCodec, COL_MASK_24};
 use crate::error::AbftError;
 use crate::policy::CheckPolicy;
+use crate::protected_matrix::ProtectedMatrix;
 use crate::report::{FaultLog, Region};
 use crate::row_pointer::{mask_entry, ProtectedRowPointer};
 use crate::schemes::{EccScheme, ProtectionConfig};
-use crate::spmv::{
-    DenseSource, DenseView, DynX, MaskedX, SliceX, SpmvWorkspace, XRead, MAX_PANEL_WIDTH,
-};
+use crate::spmv::{dispatch_panel_readers, DenseView, MaskedX, SliceX, XRead, MAX_PANEL_WIDTH};
 use abft_ecc::correction::correct_crc32c_single;
 use abft_ecc::secded::DecodeOutcome;
 use abft_ecc::sed::{parity_u32, parity_u64};
@@ -195,144 +194,6 @@ impl ProtectedCsr {
         log: &FaultLog,
     ) -> Result<(usize, usize), AbftError> {
         self.row_pointer.row_range(row, check, log)
-    }
-
-    /// Sparse matrix–vector product `y = A x` on the protected
-    /// representation (serial).
-    ///
-    /// `x` may be a plain slice or a [`crate::ProtectedVector`] (any
-    /// [`DenseSource`]); `iteration` drives the check policy: full integrity
-    /// checks run when `policy.should_check(iteration)`, bounds checks
-    /// otherwise.  Prefer [`ProtectedCsr::spmv_with`] inside solver loops —
-    /// it reuses a caller-owned workspace instead of local scratch.
-    pub fn spmv<X: DenseSource + ?Sized>(
-        &self,
-        x: &X,
-        y: &mut [f64],
-        iteration: u64,
-        log: &FaultLog,
-    ) -> Result<(), AbftError> {
-        let mut scratch = Vec::new();
-        self.spmv_serial_impl(x, y, iteration, log, &mut scratch)
-    }
-
-    /// [`ProtectedCsr::spmv`] with caller-owned scratch: zero heap
-    /// allocations per call once the workspace is warm.
-    pub fn spmv_with<X: DenseSource + ?Sized>(
-        &self,
-        x: &X,
-        y: &mut [f64],
-        iteration: u64,
-        log: &FaultLog,
-        ws: &mut SpmvWorkspace,
-    ) -> Result<(), AbftError> {
-        self.spmv_serial_impl(x, y, iteration, log, &mut ws.scratch)
-    }
-
-    fn spmv_serial_impl<X: DenseSource + ?Sized>(
-        &self,
-        x: &X,
-        y: &mut [f64],
-        iteration: u64,
-        log: &FaultLog,
-        scratch: &mut Vec<u8>,
-    ) -> Result<(), AbftError> {
-        assert_eq!(x.length(), self.cols, "spmv: x has wrong length");
-        assert_eq!(y.len(), self.rows, "spmv: y has wrong length");
-        let check = self.policy.should_check(iteration);
-        match x.view() {
-            Some(DenseView::Slice(s)) => self.spmv_range(0, SliceX(s), y, check, scratch, log),
-            Some(DenseView::MaskedWords { words, mask }) => {
-                self.spmv_range(0, MaskedX { words, mask }, y, check, scratch, log)
-            }
-            None => self.spmv_range(0, DynX(x), y, check, scratch, log),
-        }
-    }
-
-    /// Parallel sparse matrix–vector product on the persistent worker pool
-    /// (one task per contiguous row chunk, matching the one-thread-per-row
-    /// structure of the paper's OpenMP and CUDA kernels).  Prefer
-    /// [`ProtectedCsr::spmv_parallel_with`] inside solver loops.
-    pub fn spmv_parallel<X: DenseSource + Sync + ?Sized>(
-        &self,
-        x: &X,
-        y: &mut [f64],
-        iteration: u64,
-        log: &FaultLog,
-    ) -> Result<(), AbftError> {
-        let mut ws = SpmvWorkspace::new();
-        self.spmv_parallel_with(x, y, iteration, log, &mut ws)
-    }
-
-    /// [`ProtectedCsr::spmv_parallel`] with caller-owned per-chunk scratch:
-    /// zero heap allocations per call once the workspace is warm.
-    pub fn spmv_parallel_with<X: DenseSource + Sync + ?Sized>(
-        &self,
-        x: &X,
-        y: &mut [f64],
-        iteration: u64,
-        log: &FaultLog,
-        ws: &mut SpmvWorkspace,
-    ) -> Result<(), AbftError> {
-        assert_eq!(x.length(), self.cols, "spmv_parallel: x has wrong length");
-        assert_eq!(y.len(), self.rows, "spmv_parallel: y has wrong length");
-        let check = self.policy.should_check(iteration);
-        let n_chunks = rayon::chunk_count(y.len());
-        let scratches = ws.chunk_scratch_for(n_chunks);
-        match x.view() {
-            Some(DenseView::Slice(s)) => {
-                self.spmv_parallel_dispatch(SliceX(s), y, check, scratches, log)
-            }
-            Some(DenseView::MaskedWords { words, mask }) => {
-                self.spmv_parallel_dispatch(MaskedX { words, mask }, y, check, scratches, log)
-            }
-            None => self.spmv_parallel_dispatch(DynX(x), y, check, scratches, log),
-        }
-    }
-
-    fn spmv_parallel_dispatch<R: XRead + Sync>(
-        &self,
-        x: R,
-        y: &mut [f64],
-        check: bool,
-        scratches: &mut [Vec<u8>],
-        log: &FaultLog,
-    ) -> Result<(), AbftError> {
-        rayon::with_chunks_mut(y, scratches, |offset, chunk, scratch| {
-            self.spmv_range(offset, x, chunk, check, scratch, log)
-        })
-    }
-
-    /// Dispatches to the serial or parallel SpMV according to the
-    /// configuration.
-    pub fn spmv_auto<X: DenseSource + Sync + ?Sized>(
-        &self,
-        x: &X,
-        y: &mut [f64],
-        iteration: u64,
-        log: &FaultLog,
-    ) -> Result<(), AbftError> {
-        if self.config.parallel {
-            self.spmv_parallel(x, y, iteration, log)
-        } else {
-            self.spmv(x, y, iteration, log)
-        }
-    }
-
-    /// [`ProtectedCsr::spmv_auto`] with a caller-owned workspace.
-    pub fn spmv_auto_with<X: DenseSource + Sync + ?Sized>(
-        &self,
-        x: &X,
-        y: &mut [f64],
-        iteration: u64,
-        log: &FaultLog,
-        ws: &mut SpmvWorkspace,
-    ) -> Result<(), AbftError> {
-        if self.config.parallel {
-            self.spmv_parallel_with(x, y, iteration, log, ws)
-        } else {
-            self.spmv_with(x, y, iteration, log, ws)
-        }
     }
 
     /// Verifies every codeword of the matrix (elements and row pointer)
@@ -789,47 +650,10 @@ impl ProtectedCsr {
         pair: usize,
         log: &FaultLog,
     ) -> Result<([f64; 2], [u32; 2]), AbftError> {
-        if pair + 1 >= self.values.len() {
-            let (v, c) = self.checked_element_secded64(pair, log)?;
-            return Ok(([v, 0.0], [c, 0]));
-        }
-        let c0 = self.col_indices[pair];
-        let c1 = self.col_indices[pair + 1];
-        if c1 & 0xFE00_0000 != 0 {
-            log.record_corrected(Region::CsrElements);
-        }
-        let stored = ((c0 >> 24) as u16) | ((((c1 >> 24) & 1) as u16) << 8);
-        let mut payload = [
-            self.values[pair].to_bits(),
-            self.values[pair + 1].to_bits(),
-            ((c0 & COL_MASK_24) as u64) | (((c1 & COL_MASK_24) as u64) << 24),
-        ];
-        match SECDED_176.check_and_correct(&mut payload, stored) {
-            DecodeOutcome::NoError => {}
-            DecodeOutcome::CorrectedData(_) | DecodeOutcome::CorrectedRedundancy => {
-                log.record_corrected(Region::CsrElements);
-            }
-            DecodeOutcome::Uncorrectable => {
-                log.record_uncorrectable(Region::CsrElements);
-                return Err(AbftError::Uncorrectable {
-                    region: Region::CsrElements,
-                    index: pair,
-                });
-            }
-        }
-        Ok((
-            [f64::from_bits(payload[0]), f64::from_bits(payload[1])],
-            [
-                payload[2] as u32 & COL_MASK_24,
-                (payload[2] >> 24) as u32 & COL_MASK_24,
-            ],
-        ))
+        check_pair_secded128(&self.values, &self.col_indices, pair, log)
     }
 
-    /// Non-mutating CRC32C row check.  Returns `Ok(None)` when the row is
-    /// clean, `Ok(Some((element, value_bits, col)))` when a single flip was
-    /// located (transient correction to apply while reading), and an error
-    /// when the row is uncorrectable.
+    /// Non-mutating CRC32C row check (see [`check_row_crc`]).
     fn checked_row_crc(
         &self,
         start: usize,
@@ -837,47 +661,15 @@ impl ProtectedCsr {
         scratch: &mut Vec<u8>,
         log: &FaultLog,
     ) -> Result<Option<(usize, u64, u32)>, AbftError> {
-        scratch.clear();
-        for k in start..end {
-            scratch.extend_from_slice(&self.values[k].to_bits().to_le_bytes());
-            scratch.extend_from_slice(&(self.col_indices[k] & COL_MASK_24).to_le_bytes());
-        }
-        let computed = self.crc.checksum(scratch);
-        let stored = u32::from_le_bytes([
-            (self.col_indices[start] >> 24) as u8,
-            (self.col_indices[start + 1] >> 24) as u8,
-            (self.col_indices[start + 2] >> 24) as u8,
-            (self.col_indices[start + 3] >> 24) as u8,
-        ]);
-        if computed == stored {
-            return Ok(None);
-        }
-        if (computed ^ stored).count_ones() == 1 {
-            // The stored checksum itself took the hit; the data is intact.
-            log.record_corrected(Region::CsrElements);
-            return Ok(None);
-        }
-        if let Some(bit) = correct_crc32c_single(&self.crc, scratch, stored) {
-            let element = bit / 96;
-            let offset = bit % 96;
-            if offset < 88 {
-                log.record_corrected(Region::CsrElements);
-                let k = start + element;
-                let mut vbits = self.values[k].to_bits();
-                let mut col = self.col_indices[k] & COL_MASK_24;
-                if offset < 64 {
-                    vbits ^= 1u64 << offset;
-                } else {
-                    col ^= 1u32 << (offset - 64);
-                }
-                return Ok(Some((element, vbits, col)));
-            }
-        }
-        log.record_uncorrectable(Region::CsrElements);
-        Err(AbftError::Uncorrectable {
-            region: Region::CsrElements,
-            index: start,
-        })
+        check_row_crc(
+            &self.crc,
+            &self.values,
+            &self.col_indices,
+            start,
+            end,
+            scratch,
+            log,
+        )
     }
 
     /// Non-mutating verification of one row's elements (used by
@@ -928,13 +720,97 @@ impl ProtectedCsr {
     }
 }
 
+impl ProtectedMatrix for ProtectedCsr {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn config(&self) -> &ProtectionConfig {
+        &self.config
+    }
+
+    fn policy(&self) -> CheckPolicy {
+        self.policy
+    }
+
+    fn spmv_range_view(
+        &self,
+        row0: usize,
+        x: DenseView<'_>,
+        y: &mut [f64],
+        check: bool,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        match x {
+            DenseView::Slice(s) => self.spmv_range(row0, SliceX(s), y, check, scratch, log),
+            DenseView::MaskedWords { words, mask } => {
+                self.spmv_range(row0, MaskedX { words, mask }, y, check, scratch, log)
+            }
+        }
+    }
+
+    fn spmm_range_view(
+        &self,
+        row0: usize,
+        xs: &[DenseView<'_>],
+        products: &mut [f64],
+        check: bool,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        dispatch_panel_readers!(xs, |readers| self
+            .spmm_range(row0, readers, products, check, scratch, log))
+    }
+
+    fn verify_all(&self, log: &FaultLog) -> Result<(), AbftError> {
+        ProtectedCsr::verify_all(self, log)
+    }
+
+    fn scrub(&mut self, log: &FaultLog) -> Result<usize, AbftError> {
+        ProtectedCsr::scrub(self, log)
+    }
+
+    fn visit_entries(&self, f: &mut dyn FnMut(usize, u32, f64)) {
+        self.for_each_entry(f);
+    }
+
+    fn to_csr(&self) -> CsrMatrix {
+        ProtectedCsr::to_csr(self)
+    }
+
+    fn inject_value_bit_flip(&mut self, k: usize, bit: u32) {
+        ProtectedCsr::inject_value_bit_flip(self, k, bit)
+    }
+
+    fn inject_col_bit_flip(&mut self, k: usize, bit: u32) {
+        ProtectedCsr::inject_col_bit_flip(self, k, bit)
+    }
+
+    fn inject_structure_bit_flip(&mut self, entry: usize, bit: u32) {
+        self.inject_row_pointer_bit_flip(entry, bit)
+    }
+
+    fn structure_entries(&self) -> usize {
+        self.rows + 1
+    }
+}
+
 /// Non-mutating SECDED64 check of one element's (value, encoded index) pair:
 /// the single source for the SpMV kernel, [`ProtectedCsr::verify_all`] and
 /// the unpaired SECDED128 tail.  Returns the (transiently corrected) value
 /// and masked column index; `index` is the absolute element position for
 /// error reporting.
 #[inline(always)]
-fn check_element_secded64(
+pub(crate) fn check_element_secded64(
     value: f64,
     col: u32,
     index: usize,
@@ -958,12 +834,117 @@ fn check_element_secded64(
     Ok((f64::from_bits(payload[0]), payload[1] as u32 & COL_MASK_24))
 }
 
+/// Non-mutating SECDED128 pair check over raw storage slices — shared by the
+/// CSR kernels and the COO tier (identical element encoding).  Returns
+/// corrected values and masked column indices for elements `pair` and
+/// `pair + 1`; an unpaired tail element falls back to its per-element
+/// SECDED(88) codeword.
+pub(crate) fn check_pair_secded128(
+    values: &[f64],
+    cols: &[u32],
+    pair: usize,
+    log: &FaultLog,
+) -> Result<([f64; 2], [u32; 2]), AbftError> {
+    if pair + 1 >= values.len() {
+        let (v, c) = check_element_secded64(values[pair], cols[pair], pair, log)?;
+        return Ok(([v, 0.0], [c, 0]));
+    }
+    let c0 = cols[pair];
+    let c1 = cols[pair + 1];
+    if c1 & 0xFE00_0000 != 0 {
+        log.record_corrected(Region::CsrElements);
+    }
+    let stored = ((c0 >> 24) as u16) | ((((c1 >> 24) & 1) as u16) << 8);
+    let mut payload = [
+        values[pair].to_bits(),
+        values[pair + 1].to_bits(),
+        ((c0 & COL_MASK_24) as u64) | (((c1 & COL_MASK_24) as u64) << 24),
+    ];
+    match SECDED_176.check_and_correct(&mut payload, stored) {
+        DecodeOutcome::NoError => {}
+        DecodeOutcome::CorrectedData(_) | DecodeOutcome::CorrectedRedundancy => {
+            log.record_corrected(Region::CsrElements);
+        }
+        DecodeOutcome::Uncorrectable => {
+            log.record_uncorrectable(Region::CsrElements);
+            return Err(AbftError::Uncorrectable {
+                region: Region::CsrElements,
+                index: pair,
+            });
+        }
+    }
+    Ok((
+        [f64::from_bits(payload[0]), f64::from_bits(payload[1])],
+        [
+            payload[2] as u32 & COL_MASK_24,
+            (payload[2] >> 24) as u32 & COL_MASK_24,
+        ],
+    ))
+}
+
+/// Non-mutating CRC32C row check over raw storage slices — shared by the CSR
+/// kernels and the COO tier.  Returns `Ok(None)` when the row `start..end`
+/// is clean, `Ok(Some((element, value_bits, col)))` when a single flip was
+/// located (transient correction to apply while reading; `element` is
+/// row-relative), and an error when the row is uncorrectable.
+pub(crate) fn check_row_crc(
+    crc: &Crc32c,
+    values: &[f64],
+    cols: &[u32],
+    start: usize,
+    end: usize,
+    scratch: &mut Vec<u8>,
+    log: &FaultLog,
+) -> Result<Option<(usize, u64, u32)>, AbftError> {
+    scratch.clear();
+    for k in start..end {
+        scratch.extend_from_slice(&values[k].to_bits().to_le_bytes());
+        scratch.extend_from_slice(&(cols[k] & COL_MASK_24).to_le_bytes());
+    }
+    let computed = crc.checksum(scratch);
+    let stored = u32::from_le_bytes([
+        (cols[start] >> 24) as u8,
+        (cols[start + 1] >> 24) as u8,
+        (cols[start + 2] >> 24) as u8,
+        (cols[start + 3] >> 24) as u8,
+    ]);
+    if computed == stored {
+        return Ok(None);
+    }
+    if (computed ^ stored).count_ones() == 1 {
+        // The stored checksum itself took the hit; the data is intact.
+        log.record_corrected(Region::CsrElements);
+        return Ok(None);
+    }
+    if let Some(bit) = correct_crc32c_single(crc, scratch, stored) {
+        let element = bit / 96;
+        let offset = bit % 96;
+        if offset < 88 {
+            log.record_corrected(Region::CsrElements);
+            let k = start + element;
+            let mut vbits = values[k].to_bits();
+            let mut col = cols[k] & COL_MASK_24;
+            if offset < 64 {
+                vbits ^= 1u64 << offset;
+            } else {
+                col ^= 1u32 << (offset - 64);
+            }
+            return Ok(Some((element, vbits, col)));
+        }
+    }
+    log.record_uncorrectable(Region::CsrElements);
+    Err(AbftError::Uncorrectable {
+        region: Region::CsrElements,
+        index: start,
+    })
+}
+
 /// Applies one decoded matrix element to every column of a panel:
 /// `acc[j] += v * xs[j][col]`.  Column `j`'s accumulator sees exactly the
 /// adds of the single-vector kernel, in the same order — the operation that
 /// makes multi-RHS outputs bitwise identical to k independent SpMVs.
 #[inline(always)]
-fn fma_panel<R: XRead>(
+pub(crate) fn fma_panel<R: XRead>(
     xs: &[R],
     v: f64,
     col: usize,
@@ -981,7 +962,12 @@ fn fma_panel<R: XRead>(
 /// `Option` test per access is the range check that prevents the
 /// segmentation faults the paper's checks exist to stop.
 #[inline(always)]
-fn read_x<R: XRead>(x: R, col: usize, k: usize, log: &FaultLog) -> Result<f64, AbftError> {
+pub(crate) fn read_x<R: XRead>(
+    x: R,
+    col: usize,
+    k: usize,
+    log: &FaultLog,
+) -> Result<f64, AbftError> {
     match x.get(col) {
         Some(v) => Ok(v),
         None => Err(x_out_of_range(log, k, col, x.len())),
@@ -991,7 +977,7 @@ fn read_x<R: XRead>(x: R, col: usize, k: usize, log: &FaultLog) -> Result<f64, A
 /// Out-of-line construction of the bounds-violation error keeps the kernel
 /// loops free of error-formatting code.
 #[cold]
-fn x_out_of_range(log: &FaultLog, index: usize, col: usize, limit: usize) -> AbftError {
+pub(crate) fn x_out_of_range(log: &FaultLog, index: usize, col: usize, limit: usize) -> AbftError {
     log.record_bounds_violation(Region::CsrElements);
     AbftError::OutOfRange {
         region: Region::CsrElements,
@@ -1080,7 +1066,6 @@ impl<'a> RpCursor<'a> {
 mod tests {
     use super::*;
     use abft_ecc::Crc32cBackend;
-    use abft_sparse::builders::poisson_2d;
     use abft_sparse::Vector;
 
     fn config(elements: EccScheme, row_pointer: EccScheme) -> ProtectionConfig {
@@ -1098,7 +1083,7 @@ mod tests {
     /// A Poisson matrix padded so every row has at least four entries (the
     /// CRC32C requirement); mirrors TeaLeaf's always-five-entry rows.
     fn test_matrix() -> CsrMatrix {
-        abft_sparse::builders::pad_rows_to_min_entries(&poisson_2d(12, 9), 4)
+        abft_sparse::builders::poisson_2d_padded(12, 9)
     }
 
     fn reference_spmv(m: &CsrMatrix, x: &[f64]) -> Vec<f64> {

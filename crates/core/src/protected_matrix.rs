@@ -1,0 +1,467 @@
+//! Storage-generic protected-matrix abstraction.
+//!
+//! [`ProtectedMatrix`] is the trait every protected sparse-matrix storage
+//! tier implements: the CSR tier ([`ProtectedCsr`]), the per-element COO
+//! tier ([`ProtectedCoo`]) and the codeword-aligned
+//! blocked-CSR tier ([`ProtectedBlockedCsr`]).
+//! The trait exposes exactly what the solver, serving and fault-injection
+//! layers need:
+//!
+//! * the **range kernels** ([`ProtectedMatrix::spmv_range_view`] /
+//!   [`ProtectedMatrix::spmm_range_view`]) that compute a contiguous row
+//!   slice of `A·x` (or of a multi-RHS panel product) with the integrity
+//!   checks *inside* the bandwidth-bound loop and the fault-tally flush
+//!   discipline (local counters, one bulk [`FaultLog`] update per
+//!   invocation);
+//! * whole-matrix **verify/scrub** ([`ProtectedMatrix::verify_all`] /
+//!   [`ProtectedMatrix::scrub`]);
+//! * the **fault-injection surface** (`inject_*`) the campaign engine
+//!   drives, with the row *structure* abstracted (a row pointer for the CSR
+//!   tiers, per-element row indices for COO);
+//! * provided whole-matrix SpMV drivers (`spmv*`) that plumb the
+//!   caller-owned [`SpmvWorkspace`] and the parallel chunk dispatch, so
+//!   every tier gets the serial/parallel/auto entry points for free.
+//!
+//! [`AnyProtectedMatrix`] is the tier-erased enum the serving queue and the
+//! fault campaign store; [`StorageTier`] names a tier for configuration.
+
+use crate::error::AbftError;
+use crate::policy::CheckPolicy;
+use crate::protected_coo::ProtectedCoo;
+use crate::protected_csr::ProtectedCsr;
+use crate::report::FaultLog;
+use crate::schemes::ProtectionConfig;
+use crate::spmv::{DenseSource, DenseView, SpmvWorkspace};
+use crate::ProtectedBlockedCsr;
+use abft_sparse::CsrMatrix;
+
+/// The protected sparse-matrix storage tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageTier {
+    /// Compressed sparse row — redundancy in the column-index top bits and a
+    /// protected row pointer (the paper's primary format).
+    Csr,
+    /// Coordinate storage — per-element (value, column) codewords identical
+    /// to CSR plus a small SECDED/parity code over each element's row index.
+    Coo,
+    /// CSR split into independently protected row blocks whose boundaries
+    /// are aligned to the row-pointer codeword groups; one verify certifies
+    /// one block.  The payload is the requested block count.
+    BlockedCsr(usize),
+}
+
+impl StorageTier {
+    /// Short human-readable tier name (stable; used in reports and JSON).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageTier::Csr => "csr",
+            StorageTier::Coo => "coo",
+            StorageTier::BlockedCsr(_) => "blocked-csr",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageTier::BlockedCsr(blocks) => write!(f, "blocked-csr({blocks})"),
+            tier => f.write_str(tier.label()),
+        }
+    }
+}
+
+/// A sparse matrix stored with embedded software ECC, abstracted over the
+/// storage layout.
+///
+/// Implementations guarantee that, for the same source [`CsrMatrix`] and
+/// [`ProtectionConfig`], the SpMV outputs are **bitwise identical** across
+/// tiers: every tier accumulates each output row's products in the same
+/// (CSR) element order.
+pub trait ProtectedMatrix: Send + Sync {
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Number of columns.
+    fn cols(&self) -> usize;
+
+    /// Number of stored non-zeros.
+    fn nnz(&self) -> usize;
+
+    /// The protection configuration this matrix was encoded with.
+    fn config(&self) -> &ProtectionConfig;
+
+    /// The check policy derived from the configuration.
+    fn policy(&self) -> CheckPolicy;
+
+    /// Computes `y[i] = (A x)[row0 + i]` for a contiguous row range.
+    ///
+    /// `check` selects full integrity checks versus bounds-only checks;
+    /// `scratch` is reusable byte scratch (CRC row codewords).  Integrity
+    /// tallies are accumulated locally and flushed to `log` in one bulk
+    /// update per invocation (the fault-tally flush discipline), including
+    /// on error paths.
+    fn spmv_range_view(
+        &self,
+        row0: usize,
+        x: DenseView<'_>,
+        y: &mut [f64],
+        check: bool,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError>;
+
+    /// Computes `products[i*k + j] = (A xs[j])[row0 + i]` for a contiguous
+    /// row range and a width-`k` panel — the multi-RHS sibling of
+    /// [`ProtectedMatrix::spmv_range_view`].  Column `j`'s output is bitwise
+    /// identical to a single-vector product of `xs[j]`.
+    fn spmm_range_view(
+        &self,
+        row0: usize,
+        xs: &[DenseView<'_>],
+        products: &mut [f64],
+        check: bool,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError>;
+
+    /// Verifies every codeword of the matrix without modifying storage.
+    fn verify_all(&self, log: &FaultLog) -> Result<(), AbftError>;
+
+    /// Re-verifies every codeword and repairs correctable errors in place;
+    /// returns the number of corrected codewords.
+    fn scrub(&mut self, log: &FaultLog) -> Result<usize, AbftError>;
+
+    /// Visits every stored entry as `(row, column, value)` with redundancy
+    /// bits masked off (unchecked).
+    fn visit_entries(&self, f: &mut dyn FnMut(usize, u32, f64));
+
+    /// Decodes the matrix back into a plain [`CsrMatrix`] (masked,
+    /// unchecked).
+    fn to_csr(&self) -> CsrMatrix;
+
+    /// Flips one bit of stored value `k` (fault-injection hook).
+    fn inject_value_bit_flip(&mut self, k: usize, bit: u32);
+
+    /// Flips one bit of stored (encoded) column index `k`.
+    fn inject_col_bit_flip(&mut self, k: usize, bit: u32);
+
+    /// Flips one bit of the row *structure*: a row-pointer entry for the CSR
+    /// tiers, an encoded per-element row index for COO.
+    fn inject_structure_bit_flip(&mut self, entry: usize, bit: u32);
+
+    /// Number of injectable row-structure entries
+    /// ([`ProtectedMatrix::inject_structure_bit_flip`]'s index domain).
+    fn structure_entries(&self) -> usize;
+
+    /// Extracts the diagonal as plain values (masked, unchecked; zero where
+    /// no diagonal entry is stored; first stored hit per row wins, matching
+    /// [`CsrMatrix::diagonal`]).
+    fn diagonal(&self) -> Vec<f64> {
+        let mut diag = vec![0.0; self.rows().min(self.cols())];
+        let mut seen = vec![false; diag.len()];
+        self.visit_entries(&mut |row, col, value| {
+            if col as usize == row && row < diag.len() && !seen[row] {
+                diag[row] = value;
+                seen[row] = true;
+            }
+        });
+        diag
+    }
+
+    /// Sparse matrix–vector product `y = A x` (serial, allocating scratch).
+    /// Prefer [`ProtectedMatrix::spmv_with`] inside solver loops.
+    fn spmv<X: DenseSource + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+    ) -> Result<(), AbftError>
+    where
+        Self: Sized,
+    {
+        let mut scratch = Vec::new();
+        spmv_serial_driver(self, x, y, iteration, log, &mut scratch)
+    }
+
+    /// [`ProtectedMatrix::spmv`] with caller-owned scratch: zero heap
+    /// allocations per call once the workspace is warm.
+    fn spmv_with<X: DenseSource + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+        ws: &mut SpmvWorkspace,
+    ) -> Result<(), AbftError>
+    where
+        Self: Sized,
+    {
+        spmv_serial_driver(self, x, y, iteration, log, &mut ws.scratch)
+    }
+
+    /// Parallel sparse matrix–vector product on the persistent worker pool.
+    /// Prefer [`ProtectedMatrix::spmv_parallel_with`] inside solver loops.
+    fn spmv_parallel<X: DenseSource + Sync + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+    ) -> Result<(), AbftError>
+    where
+        Self: Sized,
+    {
+        let mut ws = SpmvWorkspace::new();
+        self.spmv_parallel_with(x, y, iteration, log, &mut ws)
+    }
+
+    /// [`ProtectedMatrix::spmv_parallel`] with caller-owned per-chunk
+    /// scratch.
+    fn spmv_parallel_with<X: DenseSource + Sync + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+        ws: &mut SpmvWorkspace,
+    ) -> Result<(), AbftError>
+    where
+        Self: Sized,
+    {
+        assert_eq!(x.length(), self.cols(), "spmv_parallel: x has wrong length");
+        assert_eq!(y.len(), self.rows(), "spmv_parallel: y has wrong length");
+        let check = self.policy().should_check(iteration);
+        let n_chunks = rayon::chunk_count(y.len());
+        let scratches = ws.chunk_scratch_for(n_chunks);
+        match x.view() {
+            Some(view) => spmv_parallel_driver(self, view, y, check, scratches, log),
+            None => {
+                // Fallback for sources without a storage view: stage the
+                // logical values once (same values the per-element reads
+                // would produce) and run the slice fast path.
+                let staged: Vec<f64> = (0..x.length()).map(|i| x.value(i)).collect();
+                spmv_parallel_driver(self, DenseView::Slice(&staged), y, check, scratches, log)
+            }
+        }
+    }
+
+    /// Dispatches to the serial or parallel SpMV according to the
+    /// configuration.
+    fn spmv_auto<X: DenseSource + Sync + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+    ) -> Result<(), AbftError>
+    where
+        Self: Sized,
+    {
+        if self.config().parallel {
+            self.spmv_parallel(x, y, iteration, log)
+        } else {
+            self.spmv(x, y, iteration, log)
+        }
+    }
+
+    /// [`ProtectedMatrix::spmv_auto`] with a caller-owned workspace.
+    fn spmv_auto_with<X: DenseSource + Sync + ?Sized>(
+        &self,
+        x: &X,
+        y: &mut [f64],
+        iteration: u64,
+        log: &FaultLog,
+        ws: &mut SpmvWorkspace,
+    ) -> Result<(), AbftError>
+    where
+        Self: Sized,
+    {
+        if self.config().parallel {
+            self.spmv_parallel_with(x, y, iteration, log, ws)
+        } else {
+            self.spmv_with(x, y, iteration, log, ws)
+        }
+    }
+}
+
+/// Serial whole-matrix SpMV shared by the provided trait drivers.
+fn spmv_serial_driver<A: ProtectedMatrix + ?Sized, X: DenseSource + ?Sized>(
+    a: &A,
+    x: &X,
+    y: &mut [f64],
+    iteration: u64,
+    log: &FaultLog,
+    scratch: &mut Vec<u8>,
+) -> Result<(), AbftError> {
+    assert_eq!(x.length(), a.cols(), "spmv: x has wrong length");
+    assert_eq!(y.len(), a.rows(), "spmv: y has wrong length");
+    let check = a.policy().should_check(iteration);
+    match x.view() {
+        Some(view) => a.spmv_range_view(0, view, y, check, scratch, log),
+        None => {
+            // Stage sources without a storage view (see the parallel driver).
+            let staged: Vec<f64> = (0..x.length()).map(|i| x.value(i)).collect();
+            a.spmv_range_view(0, DenseView::Slice(&staged), y, check, scratch, log)
+        }
+    }
+}
+
+/// Parallel chunk dispatch shared by the provided trait drivers.
+fn spmv_parallel_driver<A: ProtectedMatrix + ?Sized>(
+    a: &A,
+    x: DenseView<'_>,
+    y: &mut [f64],
+    check: bool,
+    scratches: &mut [Vec<u8>],
+    log: &FaultLog,
+) -> Result<(), AbftError> {
+    rayon::with_chunks_mut(y, scratches, |offset, chunk, scratch| {
+        a.spmv_range_view(offset, x, chunk, check, scratch, log)
+    })
+}
+
+/// A protected matrix of any storage tier — the type-erased form the
+/// serving queue registers and the fault campaign encodes.
+#[derive(Debug, Clone)]
+pub enum AnyProtectedMatrix {
+    /// The CSR tier.
+    Csr(ProtectedCsr),
+    /// The COO tier.
+    Coo(ProtectedCoo),
+    /// The blocked-CSR tier.
+    BlockedCsr(ProtectedBlockedCsr),
+}
+
+impl AnyProtectedMatrix {
+    /// Encodes a plain CSR matrix into the requested storage tier.
+    pub fn encode(
+        matrix: &CsrMatrix,
+        config: &ProtectionConfig,
+        tier: StorageTier,
+    ) -> Result<Self, AbftError> {
+        Ok(match tier {
+            StorageTier::Csr => AnyProtectedMatrix::Csr(ProtectedCsr::from_csr(matrix, config)?),
+            StorageTier::Coo => AnyProtectedMatrix::Coo(ProtectedCoo::from_csr(matrix, config)?),
+            StorageTier::BlockedCsr(blocks) => AnyProtectedMatrix::BlockedCsr(
+                ProtectedBlockedCsr::from_csr(matrix, config, blocks)?,
+            ),
+        })
+    }
+
+    /// The tier this matrix is stored in.
+    pub fn tier(&self) -> StorageTier {
+        match self {
+            AnyProtectedMatrix::Csr(_) => StorageTier::Csr,
+            AnyProtectedMatrix::Coo(_) => StorageTier::Coo,
+            AnyProtectedMatrix::BlockedCsr(b) => StorageTier::BlockedCsr(b.num_blocks()),
+        }
+    }
+}
+
+impl From<ProtectedCsr> for AnyProtectedMatrix {
+    fn from(matrix: ProtectedCsr) -> Self {
+        AnyProtectedMatrix::Csr(matrix)
+    }
+}
+
+impl From<ProtectedCoo> for AnyProtectedMatrix {
+    fn from(matrix: ProtectedCoo) -> Self {
+        AnyProtectedMatrix::Coo(matrix)
+    }
+}
+
+impl From<ProtectedBlockedCsr> for AnyProtectedMatrix {
+    fn from(matrix: ProtectedBlockedCsr) -> Self {
+        AnyProtectedMatrix::BlockedCsr(matrix)
+    }
+}
+
+/// Delegates every trait method to the wrapped tier.
+macro_rules! delegate {
+    ($self:ident, $m:ident => $body:expr) => {
+        match $self {
+            AnyProtectedMatrix::Csr($m) => $body,
+            AnyProtectedMatrix::Coo($m) => $body,
+            AnyProtectedMatrix::BlockedCsr($m) => $body,
+        }
+    };
+}
+
+impl ProtectedMatrix for AnyProtectedMatrix {
+    fn rows(&self) -> usize {
+        delegate!(self, m => m.rows())
+    }
+
+    fn cols(&self) -> usize {
+        delegate!(self, m => m.cols())
+    }
+
+    fn nnz(&self) -> usize {
+        delegate!(self, m => m.nnz())
+    }
+
+    fn config(&self) -> &ProtectionConfig {
+        delegate!(self, m => m.config())
+    }
+
+    fn policy(&self) -> CheckPolicy {
+        delegate!(self, m => m.policy())
+    }
+
+    fn spmv_range_view(
+        &self,
+        row0: usize,
+        x: DenseView<'_>,
+        y: &mut [f64],
+        check: bool,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        delegate!(self, m => m.spmv_range_view(row0, x, y, check, scratch, log))
+    }
+
+    fn spmm_range_view(
+        &self,
+        row0: usize,
+        xs: &[DenseView<'_>],
+        products: &mut [f64],
+        check: bool,
+        scratch: &mut Vec<u8>,
+        log: &FaultLog,
+    ) -> Result<(), AbftError> {
+        delegate!(self, m => m.spmm_range_view(row0, xs, products, check, scratch, log))
+    }
+
+    fn verify_all(&self, log: &FaultLog) -> Result<(), AbftError> {
+        delegate!(self, m => m.verify_all(log))
+    }
+
+    fn scrub(&mut self, log: &FaultLog) -> Result<usize, AbftError> {
+        delegate!(self, m => ProtectedMatrix::scrub(m, log))
+    }
+
+    fn visit_entries(&self, f: &mut dyn FnMut(usize, u32, f64)) {
+        delegate!(self, m => m.visit_entries(f))
+    }
+
+    fn to_csr(&self) -> CsrMatrix {
+        delegate!(self, m => m.to_csr())
+    }
+
+    fn inject_value_bit_flip(&mut self, k: usize, bit: u32) {
+        delegate!(self, m => m.inject_value_bit_flip(k, bit))
+    }
+
+    fn inject_col_bit_flip(&mut self, k: usize, bit: u32) {
+        delegate!(self, m => m.inject_col_bit_flip(k, bit))
+    }
+
+    fn inject_structure_bit_flip(&mut self, entry: usize, bit: u32) {
+        delegate!(self, m => m.inject_structure_bit_flip(entry, bit))
+    }
+
+    fn structure_entries(&self) -> usize {
+        delegate!(self, m => m.structure_entries())
+    }
+}

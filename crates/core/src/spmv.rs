@@ -1,11 +1,12 @@
 //! Fully protected sparse matrix–vector products.
 //!
-//! [`ProtectedCsr::spmv`](crate::ProtectedCsr::spmv) accepts any
+//! [`ProtectedMatrix::spmv`] accepts any
 //! [`DenseSource`] as its input vector, so the same kernel serves the
 //! matrix-only configurations (plain `&[f64]` input) and the fully protected
 //! configurations (a [`ProtectedVector`] input read through its masking
-//! layer).  The free functions here add the vector-side integrity work for
-//! the fully protected case:
+//! layer) — for every storage tier implementing
+//! [`ProtectedMatrix`].  The free functions here add
+//! the vector-side integrity work for the fully protected case:
 //!
 //! * the input vector is scrubbed once per kernel invocation — this plays the
 //!   role of the paper's multi-element, multi-iteration-aware read cache
@@ -24,7 +25,7 @@
 //! the first call warms the workspace.
 
 use crate::error::AbftError;
-use crate::protected_csr::ProtectedCsr;
+use crate::protected_matrix::ProtectedMatrix;
 use crate::protected_vector::ProtectedVector;
 use crate::report::FaultLog;
 use crate::schemes::EccScheme;
@@ -167,32 +168,93 @@ impl XRead for MaskedX<'_> {
     }
 }
 
-/// Fallback reader for [`DenseSource`] implementations without a storage
-/// view.
-pub(crate) struct DynX<'a, X: ?Sized>(pub(crate) &'a X);
-
-impl<X: ?Sized> Clone for DynX<'_, X> {
-    fn clone(&self) -> Self {
-        *self
-    }
+/// Reader over either storage kind, for mixed-composition panels (plain and
+/// masked columns riding one traversal).  Homogeneous panels — the only
+/// compositions the shipped entry points build — use the specialized readers
+/// via [`dispatch_panel_readers`] instead, so this enum's per-read branch
+/// stays off the hot paths.
+#[derive(Clone, Copy)]
+pub(crate) enum ViewX<'a> {
+    /// Plain-slice column.
+    Slice(SliceX<'a>),
+    /// Masked-words column.
+    Masked(MaskedX<'a>),
 }
 
-impl<X: ?Sized> Copy for DynX<'_, X> {}
-
-impl<X: DenseSource + ?Sized> XRead for DynX<'_, X> {
-    #[inline(always)]
-    fn len(&self) -> usize {
-        self.0.length()
-    }
-    #[inline(always)]
-    fn get(&self, i: usize) -> Option<f64> {
-        if i < self.0.length() {
-            Some(self.0.value(i))
-        } else {
-            None
+impl<'a> From<DenseView<'a>> for ViewX<'a> {
+    fn from(view: DenseView<'a>) -> Self {
+        match view {
+            DenseView::Slice(s) => ViewX::Slice(SliceX(s)),
+            DenseView::MaskedWords { words, mask } => ViewX::Masked(MaskedX { words, mask }),
         }
     }
 }
+
+impl XRead for ViewX<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        match self {
+            ViewX::Slice(s) => s.len(),
+            ViewX::Masked(m) => m.len(),
+        }
+    }
+    #[inline(always)]
+    fn get(&self, i: usize) -> Option<f64> {
+        match self {
+            ViewX::Slice(s) => s.get(i),
+            ViewX::Masked(m) => m.get(i),
+        }
+    }
+}
+
+/// Builds the fixed-size [`XRead`] panel for a `&[DenseView]` and invokes
+/// the body with the reader slice bound — the storage-tier side of
+/// [`ProtectedMatrix::spmm_range_view`]'s monomorphization.  All-slice and
+/// all-masked panels get the specialized readers (codegen identical to the
+/// pre-trait concrete kernels); mixed panels fall back to [`ViewX`].
+macro_rules! dispatch_panel_readers {
+    ($xs:expr, |$r:ident| $call:expr) => {{
+        let views: &[$crate::spmv::DenseView<'_>] = $xs;
+        let width = views.len();
+        if views
+            .iter()
+            .all(|v| matches!(v, $crate::spmv::DenseView::Slice(_)))
+        {
+            let mut readers = [$crate::spmv::SliceX(&[][..]); $crate::spmv::MAX_PANEL_WIDTH];
+            for (slot, v) in readers.iter_mut().zip(views) {
+                if let $crate::spmv::DenseView::Slice(s) = v {
+                    *slot = $crate::spmv::SliceX(s);
+                }
+            }
+            let $r = &readers[..width];
+            $call
+        } else if views
+            .iter()
+            .all(|v| matches!(v, $crate::spmv::DenseView::MaskedWords { .. }))
+        {
+            let mut readers = [$crate::spmv::MaskedX {
+                words: &[][..],
+                mask: 0,
+            }; $crate::spmv::MAX_PANEL_WIDTH];
+            for (slot, v) in readers.iter_mut().zip(views) {
+                if let $crate::spmv::DenseView::MaskedWords { words, mask } = v {
+                    *slot = $crate::spmv::MaskedX { words, mask: *mask };
+                }
+            }
+            let $r = &readers[..width];
+            $call
+        } else {
+            let mut readers = [$crate::spmv::ViewX::Slice($crate::spmv::SliceX(&[][..]));
+                $crate::spmv::MAX_PANEL_WIDTH];
+            for (slot, v) in readers.iter_mut().zip(views) {
+                *slot = $crate::spmv::ViewX::from(*v);
+            }
+            let $r = &readers[..width];
+            $call
+        }
+    }};
+}
+pub(crate) use dispatch_panel_readers;
 
 /// Maximum number of right-hand sides a multi-RHS panel may carry.
 ///
@@ -265,8 +327,8 @@ impl SpmvWorkspace {
 /// assert!((y.get(1) - 30.0).abs() < 1e-9); // 3·10
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn protected_spmv(
-    a: &ProtectedCsr,
+pub fn protected_spmv<A: ProtectedMatrix + ?Sized>(
+    a: &A,
     x: &mut ProtectedVector,
     y: &mut ProtectedVector,
     iteration: u64,
@@ -286,7 +348,7 @@ pub fn protected_spmv(
     }
     let check = a.policy().should_check(iteration);
     let (words, mask) = x.masked_words();
-    let xr = MaskedX { words, mask };
+    let xv = DenseView::MaskedWords { words, mask };
     let SpmvWorkspace {
         products, scratch, ..
     } = ws;
@@ -294,7 +356,7 @@ pub fn protected_spmv(
         products.resize(a.rows(), 0.0);
     }
     let products = &mut products[..a.rows()];
-    a.spmv_range(0, xr, products, check, scratch, log)?;
+    a.spmv_range_view(0, xv, products, check, scratch, log)?;
     y.fill_from_fn(|row| products[row]);
     Ok(())
 }
@@ -306,8 +368,8 @@ pub fn protected_spmv(
 /// the protected output is then encoded group by group (the buffer is
 /// scratch space, not persistent storage, so the zero-storage-overhead
 /// property of the protected structures is preserved).
-pub fn protected_spmv_parallel(
-    a: &ProtectedCsr,
+pub fn protected_spmv_parallel<A: ProtectedMatrix + ?Sized>(
+    a: &A,
     x: &mut ProtectedVector,
     y: &mut ProtectedVector,
     iteration: u64,
@@ -332,7 +394,7 @@ pub fn protected_spmv_parallel(
     }
     let check = a.policy().should_check(iteration);
     let (words, mask) = x.masked_words();
-    let xr = MaskedX { words, mask };
+    let xv = DenseView::MaskedWords { words, mask };
     let n_chunks = rayon::chunk_count(a.rows());
     let SpmvWorkspace {
         products,
@@ -349,7 +411,7 @@ pub fn protected_spmv_parallel(
     rayon::with_chunks_mut(
         products,
         &mut chunk_scratch[..n_chunks],
-        |offset, chunk, scratch| a.spmv_range(offset, xr, chunk, check, scratch, log),
+        |offset, chunk, scratch| a.spmv_range_view(offset, xv, chunk, check, scratch, log),
     )?;
     y.fill_from_fn(|row| products[row]);
     Ok(())
@@ -377,12 +439,12 @@ impl SpmmWorkspace {
     }
 }
 
-/// Runs a prepared reader panel through the SpMM range kernel, serial or
+/// Runs a prepared view panel through the SpMM range kernel, serial or
 /// parallel per the matrix configuration, leaving the row-major product
 /// panel in the workspace.  Matrix-side checks and faults go to `log`.
-fn spmm_dispatch<R: XRead + Send + Sync>(
-    a: &ProtectedCsr,
-    xs: &[R],
+fn spmm_dispatch<A: ProtectedMatrix + ?Sized>(
+    a: &A,
+    xs: &[DenseView<'_>],
     check: bool,
     log: &FaultLog,
     ws: &mut SpmmWorkspace,
@@ -407,7 +469,9 @@ fn spmm_dispatch<R: XRead + Send + Sync>(
             &mut products[..need],
             &mut chunk_scratch[..n_chunks],
             width,
-            |offset, chunk, scratch| a.spmm_range(offset / width, xs, chunk, check, scratch, log),
+            |offset, chunk, scratch| {
+                a.spmm_range_view(offset / width, xs, chunk, check, scratch, log)
+            },
         )
     } else {
         let SpmmWorkspace {
@@ -417,7 +481,7 @@ fn spmm_dispatch<R: XRead + Send + Sync>(
         if products.len() < need {
             products.resize(need, 0.0);
         }
-        a.spmm_range(0, xs, &mut products[..need], check, scratch, log)
+        a.spmm_range_view(0, xs, &mut products[..need], check, scratch, log)
     }
 }
 
@@ -428,8 +492,8 @@ fn spmm_dispatch<R: XRead + Send + Sync>(
 /// per-RHS matrix verify cost scales as `1/k`; column `j`'s output is
 /// bitwise identical to a single-vector SpMV of `xs[j]`.  Serial or
 /// parallel execution follows the matrix configuration.
-pub fn protected_spmm_plain(
-    a: &ProtectedCsr,
+pub fn protected_spmm_plain<A: ProtectedMatrix + ?Sized>(
+    a: &A,
     xs: &[&[f64]],
     ys: &mut [&mut [f64]],
     iteration: u64,
@@ -461,11 +525,11 @@ pub fn protected_spmm_plain(
         );
     }
     let check = a.policy().should_check(iteration);
-    let mut readers = [SliceX(&[][..]); MAX_PANEL_WIDTH];
-    for (slot, x) in readers.iter_mut().zip(xs) {
-        *slot = SliceX(x);
+    let mut views = [DenseView::Slice(&[][..]); MAX_PANEL_WIDTH];
+    for (slot, x) in views.iter_mut().zip(xs) {
+        *slot = DenseView::Slice(x);
     }
-    spmm_dispatch(a, &readers[..width], check, log, ws)?;
+    spmm_dispatch(a, &views[..width], check, log, ws)?;
     let panel = &ws.products[..a.rows() * width];
     for (j, y) in ys.iter_mut().enumerate() {
         for (row, yi) in y.iter_mut().enumerate() {
@@ -487,8 +551,8 @@ pub fn protected_spmm_plain(
 /// same corrupt structure).  Columns whose `col_errors` slot is already
 /// `Some` on entry are skipped.
 #[allow(clippy::too_many_arguments)]
-pub fn protected_spmm(
-    a: &ProtectedCsr,
+pub fn protected_spmm<A: ProtectedMatrix + ?Sized>(
+    a: &A,
     xs: &mut [&mut ProtectedVector],
     ys: &mut [&mut ProtectedVector],
     iteration: u64,
@@ -536,8 +600,8 @@ pub fn protected_spmm(
             }
         }
     }
-    // Compact the surviving columns into a fixed-size reader panel.
-    let mut readers = [MaskedX {
+    // Compact the surviving columns into a fixed-size view panel.
+    let mut views = [DenseView::MaskedWords {
         words: &[][..],
         mask: 0,
     }; MAX_PANEL_WIDTH];
@@ -548,7 +612,7 @@ pub fn protected_spmm(
             continue;
         }
         let (words, mask) = x.masked_words();
-        readers[live] = MaskedX { words, mask };
+        views[live] = DenseView::MaskedWords { words, mask };
         positions[live] = j;
         live += 1;
     }
@@ -556,7 +620,7 @@ pub fn protected_spmm(
         return Ok(());
     }
     let check = a.policy().should_check(iteration);
-    spmm_dispatch(a, &readers[..live], check, matrix_log, ws)?;
+    spmm_dispatch(a, &views[..live], check, matrix_log, ws)?;
     let panel = &ws.products[..a.rows() * live];
     for (pos, &j) in positions[..live].iter().enumerate() {
         ys[j].fill_from_fn(|row| panel[row * live + pos]);
@@ -566,8 +630,8 @@ pub fn protected_spmm(
 
 /// Dispatches to the serial or parallel fully protected SpMV according to the
 /// matrix configuration.
-pub fn protected_spmv_auto(
-    a: &ProtectedCsr,
+pub fn protected_spmv_auto<A: ProtectedMatrix + ?Sized>(
+    a: &A,
     x: &mut ProtectedVector,
     y: &mut ProtectedVector,
     iteration: u64,
@@ -584,16 +648,17 @@ pub fn protected_spmv_auto(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protected_csr::ProtectedCsr;
     use crate::schemes::ProtectionConfig;
     use abft_ecc::Crc32cBackend;
-    use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+    use abft_sparse::builders::poisson_2d_padded;
 
     fn full_config(scheme: EccScheme) -> ProtectionConfig {
         ProtectionConfig::full(scheme).with_crc_backend(Crc32cBackend::SlicingBy16)
     }
 
     fn setup(scheme: EccScheme) -> (ProtectedCsr, ProtectedVector, ProtectedVector, Vec<f64>) {
-        let m = pad_rows_to_min_entries(&poisson_2d(9, 7), 4);
+        let m = poisson_2d_padded(9, 7);
         let cfg = full_config(scheme);
         let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
         let x_plain: Vec<f64> = (0..m.cols())
@@ -665,7 +730,7 @@ mod tests {
 
     #[test]
     fn auto_dispatch_follows_config() {
-        let m = pad_rows_to_min_entries(&poisson_2d(6, 6), 4);
+        let m = poisson_2d_padded(6, 6);
         let cfg = full_config(EccScheme::Crc32c).with_parallel(true);
         let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
         let mut x = ProtectedVector::from_slice(
@@ -713,7 +778,7 @@ mod tests {
             EccScheme::Secded128,
             EccScheme::Crc32c,
         ] {
-            let m = pad_rows_to_min_entries(&poisson_2d(9, 7), 4);
+            let m = poisson_2d_padded(9, 7);
             let cfg = full_config(scheme);
             let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
             for width in [1usize, 2, 3, 8] {
@@ -776,7 +841,7 @@ mod tests {
     fn spmm_matrix_checks_are_panel_width_invariant() {
         // One traversal's matrix-side check count must not depend on how
         // many RHS ride along — that is the 1/k amortization.
-        let m = pad_rows_to_min_entries(&poisson_2d(9, 7), 4);
+        let m = poisson_2d_padded(9, 7);
         for scheme in [EccScheme::Secded64, EccScheme::Crc32c] {
             let cfg = full_config(scheme);
             let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
@@ -820,7 +885,7 @@ mod tests {
 
     #[test]
     fn spmm_isolates_a_corrupt_column() {
-        let m = pad_rows_to_min_entries(&poisson_2d(9, 7), 4);
+        let m = poisson_2d_padded(9, 7);
         let cfg = full_config(EccScheme::Sed); // SED: any flip is uncorrectable
         let a = ProtectedCsr::from_csr(&m, &cfg).unwrap();
         let width = 3usize;

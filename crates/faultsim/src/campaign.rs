@@ -13,7 +13,10 @@
 
 use crate::flip::{FaultSpec, FaultTarget};
 use crate::outcome::FaultOutcome;
-use abft_core::{AbftError, EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig};
+use abft_core::{
+    AbftError, AnyProtectedMatrix, EccScheme, FaultLog, ProtectedMatrix, ProtectedVector,
+    ProtectionConfig, StorageTier,
+};
 use abft_solvers::backends::{FullyProtected, MatrixProtected};
 use abft_solvers::{ChebyshevBounds, FaultContext, LinearOperator, Method, Solver, SolverError};
 use abft_sparse::CsrMatrix;
@@ -72,6 +75,10 @@ pub struct CampaignConfig {
     pub solver: Method,
     /// What each trial injects (bit flips, a burst, or an erasure).
     pub injection: InjectionKind,
+    /// Which protected storage tier each trial encodes the matrix into.
+    /// Matrix-side faults strike that tier's own redundancy layout (e.g.
+    /// per-element row indexes under [`StorageTier::Coo`]).
+    pub storage: StorageTier,
 }
 
 impl Default for CampaignConfig {
@@ -87,6 +94,7 @@ impl Default for CampaignConfig {
             sdc_threshold: 1e-9,
             solver: Method::Cg,
             injection: InjectionKind::BitFlips,
+            storage: StorageTier::Csr,
         }
     }
 }
@@ -304,11 +312,19 @@ impl Campaign {
         }
     }
 
-    /// Number of elements in the configured target region.
+    /// Number of elements in the configured target region — storage-aware,
+    /// because the structural region differs per tier: the CSR row pointer
+    /// has `rows + 1` entries while the COO tier carries one protected row
+    /// index per stored element.  (For blocked CSR the first `rows + 1`
+    /// concatenated per-block entries are targeted, a uniform subset valid
+    /// for any realized block count.)
     fn target_elements(&self) -> usize {
         match self.config.target {
             FaultTarget::MatrixValues | FaultTarget::MatrixColumnIndices => self.matrix.nnz(),
-            FaultTarget::RowPointer => self.matrix.rows() + 1,
+            FaultTarget::RowPointer => match self.config.storage {
+                StorageTier::Coo => self.matrix.nnz(),
+                StorageTier::Csr | StorageTier::BlockedCsr(_) => self.matrix.rows() + 1,
+            },
             FaultTarget::DenseVector => self.rhs.len(),
         }
     }
@@ -333,7 +349,11 @@ impl Campaign {
             EccScheme::None,
             "chunk-erasure campaigns need protected vectors (the erasure must be detectable)"
         );
-        let protected = match ProtectedCsr::from_csr(&self.matrix, &self.config.protection) {
+        let protected = match AnyProtectedMatrix::encode(
+            &self.matrix,
+            &self.config.protection,
+            self.config.storage,
+        ) {
             Ok(p) => p,
             Err(_) => return FaultOutcome::DetectedAborted,
         };
@@ -387,7 +407,11 @@ impl Campaign {
     }
 
     fn run_matrix_trial(&self, spec: &FaultSpec) -> FaultOutcome {
-        let mut protected = match ProtectedCsr::from_csr(&self.matrix, &self.config.protection) {
+        let mut protected = match AnyProtectedMatrix::encode(
+            &self.matrix,
+            &self.config.protection,
+            self.config.storage,
+        ) {
             Ok(p) => p,
             Err(_) => return FaultOutcome::DetectedAborted,
         };
@@ -395,7 +419,7 @@ impl Campaign {
             match spec.target {
                 FaultTarget::MatrixValues => protected.inject_value_bit_flip(element, bit),
                 FaultTarget::MatrixColumnIndices => protected.inject_col_bit_flip(element, bit),
-                FaultTarget::RowPointer => protected.inject_row_pointer_bit_flip(element, bit),
+                FaultTarget::RowPointer => protected.inject_structure_bit_flip(element, bit),
                 FaultTarget::DenseVector => unreachable!(),
             }
         }
@@ -737,6 +761,40 @@ mod tests {
             let stats = Campaign::new(cfg).run();
             assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0, "{method:?}");
             assert!(stats.count(FaultOutcome::Corrected) > 0, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn storage_tiers_absorb_single_flips() {
+        // The injection surface is storage-generic: the same campaign run
+        // against the COO and blocked-CSR tiers strikes their own redundancy
+        // layouts (per-element row indexes, per-block row pointers) and
+        // SECDED still corrects every single flip.
+        for storage in [StorageTier::Coo, StorageTier::BlockedCsr(4)] {
+            for target in [
+                FaultTarget::MatrixValues,
+                FaultTarget::MatrixColumnIndices,
+                FaultTarget::RowPointer,
+            ] {
+                let mut cfg = config(EccScheme::Secded64, target, 16);
+                cfg.storage = storage;
+                let stats = Campaign::new(cfg).run();
+                assert_eq!(stats.trials(), 16, "{storage:?} {target:?}");
+                assert_eq!(
+                    stats.count(FaultOutcome::SilentCorruption),
+                    0,
+                    "{storage:?} {target:?}"
+                );
+                assert_eq!(
+                    stats.count(FaultOutcome::DetectedAborted),
+                    0,
+                    "{storage:?} {target:?}: single flips must be correctable"
+                );
+                assert!(
+                    stats.count(FaultOutcome::Corrected) > 0,
+                    "{storage:?} {target:?}: expected at least some corrections"
+                );
+            }
         }
     }
 

@@ -44,7 +44,8 @@
 
 use crate::pool::{submit, Ticket};
 use abft_core::{
-    EccScheme, FaultLog, FaultLogSnapshot, ProtectedCsr, ProtectionConfig, MAX_PANEL_WIDTH,
+    AnyProtectedMatrix, EccScheme, FaultLog, FaultLogSnapshot, ProtectedMatrix, ProtectionConfig,
+    StorageTier, MAX_PANEL_WIDTH,
 };
 use abft_solvers::backends::{FullyProtected, MatrixProtected};
 use abft_solvers::{
@@ -227,7 +228,7 @@ type PanelKey = (usize, usize, u64, u64);
 /// The serving front door: register matrices once, submit jobs from many
 /// tenants, drain them in batched panels.
 pub struct SolveQueue {
-    matrices: Vec<Arc<ProtectedCsr>>,
+    matrices: Vec<Arc<AnyProtectedMatrix>>,
     pending: Vec<PendingJob>,
     next_job: usize,
     max_width: usize,
@@ -286,19 +287,33 @@ impl SolveQueue {
         self.retry_budget
     }
 
-    /// Encodes and registers a matrix for subsequent jobs.
+    /// Encodes and registers a matrix for subsequent jobs (CSR storage).
     pub fn register_matrix(
         &mut self,
         matrix: &CsrMatrix,
         protection: &ProtectionConfig,
     ) -> Result<MatrixId, abft_core::AbftError> {
-        let encoded = ProtectedCsr::from_csr(matrix, protection)?;
+        self.register_matrix_tiered(matrix, protection, StorageTier::Csr)
+    }
+
+    /// Encodes and registers a matrix into an explicit storage tier.
+    pub fn register_matrix_tiered(
+        &mut self,
+        matrix: &CsrMatrix,
+        protection: &ProtectionConfig,
+        tier: StorageTier,
+    ) -> Result<MatrixId, abft_core::AbftError> {
+        let encoded = AnyProtectedMatrix::encode(matrix, protection, tier)?;
         Ok(self.register_encoded(encoded))
     }
 
-    /// Registers an already-encoded protected matrix.
-    pub fn register_encoded(&mut self, matrix: ProtectedCsr) -> MatrixId {
-        self.matrices.push(Arc::new(matrix));
+    /// Registers an already-encoded protected matrix of any storage tier
+    /// (a [`ProtectedCsr`](abft_core::ProtectedCsr), a
+    /// [`ProtectedCoo`](abft_core::ProtectedCoo), a
+    /// [`ProtectedBlockedCsr`](abft_core::ProtectedBlockedCsr), or an
+    /// [`AnyProtectedMatrix`] directly).
+    pub fn register_encoded(&mut self, matrix: impl Into<AnyProtectedMatrix>) -> MatrixId {
+        self.matrices.push(Arc::new(matrix.into()));
         MatrixId(self.matrices.len() - 1)
     }
 
@@ -512,7 +527,7 @@ struct RetryMeta {
 /// Returns the per-column results plus the panel's physical matrix-check
 /// activity (recorded once per traversal, not once per tenant).
 fn solve_panel(
-    matrix: &ProtectedCsr,
+    matrix: &AnyProtectedMatrix,
     config: SolverConfig,
     columns: Vec<PanelColumn>,
 ) -> (Vec<ColumnResult>, FaultLogSnapshot) {

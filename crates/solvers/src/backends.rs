@@ -17,8 +17,8 @@ use crate::backend::{FaultContext, LinearOperator, SolverError, SolverVector};
 use crate::chebyshev::ChebyshevBounds;
 use abft_core::spmv::{protected_spmm, protected_spmm_plain, protected_spmv_auto};
 use abft_core::{
-    AbftError, EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ReductionWorkspace,
-    SpmmWorkspace, SpmvWorkspace,
+    AbftError, EccScheme, FaultLog, ProtectedCsr, ProtectedMatrix, ProtectedVector,
+    ReductionWorkspace, SpmmWorkspace, SpmvWorkspace,
 };
 use abft_ecc::Crc32cBackend;
 use abft_sparse::spmv::{
@@ -263,11 +263,11 @@ impl SolverVector for ProtectedVector {
 /// Gershgorin bounds computed by walking the protected storage directly —
 /// mirrors [`ChebyshevBounds::estimate_gershgorin`] without materialising a
 /// plain matrix.
-fn gershgorin_protected(matrix: &ProtectedCsr) -> ChebyshevBounds {
+fn gershgorin_protected<M: ProtectedMatrix>(matrix: &M) -> ChebyshevBounds {
     let rows = matrix.rows();
     let mut diag = vec![0.0f64; rows];
     let mut off = vec![0.0f64; rows];
-    matrix.for_each_entry(|row, col, value| {
+    matrix.visit_entries(&mut |row, col, value| {
         if col as usize == row {
             diag[row] = value;
         } else {
@@ -354,21 +354,24 @@ impl LinearOperator for Plain<'_> {
 /// The matrix-only protection tier (Figures 4–8): protected matrix, plain
 /// work vectors.
 ///
+/// Generic over the protected storage tier `M` (CSR by default; COO and
+/// blocked CSR plug in through the same [`ProtectedMatrix`] trait).
+///
 /// The operator owns a [`SpmvWorkspace`] and a [`ReductionWorkspace`]
 /// behind `RefCell`s, so repeated `apply` calls and parallel BLAS-1
 /// reductions from a solver loop reuse the same scratch buffers — zero
 /// heap allocations per iteration once the first one has warmed them.
 #[derive(Debug, Clone)]
-pub struct MatrixProtected<'a> {
-    matrix: &'a ProtectedCsr,
+pub struct MatrixProtected<'a, M: ProtectedMatrix = ProtectedCsr> {
+    matrix: &'a M,
     workspace: RefCell<SpmvWorkspace>,
     spmm: RefCell<SpmmWorkspace>,
     reduction: RefCell<ReductionWorkspace>,
 }
 
-impl<'a> MatrixProtected<'a> {
+impl<'a, M: ProtectedMatrix> MatrixProtected<'a, M> {
     /// Wraps an already-encoded protected matrix.
-    pub fn new(matrix: &'a ProtectedCsr) -> Self {
+    pub fn new(matrix: &'a M) -> Self {
         MatrixProtected {
             matrix,
             workspace: RefCell::new(SpmvWorkspace::new()),
@@ -378,7 +381,7 @@ impl<'a> MatrixProtected<'a> {
     }
 }
 
-impl LinearOperator for MatrixProtected<'_> {
+impl<M: ProtectedMatrix> LinearOperator for MatrixProtected<'_, M> {
     type Vector = PlainVector;
 
     fn rows(&self) -> usize {
@@ -469,8 +472,8 @@ impl LinearOperator for MatrixProtected<'_> {
 /// parallel BLAS-1 reductions accumulate in, so solver iterations allocate
 /// nothing.
 #[derive(Debug, Clone)]
-pub struct FullyProtected<'a> {
-    matrix: &'a ProtectedCsr,
+pub struct FullyProtected<'a, M: ProtectedMatrix = ProtectedCsr> {
+    matrix: &'a M,
     scheme: EccScheme,
     crc_backend: Crc32cBackend,
     workspace: RefCell<SpmvWorkspace>,
@@ -478,10 +481,10 @@ pub struct FullyProtected<'a> {
     reduction: RefCell<ReductionWorkspace>,
 }
 
-impl<'a> FullyProtected<'a> {
+impl<'a, M: ProtectedMatrix> FullyProtected<'a, M> {
     /// Wraps an already-encoded protected matrix; the vector scheme and CRC
     /// backend are taken from the matrix's protection configuration.
-    pub fn new(matrix: &'a ProtectedCsr) -> Self {
+    pub fn new(matrix: &'a M) -> Self {
         FullyProtected {
             matrix,
             scheme: matrix.config().vectors,
@@ -495,11 +498,7 @@ impl<'a> FullyProtected<'a> {
     /// Wraps a protected matrix with an explicit vector scheme and CRC
     /// backend, overriding the matrix configuration (the historical
     /// `solve_fully_protected` contract).
-    pub fn with_vectors(
-        matrix: &'a ProtectedCsr,
-        scheme: EccScheme,
-        crc_backend: Crc32cBackend,
-    ) -> Self {
+    pub fn with_vectors(matrix: &'a M, scheme: EccScheme, crc_backend: Crc32cBackend) -> Self {
         FullyProtected {
             matrix,
             scheme,
@@ -516,7 +515,7 @@ impl<'a> FullyProtected<'a> {
     }
 }
 
-impl LinearOperator for FullyProtected<'_> {
+impl<M: ProtectedMatrix> LinearOperator for FullyProtected<'_, M> {
     type Vector = ProtectedVector;
 
     fn rows(&self) -> usize {
@@ -634,10 +633,10 @@ impl LinearOperator for FullyProtected<'_> {
 mod tests {
     use super::*;
     use abft_core::ProtectionConfig;
-    use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+    use abft_sparse::builders::poisson_2d_padded;
 
     fn matrix() -> CsrMatrix {
-        pad_rows_to_min_entries(&poisson_2d(6, 5), 4)
+        poisson_2d_padded(6, 5)
     }
 
     #[test]

@@ -32,9 +32,9 @@
 //! ```
 //! use abft_core::{EccScheme, ProtectionConfig};
 //! use abft_solvers::{ProtectionMode, Solver};
-//! use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+//! use abft_sparse::builders::poisson_2d_padded;
 //!
-//! let a = pad_rows_to_min_entries(&poisson_2d(16, 16), 4);
+//! let a = poisson_2d_padded(16, 16);
 //! let b = vec![1.0; a.rows()];
 //!
 //! // Plain baseline.

@@ -5,9 +5,9 @@
 //! ```
 //! use abft_solvers::{ProtectionMode, Solver};
 //! use abft_core::{EccScheme, ProtectionConfig};
-//! use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+//! use abft_sparse::builders::poisson_2d_padded;
 //!
-//! let a = pad_rows_to_min_entries(&poisson_2d(8, 8), 4);
+//! let a = poisson_2d_padded(8, 8);
 //! let b = vec![1.0; a.rows()];
 //! let outcome = Solver::cg()
 //!     .max_iterations(500)
@@ -25,15 +25,17 @@
 //! [`ProtectionMode`] and dispatches the chosen [`Method`] through the
 //! generic implementations in [`crate::generic`]; [`Solver::solve_operator`]
 //! is the advanced path for callers that already hold a backend (e.g. the
-//! fault-injection campaigns, which corrupt a [`ProtectedCsr`] before
-//! solving on it).
+//! fault-injection campaigns, which corrupt a [`abft_core::ProtectedCsr`]
+//! before solving on it).
 
 use crate::backend::{FaultContext, LinearOperator, SolverError};
 use crate::backends::{FullyProtected, MatrixProtected, Plain};
 use crate::chebyshev::ChebyshevBounds;
 use crate::generic;
 use crate::status::{SolveStatus, SolverConfig};
-use abft_core::{EccScheme, FaultLog, FaultLogSnapshot, ProtectedCsr, ProtectionConfig};
+use abft_core::{
+    AnyProtectedMatrix, EccScheme, FaultLog, FaultLogSnapshot, ProtectionConfig, StorageTier,
+};
 use abft_sparse::CsrMatrix;
 
 /// The iterative method to run.
@@ -112,6 +114,7 @@ pub struct Solver {
     method: Method,
     config: SolverConfig,
     protection: ProtectionMode,
+    storage: StorageTier,
     parallel: bool,
     bounds: Option<ChebyshevBounds>,
     inner_steps: usize,
@@ -131,6 +134,7 @@ impl Solver {
             method,
             config: SolverConfig::default(),
             protection: ProtectionMode::Plain,
+            storage: StorageTier::Csr,
             parallel: false,
             bounds: None,
             inner_steps: 4,
@@ -181,6 +185,13 @@ impl Solver {
         self
     }
 
+    /// Selects the protected storage tier a protected solve encodes the
+    /// matrix into (CSR by default; ignored by [`ProtectionMode::Plain`]).
+    pub fn storage(mut self, storage: StorageTier) -> Self {
+        self.storage = storage;
+        self
+    }
+
     /// Uses the Rayon-parallel kernels for plain solves.  Protected solves
     /// follow the `parallel` flag of their [`ProtectionConfig`].
     pub fn parallel(mut self, parallel: bool) -> Self {
@@ -228,11 +239,11 @@ impl Solver {
                     vectors: EccScheme::None,
                     ..cfg
                 };
-                let protected = ProtectedCsr::from_csr(a, &cfg)?;
+                let protected = AnyProtectedMatrix::encode(a, &cfg, self.storage)?;
                 solver.solve_operator(&MatrixProtected::new(&protected), b)
             }
             ProtectionMode::Full(cfg) => {
-                let protected = ProtectedCsr::from_csr(a, &cfg)?;
+                let protected = AnyProtectedMatrix::encode(a, &cfg, self.storage)?;
                 solver.solve_operator(&FullyProtected::new(&protected), b)
             }
         }
@@ -306,11 +317,11 @@ impl Solver {
 mod tests {
     use super::*;
     use abft_ecc::Crc32cBackend;
-    use abft_sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+    use abft_sparse::builders::poisson_2d_padded;
     use abft_sparse::spmv::spmv_serial;
 
     fn system() -> (CsrMatrix, Vec<f64>) {
-        let a = pad_rows_to_min_entries(&poisson_2d(9, 8), 4);
+        let a = poisson_2d_padded(9, 8);
         let b = (0..a.rows()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
         (a, b)
     }
@@ -433,8 +444,38 @@ mod tests {
     }
 
     #[test]
+    fn storage_tiers_solve_identically() {
+        // Clean-matrix SpMV is bitwise identical across the storage tiers,
+        // so the CG trajectory (and iteration count) must be too.
+        let (a, b) = system();
+        let cfg = ProtectionConfig::matrix_only(EccScheme::Secded64)
+            .with_crc_backend(Crc32cBackend::SlicingBy16);
+        let base = Solver::cg()
+            .max_iterations(500)
+            .tolerance(1e-18)
+            .protection(ProtectionMode::Matrix(cfg))
+            .solve(&a, &b)
+            .unwrap();
+        for tier in [StorageTier::Coo, StorageTier::BlockedCsr(3)] {
+            let outcome = Solver::cg()
+                .max_iterations(500)
+                .tolerance(1e-18)
+                .protection(ProtectionMode::Matrix(cfg))
+                .storage(tier)
+                .solve(&a, &b)
+                .unwrap();
+            assert_eq!(outcome.solution, base.solution, "{tier:?}");
+            assert_eq!(
+                outcome.status.iterations, base.status.iterations,
+                "{tier:?}"
+            );
+        }
+    }
+
+    #[test]
     fn solve_operator_reuses_an_existing_backend() {
         use crate::backends::MatrixProtected;
+        use abft_core::ProtectedCsr;
         let (a, b) = system();
         let cfg = ProtectionConfig::matrix_only(EccScheme::Secded64)
             .with_crc_backend(Crc32cBackend::SlicingBy16);

@@ -17,6 +17,16 @@ pub fn poisson_2d(nx: usize, ny: usize) -> CsrMatrix {
     five_point_stencil(nx, ny, |_, _| (4.0, -1.0, -1.0, -1.0, -1.0))
 }
 
+/// [`poisson_2d`] padded to at least four stored entries per row
+/// ([`pad_rows_to_min_entries`]) — the canonical test/benchmark operator of
+/// this repository, assembled in one place so every experiment, benchmark,
+/// and example protects exactly the same matrix.  Four entries per row is
+/// the floor the CRC32C element scheme needs to spread its 32-bit checksum
+/// over 8 spare bits per element.
+pub fn poisson_2d_padded(nx: usize, ny: usize) -> CsrMatrix {
+    pad_rows_to_min_entries(&poisson_2d(nx, ny), 4)
+}
+
 /// A general five-point-stencil operator: for each grid point `(i, j)` the
 /// callback returns `(centre, west, east, south, north)` coefficients.
 /// Entries that would fall outside the grid are dropped (Dirichlet

@@ -15,11 +15,13 @@ pub mod blas1;
 pub mod builders;
 pub mod coo;
 pub mod csr;
+pub mod matrix_market;
 pub mod spmv;
 pub mod vector;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
+pub use matrix_market::{load_matrix_market, parse_matrix_market_str, MatrixMarketError};
 pub use vector::Vector;
 
 /// Errors produced when constructing or validating sparse matrices.

@@ -14,10 +14,10 @@
 
 use abft_suite::prelude::*;
 use abft_suite::solvers::backends::FullyProtected;
-use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::builders::poisson_2d_padded;
 
 fn main() {
-    let matrix = pad_rows_to_min_entries(&poisson_2d(48, 48), 4);
+    let matrix = poisson_2d_padded(48, 48);
     let protection = ProtectionConfig::full(EccScheme::Secded64);
     let config = SolverConfig::new(2000, 1e-16);
     println!(

@@ -12,12 +12,12 @@
 
 use abft_suite::prelude::*;
 use abft_suite::solvers::backends::FullyProtected;
-use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::builders::poisson_2d_padded;
 
 fn main() {
     // 1. Build a sparse SPD system (a 64x64 Poisson operator, padded so every
     //    row stores at least four entries as the CRC32C scheme requires).
-    let matrix = pad_rows_to_min_entries(&poisson_2d(64, 64), 4);
+    let matrix = poisson_2d_padded(64, 64);
     let rhs: Vec<f64> = (0..matrix.rows())
         .map(|i| 1.0 + (i % 7) as f64 * 0.1)
         .collect();

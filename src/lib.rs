@@ -31,7 +31,8 @@ pub use abft_tealeaf as tealeaf;
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
     pub use abft_core::{
-        CheckPolicy, EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig,
+        AnyProtectedMatrix, CheckPolicy, EccScheme, FaultLog, ProtectedBlockedCsr, ProtectedCoo,
+        ProtectedCsr, ProtectedMatrix, ProtectedVector, ProtectionConfig, StorageTier,
     };
     pub use abft_ecc::{CheckOutcome, Crc32c, Crc32cBackend};
     pub use abft_faultsim::{Campaign, CampaignConfig, FaultOutcome, FaultTarget};

@@ -14,7 +14,7 @@ use abft_suite::prelude::{SolverConfig, Termination};
 use abft_suite::solvers::backends::FullyProtected;
 use abft_suite::solvers::generic::{block_cg, cg};
 use abft_suite::solvers::{FaultContext, LinearOperator, SolverVector};
-use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::builders::poisson_2d_padded;
 
 fn matrix_region_checks(snapshot: &abft_suite::core::FaultLogSnapshot) -> u64 {
     snapshot.checks[Region::CsrElements as usize] + snapshot.checks[Region::RowPointer as usize]
@@ -24,7 +24,7 @@ fn matrix_region_checks(snapshot: &abft_suite::core::FaultLogSnapshot) -> u64 {
 fn block_cg_matches_independent_solves_and_amortises_matrix_checks() {
     // 225 unknowns: 225 % 2 == 1 and 225 % 4 == 1, so SECDED128 and
     // CRC32C both carry a partial trailing codeword group.
-    let a = pad_rows_to_min_entries(&poisson_2d(15, 15), 4);
+    let a = poisson_2d_padded(15, 15);
     let k = 3usize;
     let rhs: Vec<Vec<f64>> = (0..k)
         .map(|j| {

@@ -18,7 +18,7 @@ use abft_suite::faultsim::{
 use abft_suite::prelude::{Crc32cBackend, Solver, SolverError};
 use abft_suite::solvers::backends::FullyProtected;
 use abft_suite::solvers::{ChebyshevBounds, FaultContext, LinearOperator};
-use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::builders::poisson_2d_padded;
 
 const PARITY: ParityConfig = ParityConfig {
     stripe_chunks: 4,
@@ -162,7 +162,7 @@ impl LinearOperator for StrikeOnce<'_> {
 
 #[test]
 fn post_rebuild_trajectory_is_bitwise_identical_across_worker_counts() {
-    let matrix = pad_rows_to_min_entries(&poisson_2d(16, 16), 4);
+    let matrix = poisson_2d_padded(16, 16);
     let rhs: Vec<f64> = (0..matrix.rows())
         .map(|i| 1.0 + ((i * 7) % 13) as f64 * 0.25)
         .collect();

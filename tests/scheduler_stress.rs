@@ -15,7 +15,7 @@
 use abft_suite::core::{EccScheme, FaultLogSnapshot, ProtectedCsr, ProtectionConfig};
 use abft_suite::prelude::{Crc32cBackend, Solver};
 use abft_suite::solvers::backends::FullyProtected;
-use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::builders::poisson_2d_padded;
 
 /// One solve's comparable fingerprint.
 #[derive(Debug, PartialEq)]
@@ -31,7 +31,7 @@ struct Fingerprint {
 fn protected_cg_is_bitwise_reproducible_for_worker_counts_1_to_8() {
     // 128² = 16384 unknowns: above the parallel BLAS-1 threshold and large
     // enough for the SpMV to split into several stealable chunks.
-    let a = pad_rows_to_min_entries(&poisson_2d(128, 128), 4);
+    let a = poisson_2d_padded(128, 128);
     let b: Vec<f64> = (0..a.rows())
         .map(|i| 1.0 + (i % 11) as f64 * 0.375)
         .collect();

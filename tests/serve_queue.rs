@@ -14,11 +14,11 @@ use std::time::Duration;
 
 use abft_suite::core::{EccScheme, FaultLogSnapshot, ProtectedCsr, ProtectionConfig};
 use abft_suite::prelude::{JobSpec, SolveQueue, SolverConfig, Termination};
-use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::builders::poisson_2d_padded;
 use abft_suite::sparse::CsrMatrix;
 
 fn test_matrix() -> CsrMatrix {
-    pad_rows_to_min_entries(&poisson_2d(24, 24), 4)
+    poisson_2d_padded(24, 24)
 }
 
 fn rhs_for(matrix: &CsrMatrix, seed: usize) -> Vec<f64> {

@@ -14,9 +14,9 @@
 //! this suite pins the *consumers* through the public API.
 
 use abft_suite::core::{EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig};
-use abft_suite::prelude::{Crc32cBackend, Solver};
+use abft_suite::prelude::{Crc32cBackend, ProtectedMatrix, Solver};
 use abft_suite::solvers::backends::FullyProtected;
-use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::builders::poisson_2d_padded;
 
 fn all_schemes() -> [EccScheme; 5] {
     [
@@ -231,7 +231,7 @@ fn check_all_and_scrub_accounting_is_unchanged() {
 /// bitwise-identical trajectories and schedule-independent check counts.
 #[test]
 fn worker_sweep_trajectories_and_check_counts_are_identical() {
-    let a = pad_rows_to_min_entries(&poisson_2d(96, 96), 4);
+    let a = poisson_2d_padded(96, 96);
     let b: Vec<f64> = (0..a.rows())
         .map(|i| 1.0 + (i % 13) as f64 * 0.25)
         .collect();
@@ -284,7 +284,7 @@ fn worker_sweep_trajectories_and_check_counts_are_identical() {
 /// transiently, an uncorrectable one aborts.
 #[test]
 fn spmv_element_fast_paths_match_reference_semantics() {
-    let m = pad_rows_to_min_entries(&poisson_2d(13, 9), 4);
+    let m = poisson_2d_padded(13, 9);
     let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.17).cos()).collect();
     let mut reference = vec![0.0; m.rows()];
     abft_suite::sparse::spmv::spmv_serial(&m, &x, &mut reference);

@@ -14,12 +14,12 @@
 use abft_suite::prelude::*;
 use abft_suite::solvers::backends::{FullyProtected, MatrixProtected};
 use abft_suite::solvers::ChebyshevBounds;
-use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::builders::poisson_2d_padded;
 use abft_suite::sparse::spmv::spmv_serial;
 use abft_suite::sparse::vector::{blas_axpy, blas_dot};
 
 fn system() -> (CsrMatrix, Vec<f64>) {
-    let a = pad_rows_to_min_entries(&poisson_2d(12, 10), 4);
+    let a = poisson_2d_padded(12, 10);
     let b = (0..a.rows())
         .map(|i| 1.0 + ((i * 7) % 13) as f64 * 0.25)
         .collect();

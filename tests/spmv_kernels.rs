@@ -9,16 +9,17 @@
 
 use abft_suite::core::spmv::{protected_spmv, protected_spmv_parallel};
 use abft_suite::core::{
-    EccScheme, FaultLog, ProtectedCsr, ProtectedVector, ProtectionConfig, SpmvWorkspace,
+    EccScheme, FaultLog, ProtectedCsr, ProtectedMatrix, ProtectedVector, ProtectionConfig,
+    SpmvWorkspace,
 };
 use abft_suite::prelude::Crc32cBackend;
-use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::builders::poisson_2d_padded;
 use abft_suite::sparse::CsrMatrix;
 
 /// Big enough that the parallel path actually splits into several pool
 /// chunks (the shim goes parallel at 4096 rows).
 fn test_matrix() -> CsrMatrix {
-    pad_rows_to_min_entries(&poisson_2d(96, 96), 4)
+    poisson_2d_padded(96, 96)
 }
 
 fn all_schemes() -> [EccScheme; 5] {

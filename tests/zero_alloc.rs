@@ -9,7 +9,7 @@
 use abft_suite::core::{EccScheme, ProtectionConfig};
 use abft_suite::prelude::{Crc32cBackend, Solver};
 use abft_suite::solvers::backends::{FullyProtected, MatrixProtected};
-use abft_suite::sparse::builders::{pad_rows_to_min_entries, poisson_2d};
+use abft_suite::sparse::builders::poisson_2d_padded;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -50,7 +50,7 @@ fn allocations_during(f: impl FnOnce()) -> u64 {
 /// 63×63 grid: 3969 rows, below the parallel threshold, so the solve stays
 /// on the calling thread and the counter observes every allocation.
 fn system() -> (abft_suite::sparse::CsrMatrix, Vec<f64>) {
-    let a = pad_rows_to_min_entries(&poisson_2d(63, 63), 4);
+    let a = poisson_2d_padded(63, 63);
     let b: Vec<f64> = (0..a.rows()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
     (a, b)
 }
@@ -90,7 +90,7 @@ fn parallel_fully_protected_cg_iterations_do_not_allocate() {
     // the solve genuinely dispatches on the sharded pool.  Four lanes force
     // cross-thread scheduling even on a single-core CI box.
     rayon::set_worker_limit(Some(4));
-    let a = pad_rows_to_min_entries(&poisson_2d(128, 128), 4);
+    let a = poisson_2d_padded(128, 128);
     let b: Vec<f64> = (0..a.rows()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
     for scheme in [
         EccScheme::None,
