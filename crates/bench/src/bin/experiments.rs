@@ -21,6 +21,7 @@ use abft_bench::coverage::{self, check_coverage, measure_coverage, CoverageConfi
 use abft_bench::ecc_bench::{self, ecc_microbench, EccBenchConfig};
 use abft_bench::json::Json;
 use abft_bench::matrix_file::{self, matrix_file_report, MatrixFileConfig};
+use abft_bench::precond_bench::{self, precond_microbench, PrecondBenchConfig};
 use abft_bench::queue_bench::{self, queue_microbench, QueueBenchConfig};
 use abft_bench::regression::{check_regression, GateConfig};
 use abft_bench::scaling_bench::{self, scaling_microbench, ScalingBenchConfig};
@@ -50,11 +51,13 @@ struct Args {
     bench_scaling: bool,
     bench_queue: bool,
     bench_coverage: bool,
+    bench_precond: bool,
     check_regression: bool,
     check_coverage: bool,
     baseline_spmv: String,
     baseline_blas1: String,
     baseline_queue: String,
+    baseline_precond: String,
     baseline_coverage: String,
     gate_tolerance: f64,
     coverage_tolerance: f64,
@@ -87,11 +90,13 @@ impl Default for Args {
             bench_scaling: false,
             bench_queue: false,
             bench_coverage: false,
+            bench_precond: false,
             check_regression: false,
             check_coverage: false,
             baseline_spmv: "BENCH_spmv.json".to_string(),
             baseline_blas1: "BENCH_blas1.json".to_string(),
             baseline_queue: "BENCH_queue.json".to_string(),
+            baseline_precond: "BENCH_precond.json".to_string(),
             baseline_coverage: "BENCH_coverage.json".to_string(),
             gate_tolerance: 25.0,
             coverage_tolerance: 5.0,
@@ -130,6 +135,9 @@ const HELP: &str = "experiments — regenerate the paper's figures.
   --bench-coverage     fixed-seed smoke fault-coverage campaign: bit flips for
                        every scheme x region plus the parity-tier erasure
                        scenarios (the BENCH_coverage.json matrix)
+  --bench-precond      selective-reliability sweep: uniform vs selective
+                       FT-PCG time-to-correct-solution under injected factor
+                       corruption (the BENCH_precond.json crossover)
   --check-regression   CI gate: re-measure and compare overhead ratios against
                        the committed BENCH_spmv.json / BENCH_blas1.json /
                        BENCH_queue.json (exit 1 on >25% degradation)
@@ -139,6 +147,7 @@ const HELP: &str = "experiments — regenerate the paper's figures.
   --baseline-spmv P    SpMV baseline file for --check-regression
   --baseline-blas1 P   BLAS-1 baseline file for --check-regression
   --baseline-queue P   serving-throughput baseline file for --check-regression
+  --baseline-precond P selective-reliability baseline file for --check-regression
   --baseline-coverage P coverage baseline file for --check-coverage
   --gate-tolerance PCT allowed ratio degradation for --check-regression
   --coverage-tolerance PP allowed rate drop (percentage points) for
@@ -184,11 +193,13 @@ fn parse_args() -> Result<Args, String> {
             "--bench-scaling" => args.bench_scaling = true,
             "--bench-queue" => args.bench_queue = true,
             "--bench-coverage" => args.bench_coverage = true,
+            "--bench-precond" => args.bench_precond = true,
             "--check-regression" => args.check_regression = true,
             "--check-coverage" => args.check_coverage = true,
             "--baseline-spmv" => args.baseline_spmv = value("--baseline-spmv")?,
             "--baseline-blas1" => args.baseline_blas1 = value("--baseline-blas1")?,
             "--baseline-queue" => args.baseline_queue = value("--baseline-queue")?,
+            "--baseline-precond" => args.baseline_precond = value("--baseline-precond")?,
             "--baseline-coverage" => args.baseline_coverage = value("--baseline-coverage")?,
             "--gate-tolerance" => {
                 args.gate_tolerance = value("--gate-tolerance")?
@@ -372,17 +383,19 @@ fn main() {
             spmv_baseline: args.baseline_spmv.clone(),
             blas1_baseline: args.baseline_blas1.clone(),
             queue_baseline: args.baseline_queue.clone(),
+            precond_baseline: args.baseline_precond.clone(),
             nx: args.nx,
             iters: args.iterations.min(8),
             repeats: args.repeats.min(2),
             tolerance_pct: args.gate_tolerance,
         };
         println!(
-            "Perf-regression gate: fresh {0}x{0} measurement vs {1} + {2} + {3} (tolerance +{4}%)",
+            "Perf-regression gate: fresh {0}x{0} measurement vs {1} + {2} + {3} + {4} (tolerance +{5}%)",
             config.nx,
             config.spmv_baseline,
             config.blas1_baseline,
             config.queue_baseline,
+            config.precond_baseline,
             config.tolerance_pct
         );
         match check_regression(&config) {
@@ -444,6 +457,31 @@ fn main() {
         if let Some(path) = &args.json {
             std::fs::write(path, coverage::coverage_json(&config, &rows).render())
                 .expect("write JSON output");
+            println!("machine-readable results written to {path}");
+        }
+        return;
+    }
+
+    if args.bench_precond {
+        let config = if args.smoke {
+            PrecondBenchConfig::smoke()
+        } else {
+            PrecondBenchConfig {
+                n: args.nx,
+                repeats: args.repeats.min(2),
+                ..PrecondBenchConfig::default()
+            }
+        };
+        println!(
+            "Selective-reliability sweep ({0}x{0} Poisson grid + {1}, factor flips {2:?}, {3} repeats)",
+            config.n, config.fixture, config.flips, config.repeats
+        );
+        let rows = precond_microbench(&config);
+        print!("{}", precond_bench::render_table(&rows));
+        if let Some(path) = &args.json {
+            let point = precond_bench::trajectory_point_json(&args.bench_label, &config, &rows);
+            let doc = Json::obj([("trajectory", Json::Arr(vec![point]))]);
+            std::fs::write(path, doc.render()).expect("write JSON output");
             println!("machine-readable results written to {path}");
         }
         return;

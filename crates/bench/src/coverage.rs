@@ -27,6 +27,7 @@ use crate::json::Json;
 use abft_core::{EccScheme, ParityConfig, ProtectionConfig, StorageTier};
 use abft_ecc::Crc32cBackend;
 use abft_faultsim::{Campaign, CampaignConfig, FaultOutcome, FaultTarget, InjectionKind};
+use abft_solvers::ReliabilityPolicy;
 
 /// Gate configuration.
 #[derive(Debug, Clone)]
@@ -194,6 +195,64 @@ pub fn measure_coverage(config: &CoverageConfig) -> Vec<CoverageRow> {
         "row-pointer group erasure",
         EccScheme::Secded64,
     ));
+    // Selective-reliability scenarios: faults aimed at the inner-outer
+    // FT-PCG's preconditioner — single flips and multi-bit bursts in the
+    // ILU(0) factors, plus bursts struck into the inner-apply output right
+    // at the reliability boundary — in both tiers.  The protected tier must
+    // keep correcting/fail-stopping; the unreliable tier carries zero
+    // redundancy, so its safety rate gates the outer loop's bounded-norm
+    // screen plus the certified residual recomputation.
+    for (injection, label, flips, policy) in [
+        (
+            InjectionKind::PrecondFactorFlips,
+            "precond factor flip (protected)",
+            1,
+            ReliabilityPolicy::Uniform,
+        ),
+        (
+            InjectionKind::PrecondFactorFlips,
+            "precond factor flip (unreliable)",
+            1,
+            ReliabilityPolicy::Selective,
+        ),
+        (
+            InjectionKind::PrecondFactorBurst,
+            "precond factor burst (protected)",
+            8,
+            ReliabilityPolicy::Uniform,
+        ),
+        (
+            InjectionKind::PrecondFactorBurst,
+            "precond factor burst (unreliable)",
+            8,
+            ReliabilityPolicy::Selective,
+        ),
+        (
+            InjectionKind::InnerApplyBurst,
+            "inner-apply burst (protected)",
+            8,
+            ReliabilityPolicy::Uniform,
+        ),
+        (
+            InjectionKind::InnerApplyBurst,
+            "inner-apply burst (unreliable)",
+            8,
+            ReliabilityPolicy::Selective,
+        ),
+    ] {
+        rows.push(run_campaign(
+            CampaignConfig {
+                protection: ProtectionConfig::full(EccScheme::Secded64),
+                target: FaultTarget::DenseVector,
+                injection,
+                flips_per_trial: flips,
+                precond_reliability: policy,
+                ..base.clone()
+            },
+            label,
+            EccScheme::Secded64,
+        ));
+    }
     rows
 }
 
@@ -414,10 +473,22 @@ mod tests {
         };
         let rows = measure_coverage(&small);
         // 4 schemes x 4 targets of CSR bit flips, 4 schemes x 3 matrix-side
-        // targets through the COO tier, plus the 3 erasure scenarios.
-        assert_eq!(rows.len(), 31);
+        // targets through the COO tier, the 3 erasure scenarios, plus the 6
+        // selective-reliability preconditioner scenarios.
+        assert_eq!(rows.len(), 37);
         assert!(render_table(&rows).contains("chunk erasure (parity)"));
         assert!(render_table(&rows).contains("bit flip (coo)"));
+        // Every preconditioner scenario — protected or unreliable — must be
+        // free of silent corruption: the unreliable tier's safety comes from
+        // the outer screen, not from luck.
+        for row in rows.iter().filter(|r| {
+            r.injection.starts_with("precond") || r.injection.starts_with("inner-apply")
+        }) {
+            assert_eq!(
+                row.safe_pct, 100.0,
+                "selective-reliability scenario leaked silent corruption: {row:?}"
+            );
+        }
         let parity_row = rows
             .iter()
             .find(|r| r.injection == "chunk erasure (parity)")

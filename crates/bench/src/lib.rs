@@ -28,6 +28,7 @@ pub mod coverage;
 pub mod ecc_bench;
 pub mod json;
 pub mod matrix_file;
+pub mod precond_bench;
 pub mod queue_bench;
 pub mod regression;
 pub mod scaling_bench;

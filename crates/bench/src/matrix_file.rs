@@ -15,7 +15,7 @@ use abft_core::{
     StorageTier,
 };
 use abft_ecc::Crc32cBackend;
-use abft_solvers::{ProtectionMode, Solver};
+use abft_solvers::SolveSpec;
 use abft_sparse::builders::pad_rows_to_min_entries;
 use abft_sparse::load_matrix_market;
 use std::time::Instant;
@@ -164,13 +164,12 @@ pub fn matrix_file_report(config: &MatrixFileConfig) -> Result<MatrixFileReport,
         let rhs: Vec<f64> = (0..matrix.rows())
             .map(|i| 1.0 + (i % 5) as f64 * 0.25)
             .collect();
-        let protection = ProtectionConfig::matrix_only(EccScheme::Secded64)
-            .with_crc_backend(Crc32cBackend::SlicingBy16);
         for tier in tiers {
-            let outcome = Solver::cg()
+            let outcome = SolveSpec::new(EccScheme::Secded64)
+                .matrix_only()
+                .crc_backend(Crc32cBackend::SlicingBy16)
                 .max_iterations(10 * matrix.rows().max(100))
                 .tolerance(1e-10)
-                .protection(ProtectionMode::Matrix(protection))
                 .storage(tier)
                 .solve(&matrix, &rhs)
                 .map_err(|e| format!("{}: CG solve failed on {tier:?}: {e}", config.path))?;

@@ -145,9 +145,8 @@ pub fn queue_microbench(config: &QueueBenchConfig) -> Vec<QueueBenchRow> {
         // Post: the same jobs through the queue at each panel width.
         for &width in &config.widths {
             let mut queue = SolveQueue::new(width);
-            let id = queue.register_encoded(
-                ProtectedCsr::from_csr(&matrix, &protection).expect("encode matrix"),
-            );
+            let id = queue
+                .register(ProtectedCsr::from_csr(&matrix, &protection).expect("encode matrix"));
             let submit_all = |queue: &mut SolveQueue| {
                 for (j, b) in rhs.iter().enumerate() {
                     queue.submit(

@@ -13,9 +13,15 @@
 //! The fresh measurement reuses the committed workload *size* (ratios are
 //! size-sensitive) but far fewer timed iterations — the per-op ratio is
 //! iteration-count-invariant, so the gate stays CI-cheap.
+//!
+//! Four suites are gated: the protected SpMV kernels, the masked BLAS-1
+//! kernels, the serving queue's batched dispatch, and the selective
+//! reliability tier's fault-free selective/uniform FT-PCG cost ratio
+//! (`BENCH_precond.json`).
 
 use crate::blas1_bench::{blas1_microbench, Blas1BenchConfig};
 use crate::json::Json;
+use crate::precond_bench::{precond_microbench, PrecondBenchConfig};
 use crate::queue_bench::{queue_microbench, QueueBenchConfig};
 use crate::spmv_bench::{spmv_microbench, SpmvBenchConfig};
 
@@ -28,6 +34,8 @@ pub struct GateConfig {
     pub blas1_baseline: String,
     /// Committed serving-throughput trajectory file.
     pub queue_baseline: String,
+    /// Committed selective-reliability trajectory file.
+    pub precond_baseline: String,
     /// Grid side length of the fresh measurement (must match the committed
     /// workload for the ratios to be comparable).
     pub nx: usize,
@@ -45,6 +53,7 @@ impl Default for GateConfig {
             spmv_baseline: "BENCH_spmv.json".into(),
             blas1_baseline: "BENCH_blas1.json".into(),
             queue_baseline: "BENCH_queue.json".into(),
+            precond_baseline: "BENCH_precond.json".into(),
             nx: 256,
             iters: 6,
             repeats: 2,
@@ -399,6 +408,89 @@ fn measure_once(config: &GateConfig) -> Result<GateReport, String> {
         }
     }
 
+    // --- Selective reliability: the fault-free selective/uniform
+    // time-to-solution ratio per (matrix, preconditioner).  With zero
+    // injected faults both tiers run the identical trajectory, so the
+    // ratio isolates the per-iteration cost of the inner apply; a change
+    // that silently routes the unreliable tier through protected factor
+    // storage (losing the whole point of selective reliability) shows up
+    // as a ratio jump on every host.  The fresh measurement caps the
+    // iteration count (tolerance 0): the per-iteration cost ratio is
+    // budget-invariant, so the gate stays CI-cheap.  The cap and repeat
+    // count get their own floors (12 iterations, best of 3) because a
+    // handful of iterations is too short a timing window for a stable
+    // ratio on a noisy shared core. ---
+    let precond_points = load_trajectory(&config.precond_baseline)?;
+    let base_point = precond_points.last();
+    let base = last_point_rows(&precond_points, |_| true).unwrap_or_default();
+    if !base.is_empty() {
+        let grid_n = base_point
+            .and_then(|p| p.get("workload"))
+            .and_then(|w| w.get("grid_n"))
+            .and_then(Json::as_f64)
+            .map(|v| v as usize)
+            .unwrap_or(config.nx);
+        let fresh = precond_microbench(&PrecondBenchConfig {
+            n: grid_n,
+            flips: vec![0],
+            max_iterations: config.iters.max(12),
+            tolerance: 0.0,
+            repeats: config.repeats.max(3),
+            ..PrecondBenchConfig::default()
+        });
+        let base_ns = |matrix: &str, precond: &str, policy: &str| {
+            base.iter()
+                .find(|r| {
+                    str_field(r, "matrix") == matrix
+                        && str_field(r, "precond") == precond
+                        && str_field(r, "policy") == policy
+                        && num_field(r, "factor_flips") == 0.0
+                })
+                .map(|r| num_field(r, "mean_ns_to_solution"))
+                .unwrap_or(f64::NAN)
+        };
+        let fresh_ns = |matrix: &str, precond: &str, policy: &str| {
+            fresh
+                .iter()
+                .find(|r| {
+                    r.matrix == matrix
+                        && r.precond == precond
+                        && r.policy == policy
+                        && r.factor_flips == 0
+                })
+                .map(|r| r.mean_ns_to_solution)
+                .unwrap_or(f64::NAN)
+        };
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for base_row in &base {
+            let pair = (
+                str_field(base_row, "matrix").to_string(),
+                str_field(base_row, "precond").to_string(),
+            );
+            if !pair.0.is_empty() && !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        for (matrix, precond) in pairs {
+            let baseline_ratio =
+                base_ns(&matrix, &precond, "selective") / base_ns(&matrix, &precond, "uniform");
+            let fresh_ratio =
+                fresh_ns(&matrix, &precond, "selective") / fresh_ns(&matrix, &precond, "uniform");
+            if !baseline_ratio.is_finite() || !fresh_ratio.is_finite() {
+                continue;
+            }
+            rows.push(GateRow {
+                suite: "precond".into(),
+                what: format!("{matrix} {precond}"),
+                scheme: "selective/uniform".into(),
+                baseline_ratio,
+                fresh_ratio,
+                change_pct: (fresh_ratio / baseline_ratio - 1.0) * 100.0,
+                regressed: fresh_ratio > baseline_ratio * tol,
+            });
+        }
+    }
+
     if rows.is_empty() {
         return Err("regression gate compared zero rows — baselines empty or mismatched".into());
     }
@@ -469,10 +561,15 @@ mod tests {
             "abft_gate_queue.json",
             &Json::obj([("trajectory", Json::Arr(vec![]))]).render(),
         );
+        let precond = write_temp(
+            "abft_gate_precond.json",
+            &Json::obj([("trajectory", Json::Arr(vec![]))]).render(),
+        );
         let generous = GateConfig {
             spmv_baseline: write_temp("abft_gate_spmv_ok.json", &spmv_baseline_doc(100_000.0)),
             blas1_baseline: blas1.clone(),
             queue_baseline: queue,
+            precond_baseline: precond,
             nx: 12,
             iters: 1,
             repeats: 1,

@@ -377,6 +377,30 @@ impl From<ProtectedBlockedCsr> for AnyProtectedMatrix {
     }
 }
 
+// Shared-handle conversions: serving layers hold registered matrices as
+// `Arc<AnyProtectedMatrix>`, and these let any concrete tier (or the
+// erased enum, via the std blanket `From<T> for Arc<T>`) flow straight
+// into an `impl Into<Arc<AnyProtectedMatrix>>` bound without the caller
+// spelling out the wrapping.
+
+impl From<ProtectedCsr> for std::sync::Arc<AnyProtectedMatrix> {
+    fn from(matrix: ProtectedCsr) -> Self {
+        std::sync::Arc::new(matrix.into())
+    }
+}
+
+impl From<ProtectedCoo> for std::sync::Arc<AnyProtectedMatrix> {
+    fn from(matrix: ProtectedCoo) -> Self {
+        std::sync::Arc::new(matrix.into())
+    }
+}
+
+impl From<ProtectedBlockedCsr> for std::sync::Arc<AnyProtectedMatrix> {
+    fn from(matrix: ProtectedBlockedCsr) -> Self {
+        std::sync::Arc::new(matrix.into())
+    }
+}
+
 /// Delegates every trait method to the wrapped tier.
 macro_rules! delegate {
     ($self:ident, $m:ident => $body:expr) => {

@@ -14,11 +14,14 @@
 use crate::flip::{FaultSpec, FaultTarget};
 use crate::outcome::FaultOutcome;
 use abft_core::{
-    AbftError, AnyProtectedMatrix, EccScheme, FaultLog, ProtectedMatrix, ProtectedVector,
-    ProtectionConfig, StorageTier,
+    AbftError, AnyProtectedMatrix, EccScheme, FaultLog, FaultLogSnapshot, ProtectedMatrix,
+    ProtectedVector, ProtectionConfig, StorageTier,
 };
 use abft_solvers::backends::{FullyProtected, MatrixProtected};
-use abft_solvers::{ChebyshevBounds, FaultContext, LinearOperator, Method, Solver, SolverError};
+use abft_solvers::{
+    ft_pcg, ChebyshevBounds, FaultContext, Ilu0, LinearOperator, Method, Polynomial, PrecondKind,
+    Preconditioner, Reliability, ReliabilityPolicy, SolveStatus, Solver, SolverConfig, SolverError,
+};
 use abft_sparse::CsrMatrix;
 use abft_tealeaf::assembly::{assemble_matrix, assemble_rhs, face_coefficients, Conductivity};
 use abft_tealeaf::states::apply_states;
@@ -47,6 +50,20 @@ pub enum InjectionKind {
     /// Erasure of a whole row-pointer codeword group: every entry of an
     /// aligned 4-element span has half its bits flipped.
     RowPointerGroupErasure,
+    /// `flips_per_trial` independent bit flips into the preconditioner's
+    /// stored factors before the FT-PCG solve starts — the persistent-SDC
+    /// model for the inner stage.  The trial runs the flexible inner-outer
+    /// solver with the preconditioner built in the tier
+    /// [`CampaignConfig::precond_reliability`] selects.
+    PrecondFactorFlips,
+    /// One contiguous burst of `flips_per_trial` bits inside a single
+    /// stored preconditioner factor (multi-bit upset in the inner stage).
+    PrecondFactorBurst,
+    /// A transient burst written into the preconditioner's **output**
+    /// vector mid-inner-apply — after the inner stage computed `z`, before
+    /// the protected outer iteration screens it.  This strikes exactly the
+    /// reliability boundary the bounded-norm sanity screen guards.
+    InnerApplyBurst,
 }
 
 /// Configuration of a fault-injection campaign.
@@ -79,6 +96,15 @@ pub struct CampaignConfig {
     /// Matrix-side faults strike that tier's own redundancy layout (e.g.
     /// per-element row indexes under [`StorageTier::Coo`]).
     pub storage: StorageTier,
+    /// Preconditioner used by the inner-apply injection kinds
+    /// ([`InjectionKind::PrecondFactorFlips`] and friends); ignored by the
+    /// other kinds.
+    pub precond: PrecondKind,
+    /// Reliability tier the preconditioner is built in for the inner-apply
+    /// injection kinds: [`ReliabilityPolicy::Selective`] (the default)
+    /// leaves the inner stage unchecked and relies on the outer screen,
+    /// [`ReliabilityPolicy::Uniform`] protects the factors themselves.
+    pub precond_reliability: ReliabilityPolicy,
 }
 
 impl Default for CampaignConfig {
@@ -95,6 +121,8 @@ impl Default for CampaignConfig {
             solver: Method::Cg,
             injection: InjectionKind::BitFlips,
             storage: StorageTier::Csr,
+            precond: PrecondKind::Ilu0,
+            precond_reliability: ReliabilityPolicy::Selective,
         }
     }
 }
@@ -309,6 +337,9 @@ impl Campaign {
                 self.run_trial(&spec)
             }
             InjectionKind::ChunkErasure => self.run_chunk_erasure_trial(&mut rng),
+            InjectionKind::PrecondFactorFlips
+            | InjectionKind::PrecondFactorBurst
+            | InjectionKind::InnerApplyBurst => self.run_precond_trial(&mut rng),
         }
     }
 
@@ -406,6 +437,178 @@ impl Campaign {
         }
     }
 
+    /// True squared residual `‖b − A·x‖₂²` of a returned solution,
+    /// recomputed with the pristine (never-injected) assembly-time matrix —
+    /// the same quantity the solvers compare against their tolerance, so
+    /// the preconditioned trials' certification check is in the solver's
+    /// own units.
+    fn true_residual_sq(&self, solution: &[f64]) -> f64 {
+        let mut ax = vec![0.0; self.rhs.len()];
+        abft_sparse::spmv::spmv_serial(&self.matrix, solution, &mut ax);
+        ax.iter()
+            .zip(&self.rhs)
+            .map(|(a, b)| (b - a) * (b - a))
+            .sum::<f64>()
+    }
+
+    /// Runs one inner-apply fault trial: builds the preconditioner in the
+    /// configured reliability tier, injects the configured fault into the
+    /// inner stage (factor bits pre-solve, or a transient burst into the
+    /// inner apply's output mid-solve), runs the flexible inner-outer
+    /// FT-PCG solver, and classifies what survived.  The selective claim
+    /// under test: inner SDC may cost iterations or trip the outer screen
+    /// ([`FaultOutcome::BoundsCaught`]), but never yields a wrong answer.
+    fn run_precond_trial(&self, rng: &mut ChaCha8Rng) -> FaultOutcome {
+        assert_eq!(
+            self.config.solver,
+            Method::Cg,
+            "preconditioned campaigns run FT-PCG, which needs Method::Cg"
+        );
+        let protected = match AnyProtectedMatrix::encode(
+            &self.matrix,
+            &self.config.protection,
+            self.config.storage,
+        ) {
+            Ok(p) => p,
+            Err(_) => return FaultOutcome::DetectedAborted,
+        };
+        let tier = self.config.precond_reliability.tier();
+        let scheme = self.config.protection.elements;
+        let backend = self.config.protection.crc_backend;
+
+        // Build concretely (not through `PrecondKind::build`) so the
+        // factor-injection hooks stay reachable.
+        enum Built {
+            Ilu(Ilu0),
+            Poly(Polynomial),
+        }
+        let mut built = match self.config.precond {
+            PrecondKind::Ilu0 => match Ilu0::new(&self.matrix, tier, scheme, backend) {
+                Ok(p) => Built::Ilu(p),
+                Err(_) => return FaultOutcome::DetectedAborted,
+            },
+            PrecondKind::Polynomial(steps) => {
+                match Polynomial::new(&self.matrix, steps, tier, scheme, backend) {
+                    Ok(p) => Built::Poly(p),
+                    Err(_) => return FaultOutcome::DetectedAborted,
+                }
+            }
+        };
+        let factor_count = match &built {
+            Built::Ilu(p) => p.factor_count(),
+            Built::Poly(p) => p.factor_count(),
+        };
+        let inject = |k: usize, bit: u32, built: &mut Built| match built {
+            Built::Ilu(p) => p.inject_factor_bit_flip(k, bit),
+            Built::Poly(p) => p.inject_factor_bit_flip(k, bit),
+        };
+
+        let mut strike = None;
+        match self.config.injection {
+            InjectionKind::PrecondFactorFlips => {
+                for _ in 0..self.config.flips_per_trial.max(1) {
+                    let k = rng.gen_range(0..factor_count);
+                    let bit = rng.gen_range(0..64);
+                    inject(k, bit, &mut built);
+                }
+            }
+            InjectionKind::PrecondFactorBurst => {
+                let length = (self.config.flips_per_trial.max(1) as u32).min(64);
+                let k = rng.gen_range(0..factor_count);
+                let start = rng.gen_range(0..=(64 - length));
+                for bit in start..start + length {
+                    inject(k, bit, &mut built);
+                }
+            }
+            InjectionKind::InnerApplyBurst => {
+                let length = (self.config.flips_per_trial.max(1) as u32).min(64);
+                strike = Some(InjectingPreconditionerSpec {
+                    strike_apply: u64::from(rng.gen_range(1u32..4)),
+                    element: rng.gen_range(0..self.rhs.len()),
+                    start_bit: rng.gen_range(0..=(64 - length)),
+                    length,
+                });
+            }
+            _ => unreachable!("run_precond_trial called with a non-precond injection"),
+        }
+
+        let inner: &dyn Preconditioner = match &built {
+            Built::Ilu(p) => p,
+            Built::Poly(p) => p,
+        };
+        let striking;
+        let precond: &dyn Preconditioner = match strike {
+            Some(spec) => {
+                striking = InjectingPreconditioner {
+                    inner,
+                    spec,
+                    applies: Cell::new(0),
+                    fired: Cell::new(false),
+                };
+                &striking
+            }
+            None => inner,
+        };
+
+        let config = SolverConfig::new(2_000, 1e-15);
+        let result = if self.config.protection.vectors != EccScheme::None {
+            run_ft_pcg(
+                &FullyProtected::new(&protected),
+                &self.rhs,
+                precond,
+                &config,
+            )
+        } else {
+            run_ft_pcg(
+                &MatrixProtected::new(&protected),
+                &self.rhs,
+                precond,
+                &config,
+            )
+        };
+        match result {
+            Err(SolverError::Fault(AbftError::OutOfRange { .. })) => FaultOutcome::BoundsCaught,
+            Err(_) => FaultOutcome::DetectedAborted,
+            Ok((solution, status, faults)) => {
+                // FT-PCG declares convergence when the *squared* recurrence
+                // residual drops below the absolute tolerance, so that is
+                // exactly what a converged return certifies — recompute the
+                // same quantity against the pristine operator and allow a
+                // margin (1e6 squared = three orders of magnitude in the
+                // norm) for recurrence drift over a long solve.  Genuine
+                // corruption lands many orders above this line; honest
+                // converged solves land well below it.
+                //
+                // The selective-reliability contract is residual-certified:
+                // an inner fault may cost iterations (or stall the solve,
+                // which the caller sees as `converged = false` — a detected
+                // failure, never a silent one), but a *converged* return
+                // whose true residual, recomputed against the pristine
+                // operator, misses the certification is a silent
+                // corruption.  Distance to a reference solution is the
+                // wrong metric here: a distorted but benign preconditioner
+                // legitimately changes the iteration path, so two correct
+                // answers agree only up to conditioning-amplified rounding.
+                if !status.converged {
+                    return FaultOutcome::DetectedAborted;
+                }
+                if self.true_residual_sq(&solution) > config.tolerance * 1e6 {
+                    return FaultOutcome::SilentCorruption;
+                }
+                let screened: u64 = faults.bounds_violations.iter().sum();
+                if screened > 0 {
+                    FaultOutcome::BoundsCaught
+                } else if faults.total_rebuilt() > 0 {
+                    FaultOutcome::DetectedRebuilt
+                } else if faults.total_corrected() > 0 {
+                    FaultOutcome::Corrected
+                } else {
+                    FaultOutcome::Masked
+                }
+            }
+        }
+    }
+
     fn run_matrix_trial(&self, spec: &FaultSpec) -> FaultOutcome {
         let mut protected = match AnyProtectedMatrix::encode(
             &self.matrix,
@@ -490,18 +693,24 @@ impl Campaign {
     }
 
     fn relative_error(&self, solution: &[f64]) -> f64 {
-        let norm: f64 = self.reference.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let diff: f64 = solution
-            .iter()
-            .zip(&self.reference)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
-        if norm == 0.0 {
-            diff
-        } else {
-            diff / norm
-        }
+        relative_distance(&self.reference, solution)
+    }
+}
+
+/// `‖solution − reference‖₂ / ‖reference‖₂` (absolute when the reference
+/// is zero).
+fn relative_distance(reference: &[f64], solution: &[f64]) -> f64 {
+    let norm: f64 = reference.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let diff: f64 = solution
+        .iter()
+        .zip(reference)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    if norm == 0.0 {
+        diff
+    } else {
+        diff / norm
     }
 }
 
@@ -581,6 +790,82 @@ impl<Op: LinearOperator<Vector = ProtectedVector>> LinearOperator for InjectingO
         ctx: &FaultContext,
     ) -> Result<Vec<f64>, SolverError> {
         self.inner.finish(solution, ctx)
+    }
+}
+
+/// One full FT-PCG solve with its own fault log: the standalone production
+/// path (`SolveSpec` runs the identical sequence), returned with the
+/// snapshot so the trial can classify what the outer iteration observed.
+fn run_ft_pcg<Op: LinearOperator>(
+    op: &Op,
+    rhs: &[f64],
+    precond: &dyn Preconditioner,
+    config: &SolverConfig,
+) -> Result<(Vec<f64>, SolveStatus, FaultLogSnapshot), SolverError> {
+    let log = FaultLog::new();
+    let base = FaultContext::with_log(&log);
+    let ctx = base.scoped_to(op.reduction_workspace());
+    let b = op.vector_from(rhs);
+    let (mut x, status) = ft_pcg(op, &b, precond, config, &ctx)?;
+    let solution = op.finish(&mut x, &ctx)?;
+    Ok((solution, status, log.snapshot()))
+}
+
+/// Where and how [`InjectingPreconditioner`] strikes.
+#[derive(Debug, Clone, Copy)]
+struct InjectingPreconditionerSpec {
+    /// Zero-based inner-apply call at (or past) which the burst fires once.
+    strike_apply: u64,
+    /// Element of the inner apply's output vector to corrupt.
+    element: usize,
+    /// First bit of the contiguous burst.
+    start_bit: u32,
+    /// Burst length in bits.
+    length: u32,
+}
+
+/// Wraps a preconditioner and writes one bit burst into the output vector
+/// `z` the first time the apply counter reaches the strike point — after
+/// the inner stage produced its answer, before the protected outer
+/// iteration screens it.  Everything else delegates unchanged, so the
+/// solve exercises the exact production reliability boundary.
+struct InjectingPreconditioner<'a> {
+    inner: &'a dyn Preconditioner,
+    spec: InjectingPreconditionerSpec,
+    applies: Cell<u64>,
+    fired: Cell<bool>,
+}
+
+impl Preconditioner for InjectingPreconditioner<'_> {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64], ctx: &FaultContext) -> Result<(), SolverError> {
+        self.inner.apply(r, z, ctx)?;
+        let call = self.applies.get();
+        self.applies.set(call + 1);
+        if !self.fired.get() && call >= self.spec.strike_apply {
+            self.fired.set(true);
+            let mut bits = z[self.spec.element].to_bits();
+            for offset in 0..self.spec.length {
+                bits ^= 1u64 << (self.spec.start_bit + offset);
+            }
+            z[self.spec.element] = f64::from_bits(bits);
+        }
+        Ok(())
+    }
+
+    fn reliability(&self) -> Reliability {
+        self.inner.reliability()
+    }
+
+    fn bound_hint(&self) -> Option<f64> {
+        self.inner.bound_hint()
+    }
+
+    fn label(&self) -> &'static str {
+        self.inner.label()
     }
 }
 
@@ -796,6 +1081,55 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn selective_inner_apply_bursts_never_corrupt_silently() {
+        // The selective-reliability claim at campaign scale: an unchecked
+        // inner apply whose output is hit by an 8-bit burst costs
+        // iterations or trips the outer screen, never the answer.
+        let mut cfg = config(EccScheme::Secded64, FaultTarget::DenseVector, 24);
+        cfg.injection = InjectionKind::InnerApplyBurst;
+        cfg.flips_per_trial = 8;
+        cfg.precond_reliability = ReliabilityPolicy::Selective;
+        let stats = Campaign::new(cfg).run();
+        assert_eq!(stats.trials(), 24);
+        assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0, "{stats}");
+        assert_eq!(
+            stats.count(FaultOutcome::DetectedAborted),
+            0,
+            "the unreliable inner tier never fail-stops: {stats}"
+        );
+    }
+
+    #[test]
+    fn protected_factor_flips_are_corrected_in_the_uniform_tier() {
+        let mut cfg = config(EccScheme::Secded64, FaultTarget::DenseVector, 16);
+        cfg.injection = InjectionKind::PrecondFactorFlips;
+        cfg.precond_reliability = ReliabilityPolicy::Uniform;
+        let stats = Campaign::new(cfg).run();
+        assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0, "{stats}");
+        assert_eq!(
+            stats.count(FaultOutcome::DetectedAborted),
+            0,
+            "single factor flips must be SECDED-correctable: {stats}"
+        );
+        assert!(
+            stats.count(FaultOutcome::Corrected) > 0,
+            "expected the protected factor store to log corrections: {stats}"
+        );
+    }
+
+    #[test]
+    fn selective_factor_bursts_stay_safe_for_the_polynomial_fallback() {
+        let mut cfg = config(EccScheme::Secded64, FaultTarget::DenseVector, 16);
+        cfg.injection = InjectionKind::PrecondFactorBurst;
+        cfg.flips_per_trial = 6;
+        cfg.precond = PrecondKind::Polynomial(2);
+        cfg.precond_reliability = ReliabilityPolicy::Selective;
+        let stats = Campaign::new(cfg).run();
+        assert_eq!(stats.trials(), 16);
+        assert_eq!(stats.count(FaultOutcome::SilentCorruption), 0, "{stats}");
     }
 
     #[test]

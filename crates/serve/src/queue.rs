@@ -29,6 +29,17 @@
 //! limit, yields bitwise-identical solutions and identical per-tenant
 //! fault snapshots.
 //!
+//! ## Preconditioned jobs
+//!
+//! A job carrying a preconditioner choice ([`JobSpec::with_preconditioner`])
+//! runs the flexible inner-outer FT-PCG solver instead of plain CG.  Such
+//! jobs batch by (matrix, config, preconditioner kind **and** reliability
+//! policy): the panel factors the preconditioner once and every column
+//! reuses the factors, but each column's solve is sequential and
+//! standalone-equivalent — bitwise identical to
+//! [`SolveSpec`](abft_solvers::SolveSpec) against the same encoded matrix,
+//! at any worker count.
+//!
 //! ## Graceful degradation
 //!
 //! With a non-zero [`SolveQueue::with_retry_budget`], a job whose column is
@@ -49,8 +60,8 @@ use abft_core::{
 };
 use abft_solvers::backends::{FullyProtected, MatrixProtected};
 use abft_solvers::{
-    block_cg_panel, FaultContext, LinearOperator, SolveStatus, SolverConfig, SolverError,
-    Termination,
+    block_cg_panel, ft_pcg, FaultContext, LinearOperator, PrecondKind, Preconditioner,
+    ReliabilityPolicy, SolveStatus, SolverConfig, SolverError, Termination,
 };
 use abft_sparse::CsrMatrix;
 use std::collections::HashMap;
@@ -79,7 +90,7 @@ impl JobId {
 pub struct JobSpec {
     /// Tenant the job (and its fault accounting) belongs to.
     pub tenant: String,
-    /// Matrix to solve against, from [`SolveQueue::register_matrix`].
+    /// Matrix to solve against, from [`SolveQueue::register`].
     pub matrix: MatrixId,
     /// Right-hand side, plain values.
     pub rhs: Vec<f64>,
@@ -92,6 +103,12 @@ pub struct JobSpec {
     /// Per-job iteration budget below the config-wide cap
     /// ([`Termination::IterationBudget`]).
     pub budget: Option<usize>,
+    /// Optional preconditioner: the job runs the flexible inner-outer
+    /// FT-PCG solver instead of plain CG, with the inner apply in the tier
+    /// the [`ReliabilityPolicy`] selects.  Jobs batch together only when
+    /// their preconditioner choice (kind *and* policy) agrees, so a panel
+    /// factors its preconditioner once and every column reuses it.
+    pub precond: Option<(PrecondKind, ReliabilityPolicy)>,
 }
 
 impl JobSpec {
@@ -104,6 +121,7 @@ impl JobSpec {
             config: SolverConfig::default(),
             deadline: None,
             budget: None,
+            precond: None,
         }
     }
 
@@ -122,6 +140,15 @@ impl JobSpec {
     /// Builder-style setter for the iteration budget.
     pub fn with_budget(mut self, budget: usize) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Builder-style setter for the preconditioner: run this job through
+    /// the flexible FT-PCG solver with `kind` built in the tier `policy`
+    /// selects ([`ReliabilityPolicy::Selective`] = unchecked inner apply,
+    /// [`ReliabilityPolicy::Uniform`] = protected factors).
+    pub fn with_preconditioner(mut self, kind: PrecondKind, policy: ReliabilityPolicy) -> Self {
+        self.precond = Some((kind, policy));
         self
     }
 }
@@ -221,9 +248,27 @@ struct ColumnResult {
     rhs: Option<Vec<f64>>,
 }
 
-/// Panel grouping key: (matrix id, config hash halves, solo marker) —
-/// jobs share a panel iff their keys are equal.
-type PanelKey = (usize, usize, u64, u64);
+/// Panel grouping key: (matrix id, config hash halves, preconditioner
+/// discriminant, solo marker) — jobs share a panel iff their keys are
+/// equal.
+type PanelKey = (usize, usize, u64, u64, u64);
+
+/// Stable discriminant of a job's preconditioner choice for panel keys:
+/// `0` = unpreconditioned, otherwise [`PrecondKind::key`] shifted to make
+/// room for the reliability-policy bit (kind keys start at 1, so every
+/// preconditioned job maps to a non-zero value).
+fn precond_key(precond: Option<(PrecondKind, ReliabilityPolicy)>) -> u64 {
+    match precond {
+        None => 0,
+        Some((kind, policy)) => {
+            let policy_bit = match policy {
+                ReliabilityPolicy::Uniform => 0,
+                ReliabilityPolicy::Selective => 1,
+            };
+            (kind.key() << 1) | policy_bit
+        }
+    }
+}
 
 /// The serving front door: register matrices once, submit jobs from many
 /// tenants, drain them in batched panels.
@@ -287,16 +332,41 @@ impl SolveQueue {
         self.retry_budget
     }
 
+    /// Registers a protected matrix for subsequent jobs.
+    ///
+    /// This is the one registration door: it accepts any concrete tier
+    /// (a [`ProtectedCsr`](abft_core::ProtectedCsr), a
+    /// [`ProtectedCoo`](abft_core::ProtectedCoo), a
+    /// [`ProtectedBlockedCsr`](abft_core::ProtectedBlockedCsr)), an
+    /// [`AnyProtectedMatrix`], or an already-shared
+    /// `Arc<AnyProtectedMatrix>` handle.  Callers encode with
+    /// [`AnyProtectedMatrix::encode`] (the step the historical
+    /// `register_matrix` / `register_matrix_tiered` pair folded in) and
+    /// hand the result over.
+    pub fn register(&mut self, matrix: impl Into<Arc<AnyProtectedMatrix>>) -> MatrixId {
+        self.matrices.push(matrix.into());
+        MatrixId(self.matrices.len() - 1)
+    }
+
     /// Encodes and registers a matrix for subsequent jobs (CSR storage).
+    #[deprecated(
+        since = "0.6.0",
+        note = "encode with AnyProtectedMatrix::encode and pass the result to the one-stop SolveQueue::register"
+    )]
     pub fn register_matrix(
         &mut self,
         matrix: &CsrMatrix,
         protection: &ProtectionConfig,
     ) -> Result<MatrixId, abft_core::AbftError> {
-        self.register_matrix_tiered(matrix, protection, StorageTier::Csr)
+        let encoded = AnyProtectedMatrix::encode(matrix, protection, StorageTier::Csr)?;
+        Ok(self.register(encoded))
     }
 
     /// Encodes and registers a matrix into an explicit storage tier.
+    #[deprecated(
+        since = "0.6.0",
+        note = "encode with AnyProtectedMatrix::encode and pass the result to the one-stop SolveQueue::register"
+    )]
     pub fn register_matrix_tiered(
         &mut self,
         matrix: &CsrMatrix,
@@ -304,17 +374,13 @@ impl SolveQueue {
         tier: StorageTier,
     ) -> Result<MatrixId, abft_core::AbftError> {
         let encoded = AnyProtectedMatrix::encode(matrix, protection, tier)?;
-        Ok(self.register_encoded(encoded))
+        Ok(self.register(encoded))
     }
 
-    /// Registers an already-encoded protected matrix of any storage tier
-    /// (a [`ProtectedCsr`](abft_core::ProtectedCsr), a
-    /// [`ProtectedCoo`](abft_core::ProtectedCoo), a
-    /// [`ProtectedBlockedCsr`](abft_core::ProtectedBlockedCsr), or an
-    /// [`AnyProtectedMatrix`] directly).
+    /// Registers an already-encoded protected matrix of any storage tier.
+    #[deprecated(since = "0.6.0", note = "SolveQueue::register accepts the same inputs")]
     pub fn register_encoded(&mut self, matrix: impl Into<AnyProtectedMatrix>) -> MatrixId {
-        self.matrices.push(Arc::new(matrix.into()));
-        MatrixId(self.matrices.len() - 1)
+        self.register(matrix.into())
     }
 
     /// Queues a job; it runs at the next [`SolveQueue::drain`].
@@ -410,6 +476,7 @@ impl SolveQueue {
                         config: job.spec.config,
                         deadline: job.spec.deadline,
                         budget: job.spec.budget,
+                        precond: job.spec.precond,
                         cancel: Arc::clone(&job.cancel),
                         submitted: job.submitted,
                     },
@@ -419,6 +486,7 @@ impl SolveQueue {
                 job.spec.matrix.0,
                 job.spec.config.max_iterations,
                 job.spec.config.tolerance.to_bits(),
+                precond_key(job.spec.precond),
                 if job.solo { job.id.0 as u64 + 1 } else { 0 },
             );
             match groups.iter_mut().find(|(k, _)| *k == key) {
@@ -431,6 +499,7 @@ impl SolveQueue {
         for (_, members) in groups {
             let matrix = Arc::clone(&self.matrices[members[0].spec.matrix.0]);
             let config = members[0].spec.config;
+            let precond = members[0].spec.precond;
             let mut members = members.into_iter().peekable();
             while members.peek().is_some() {
                 let panel: Vec<PanelColumn> = members
@@ -448,7 +517,7 @@ impl SolveQueue {
                     })
                     .collect();
                 let matrix = Arc::clone(&matrix);
-                tickets.push(submit(move || solve_panel(&matrix, config, panel)));
+                tickets.push(submit(move || solve_panel(&matrix, config, precond, panel)));
             }
         }
 
@@ -487,6 +556,7 @@ impl SolveQueue {
                         config: meta.config,
                         deadline: meta.deadline,
                         budget: meta.budget,
+                        precond: meta.precond,
                     },
                     cancel: meta.cancel,
                     submitted: meta.submitted,
@@ -519,6 +589,7 @@ struct RetryMeta {
     config: SolverConfig,
     deadline: Option<Duration>,
     budget: Option<usize>,
+    precond: Option<(PrecondKind, ReliabilityPolicy)>,
     cancel: Arc<AtomicBool>,
     submitted: Instant,
 }
@@ -529,13 +600,170 @@ struct RetryMeta {
 fn solve_panel(
     matrix: &AnyProtectedMatrix,
     config: SolverConfig,
+    precond: Option<(PrecondKind, ReliabilityPolicy)>,
     columns: Vec<PanelColumn>,
 ) -> (Vec<ColumnResult>, FaultLogSnapshot) {
+    if let Some((kind, policy)) = precond {
+        return run_precond_panel(matrix, config, kind, policy, columns);
+    }
     if matrix.config().vectors != EccScheme::None {
         run_panel(&FullyProtected::new(matrix), config, columns)
     } else {
         run_panel(&MatrixProtected::new(matrix), config, columns)
     }
+}
+
+/// The preconditioned panel body: the preconditioner is factored **once**
+/// (the batching payoff for FT-PCG jobs) and each column then runs the
+/// full inner-outer [`ft_pcg`] sequentially — arithmetic and fault
+/// accounting are bit-for-bit those of a standalone preconditioned solve,
+/// regardless of panel composition or the pool's worker count.
+///
+/// Cancellation and deadlines are observed once, before a column's solve
+/// starts (the sequential FT-PCG loop has no per-iteration poll hook);
+/// per-job iteration budgets are honoured by capping the column's
+/// iteration limit.  All matrix traversals land in the owning column's
+/// log, exactly as standalone — preconditioned panels share no traversal,
+/// so they contribute nothing to [`SolveQueue::matrix_activity`].
+fn run_precond_panel(
+    matrix: &AnyProtectedMatrix,
+    config: SolverConfig,
+    kind: PrecondKind,
+    policy: ReliabilityPolicy,
+    columns: Vec<PanelColumn>,
+) -> (Vec<ColumnResult>, FaultLogSnapshot) {
+    let width = columns.len();
+    let plain = matrix.to_csr();
+    let scheme = matrix.config().elements;
+    let backend = matrix.config().crc_backend;
+    let built = kind.build(&plain, policy.tier(), scheme, backend);
+
+    let results = columns
+        .into_iter()
+        .map(|col| {
+            let log = FaultLog::new();
+            let idle = SolveStatus {
+                converged: false,
+                iterations: 0,
+                initial_residual: 0.0,
+                final_residual: 0.0,
+            };
+            let precond = match &built {
+                Ok(p) => p.as_ref(),
+                Err(e) => {
+                    let error = Some(e.clone());
+                    return ColumnResult {
+                        id: col.id,
+                        tenant: col.tenant,
+                        solution: None,
+                        status: idle,
+                        termination: Termination::Fault,
+                        error,
+                        faults: log.snapshot(),
+                        panel_width: width,
+                        attempts: col.attempts,
+                        rhs: Some(col.rhs),
+                    };
+                }
+            };
+            if col.cancel.load(Ordering::Relaxed) {
+                return ColumnResult {
+                    id: col.id,
+                    tenant: col.tenant,
+                    solution: Some(vec![0.0; plain.rows()]),
+                    status: idle,
+                    termination: Termination::Cancelled,
+                    error: None,
+                    faults: log.snapshot(),
+                    panel_width: width,
+                    attempts: col.attempts,
+                    rhs: None,
+                };
+            }
+            if col
+                .deadline
+                .is_some_and(|limit| col.submitted.elapsed() >= limit)
+            {
+                return ColumnResult {
+                    id: col.id,
+                    tenant: col.tenant,
+                    solution: Some(vec![0.0; plain.rows()]),
+                    status: idle,
+                    termination: Termination::DeadlineExpired,
+                    error: None,
+                    faults: log.snapshot(),
+                    panel_width: width,
+                    attempts: col.attempts,
+                    rhs: None,
+                };
+            }
+
+            let mut cfg = config;
+            if let Some(budget) = col.budget {
+                cfg.max_iterations = cfg.max_iterations.min(budget);
+            }
+            let outcome = if matrix.config().vectors != EccScheme::None {
+                precond_column(&FullyProtected::new(matrix), &col.rhs, precond, &cfg, &log)
+            } else {
+                precond_column(&MatrixProtected::new(matrix), &col.rhs, precond, &cfg, &log)
+            };
+            match outcome {
+                Ok((solution, status)) => {
+                    let termination = if status.converged {
+                        Termination::Converged
+                    } else if status.iterations < cfg.max_iterations {
+                        Termination::Stalled
+                    } else {
+                        Termination::IterationBudget
+                    };
+                    ColumnResult {
+                        id: col.id,
+                        tenant: col.tenant,
+                        solution: Some(solution),
+                        status,
+                        termination,
+                        error: None,
+                        faults: log.snapshot(),
+                        panel_width: width,
+                        attempts: col.attempts,
+                        rhs: None,
+                    }
+                }
+                Err(e) => ColumnResult {
+                    id: col.id,
+                    tenant: col.tenant,
+                    solution: None,
+                    status: idle,
+                    termination: Termination::Fault,
+                    error: Some(e),
+                    faults: log.snapshot(),
+                    panel_width: width,
+                    attempts: col.attempts,
+                    rhs: Some(col.rhs),
+                },
+            }
+        })
+        .collect();
+    (results, FaultLogSnapshot::default())
+}
+
+/// One column's standalone-equivalent FT-PCG solve: own context, own
+/// reduction scope, own decode — bitwise the same as
+/// [`SolveSpec::solve`](abft_solvers::SolveSpec::solve) against the same
+/// encoded matrix.
+fn precond_column<Op: LinearOperator>(
+    op: &Op,
+    rhs: &[f64],
+    precond: &dyn Preconditioner,
+    config: &SolverConfig,
+    log: &FaultLog,
+) -> Result<(Vec<f64>, SolveStatus), SolverError> {
+    let base = FaultContext::with_log(log);
+    let ctx = base.scoped_to(op.reduction_workspace());
+    let b = op.vector_from(rhs);
+    let (mut x, status) = ft_pcg(op, &b, precond, config, &ctx)?;
+    let solution = op.finish(&mut x, &ctx)?;
+    Ok((solution, status))
 }
 
 /// The generic panel body: per-column fault contexts, a scratch matrix

@@ -83,13 +83,19 @@ impl<'a> FaultContext<'a> {
     /// A context recording into the same log as `self` but carrying the
     /// given reduction workspace — how the solve front door scopes a
     /// caller's context to the operator backend it is about to run on.
+    ///
+    /// Re-scoping with `None` (an operator with no workspace of its own,
+    /// e.g. an inner solve nested inside an already-scoped outer context)
+    /// keeps the workspace `self` already carries instead of dropping it:
+    /// nesting narrows a context, it never discards parallel-reduction
+    /// state the caller threaded through.
     pub fn scoped_to<'b>(
         &'b self,
         reduction: Option<&'b RefCell<ReductionWorkspace>>,
     ) -> FaultContext<'b> {
         FaultContext {
             log: LogHandle::Borrowed(self.log()),
-            reduction,
+            reduction: reduction.or(self.reduction),
         }
     }
 

@@ -15,6 +15,7 @@
 
 use crate::backend::{FaultContext, LinearOperator, SolverError, SolverVector};
 use crate::chebyshev::ChebyshevBounds;
+use crate::precond::Preconditioner;
 use crate::status::{SolveStatus, SolverConfig, Termination};
 use abft_core::{AbftError, FaultLogSnapshot, Region, MAX_PANEL_WIDTH};
 
@@ -672,6 +673,146 @@ pub fn ppcg<Op: LinearOperator>(
         rz = rz_new;
     }
     Ok((x, status))
+}
+
+/// Amplification cap used by the FT-PCG inner-result screen when the
+/// preconditioner offers no [`Preconditioner::bound_hint`]: permissive
+/// enough for any sane preconditioner, tight enough to reject the wild
+/// magnitudes bit-level corruption produces.
+const FCG_DEFAULT_BOUND: f64 = 1e8;
+
+/// One guarded inner preconditioner application of [`ft_pcg`]:
+///
+/// 1. read the outer residual through the checked masked kernels into
+///    `r_plain` (protected, with the parity-rebuild retry ladder) — the
+///    snapshot is *certified* when this step succeeds;
+/// 2. run the inner apply in whatever reliability tier `precond` was
+///    built in;
+/// 3. screen the result against the opaque-preconditioner bound
+///    `‖z‖ ≤ C·‖r‖` (plus a finiteness check).  A rejected result is
+///    replaced by the residual itself — one identity-preconditioned
+///    (plain CG) step — and recorded as a dense-vector bounds violation,
+///    so an inner SDC costs extra iterations, never a wrong answer.
+fn guarded_inner_apply<V: SolverVector>(
+    r: &mut V,
+    r_plain: &mut [f64],
+    z_plain: &mut [f64],
+    precond: &dyn Preconditioner,
+    bound: f64,
+    ctx: &FaultContext,
+) -> Result<(), SolverError> {
+    retry_kernel!(ctx, [r], r.read_checked(r_plain, ctx))?;
+    precond.apply(r_plain, z_plain, ctx)?;
+    let zz: f64 = z_plain.iter().map(|v| v * v).sum();
+    let rr: f64 = r_plain.iter().map(|v| v * v).sum();
+    if !(zz.is_finite() && zz <= bound * bound * rr) {
+        z_plain.copy_from_slice(r_plain);
+        ctx.log().record_bounds_violation(Region::DenseVector);
+    }
+    Ok(())
+}
+
+/// Flexible inner-outer FT-PCG: preconditioned CG whose outer loop runs
+/// fully protected while the inner preconditioner apply runs in the
+/// reliability tier the caller chose when building `precond` — the
+/// *selective reliability* solver.
+///
+/// The outer iteration is the [`cg`] machinery: every kernel goes through
+/// the checked masked BLAS-1 surface with the `retry_kernel!`
+/// parity-rebuild ladder, and convergence is decided on the **protected**
+/// residual norm, so a bounded-but-wrong inner result can slow the solve
+/// but never terminate it at a wrong answer.  Each inner result crosses
+/// the reliability boundary through the guarded inner apply: certified
+/// residual snapshot in, norm-screened (never verified) update out.
+///
+/// Because the effective preconditioner may vary between iterations — a
+/// screen rejection substitutes an identity step, an unreliable-tier
+/// fault perturbs `M` silently — the search-direction update uses the
+/// flexible (Polak–Ribière) form `β = zₖ₊₁·(rₖ₊₁ − rₖ) / zₖ·rₖ`, clamped
+/// at zero (an automatic restart), rather than the fixed-preconditioner
+/// Fletcher–Reeves form.  With a healthy preconditioner the two coincide
+/// in exact arithmetic.
+pub fn ft_pcg<Op: LinearOperator>(
+    op: &Op,
+    b: &Op::Vector,
+    precond: &dyn Preconditioner,
+    config: &SolverConfig,
+    ctx: &FaultContext,
+) -> Result<(Op::Vector, SolveStatus), SolverError> {
+    let n = op.rows();
+    assert_eq!(b.len(), n, "ft_pcg: rhs has wrong length");
+    assert_eq!(precond.rows(), n, "ft_pcg: preconditioner has wrong size");
+    let bound = precond.bound_hint().unwrap_or(FCG_DEFAULT_BOUND);
+
+    let mut x = op.zero_vector(n);
+    let mut r = b.clone();
+    let mut z = op.zero_vector(n);
+    let mut p = op.zero_vector(n);
+    let mut w = op.zero_vector(n);
+    // Plain staging buffers of the reliability boundary (allocated once).
+    let mut r_now = vec![0.0; n];
+    let mut r_prev = vec![0.0; n];
+    let mut z_plain = vec![0.0; n];
+
+    let rr0 = retry_kernel!(ctx, [r], r.dot(&r, ctx))?;
+    let mut status = SolveStatus {
+        converged: rr0 < config.tolerance,
+        iterations: 0,
+        initial_residual: rr0,
+        final_residual: rr0,
+    };
+    if status.converged {
+        return Ok((x, status));
+    }
+
+    guarded_inner_apply(&mut r, &mut r_now, &mut z_plain, precond, bound, ctx)?;
+    retry_kernel!(ctx, [z], z.update_indexed(ctx, |i, _| z_plain[i]))?;
+    retry_kernel!(ctx, [p, z], p.copy_from(&z, ctx))?;
+    let mut rz = retry_kernel!(ctx, [r, z], r.dot(&z, ctx))?;
+
+    for iteration in 0..config.max_iterations {
+        retry_kernel!(ctx, [p, w], op.apply(&mut p, &mut w, iteration as u64, ctx))?;
+        let pw = retry_kernel!(ctx, [p, w], p.dot(&w, ctx))?;
+        if pw == 0.0 || rz == 0.0 {
+            break;
+        }
+        let alpha = rz / pw;
+        retry_kernel!(ctx, [x, p], x.axpy(alpha, &p, ctx))?;
+        let rr = retry_kernel!(ctx, [r, w], r.dot_axpy(-alpha, &w, ctx))?;
+        status.iterations = iteration + 1;
+        status.final_residual = rr;
+        if rr < config.tolerance {
+            status.converged = true;
+            break;
+        }
+        // `r_prev` keeps the certified snapshot from before the residual
+        // update; `r_now` is refilled with the post-update snapshot inside
+        // the guarded apply.
+        std::mem::swap(&mut r_prev, &mut r_now);
+        guarded_inner_apply(&mut r, &mut r_now, &mut z_plain, precond, bound, ctx)?;
+        retry_kernel!(ctx, [z], z.update_indexed(ctx, |i, _| z_plain[i]))?;
+        let rz_new = retry_kernel!(ctx, [r, z], r.dot(&z, ctx))?;
+        let mut flexible_num = 0.0;
+        for i in 0..n {
+            flexible_num += z_plain[i] * (r_now[i] - r_prev[i]);
+        }
+        let beta = (flexible_num / rz).max(0.0);
+        retry_kernel!(ctx, [p, z], p.xpay(beta, &z, ctx))?;
+        rz = rz_new;
+    }
+    Ok((x, status))
+}
+
+/// Alias for [`ft_pcg`] under the algorithm's textbook name (flexible
+/// conjugate gradients).
+pub fn fcg<Op: LinearOperator>(
+    op: &Op,
+    b: &Op::Vector,
+    precond: &dyn Preconditioner,
+    config: &SolverConfig,
+    ctx: &FaultContext,
+) -> Result<(Op::Vector, SolveStatus), SolverError> {
+    ft_pcg(op, b, precond, config, ctx)
 }
 
 #[cfg(test)]

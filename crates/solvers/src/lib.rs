@@ -65,11 +65,15 @@ pub mod backend;
 pub mod backends;
 pub mod chebyshev;
 pub mod generic;
+pub mod precond;
 pub mod solver;
+pub mod spec;
 pub mod status;
 
 pub use backend::{FaultContext, LinearOperator, SolverError, SolverVector};
 pub use chebyshev::ChebyshevBounds;
-pub use generic::{block_cg, block_cg_panel, BlockColumnOutcome};
+pub use generic::{block_cg, block_cg_panel, fcg, ft_pcg, BlockColumnOutcome};
+pub use precond::{Ilu0, Polynomial, PrecondKind, Preconditioner, Reliability, ReliabilityPolicy};
 pub use solver::{Method, ProtectionMode, SolveOutcome, Solver};
+pub use spec::SolveSpec;
 pub use status::{SolveStatus, SolverConfig, Termination};

@@ -187,7 +187,19 @@ impl Solver {
 
     /// Selects the protected storage tier a protected solve encodes the
     /// matrix into (CSR by default; ignored by [`ProtectionMode::Plain`]).
+    #[deprecated(
+        since = "0.6.0",
+        note = "configure solves through the one-stop SolveSpec builder: SolveSpec::new(scheme).storage(tier)"
+    )]
     pub fn storage(mut self, storage: StorageTier) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Crate-internal (non-deprecated) form of [`Solver::storage`], so the
+    /// [`SolveSpec`](crate::spec::SolveSpec) front door can delegate
+    /// without tripping the deprecation it exists to resolve.
+    pub(crate) fn storage_tier(mut self, storage: StorageTier) -> Self {
         self.storage = storage;
         self
     }
@@ -226,25 +238,48 @@ impl Solver {
     /// Solves `A x = b`, encoding the matrix for the configured protection
     /// mode first.
     pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<SolveOutcome, SolverError> {
+        self.solve_dispatch(a, b, None)
+    }
+
+    /// Like [`Solver::solve`], but records integrity-check activity live
+    /// into a caller-supplied log, so observations made before an aborting
+    /// fault survive on the error path.
+    pub fn solve_logged(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        log: &FaultLog,
+    ) -> Result<SolveOutcome, SolverError> {
+        self.solve_dispatch(a, b, Some(log))
+    }
+
+    fn solve_dispatch(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        log: Option<&FaultLog>,
+    ) -> Result<SolveOutcome, SolverError> {
         // Estimate Chebyshev bounds from the plain matrix up front: cheaper
         // and exact, where the protected backends would have to decode.
         let mut solver = *self;
         if solver.bounds.is_none() && matches!(self.method, Method::Chebyshev | Method::Ppcg) {
             solver.bounds = Some(ChebyshevBounds::estimate_gershgorin(a));
         }
+        let owned = FaultLog::new();
+        let ctx = FaultContext::with_log(log.unwrap_or(&owned));
         match self.protection {
-            ProtectionMode::Plain => solver.solve_operator(&Plain::new(a, self.parallel), b),
+            ProtectionMode::Plain => solver.solve_in(&Plain::new(a, self.parallel), b, &ctx),
             ProtectionMode::Matrix(cfg) => {
                 let cfg = ProtectionConfig {
                     vectors: EccScheme::None,
                     ..cfg
                 };
                 let protected = AnyProtectedMatrix::encode(a, &cfg, self.storage)?;
-                solver.solve_operator(&MatrixProtected::new(&protected), b)
+                solver.solve_in(&MatrixProtected::new(&protected), b, &ctx)
             }
             ProtectionMode::Full(cfg) => {
                 let protected = AnyProtectedMatrix::encode(a, &cfg, self.storage)?;
-                solver.solve_operator(&FullyProtected::new(&protected), b)
+                solver.solve_in(&FullyProtected::new(&protected), b, &ctx)
             }
         }
     }
@@ -457,6 +492,8 @@ mod tests {
             .solve(&a, &b)
             .unwrap();
         for tier in [StorageTier::Coo, StorageTier::BlockedCsr(3)] {
+            // The deprecated builder shim must keep working verbatim.
+            #[allow(deprecated)]
             let outcome = Solver::cg()
                 .max_iterations(500)
                 .tolerance(1e-18)

@@ -1,0 +1,470 @@
+//! [`SolveSpec`] — the one-stop fluent front door of the workspace.
+//!
+//! Historically a protected solve was configured across three surfaces:
+//! the [`Solver`] builder (method, stopping criteria, storage tier), the
+//! [`ProtectionConfig`] constructors (`full`/`matrix_only` + the
+//! `with_*` chain for parity, check interval, CRC backend, parallelism),
+//! and per-call knobs.  `SolveSpec` collapses the sprawl into one fluent
+//! builder that also carries the selective-reliability decision:
+//!
+//! ```
+//! use abft_core::{EccScheme, StorageTier};
+//! use abft_solvers::{PrecondKind, ReliabilityPolicy, SolveSpec};
+//! use abft_sparse::builders::poisson_2d_padded;
+//!
+//! let a = poisson_2d_padded(16, 16);
+//! let b = vec![1.0; a.rows()];
+//! let outcome = SolveSpec::new(EccScheme::Secded64)
+//!     .storage(StorageTier::Csr)
+//!     .parity(8)
+//!     .preconditioner(PrecondKind::Ilu0)
+//!     .reliability(ReliabilityPolicy::Selective)
+//!     .tolerance(1e-16)
+//!     .solve(&a, &b)
+//!     .unwrap();
+//! assert!(outcome.status.converged);
+//! assert_eq!(outcome.faults.total_uncorrectable(), 0);
+//! ```
+//!
+//! A spec without a preconditioner dispatches through the [`Solver`]
+//! engine unchanged; a spec with one runs the flexible inner-outer
+//! FT-PCG solver ([`crate::generic::ft_pcg`]), building the
+//! preconditioner in the tier its [`ReliabilityPolicy`] selects.
+
+use crate::backend::{FaultContext, LinearOperator, SolverError};
+use crate::backends::{FullyProtected, MatrixProtected, Plain};
+use crate::chebyshev::ChebyshevBounds;
+use crate::generic;
+use crate::precond::{PrecondKind, Preconditioner, ReliabilityPolicy};
+use crate::solver::{Method, ProtectionMode, SolveOutcome, Solver};
+use crate::status::SolverConfig;
+use abft_core::{
+    AnyProtectedMatrix, EccScheme, FaultLog, ParityConfig, ProtectionConfig, StorageTier,
+};
+use abft_ecc::Crc32cBackend;
+use abft_sparse::CsrMatrix;
+
+/// One fluent builder covering scheme, storage tier, parity, check
+/// cadence, method knobs and the preconditioner/reliability pair — see
+/// the [module docs](self) for the full story.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveSpec {
+    method: Method,
+    scheme: EccScheme,
+    matrix_only: bool,
+    storage: StorageTier,
+    parity: Option<ParityConfig>,
+    check_interval: u32,
+    crc_backend: Crc32cBackend,
+    parallel: bool,
+    config: SolverConfig,
+    bounds: Option<ChebyshevBounds>,
+    inner_steps: usize,
+    precond: Option<PrecondKind>,
+    reliability: ReliabilityPolicy,
+}
+
+impl Default for SolveSpec {
+    /// An unprotected CG spec (`EccScheme::None`).
+    fn default() -> Self {
+        SolveSpec::new(EccScheme::None)
+    }
+}
+
+impl SolveSpec {
+    /// Starts a spec protecting matrix **and** vectors with `scheme`
+    /// ([`EccScheme::None`] gives the unprotected baseline).
+    pub fn new(scheme: EccScheme) -> Self {
+        SolveSpec {
+            method: Method::Cg,
+            scheme,
+            matrix_only: false,
+            storage: StorageTier::Csr,
+            parity: None,
+            check_interval: 1,
+            crc_backend: Crc32cBackend::Auto,
+            parallel: false,
+            config: SolverConfig::default(),
+            bounds: None,
+            inner_steps: 4,
+            precond: None,
+            reliability: ReliabilityPolicy::Uniform,
+        }
+    }
+
+    /// The unprotected baseline spec.
+    pub fn plain() -> Self {
+        SolveSpec::new(EccScheme::None)
+    }
+
+    /// Selects the iterative method (CG by default).
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Protects only the matrix regions, leaving work vectors plain
+    /// (the Figures 4–8 tier).
+    pub fn matrix_only(mut self) -> Self {
+        self.matrix_only = true;
+        self
+    }
+
+    /// Selects the protected storage tier the matrix is encoded into.
+    pub fn storage(mut self, storage: StorageTier) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Layers the XOR erasure tier over the vector ECC with `stripes`
+    /// data chunks per parity stripe (chunk size stays at the kernels'
+    /// natural accumulation block).  Ignored when the spec protects no
+    /// vectors — parity without embedded ECC would have nothing to
+    /// re-verify a rebuilt chunk with.
+    pub fn parity(mut self, stripes: usize) -> Self {
+        self.parity = Some(ParityConfig {
+            stripe_chunks: stripes,
+            ..ParityConfig::default()
+        });
+        self
+    }
+
+    /// Layers the XOR erasure tier with a fully explicit layout.
+    pub fn parity_config(mut self, parity: ParityConfig) -> Self {
+        self.parity = Some(parity);
+        self
+    }
+
+    /// Full integrity checks every `interval` matrix accesses, bounds-only
+    /// checks in between (§VI-A-2; default 1 = always).
+    pub fn check_interval(mut self, interval: u32) -> Self {
+        self.check_interval = interval;
+        self
+    }
+
+    /// Selects the CRC32C backend.
+    pub fn crc_backend(mut self, backend: Crc32cBackend) -> Self {
+        self.crc_backend = backend;
+        self
+    }
+
+    /// Uses the parallel kernels (plain and protected alike).
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.config.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the tolerance on the absolute squared residual norm.
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.config.tolerance = tolerance;
+        self
+    }
+
+    /// Replaces both stopping criteria at once.
+    pub fn config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Supplies explicit spectral bounds for Chebyshev-type methods.
+    pub fn bounds(mut self, bounds: ChebyshevBounds) -> Self {
+        self.bounds = Some(bounds);
+        self
+    }
+
+    /// Inner smoothing steps per PPCG iteration (default 4).
+    pub fn inner_steps(mut self, inner_steps: usize) -> Self {
+        self.inner_steps = inner_steps;
+        self
+    }
+
+    /// Attaches a preconditioner: the solve becomes the flexible
+    /// inner-outer FT-PCG of [`crate::generic::ft_pcg`] (requires the CG
+    /// method).
+    pub fn preconditioner(mut self, kind: PrecondKind) -> Self {
+        self.precond = Some(kind);
+        self
+    }
+
+    /// Chooses whether the inner preconditioner apply is protected like
+    /// everything else ([`ReliabilityPolicy::Uniform`]) or deliberately
+    /// unreliable and norm-screened ([`ReliabilityPolicy::Selective`]).
+    pub fn reliability(mut self, reliability: ReliabilityPolicy) -> Self {
+        self.reliability = reliability;
+        self
+    }
+
+    /// The attached preconditioner kind, when one is set.
+    pub fn precond_kind(&self) -> Option<PrecondKind> {
+        self.precond
+    }
+
+    /// The reliability policy of the inner apply.
+    pub fn reliability_policy(&self) -> ReliabilityPolicy {
+        self.reliability
+    }
+
+    /// The stopping criteria.
+    pub fn solver_config(&self) -> SolverConfig {
+        self.config
+    }
+
+    /// The [`ProtectionConfig`] this spec describes, `None` for the
+    /// unprotected baseline.
+    pub fn protection_config(&self) -> Option<ProtectionConfig> {
+        if self.scheme == EccScheme::None {
+            return None;
+        }
+        let mut cfg = if self.matrix_only {
+            ProtectionConfig::matrix_only(self.scheme)
+        } else {
+            ProtectionConfig::full(self.scheme)
+        };
+        cfg = cfg
+            .with_check_interval(self.check_interval)
+            .with_crc_backend(self.crc_backend)
+            .with_parallel(self.parallel);
+        if let Some(parity) = self.parity {
+            if cfg.vectors != EccScheme::None {
+                cfg = cfg.with_parity(parity);
+            }
+        }
+        Some(cfg)
+    }
+
+    /// The [`ProtectionMode`] this spec dispatches under.
+    pub fn protection_mode(&self) -> ProtectionMode {
+        match self.protection_config() {
+            None => ProtectionMode::Plain,
+            Some(cfg) if self.matrix_only => ProtectionMode::Matrix(cfg),
+            Some(cfg) => ProtectionMode::Full(cfg),
+        }
+    }
+
+    /// The equivalent [`Solver`] engine configuration (without the
+    /// preconditioner, which the engine predates).
+    pub fn solver(&self) -> Solver {
+        let mut solver = Solver::new(self.method)
+            .config(self.config)
+            .protection(self.protection_mode())
+            .storage_tier(self.storage)
+            .parallel(self.parallel)
+            .inner_steps(self.inner_steps);
+        if let Some(bounds) = self.bounds {
+            solver = solver.bounds(bounds);
+        }
+        solver
+    }
+
+    /// Builds this spec's preconditioner for `a` in the tier the
+    /// reliability policy selects, when one is attached.
+    pub fn build_preconditioner(
+        &self,
+        a: &CsrMatrix,
+    ) -> Result<Option<Box<dyn Preconditioner>>, SolverError> {
+        match self.precond {
+            None => Ok(None),
+            Some(kind) => Ok(Some(kind.build(
+                a,
+                self.reliability.tier(),
+                self.scheme,
+                self.crc_backend,
+            )?)),
+        }
+    }
+
+    /// Solves `A x = b` under this spec.
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<SolveOutcome, SolverError> {
+        self.solve_logged(a, b, &FaultLog::new())
+    }
+
+    /// Like [`SolveSpec::solve`], recording integrity-check activity live
+    /// into a caller-supplied log.
+    pub fn solve_logged(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        log: &FaultLog,
+    ) -> Result<SolveOutcome, SolverError> {
+        let Some(kind) = self.precond else {
+            return self.solver().solve_logged(a, b, log);
+        };
+        if self.method != Method::Cg {
+            return Err(SolverError::Unsupported(
+                "preconditioned solves run FT-PCG and need Method::Cg".into(),
+            ));
+        }
+        let precond = kind.build(a, self.reliability.tier(), self.scheme, self.crc_backend)?;
+        let ctx = FaultContext::with_log(log);
+        match self.protection_mode() {
+            ProtectionMode::Plain => {
+                self.ft_pcg_on(&Plain::new(a, self.parallel), b, precond.as_ref(), &ctx)
+            }
+            ProtectionMode::Matrix(cfg) => {
+                let cfg = ProtectionConfig {
+                    vectors: EccScheme::None,
+                    ..cfg
+                };
+                let protected = AnyProtectedMatrix::encode(a, &cfg, self.storage)?;
+                self.ft_pcg_on(&MatrixProtected::new(&protected), b, precond.as_ref(), &ctx)
+            }
+            ProtectionMode::Full(cfg) => {
+                let protected = AnyProtectedMatrix::encode(a, &cfg, self.storage)?;
+                self.ft_pcg_on(&FullyProtected::new(&protected), b, precond.as_ref(), &ctx)
+            }
+        }
+    }
+
+    fn ft_pcg_on<Op: LinearOperator>(
+        &self,
+        op: &Op,
+        b: &[f64],
+        precond: &dyn Preconditioner,
+        ctx: &FaultContext<'_>,
+    ) -> Result<SolveOutcome, SolverError> {
+        let ctx = &ctx.scoped_to(op.reduction_workspace());
+        let bvec = op.vector_from(b);
+        let (mut x, status) = generic::ft_pcg(op, &bvec, precond, &self.config, ctx)?;
+        let solution = op.finish(&mut x, ctx)?;
+        Ok(SolveOutcome {
+            solution,
+            status,
+            faults: ctx.snapshot(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_sparse::builders::poisson_2d_padded;
+    use abft_sparse::spmv::spmv_serial;
+
+    fn system() -> (CsrMatrix, Vec<f64>) {
+        let a = poisson_2d_padded(9, 8);
+        let b = (0..a.rows()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+        (a, b)
+    }
+
+    fn residual_norm(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let mut ax = vec![0.0; a.rows()];
+        spmv_serial(a, x, &mut ax);
+        ax.iter()
+            .zip(b)
+            .map(|(axi, bi)| (axi - bi) * (axi - bi))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn spec_matches_the_legacy_builder_bit_for_bit() {
+        let (a, b) = system();
+        // Unpreconditioned specs dispatch through the same engine, so the
+        // trajectory is identical to the historical Solver chain.
+        let spec = SolveSpec::new(EccScheme::Secded64)
+            .crc_backend(Crc32cBackend::SlicingBy16)
+            .max_iterations(500)
+            .tolerance(1e-18)
+            .solve(&a, &b)
+            .unwrap();
+        let legacy = Solver::cg()
+            .max_iterations(500)
+            .tolerance(1e-18)
+            .protection(ProtectionMode::Full(
+                ProtectionConfig::full(EccScheme::Secded64)
+                    .with_crc_backend(Crc32cBackend::SlicingBy16),
+            ))
+            .solve(&a, &b)
+            .unwrap();
+        assert_eq!(spec.solution, legacy.solution);
+        assert_eq!(spec.status.iterations, legacy.status.iterations);
+    }
+
+    #[test]
+    fn spec_mode_derivation_covers_the_matrix() {
+        assert_eq!(SolveSpec::plain().protection_mode(), ProtectionMode::Plain);
+        assert!(SolveSpec::plain().protection_config().is_none());
+        let full = SolveSpec::new(EccScheme::Secded64).parity(4);
+        match full.protection_mode() {
+            ProtectionMode::Full(cfg) => {
+                assert_eq!(cfg.vectors, EccScheme::Secded64);
+                assert_eq!(cfg.parity.unwrap().stripe_chunks, 4);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Matrix-only specs drop the parity request instead of panicking:
+        // there is no vector ECC to re-verify a rebuilt chunk with.
+        let matrix = SolveSpec::new(EccScheme::Secded64).matrix_only().parity(4);
+        match matrix.protection_mode() {
+            ProtectionMode::Matrix(cfg) => {
+                assert_eq!(cfg.vectors, EccScheme::None);
+                assert!(cfg.parity.is_none());
+            }
+            other => panic!("expected Matrix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preconditioned_specs_converge_in_fewer_iterations() {
+        let (a, b) = system();
+        let baseline = SolveSpec::new(EccScheme::Secded64)
+            .max_iterations(500)
+            .tolerance(1e-16)
+            .solve(&a, &b)
+            .unwrap();
+        for policy in [ReliabilityPolicy::Uniform, ReliabilityPolicy::Selective] {
+            let pcg = SolveSpec::new(EccScheme::Secded64)
+                .preconditioner(PrecondKind::Ilu0)
+                .reliability(policy)
+                .max_iterations(500)
+                .tolerance(1e-16)
+                .solve(&a, &b)
+                .unwrap();
+            assert!(pcg.status.converged, "{policy:?}");
+            assert!(residual_norm(&a, &pcg.solution, &b) < 1e-6, "{policy:?}");
+            assert!(
+                pcg.status.iterations < baseline.status.iterations,
+                "{policy:?}: ILU(0) must accelerate CG"
+            );
+            assert_eq!(pcg.faults.total_uncorrectable(), 0);
+        }
+    }
+
+    #[test]
+    fn preconditioned_specs_work_in_every_protection_mode() {
+        let (a, b) = system();
+        let specs = [
+            SolveSpec::plain(),
+            SolveSpec::new(EccScheme::Secded64).matrix_only(),
+            SolveSpec::new(EccScheme::Secded64),
+        ];
+        for spec in specs {
+            let outcome = spec
+                .preconditioner(PrecondKind::Polynomial(3))
+                .reliability(ReliabilityPolicy::Selective)
+                .max_iterations(500)
+                .tolerance(1e-16)
+                .solve(&a, &b)
+                .unwrap();
+            assert!(outcome.status.converged);
+            assert!(residual_norm(&a, &outcome.solution, &b) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn preconditioner_requires_cg() {
+        let (a, b) = system();
+        let err = SolveSpec::plain()
+            .method(Method::Jacobi)
+            .preconditioner(PrecondKind::Ilu0)
+            .solve(&a, &b)
+            .unwrap_err();
+        assert!(matches!(err, SolverError::Unsupported(_)));
+    }
+}

@@ -39,19 +39,19 @@ fn main() {
         .map(|i| 1.0 + (i % 3) as f64 * 0.5)
         .collect();
 
-    // 2. One fully protected CG solve per storage tier.
+    // 2. One fully protected CG solve per storage tier, all described by
+    //    the one-stop SolveSpec builder.
     let config = ProtectionConfig::full(EccScheme::Secded64);
-    let solver = Solver::cg()
+    let spec = SolveSpec::new(EccScheme::Secded64)
         .max_iterations(1000)
-        .tolerance(1e-12)
-        .protection(ProtectionMode::Full(config));
+        .tolerance(1e-12);
     let mut outcomes = Vec::new();
     for tier in [
         StorageTier::Csr,
         StorageTier::Coo,
         StorageTier::BlockedCsr(3),
     ] {
-        let outcome = solver
+        let outcome = spec
             .storage(tier)
             .solve(&matrix, &rhs)
             .expect("protected solve");
@@ -76,7 +76,9 @@ fn main() {
     //    SECDED codewords correct it on the fly.
     let mut protected = ProtectedCoo::from_csr(&matrix, &config).expect("encode");
     protected.inject_value_bit_flip(7, 44);
-    let faulty = solver
+    let faulty = Solver::cg()
+        .max_iterations(1000)
+        .tolerance(1e-12)
         .solve_operator(&FullyProtected::new(&protected), &rhs)
         .expect("flip corrected mid-solve");
     assert_eq!(faulty.solution, outcomes[0].solution);

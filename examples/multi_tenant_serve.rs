@@ -29,9 +29,9 @@ fn main() {
     // 1. One queue, one registered matrix, four tenants with distinct
     //    right-hand sides.
     let mut queue = SolveQueue::new(4);
-    let id = queue
-        .register_matrix(&matrix, &protection)
-        .expect("encode matrix");
+    let id = queue.register(
+        AnyProtectedMatrix::encode(&matrix, &protection, StorageTier::Csr).expect("encode matrix"),
+    );
     let rhs_for = |seed: usize| -> Vec<f64> {
         (0..matrix.rows())
             .map(|i| 1.0 + ((i * seed) % 11) as f64 * 0.125)

@@ -38,8 +38,8 @@ pub mod prelude {
     pub use abft_faultsim::{Campaign, CampaignConfig, FaultOutcome, FaultTarget};
     pub use abft_serve::{JobOutcome, JobSpec, SolveQueue};
     pub use abft_solvers::{
-        Method, ProtectionMode, SolveOutcome, SolveStatus, Solver, SolverConfig, SolverError,
-        Termination,
+        Method, PrecondKind, Preconditioner, ProtectionMode, Reliability, ReliabilityPolicy,
+        SolveOutcome, SolveSpec, SolveStatus, Solver, SolverConfig, SolverError, Termination,
     };
     pub use abft_sparse::{CooMatrix, CsrMatrix, Vector};
     pub use abft_tealeaf::{Deck, Simulation, SolverKind};

@@ -464,3 +464,46 @@ fn sharded_scheduler_parity_under_worker_sweeps() {
         rayon::set_worker_limit(None);
     }
 }
+
+/// Nested context scoping keeps parallel-reduction state: re-scoping with
+/// `None` (an inner operator that owns no workspace, nested inside an
+/// already-scoped outer solve — the FT-PCG inner-apply shape) must keep
+/// the workspace the outer scope attached rather than dropping it, while
+/// scoping to a different workspace replaces it and the log is shared at
+/// every depth.
+#[test]
+fn nested_scoped_contexts_keep_the_outer_reduction_workspace() {
+    use abft_suite::core::ReductionWorkspace;
+    use abft_suite::solvers::FaultContext;
+    use std::cell::RefCell;
+
+    let log = FaultLog::new();
+    let outer_ws = RefCell::new(ReductionWorkspace::new());
+    let inner_ws = RefCell::new(ReductionWorkspace::new());
+
+    let base = FaultContext::with_log(&log);
+    assert!(base.reduction().is_none());
+
+    let outer = base.scoped_to(Some(&outer_ws));
+    assert!(std::ptr::eq(outer.reduction().unwrap(), &outer_ws));
+
+    // The fix under test: an inner re-scope with no workspace of its own
+    // narrows the context without discarding the outer workspace.
+    let nested = outer.scoped_to(None);
+    assert!(
+        std::ptr::eq(nested.reduction().unwrap(), &outer_ws),
+        "nested scope with None dropped the outer reduction workspace"
+    );
+
+    // Two levels deep, same invariant.
+    let deeper = nested.scoped_to(None);
+    assert!(std::ptr::eq(deeper.reduction().unwrap(), &outer_ws));
+
+    // An inner operator that *does* own a workspace takes precedence…
+    let replaced = nested.scoped_to(Some(&inner_ws));
+    assert!(std::ptr::eq(replaced.reduction().unwrap(), &inner_ws));
+
+    // …and every depth records into the one shared log.
+    assert!(std::ptr::eq(deeper.log(), &log));
+    assert!(std::ptr::eq(replaced.log(), &log));
+}

@@ -12,13 +12,20 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use abft_suite::core::{EccScheme, FaultLogSnapshot, ProtectedCsr, ProtectionConfig};
+use abft_suite::core::{
+    AnyProtectedMatrix, EccScheme, FaultLogSnapshot, ProtectedCsr, ProtectionConfig, StorageTier,
+};
 use abft_suite::prelude::{JobSpec, SolveQueue, SolverConfig, Termination};
 use abft_suite::sparse::builders::poisson_2d_padded;
 use abft_suite::sparse::CsrMatrix;
 
 fn test_matrix() -> CsrMatrix {
     poisson_2d_padded(24, 24)
+}
+
+/// The caller-side encode step the unified `SolveQueue::register` expects.
+fn encode(matrix: &CsrMatrix, protection: &ProtectionConfig) -> AnyProtectedMatrix {
+    AnyProtectedMatrix::encode(matrix, protection, StorageTier::Csr).unwrap()
 }
 
 fn rhs_for(matrix: &CsrMatrix, seed: usize) -> Vec<f64> {
@@ -43,7 +50,7 @@ fn run_order(matrix: &CsrMatrix, order: &[usize], width: usize) -> Vec<TenantRes
     let protection = ProtectionConfig::full(EccScheme::Secded64);
     let config = SolverConfig::new(2000, 1e-15);
     let mut queue = SolveQueue::new(width);
-    let id = queue.register_matrix(matrix, &protection).unwrap();
+    let id = queue.register(encode(matrix, &protection));
     for &t in order {
         let spec =
             JobSpec::new(format!("tenant-{t}"), id, rhs_for(matrix, t + 3)).with_config(config);
@@ -113,7 +120,7 @@ fn faulted_job_is_requeued_with_backoff_and_neighbours_stay_bit_for_bit() {
 
     // Baseline: the two healthy tenants alone.
     let mut queue = SolveQueue::new(4);
-    let id = queue.register_matrix(&matrix, &protection).unwrap();
+    let id = queue.register(encode(&matrix, &protection));
     queue.submit(JobSpec::new("alpha", id, rhs_for(&matrix, 3)).with_config(config));
     queue.submit(JobSpec::new("charlie", id, rhs_for(&matrix, 5)).with_config(config));
     let baseline = queue.drain();
@@ -127,8 +134,8 @@ fn faulted_job_is_requeued_with_backoff_and_neighbours_stay_bit_for_bit() {
     poisoned.inject_value_bit_flip(10, 40);
 
     let mut queue = SolveQueue::new(4).with_retry_budget(2);
-    let clean_id = queue.register_matrix(&matrix, &protection).unwrap();
-    let bad_id = queue.register_encoded(poisoned);
+    let clean_id = queue.register(encode(&matrix, &protection));
+    let bad_id = queue.register(poisoned);
     queue.submit(JobSpec::new("alpha", clean_id, rhs_for(&matrix, 3)).with_config(config));
     queue.submit(JobSpec::new("faulty", bad_id, rhs_for(&matrix, 4)).with_config(config));
     queue.submit(JobSpec::new("charlie", clean_id, rhs_for(&matrix, 5)).with_config(config));
@@ -192,7 +199,7 @@ fn cancelled_and_deadline_expired_jobs_leave_other_tenants_untouched() {
 
     // Baseline: alpha and charlie alone, one panel.
     let mut queue = SolveQueue::new(4);
-    let id = queue.register_matrix(&matrix, &protection).unwrap();
+    let id = queue.register(encode(&matrix, &protection));
     queue.submit(JobSpec::new("alpha", id, rhs_for(&matrix, 3)).with_config(config));
     queue.submit(JobSpec::new("charlie", id, rhs_for(&matrix, 5)).with_config(config));
     let baseline = queue.drain();
@@ -205,7 +212,7 @@ fn cancelled_and_deadline_expired_jobs_leave_other_tenants_untouched() {
     // and ride alongside a separate long-running job that another thread
     // cancels mid-solve.
     let mut queue = SolveQueue::new(4);
-    let id = queue.register_matrix(&matrix, &protection).unwrap();
+    let id = queue.register(encode(&matrix, &protection));
     queue.submit(JobSpec::new("alpha", id, rhs_for(&matrix, 3)).with_config(config));
     queue.submit(
         JobSpec::new("bravo", id, rhs_for(&matrix, 4))
