@@ -70,6 +70,8 @@ struct Args {
     iterations: usize,
     repeats: usize,
     trials: usize,
+    trials_explicit: bool,
+    stop_lb: Option<f64>,
     json: Option<String>,
 }
 
@@ -109,6 +111,8 @@ impl Default for Args {
             iterations: 50,
             repeats: 3,
             trials: 200,
+            trials_explicit: false,
+            stop_lb: None,
             json: None,
         }
     }
@@ -163,7 +167,13 @@ const HELP: &str = "experiments — regenerate the paper's figures.
   --nx N / --ny N      grid size (default 256x256)
   --iters N            CG iterations per timed solve (default 50)
   --repeats N          timed repetitions, minimum reported (default 3)
-  --trials N           fault-injection trials per configuration (default 200)
+  --trials N           fault-injection trials per configuration (default 200;
+                       for --bench-coverage, overrides the per-row trial count)
+  --stop-lb LB         --bench-coverage only: stream each row through the
+                       adaptive engine, stopping early once the
+                       spending-corrected Wilson lower bound on its safety
+                       rate reaches LB (e.g. 0.995); --trials becomes the
+                       per-row maximum
   --json PATH          additionally write machine-readable JSON";
 
 fn parse_args() -> Result<Args, String> {
@@ -223,7 +233,13 @@ fn parse_args() -> Result<Args, String> {
             "--repeats" => {
                 args.repeats = value("--repeats")?.parse().map_err(|e| format!("{e}"))?
             }
-            "--trials" => args.trials = value("--trials")?.parse().map_err(|e| format!("{e}"))?,
+            "--trials" => {
+                args.trials = value("--trials")?.parse().map_err(|e| format!("{e}"))?;
+                args.trials_explicit = true;
+            }
+            "--stop-lb" => {
+                args.stop_lb = Some(value("--stop-lb")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--json" => args.json = Some(value("--json")?),
             "--help" | "-h" => {
                 println!("{HELP}");
@@ -443,15 +459,29 @@ fn main() {
     }
 
     if args.bench_coverage {
+        let defaults = CoverageConfig::default();
         let config = CoverageConfig {
             baseline: args.baseline_coverage.clone(),
             tolerance_pp: args.coverage_tolerance,
-            ..CoverageConfig::default()
+            trials: if args.trials_explicit {
+                args.trials
+            } else {
+                defaults.trials
+            },
+            stop_lb: args.stop_lb,
+            ..defaults
         };
-        println!(
-            "Fault-coverage campaign ({0}x{1} grid, {2} trials/row, seed {3:#x})",
-            config.nx, config.ny, config.trials, config.seed
-        );
+        match config.stop_lb {
+            Some(lb) => println!(
+                "Fault-coverage campaign ({0}x{1} grid, <= {2} trials/row streamed, \
+                 stop at safety lower bound {lb}, seed {3:#x})",
+                config.nx, config.ny, config.trials, config.seed
+            ),
+            None => println!(
+                "Fault-coverage campaign ({0}x{1} grid, {2} trials/row, seed {3:#x})",
+                config.nx, config.ny, config.trials, config.seed
+            ),
+        }
         let rows = measure_coverage(&config);
         print!("{}", coverage::render_table(&rows));
         if let Some(path) = &args.json {

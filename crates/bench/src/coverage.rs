@@ -26,7 +26,9 @@
 use crate::json::Json;
 use abft_core::{EccScheme, ParityConfig, ProtectionConfig, StorageTier};
 use abft_ecc::Crc32cBackend;
-use abft_faultsim::{Campaign, CampaignConfig, FaultOutcome, FaultTarget, InjectionKind};
+use abft_faultsim::{
+    Campaign, CampaignConfig, FaultOutcome, FaultTarget, InjectionKind, StopRule, StreamConfig,
+};
 use abft_solvers::ReliabilityPolicy;
 
 /// Gate configuration.
@@ -44,6 +46,13 @@ pub struct CoverageConfig {
     pub seed: u64,
     /// Allowed rate drop, in percentage points.
     pub tolerance_pp: f64,
+    /// When set, rows run through the streaming engine with an adaptive
+    /// stop rule targeting this Wilson lower bound on the safety rate:
+    /// `trials` becomes a *maximum* and each row stops as soon as the
+    /// spending-corrected bound proves the target (or futility).  `None`
+    /// (the gate's setting) runs every trial, keeping the measured rates
+    /// bitwise identical to the committed baseline on the same host.
+    pub stop_lb: Option<f64>,
 }
 
 impl Default for CoverageConfig {
@@ -55,6 +64,7 @@ impl Default for CoverageConfig {
             trials: 40,
             seed: 0xABF7,
             tolerance_pp: 5.0,
+            stop_lb: None,
         }
     }
 }
@@ -87,9 +97,25 @@ fn smoke_parity() -> ParityConfig {
     }
 }
 
-fn run_campaign(config: CampaignConfig, injection_label: &str, scheme: EccScheme) -> CoverageRow {
+fn run_campaign(
+    config: CampaignConfig,
+    injection_label: &str,
+    scheme: EccScheme,
+    stop_lb: Option<f64>,
+) -> CoverageRow {
     let target = config.target;
-    let stats = Campaign::new(config).run();
+    let campaign = Campaign::new(config);
+    let stats = match stop_lb {
+        None => campaign.run(),
+        Some(target_safety_lb) => {
+            let stream = StreamConfig {
+                stop: Some(StopRule::target(target_safety_lb)),
+                capture_limit: 0,
+                ..StreamConfig::default()
+            };
+            campaign.run_streaming(&stream).stats
+        }
+    };
     CoverageRow {
         injection: injection_label.to_string(),
         scheme: scheme.label().to_string(),
@@ -132,6 +158,7 @@ pub fn measure_coverage(config: &CoverageConfig) -> Vec<CoverageRow> {
                 },
                 "bit flip",
                 scheme,
+                config.stop_lb,
             ));
         }
     }
@@ -162,6 +189,35 @@ pub fn measure_coverage(config: &CoverageConfig) -> Vec<CoverageRow> {
                 },
                 "bit flip (coo)",
                 scheme,
+                config.stop_lb,
+            ));
+        }
+    }
+    // Mid-iteration strikes on the *live* CG vectors (x, r, p): the fault
+    // lands between two iterations through the solver's poll hook, so the
+    // vector scrub — not the at-rest encode path — is what must catch it.
+    for scheme in [
+        EccScheme::Sed,
+        EccScheme::Secded64,
+        EccScheme::Secded128,
+        EccScheme::Crc32c,
+    ] {
+        for (injection, label, flips) in [
+            (InjectionKind::SolverVectorFlips, "solver-vector flip", 1),
+            (InjectionKind::SolverVectorBurst, "solver-vector burst", 8),
+        ] {
+            rows.push(run_campaign(
+                CampaignConfig {
+                    protection: ProtectionConfig::full(scheme)
+                        .with_crc_backend(Crc32cBackend::Hardware),
+                    target: FaultTarget::DenseVector,
+                    injection,
+                    flips_per_trial: flips,
+                    ..base.clone()
+                },
+                label,
+                scheme,
+                config.stop_lb,
             ));
         }
     }
@@ -174,6 +230,7 @@ pub fn measure_coverage(config: &CoverageConfig) -> Vec<CoverageRow> {
         },
         "chunk erasure (parity)",
         EccScheme::Secded64,
+        config.stop_lb,
     ));
     rows.push(run_campaign(
         CampaignConfig {
@@ -184,6 +241,7 @@ pub fn measure_coverage(config: &CoverageConfig) -> Vec<CoverageRow> {
         },
         "chunk erasure (no parity)",
         EccScheme::Secded64,
+        config.stop_lb,
     ));
     rows.push(run_campaign(
         CampaignConfig {
@@ -194,6 +252,7 @@ pub fn measure_coverage(config: &CoverageConfig) -> Vec<CoverageRow> {
         },
         "row-pointer group erasure",
         EccScheme::Secded64,
+        config.stop_lb,
     ));
     // Selective-reliability scenarios: faults aimed at the inner-outer
     // FT-PCG's preconditioner — single flips and multi-bit bursts in the
@@ -251,6 +310,7 @@ pub fn measure_coverage(config: &CoverageConfig) -> Vec<CoverageRow> {
             },
             label,
             EccScheme::Secded64,
+            config.stop_lb,
         ));
     }
     rows
@@ -470,14 +530,18 @@ mod tests {
             seed: 99,
             tolerance_pp: 5.0,
             baseline: String::new(),
+            stop_lb: None,
         };
         let rows = measure_coverage(&small);
         // 4 schemes x 4 targets of CSR bit flips, 4 schemes x 3 matrix-side
-        // targets through the COO tier, the 3 erasure scenarios, plus the 6
-        // selective-reliability preconditioner scenarios.
-        assert_eq!(rows.len(), 37);
+        // targets through the COO tier, 4 schemes x 2 live solver-vector
+        // strikes, the 3 erasure scenarios, plus the 6 selective-reliability
+        // preconditioner scenarios.
+        assert_eq!(rows.len(), 45);
         assert!(render_table(&rows).contains("chunk erasure (parity)"));
         assert!(render_table(&rows).contains("bit flip (coo)"));
+        assert!(render_table(&rows).contains("solver-vector flip"));
+        assert!(render_table(&rows).contains("solver-vector burst"));
         // Every preconditioner scenario — protected or unreliable — must be
         // free of silent corruption: the unreliable tier's safety comes from
         // the outer screen, not from luck.

@@ -42,6 +42,7 @@ pub mod row_pointer;
 pub mod schemes;
 pub mod spmv;
 
+pub use abft_ecc::Crc32cBackend;
 pub use blas1::{dot_axpy_panel, norm2_panel, ReductionWorkspace, PARALLEL_MIN_ELEMENTS};
 pub use blocked_csr::ProtectedBlockedCsr;
 pub use error::AbftError;

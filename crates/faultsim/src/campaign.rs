@@ -10,8 +10,19 @@
 //! seed and the trial index, so the histogram is identical for any worker
 //! count or dispatch order; trials are dispatched to the shared worker pool
 //! in batches whose local counts merge order-independently.
+//!
+//! A trial is split into two deterministic halves: [`Campaign::draw_trial`]
+//! turns (seed, trial index) into a concrete [`TrialDraw`] — every random
+//! decision the trial will make — and [`Campaign::execute_draw`] runs that
+//! draw against the protected system.  The split is what makes failures
+//! *replayable*: a captured draw re-executes bit for bit without the RNG
+//! (see [`crate::record`]), and the minimizer shrinks draws by re-executing
+//! candidates.  Campaigns at scale run through the streaming engine in
+//! [`crate::engine`], which folds outcomes into per-worker accumulators
+//! (memory `O(workers)`, not `O(trials)`) and supports adaptive early
+//! stopping.
 
-use crate::flip::{FaultSpec, FaultTarget};
+use crate::flip::{FaultSpec, FaultTarget, SolverVectorTarget};
 use crate::outcome::FaultOutcome;
 use abft_core::{
     AbftError, AnyProtectedMatrix, EccScheme, FaultLog, FaultLogSnapshot, ProtectedMatrix,
@@ -19,8 +30,9 @@ use abft_core::{
 };
 use abft_solvers::backends::{FullyProtected, MatrixProtected};
 use abft_solvers::{
-    ft_pcg, ChebyshevBounds, FaultContext, Ilu0, LinearOperator, Method, Polynomial, PrecondKind,
-    Preconditioner, Reliability, ReliabilityPolicy, SolveStatus, Solver, SolverConfig, SolverError,
+    cg_with_poll, ft_pcg, ChebyshevBounds, FaultContext, Ilu0, LinearOperator, Method, Polynomial,
+    PrecondKind, Preconditioner, Reliability, ReliabilityPolicy, SolveStatus, Solver, SolverConfig,
+    SolverError,
 };
 use abft_sparse::CsrMatrix;
 use abft_tealeaf::assembly::{assemble_matrix, assemble_rhs, face_coefficients, Conductivity};
@@ -30,7 +42,6 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// What one trial injects into the running solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,10 +75,21 @@ pub enum InjectionKind {
     /// the protected outer iteration screens it.  This strikes exactly the
     /// reliability boundary the bounded-norm sanity screen guards.
     InnerApplyBurst,
+    /// `flips_per_trial` independent bit flips planted in one **live solver
+    /// vector** (`x`, `r` or `p`) between two CG iterations, via the
+    /// solver's poll hook — the upset strikes state the solver *owns*
+    /// mid-solve rather than at-rest storage, so the next kernel that reads
+    /// the vector runs the detect/correct/rebuild ladder on the live
+    /// recurrence.  Requires `protection.vectors != None` and [`Method::Cg`].
+    SolverVectorFlips,
+    /// One contiguous burst of `flips_per_trial` bits inside a single
+    /// element of a live solver vector, planted mid-iteration like
+    /// [`InjectionKind::SolverVectorFlips`].
+    SolverVectorBurst,
 }
 
 /// Configuration of a fault-injection campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// Grid size of the TeaLeaf problem used for each trial.
     pub nx: usize,
@@ -107,6 +129,32 @@ pub struct CampaignConfig {
     pub precond_reliability: ReliabilityPolicy,
 }
 
+impl CampaignConfig {
+    /// The ECC scheme guarding the region this campaign injects into — the
+    /// `scheme` a captured [`crate::record::TrialRecord`] reports.
+    pub fn active_scheme(&self) -> EccScheme {
+        match self.injection {
+            InjectionKind::BitFlips | InjectionKind::Burst => match self.target {
+                FaultTarget::MatrixValues | FaultTarget::MatrixColumnIndices => {
+                    self.protection.elements
+                }
+                FaultTarget::RowPointer => self.protection.row_pointer,
+                FaultTarget::DenseVector => self.protection.vectors,
+            },
+            InjectionKind::RowPointerGroupErasure => self.protection.row_pointer,
+            InjectionKind::ChunkErasure
+            | InjectionKind::SolverVectorFlips
+            | InjectionKind::SolverVectorBurst
+            | InjectionKind::InnerApplyBurst => self.protection.vectors,
+            // The factor store is built with the element scheme (when the
+            // reliability tier protects it at all).
+            InjectionKind::PrecondFactorFlips | InjectionKind::PrecondFactorBurst => {
+                self.protection.elements
+            }
+        }
+    }
+}
+
 impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
@@ -139,6 +187,18 @@ impl CampaignStats {
     pub fn record(&mut self, outcome: FaultOutcome) {
         *self.counts.entry(outcome).or_default() += 1;
         self.trials += 1;
+    }
+
+    /// Records `count` occurrences of `outcome` at once — the bulk entry
+    /// point the streaming engine uses to fold a drained per-worker
+    /// accumulator into a histogram.  A zero count is a no-op (no empty
+    /// entry is created, so histogram equality is unaffected).
+    pub fn add(&mut self, outcome: FaultOutcome, count: usize) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(outcome).or_default() += count;
+        self.trials += count;
     }
 
     /// Number of trials recorded.
@@ -193,13 +253,30 @@ impl CampaignStats {
     }
 
     /// Wilson 95 % score interval for `successes` out of `trials`.
+    ///
+    /// With `trials == 0` there is no data, so the interval degenerates to
+    /// the whole probability axis `(0.0, 1.0)` — deliberately, because a
+    /// vacuous claim must not tighten either bound.  Note the asymmetry
+    /// against every `trials > 0` case (where both bounds are data-driven):
+    /// callers that *render* intervals should show the degenerate case as
+    /// "n/a" rather than as a seemingly measured 0–100 % row —
+    /// [`CampaignStats::print_summary`] does.
     pub fn wilson(successes: usize, trials: usize) -> (f64, f64) {
+        Self::wilson_with_z(successes, trials, WILSON_Z95)
+    }
+
+    /// Wilson score interval for `successes` out of `trials` at an explicit
+    /// critical value `z`.  The streaming engine's sequential stop rule uses
+    /// this with a spending-corrected `z` (wider than 95 %) so that peeking
+    /// at batch boundaries keeps the overall error probability bounded;
+    /// everything else uses the 95 % wrapper [`CampaignStats::wilson`].
+    /// Returns the degenerate `(0.0, 1.0)` when `trials == 0`.
+    pub fn wilson_with_z(successes: usize, trials: usize, z: f64) -> (f64, f64) {
         if trials == 0 {
             return (0.0, 1.0);
         }
         let n = trials as f64;
         let p = successes as f64 / n;
-        let z = 1.959_963_984_540_054_f64; // 97.5th percentile of N(0,1)
         let z2 = z * z;
         let denom = 1.0 + z2 / n;
         let centre = p + z2 / (2.0 * n);
@@ -209,23 +286,155 @@ impl CampaignStats {
             (((centre + half) / denom).min(1.0)),
         )
     }
-}
 
-impl std::fmt::Display for CampaignStats {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    /// Renders the outcome histogram, one row per outcome with its count,
+    /// rate and Wilson 95 % CI.  This is the body of the [`Display`]
+    /// implementation.  With zero trials every row renders "n/a" instead of
+    /// the misleading `0.0 %, CI [0.0, 100.0]` the raw degenerate interval
+    /// would produce (see [`CampaignStats::wilson`]).
+    ///
+    /// [`Display`]: std::fmt::Display
+    pub fn print_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
         for outcome in FaultOutcome::ALL {
+            if self.trials == 0 {
+                let _ = writeln!(
+                    out,
+                    "{:>30}: {:5} (  n/a  , 95 % CI n/a)",
+                    outcome.label(),
+                    0,
+                );
+                continue;
+            }
             let (lo, hi) = self.wilson_ci(outcome);
-            writeln!(
-                f,
+            let _ = writeln!(
+                out,
                 "{:>30}: {:5} ({:5.1} %, 95 % CI [{:5.1}, {:5.1}])",
                 outcome.label(),
                 self.count(outcome),
                 100.0 * self.rate(outcome),
                 100.0 * lo,
                 100.0 * hi,
-            )?;
+            );
         }
-        Ok(())
+        out
+    }
+}
+
+/// 97.5th percentile of N(0,1) — the critical value of the two-sided 95 %
+/// Wilson interval.
+pub const WILSON_Z95: f64 = 1.959_963_984_540_054_f64;
+
+impl std::fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.print_summary())
+    }
+}
+
+/// What one executed trial reported back: the classified outcome plus the
+/// residual-drift scalar the streaming engine buckets into its histogram.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialObservation {
+    /// The classified outcome.
+    pub outcome: FaultOutcome,
+    /// How far the returned answer drifted: the relative solution error
+    /// against the clean reference for solve trials, the element-wise
+    /// maximum relative error for at-rest vector-scrub trials, and the
+    /// relative true residual for preconditioned trials (whose iteration
+    /// path legitimately differs from the reference).  `NaN` when the trial
+    /// produced no answer at all (aborted / fail-stopped) — the histogram
+    /// buckets that separately.
+    pub drift: f64,
+}
+
+/// The fully drawn, concrete injection plan of one trial — every random
+/// decision [`Campaign::draw_trial`] made, and nothing else.  Executing the
+/// same draw twice ([`Campaign::execute_draw`]) gives bit-identical trials,
+/// which is what makes captured failures replayable and minimizable: the
+/// shrinker edits the flip list of a draw and re-executes candidates, and
+/// the failure corpus serializes draws verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialDraw {
+    /// At-rest flips into protected storage ([`InjectionKind::BitFlips`],
+    /// [`InjectionKind::Burst`], [`InjectionKind::RowPointerGroupErasure`]).
+    Flips(FaultSpec),
+    /// Mid-iteration flips into a live solver vector
+    /// ([`InjectionKind::SolverVectorFlips`] / `SolverVectorBurst`).
+    SolverVector {
+        /// Which live vector of the CG recurrence is struck.
+        vector: SolverVectorTarget,
+        /// Zero-based iteration at (or past) which the flips land, once.
+        strike_iteration: u64,
+        /// `(element, bit)` flips applied to the struck vector.
+        flips: Vec<(usize, u32)>,
+    },
+    /// Mid-iteration whole-chunk erasure ([`InjectionKind::ChunkErasure`]).
+    ChunkErasure {
+        /// Index of the erased chunk.
+        chunk: usize,
+        /// Chunk granularity in elements.
+        chunk_words: usize,
+        /// Zero-based iteration at (or past) which the erasure fires, once.
+        strike_iteration: u64,
+        /// Seed for the garbage pattern overwriting the chunk.
+        garbage_seed: u64,
+    },
+    /// Pre-solve flips into the preconditioner's stored factors
+    /// ([`InjectionKind::PrecondFactorFlips`] / `PrecondFactorBurst`): a
+    /// list of `(factor index, bit)` pairs.
+    PrecondFactors(Vec<(usize, u32)>),
+    /// A transient burst into the inner apply's output
+    /// ([`InjectionKind::InnerApplyBurst`]).
+    InnerApplyBurst {
+        /// Zero-based inner-apply call at (or past) which the burst fires.
+        strike_apply: u64,
+        /// Element of the output vector to corrupt.
+        element: usize,
+        /// First bit of the contiguous burst.
+        start_bit: u32,
+        /// Burst length in bits.
+        length: u32,
+    },
+}
+
+impl TrialDraw {
+    /// The editable flip list of this draw, if it has one — the part the
+    /// minimizer shrinks.  Strike timing and erasure geometry are left
+    /// alone: a one-flip change to them changes the fault *class*, not its
+    /// weight.
+    pub fn flips(&self) -> Option<&[(usize, u32)]> {
+        match self {
+            TrialDraw::Flips(spec) => Some(&spec.flips),
+            TrialDraw::SolverVector { flips, .. } => Some(flips),
+            TrialDraw::PrecondFactors(flips) => Some(flips),
+            TrialDraw::ChunkErasure { .. } | TrialDraw::InnerApplyBurst { .. } => None,
+        }
+    }
+
+    /// A copy of this draw with its flip list replaced (identity for draws
+    /// without one).  The minimizer's candidate generator.
+    pub fn with_flips(&self, flips: Vec<(usize, u32)>) -> TrialDraw {
+        let mut draw = self.clone();
+        match &mut draw {
+            TrialDraw::Flips(spec) => spec.flips = flips,
+            TrialDraw::SolverVector { flips: f, .. } => *f = flips,
+            TrialDraw::PrecondFactors(f) => *f = flips,
+            TrialDraw::ChunkErasure { .. } | TrialDraw::InnerApplyBurst { .. } => {}
+        }
+        draw
+    }
+
+    /// Fault weight: the number of flipped bits (erasures count their
+    /// geometry in elements/bits).
+    pub fn weight(&self) -> usize {
+        match self {
+            TrialDraw::Flips(spec) => spec.flips.len(),
+            TrialDraw::SolverVector { flips, .. } => flips.len(),
+            TrialDraw::PrecondFactors(flips) => flips.len(),
+            TrialDraw::ChunkErasure { chunk_words, .. } => *chunk_words,
+            TrialDraw::InnerApplyBurst { length, .. } => *length as usize,
+        }
     }
 }
 
@@ -274,72 +483,188 @@ impl Campaign {
     /// Every trial derives its own ChaCha stream from the campaign seed and
     /// the trial index ([`Campaign::run_trial_indexed`]), so trial `t`'s
     /// faults never depend on how many random draws earlier trials made.
-    /// Trials are dispatched to the shared worker pool in fixed batches;
-    /// each batch streams its outcomes into a local histogram and the local
+    /// Trials run through the streaming engine ([`crate::engine`]): waves of
+    /// pool jobs stream their outcomes into per-worker accumulators whose
     /// counts merge order-independently — the totals are identical for any
-    /// worker count, batch size, or completion order.
+    /// worker count, batch size, or completion order, and the outcome
+    /// memory is `O(workers)` regardless of trial count.  No stop rule and
+    /// no failure capture here; use [`Campaign::run_streaming`] for those.
     pub fn run(&self) -> CampaignStats {
-        /// Trials per pool job: large enough to amortise submission, small
-        /// enough that batches overlap on a few workers.
-        const TRIALS_PER_JOB: usize = 16;
-        let shared = Arc::new(self.clone());
-        let jobs = self.config.trials.div_ceil(TRIALS_PER_JOB);
-        let tickets: Vec<abft_serve::Ticket<CampaignStats>> = (0..jobs)
-            .map(|job| {
-                let campaign = Arc::clone(&shared);
-                abft_serve::submit(move || {
-                    let lo = job * TRIALS_PER_JOB;
-                    let hi = ((job + 1) * TRIALS_PER_JOB).min(campaign.config.trials);
-                    let mut local = CampaignStats::default();
-                    for trial in lo..hi {
-                        local.record(campaign.run_trial_indexed(trial));
-                    }
-                    local
-                })
-            })
-            .collect();
-        let mut stats = CampaignStats::default();
-        for ticket in tickets {
-            stats.merge(&ticket.wait());
-        }
-        stats
+        let stream = crate::engine::StreamConfig {
+            stop: None,
+            capture_limit: 0,
+            ..crate::engine::StreamConfig::default()
+        };
+        self.run_streaming(&stream).stats
     }
 
     /// Runs trial number `trial` of this campaign: draws the fault from the
     /// trial's own ChaCha stream (keyed by campaign seed and trial index)
     /// and classifies the outcome.
     pub fn run_trial_indexed(&self, trial: usize) -> FaultOutcome {
+        self.run_trial_observed(trial).outcome
+    }
+
+    /// Runs trial number `trial` and returns the full observation (outcome
+    /// plus residual drift) — [`Campaign::draw_trial`] followed by
+    /// [`Campaign::execute_draw`].
+    pub fn run_trial_observed(&self, trial: usize) -> TrialObservation {
+        self.execute_draw(&self.draw_trial(trial))
+    }
+
+    /// Makes every random decision of trial number `trial` — from the
+    /// trial's own ChaCha stream, keyed by the campaign seed and the trial
+    /// index — and returns the resulting concrete injection plan.  Pure:
+    /// the same `(config, trial)` always yields the same draw, and the draw
+    /// never depends on other trials.
+    pub fn draw_trial(&self, trial: usize) -> TrialDraw {
         let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(self.config.seed, trial as u64));
         match self.config.injection {
-            InjectionKind::BitFlips => {
-                let spec = FaultSpec::random(
-                    &mut rng,
-                    self.config.target,
-                    self.target_elements(),
-                    self.config.flips_per_trial,
-                );
-                self.run_trial(&spec)
-            }
+            InjectionKind::BitFlips => TrialDraw::Flips(FaultSpec::random(
+                &mut rng,
+                self.config.target,
+                self.target_elements(),
+                self.config.flips_per_trial,
+            )),
             InjectionKind::Burst => {
                 let length = (self.config.flips_per_trial.max(1) as u32)
                     .min(self.config.target.element_bits());
-                let spec = FaultSpec::random_burst(
+                TrialDraw::Flips(FaultSpec::random_burst(
                     &mut rng,
                     self.config.target,
                     self.target_elements(),
                     length,
-                );
-                self.run_trial(&spec)
+                ))
             }
-            InjectionKind::RowPointerGroupErasure => {
-                let spec =
-                    FaultSpec::erase_span(&mut rng, FaultTarget::RowPointer, self.matrix.rows(), 4);
-                self.run_trial(&spec)
+            InjectionKind::RowPointerGroupErasure => TrialDraw::Flips(FaultSpec::erase_span(
+                &mut rng,
+                FaultTarget::RowPointer,
+                self.matrix.rows(),
+                4,
+            )),
+            InjectionKind::ChunkErasure => {
+                let chunk_words = self
+                    .config
+                    .protection
+                    .parity
+                    .map(|p| p.chunk_words)
+                    .unwrap_or(64);
+                let chunks = self.rhs.len().div_ceil(chunk_words);
+                TrialDraw::ChunkErasure {
+                    chunk: rng.gen_range(0..chunks),
+                    chunk_words,
+                    strike_iteration: u64::from(rng.gen_range(1u32..4)),
+                    garbage_seed: rng.gen_range(0..u64::MAX),
+                }
             }
-            InjectionKind::ChunkErasure => self.run_chunk_erasure_trial(&mut rng),
-            InjectionKind::PrecondFactorFlips
-            | InjectionKind::PrecondFactorBurst
-            | InjectionKind::InnerApplyBurst => self.run_precond_trial(&mut rng),
+            InjectionKind::SolverVectorFlips => {
+                let vector = SolverVectorTarget::ALL[rng.gen_range(0..3usize)];
+                let strike_iteration = u64::from(rng.gen_range(1u32..4));
+                let n = self.rhs.len();
+                let flips = (0..self.config.flips_per_trial.max(1))
+                    .map(|_| (rng.gen_range(0..n), rng.gen_range(0..64)))
+                    .collect();
+                TrialDraw::SolverVector {
+                    vector,
+                    strike_iteration,
+                    flips,
+                }
+            }
+            InjectionKind::SolverVectorBurst => {
+                let vector = SolverVectorTarget::ALL[rng.gen_range(0..3usize)];
+                let strike_iteration = u64::from(rng.gen_range(1u32..4));
+                let length = (self.config.flips_per_trial.max(1) as u32).min(64);
+                let element = rng.gen_range(0..self.rhs.len());
+                let start = rng.gen_range(0..=(64 - length));
+                TrialDraw::SolverVector {
+                    vector,
+                    strike_iteration,
+                    flips: (start..start + length).map(|bit| (element, bit)).collect(),
+                }
+            }
+            InjectionKind::PrecondFactorFlips => {
+                let factor_count = self.precond_factor_count();
+                let flips = (0..self.config.flips_per_trial.max(1))
+                    .map(|_| (rng.gen_range(0..factor_count), rng.gen_range(0..64u32)))
+                    .collect();
+                TrialDraw::PrecondFactors(flips)
+            }
+            InjectionKind::PrecondFactorBurst => {
+                let factor_count = self.precond_factor_count();
+                let length = (self.config.flips_per_trial.max(1) as u32).min(64);
+                let k = rng.gen_range(0..factor_count);
+                let start = rng.gen_range(0..=(64 - length));
+                TrialDraw::PrecondFactors((start..start + length).map(|bit| (k, bit)).collect())
+            }
+            InjectionKind::InnerApplyBurst => {
+                let length = (self.config.flips_per_trial.max(1) as u32).min(64);
+                TrialDraw::InnerApplyBurst {
+                    strike_apply: u64::from(rng.gen_range(1u32..4)),
+                    element: rng.gen_range(0..self.rhs.len()),
+                    start_bit: rng.gen_range(0..=(64 - length)),
+                    length,
+                }
+            }
+        }
+    }
+
+    /// Executes a concrete injection plan and classifies what survived.
+    /// Deterministic: the same draw always produces the same observation,
+    /// which is what [`Campaign::replay`](crate::record) and the failure
+    /// minimizer rely on.
+    pub fn execute_draw(&self, draw: &TrialDraw) -> TrialObservation {
+        match draw {
+            TrialDraw::Flips(spec) => self.run_trial_drawn(spec),
+            TrialDraw::SolverVector {
+                vector,
+                strike_iteration,
+                flips,
+            } => self.run_solver_vector_trial(*vector, *strike_iteration, flips),
+            TrialDraw::ChunkErasure {
+                chunk,
+                chunk_words,
+                strike_iteration,
+                garbage_seed,
+            } => {
+                self.run_chunk_erasure_trial(*chunk, *chunk_words, *strike_iteration, *garbage_seed)
+            }
+            TrialDraw::PrecondFactors(flips) => self.run_precond_trial(flips, None),
+            TrialDraw::InnerApplyBurst {
+                strike_apply,
+                element,
+                start_bit,
+                length,
+            } => self.run_precond_trial(
+                &[],
+                Some(InjectingPreconditionerSpec {
+                    strike_apply: *strike_apply,
+                    element: *element,
+                    start_bit: *start_bit,
+                    length: *length,
+                }),
+            ),
+        }
+    }
+
+    /// Number of stored factors of the configured preconditioner — the
+    /// element space the factor-flip draws index into.  Builds a throwaway
+    /// instance (the count is a property of the sparsity pattern, not of
+    /// the trial).  Panics if the preconditioner cannot be built at all:
+    /// campaign systems are SPD TeaLeaf assemblies, for which both kinds
+    /// always build.
+    fn precond_factor_count(&self) -> usize {
+        let tier = self.config.precond_reliability.tier();
+        let scheme = self.config.protection.elements;
+        let backend = self.config.protection.crc_backend;
+        match self.config.precond {
+            PrecondKind::Ilu0 => Ilu0::new(&self.matrix, tier, scheme, backend)
+                .expect("ILU(0) always builds on the SPD campaign system")
+                .factor_count(),
+            PrecondKind::Polynomial(steps) => {
+                Polynomial::new(&self.matrix, steps, tier, scheme, backend)
+                    .expect("the polynomial preconditioner always builds")
+                    .factor_count()
+            }
         }
     }
 
@@ -362,6 +687,10 @@ impl Campaign {
 
     /// Runs a single trial with the given fault specification.
     pub fn run_trial(&self, spec: &FaultSpec) -> FaultOutcome {
+        self.run_trial_drawn(spec).outcome
+    }
+
+    fn run_trial_drawn(&self, spec: &FaultSpec) -> TrialObservation {
         match spec.target {
             FaultTarget::DenseVector => self.run_vector_trial(spec),
             _ => self.run_matrix_trial(spec),
@@ -374,7 +703,13 @@ impl Campaign {
     /// per-kernel retry asks the vector to rebuild from parity, and the
     /// outcome is classified by what survived ([`FaultOutcome::DetectedRebuilt`]
     /// when the rebuild let the solve converge to the right answer).
-    fn run_chunk_erasure_trial(&self, rng: &mut ChaCha8Rng) -> FaultOutcome {
+    fn run_chunk_erasure_trial(
+        &self,
+        chunk: usize,
+        chunk_words: usize,
+        strike_iteration: u64,
+        garbage_seed: u64,
+    ) -> TrialObservation {
         assert_ne!(
             self.config.protection.vectors,
             EccScheme::None,
@@ -386,18 +721,8 @@ impl Campaign {
             self.config.storage,
         ) {
             Ok(p) => p,
-            Err(_) => return FaultOutcome::DetectedAborted,
+            Err(_) => return aborted(FaultOutcome::DetectedAborted),
         };
-        let chunk_words = self
-            .config
-            .protection
-            .parity
-            .map(|p| p.chunk_words)
-            .unwrap_or(64);
-        let chunks = self.rhs.len().div_ceil(chunk_words);
-        let chunk = rng.gen_range(0..chunks);
-        let strike_iteration = u64::from(rng.gen_range(1u32..4));
-        let garbage_seed = rng.gen_range(0..u64::MAX);
         let op = FullyProtected::new(&protected);
         let striking = InjectingOperator {
             inner: &op,
@@ -416,11 +741,14 @@ impl Campaign {
             .tolerance(1e-15)
             .bounds(ChebyshevBounds::estimate_gershgorin(&self.matrix));
         match solver.solve_operator(&striking, &self.rhs) {
-            Err(SolverError::Fault(AbftError::OutOfRange { .. })) => FaultOutcome::BoundsCaught,
-            Err(_) => FaultOutcome::DetectedAborted,
+            Err(SolverError::Fault(AbftError::OutOfRange { .. })) => {
+                aborted(FaultOutcome::BoundsCaught)
+            }
+            Err(_) => aborted(FaultOutcome::DetectedAborted),
             Ok(outcome) => {
-                let correct = self.relative_error(&outcome.solution) <= self.config.sdc_threshold;
-                if outcome.faults.total_rebuilt() > 0 {
+                let drift = self.relative_error(&outcome.solution);
+                let correct = drift <= self.config.sdc_threshold;
+                let classified = if outcome.faults.total_rebuilt() > 0 {
                     if correct {
                         FaultOutcome::DetectedRebuilt
                     } else {
@@ -432,6 +760,99 @@ impl Campaign {
                     FaultOutcome::Masked
                 } else {
                     FaultOutcome::SilentCorruption
+                };
+                TrialObservation {
+                    outcome: classified,
+                    drift,
+                }
+            }
+        }
+    }
+
+    /// Plants flips in a live solver vector between two CG iterations (via
+    /// the solver's poll hook) and classifies what the protection tier made
+    /// of damage to state the solver *owns*: the very next kernel that
+    /// reads the struck vector runs the detect/correct/rebuild ladder on
+    /// the live recurrence.
+    fn run_solver_vector_trial(
+        &self,
+        vector: SolverVectorTarget,
+        strike_iteration: u64,
+        flips: &[(usize, u32)],
+    ) -> TrialObservation {
+        assert_eq!(
+            self.config.solver,
+            Method::Cg,
+            "solver-vector injection rides the CG poll hook, which needs Method::Cg"
+        );
+        assert_ne!(
+            self.config.protection.vectors,
+            EccScheme::None,
+            "solver-vector campaigns need protected vectors (unprotected live state cannot \
+             distinguish detection from luck)"
+        );
+        let protected = match AnyProtectedMatrix::encode(
+            &self.matrix,
+            &self.config.protection,
+            self.config.storage,
+        ) {
+            Ok(p) => p,
+            Err(_) => return aborted(FaultOutcome::DetectedAborted),
+        };
+        let op = FullyProtected::new(&protected);
+        let log = FaultLog::new();
+        let base = FaultContext::with_log(&log);
+        let ctx = base.scoped_to(op.reduction_workspace());
+        let b = op.vector_from(&self.rhs);
+        let config = SolverConfig::new(2_000, 1e-15);
+        let fired = Cell::new(false);
+        let result = cg_with_poll(&op, &b, &config, &ctx, |iteration, state| {
+            if !fired.get() && iteration >= strike_iteration {
+                fired.set(true);
+                let struck = match vector {
+                    SolverVectorTarget::X => state.x,
+                    SolverVectorTarget::R => state.r,
+                    SolverVectorTarget::P => state.p,
+                };
+                for &(element, bit) in flips {
+                    struck.inject_bit_flip(element, bit);
+                }
+            }
+        });
+        match result {
+            Err(SolverError::Fault(AbftError::OutOfRange { .. })) => {
+                aborted(FaultOutcome::BoundsCaught)
+            }
+            Err(_) => aborted(FaultOutcome::DetectedAborted),
+            Ok((mut x, status)) => {
+                let solution = match op.finish(&mut x, &ctx) {
+                    Ok(s) => s,
+                    Err(_) => return aborted(FaultOutcome::DetectedAborted),
+                };
+                if !status.converged {
+                    // The budget ran out loudly — a detected failure, never
+                    // a silent one.
+                    return aborted(FaultOutcome::DetectedAborted);
+                }
+                let drift = self.relative_error(&solution);
+                let correct = drift <= self.config.sdc_threshold;
+                let faults = log.snapshot();
+                let classified = if faults.total_rebuilt() > 0 {
+                    if correct {
+                        FaultOutcome::DetectedRebuilt
+                    } else {
+                        FaultOutcome::SilentCorruption
+                    }
+                } else if faults.total_corrected() > 0 && correct {
+                    FaultOutcome::Corrected
+                } else if correct {
+                    FaultOutcome::Masked
+                } else {
+                    FaultOutcome::SilentCorruption
+                };
+                TrialObservation {
+                    outcome: classified,
+                    drift,
                 }
             }
         }
@@ -452,13 +873,18 @@ impl Campaign {
     }
 
     /// Runs one inner-apply fault trial: builds the preconditioner in the
-    /// configured reliability tier, injects the configured fault into the
-    /// inner stage (factor bits pre-solve, or a transient burst into the
-    /// inner apply's output mid-solve), runs the flexible inner-outer
-    /// FT-PCG solver, and classifies what survived.  The selective claim
-    /// under test: inner SDC may cost iterations or trip the outer screen
-    /// ([`FaultOutcome::BoundsCaught`]), but never yields a wrong answer.
-    fn run_precond_trial(&self, rng: &mut ChaCha8Rng) -> FaultOutcome {
+    /// configured reliability tier, injects the drawn fault into the inner
+    /// stage (`flips` into the stored factors pre-solve, and/or a transient
+    /// `strike` burst into the inner apply's output mid-solve), runs the
+    /// flexible inner-outer FT-PCG solver, and classifies what survived.
+    /// The selective claim under test: inner SDC may cost iterations or
+    /// trip the outer screen ([`FaultOutcome::BoundsCaught`]), but never
+    /// yields a wrong answer.
+    fn run_precond_trial(
+        &self,
+        flips: &[(usize, u32)],
+        strike: Option<InjectingPreconditionerSpec>,
+    ) -> TrialObservation {
         assert_eq!(
             self.config.solver,
             Method::Cg,
@@ -470,7 +896,7 @@ impl Campaign {
             self.config.storage,
         ) {
             Ok(p) => p,
-            Err(_) => return FaultOutcome::DetectedAborted,
+            Err(_) => return aborted(FaultOutcome::DetectedAborted),
         };
         let tier = self.config.precond_reliability.tier();
         let scheme = self.config.protection.elements;
@@ -485,51 +911,20 @@ impl Campaign {
         let mut built = match self.config.precond {
             PrecondKind::Ilu0 => match Ilu0::new(&self.matrix, tier, scheme, backend) {
                 Ok(p) => Built::Ilu(p),
-                Err(_) => return FaultOutcome::DetectedAborted,
+                Err(_) => return aborted(FaultOutcome::DetectedAborted),
             },
             PrecondKind::Polynomial(steps) => {
                 match Polynomial::new(&self.matrix, steps, tier, scheme, backend) {
                     Ok(p) => Built::Poly(p),
-                    Err(_) => return FaultOutcome::DetectedAborted,
+                    Err(_) => return aborted(FaultOutcome::DetectedAborted),
                 }
             }
         };
-        let factor_count = match &built {
-            Built::Ilu(p) => p.factor_count(),
-            Built::Poly(p) => p.factor_count(),
-        };
-        let inject = |k: usize, bit: u32, built: &mut Built| match built {
-            Built::Ilu(p) => p.inject_factor_bit_flip(k, bit),
-            Built::Poly(p) => p.inject_factor_bit_flip(k, bit),
-        };
-
-        let mut strike = None;
-        match self.config.injection {
-            InjectionKind::PrecondFactorFlips => {
-                for _ in 0..self.config.flips_per_trial.max(1) {
-                    let k = rng.gen_range(0..factor_count);
-                    let bit = rng.gen_range(0..64);
-                    inject(k, bit, &mut built);
-                }
+        for &(k, bit) in flips {
+            match &mut built {
+                Built::Ilu(p) => p.inject_factor_bit_flip(k, bit),
+                Built::Poly(p) => p.inject_factor_bit_flip(k, bit),
             }
-            InjectionKind::PrecondFactorBurst => {
-                let length = (self.config.flips_per_trial.max(1) as u32).min(64);
-                let k = rng.gen_range(0..factor_count);
-                let start = rng.gen_range(0..=(64 - length));
-                for bit in start..start + length {
-                    inject(k, bit, &mut built);
-                }
-            }
-            InjectionKind::InnerApplyBurst => {
-                let length = (self.config.flips_per_trial.max(1) as u32).min(64);
-                strike = Some(InjectingPreconditionerSpec {
-                    strike_apply: u64::from(rng.gen_range(1u32..4)),
-                    element: rng.gen_range(0..self.rhs.len()),
-                    start_bit: rng.gen_range(0..=(64 - length)),
-                    length,
-                });
-            }
-            _ => unreachable!("run_precond_trial called with a non-precond injection"),
         }
 
         let inner: &dyn Preconditioner = match &built {
@@ -567,8 +962,10 @@ impl Campaign {
             )
         };
         match result {
-            Err(SolverError::Fault(AbftError::OutOfRange { .. })) => FaultOutcome::BoundsCaught,
-            Err(_) => FaultOutcome::DetectedAborted,
+            Err(SolverError::Fault(AbftError::OutOfRange { .. })) => {
+                aborted(FaultOutcome::BoundsCaught)
+            }
+            Err(_) => aborted(FaultOutcome::DetectedAborted),
             Ok((solution, status, faults)) => {
                 // FT-PCG declares convergence when the *squared* recurrence
                 // residual drops below the absolute tolerance, so that is
@@ -590,13 +987,26 @@ impl Campaign {
                 // legitimately changes the iteration path, so two correct
                 // answers agree only up to conditioning-amplified rounding.
                 if !status.converged {
-                    return FaultOutcome::DetectedAborted;
+                    return aborted(FaultOutcome::DetectedAborted);
                 }
-                if self.true_residual_sq(&solution) > config.tolerance * 1e6 {
-                    return FaultOutcome::SilentCorruption;
+                let residual_sq = self.true_residual_sq(&solution);
+                // Drift for preconditioned trials is the *relative true
+                // residual* (distance to the reference solution is the
+                // wrong metric here — see above).
+                let b_norm: f64 = self.rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let drift = if b_norm == 0.0 {
+                    residual_sq.sqrt()
+                } else {
+                    residual_sq.sqrt() / b_norm
+                };
+                if residual_sq > config.tolerance * 1e6 {
+                    return TrialObservation {
+                        outcome: FaultOutcome::SilentCorruption,
+                        drift,
+                    };
                 }
                 let screened: u64 = faults.bounds_violations.iter().sum();
-                if screened > 0 {
+                let classified = if screened > 0 {
                     FaultOutcome::BoundsCaught
                 } else if faults.total_rebuilt() > 0 {
                     FaultOutcome::DetectedRebuilt
@@ -604,19 +1014,23 @@ impl Campaign {
                     FaultOutcome::Corrected
                 } else {
                     FaultOutcome::Masked
+                };
+                TrialObservation {
+                    outcome: classified,
+                    drift,
                 }
             }
         }
     }
 
-    fn run_matrix_trial(&self, spec: &FaultSpec) -> FaultOutcome {
+    fn run_matrix_trial(&self, spec: &FaultSpec) -> TrialObservation {
         let mut protected = match AnyProtectedMatrix::encode(
             &self.matrix,
             &self.config.protection,
             self.config.storage,
         ) {
             Ok(p) => p,
-            Err(_) => return FaultOutcome::DetectedAborted,
+            Err(_) => return aborted(FaultOutcome::DetectedAborted),
         };
         for &(element, bit) in &spec.flips {
             match spec.target {
@@ -643,21 +1057,28 @@ impl Campaign {
             .tolerance(1e-15)
             .bounds(ChebyshevBounds::estimate_gershgorin(&self.matrix));
         match solver.solve_operator(&MatrixProtected::new(&protected), &self.rhs) {
-            Err(SolverError::Fault(AbftError::OutOfRange { .. })) => FaultOutcome::BoundsCaught,
-            Err(_) => FaultOutcome::DetectedAborted,
+            Err(SolverError::Fault(AbftError::OutOfRange { .. })) => {
+                aborted(FaultOutcome::BoundsCaught)
+            }
+            Err(_) => aborted(FaultOutcome::DetectedAborted),
             Ok(outcome) => {
-                if outcome.faults.total_corrected() > 0 {
+                let drift = self.relative_error(&outcome.solution);
+                let classified = if outcome.faults.total_corrected() > 0 {
                     FaultOutcome::Corrected
-                } else if self.relative_error(&outcome.solution) <= self.config.sdc_threshold {
+                } else if drift <= self.config.sdc_threshold {
                     FaultOutcome::Masked
                 } else {
                     FaultOutcome::SilentCorruption
+                };
+                TrialObservation {
+                    outcome: classified,
+                    drift,
                 }
             }
         }
     }
 
-    fn run_vector_trial(&self, spec: &FaultSpec) -> FaultOutcome {
+    fn run_vector_trial(&self, spec: &FaultSpec) -> TrialObservation {
         let log = FaultLog::new();
         let scheme = self.config.protection.vectors;
         let backend = self.config.protection.crc_backend;
@@ -667,7 +1088,7 @@ impl Campaign {
             vector.inject_bit_flip(element, bit);
         }
         match vector.scrub(&log) {
-            Err(_) => FaultOutcome::DetectedAborted,
+            Err(_) => aborted(FaultOutcome::DetectedAborted),
             Ok(_) => {
                 let recovered: Vec<f64> = (0..vector.len()).map(|i| vector.get(i)).collect();
                 let max_rel = clean
@@ -681,12 +1102,17 @@ impl Campaign {
                         }
                     })
                     .fold(0.0f64, f64::max);
-                if log.total_corrected() > 0 && max_rel <= self.config.sdc_threshold {
-                    FaultOutcome::Corrected
-                } else if max_rel <= self.config.sdc_threshold {
-                    FaultOutcome::Masked
-                } else {
-                    FaultOutcome::SilentCorruption
+                let classified =
+                    if log.total_corrected() > 0 && max_rel <= self.config.sdc_threshold {
+                        FaultOutcome::Corrected
+                    } else if max_rel <= self.config.sdc_threshold {
+                        FaultOutcome::Masked
+                    } else {
+                        FaultOutcome::SilentCorruption
+                    };
+                TrialObservation {
+                    outcome: classified,
+                    drift: max_rel,
                 }
             }
         }
@@ -694,6 +1120,16 @@ impl Campaign {
 
     fn relative_error(&self, solution: &[f64]) -> f64 {
         relative_distance(&self.reference, solution)
+    }
+}
+
+/// Observation of a trial that produced no answer at all (fail-stop,
+/// screen trip, budget exhaustion): the drift is `NaN`, which the drift
+/// histogram buckets separately from every measured magnitude.
+fn aborted(outcome: FaultOutcome) -> TrialObservation {
+    TrialObservation {
+        outcome,
+        drift: f64::NAN,
     }
 }
 

@@ -15,6 +15,40 @@ pub enum FaultTarget {
     DenseVector,
 }
 
+/// Which *live solver vector* a mid-iteration injection strikes.
+///
+/// Unlike [`FaultTarget::DenseVector`] (a vector at rest, scrubbed outside
+/// any solve), these name the three vectors of the CG recurrence while the
+/// solver is running; the fault lands between two iterations via the
+/// `cg_with_poll` hook and the next kernel that reads the vector meets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverVectorTarget {
+    /// The current iterate `x`.
+    X,
+    /// The current residual `r`.
+    R,
+    /// The current search direction `p`.
+    P,
+}
+
+impl SolverVectorTarget {
+    /// All live-vector targets.
+    pub const ALL: [SolverVectorTarget; 3] = [
+        SolverVectorTarget::X,
+        SolverVectorTarget::R,
+        SolverVectorTarget::P,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverVectorTarget::X => "iterate x",
+            SolverVectorTarget::R => "residual r",
+            SolverVectorTarget::P => "direction p",
+        }
+    }
+}
+
 impl FaultTarget {
     /// All targets.
     pub const ALL: [FaultTarget; 4] = [

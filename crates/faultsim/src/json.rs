@@ -1,0 +1,423 @@
+//! Minimal JSON emission and parsing, shared by the benchmark harness
+//! (`experiments --json`, the `--check-regression`/`--check-coverage` gates)
+//! and the fault-campaign failure corpus ([`crate::record`]).
+//!
+//! The build environment cannot fetch `serde`/`serde_json`, so a tiny value
+//! tree with a renderer and a recursive-descent parser (sufficient for the
+//! documents this workspace itself writes) covers the need without external
+//! dependencies.  One sharp edge: [`Json::Num`] is an `f64`, so integers
+//! above 2^53 (e.g. 64-bit seeds) do **not** round-trip — serialize those as
+//! decimal *strings* and parse them back with `u64::from_str` (the failure
+//! corpus does exactly this).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for objects.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a field of an object (`None` on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (`None` on non-arrays).
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The numeric value (`None` on non-numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value (`None` on non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the subset this module renders: no exponent
+    /// edge cases beyond `f64::from_str`, no duplicate-key policy).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Renders with two-space indentation (the `to_string_pretty` shape).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    Json::Str(key.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            byte as char,
+            *pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("invalid \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?,
+                );
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let value = Json::obj([
+            ("name", "fig \"4\"".into()),
+            ("rows", Json::Arr(vec![1.5.into(), Json::Null, true.into()])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let text = value.render();
+        assert!(text.contains("\"fig \\\"4\\\"\""));
+        assert!(text.contains("1.5"));
+        assert!(text.contains("null"));
+        assert!(text.contains("true"));
+        assert!(text.contains("[]"));
+        assert!(text.contains("{}"));
+        // Indentation is stable.
+        assert!(text.starts_with("{\n  \"name\""));
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let text = Json::Str("a\nb\t\u{1}".into()).render();
+        assert_eq!(text, "\"a\\nb\\t\\u0001\"");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let value = Json::obj([
+            ("label", "pre \"quoted\"\n".into()),
+            ("count", 42usize.into()),
+            ("ratio", (-1.5e-3).into()),
+            ("flag", true.into()),
+            ("missing", Json::Null),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::obj([("op", "dot".into()), ("ns", 123.25.into())]),
+                    Json::Arr(vec![]),
+                    Json::Obj(vec![]),
+                ]),
+            ),
+        ]);
+        let parsed = Json::parse(&value.render()).unwrap();
+        assert_eq!(parsed, value);
+        // Accessors walk the tree.
+        assert_eq!(parsed.get("count").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(
+            parsed.get("rows").and_then(Json::as_arr).map(|a| a.len()),
+            Some(3)
+        );
+        assert_eq!(
+            parsed.get("rows").unwrap().as_arr().unwrap()[0]
+                .get("op")
+                .and_then(Json::as_str),
+            Some("dot")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "\"abc", "{\"a\" 1}", "[1] trailing", "nul"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

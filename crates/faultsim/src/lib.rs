@@ -29,11 +29,35 @@
 //! with a Wilson 95 % confidence interval
 //! ([`CampaignStats::wilson_ci`]).  Every statistic in EXPERIMENTS.md can be
 //! regenerated exactly.
+//!
+//! Three layers sit on top of the per-trial machinery:
+//!
+//! * [`engine`] — the streaming campaign engine: trials shard across the
+//!   `abft-serve` job pool into lock-free per-worker accumulators
+//!   (O(workers) memory, so a million-trial campaign is just wall-clock),
+//!   with an adaptive [`StopRule`] whose sequential Wilson peeks stay valid
+//!   under a Bonferroni spending correction.
+//! * [`record`] — replayable failure capture: non-safe trials shrink through
+//!   a deterministic minimizer into [`TrialRecord`]s, and a
+//!   [`FailureCorpus`] serializes them for bit-for-bit
+//!   [`Campaign::replay`].
+//! * [`json`] — the dependency-free JSON reader/writer the corpus (and the
+//!   bench crate) serialize with.
 
 pub mod campaign;
+pub mod engine;
 pub mod flip;
+pub mod json;
 pub mod outcome;
+pub mod record;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignStats, InjectionKind};
-pub use flip::{FaultSpec, FaultTarget};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignStats, InjectionKind, TrialDraw, TrialObservation, WILSON_Z95,
+};
+pub use engine::{
+    normal_quantile, CampaignAccumulator, DriftHistogram, StopDecision, StopRule, StreamConfig,
+    StreamReport,
+};
+pub use flip::{FaultSpec, FaultTarget, SolverVectorTarget};
 pub use outcome::FaultOutcome;
+pub use record::{FailureCorpus, ReplayOutcome, TrialRecord};

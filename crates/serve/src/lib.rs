@@ -24,5 +24,5 @@
 pub mod pool;
 pub mod queue;
 
-pub use pool::{submit, Ticket};
+pub use pool::{submit, submit_batch, workers, Ticket};
 pub use queue::{JobHandle, JobId, JobOutcome, JobSpec, MatrixId, SolveQueue};

@@ -84,10 +84,43 @@ where
     Ticket { slot }
 }
 
+/// The number of execution lanes the shared pool currently targets — the
+/// natural shard count for per-worker accumulators (e.g. the streaming fault
+/// campaigns stripe their outcome counters `job % workers()`).  Respects
+/// `rayon::set_worker_limit`, so tests can pin it.
+pub fn workers() -> usize {
+    rayon::effective_workers().max(1)
+}
+
+/// Submits one *wave* of jobs and blocks until every job in the wave has
+/// completed, returning the results in submission order.  This is the batch
+/// boundary the streaming campaign engine evaluates its stop rule at: after
+/// `submit_batch` returns, every outcome of the wave is visible (the
+/// [`Ticket`] handshake's mutex release/acquire orders the jobs' relaxed
+/// counter updates before the caller's reads), so a sequential-test peek at
+/// the running counts is race-free.  A panicking job resurfaces here, like
+/// [`Ticket::wait`].  Never call this from *inside* a pool job — waiting on
+/// pool work from a pool worker can deadlock.
+pub fn submit_batch<T, F, I>(jobs: I) -> Vec<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+    I: IntoIterator<Item = F>,
+{
+    let tickets: Vec<Ticket<T>> = jobs.into_iter().map(submit).collect();
+    tickets.into_iter().map(Ticket::wait).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn submit_batch_preserves_submission_order_and_barriers() {
+        let results = submit_batch((0..64).map(|i| move || i * 3));
+        assert_eq!(results, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
 
     #[test]
     fn submitted_jobs_run_and_deliver_results() {

@@ -84,6 +84,40 @@ pub fn cg<Op: LinearOperator>(
     config: &SolverConfig,
     ctx: &FaultContext,
 ) -> Result<(Op::Vector, SolveStatus), SolverError> {
+    cg_with_poll(op, b, config, ctx, |_, _| {})
+}
+
+/// The live CG state handed to a [`cg_with_poll`] poll closure at each
+/// iteration boundary.  Mutating a vector here models an upset striking
+/// solver-owned state *mid-solve* (as opposed to at-rest storage): the next
+/// kernel that reads the vector sees the damage exactly as the hardware
+/// would, and the protection tier's detect/correct/rebuild ladder runs on the
+/// live recurrence.
+pub struct CgPollState<'a, V> {
+    /// The current iterate.
+    pub x: &'a mut V,
+    /// The current residual.
+    pub r: &'a mut V,
+    /// The current search direction.
+    pub p: &'a mut V,
+}
+
+/// [`cg`] with a poll closure invoked at every iteration boundary — after
+/// the convergence check, before the SpMV — with mutable access to the live
+/// `x`/`r`/`p` recurrence.  `iteration` is the 0-based index of the
+/// iteration about to run.  With a no-op closure this **is** `cg`: the
+/// arithmetic sequence is identical, so trajectories are preserved bit for
+/// bit (the plain `cg` entry point delegates here).  The fault campaigns use
+/// the hook to plant mid-iteration flips in solver vectors
+/// (`InjectionKind::SolverVectorFlips`/`SolverVectorBurst` in
+/// `abft-faultsim`).
+pub fn cg_with_poll<Op: LinearOperator>(
+    op: &Op,
+    b: &Op::Vector,
+    config: &SolverConfig,
+    ctx: &FaultContext,
+    mut poll: impl FnMut(u64, CgPollState<'_, Op::Vector>),
+) -> Result<(Op::Vector, SolveStatus), SolverError> {
     let n = op.rows();
     assert_eq!(b.len(), n, "cg: rhs has wrong length");
     let mut x = op.zero_vector(n);
@@ -103,6 +137,14 @@ pub fn cg<Op: LinearOperator>(
         if status.converged {
             break;
         }
+        poll(
+            iteration as u64,
+            CgPollState {
+                x: &mut x,
+                r: &mut r,
+                p: &mut p,
+            },
+        );
         retry_kernel!(ctx, [p, w], op.apply(&mut p, &mut w, iteration as u64, ctx))?;
         let pw = retry_kernel!(ctx, [p, w], p.dot(&w, ctx))?;
         if pw == 0.0 {

@@ -72,7 +72,9 @@ pub mod status;
 
 pub use backend::{FaultContext, LinearOperator, SolverError, SolverVector};
 pub use chebyshev::ChebyshevBounds;
-pub use generic::{block_cg, block_cg_panel, fcg, ft_pcg, BlockColumnOutcome};
+pub use generic::{
+    block_cg, block_cg_panel, cg_with_poll, fcg, ft_pcg, BlockColumnOutcome, CgPollState,
+};
 pub use precond::{Ilu0, Polynomial, PrecondKind, Preconditioner, Reliability, ReliabilityPolicy};
 pub use solver::{Method, ProtectionMode, SolveOutcome, Solver};
 pub use spec::SolveSpec;

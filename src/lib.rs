@@ -35,7 +35,10 @@ pub mod prelude {
         ProtectedCsr, ProtectedMatrix, ProtectedVector, ProtectionConfig, StorageTier,
     };
     pub use abft_ecc::{CheckOutcome, Crc32c, Crc32cBackend};
-    pub use abft_faultsim::{Campaign, CampaignConfig, FaultOutcome, FaultTarget};
+    pub use abft_faultsim::{
+        Campaign, CampaignConfig, CampaignStats, FailureCorpus, FaultOutcome, FaultTarget,
+        InjectionKind, StopDecision, StopRule, StreamConfig, TrialRecord,
+    };
     pub use abft_serve::{JobOutcome, JobSpec, SolveQueue};
     pub use abft_solvers::{
         Method, PrecondKind, Preconditioner, ProtectionMode, Reliability, ReliabilityPolicy,

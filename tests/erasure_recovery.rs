@@ -213,6 +213,7 @@ fn post_rebuild_trajectory_is_bitwise_identical_across_worker_counts() {
 }
 
 #[test]
+#[ignore = "acceptance campaign (384 trials): run with cargo test -- --ignored"]
 fn scaled_erasure_campaign_recovers_with_wilson_lower_bound_above_99_pct() {
     // 384 trials is the smallest campaign whose Wilson 95 % lower bound can
     // clear 99 % (at 100 % observed recovery, the bound is n / (n + z²)).

@@ -18,6 +18,7 @@ use abft_suite::sparse::builders::poisson_2d_padded;
 /// all *detected* outcomes — but must never yield a converged wrong
 /// answer.
 #[test]
+#[ignore = "acceptance campaign (256 trials): run with cargo test -- --ignored"]
 fn unreliable_inner_tier_never_corrupts_silently_over_256_trials() {
     let trials = 256;
     let stats = Campaign::new(CampaignConfig {
